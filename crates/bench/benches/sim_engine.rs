@@ -1,0 +1,93 @@
+//! Criterion benchmarks for the simulation substrate: event-queue and
+//! service-center throughput, plus whole-workload simulation rates
+//! (events per second of real time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pio_des::{EventQueue, ServiceCenter, SimSpan, SimTime};
+use pio_fs::FsConfig;
+use pio_mpi::{run, RunConfig};
+use pio_workloads::{IorConfig, MadbenchConfig};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("des/event_queue_push_pop_100k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..100_000u64 {
+                q.push(SimTime(i * 7919 % 1_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_service_center(c: &mut Criterion) {
+    c.bench_function("des/service_center_1m_submits", |b| {
+        b.iter(|| {
+            let mut sc = ServiceCenter::new();
+            let mut t = SimTime::ZERO;
+            for i in 0..1_000_000u64 {
+                t = sc.submit(t, SimSpan(i % 1000));
+            }
+            black_box(t)
+        })
+    });
+}
+
+fn bench_ior_simulation(c: &mut Criterion) {
+    // 16 tasks × 512 MB × 1 phase ≈ 8k RPC events.
+    let cfg = IorConfig {
+        repetitions: 1,
+        ..IorConfig::paper_fig1().scaled(64)
+    };
+    let job = cfg.job();
+    let mut group = c.benchmark_group("sim");
+    group.sample_size(20);
+    group.bench_function("ior_16task_512mb", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run(
+                &job,
+                &RunConfig::new(FsConfig::franklin().scaled(64), seed, "bench"),
+            )
+            .unwrap()
+            .events
+        })
+    });
+    group.finish();
+}
+
+fn bench_madbench_simulation(c: &mut Criterion) {
+    // 4 tasks, full 300 MB matrices ≈ 40k RPC events.
+    let cfg = MadbenchConfig::paper().scaled(64);
+    let job = cfg.job();
+    let mut group = c.benchmark_group("sim");
+    group.sample_size(10);
+    group.bench_function("madbench_4task", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run(
+                &job,
+                &RunConfig::new(FsConfig::franklin_patched().scaled(64), seed, "bench"),
+            )
+            .unwrap()
+            .events
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_service_center,
+    bench_ior_simulation,
+    bench_madbench_simulation
+);
+criterion_main!(benches);

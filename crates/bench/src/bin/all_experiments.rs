@@ -1,0 +1,78 @@
+//! Run every experiment of the paper back-to-back and print one
+//! consolidated paper-vs-measured table — the machine-readable summary
+//! behind EXPERIMENTS.md.
+//!
+//! Usage: `all_experiments [--scale N]` (default full scale).
+
+use pio_bench::util::{print_rows, scale_from_args, Row};
+use pio_bench::{fig1, fig2, fig4, fig5, fig6};
+use pio_fs::FsConfig;
+
+fn main() {
+    let scale = scale_from_args(1);
+    let scale_f = scale as f64;
+    println!("# events-to-ensembles: full experiment sweep (scale 1/{scale})");
+    let t0 = std::time::Instant::now();
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Figure 1.
+    let r1 = fig1::run(scale, 1);
+    rows.push(Row::new("fig1 IOR aggregate rate", 11_610.0, r1.rate_curve.average() * scale_f, "MB/s"));
+    rows.push(Row::new("fig1 modes detected (3 peaks)", 3.0, r1.modes.len() as f64, ""));
+    rows.push(Row::new("fig1 run-to-run KS (≈0 = reproducible)", 0.05, r1.ks_between_runs, ""));
+    eprintln!("[{:>6.1}s] fig1 done", t0.elapsed().as_secs_f64());
+
+    // Figure 2.
+    let r2 = fig2::run(scale, 21);
+    for row in &r2 {
+        rows.push(Row::new(
+            format!("fig2 IOR rate k={}", row.k),
+            row.paper_rate,
+            row.rate_mb_s * scale_f,
+            "MB/s",
+        ));
+    }
+    rows.push(Row::new(
+        "fig2 k=8 speedup",
+        13_486.0 / 11_610.0,
+        r2[3].speedup,
+        "x",
+    ));
+    eprintln!("[{:>6.1}s] fig2 done", t0.elapsed().as_secs_f64());
+
+    // Figures 4 & 5.
+    let r5 = fig5::run(scale, 5);
+    let jaguar = fig4::run(FsConfig::jaguar(), scale, 5);
+    rows.push(Row::new("fig4 MADbench Franklin (buggy)", 2200.0, r5.before.runtime_s, "s"));
+    rows.push(Row::new("fig4 MADbench Jaguar", 275.0, jaguar.runtime_s, "s"));
+    rows.push(Row::new("fig5 MADbench Franklin (patched)", 520.0, r5.after.runtime_s, "s"));
+    rows.push(Row::new("fig5 patch speedup", 4.2, r5.speedup, "x"));
+    rows.push(Row::new(
+        "fig4 Franklin slowest read",
+        500.0,
+        r5.before.read_dist.max(),
+        "s",
+    ));
+    eprintln!("[{:>6.1}s] fig4/fig5 done", t0.elapsed().as_secs_f64());
+
+    // Figure 6.
+    let r6 = fig6::run_all(scale, 11);
+    for r in &r6 {
+        rows.push(Row::new(
+            format!("fig6 GCRM stage {} ({})", r.stage, r.label),
+            fig6::PAPER_RUNTIMES[r.stage as usize],
+            r.runtime_s,
+            "s",
+        ));
+    }
+    rows.push(Row::new(
+        "fig6 overall improvement",
+        310.0 / 75.0,
+        r6[0].runtime_s / r6[3].runtime_s.max(1e-9),
+        "x",
+    ));
+    eprintln!("[{:>6.1}s] fig6 done", t0.elapsed().as_secs_f64());
+
+    print_rows("All experiments: paper vs measured", &rows);
+    println!("\ntotal sweep time: {:.1}s real", t0.elapsed().as_secs_f64());
+}

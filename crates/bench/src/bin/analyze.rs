@@ -1,0 +1,100 @@
+//! Offline trace analysis — the tool a user points at a saved IPM-I/O
+//! trace (JSONL, as written by `pio_trace::io::save` or any conforming
+//! producer) to get the paper's full ensemble treatment without re-running
+//! anything.
+//!
+//! Usage: `analyze <trace.jsonl> [--diagram] [--csv DIR]`
+//!
+//! Prints the IPM summary, per-call-class ensemble statistics and modes,
+//! per-phase breakdown, and the bottleneck diagnosis; optionally the
+//! ASCII trace diagram and CSV exports of the histograms.
+
+use pio_core::empirical::EmpiricalDist;
+use pio_core::loghist::LogHistogram;
+use pio_core::rates::write_rate_curve;
+use pio_core::report;
+use pio_trace::phase::phase_summaries;
+use pio_trace::{io as trace_io, CallKind};
+use pio_viz::ascii;
+use pio_viz::csv as vcsv;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: analyze <trace.jsonl> [--diagram] [--csv DIR]");
+        std::process::exit(2);
+    };
+    let want_diagram = args.iter().any(|a| a == "--diagram");
+    let csv_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+
+    let trace = match trace_io::load(std::path::Path::new(path)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("analyze: cannot load {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = trace.validate() {
+        eprintln!("analyze: warning: trace fails validation: {e}");
+    }
+
+    // The full ensemble report (stats, modes, diagnosis).
+    println!("{}", report::render(&trace));
+
+    // Per-phase breakdown.
+    let phases = phase_summaries(&trace);
+    if !phases.is_empty() {
+        println!("## Phases");
+        println!(
+            "{:>6} {:>10} {:>10} {:>12} {:>12} {:>12}",
+            "phase", "start(s)", "dur(s)", "read(MB)", "write(MB)", "slowest(s)"
+        );
+        for p in &phases {
+            println!(
+                "{:>6} {:>10.2} {:>10.2} {:>12.1} {:>12.1} {:>12.3}",
+                p.phase,
+                p.start.as_secs_f64(),
+                p.duration().as_secs_f64(),
+                p.bytes_read as f64 / 1e6,
+                p.bytes_written as f64 / 1e6,
+                p.slowest_op.as_secs_f64()
+            );
+        }
+    }
+
+    // Slowest rank — the "slowest individual performer".
+    if let Some((rank, secs)) = trace.slowest_rank() {
+        println!("\nslowest rank: {rank} ({secs:.1} s of I/O time)");
+    }
+
+    if want_diagram {
+        println!("\n{}", ascii::trace_diagram(&trace, 24, 100));
+        let curve = write_rate_curve(&trace, trace.makespan().as_secs_f64().max(1e-9) / 100.0);
+        println!("{}", ascii::rate_curve_text(&curve, 8, "aggregate write rate"));
+    }
+
+    if let Some(dir) = csv_dir {
+        for kind in [CallKind::Read, CallKind::Write, CallKind::MetaWrite] {
+            let durs = trace.durations_of(kind);
+            if durs.len() < 2 {
+                continue;
+            }
+            let hist = LogHistogram::from_samples(&durs, 60);
+            vcsv::save(&dir.join(format!("{}_hist.csv", kind.name())), |w| {
+                vcsv::log_histogram_csv(&hist, w)
+            })
+            .expect("csv write");
+            let d = EmpiricalDist::new(&durs);
+            vcsv::save(&dir.join(format!("{}_cdf.csv", kind.name())), |w| {
+                vcsv::xy_csv("t_s,fraction", &d.progress_curve(), w)
+            })
+            .expect("csv write");
+        }
+        println!("\nCSV exports written to {}", dir.display());
+    }
+}

@@ -1,0 +1,74 @@
+//! Regenerate Figure 4: MADbench at 256 tasks on Franklin (buggy
+//! read-ahead) and Jaguar — traces, aggregate read/write rates, and
+//! log-log duration histograms with Franklin's "broad right shoulder".
+//!
+//! Usage: `fig4_madbench [--scale N]`.
+
+use pio_bench::fig4;
+use pio_bench::util::{print_rows, results_dir, scale_from_args, Row};
+use pio_fs::FsConfig;
+use pio_viz::ascii;
+use pio_viz::csv as vcsv;
+
+fn main() {
+    let scale = scale_from_args(1);
+    println!("# Figure 4 — MADbench on Franklin vs Jaguar (scale 1/{scale})");
+    let franklin = fig4::run(FsConfig::franklin(), scale, 5);
+    let jaguar = fig4::run(FsConfig::jaguar(), scale, 5);
+
+    for r in [&franklin, &jaguar] {
+        println!("\n## {} — run time {:.0} s", r.platform, r.runtime_s);
+        println!("{}", ascii::trace_diagram(&r.trace, 16, 100));
+        println!("{}", ascii::rate_curve_text(&r.read_rate, 6, "aggregate read rate"));
+        println!("{}", ascii::rate_curve_text(&r.write_rate, 6, "aggregate write rate"));
+        println!("log-log read histogram (center s, count):");
+        for (c, n) in r.read_hist.series() {
+            println!("  {c:>10.3}  {n}");
+        }
+        println!(
+            "read p50 {:.1}s  p99 {:.1}s  max {:.1}s   write p50 {:.1}s p99 {:.1}s",
+            r.read_dist.median(),
+            r.read_dist.quantile(0.99),
+            r.read_dist.max(),
+            r.write_dist.median(),
+            r.write_dist.quantile(0.99)
+        );
+        match &r.shoulder {
+            Some(f) => println!("diagnosis: {f}"),
+            None => println!("diagnosis: reads look healthy"),
+        }
+        println!("degraded reads (bug path): {}", r.degraded_reads);
+    }
+
+    let rows = vec![
+        Row::new("Franklin run time", 2200.0, franklin.runtime_s, "s"),
+        Row::new("Jaguar run time", 275.0, jaguar.runtime_s, "s"),
+        Row::new(
+            "Franklin/Jaguar ratio",
+            2200.0 / 275.0,
+            franklin.runtime_s / jaguar.runtime_s,
+            "x",
+        ),
+        Row::new("Franklin slowest read (30-500 s band)", 500.0, franklin.read_dist.max(), "s"),
+        Row::new("Jaguar slowest read", 30.0, jaguar.read_dist.max(), "s"),
+    ];
+    print_rows("Figure 4: paper vs measured", &rows);
+
+    let dir = results_dir();
+    for r in [&franklin, &jaguar] {
+        let base = format!("fig4_{}", r.platform.replace(['-', '/'], "_"));
+        vcsv::save(&dir.join(format!("{base}_read_hist.csv")), |w| {
+            vcsv::log_histogram_csv(&r.read_hist, w)
+        })
+        .expect("csv");
+        vcsv::save(&dir.join(format!("{base}_write_hist.csv")), |w| {
+            vcsv::log_histogram_csv(&r.write_hist, w)
+        })
+        .expect("csv");
+        vcsv::save(&dir.join(format!("{base}_read_rate.csv")), |w| {
+            vcsv::rate_curve_csv(&r.read_rate, w)
+        })
+        .expect("csv");
+    }
+    println!("\nCSV series written to {}", dir.display());
+}

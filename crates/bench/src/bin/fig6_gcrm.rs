@@ -1,0 +1,89 @@
+//! Regenerate Figure 6: the GCRM optimization ladder at 10,240 tasks —
+//! baseline → collective buffering (80 writers) → 1 MiB alignment →
+//! aggregated metadata; per stage the trace, aggregate write rate, and
+//! the size-normalized (sec/MB) histograms split into data and metadata
+//! classes.
+//!
+//! Usage: `fig6_gcrm [--scale N]`.
+
+use pio_bench::fig6;
+use pio_bench::util::{print_rows, results_dir, scale_from_args, Row};
+use pio_core::loghist::LogHistogram;
+use pio_viz::ascii;
+use pio_viz::csv as vcsv;
+
+fn main() {
+    let scale = scale_from_args(1);
+    println!("# Figure 6 — GCRM optimization ladder (scale 1/{scale})");
+    let results = fig6::run_all(scale, 11);
+    let dir = results_dir();
+    let scale_f = scale as f64;
+
+    for r in &results {
+        println!("\n## stage {}: {} — {:.0} s", r.stage, r.label, r.runtime_s);
+        println!("{}", ascii::trace_diagram(&r.trace, 12, 100));
+        println!("{}", ascii::rate_curve_text(&r.write_rate, 6, "aggregate write rate"));
+        println!(
+            "data records: {:.3} s/MB median ({:.2} MB/s per task); worst {:.3} s/MB",
+            r.data_sec_per_mb.median(),
+            1.0 / r.data_sec_per_mb.median().max(1e-12),
+            r.data_sec_per_mb.quantile(0.99)
+        );
+        if let Some(meta) = &r.meta_sec_per_mb {
+            println!(
+                "metadata ops: {:.3} s/MB median over {} ops",
+                meta.median(),
+                meta.n()
+            );
+        }
+        println!(
+            "lock conflicts {}  sync writes {}  peak write rate {:.0} MB/s (x scale: {:.0})",
+            r.lock_conflicts,
+            r.sync_writes,
+            r.write_rate.peak(),
+            r.write_rate.peak() * scale_f
+        );
+        match &r.serialized {
+            Some(f) => println!("diagnosis: {f}"),
+            None => println!("diagnosis: no rank-serialization flagged"),
+        }
+
+        let data_hist =
+            LogHistogram::from_samples(r.data_sec_per_mb.samples(), 60);
+        vcsv::save(&dir.join(format!("fig6_stage{}_data_secmb.csv", r.stage)), |w| {
+            vcsv::log_histogram_csv(&data_hist, w)
+        })
+        .expect("csv");
+        if let Some(meta) = &r.meta_sec_per_mb {
+            let meta_hist = LogHistogram::from_samples(meta.samples(), 60);
+            vcsv::save(&dir.join(format!("fig6_stage{}_meta_secmb.csv", r.stage)), |w| {
+                vcsv::log_histogram_csv(&meta_hist, w)
+            })
+            .expect("csv");
+        }
+        vcsv::save(&dir.join(format!("fig6_stage{}_write_rate.csv", r.stage)), |w| {
+            vcsv::rate_curve_csv(&r.write_rate, w)
+        })
+        .expect("csv");
+    }
+
+    let mut rows: Vec<Row> = results
+        .iter()
+        .map(|r| {
+            Row::new(
+                format!("stage {} ({}) run time", r.stage, r.label),
+                fig6::PAPER_RUNTIMES[r.stage as usize],
+                r.runtime_s,
+                "s",
+            )
+        })
+        .collect();
+    rows.push(Row::new(
+        "overall improvement",
+        310.0 / 75.0,
+        results[0].runtime_s / results[3].runtime_s.max(1e-9),
+        "x",
+    ));
+    print_rows("Figure 6: paper vs measured", &rows);
+    println!("\nCSV series written to {}", dir.display());
+}

@@ -1,0 +1,23 @@
+//! Generate a sample trace file for `analyze` (also doubles as the
+//! save-path smoke test): a scaled IOR run saved as JSONL.
+use pio_fs::FsConfig;
+use pio_mpi::{run, RunConfig};
+use pio_workloads::IorConfig;
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "results/sample_trace.jsonl".into());
+    let cfg = IorConfig {
+        repetitions: 2,
+        ..IorConfig::paper_fig1().scaled(32)
+    };
+    let res = run(
+        &cfg.job(),
+        &RunConfig::new(FsConfig::franklin().scaled(32), 7, "sample-ior"),
+    )
+    .unwrap();
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    pio_trace::io::save(&res.trace, std::path::Path::new(&path)).unwrap();
+    eprintln!("wrote {} records to {path}", res.trace.records.len());
+}

@@ -1,0 +1,13 @@
+//! # pio-bench — experiment drivers for every figure of the paper
+//!
+//! Each `figN` module runs the corresponding experiment end-to-end on the
+//! simulator, extracts the series the paper plots, and returns them as
+//! plain data; the `src/bin/figN_*.rs` binaries print the paper-vs-
+//! measured comparison and export CSVs under `results/`.
+
+pub mod fig1;
+pub mod fig2;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod util;

@@ -1,0 +1,150 @@
+//! Shared helpers for the experiment drivers.
+
+use pio_core::empirical::EmpiricalDist;
+use pio_trace::{CallKind, Trace};
+use std::path::PathBuf;
+
+/// Parse `--scale N` from argv (default `default`). Scale divides task
+/// counts and transfer sizes so the full experiments can be smoke-run
+/// quickly; scale 1 is the paper's configuration.
+pub fn scale_from_args(default: u32) -> u32 {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == "--scale" {
+            if let Some(v) = args.get(i + 1).and_then(|s| s.parse::<u32>().ok()) {
+                return v.max(1);
+            }
+        }
+    }
+    default
+}
+
+/// Output directory for CSV exports (`results/`, or `$PIO_RESULTS`).
+pub fn results_dir() -> PathBuf {
+    std::env::var("PIO_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// Duration distribution of one call kind, or `None` if absent.
+pub fn dist_of(trace: &Trace, kind: CallKind) -> Option<EmpiricalDist> {
+    let d = trace.durations_of(kind);
+    if d.is_empty() {
+        None
+    } else {
+        Some(EmpiricalDist::new(&d))
+    }
+}
+
+/// Time from the first record of `kind` starting to the last ending —
+/// the "phase time" IOR-style rates are computed over.
+pub fn span_of(trace: &Trace, kind: CallKind) -> f64 {
+    let start = trace
+        .of_kind(kind)
+        .map(|r| r.start_ns)
+        .min()
+        .unwrap_or(0);
+    let end = trace.of_kind(kind).map(|r| r.end_ns).max().unwrap_or(0);
+    (end.saturating_sub(start)) as f64 / 1e9
+}
+
+/// MB/s over all bytes of `kind` during its span.
+pub fn rate_of(trace: &Trace, kind: CallKind) -> f64 {
+    let secs = span_of(trace, kind);
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    trace.bytes_of(kind) as f64 / 1e6 / secs
+}
+
+/// A paper-vs-measured comparison row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Label (what the paper reports).
+    pub label: String,
+    /// The paper's value.
+    pub paper: f64,
+    /// Our measurement.
+    pub measured: f64,
+    /// Unit for display.
+    pub unit: &'static str,
+}
+
+impl Row {
+    /// Build a row.
+    pub fn new(label: impl Into<String>, paper: f64, measured: f64, unit: &'static str) -> Self {
+        Row {
+            label: label.into(),
+            paper,
+            measured,
+            unit,
+        }
+    }
+
+    /// measured / paper.
+    pub fn ratio(&self) -> f64 {
+        if self.paper == 0.0 {
+            f64::NAN
+        } else {
+            self.measured / self.paper
+        }
+    }
+}
+
+/// Print rows as a fixed-width paper-vs-measured table.
+pub fn print_rows(title: &str, rows: &[Row]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<44} {:>12} {:>12} {:>8}",
+        "quantity", "paper", "measured", "ratio"
+    );
+    for r in rows {
+        println!(
+            "{:<44} {:>9.1} {:>2} {:>9.1} {:>2} {:>7.2}x",
+            r.label, r.paper, r.unit, r.measured, r.unit, r.ratio()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pio_trace::{Record, TraceMeta};
+
+    #[test]
+    fn span_and_rate() {
+        let mut t = Trace::new(TraceMeta::default());
+        t.push(Record {
+            rank: 0,
+            call: CallKind::Write,
+            fd: 3,
+            offset: 0,
+            bytes: 10_000_000,
+            start_ns: 1_000_000_000,
+            end_ns: 2_000_000_000,
+            phase: 0,
+        });
+        t.push(Record {
+            rank: 1,
+            call: CallKind::Write,
+            fd: 3,
+            offset: 0,
+            bytes: 10_000_000,
+            start_ns: 1_500_000_000,
+            end_ns: 3_000_000_000,
+            phase: 0,
+        });
+        assert!((span_of(&t, CallKind::Write) - 2.0).abs() < 1e-12);
+        assert!((rate_of(&t, CallKind::Write) - 10.0).abs() < 1e-9);
+        assert_eq!(rate_of(&t, CallKind::Read), 0.0);
+        assert!(dist_of(&t, CallKind::Write).is_some());
+        assert!(dist_of(&t, CallKind::Read).is_none());
+    }
+
+    #[test]
+    fn row_ratio() {
+        let r = Row::new("runtime", 100.0, 50.0, "s");
+        assert!((r.ratio() - 0.5).abs() < 1e-12);
+        assert!(Row::new("x", 0.0, 1.0, "s").ratio().is_nan());
+    }
+}

@@ -1,0 +1,174 @@
+//! Bootstrap confidence intervals for ensemble statistics.
+//!
+//! The paper argues the moments and modes of an I/O-time distribution are
+//! the reproducible objects; bootstrap resampling quantifies how well one
+//! run pins them down — e.g. whether a median shift between two runs is
+//! signal or noise. Deterministic (seeded), dependency-free resampling.
+
+use crate::empirical::EmpiricalDist;
+
+/// A two-sided confidence interval for a statistic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate on the original sample.
+    pub estimate: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Confidence level (e.g. 0.95).
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Whether `v` lies inside the interval.
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.lo && v <= self.hi
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// SplitMix64 — small deterministic generator for resampling indices
+/// (keeps `rand` out of this crate's runtime dependencies).
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn index(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Percentile-bootstrap confidence interval for `stat` over `dist`:
+/// `resamples` with-replacement resamples, interval at `level`
+/// (e.g. 0.95), generator seeded by `seed`.
+pub fn bootstrap_ci<F: Fn(&EmpiricalDist) -> f64>(
+    dist: &EmpiricalDist,
+    stat: F,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> ConfidenceInterval {
+    assert!(resamples >= 8, "too few resamples");
+    assert!((0.0..1.0).contains(&level) && level > 0.0);
+    let estimate = stat(dist);
+    let n = dist.n();
+    let samples = dist.samples();
+    let mut rng = Mix(seed ^ 0xB007);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut buf = vec![0.0f64; n];
+    for _ in 0..resamples {
+        for slot in buf.iter_mut() {
+            *slot = samples[rng.index(n)];
+        }
+        stats.push(stat(&EmpiricalDist::new(&buf)));
+    }
+    stats.sort_by(f64::total_cmp);
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((alpha * resamples as f64) as usize).min(resamples - 1);
+    let hi_idx = (((1.0 - alpha) * resamples as f64) as usize).min(resamples - 1);
+    ConfidenceInterval {
+        estimate,
+        lo: stats[lo_idx],
+        hi: stats[hi_idx],
+        level,
+    }
+}
+
+/// CI for the median.
+pub fn median_ci(dist: &EmpiricalDist, resamples: usize, level: f64, seed: u64) -> ConfidenceInterval {
+    bootstrap_ci(dist, EmpiricalDist::median, resamples, level, seed)
+}
+
+/// CI for the mean.
+pub fn mean_ci(dist: &EmpiricalDist, resamples: usize, level: f64, seed: u64) -> ConfidenceInterval {
+    bootstrap_ci(dist, EmpiricalDist::mean, resamples, level, seed)
+}
+
+/// Are two runs' statistics distinguishable? True when the bootstrap
+/// intervals of `stat` at `level` do not overlap — the "same experiment
+/// or a real shift?" question the ensemble method keeps asking.
+pub fn distinguishable<F: Fn(&EmpiricalDist) -> f64 + Copy>(
+    a: &EmpiricalDist,
+    b: &EmpiricalDist,
+    stat: F,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> bool {
+    let ca = bootstrap_ci(a, stat, resamples, level, seed);
+    let cb = bootstrap_ci(b, stat, resamples, level, seed.wrapping_add(1));
+    ca.hi < cb.lo || cb.hi < ca.lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist(offset: f64) -> EmpiricalDist {
+        let v: Vec<f64> = (0..400).map(|i| offset + (i % 40) as f64 * 0.1).collect();
+        EmpiricalDist::new(&v)
+    }
+
+    #[test]
+    fn ci_brackets_the_estimate() {
+        let d = dist(10.0);
+        let ci = median_ci(&d, 200, 0.95, 7);
+        assert!(ci.contains(ci.estimate), "{ci:?}");
+        assert!(ci.lo <= ci.hi);
+        assert!((ci.estimate - d.median()).abs() < 1e-12);
+        assert!(ci.width() < 1.0, "tight data, tight CI: {ci:?}");
+    }
+
+    #[test]
+    fn ci_is_deterministic_per_seed() {
+        let d = dist(5.0);
+        let a = mean_ci(&d, 100, 0.9, 3);
+        let b = mean_ci(&d, 100, 0.9, 3);
+        assert_eq!(a, b);
+        let c = mean_ci(&d, 100, 0.9, 4);
+        assert!(a != c || a.width() == 0.0);
+    }
+
+    #[test]
+    fn separated_distributions_are_distinguishable() {
+        let a = dist(10.0);
+        let b = dist(20.0);
+        assert!(distinguishable(&a, &b, EmpiricalDist::median, 100, 0.95, 1));
+    }
+
+    #[test]
+    fn identical_distributions_are_not_distinguishable() {
+        let a = dist(10.0);
+        let b = dist(10.0);
+        assert!(!distinguishable(&a, &b, EmpiricalDist::median, 100, 0.95, 2));
+    }
+
+    #[test]
+    fn wider_level_wider_interval() {
+        let d = dist(0.0);
+        let narrow = mean_ci(&d, 300, 0.5, 9);
+        let wide = mean_ci(&d, 300, 0.99, 9);
+        assert!(wide.width() >= narrow.width());
+    }
+
+    #[test]
+    fn more_data_tighter_interval() {
+        let small = EmpiricalDist::new(&(0..20).map(|i| (i % 7) as f64).collect::<Vec<_>>());
+        let big = EmpiricalDist::new(&(0..2000).map(|i| (i % 7) as f64).collect::<Vec<_>>());
+        let ci_small = mean_ci(&small, 200, 0.95, 5);
+        let ci_big = mean_ci(&big, 200, 0.95, 5);
+        assert!(ci_big.width() < ci_small.width());
+    }
+}

@@ -1,0 +1,216 @@
+//! Before/after trace comparison — the paper's Figure 5(b) operation:
+//! superimpose two runs of the same experiment (e.g. pre- and post-patch)
+//! and quantify what changed, per call class.
+
+use crate::distance::{ks_statistic, median_shift, wasserstein1};
+use crate::empirical::EmpiricalDist;
+use pio_trace::{CallKind, Trace};
+
+/// Per-call-class comparison of two traces.
+#[derive(Debug, Clone)]
+pub struct ClassComparison {
+    /// The call class.
+    pub kind: CallKind,
+    /// Event counts (before, after).
+    pub counts: (usize, usize),
+    /// Medians in seconds (before, after).
+    pub medians: (f64, f64),
+    /// 99th percentiles in seconds (before, after).
+    pub p99s: (f64, f64),
+    /// Maxima in seconds (before, after).
+    pub maxima: (f64, f64),
+    /// KS statistic between the two ensembles.
+    pub ks: f64,
+    /// Wasserstein-1 distance (seconds).
+    pub w1: f64,
+    /// Relative median shift.
+    pub median_shift: f64,
+}
+
+impl ClassComparison {
+    /// Median speedup (before/after; > 1 means "after" is faster).
+    pub fn median_speedup(&self) -> f64 {
+        if self.medians.1 <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.medians.0 / self.medians.1
+    }
+
+    /// Tail speedup at p99.
+    pub fn tail_speedup(&self) -> f64 {
+        if self.p99s.1 <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.p99s.0 / self.p99s.1
+    }
+
+    /// Whether the two ensembles are effectively the same distribution
+    /// (KS below `tol`) — "the patch did not change this class".
+    pub fn unchanged(&self, tol: f64) -> bool {
+        self.ks <= tol
+    }
+}
+
+/// Whole-run comparison.
+#[derive(Debug, Clone)]
+pub struct TraceComparison {
+    /// Run-time ratio before/after.
+    pub runtime_speedup: f64,
+    /// Run times in seconds (before, after).
+    pub runtimes: (f64, f64),
+    /// Per-class rows, for classes present in both traces.
+    pub classes: Vec<ClassComparison>,
+}
+
+/// Compare two traces of the same experiment.
+pub fn compare(before: &Trace, after: &Trace) -> TraceComparison {
+    let mut classes = Vec::new();
+    for kind in [
+        CallKind::Read,
+        CallKind::Write,
+        CallKind::MetaRead,
+        CallKind::MetaWrite,
+        CallKind::Open,
+        CallKind::Flush,
+    ] {
+        let a = before.durations_of(kind);
+        let b = after.durations_of(kind);
+        if a.is_empty() || b.is_empty() {
+            continue;
+        }
+        let da = EmpiricalDist::new(&a);
+        let db = EmpiricalDist::new(&b);
+        classes.push(ClassComparison {
+            kind,
+            counts: (da.n(), db.n()),
+            medians: (da.median(), db.median()),
+            p99s: (da.quantile(0.99), db.quantile(0.99)),
+            maxima: (da.max(), db.max()),
+            ks: ks_statistic(&da, &db),
+            w1: wasserstein1(&da, &db),
+            median_shift: median_shift(&da, &db),
+        });
+    }
+    let rt_before = before.makespan().as_secs_f64();
+    let rt_after = after.makespan().as_secs_f64();
+    TraceComparison {
+        runtime_speedup: if rt_after > 0.0 {
+            rt_before / rt_after
+        } else {
+            f64::INFINITY
+        },
+        runtimes: (rt_before, rt_after),
+        classes,
+    }
+}
+
+/// Render the comparison as a fixed-width table.
+pub fn render(cmp: &TraceComparison) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# before {:.1} s -> after {:.1} s  ({:.2}x)",
+        cmp.runtimes.0, cmp.runtimes.1, cmp.runtime_speedup
+    );
+    let _ = writeln!(
+        out,
+        "{:<11} {:>14} {:>16} {:>16} {:>8} {:>9}",
+        "class", "median b->a", "p99 b->a", "max b->a", "KS", "speedup"
+    );
+    for c in &cmp.classes {
+        let _ = writeln!(
+            out,
+            "{:<11} {:>6.2}->{:<6.2} {:>7.2}->{:<7.2} {:>7.1}->{:<7.1} {:>8.3} {:>8.2}x",
+            c.kind.name(),
+            c.medians.0,
+            c.medians.1,
+            c.p99s.0,
+            c.p99s.1,
+            c.maxima.0,
+            c.maxima.1,
+            c.ks,
+            c.median_speedup()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pio_trace::{Record, TraceMeta};
+
+    fn mk(read_secs: &[f64], write_secs: &[f64]) -> Trace {
+        let mut t = Trace::new(TraceMeta {
+            experiment: "cmp".into(),
+            platform: "test".into(),
+            ranks: read_secs.len() as u32,
+            seed: 0,
+        });
+        for (i, &s) in read_secs.iter().enumerate() {
+            t.push(Record {
+                rank: i as u32,
+                call: CallKind::Read,
+                fd: 3,
+                offset: 0,
+                bytes: 1 << 20,
+                start_ns: 0,
+                end_ns: (s * 1e9) as u64,
+                phase: 0,
+            });
+        }
+        for (i, &s) in write_secs.iter().enumerate() {
+            t.push(Record {
+                rank: i as u32,
+                call: CallKind::Write,
+                fd: 3,
+                offset: 0,
+                bytes: 1 << 20,
+                start_ns: 0,
+                end_ns: (s * 1e9) as u64,
+                phase: 0,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn patch_like_comparison() {
+        // Reads 10x faster after; writes unchanged — the Fig 5(b) shape.
+        let before = mk(&[100.0, 120.0, 110.0, 130.0], &[5.0, 5.1, 4.9, 5.0]);
+        let after = mk(&[10.0, 12.0, 11.0, 13.0], &[5.0, 5.1, 4.9, 5.0]);
+        let cmp = compare(&before, &after);
+        let read = cmp.classes.iter().find(|c| c.kind == CallKind::Read).unwrap();
+        let write = cmp.classes.iter().find(|c| c.kind == CallKind::Write).unwrap();
+        assert!((read.median_speedup() - 10.0).abs() < 0.5);
+        assert!(read.ks > 0.9, "reads changed completely");
+        assert!(write.unchanged(0.05), "writes did not change");
+        assert!((cmp.runtime_speedup - 10.0).abs() < 1.0);
+        let text = render(&cmp);
+        assert!(text.contains("read"));
+        assert!(text.contains("write"));
+    }
+
+    #[test]
+    fn missing_classes_are_skipped() {
+        let before = mk(&[1.0], &[]);
+        let after = mk(&[1.0], &[2.0]);
+        let cmp = compare(&before, &after);
+        assert_eq!(cmp.classes.len(), 1);
+        assert_eq!(cmp.classes[0].kind, CallKind::Read);
+    }
+
+    #[test]
+    fn identical_traces_have_zero_distances() {
+        let t = mk(&[1.0, 2.0, 3.0], &[4.0]);
+        let cmp = compare(&t, &t);
+        for c in &cmp.classes {
+            assert_eq!(c.ks, 0.0);
+            assert!(c.w1 < 1e-12);
+            assert_eq!(c.median_shift, 0.0);
+            assert!((c.median_speedup() - 1.0).abs() < 1e-12);
+        }
+        assert!((cmp.runtime_speedup - 1.0).abs() < 1e-12);
+    }
+}

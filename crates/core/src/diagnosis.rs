@@ -1,0 +1,561 @@
+//! Bottleneck detectors — the paper's methodology distilled into code.
+//!
+//! Each of the paper's three case studies reads a different signature out
+//! of the ensemble:
+//!
+//! * **Harmonic modes** (IOR, Fig. 1c): peaks at T, T/2, T/4 ⇒ one or two
+//!   tasks per node monopolize node I/O resources.
+//! * **Right shoulder** (MADbench, Fig. 4c): a read histogram whose slow
+//!   tail stretches far beyond the main mode ⇒ pathological middleware
+//!   behaviour (the strided read-ahead bug).
+//! * **Progressive deterioration** (MADbench, Fig. 5a): per-phase CDFs
+//!   getting worse phase over phase ⇒ cumulative resource exhaustion
+//!   (read-ahead window growth under memory pressure).
+//! * **Serialized rank** (GCRM, Fig. 6g): one rank owning the bulk of
+//!   metadata time ⇒ serialized middleware metadata, fixed by
+//!   aggregation.
+
+use crate::empirical::EmpiricalDist;
+use crate::modes::{find_modes, harmonic_structure};
+use crate::rates::{durations, per_rank_io_time};
+use pio_trace::{CallKind, Trace};
+
+/// Detector thresholds (defaults chosen to match the paper's examples).
+#[derive(Debug, Clone)]
+pub struct Thresholds {
+    /// Minimum samples before any distributional claim.
+    pub min_samples: usize,
+    /// KDE mode floor as a fraction of the tallest peak.
+    pub mode_height_frac: f64,
+    /// Relative tolerance when matching harmonic locations.
+    pub harmonic_tol: f64,
+    /// Right shoulder: p99/median ratio that counts as pathological.
+    pub shoulder_tail_ratio: f64,
+    /// Right shoulder: minimum mass beyond 2× median.
+    pub shoulder_mass: f64,
+    /// Progressive deterioration: median growth factor first→last phase.
+    pub deterioration_factor: f64,
+    /// Serialized rank: share of total I/O time concentrated in one rank.
+    pub serialized_share: f64,
+    /// Serialized rank: minimum operation count before the concentration
+    /// counts as the "many small serialized operations" pathology (a
+    /// handful of large aggregated writes is the *fix*, not the bug).
+    pub serialized_min_ops: usize,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            min_samples: 32,
+            mode_height_frac: 0.10,
+            harmonic_tol: 0.18,
+            shoulder_tail_ratio: 4.0,
+            shoulder_mass: 0.02,
+            deterioration_factor: 1.5,
+            serialized_share: 0.25,
+            serialized_min_ops: 64,
+        }
+    }
+}
+
+/// One diagnostic finding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Finding {
+    /// Modes at T, T/2, … ⇒ intra-node I/O serialization.
+    HarmonicModes {
+        /// Which call class exhibits it.
+        kind: CallKind,
+        /// The fundamental (slowest) mode location, seconds.
+        fundamental: f64,
+        /// Harmonic orders present (1 = T, 2 = T/2, 4 = T/4, …).
+        orders: Vec<u32>,
+    },
+    /// A slow tail far beyond the main mode ⇒ middleware pathology.
+    RightShoulder {
+        /// Which call class exhibits it.
+        kind: CallKind,
+        /// Median duration, seconds.
+        median: f64,
+        /// 99th percentile duration, seconds.
+        p99: f64,
+        /// Fraction of events slower than 2× the median.
+        tail_mass: f64,
+    },
+    /// Per-phase medians growing ⇒ cumulative resource exhaustion.
+    ProgressiveDeterioration {
+        /// Which call class exhibits it.
+        kind: CallKind,
+        /// `(phase, median seconds)` for the affected phases.
+        phase_medians: Vec<(u32, f64)>,
+        /// Last/first median ratio.
+        factor: f64,
+    },
+    /// One rank owns a dominant share of (metadata) I/O time.
+    SerializedRank {
+        /// The dominating rank.
+        rank: u32,
+        /// Its share of total I/O time in the examined class.
+        share: f64,
+        /// Whether the concentration is in metadata operations.
+        metadata: bool,
+    },
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Finding::HarmonicModes { kind, fundamental, orders } => write!(
+                f,
+                "{}: harmonic modes at T={fundamental:.2}s with orders {orders:?} — \
+                 intra-node I/O serialization (one or two tasks per node \
+                 monopolize node I/O)",
+                kind.name()
+            ),
+            Finding::RightShoulder { kind, median, p99, tail_mass } => write!(
+                f,
+                "{}: right shoulder — median {median:.2}s but p99 {p99:.2}s \
+                 ({:.1}% of events beyond 2x median); suspect middleware \
+                 read-ahead/caching pathology",
+                kind.name(),
+                tail_mass * 100.0
+            ),
+            Finding::ProgressiveDeterioration { kind, phase_medians, factor } => write!(
+                f,
+                "{}: progressive per-phase deterioration ({} phases, median \
+                 grows {factor:.1}x from first to last) — cumulative resource \
+                 exhaustion; phases: {phase_medians:?}",
+                kind.name(),
+                phase_medians.len()
+            ),
+            Finding::SerializedRank { rank, share, metadata } => write!(
+                f,
+                "rank {rank} owns {:.0}% of {} time — serialized {}; \
+                 aggregate into fewer, larger operations",
+                share * 100.0,
+                if *metadata { "metadata" } else { "I/O" },
+                if *metadata { "metadata writes" } else { "I/O" }
+            ),
+        }
+    }
+}
+
+/// Harmonic-mode detector over one call class.
+pub fn detect_harmonics(trace: &Trace, kind: CallKind, th: &Thresholds) -> Option<Finding> {
+    let samples = durations(trace, kind, None);
+    if samples.len() < th.min_samples {
+        return None;
+    }
+    let dist = EmpiricalDist::new(&samples);
+    if dist.variance() <= 0.0 {
+        return None;
+    }
+    let modes = find_modes(&dist, 512, th.mode_height_frac);
+    let h = harmonic_structure(&modes, th.harmonic_tol)?;
+    Some(Finding::HarmonicModes {
+        kind,
+        fundamental: h.fundamental,
+        orders: h.orders,
+    })
+}
+
+/// Right-shoulder (pathological slow tail) detector.
+pub fn detect_right_shoulder(trace: &Trace, kind: CallKind, th: &Thresholds) -> Option<Finding> {
+    let samples = durations(trace, kind, None);
+    if samples.len() < th.min_samples {
+        return None;
+    }
+    let dist = EmpiricalDist::new(&samples);
+    let median = dist.median();
+    if median <= 0.0 {
+        return None;
+    }
+    let p99 = dist.quantile(0.99);
+    let tail_mass = dist.fraction_above(2.0 * median);
+    if p99 / median >= th.shoulder_tail_ratio && tail_mass >= th.shoulder_mass {
+        Some(Finding::RightShoulder {
+            kind,
+            median,
+            p99,
+            tail_mass,
+        })
+    } else {
+        None
+    }
+}
+
+/// Progressive per-phase deterioration detector.
+pub fn detect_progressive_deterioration(
+    trace: &Trace,
+    kind: CallKind,
+    th: &Thresholds,
+) -> Option<Finding> {
+    let n_phases = trace.phase_count();
+    let mut phase_medians = Vec::new();
+    for p in 0..n_phases {
+        let samples: Vec<f64> = trace
+            .in_phase(p)
+            .filter(|r| r.call == kind)
+            .map(|r| r.secs())
+            .collect();
+        if samples.len() >= th.min_samples.min(8) {
+            phase_medians.push((p, EmpiricalDist::new(&samples).median()));
+        }
+    }
+    if phase_medians.len() < 3 {
+        return None;
+    }
+    // Longest run of consecutive-entry increases ending at the last entry.
+    let mut start = phase_medians.len() - 1;
+    while start > 0 && phase_medians[start - 1].1 < phase_medians[start].1 {
+        start -= 1;
+    }
+    let run = &phase_medians[start..];
+    if run.len() < 3 {
+        return None;
+    }
+    let factor = run.last().unwrap().1 / run[0].1.max(1e-300);
+    if factor >= th.deterioration_factor {
+        Some(Finding::ProgressiveDeterioration {
+            kind,
+            phase_medians: run.to_vec(),
+            factor,
+        })
+    } else {
+        None
+    }
+}
+
+/// Progressive deterioration over explicitly ordered sample groups
+/// (e.g. "all ranks' m-th middle-phase read" — free-running sections
+/// have no per-iteration barrier phases to group by).
+pub fn detect_deterioration_in_groups(
+    kind: CallKind,
+    groups: &[Vec<f64>],
+    th: &Thresholds,
+) -> Option<Finding> {
+    let medians: Vec<(u32, f64)> = groups
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| g.len() >= th.min_samples.min(8))
+        .map(|(i, g)| (i as u32, EmpiricalDist::new(g).median()))
+        .collect();
+    if medians.len() < 3 {
+        return None;
+    }
+    let mut start = medians.len() - 1;
+    while start > 0 && medians[start - 1].1 < medians[start].1 {
+        start -= 1;
+    }
+    let run = &medians[start..];
+    if run.len() < 3 {
+        return None;
+    }
+    let factor = run.last().unwrap().1 / run[0].1.max(1e-300);
+    if factor >= th.deterioration_factor {
+        Some(Finding::ProgressiveDeterioration {
+            kind,
+            phase_medians: run.to_vec(),
+            factor,
+        })
+    } else {
+        None
+    }
+}
+
+/// Serialized-rank detector (metadata first, then all I/O).
+pub fn detect_serialized_rank(trace: &Trace, th: &Thresholds) -> Option<Finding> {
+    // Metadata concentration.
+    let mut meta: std::collections::HashMap<u32, (f64, usize)> = std::collections::HashMap::new();
+    let mut meta_total = 0.0;
+    for r in trace
+        .records
+        .iter()
+        .filter(|r| matches!(r.call, CallKind::MetaRead | CallKind::MetaWrite))
+    {
+        let e = meta.entry(r.rank).or_insert((0.0, 0));
+        e.0 += r.secs();
+        e.1 += 1;
+        meta_total += r.secs();
+    }
+    if meta_total > 0.0 {
+        if let Some((&rank, &(t, ops))) = meta.iter().max_by(|a, b| a.1 .0.total_cmp(&b.1 .0)) {
+            let share = t / meta_total;
+            // Require genuine concentration: far above 1/ranks, and made
+            // of *many* operations (the serialization pathology).
+            let fair = 1.0 / trace.meta.ranks.max(1) as f64;
+            if share >= th.serialized_share && share > 10.0 * fair && ops >= th.serialized_min_ops {
+                // Is the serialized time also material vs all I/O time?
+                let all_io: f64 = trace
+                    .records
+                    .iter()
+                    .filter(|r| r.call.is_io())
+                    .map(|r| r.secs())
+                    .sum();
+                if t / all_io.max(1e-300) >= 0.05 {
+                    return Some(Finding::SerializedRank {
+                        rank,
+                        share,
+                        metadata: true,
+                    });
+                }
+            }
+        }
+    }
+    // General I/O concentration.
+    let per_rank = per_rank_io_time(trace);
+    let total: f64 = per_rank.iter().map(|&(_, t)| t).sum();
+    if total <= 0.0 || per_rank.len() < 4 {
+        return None;
+    }
+    let (rank, t) = per_rank
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.1.total_cmp(&b.1))?;
+    let share = t / total;
+    let fair = 1.0 / per_rank.len() as f64;
+    if share >= th.serialized_share && share > 10.0 * fair {
+        Some(Finding::SerializedRank {
+            rank,
+            share,
+            metadata: false,
+        })
+    } else {
+        None
+    }
+}
+
+/// Run every detector over the natural call classes.
+pub fn diagnose(trace: &Trace) -> Vec<Finding> {
+    diagnose_with(trace, &Thresholds::default())
+}
+
+/// Run every detector with explicit thresholds.
+pub fn diagnose_with(trace: &Trace, th: &Thresholds) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for kind in [CallKind::Write, CallKind::Read] {
+        if let Some(f) = detect_harmonics(trace, kind, th) {
+            findings.push(f);
+        }
+        if let Some(f) = detect_right_shoulder(trace, kind, th) {
+            findings.push(f);
+        }
+        if let Some(f) = detect_progressive_deterioration(trace, kind, th) {
+            findings.push(f);
+        }
+    }
+    if let Some(f) = detect_serialized_rank(trace, th) {
+        findings.push(f);
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pio_trace::{Record, TraceMeta};
+
+    fn rec(rank: u32, call: CallKind, bytes: u64, t0: f64, dur: f64, phase: u32) -> Record {
+        Record {
+            rank,
+            call,
+            fd: 3,
+            offset: 0,
+            bytes,
+            start_ns: (t0 * 1e9) as u64,
+            end_ns: ((t0 + dur) * 1e9) as u64,
+            phase,
+        }
+    }
+
+    fn meta(ranks: u32) -> TraceMeta {
+        TraceMeta {
+            experiment: "diag".into(),
+            platform: "test".into(),
+            ranks,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn harmonic_trace_detected() {
+        let mut t = Trace::new(meta(128));
+        // Durations clustered at 8, 16, 32 (with slight spread).
+        for i in 0..128u32 {
+            let dur = match i % 8 {
+                0 => 8.0,
+                1..=2 => 16.0,
+                _ => 32.0,
+            } + (i % 5) as f64 * 0.05;
+            t.push(rec(i, CallKind::Write, 1 << 20, 0.0, dur, 0));
+        }
+        let f = detect_harmonics(&t, CallKind::Write, &Thresholds::default())
+            .expect("harmonics");
+        match f {
+            Finding::HarmonicModes { fundamental, ref orders, .. } => {
+                assert!((fundamental - 32.0).abs() < 2.0);
+                assert!(orders.contains(&2) || orders.contains(&4));
+            }
+            _ => panic!("wrong finding"),
+        }
+        // Display renders.
+        assert!(f.to_string().contains("harmonic"));
+    }
+
+    #[test]
+    fn unimodal_trace_not_harmonic() {
+        let mut t = Trace::new(meta(64));
+        for i in 0..64u32 {
+            t.push(rec(i, CallKind::Write, 1 << 20, 0.0, 10.0 + (i % 7) as f64 * 0.02, 0));
+        }
+        assert!(detect_harmonics(&t, CallKind::Write, &Thresholds::default()).is_none());
+    }
+
+    #[test]
+    fn right_shoulder_detected_on_buggy_reads() {
+        let mut t = Trace::new(meta(64));
+        for i in 0..60u32 {
+            t.push(rec(i, CallKind::Read, 1 << 20, 0.0, 15.0 + (i % 5) as f64 * 0.1, 0));
+        }
+        // A handful of catastrophic reads (30–500 s).
+        for (i, dur) in [(60u32, 90.0), (61, 200.0), (62, 450.0), (63, 35.0)] {
+            t.push(rec(i, CallKind::Read, 1 << 20, 0.0, dur, 0));
+        }
+        let f = detect_right_shoulder(&t, CallKind::Read, &Thresholds::default())
+            .expect("shoulder");
+        match f {
+            Finding::RightShoulder { median, p99, tail_mass, .. } => {
+                assert!((median - 15.2).abs() < 1.0);
+                assert!(p99 > 100.0);
+                assert!(tail_mass > 0.03);
+            }
+            _ => panic!("wrong finding"),
+        }
+    }
+
+    #[test]
+    fn healthy_reads_have_no_shoulder() {
+        let mut t = Trace::new(meta(64));
+        for i in 0..64u32 {
+            t.push(rec(i, CallKind::Read, 1 << 20, 0.0, 15.0 + (i % 5) as f64 * 0.2, 0));
+        }
+        assert!(detect_right_shoulder(&t, CallKind::Read, &Thresholds::default()).is_none());
+    }
+
+    #[test]
+    fn progressive_deterioration_detected() {
+        let mut t = Trace::new(meta(32));
+        // Phases 0..5 with read medians 10, 10, 12, 20, 35, 60.
+        let medians = [10.0, 10.0, 12.0, 20.0, 35.0, 60.0];
+        for (p, &m) in medians.iter().enumerate() {
+            for i in 0..32u32 {
+                t.push(rec(i, CallKind::Read, 1 << 20, p as f64 * 100.0, m + (i % 3) as f64 * 0.1, p as u32));
+            }
+        }
+        let f = detect_progressive_deterioration(&t, CallKind::Read, &Thresholds::default())
+            .expect("deterioration");
+        match f {
+            Finding::ProgressiveDeterioration { factor, ref phase_medians, .. } => {
+                assert!(factor > 2.0, "{factor}");
+                assert!(phase_medians.len() >= 4);
+                assert_eq!(phase_medians.last().unwrap().0, 5);
+            }
+            _ => panic!("wrong finding"),
+        }
+    }
+
+    #[test]
+    fn grouped_deterioration_detector() {
+        let growing: Vec<Vec<f64>> = [5.0, 6.0, 9.0, 16.0, 30.0]
+            .iter()
+            .map(|&m| (0..16).map(|i| m + (i % 3) as f64 * 0.05).collect())
+            .collect();
+        let f = detect_deterioration_in_groups(CallKind::Read, &growing, &Thresholds::default())
+            .expect("must fire");
+        match f {
+            Finding::ProgressiveDeterioration { factor, .. } => assert!(factor > 3.0),
+            _ => panic!("wrong finding"),
+        }
+        let flat: Vec<Vec<f64>> = (0..5)
+            .map(|_| (0..16).map(|i| 5.0 + (i % 3) as f64 * 0.05).collect())
+            .collect();
+        assert!(
+            detect_deterioration_in_groups(CallKind::Read, &flat, &Thresholds::default()).is_none()
+        );
+    }
+
+    #[test]
+    fn flat_phases_not_deteriorating() {
+        let mut t = Trace::new(meta(32));
+        for p in 0..6u32 {
+            for i in 0..32u32 {
+                t.push(rec(i, CallKind::Read, 1 << 20, p as f64 * 100.0, 10.0 + (i % 3) as f64 * 0.1, p));
+            }
+        }
+        assert!(
+            detect_progressive_deterioration(&t, CallKind::Read, &Thresholds::default()).is_none()
+        );
+    }
+
+    #[test]
+    fn serialized_metadata_rank_detected() {
+        let mut t = Trace::new(meta(256));
+        // Rank 0 does 500 slow metadata writes; everyone does some data I/O.
+        for i in 0..500 {
+            t.push(rec(0, CallKind::MetaWrite, 2048, i as f64, 0.3, 0));
+        }
+        for i in 0..256u32 {
+            t.push(rec(i, CallKind::Write, 1 << 20, 0.0, 1.0, 0));
+        }
+        let f = detect_serialized_rank(&t, &Thresholds::default()).expect("serialized");
+        match f {
+            Finding::SerializedRank { rank, share, metadata } => {
+                assert_eq!(rank, 0);
+                assert!(share > 0.9);
+                assert!(metadata);
+            }
+            _ => panic!("wrong finding"),
+        }
+    }
+
+    #[test]
+    fn balanced_trace_has_no_serialized_rank() {
+        let mut t = Trace::new(meta(64));
+        for i in 0..64u32 {
+            t.push(rec(i, CallKind::Write, 1 << 20, 0.0, 1.0, 0));
+            t.push(rec(i, CallKind::MetaWrite, 2048, 1.0, 0.01, 0));
+        }
+        assert!(detect_serialized_rank(&t, &Thresholds::default()).is_none());
+    }
+
+    #[test]
+    fn diagnose_collects_multiple_findings() {
+        let mut t = Trace::new(meta(256));
+        // Harmonic writes + serialized metadata.
+        for i in 0..128u32 {
+            let dur = if i % 4 == 0 { 16.0 } else { 32.0 };
+            t.push(rec(i, CallKind::Write, 1 << 20, 0.0, dur + (i % 5) as f64 * 0.03, 0));
+        }
+        for i in 0..700 {
+            t.push(rec(0, CallKind::MetaWrite, 2048, i as f64, 0.5, 0));
+        }
+        let findings = diagnose(&t);
+        assert!(
+            findings
+                .iter()
+                .any(|f| matches!(f, Finding::HarmonicModes { .. })),
+            "{findings:?}"
+        );
+        assert!(
+            findings
+                .iter()
+                .any(|f| matches!(f, Finding::SerializedRank { .. })),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn empty_trace_diagnoses_nothing() {
+        let t = Trace::new(meta(0));
+        assert!(diagnose(&t).is_empty());
+    }
+}

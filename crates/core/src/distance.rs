@@ -1,0 +1,188 @@
+//! Distribution distances — quantifying the paper's reproducibility
+//! claim: "the statistical representations are almost identical" across
+//! runs (and even across file systems) while the traces differ wildly.
+
+use crate::empirical::EmpiricalDist;
+
+/// Two-sample Kolmogorov–Smirnov statistic: `sup_t |F_a(t) − F_b(t)|`.
+pub fn ks_statistic(a: &EmpiricalDist, b: &EmpiricalDist) -> f64 {
+    let xa = a.samples();
+    let xb = b.samples();
+    let (na, nb) = (xa.len() as f64, xb.len() as f64);
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let mut d: f64 = 0.0;
+    while i < xa.len() || j < xb.len() {
+        match (xa.get(i), xb.get(j)) {
+            (Some(&va), Some(&vb)) => {
+                if va <= vb {
+                    i += 1;
+                }
+                if vb <= va {
+                    j += 1;
+                }
+            }
+            (Some(_), None) => i += 1,
+            (None, Some(_)) => j += 1,
+            (None, None) => break,
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    d
+}
+
+/// Wasserstein-1 (earth mover's) distance between two empirical
+/// distributions: `∫ |F_a − F_b| dt`.
+pub fn wasserstein1(a: &EmpiricalDist, b: &EmpiricalDist) -> f64 {
+    // Merge the support points and integrate the CDF gap.
+    let mut points: Vec<f64> = a.samples().iter().chain(b.samples()).cloned().collect();
+    points.sort_by(f64::total_cmp);
+    points.dedup();
+    let mut acc = 0.0;
+    for w in points.windows(2) {
+        let (t0, t1) = (w[0], w[1]);
+        let gap = (a.cdf(t0) - b.cdf(t0)).abs();
+        acc += gap * (t1 - t0);
+    }
+    acc
+}
+
+/// Same-sample-count Wasserstein via sorted-sample mean absolute
+/// difference (exact when `a.n() == b.n()`); falls back to the general
+/// form otherwise.
+pub fn wasserstein1_fast(a: &EmpiricalDist, b: &EmpiricalDist) -> f64 {
+    if a.n() == b.n() {
+        a.samples()
+            .iter()
+            .zip(b.samples())
+            .map(|(&x, &y)| (x - y).abs())
+            .sum::<f64>()
+            / a.n() as f64
+    } else {
+        wasserstein1(a, b)
+    }
+}
+
+/// Relative difference of medians — a crude but robust "same mode
+/// structure" check used alongside KS in stability reports.
+pub fn median_shift(a: &EmpiricalDist, b: &EmpiricalDist) -> f64 {
+    let (ma, mb) = (a.median(), b.median());
+    let denom = ma.abs().max(mb.abs());
+    if denom == 0.0 {
+        0.0
+    } else {
+        (ma - mb).abs() / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: usize, shift: f64) -> EmpiricalDist {
+        EmpiricalDist::new(&(0..n).map(|i| i as f64 / n as f64 + shift).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn identical_distributions_have_zero_distance() {
+        let a = uniform(100, 0.0);
+        let b = uniform(100, 0.0);
+        assert_eq!(ks_statistic(&a, &b), 0.0);
+        assert!(wasserstein1(&a, &b) < 1e-12);
+        assert!(wasserstein1_fast(&a, &b) < 1e-12);
+        assert_eq!(median_shift(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn disjoint_distributions_have_ks_one() {
+        let a = uniform(50, 0.0);
+        let b = uniform(50, 10.0);
+        assert!((ks_statistic(&a, &b) - 1.0).abs() < 1e-12);
+        // W1 equals the shift for translated distributions.
+        assert!((wasserstein1(&a, &b) - 10.0).abs() < 0.05);
+        assert!((wasserstein1_fast(&a, &b) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_shift_small_distance() {
+        let a = uniform(1000, 0.0);
+        let b = uniform(1000, 0.01);
+        let ks = ks_statistic(&a, &b);
+        assert!(ks > 0.0 && ks < 0.05, "{ks}");
+        let w = wasserstein1_fast(&a, &b);
+        assert!((w - 0.01).abs() < 1e-9, "{w}");
+    }
+
+    #[test]
+    fn ks_is_symmetric() {
+        let a = uniform(64, 0.0);
+        let b = uniform(100, 0.2);
+        assert!((ks_statistic(&a, &b) - ks_statistic(&b, &a)).abs() < 1e-12);
+        assert!((wasserstein1(&a, &b) - wasserstein1(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn different_sizes_supported() {
+        let a = uniform(30, 0.0);
+        let b = uniform(300, 0.0);
+        assert!(ks_statistic(&a, &b) < 0.05);
+        assert!(wasserstein1(&a, &b) < 0.05);
+    }
+
+    #[test]
+    fn median_shift_is_relative() {
+        let a = EmpiricalDist::new(&[10.0, 10.0, 10.0]);
+        let b = EmpiricalDist::new(&[12.0, 12.0, 12.0]);
+        assert!((median_shift(&a, &b) - 2.0 / 12.0).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// KS is within [0,1], zero on self, symmetric.
+        #[test]
+        fn ks_axioms(
+            xs in proptest::collection::vec(-10.0f64..10.0, 2..100),
+            ys in proptest::collection::vec(-10.0f64..10.0, 2..100),
+        ) {
+            let a = EmpiricalDist::new(&xs);
+            let b = EmpiricalDist::new(&ys);
+            let d = ks_statistic(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&d));
+            prop_assert!(ks_statistic(&a, &a) < 1e-12);
+            prop_assert!((d - ks_statistic(&b, &a)).abs() < 1e-12);
+        }
+
+        /// W1 is nonnegative, zero on self, symmetric, and bounded by the
+        /// support diameter.
+        #[test]
+        fn w1_axioms(
+            xs in proptest::collection::vec(-10.0f64..10.0, 2..80),
+            ys in proptest::collection::vec(-10.0f64..10.0, 2..80),
+        ) {
+            let a = EmpiricalDist::new(&xs);
+            let b = EmpiricalDist::new(&ys);
+            let d = wasserstein1(&a, &b);
+            prop_assert!(d >= 0.0);
+            prop_assert!(wasserstein1(&a, &a) < 1e-12);
+            prop_assert!((d - wasserstein1(&b, &a)).abs() < 1e-9);
+            let diam = a.max().max(b.max()) - a.min().min(b.min());
+            prop_assert!(d <= diam + 1e-9);
+        }
+
+        /// Fast W1 agrees with the general form on equal sizes.
+        #[test]
+        fn w1_fast_agrees(
+            xs in proptest::collection::vec(-10.0f64..10.0, 40),
+            ys in proptest::collection::vec(-10.0f64..10.0, 40),
+        ) {
+            let a = EmpiricalDist::new(&xs);
+            let b = EmpiricalDist::new(&ys);
+            prop_assert!((wasserstein1_fast(&a, &b) - wasserstein1(&a, &b)).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Linear-bin histograms — the paper's Figure 1(c)/2 representation of
+//! completion-time ensembles.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-range, uniform-bin histogram over `f64` samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Samples below `lo` (kept out of the bins but counted).
+    underflow: u64,
+    /// Samples at or above `hi`.
+    overflow: u64,
+}
+
+impl Histogram {
+    /// A histogram over `[lo, hi)` with `bins` uniform bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo && bins > 0, "invalid histogram geometry");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Build from samples with the range chosen from the data
+    /// (5% padding above the max; `bins` uniform bins).
+    pub fn from_samples(samples: &[f64], bins: usize) -> Self {
+        assert!(!samples.is_empty(), "no samples");
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = if max > 0.0 { max * 1.05 } else { max + 1.0 };
+        let lo = min.min(0.0);
+        let mut h = Histogram::new(lo, hi.max(lo + 1e-12), bins);
+        for &s in samples {
+            h.add(s);
+        }
+        h
+    }
+
+    /// Record one sample.
+    pub fn add(&mut self, v: f64) {
+        if v < self.lo {
+            self.underflow += 1;
+        } else if v >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (v - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Bin count.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Raw count of bin `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// All counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples recorded, including out-of-range.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Samples that fell inside the range.
+    pub fn in_range(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Out-of-range counts `(underflow, overflow)`.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Normalized density estimate at bin centers: `(center, f̂(center))`,
+    /// integrating to ≈1 over the in-range mass.
+    pub fn density(&self) -> Vec<(f64, f64)> {
+        let n = self.in_range() as f64;
+        let w = self.bin_width();
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let d = if n > 0.0 { c as f64 / (n * w) } else { 0.0 };
+                (self.bin_center(i), d)
+            })
+            .collect()
+    }
+
+    /// Merge a histogram with identical geometry.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len(),
+            "merging histograms with different geometry"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+
+    /// Index of the fullest bin, or `None` if empty.
+    pub fn mode_bin(&self) -> Option<usize> {
+        if self.in_range() == 0 {
+            return None;
+        }
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(i, _)| i)
+    }
+
+    /// Range `(lo, hi)`.
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_and_totals() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for v in [0.5, 1.5, 1.6, 9.99, -1.0, 10.0, 25.0] {
+            h.add(v);
+        }
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.out_of_range(), (1, 2));
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.in_range(), 4);
+    }
+
+    #[test]
+    fn from_samples_covers_all() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64 / 10.0).collect();
+        let h = Histogram::from_samples(&samples, 20);
+        assert_eq!(h.in_range(), 100);
+        assert_eq!(h.out_of_range(), (0, 0));
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let samples: Vec<f64> = (0..1000).map(|i| (i % 37) as f64).collect();
+        let h = Histogram::from_samples(&samples, 16);
+        let mass: f64 = h.density().iter().map(|&(_, d)| d * h.bin_width()).sum();
+        assert!((mass - 1.0).abs() < 1e-9, "{mass}");
+    }
+
+    #[test]
+    fn mode_bin_finds_the_peak() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for _ in 0..5 {
+            h.add(7.2);
+        }
+        h.add(1.0);
+        assert_eq!(h.mode_bin(), Some(7));
+        let empty = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(empty.mode_bin(), None);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let mut b = Histogram::new(0.0, 10.0, 5);
+        a.add(1.0);
+        b.add(1.0);
+        b.add(9.0);
+        a.merge(&b);
+        assert_eq!(a.count(0), 2);
+        assert_eq!(a.count(4), 1);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_rejects_geometry_mismatch() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let b = Histogram::new(0.0, 10.0, 6);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn bin_center_is_midpoint() {
+        let h = Histogram::new(0.0, 10.0, 10);
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
+        assert!((h.bin_center(9) - 9.5).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Mass conservation: every added sample is counted exactly once.
+        #[test]
+        fn mass_is_conserved(samples in proptest::collection::vec(-100.0f64..100.0, 1..300)) {
+            let mut h = Histogram::new(-10.0, 10.0, 13);
+            for &s in &samples {
+                h.add(s);
+            }
+            prop_assert_eq!(h.total() as usize, samples.len());
+        }
+
+        /// from_samples never loses a sample to under/overflow.
+        #[test]
+        fn from_samples_loses_nothing(samples in proptest::collection::vec(0.0f64..1e6, 1..300)) {
+            let h = Histogram::from_samples(&samples, 32);
+            prop_assert_eq!(h.in_range() as usize, samples.len());
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Mode (peak) detection and harmonic-structure recognition.
+//!
+//! The paper reads distributions by their modes: Figure 1(c)'s three
+//! peaks sit at completion times T, T/2 and T/4 — "the second and fourth
+//! harmonic" of the fair-share rate — implying that one or two tasks per
+//! node monopolized the node's I/O. `find_modes` extracts peaks from a
+//! KDE-smoothed density; `harmonic_structure` tests whether the peak
+//! locations form that ×2 ladder.
+
+use crate::empirical::EmpiricalDist;
+use crate::kde::Kde;
+
+/// One detected mode of a distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mode {
+    /// Location of the peak.
+    pub location: f64,
+    /// Density height at the peak.
+    pub height: f64,
+    /// Approximate probability mass attributed to the peak (its basin).
+    pub mass: f64,
+}
+
+/// Find modes of `dist` by KDE smoothing on a `grid_points` grid.
+/// Peaks with height below `min_height_frac` of the tallest peak are
+/// dropped. Returned modes are sorted by location.
+pub fn find_modes(dist: &EmpiricalDist, grid_points: usize, min_height_frac: f64) -> Vec<Mode> {
+    // Undersmooth relative to Silverman: mode finding on multimodal data
+    // needs to resolve peaks Silverman's unimodal-optimal bandwidth blurs.
+    let bw = 0.5 * Kde::silverman_bandwidth(dist);
+    let kde = Kde::with_bandwidth(dist, bw.max(f64::MIN_POSITIVE));
+    let grid = kde.grid(grid_points);
+    find_modes_on_grid(&grid, min_height_frac)
+}
+
+/// Mode detection over an explicit `(t, density)` grid (exposed for
+/// testing and for densities produced by convolution).
+pub fn find_modes_on_grid(grid: &[(f64, f64)], min_height_frac: f64) -> Vec<Mode> {
+    if grid.len() < 3 {
+        return Vec::new();
+    }
+    // Local maxima.
+    let mut peaks: Vec<usize> = Vec::new();
+    for i in 1..grid.len() - 1 {
+        if grid[i].1 > grid[i - 1].1 && grid[i].1 >= grid[i + 1].1 {
+            peaks.push(i);
+        }
+    }
+    let tallest = peaks
+        .iter()
+        .map(|&i| grid[i].1)
+        .fold(0.0f64, f64::max);
+    if tallest <= 0.0 {
+        return Vec::new();
+    }
+    peaks.retain(|&i| grid[i].1 >= min_height_frac * tallest);
+
+    // Prominence filter: two adjacent peaks separated by a shallow valley
+    // (valley ≥ 80% of the shorter peak) are ripples of one mode — keep
+    // the taller. Without this a numerically flat density fragments into
+    // dozens of micro-modes.
+    const VALLEY_FRAC: f64 = 0.8;
+    loop {
+        let mut merged = false;
+        let mut k = 0;
+        while k + 1 < peaks.len() {
+            let (a, b) = (peaks[k], peaks[k + 1]);
+            let valley = (a..=b)
+                .map(|i| grid[i].1)
+                .fold(f64::INFINITY, f64::min);
+            let shorter = grid[a].1.min(grid[b].1);
+            if valley >= VALLEY_FRAC * shorter {
+                let drop = if grid[a].1 < grid[b].1 { k } else { k + 1 };
+                peaks.remove(drop);
+                merged = true;
+            } else {
+                k += 1;
+            }
+        }
+        if !merged {
+            break;
+        }
+    }
+
+    // Basin boundaries: minima between consecutive surviving peaks.
+    let dt = grid[1].0 - grid[0].0;
+    let mut modes = Vec::new();
+    for (k, &pi) in peaks.iter().enumerate() {
+        let left = if k == 0 {
+            0
+        } else {
+            // Minimum between previous peak and this one.
+            let prev = peaks[k - 1];
+            (prev..=pi)
+                .min_by(|&a, &b| grid[a].1.total_cmp(&grid[b].1))
+                .unwrap_or(pi)
+        };
+        let right = if k + 1 == peaks.len() {
+            grid.len() - 1
+        } else {
+            let next = peaks[k + 1];
+            (pi..=next)
+                .min_by(|&a, &b| grid[a].1.total_cmp(&grid[b].1))
+                .unwrap_or(pi)
+        };
+        let mass: f64 = grid[left..=right].iter().map(|&(_, f)| f * dt).sum();
+        modes.push(Mode {
+            location: grid[pi].0,
+            height: grid[pi].1,
+            mass,
+        });
+    }
+    modes
+}
+
+/// A recognized harmonic ladder among mode locations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarmonicStructure {
+    /// The fundamental (slowest) mode location — "T", the fair-share time.
+    pub fundamental: f64,
+    /// Harmonic orders found: 1 for T, 2 for T/2, 4 for T/4, …
+    pub orders: Vec<u32>,
+}
+
+/// Test whether `modes` (sorted by location) contain a fundamental T plus
+/// at least one mode near T/2ᵏ (within `tol` relative error). The paper's
+/// R / R/2 / R/4 fingerprint corresponds to orders `[1, 2, 4]`.
+pub fn harmonic_structure(modes: &[Mode], tol: f64) -> Option<HarmonicStructure> {
+    if modes.len() < 2 {
+        return None;
+    }
+    let fundamental = modes.last().unwrap().location;
+    if fundamental <= 0.0 {
+        return None;
+    }
+    let mut orders = vec![1u32];
+    for m in &modes[..modes.len() - 1] {
+        for order in [2u32, 3, 4, 8] {
+            let expect = fundamental / order as f64;
+            if (m.location - expect).abs() <= tol * expect {
+                orders.push(order);
+                break;
+            }
+        }
+    }
+    if orders.len() >= 2 {
+        orders.sort_unstable();
+        orders.dedup();
+        Some(HarmonicStructure {
+            fundamental,
+            orders,
+        })
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three clusters at 8, 16, 32 — the IOR harmonic shape.
+    fn harmonic_samples() -> Vec<f64> {
+        let mut v = Vec::new();
+        for i in 0..60 {
+            v.push(32.0 + (i % 7) as f64 * 0.1);
+        }
+        for i in 0..30 {
+            v.push(16.0 + (i % 5) as f64 * 0.08);
+        }
+        for i in 0..15 {
+            v.push(8.0 + (i % 3) as f64 * 0.06);
+        }
+        v
+    }
+
+    #[test]
+    fn finds_three_modes() {
+        let d = EmpiricalDist::new(&harmonic_samples());
+        let modes = find_modes(&d, 512, 0.05);
+        assert_eq!(modes.len(), 3, "{modes:?}");
+        assert!((modes[0].location - 8.0).abs() < 1.0);
+        assert!((modes[1].location - 16.0).abs() < 1.0);
+        assert!((modes[2].location - 32.0).abs() < 1.0);
+        // Mass ordering follows sample counts.
+        assert!(modes[2].mass > modes[1].mass);
+        assert!(modes[1].mass > modes[0].mass);
+    }
+
+    #[test]
+    fn recognizes_the_harmonic_ladder() {
+        let d = EmpiricalDist::new(&harmonic_samples());
+        let modes = find_modes(&d, 512, 0.05);
+        let h = harmonic_structure(&modes, 0.15).expect("harmonics");
+        assert!((h.fundamental - 32.0).abs() < 1.0);
+        assert_eq!(h.orders, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn unimodal_has_no_harmonics() {
+        let samples: Vec<f64> = (0..200).map(|i| 10.0 + ((i * 37) % 100) as f64 * 0.004).collect();
+        let d = EmpiricalDist::new(&samples);
+        let modes = find_modes(&d, 256, 0.1);
+        assert_eq!(modes.len(), 1, "{modes:?}");
+        assert!(harmonic_structure(&modes, 0.15).is_none());
+    }
+
+    #[test]
+    fn non_harmonic_bimodal_rejected() {
+        // Peaks at 10 and 13: ratio 1.3, no harmonic relation.
+        let mut samples = Vec::new();
+        for i in 0..100 {
+            samples.push(10.0 + (i % 5) as f64 * 0.02);
+            samples.push(13.0 + (i % 5) as f64 * 0.02);
+        }
+        let d = EmpiricalDist::new(&samples);
+        let modes = find_modes(&d, 512, 0.1);
+        assert!(modes.len() >= 2);
+        assert!(harmonic_structure(&modes, 0.1).is_none());
+    }
+
+    #[test]
+    fn min_height_filters_noise_peaks() {
+        let mut samples = harmonic_samples();
+        samples.push(100.0); // lone outlier should not be a mode at 0.2
+        let d = EmpiricalDist::new(&samples);
+        let strict = find_modes(&d, 512, 0.2);
+        assert!(strict.iter().all(|m| m.location < 50.0));
+    }
+
+    #[test]
+    fn grid_mode_mass_sums_to_about_one() {
+        let d = EmpiricalDist::new(&harmonic_samples());
+        let modes = find_modes(&d, 512, 0.02);
+        let total: f64 = modes.iter().map(|m| m.mass).sum();
+        assert!(total > 0.9 && total < 1.1, "{total}");
+    }
+
+    #[test]
+    fn degenerate_grids_are_safe() {
+        assert!(find_modes_on_grid(&[], 0.1).is_empty());
+        assert!(find_modes_on_grid(&[(0.0, 1.0), (1.0, 2.0)], 0.1).is_empty());
+        let flat: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 0.0)).collect();
+        assert!(find_modes_on_grid(&flat, 0.1).is_empty());
+    }
+}

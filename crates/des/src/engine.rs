@@ -1,0 +1,220 @@
+//! Simulation engine: a `World` handles events, a `Scheduler` lets it
+//! schedule follow-ups, and `Simulator` runs the loop.
+
+use crate::queue::EventQueue;
+use crate::time::{SimSpan, SimTime};
+
+/// Handed to `World::handle` to schedule follow-up events.
+///
+/// Scheduling strictly in the past is a logic error; the scheduler clamps
+/// such requests to `now` (and counts them) rather than corrupting the
+/// timeline, since models legitimately compute completion times that equal
+/// the current instant.
+pub struct Scheduler<E> {
+    now: SimTime,
+    pending: Vec<(SimTime, E)>,
+    clamped: u64,
+}
+
+impl<E> Scheduler<E> {
+    fn new(now: SimTime) -> Self {
+        Scheduler {
+            now,
+            pending: Vec::new(),
+            clamped: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at` (clamped to `now` if earlier).
+    pub fn at(&mut self, at: SimTime, event: E) {
+        let at = if at < self.now {
+            self.clamped += 1;
+            self.now
+        } else {
+            at
+        };
+        self.pending.push((at, event));
+    }
+
+    /// Schedule `event` after `delay`.
+    pub fn after(&mut self, delay: SimSpan, event: E) {
+        self.pending.push((self.now + delay, event));
+    }
+
+    /// Schedule `event` immediately (still goes through the queue, so it
+    /// runs after the current handler returns).
+    pub fn now_(&mut self, event: E) {
+        self.pending.push((self.now, event));
+    }
+}
+
+/// A simulation model: owns all state and reacts to events.
+pub trait World {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// React to `event` occurring at `now`, scheduling follow-ups on `sched`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// The event loop: pops events in time order and dispatches to the world.
+pub struct Simulator<W: World> {
+    /// The model being simulated (public so drivers can inspect/finalize it).
+    pub world: W,
+    queue: EventQueue<W::Event>,
+    now: SimTime,
+    processed: u64,
+    clamped: u64,
+}
+
+impl<W: World> Simulator<W> {
+    /// Wrap `world` with an empty event queue at time zero.
+    pub fn new(world: W) -> Self {
+        Simulator {
+            world,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+            clamped: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of in-the-past schedule requests that were clamped to `now`.
+    pub fn clamped(&self) -> u64 {
+        self.clamped
+    }
+
+    /// Seed an event before (or during) the run.
+    pub fn schedule(&mut self, at: SimTime, event: W::Event) {
+        debug_assert!(at >= self.now, "seeding an event in the past");
+        self.queue.push(at.max(self.now), event);
+    }
+
+    /// Process a single event; returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((t, ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(t >= self.now, "event queue went backwards");
+        self.now = t;
+        let mut sched = Scheduler::new(t);
+        self.world.handle(t, ev, &mut sched);
+        self.clamped += sched.clamped;
+        for (at, e) in sched.pending {
+            self.queue.push(at, e);
+        }
+        self.processed += 1;
+        true
+    }
+
+    /// Run until the queue drains; returns the final virtual time.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.now
+    }
+
+    /// Run until the queue drains or virtual time would exceed `deadline`.
+    ///
+    /// Events strictly after `deadline` remain queued; returns the final
+    /// virtual time (≤ `deadline`).
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.now
+    }
+
+    /// Pending event count (for drain assertions in tests).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A world that counts down: event n schedules event n-1 one second later.
+    struct Countdown {
+        fired: Vec<(SimTime, u32)>,
+    }
+
+    impl World for Countdown {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+            self.fired.push((now, ev));
+            if ev > 0 {
+                sched.after(SimSpan::from_secs(1), ev - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn chain_of_events_advances_time() {
+        let mut sim = Simulator::new(Countdown { fired: vec![] });
+        sim.schedule(SimTime::ZERO, 3);
+        let end = sim.run();
+        assert_eq!(end, SimTime::from_secs(3));
+        assert_eq!(sim.processed(), 4);
+        assert_eq!(
+            sim.world.fired,
+            vec![
+                (SimTime::from_secs(0), 3),
+                (SimTime::from_secs(1), 2),
+                (SimTime::from_secs(2), 1),
+                (SimTime::from_secs(3), 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulator::new(Countdown { fired: vec![] });
+        sim.schedule(SimTime::ZERO, 10);
+        sim.run_until(SimTime::from_secs(4));
+        assert_eq!(sim.world.fired.len(), 5); // t = 0..=4
+        assert_eq!(sim.pending(), 1);
+        sim.run();
+        assert_eq!(sim.world.fired.len(), 11);
+    }
+
+    struct PastScheduler;
+    impl World for PastScheduler {
+        type Event = bool;
+        fn handle(&mut self, now: SimTime, first: bool, sched: &mut Scheduler<bool>) {
+            if first {
+                // Deliberately schedule one second "ago".
+                let past = SimTime(now.nanos().saturating_sub(2_000_000_000));
+                sched.at(past, false);
+            }
+        }
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut sim = Simulator::new(PastScheduler);
+        sim.schedule(SimTime::from_secs(5), true);
+        sim.run();
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+        assert_eq!(sim.clamped(), 1);
+        assert_eq!(sim.processed(), 2);
+    }
+}

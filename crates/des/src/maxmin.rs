@@ -1,0 +1,293 @@
+//! Max–min fair bandwidth allocation by progressive filling.
+//!
+//! Given a set of capacitated links and flows that each traverse a subset
+//! of links (optionally with a per-flow rate cap), computes the max–min
+//! fair rate vector: all flow rates rise together until a link saturates
+//! or a flow hits its cap; saturated participants freeze; repeat.
+//!
+//! The file-system simulator uses FIFO service centers for fine-grained
+//! contention, but the fluid solver is used for coarse rate assignment
+//! (client write-back drain rates) and as the reference model in fairness
+//! ablations.
+
+/// A flow: the set of link indices it crosses, plus an optional rate cap.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// Indices into the link-capacity slice.
+    pub links: Vec<usize>,
+    /// Per-flow rate ceiling (e.g. an application-imposed limit).
+    pub cap: Option<f64>,
+}
+
+impl Flow {
+    /// A flow over `links` with no individual cap.
+    pub fn over(links: Vec<usize>) -> Self {
+        Flow { links, cap: None }
+    }
+
+    /// A flow over `links` capped at `cap`.
+    pub fn capped(links: Vec<usize>, cap: f64) -> Self {
+        Flow {
+            links,
+            cap: Some(cap),
+        }
+    }
+}
+
+/// Max–min fair rates for `flows` over links with capacities `link_caps`.
+///
+/// ```
+/// use pio_des::maxmin::{maxmin_rates, Flow};
+/// // One 9 GB/s link shared by three flows, one capped at 1 GB/s:
+/// let rates = maxmin_rates(&[9.0], &[
+///     Flow::capped(vec![0], 1.0),
+///     Flow::over(vec![0]),
+///     Flow::over(vec![0]),
+/// ]);
+/// assert_eq!(rates[0], 1.0);        // pinned at its cap
+/// assert_eq!(rates[1], 4.0);        // the rest split the remainder
+/// ```
+///
+/// Returns one rate per flow. A flow crossing no links is limited only by
+/// its cap (infinite if uncapped — represented as `f64::INFINITY`).
+///
+/// Panics if a flow references a nonexistent link or a capacity is negative.
+pub fn maxmin_rates(link_caps: &[f64], flows: &[Flow]) -> Vec<f64> {
+    for &c in link_caps {
+        assert!(c >= 0.0, "negative link capacity");
+    }
+    for f in flows {
+        for &l in &f.links {
+            assert!(l < link_caps.len(), "flow references missing link {l}");
+        }
+    }
+
+    let nf = flows.len();
+    let nl = link_caps.len();
+    let mut rate = vec![0.0f64; nf];
+    let mut frozen = vec![false; nf];
+    let mut rem_cap = link_caps.to_vec();
+    // Per-link count of unfrozen flows.
+    let mut active_on = vec![0usize; nl];
+    for f in flows {
+        for &l in &f.links {
+            active_on[l] += 1;
+        }
+    }
+
+    let mut unfrozen = nf;
+    while unfrozen > 0 {
+        // Headroom: the smallest additional rate increment Δ such that some
+        // link saturates (Δ = rem/active) or some flow reaches its cap.
+        let mut delta = f64::INFINITY;
+        for l in 0..nl {
+            if active_on[l] > 0 {
+                delta = delta.min(rem_cap[l] / active_on[l] as f64);
+            }
+        }
+        for (i, f) in flows.iter().enumerate() {
+            if !frozen[i] {
+                if let Some(cap) = f.cap {
+                    delta = delta.min(cap - rate[i]);
+                }
+            }
+        }
+
+        if !delta.is_finite() {
+            // Remaining flows cross no constrained links and have no caps.
+            for (i, _) in flows.iter().enumerate() {
+                if !frozen[i] {
+                    rate[i] = f64::INFINITY;
+                }
+            }
+            break;
+        }
+        let delta = delta.max(0.0);
+
+        // Raise every unfrozen flow by delta and charge its links.
+        for (i, f) in flows.iter().enumerate() {
+            if !frozen[i] {
+                rate[i] += delta;
+                for &l in &f.links {
+                    rem_cap[l] -= delta;
+                }
+            }
+        }
+
+        // Freeze flows at saturated links or at their caps.
+        const EPS: f64 = 1e-9;
+        let mut newly_frozen = Vec::new();
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            let at_cap = f.cap.is_some_and(|c| rate[i] >= c - EPS);
+            let on_saturated = f.links.iter().any(|&l| rem_cap[l] <= EPS * link_caps[l].max(1.0));
+            if at_cap || on_saturated {
+                newly_frozen.push(i);
+            }
+        }
+        // Progress guarantee: if nothing froze despite a finite delta, the
+        // system is numerically stuck; freeze everything at current rates.
+        if newly_frozen.is_empty() {
+            break;
+        }
+        for i in newly_frozen {
+            frozen[i] = true;
+            unfrozen -= 1;
+            for &l in &flows[i].links {
+                active_on[l] -= 1;
+            }
+        }
+    }
+    rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn single_link_equal_share() {
+        let flows: Vec<Flow> = (0..3).map(|_| Flow::over(vec![0])).collect();
+        let rates = maxmin_rates(&[12.0], &flows);
+        assert!(rates.iter().all(|&r| close(r, 4.0)), "{rates:?}");
+    }
+
+    #[test]
+    fn cap_diverts_share_to_others() {
+        let flows = vec![Flow::capped(vec![0], 1.0), Flow::over(vec![0]), Flow::over(vec![0])];
+        let rates = maxmin_rates(&[10.0], &flows);
+        assert!(close(rates[0], 1.0), "{rates:?}");
+        assert!(close(rates[1], 4.5) && close(rates[2], 4.5), "{rates:?}");
+    }
+
+    #[test]
+    fn classic_two_link_example() {
+        // Link0 cap 1, link1 cap 2. Flow A crosses both, B only link0,
+        // C only link1. Max-min: A=0.5, B=0.5, C=1.5.
+        let flows = vec![
+            Flow::over(vec![0, 1]),
+            Flow::over(vec![0]),
+            Flow::over(vec![1]),
+        ];
+        let rates = maxmin_rates(&[1.0, 2.0], &flows);
+        assert!(close(rates[0], 0.5), "{rates:?}");
+        assert!(close(rates[1], 0.5), "{rates:?}");
+        assert!(close(rates[2], 1.5), "{rates:?}");
+    }
+
+    #[test]
+    fn unconstrained_flow_is_infinite() {
+        let rates = maxmin_rates(&[], &[Flow::over(vec![])]);
+        assert!(rates[0].is_infinite());
+    }
+
+    #[test]
+    fn uncrossed_link_irrelevant() {
+        let rates = maxmin_rates(&[5.0, 100.0], &[Flow::over(vec![0])]);
+        assert!(close(rates[0], 5.0));
+    }
+
+    #[test]
+    fn hierarchical_fabric_example() {
+        // 2 nodes with NIC cap 4 each, shared fabric cap 6. Two flows per
+        // node: fabric is the bottleneck → each flow gets 1.5.
+        let caps = [4.0, 4.0, 6.0];
+        let flows = vec![
+            Flow::over(vec![0, 2]),
+            Flow::over(vec![0, 2]),
+            Flow::over(vec![1, 2]),
+            Flow::over(vec![1, 2]),
+        ];
+        let rates = maxmin_rates(&caps, &flows);
+        for r in &rates {
+            assert!(close(*r, 1.5), "{rates:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_instance() -> impl Strategy<Value = (Vec<f64>, Vec<Flow>)> {
+        (1usize..6, 1usize..12).prop_flat_map(|(nl, nf)| {
+            let caps = proptest::collection::vec(0.5f64..50.0, nl);
+            let flows = proptest::collection::vec(
+                (
+                    proptest::collection::btree_set(0..nl, 1..=nl),
+                    proptest::option::of(0.1f64..10.0),
+                ),
+                nf,
+            );
+            (caps, flows).prop_map(|(caps, flows)| {
+                let flows = flows
+                    .into_iter()
+                    .map(|(links, cap)| Flow {
+                        links: links.into_iter().collect(),
+                        cap,
+                    })
+                    .collect();
+                (caps, flows)
+            })
+        })
+    }
+
+    proptest! {
+        /// Feasibility: no link is over capacity; no flow exceeds its cap.
+        #[test]
+        fn allocation_is_feasible((caps, flows) in arb_instance()) {
+            let rates = maxmin_rates(&caps, &flows);
+            let mut used = vec![0.0f64; caps.len()];
+            for (f, &r) in flows.iter().zip(&rates) {
+                prop_assert!(r >= 0.0);
+                if let Some(c) = f.cap {
+                    prop_assert!(r <= c + 1e-6);
+                }
+                for &l in &f.links {
+                    used[l] += r;
+                }
+            }
+            for (l, &u) in used.iter().enumerate() {
+                prop_assert!(u <= caps[l] + 1e-6 * flows.len() as f64,
+                    "link {} used {} > cap {}", l, u, caps[l]);
+            }
+        }
+
+        /// Pareto efficiency of the bottleneck kind: every flow is either at
+        /// its cap or crosses at least one saturated link.
+        #[test]
+        fn every_flow_is_bottlenecked((caps, flows) in arb_instance()) {
+            let rates = maxmin_rates(&caps, &flows);
+            let mut used = vec![0.0f64; caps.len()];
+            for (f, &r) in flows.iter().zip(&rates) {
+                for &l in &f.links {
+                    used[l] += r;
+                }
+            }
+            let tol = 1e-5;
+            for (f, &r) in flows.iter().zip(&rates) {
+                let at_cap = f.cap.is_some_and(|c| r >= c - tol);
+                let saturated = f.links.iter().any(|&l| used[l] >= caps[l] - tol * caps[l].max(1.0));
+                prop_assert!(at_cap || saturated,
+                    "flow with rate {} neither capped nor on a saturated link", r);
+            }
+        }
+
+        /// Symmetry: identical flows receive identical rates.
+        #[test]
+        fn identical_flows_equal_rates(n in 2usize..8, cap in 1.0f64..40.0) {
+            let flows = vec![Flow::over(vec![0]); n];
+            let rates = maxmin_rates(&[cap], &flows);
+            for w in rates.windows(2) {
+                prop_assert!((w[0] - w[1]).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! FIFO service centers: shared hardware resources modeled by eager
+//! completion-time computation.
+//!
+//! A `ServiceCenter` is a single FIFO server (an OST's disk pipeline, a
+//! node's injection link, the aggregate fabric). Submitting work at virtual
+//! time `at` with service demand `dur` returns the completion instant
+//! `max(at, next_free) + dur` and advances `next_free` — the classic
+//! "activity scan" shortcut that lets one event per RPC model an entire
+//! queueing network, provided submissions happen in nondecreasing event
+//! time (which the DES loop guarantees).
+
+use crate::time::{SimSpan, SimTime};
+use std::collections::BinaryHeap;
+
+/// A single FIFO server.
+///
+/// ```
+/// use pio_des::{ServiceCenter, SimSpan, SimTime};
+/// let mut ost = ServiceCenter::new();
+/// let a = ost.submit(SimTime::from_secs(0), SimSpan::from_secs(5));
+/// let b = ost.submit(SimTime::from_secs(1), SimSpan::from_secs(2)); // queues
+/// assert_eq!(a, SimTime::from_secs(5));
+/// assert_eq!(b, SimTime::from_secs(7));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ServiceCenter {
+    next_free: SimTime,
+    busy: SimSpan,
+    served: u64,
+    /// Instant of the most recent submission (for utilization windows).
+    last_submit: SimTime,
+}
+
+impl ServiceCenter {
+    /// An idle server at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Submit work arriving at `at` requiring `dur` of service.
+    /// Returns the completion instant.
+    pub fn submit(&mut self, at: SimTime, dur: SimSpan) -> SimTime {
+        let start = at.max(self.next_free);
+        let done = start + dur;
+        self.next_free = done;
+        self.busy += dur;
+        self.served += 1;
+        self.last_submit = at;
+        done
+    }
+
+    /// How long work arriving at `at` would wait before service starts.
+    pub fn backlog(&self, at: SimTime) -> SimSpan {
+        self.next_free.since(at)
+    }
+
+    /// The instant the server next becomes idle.
+    pub fn next_free(&self) -> SimTime {
+        self.next_free
+    }
+
+    /// Total service time delivered.
+    pub fn busy_time(&self) -> SimSpan {
+        self.busy
+    }
+
+    /// Number of jobs served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Fraction of `[0, horizon]` spent busy.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon.nanos() == 0 {
+            return 0.0;
+        }
+        (self.busy.as_secs_f64() / horizon.as_secs_f64()).min(1.0)
+    }
+}
+
+/// A bank of `c` identical FIFO servers fed from one queue
+/// (e.g. an OSS front-end with several service threads).
+#[derive(Debug, Clone)]
+pub struct MultiServiceCenter {
+    free_at: BinaryHeap<std::cmp::Reverse<SimTime>>,
+    busy: SimSpan,
+    served: u64,
+}
+
+impl MultiServiceCenter {
+    /// `servers` idle servers at time zero. `servers` must be nonzero.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "service center needs at least one server");
+        let mut free_at = BinaryHeap::with_capacity(servers);
+        for _ in 0..servers {
+            free_at.push(std::cmp::Reverse(SimTime::ZERO));
+        }
+        MultiServiceCenter {
+            free_at,
+            busy: SimSpan::ZERO,
+            served: 0,
+        }
+    }
+
+    /// Submit work arriving at `at` requiring `dur`; served by the first
+    /// server to become free. Returns the completion instant.
+    pub fn submit(&mut self, at: SimTime, dur: SimSpan) -> SimTime {
+        let std::cmp::Reverse(earliest) = self.free_at.pop().expect("nonzero servers");
+        let start = at.max(earliest);
+        let done = start + dur;
+        self.free_at.push(std::cmp::Reverse(done));
+        self.busy += dur;
+        self.served += 1;
+        done
+    }
+
+    /// Number of jobs served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Total service time delivered across all servers.
+    pub fn busy_time(&self) -> SimSpan {
+        self.busy
+    }
+
+    /// Server count.
+    pub fn servers(&self) -> usize {
+        self.free_at.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: u64) -> SimTime {
+        SimTime::from_secs(x)
+    }
+    fn d(x: u64) -> SimSpan {
+        SimSpan::from_secs(x)
+    }
+
+    #[test]
+    fn idle_server_serves_immediately() {
+        let mut c = ServiceCenter::new();
+        assert_eq!(c.submit(s(10), d(2)), s(12));
+        assert_eq!(c.served(), 1);
+    }
+
+    #[test]
+    fn busy_server_queues_fifo() {
+        let mut c = ServiceCenter::new();
+        assert_eq!(c.submit(s(0), d(5)), s(5));
+        // Arrives at t=1 but waits until t=5.
+        assert_eq!(c.submit(s(1), d(2)), s(7));
+        assert_eq!(c.backlog(s(1)), d(6));
+        assert_eq!(c.busy_time(), d(7));
+    }
+
+    #[test]
+    fn gap_lets_server_idle() {
+        let mut c = ServiceCenter::new();
+        c.submit(s(0), d(1));
+        assert_eq!(c.submit(s(10), d(1)), s(11));
+        assert_eq!(c.busy_time(), d(2));
+        assert!((c.utilization(s(11)).abs() - 2.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_server_parallelism() {
+        let mut c = MultiServiceCenter::new(2);
+        assert_eq!(c.submit(s(0), d(4)), s(4));
+        assert_eq!(c.submit(s(0), d(4)), s(4)); // second server
+        assert_eq!(c.submit(s(0), d(4)), s(8)); // queues behind first free
+        assert_eq!(c.served(), 3);
+        assert_eq!(c.servers(), 2);
+    }
+
+    #[test]
+    fn multi_server_picks_earliest_free() {
+        let mut c = MultiServiceCenter::new(2);
+        c.submit(s(0), d(10)); // server A busy till 10
+        c.submit(s(0), d(2)); // server B busy till 2
+        assert_eq!(c.submit(s(3), d(1)), s(4)); // B is free at 3
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_servers_rejected() {
+        MultiServiceCenter::new(0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Work conservation: for nondecreasing arrivals, the final
+        /// completion time equals max over jobs of (start-of-busy-period +
+        /// accumulated service), and total busy time equals the sum of
+        /// service demands.
+        #[test]
+        fn work_conservation(jobs in proptest::collection::vec((0u64..100, 1u64..20), 1..50)) {
+            let mut arrivals: Vec<(u64, u64)> = jobs;
+            arrivals.sort_by_key(|&(a, _)| a);
+            let mut c = ServiceCenter::new();
+            let mut clock = 0u64; // manual reference model
+            let mut total = 0u64;
+            for &(a, svc) in &arrivals {
+                let done = c.submit(SimTime::from_secs(a), SimSpan::from_secs(svc));
+                clock = clock.max(a) + svc;
+                total += svc;
+                prop_assert_eq!(done, SimTime::from_secs(clock));
+            }
+            prop_assert_eq!(c.busy_time(), SimSpan::from_secs(total));
+        }
+
+        /// A multi-center with one server behaves exactly like ServiceCenter.
+        #[test]
+        fn multi1_equals_single(jobs in proptest::collection::vec((0u64..100, 1u64..20), 1..50)) {
+            let mut arrivals = jobs;
+            arrivals.sort_by_key(|&(a, _)| a);
+            let mut single = ServiceCenter::new();
+            let mut multi = MultiServiceCenter::new(1);
+            for &(a, svc) in &arrivals {
+                let t = SimTime::from_secs(a);
+                let dur = SimSpan::from_secs(svc);
+                prop_assert_eq!(single.submit(t, dur), multi.submit(t, dur));
+            }
+        }
+
+        /// More servers never delay any individual completion.
+        #[test]
+        fn more_servers_no_slower(jobs in proptest::collection::vec((0u64..50, 1u64..10), 1..40)) {
+            let mut arrivals = jobs;
+            arrivals.sort_by_key(|&(a, _)| a);
+            let mut few = MultiServiceCenter::new(1);
+            let mut many = MultiServiceCenter::new(4);
+            for &(a, svc) in &arrivals {
+                let t = SimTime::from_secs(a);
+                let dur = SimSpan::from_secs(svc);
+                let f = few.submit(t, dur);
+                let m = many.submit(t, dur);
+                prop_assert!(m <= f);
+            }
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Virtual time with nanosecond resolution.
+//!
+//! Simulated time is an unsigned nanosecond count from simulation start
+//! (`SimTime`); intervals are `SimSpan`. Integer time keeps event ordering
+//! exact and reproducible across platforms — floating-point time would make
+//! tie-breaking depend on accumulated rounding.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// Nanoseconds per second.
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+/// An instant in virtual time (nanoseconds since simulation start).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time (nanoseconds).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimSpan(pub u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+    /// Largest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * NANOS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds (saturating at zero for negatives).
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimTime(secs_to_nanos(s))
+    }
+
+    /// This instant expressed in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Raw nanosecond count.
+    pub fn nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Span since an earlier instant; saturates to zero if `earlier` is later.
+    pub fn since(self, earlier: SimTime) -> SimSpan {
+        SimSpan(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SimSpan {
+    /// Zero-length span.
+    pub const ZERO: SimSpan = SimSpan(0);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimSpan(s * NANOS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds (saturating at zero for negatives).
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimSpan(secs_to_nanos(s))
+    }
+
+    /// Construct from microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimSpan(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimSpan(ms * 1_000_000)
+    }
+
+    /// This span expressed in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Raw nanosecond count.
+    pub fn nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Span for transferring `bytes` at `bytes_per_sec`.
+    ///
+    /// A non-positive rate yields `SimSpan::ZERO` rather than a division
+    /// blow-up; the file-system model treats zero-rate resources as free.
+    pub fn for_bytes(bytes: u64, bytes_per_sec: f64) -> SimSpan {
+        if bytes_per_sec <= 0.0 {
+            return SimSpan::ZERO;
+        }
+        SimSpan::from_secs_f64(bytes as f64 / bytes_per_sec)
+    }
+
+    /// Scale by a dimensionless factor (saturating, never negative).
+    pub fn scale(self, factor: f64) -> SimSpan {
+        if factor <= 0.0 {
+            return SimSpan::ZERO;
+        }
+        SimSpan(saturating_f64_to_u64(self.0 as f64 * factor))
+    }
+}
+
+fn secs_to_nanos(s: f64) -> u64 {
+    if s <= 0.0 {
+        return 0;
+    }
+    saturating_f64_to_u64(s * NANOS_PER_SEC as f64)
+}
+
+fn saturating_f64_to_u64(v: f64) -> u64 {
+    if v >= u64::MAX as f64 {
+        u64::MAX
+    } else if v <= 0.0 {
+        0
+    } else {
+        v as u64
+    }
+}
+
+impl Add<SimSpan> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimSpan) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimSpan> for SimTime {
+    fn add_assign(&mut self, rhs: SimSpan) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimSpan;
+    fn sub(self, rhs: SimTime) -> SimSpan {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimSpan {
+    type Output = SimSpan;
+    fn add(self, rhs: SimSpan) -> SimSpan {
+        SimSpan(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimSpan {
+    fn add_assign(&mut self, rhs: SimSpan) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimSpan {
+    type Output = SimSpan;
+    fn sub(self, rhs: SimSpan) -> SimSpan {
+        SimSpan(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for SimSpan {
+    type Output = SimSpan;
+    fn mul(self, rhs: u64) -> SimSpan {
+        SimSpan(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimSpan {
+    type Output = SimSpan;
+    fn div(self, rhs: u64) -> SimSpan {
+        SimSpan(self.0 / rhs.max(1))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_seconds() {
+        let t = SimTime::from_secs_f64(1.5);
+        assert_eq!(t.nanos(), 1_500_000_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_seconds_clamp_to_zero() {
+        assert_eq!(SimTime::from_secs_f64(-3.0), SimTime::ZERO);
+        assert_eq!(SimSpan::from_secs_f64(-0.1), SimSpan::ZERO);
+    }
+
+    #[test]
+    fn add_span_to_time() {
+        let t = SimTime::from_secs(2) + SimSpan::from_millis(250);
+        assert_eq!(t.nanos(), 2_250_000_000);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(3);
+        assert_eq!(b.since(a), SimSpan::from_secs(2));
+        assert_eq!(a.since(b), SimSpan::ZERO);
+    }
+
+    #[test]
+    fn span_for_bytes() {
+        // 1 MiB at 1 MiB/s is one second.
+        let s = SimSpan::for_bytes(1 << 20, (1 << 20) as f64);
+        assert_eq!(s, SimSpan::from_secs(1));
+        // Zero rate treated as free.
+        assert_eq!(SimSpan::for_bytes(123, 0.0), SimSpan::ZERO);
+    }
+
+    #[test]
+    fn scale_rounds_down_and_clamps() {
+        let s = SimSpan::from_secs(10).scale(0.25);
+        assert_eq!(s, SimSpan::from_secs_f64(2.5));
+        assert_eq!(SimSpan::from_secs(10).scale(-1.0), SimSpan::ZERO);
+    }
+
+    #[test]
+    fn saturating_arithmetic_at_extremes() {
+        let max = SimTime::MAX;
+        assert_eq!(max + SimSpan::from_secs(1), SimTime::MAX);
+        let big = SimSpan(u64::MAX);
+        assert_eq!(big * 2, SimSpan(u64::MAX));
+    }
+
+    #[test]
+    fn min_max_helpers() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+}

@@ -1,0 +1,372 @@
+//! File-system and platform configuration, with the paper's three
+//! platform presets: Franklin (buggy read-ahead), Franklin after the
+//! Lustre patch, and Jaguar.
+//!
+//! All bandwidths are bytes/second; all latencies seconds. The constants
+//! are calibrated so the reproduction lands near the paper's headline
+//! numbers (IOR ~11.6 GB/s at k=1; MADbench ≈2200 s buggy / ≈520 s
+//! patched / ≈275 s Jaguar; GCRM 310→75 s), but the *mechanisms*, not the
+//! constants, carry the paper's findings.
+
+use serde::{Deserialize, Serialize};
+
+/// Read-ahead engine configuration (see [`crate::readahead`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReadaheadConfig {
+    /// Whether strided-pattern detection is enabled. `true` reproduces the
+    /// Lustre bug the paper found; the patch "removed strided read-ahead
+    /// detection entirely", i.e. set this to `false`.
+    pub strided_detection: bool,
+    /// Number of stride repetitions before the strided mode engages
+    /// (Lustre recognized the pattern "on its third appearance").
+    pub stride_trigger: u32,
+    /// Severity doubling cap: the erroneous window grows ×2 per additional
+    /// matched stride, up to this multiplier.
+    pub max_severity: u32,
+    /// Page size of the degraded small reads (4 KiB in Lustre).
+    pub page_bytes: u64,
+    /// Median per-page effective cost (seconds) once degraded.
+    pub page_cost_median: f64,
+    /// σ of the log-normal per-call page-cost sample (heavy tail:
+    /// the paper sees 30–500 s reads).
+    pub page_cost_sigma: f64,
+}
+
+/// Full platform configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FsConfig {
+    /// Preset label (used in trace metadata).
+    pub name: String,
+    /// Number of object storage targets.
+    pub n_osts: usize,
+    /// Streaming bandwidth per OST (B/s).
+    pub ost_bw: f64,
+    /// Median per-RPC OST overhead (s), log-normal.
+    pub ost_overhead_median: f64,
+    /// σ of the OST overhead log-normal.
+    pub ost_overhead_sigma: f64,
+    /// Median extra service (s) when an OST switches between client
+    /// streams (disk seek / request-reordering cost).
+    pub stream_switch_median: f64,
+    /// Aggregate fabric bandwidth toward the I/O subsystem (B/s).
+    pub fabric_bw: f64,
+    /// Per-node injection bandwidth (B/s).
+    pub nic_bw: f64,
+    /// RPC and stripe size (bytes); Lustre moves data in 1 MiB stripes.
+    pub stripe_bytes: u64,
+    /// Per-node dirty-page cache limit (bytes).
+    pub cache_bytes: u64,
+    /// Per-call cache ingest bandwidth (memcpy into page cache, B/s).
+    pub ingest_bw: f64,
+    /// Dirty fraction above which the client is under memory pressure
+    /// (gates the read-ahead degradation).
+    pub pressure_frac: f64,
+    /// How long memory pressure lingers after the dirty level crosses the
+    /// threshold (page-reclaim lag: free memory stays scarce for a while
+    /// after a write burst even as write-back drains), seconds.
+    pub pressure_hold: f64,
+    /// Max RPCs a node keeps in flight (shared by its active I/Os).
+    pub node_window: u32,
+    /// Tasks per node (XT4: quad-core, 4 MPI tasks).
+    pub tasks_per_node: u32,
+    /// Phase-sampled node service discipline weights:
+    /// `[exclusive, paired, fair]` (see paper Fig. 1(c) harmonics).
+    pub discipline_weights: [f64; 3],
+    /// σ of the per-call log-normal slow-path multiplier applied to OST
+    /// overheads.
+    pub call_noise_sigma: f64,
+    /// σ of the per-call grant-pacing stretch on buffered writes: Lustre
+    /// clients pace dirty-page acceptance by per-OSC grants, and a call's
+    /// pacing luck varies call to call. This is the per-call variability
+    /// whose averaging-out is the paper's Law-of-Large-Numbers effect
+    /// (Fig. 2): more calls per task ⇒ per-task totals concentrate ⇒ the
+    /// slowest task (which ends the phase) improves.
+    pub grant_noise_sigma: f64,
+    /// MDS service threads.
+    pub mds_threads: usize,
+    /// Median MDS latency for opens/lookups (s).
+    pub mds_latency_median: f64,
+    /// Median latency of a small synchronous metadata write transaction (s).
+    pub meta_sync_median: f64,
+    /// σ for MDS/meta log-normals.
+    pub meta_sigma: f64,
+    /// Extent-lock revocation latency when a shared stripe changes owner (s).
+    pub lock_revoke_latency: f64,
+    /// Median extra OST service for a sub-stripe (partial) write RPC —
+    /// the RAID read-modify-write penalty unaligned records pay (s).
+    pub raid_partial_median: f64,
+    /// Median extra OST service when consecutive RPCs switch between
+    /// reads and writes (disk-head direction thrash) (s).
+    pub direction_switch_median: f64,
+    /// Read-ahead engine settings.
+    pub readahead: ReadaheadConfig,
+}
+
+impl FsConfig {
+    /// Franklin (NERSC Cray XT4), scratch file system, *with* the strided
+    /// read-ahead bug — the platform of Figures 1, 2, 4(a–c), 5 and 6.
+    pub fn franklin() -> Self {
+        FsConfig {
+            name: "franklin".into(),
+            n_osts: 48,
+            ost_bw: 420e6,
+            ost_overhead_median: 300e-6,
+            ost_overhead_sigma: 0.4,
+            stream_switch_median: 2.0e-3,
+            fabric_bw: 16e9,
+            nic_bw: 1.2e9,
+            stripe_bytes: 1 << 20,
+            cache_bytes: 768 << 20,
+            ingest_bw: 280e6,
+            pressure_frac: 0.5,
+            pressure_hold: 25.0,
+            node_window: 32,
+            tasks_per_node: 4,
+            discipline_weights: [0.30, 0.30, 0.40],
+            call_noise_sigma: 0.18,
+            grant_noise_sigma: 0.09,
+            mds_threads: 8,
+            mds_latency_median: 0.4e-3,
+            meta_sync_median: 7e-3,
+            meta_sigma: 0.5,
+            lock_revoke_latency: 5e-3,
+            raid_partial_median: 2.5e-3,
+            direction_switch_median: 10e-3,
+            readahead: ReadaheadConfig {
+                strided_detection: true,
+                stride_trigger: 3,
+                max_severity: 8,
+                page_bytes: 4 << 10,
+                page_cost_median: 0.22e-3,
+                page_cost_sigma: 0.55,
+            },
+        }
+    }
+
+    /// Franklin after the Lustre patch: strided read-ahead detection
+    /// removed entirely (the 4.2× fix of Figure 5).
+    pub fn franklin_patched() -> Self {
+        let mut cfg = Self::franklin();
+        cfg.name = "franklin-patched".into();
+        cfg.readahead.strided_detection = false;
+        cfg
+    }
+
+    /// Franklin's second scratch file system — identical hardware, used by
+    /// the paper to show the *distribution* is reproducible even though
+    /// individual traces differ (Fig. 1(c)). Same config, different label;
+    /// run it with a different seed.
+    pub fn franklin_scratch2() -> Self {
+        let mut cfg = Self::franklin();
+        cfg.name = "franklin-scratch2".into();
+        cfg
+    }
+
+    /// Jaguar (ORNL Cray XT4 partition): 144 OSTs, higher aggregate
+    /// bandwidth, no read-ahead bug, and "only modest variability in I/O
+    /// rate from one task to the next" (Fig. 4(d–f)).
+    pub fn jaguar() -> Self {
+        FsConfig {
+            name: "jaguar".into(),
+            n_osts: 144,
+            ost_bw: 420e6,
+            ost_overhead_median: 250e-6,
+            ost_overhead_sigma: 0.3,
+            stream_switch_median: 0.8e-3,
+            // Effective I/O bandwidth available to a 256-task job on the
+            // shared Jaguar fabric (the raw XT4 partition is faster, but
+            // the paper's job does not own the machine).
+            fabric_bw: 11e9,
+            nic_bw: 1.6e9,
+            stripe_bytes: 1 << 20,
+            cache_bytes: 768 << 20,
+            ingest_bw: 320e6,
+            pressure_frac: 0.5,
+            pressure_hold: 25.0,
+            node_window: 32,
+            tasks_per_node: 4,
+            discipline_weights: [0.05, 0.15, 0.80],
+            call_noise_sigma: 0.08,
+            grant_noise_sigma: 0.05,
+            mds_threads: 8,
+            mds_latency_median: 0.4e-3,
+            meta_sync_median: 7e-3,
+            meta_sigma: 0.4,
+            lock_revoke_latency: 0.5e-3,
+            raid_partial_median: 3e-3,
+            direction_switch_median: 3e-3,
+            readahead: ReadaheadConfig {
+                strided_detection: false,
+                stride_trigger: 3,
+                max_severity: 16,
+                page_bytes: 4 << 10,
+                page_cost_median: 0.15e-3,
+                page_cost_sigma: 0.7,
+            },
+        }
+    }
+
+    /// A tiny configuration for fast unit/integration tests: few OSTs,
+    /// small cache, deterministic-ish (low noise).
+    pub fn tiny_test() -> Self {
+        FsConfig {
+            name: "tiny-test".into(),
+            n_osts: 4,
+            ost_bw: 100e6,
+            ost_overhead_median: 100e-6,
+            ost_overhead_sigma: 0.2,
+            stream_switch_median: 0.2e-3,
+            fabric_bw: 400e6,
+            nic_bw: 200e6,
+            stripe_bytes: 1 << 20,
+            cache_bytes: 16 << 20,
+            ingest_bw: 400e6,
+            pressure_frac: 0.5,
+            pressure_hold: 0.5,
+            node_window: 8,
+            tasks_per_node: 4,
+            discipline_weights: [0.0, 0.0, 1.0],
+            call_noise_sigma: 0.05,
+            grant_noise_sigma: 0.02,
+            mds_threads: 2,
+            mds_latency_median: 0.5e-3,
+            meta_sync_median: 2e-3,
+            meta_sigma: 0.2,
+            lock_revoke_latency: 0.5e-3,
+            raid_partial_median: 1e-3,
+            direction_switch_median: 1e-3,
+            readahead: ReadaheadConfig {
+                strided_detection: true,
+                stride_trigger: 3,
+                max_severity: 8,
+                page_bytes: 4 << 10,
+                page_cost_median: 0.2e-3,
+                page_cost_sigma: 0.3,
+            },
+        }
+    }
+
+    /// A proportionally shrunk platform for a workload whose *task count*
+    /// was divided by `factor` (per-task transfer sizes unchanged): the
+    /// fabric and the OST pool shrink so per-task shares and per-OST load
+    /// match the full platform, while per-node quantities (NIC, cache,
+    /// ingest) stay fixed because each node still runs the same tasks.
+    pub fn scaled(&self, factor: u32) -> Self {
+        if factor <= 1 {
+            return self.clone();
+        }
+        let f = factor as f64;
+        let mut cfg = self.clone();
+        cfg.fabric_bw = self.fabric_bw / f;
+        let total_ost = self.ost_bw * self.n_osts as f64;
+        cfg.n_osts = (self.n_osts / factor as usize).max(2);
+        cfg.ost_bw = total_ost / f / cfg.n_osts as f64;
+        cfg.name = format!("{}-x{}", self.name, factor);
+        cfg
+    }
+
+    /// Fair per-task share of the fabric at `tasks` concurrency (B/s) —
+    /// the paper's "R" reference rate (≈16 MB/s for 1024 tasks on
+    /// Franklin).
+    pub fn fair_share(&self, tasks: u32) -> f64 {
+        self.fabric_bw / tasks.max(1) as f64
+    }
+
+    /// Sanity-check invariants (positive rates, nonzero sizes, weights
+    /// with mass). Returns a description of the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_osts == 0 {
+            return Err("n_osts must be nonzero".into());
+        }
+        for (label, v) in [
+            ("ost_bw", self.ost_bw),
+            ("fabric_bw", self.fabric_bw),
+            ("nic_bw", self.nic_bw),
+            ("ingest_bw", self.ingest_bw),
+        ] {
+            if v <= 0.0 {
+                return Err(format!("{label} must be positive"));
+            }
+        }
+        if self.stripe_bytes == 0 {
+            return Err("stripe_bytes must be nonzero".into());
+        }
+        if self.tasks_per_node == 0 {
+            return Err("tasks_per_node must be nonzero".into());
+        }
+        if self.node_window == 0 {
+            return Err("node_window must be nonzero".into());
+        }
+        if self.discipline_weights.iter().sum::<f64>() <= 0.0 {
+            return Err("discipline weights need mass".into());
+        }
+        if !(0.0..=1.0).contains(&self.pressure_frac) {
+            return Err("pressure_frac must be within [0,1]".into());
+        }
+        if self.mds_threads == 0 {
+            return Err("mds_threads must be nonzero".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for cfg in [
+            FsConfig::franklin(),
+            FsConfig::franklin_patched(),
+            FsConfig::franklin_scratch2(),
+            FsConfig::jaguar(),
+            FsConfig::tiny_test(),
+        ] {
+            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+        }
+    }
+
+    #[test]
+    fn patch_only_disables_strided_detection() {
+        let a = FsConfig::franklin();
+        let b = FsConfig::franklin_patched();
+        assert!(a.readahead.strided_detection);
+        assert!(!b.readahead.strided_detection);
+        assert_eq!(a.n_osts, b.n_osts);
+        assert_eq!(a.fabric_bw, b.fabric_bw);
+        assert_eq!(a.discipline_weights, b.discipline_weights);
+    }
+
+    #[test]
+    fn fair_share_matches_papers_r() {
+        // ≈16 MB/s for 1024 tasks at 16 GB/s aggregate.
+        let r = FsConfig::franklin().fair_share(1024);
+        assert!((r - 15.625e6).abs() < 1.0, "{r}");
+    }
+
+    #[test]
+    fn jaguar_has_more_osts_and_calmer_disciplines() {
+        let j = FsConfig::jaguar();
+        let f = FsConfig::franklin();
+        assert!(j.n_osts > f.n_osts);
+        assert!(j.discipline_weights[2] > f.discipline_weights[2]);
+        assert!(!j.readahead.strided_detection);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = FsConfig::tiny_test();
+        c.n_osts = 0;
+        assert!(c.validate().is_err());
+        let mut c = FsConfig::tiny_test();
+        c.fabric_bw = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = FsConfig::tiny_test();
+        c.discipline_weights = [0.0; 3];
+        assert!(c.validate().is_err());
+        let mut c = FsConfig::tiny_test();
+        c.pressure_frac = 1.5;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! # pio-fs — a Lustre-like parallel file system simulator
+//!
+//! The substrate the paper's measurements ran on: a Cray XT4 with a Lustre
+//! file system. This crate reproduces the *mechanisms* that shape the
+//! completion-time distributions the paper analyses:
+//!
+//! * **Striping** ([`stripe`]) — files are striped round-robin over object
+//!   storage targets (OSTs) in fixed-size stripes; every transfer splits
+//!   into stripe-aligned RPCs.
+//! * **OST service** ([`ost`]) — each OST is a FIFO server with
+//!   bandwidth-proportional service plus log-normally distributed per-RPC
+//!   overhead and a stream-switch (seek) penalty when interleaving
+//!   requests from many clients.
+//! * **Client cache & write-back** ([`node`], [`sim`]) — a per-node dirty
+//!   page cache absorbs writes at memory speed until the dirty limit, then
+//!   `write()` blocks on drain; this produces the high/low plateau
+//!   structure of the paper's aggregate-rate curves.
+//! * **Node service discipline** ([`node`]) — each node's client serves
+//!   its tasks' I/O exclusively, in pairs, or fairly (resampled each
+//!   phase); exclusive service yields completion times at T/4, T/2, …, T —
+//!   the harmonic R, R/2, R/4 modes of the paper's Figure 1(c).
+//! * **Read-ahead** ([`readahead`]) — sequential and strided pattern
+//!   detection, *including the Lustre bug the paper isolates*: a strided
+//!   pattern recognized on its third appearance erroneously inflates the
+//!   read-ahead window, and under client memory pressure the window is
+//!   fetched as 4 KiB page reads, turning 15-second reads into 30–500 s
+//!   stalls. A `franklin_patched` preset disables strided detection, the
+//!   fix the paper reports as a 4.2× speedup.
+//! * **Extent locks** ([`locks`]) — writes to a shared stripe from
+//!   different nodes pay a lock revocation plus read-modify-write, the
+//!   cost the GCRM study removes by aligning records to 1 MiB.
+//! * **MDS** ([`sim`]) — a metadata service center; small serialized
+//!   metadata transactions are what the GCRM metadata-aggregation
+//!   optimization attacks.
+
+pub mod config;
+pub mod locks;
+pub mod node;
+pub mod ost;
+pub mod readahead;
+pub mod sim;
+pub mod stripe;
+
+pub use config::{FsConfig, ReadaheadConfig};
+pub use sim::{FsEvent, FsNotify, FsSim, FsStats, IoId, IoKind, IoReq};
+pub use stripe::{Extent, StripeLayout};
+
+/// Node identifier within a cluster.
+pub type NodeId = u32;
+/// File identifier within a run.
+pub type FileId = u32;

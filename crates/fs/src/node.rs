@@ -1,0 +1,300 @@
+//! Per-node client state: injection link, dirty-page accounting, and the
+//! phase-sampled I/O service discipline.
+//!
+//! The discipline models how a node's Lustre client multiplexes its four
+//! tasks' I/O onto the shared node resources. The paper's Figure 1(c)
+//! histogram shows peaks at R, R/2, R/4 — "one task on the node (or two)
+//! took all the available I/O resources until it was done, with the other
+//! tasks waiting until it was complete". We reproduce that with a
+//! capacity token: exclusive (one I/O at a time), paired (two), or fair
+//! (all tasks), re-sampled per node per synchronous phase, with the
+//! waiter wake order randomized so no rank is consistently slow or fast.
+
+use crate::sim::IoId;
+use pio_des::stats::TimeWeighted;
+use pio_des::{ServiceCenter, SimRng, SimTime};
+use std::collections::VecDeque;
+
+/// How the node client schedules its tasks' I/O within a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Discipline {
+    /// One task's I/O at a time (yields T/4, T/2, 3T/4, T completions).
+    Exclusive,
+    /// Two tasks at a time (yields T/2, T completions).
+    Paired,
+    /// All tasks share fairly (everyone completes near T).
+    Fair,
+}
+
+impl Discipline {
+    /// Concurrency this discipline allows on a node with `tasks` tasks.
+    pub fn capacity(self, tasks: u32) -> u32 {
+        match self {
+            Discipline::Exclusive => 1,
+            Discipline::Paired => 2.min(tasks.max(1)),
+            Discipline::Fair => tasks.max(1),
+        }
+    }
+
+    /// Sample a discipline from `[exclusive, paired, fair]` weights.
+    pub fn sample(rng: &mut SimRng, weights: &[f64; 3]) -> Self {
+        match rng.weighted_choice(weights) {
+            0 => Discipline::Exclusive,
+            1 => Discipline::Paired,
+            _ => Discipline::Fair,
+        }
+    }
+}
+
+/// One compute node's client.
+#[derive(Debug)]
+pub struct Node {
+    /// Injection link (NIC / HyperTransport share).
+    pub nic: ServiceCenter,
+    /// Page-cache ingest engine (memcpy/grant pacing) — shared by the
+    /// node's tasks, so many concurrent buffered writers divide it while
+    /// a lone aggregator gets it all.
+    pub ingest: ServiceCenter,
+    discipline: Discipline,
+    capacity: u32,
+    active: u32,
+    waiters: Vec<IoId>,
+    /// Dirty page bytes currently held in the client cache.
+    pub dirty: u64,
+    /// Writers waiting for cache space, served round-robin.
+    pub blocked: VecDeque<IoId>,
+    /// Peak dirty level seen (diagnostics).
+    pub dirty_peak: u64,
+    /// Dirty level integrated over time (for time-averaged cache
+    /// occupancy in utilization reports).
+    pub dirty_over_time: TimeWeighted,
+    /// Memory pressure lingers until this instant (reclaim lag).
+    pub pressure_until: SimTime,
+}
+
+impl Node {
+    /// A node starting in `Fair` discipline with `tasks` tasks.
+    pub fn new(tasks: u32) -> Self {
+        Node {
+            nic: ServiceCenter::new(),
+            ingest: ServiceCenter::new(),
+            discipline: Discipline::Fair,
+            capacity: Discipline::Fair.capacity(tasks),
+            active: 0,
+            waiters: Vec::new(),
+            dirty: 0,
+            blocked: VecDeque::new(),
+            dirty_peak: 0,
+            dirty_over_time: TimeWeighted::new(0.0),
+            pressure_until: SimTime::ZERO,
+        }
+    }
+
+    /// Resample the discipline for a new phase. Existing token holders
+    /// keep their tokens; new capacity applies to subsequent grants.
+    pub fn resample(&mut self, rng: &mut SimRng, weights: &[f64; 3], tasks: u32) {
+        self.discipline = Discipline::sample(rng, weights);
+        self.capacity = self.discipline.capacity(tasks);
+    }
+
+    /// Current discipline.
+    pub fn discipline(&self) -> Discipline {
+        self.discipline
+    }
+
+    /// Per-I/O RPC window under the current discipline: the node keeps
+    /// `node_window` RPCs in flight total, split across token holders, so
+    /// a node's fabric share does not depend on its discipline.
+    pub fn io_window(&self, node_window: u32) -> u32 {
+        (node_window / self.capacity.max(1)).max(1)
+    }
+
+    /// Try to take an I/O token; queues the I/O if none is free.
+    /// Returns whether the token was granted immediately.
+    pub fn acquire(&mut self, io: IoId) -> bool {
+        if self.active < self.capacity {
+            self.active += 1;
+            true
+        } else {
+            self.waiters.push(io);
+            false
+        }
+    }
+
+    /// Release a token; if anyone waits, a *random* waiter is granted
+    /// (keeps rank identity out of the slow/fast assignment, matching the
+    /// paper's observation that no task is consistently slow).
+    /// Returns the newly granted I/O, if any.
+    pub fn release(&mut self, rng: &mut SimRng) -> Option<IoId> {
+        debug_assert!(self.active > 0, "release without acquire");
+        self.active = self.active.saturating_sub(1);
+        if self.active < self.capacity && !self.waiters.is_empty() {
+            let idx = rng.index(self.waiters.len());
+            let io = self.waiters.swap_remove(idx);
+            self.active += 1;
+            Some(io)
+        } else {
+            None
+        }
+    }
+
+    /// Account `bytes` of newly dirtied cache at `now`.
+    pub fn add_dirty(&mut self, now: SimTime, bytes: u64) {
+        self.dirty += bytes;
+        self.dirty_peak = self.dirty_peak.max(self.dirty);
+        self.dirty_over_time.set(now, self.dirty as f64);
+    }
+
+    /// Account `bytes` drained to the servers at `now`.
+    pub fn drain_dirty(&mut self, now: SimTime, bytes: u64) {
+        self.dirty = self.dirty.saturating_sub(bytes);
+        self.dirty_over_time.set(now, self.dirty as f64);
+    }
+
+    /// Free cache space under `cache_bytes` capacity.
+    pub fn free_cache(&self, cache_bytes: u64) -> u64 {
+        cache_bytes.saturating_sub(self.dirty)
+    }
+
+    /// Whether the node is under memory pressure at `now`: dirty above
+    /// the fraction, or within the reclaim-lag window of the last
+    /// crossing.
+    pub fn under_pressure(&self, now: SimTime, cache_bytes: u64, frac: f64) -> bool {
+        (self.dirty as f64) > frac * cache_bytes as f64 || now < self.pressure_until
+    }
+
+    /// Note a dirty-level crossing at `now`, extending the pressure
+    /// window by `hold` seconds.
+    pub fn note_pressure(&mut self, now: SimTime, hold: f64) {
+        let until = now + pio_des::SimSpan::from_secs_f64(hold);
+        self.pressure_until = self.pressure_until.max(until);
+    }
+
+    /// Tokens currently held.
+    pub fn active(&self) -> u32 {
+        self.active
+    }
+
+    /// I/Os waiting for a token.
+    pub fn waiting(&self) -> usize {
+        self.waiters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_per_discipline() {
+        assert_eq!(Discipline::Exclusive.capacity(4), 1);
+        assert_eq!(Discipline::Paired.capacity(4), 2);
+        assert_eq!(Discipline::Fair.capacity(4), 4);
+        assert_eq!(Discipline::Paired.capacity(1), 1);
+        assert_eq!(Discipline::Fair.capacity(0), 1);
+    }
+
+    #[test]
+    fn token_grant_and_queue() {
+        let mut n = Node::new(4);
+        let mut rng = SimRng::new(1);
+        n.resample(&mut rng, &[1.0, 0.0, 0.0], 4); // exclusive
+        assert!(n.acquire(100));
+        assert!(!n.acquire(101));
+        assert!(!n.acquire(102));
+        assert_eq!(n.active(), 1);
+        assert_eq!(n.waiting(), 2);
+        let granted = n.release(&mut rng).unwrap();
+        assert!(granted == 101 || granted == 102);
+        assert_eq!(n.active(), 1);
+        assert_eq!(n.waiting(), 1);
+        let granted2 = n.release(&mut rng).unwrap();
+        assert_ne!(granted, granted2);
+        assert!(n.release(&mut rng).is_none());
+        assert_eq!(n.active(), 0);
+    }
+
+    #[test]
+    fn fair_discipline_admits_all_tasks() {
+        let mut n = Node::new(4);
+        for io in 0..4 {
+            assert!(n.acquire(io));
+        }
+        assert!(!n.acquire(4));
+    }
+
+    #[test]
+    fn io_window_splits_node_budget() {
+        let mut n = Node::new(4);
+        let mut rng = SimRng::new(2);
+        n.resample(&mut rng, &[1.0, 0.0, 0.0], 4);
+        assert_eq!(n.io_window(32), 32);
+        n.resample(&mut rng, &[0.0, 1.0, 0.0], 4);
+        assert_eq!(n.io_window(32), 16);
+        n.resample(&mut rng, &[0.0, 0.0, 1.0], 4);
+        assert_eq!(n.io_window(32), 8);
+        // Never zero even for tiny budgets.
+        assert_eq!(n.io_window(1), 1);
+    }
+
+    #[test]
+    fn dirty_accounting() {
+        let mut n = Node::new(4);
+        n.add_dirty(SimTime::ZERO, 100);
+        n.add_dirty(SimTime::from_secs(1), 50);
+        assert_eq!(n.dirty, 150);
+        assert_eq!(n.dirty_peak, 150);
+        n.drain_dirty(SimTime::from_secs(2), 120);
+        assert_eq!(n.dirty, 30);
+        assert_eq!(n.dirty_peak, 150);
+        n.drain_dirty(SimTime::from_secs(3), 1000); // saturates
+        assert_eq!(n.dirty, 0);
+        // Time-average over [0,4]: 100*1 + 150*1 + 30*1 + 0*1 over 4s.
+        let avg = n.dirty_over_time.average(SimTime::from_secs(4));
+        assert!((avg - 70.0).abs() < 1e-9, "{avg}");
+        assert_eq!(n.free_cache(200), 200);
+        n.add_dirty(SimTime::from_secs(4), 150);
+        assert_eq!(n.free_cache(200), 50);
+        assert_eq!(n.free_cache(100), 0);
+        assert!(n.under_pressure(SimTime::ZERO, 200, 0.5));
+        assert!(!n.under_pressure(SimTime::ZERO, 400, 0.5));
+        n.note_pressure(SimTime::from_secs(10), 5.0);
+        assert!(n.under_pressure(SimTime::from_secs(14), 400, 0.5), "lingers");
+        assert!(!n.under_pressure(SimTime::from_secs(16), 400, 0.5), "expires");
+    }
+
+    #[test]
+    fn sample_respects_degenerate_weights() {
+        let mut rng = SimRng::new(3);
+        for _ in 0..20 {
+            assert_eq!(
+                Discipline::sample(&mut rng, &[0.0, 1.0, 0.0]),
+                Discipline::Paired
+            );
+        }
+    }
+
+    #[test]
+    fn random_wakeup_is_not_always_fifo() {
+        // With many waiters, the wake order should differ from insertion
+        // order at least once across seeds.
+        let mut any_nonfifo = false;
+        for seed in 0..10 {
+            let mut n = Node::new(4);
+            let mut rng = SimRng::new(seed);
+            n.resample(&mut rng, &[1.0, 0.0, 0.0], 4);
+            n.acquire(0);
+            for io in 1..=5 {
+                n.acquire(io);
+            }
+            let mut order = Vec::new();
+            for _ in 0..5 {
+                order.push(n.release(&mut rng).unwrap());
+            }
+            if order != vec![1, 2, 3, 4, 5] {
+                any_nonfifo = true;
+            }
+        }
+        assert!(any_nonfifo);
+    }
+}

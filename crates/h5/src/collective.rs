@@ -1,0 +1,149 @@
+//! Collective buffering: aggregator assignment.
+//!
+//! The paper's first GCRM optimization routes all data through a small
+//! set of I/O tasks ("as few as 80 tasks can saturate the I/O
+//! subsystem"), gaining both the Law-of-Large-Numbers averaging of many
+//! writes per task and a contention reduction at the I/O servers. This
+//! module owns the rank → aggregator math; the workload uses it to build
+//! send/recv + aggregated-write programs.
+
+/// An aggregation plan over `ranks` ranks with `aggregators` I/O tasks.
+///
+/// ```
+/// use pio_h5::Aggregation;
+/// let plan = Aggregation::new(10_240, 80); // the paper's GCRM setup
+/// assert_eq!(plan.group_size(), 128);
+/// assert!(plan.is_aggregator(128));
+/// assert_eq!(plan.aggregator_of(200), 128);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Aggregation {
+    /// Total ranks.
+    pub ranks: u32,
+    /// Number of aggregator (I/O) ranks.
+    pub aggregators: u32,
+}
+
+impl Aggregation {
+    /// A plan; `aggregators` is clamped to `[1, ranks]`.
+    pub fn new(ranks: u32, aggregators: u32) -> Self {
+        assert!(ranks > 0);
+        Aggregation {
+            ranks,
+            aggregators: aggregators.clamp(1, ranks),
+        }
+    }
+
+    /// Ranks per aggregator (ceiling; the last group may be smaller).
+    pub fn group_size(&self) -> u32 {
+        self.ranks.div_ceil(self.aggregators)
+    }
+
+    /// The aggregator rank serving `rank`. Aggregators are spread evenly
+    /// (first rank of each group), so with 10,240 ranks and 80
+    /// aggregators they sit 128 apart — one per every 32nd node at 4
+    /// tasks/node.
+    pub fn aggregator_of(&self, rank: u32) -> u32 {
+        assert!(rank < self.ranks);
+        (rank / self.group_size()) * self.group_size()
+    }
+
+    /// Whether `rank` is an aggregator.
+    pub fn is_aggregator(&self, rank: u32) -> bool {
+        self.aggregator_of(rank) == rank
+    }
+
+    /// The member ranks of aggregator `agg` (including itself).
+    pub fn members_of(&self, agg: u32) -> Vec<u32> {
+        assert!(self.is_aggregator(agg), "not an aggregator: {agg}");
+        let end = (agg + self.group_size()).min(self.ranks);
+        (agg..end).collect()
+    }
+
+    /// All aggregator ranks.
+    pub fn aggregators_list(&self) -> Vec<u32> {
+        (0..self.ranks)
+            .step_by(self.group_size() as usize)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcrm_shape_80_of_10240() {
+        let a = Aggregation::new(10_240, 80);
+        assert_eq!(a.group_size(), 128);
+        assert_eq!(a.aggregators_list().len(), 80);
+        assert!(a.is_aggregator(0));
+        assert!(a.is_aggregator(128));
+        assert!(!a.is_aggregator(1));
+        assert_eq!(a.aggregator_of(127), 0);
+        assert_eq!(a.aggregator_of(128), 128);
+        assert_eq!(a.members_of(0).len(), 128);
+    }
+
+    #[test]
+    fn every_rank_has_exactly_one_aggregator() {
+        for (ranks, aggs) in [(100u32, 7u32), (64, 64), (10, 1), (33, 4)] {
+            let a = Aggregation::new(ranks, aggs);
+            let mut seen = vec![false; ranks as usize];
+            for agg in a.aggregators_list() {
+                for m in a.members_of(agg) {
+                    assert!(!seen[m as usize], "rank {m} in two groups");
+                    seen[m as usize] = true;
+                    assert_eq!(a.aggregator_of(m), agg);
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "uncovered ranks ({ranks},{aggs})");
+        }
+    }
+
+    #[test]
+    fn degenerate_plans() {
+        let all = Aggregation::new(16, 16);
+        assert!((0..16).all(|r| all.is_aggregator(r)));
+        assert_eq!(all.group_size(), 1);
+        let one = Aggregation::new(16, 1);
+        assert_eq!(one.aggregator_of(15), 0);
+        assert_eq!(one.members_of(0).len(), 16);
+        // Over-asking clamps.
+        let clamped = Aggregation::new(8, 100);
+        assert_eq!(clamped.aggregators, 8);
+    }
+
+    #[test]
+    fn uneven_last_group() {
+        let a = Aggregation::new(10, 3);
+        // group_size = 4 → groups {0..4},{4..8},{8..10}.
+        assert_eq!(a.members_of(0), vec![0, 1, 2, 3]);
+        assert_eq!(a.members_of(4), vec![4, 5, 6, 7]);
+        assert_eq!(a.members_of(8), vec![8, 9]);
+        assert_eq!(a.aggregators_list(), vec![0, 4, 8]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Partition property for arbitrary plans.
+        #[test]
+        fn plan_partitions_ranks(ranks in 1u32..500, aggs in 1u32..60) {
+            let a = Aggregation::new(ranks, aggs);
+            let mut count = 0u32;
+            for agg in a.aggregators_list() {
+                prop_assert!(a.is_aggregator(agg));
+                let members = a.members_of(agg);
+                prop_assert!(!members.is_empty());
+                prop_assert!(members.len() as u32 <= a.group_size());
+                count += members.len() as u32;
+            }
+            prop_assert_eq!(count, ranks);
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! File layout: where datasets, records and metadata live in the shared
+//! file.
+//!
+//! A header region at the front of the file holds the superblock and the
+//! metadata (object headers, B-tree nodes); each variable's dataset
+//! follows as a contiguous array of `ranks × records_per_rank` records.
+//! With a nonzero alignment, every record slot is padded up to the next
+//! alignment boundary — trading file size for stripe-exclusive writes.
+
+/// One variable's dataset shape (per time window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetSpec {
+    /// Records each rank writes into this dataset.
+    pub records_per_rank: u32,
+    /// Bytes per record (GCRM: 1.6 MB).
+    pub record_bytes: u64,
+}
+
+/// Computed layout of an H5Part-like file.
+#[derive(Debug, Clone)]
+pub struct H5Layout {
+    /// Number of writing ranks.
+    pub ranks: u32,
+    /// The datasets, in file order.
+    pub datasets: Vec<DatasetSpec>,
+    /// Record alignment (0 or 1 = none).
+    pub alignment: u64,
+    /// Bytes reserved for the header/metadata region.
+    pub header_bytes: u64,
+    bases: Vec<u64>,
+}
+
+impl H5Layout {
+    /// Compute the layout.
+    pub fn new(ranks: u32, datasets: Vec<DatasetSpec>, alignment: u64, header_bytes: u64) -> Self {
+        assert!(ranks > 0 && !datasets.is_empty());
+        let mut bases = Vec::with_capacity(datasets.len());
+        let mut at = align_up(header_bytes, alignment);
+        for d in &datasets {
+            bases.push(at);
+            let slot = align_up(d.record_bytes, alignment);
+            at += slot * d.records_per_rank as u64 * ranks as u64;
+            at = align_up(at, alignment);
+        }
+        H5Layout {
+            ranks,
+            datasets,
+            alignment,
+            header_bytes,
+            bases,
+        }
+    }
+
+    /// Padded slot size of a record of dataset `var`.
+    pub fn slot_bytes(&self, var: usize) -> u64 {
+        align_up(self.datasets[var].record_bytes, self.alignment)
+    }
+
+    /// File offset of record `rec` of `rank` in dataset `var`.
+    /// Records are rank-major: all of rank 0's records, then rank 1's …
+    /// matching H5Part's per-rank hyperslabs.
+    pub fn record_offset(&self, var: usize, rank: u32, rec: u32) -> u64 {
+        let d = &self.datasets[var];
+        assert!(rank < self.ranks && rec < d.records_per_rank);
+        let idx = rank as u64 * d.records_per_rank as u64 + rec as u64;
+        self.bases[var] + idx * self.slot_bytes(var)
+    }
+
+    /// Base offset of dataset `var`.
+    pub fn dataset_base(&self, var: usize) -> u64 {
+        self.bases[var]
+    }
+
+    /// Total file size.
+    pub fn file_bytes(&self) -> u64 {
+        let last = self.datasets.len() - 1;
+        self.bases[last]
+            + self.slot_bytes(last)
+                * self.datasets[last].records_per_rank as u64
+                * self.ranks as u64
+    }
+
+    /// Offset of the `seq`-th metadata transaction within the header
+    /// region (wraps — object headers are rewritten in place).
+    pub fn meta_offset(&self, seq: u64, meta_bytes: u64) -> u64 {
+        if self.header_bytes <= meta_bytes {
+            return 0;
+        }
+        (seq * meta_bytes) % (self.header_bytes - meta_bytes)
+    }
+
+    /// Payload bytes written per rank across all datasets (excluding
+    /// padding).
+    pub fn payload_per_rank(&self) -> u64 {
+        self.datasets
+            .iter()
+            .map(|d| d.record_bytes * d.records_per_rank as u64)
+            .sum()
+    }
+}
+
+/// Round `v` up to a multiple of `align` (identity for `align ≤ 1`).
+pub fn align_up(v: u64, align: u64) -> u64 {
+    if align <= 1 {
+        v
+    } else {
+        v.div_ceil(align) * align
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1 << 20;
+
+    fn gcrm_datasets() -> Vec<DatasetSpec> {
+        let rec = 16 * MB / 10; // 1.6 MiB
+        let mut v = vec![
+            DatasetSpec {
+                records_per_rank: 1,
+                record_bytes: rec,
+            };
+            3
+        ];
+        v.extend(vec![
+            DatasetSpec {
+                records_per_rank: 6,
+                record_bytes: rec,
+            };
+            3
+        ]);
+        v
+    }
+
+    #[test]
+    fn unaligned_records_pack_tightly() {
+        let l = H5Layout::new(4, gcrm_datasets(), 0, MB);
+        let rec = 16 * MB / 10;
+        assert_eq!(l.slot_bytes(0), rec);
+        assert_eq!(l.record_offset(0, 0, 0), MB);
+        assert_eq!(l.record_offset(0, 1, 0), MB + rec);
+        // Dataset 1 starts right after dataset 0's 4 records.
+        assert_eq!(l.dataset_base(1), MB + 4 * rec);
+    }
+
+    #[test]
+    fn aligned_records_land_on_boundaries() {
+        let l = H5Layout::new(4, gcrm_datasets(), MB, MB);
+        // 1.6 MB pads to 2 MB slots.
+        assert_eq!(l.slot_bytes(0), 2 * MB);
+        for var in 0..6 {
+            for rank in 0..4 {
+                for rec in 0..l.datasets[var].records_per_rank {
+                    assert_eq!(l.record_offset(var, rank, rec) % MB, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_record_datasets_are_rank_major() {
+        let l = H5Layout::new(4, gcrm_datasets(), 0, MB);
+        let rec = 16 * MB / 10;
+        // Dataset 3 has 6 records per rank.
+        let base = l.dataset_base(3);
+        assert_eq!(l.record_offset(3, 0, 5), base + 5 * rec);
+        assert_eq!(l.record_offset(3, 1, 0), base + 6 * rec);
+    }
+
+    #[test]
+    fn no_two_records_overlap() {
+        for alignment in [0u64, MB] {
+            let l = H5Layout::new(3, gcrm_datasets(), alignment, MB);
+            let mut extents: Vec<(u64, u64)> = Vec::new();
+            for var in 0..l.datasets.len() {
+                for rank in 0..3 {
+                    for rec in 0..l.datasets[var].records_per_rank {
+                        let off = l.record_offset(var, rank, rec);
+                        extents.push((off, off + l.datasets[var].record_bytes));
+                    }
+                }
+            }
+            extents.sort_unstable();
+            for w in extents.windows(2) {
+                assert!(w[0].1 <= w[1].0, "overlap: {w:?}");
+            }
+            // Everything fits in the file and clears the header.
+            assert!(extents[0].0 >= MB);
+            assert!(extents.last().unwrap().1 <= l.file_bytes());
+        }
+    }
+
+    #[test]
+    fn file_grows_with_alignment() {
+        let packed = H5Layout::new(64, gcrm_datasets(), 0, MB);
+        let aligned = H5Layout::new(64, gcrm_datasets(), MB, MB);
+        assert!(aligned.file_bytes() > packed.file_bytes());
+        assert_eq!(packed.payload_per_rank(), aligned.payload_per_rank());
+        // GCRM payload: 3×1.6 + 3×6×1.6 = 33.6 MB per rank.
+        assert_eq!(packed.payload_per_rank(), 21 * (16 * MB / 10));
+    }
+
+    #[test]
+    fn meta_offsets_stay_in_header() {
+        let l = H5Layout::new(4, gcrm_datasets(), 0, MB);
+        for seq in 0..10_000u64 {
+            let off = l.meta_offset(seq, 2048);
+            assert!(off + 2048 <= MB, "seq {seq} off {off}");
+        }
+    }
+
+    #[test]
+    fn align_up_basics() {
+        assert_eq!(align_up(0, MB), 0);
+        assert_eq!(align_up(1, MB), MB);
+        assert_eq!(align_up(MB, MB), MB);
+        assert_eq!(align_up(7, 0), 7);
+        assert_eq!(align_up(7, 1), 7);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Records never overlap and all clear the header, for arbitrary
+        /// shapes and alignments.
+        #[test]
+        fn layout_is_collision_free(
+            ranks in 1u32..6,
+            n_vars in 1usize..4,
+            recs in 1u32..4,
+            rec_kb in 1u64..2048,
+            align_pow in 0u32..21,
+        ) {
+            let align = if align_pow == 0 { 0 } else { 1u64 << align_pow };
+            let datasets = vec![DatasetSpec { records_per_rank: recs, record_bytes: rec_kb << 10 }; n_vars];
+            let l = H5Layout::new(ranks, datasets, align, 1 << 20);
+            let mut extents = Vec::new();
+            for var in 0..n_vars {
+                for rank in 0..ranks {
+                    for rec in 0..recs {
+                        let off = l.record_offset(var, rank, rec);
+                        if align > 1 {
+                            prop_assert_eq!(off % align, 0);
+                        }
+                        extents.push((off, off + (rec_kb << 10)));
+                    }
+                }
+            }
+            extents.sort_unstable();
+            for w in extents.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0);
+            }
+            prop_assert!(extents[0].0 >= 1 << 20);
+            prop_assert!(extents.last().unwrap().1 <= l.file_bytes());
+        }
+    }
+}

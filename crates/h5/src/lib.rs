@@ -1,0 +1,32 @@
+//! # pio-h5 — a miniature HDF5/H5Part-like middleware
+//!
+//! The GCRM climate code writes its geodesic-grid variables through
+//! H5Part, "a simple data scheme and veneer API built on top of the HDF5
+//! library". For the paper's purposes the relevant properties of that
+//! stack are the *I/O patterns* it generates, not the byte format:
+//!
+//! * per-variable datasets laid out contiguously in a single shared file,
+//!   one fixed-size record per rank (1.6 MB in GCRM);
+//! * an **alignment property** that can pad record offsets to stripe
+//!   boundaries (HDF5 `H5Pset_alignment` — the paper's second
+//!   optimization);
+//! * **metadata transactions**: sub-3 KB object-header/B-tree writes,
+//!   serialized on rank 0, flushed either per operation (baseline) or
+//!   deferred and aggregated into ~1 MiB writes at file close (the
+//!   paper's final optimization); plus small metadata reads on open;
+//! * **collective buffering**: aggregating records from all ranks to a
+//!   small set of I/O ranks before writing (the paper's first
+//!   optimization).
+//!
+//! This crate compiles those patterns into [`pio_mpi::program::Op`]
+//! sequences: [`layout`] computes file offsets, [`writer`] is the
+//! per-rank H5Part-style API, and [`collective`] the aggregator
+//! assignment math.
+
+pub mod collective;
+pub mod layout;
+pub mod writer;
+
+pub use collective::Aggregation;
+pub use layout::{DatasetSpec, H5Layout};
+pub use writer::{H5Config, H5PartWriter, MetadataPolicy};

@@ -1,0 +1,397 @@
+//! The per-rank H5Part-style writer: compiles `open → write records →
+//! close` into the op stream, emitting the metadata traffic the GCRM
+//! study measures.
+
+use crate::layout::H5Layout;
+use pio_mpi::program::{Op, Program};
+
+/// When middleware metadata reaches the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetadataPolicy {
+    /// Every metadata transaction is written immediately (HDF5 default —
+    /// the "serialized metadata operations on task 0" of Figure 6(g)).
+    PerOperation,
+    /// Metadata accumulates in the cache and is written at close in
+    /// aggregated chunks of the given size (the paper's final
+    /// optimization: "aggregates the metadata writes from many <3KB
+    /// writes into a single 1 MB write that is deferred until file
+    /// close").
+    DeferredAggregated {
+        /// Aggregated write size (1 MiB in the paper).
+        write_bytes: u64,
+    },
+}
+
+/// Middleware configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct H5Config {
+    /// Size of one metadata transaction (<3 KB in the paper's traces).
+    pub meta_write_bytes: u64,
+    /// Metadata transactions rank 0 performs per dataset, as a fraction
+    /// of the rank count (object headers + B-tree nodes scale with the
+    /// number of per-rank hyperslabs).
+    pub meta_writes_per_rank: f64,
+    /// Small metadata reads every rank performs at open.
+    pub meta_reads_per_open: u32,
+    /// Size of each metadata read.
+    pub meta_read_bytes: u64,
+    /// Flush policy.
+    pub policy: MetadataPolicy,
+}
+
+impl Default for H5Config {
+    fn default() -> Self {
+        H5Config {
+            meta_write_bytes: 2048,
+            meta_writes_per_rank: 0.2,
+            meta_reads_per_open: 2,
+            meta_read_bytes: 512,
+            policy: MetadataPolicy::PerOperation,
+        }
+    }
+}
+
+/// Per-rank program assembler for one H5Part file.
+pub struct H5PartWriter<'a> {
+    layout: &'a H5Layout,
+    cfg: H5Config,
+    rank: u32,
+    file: u32,
+    ops: Vec<Op>,
+    /// Metadata transactions deferred so far (rank 0 only).
+    pending_meta: u64,
+    /// Metadata sequence number (for header offsets).
+    meta_seq: u64,
+    open: bool,
+}
+
+impl<'a> H5PartWriter<'a> {
+    /// A writer for `rank` targeting job-file `file`.
+    pub fn new(layout: &'a H5Layout, cfg: H5Config, rank: u32, file: u32) -> Self {
+        H5PartWriter {
+            layout,
+            cfg,
+            rank,
+            file,
+            ops: Vec::new(),
+            pending_meta: 0,
+            meta_seq: (rank as u64) << 32,
+            open: false,
+        }
+    }
+
+    /// `H5Fopen`: the POSIX open plus superblock/object-header reads.
+    pub fn open(&mut self) {
+        assert!(!self.open, "double open");
+        self.ops.push(Op::Open { file: self.file });
+        for i in 0..self.cfg.meta_reads_per_open {
+            let off = self.layout.meta_offset(i as u64, self.cfg.meta_read_bytes);
+            self.ops.push(Op::MetaRead {
+                file: self.file,
+                offset: off,
+                bytes: self.cfg.meta_read_bytes,
+            });
+        }
+        self.open = true;
+    }
+
+    /// Is this rank the metadata writer (HDF5 rank-0 metadata ownership)?
+    fn owns_metadata(&self) -> bool {
+        self.rank == 0
+    }
+
+    /// Number of metadata transactions one dataset costs.
+    fn meta_writes_for_dataset(&self) -> u64 {
+        ((self.layout.ranks as f64 * self.cfg.meta_writes_per_rank).ceil() as u64).max(1)
+    }
+
+    /// Bytes one record write moves: with alignment on, the write is
+    /// padded to the slot boundary ("we padded and aligned these writes
+    /// to 1MB boundaries"), so it covers whole stripes.
+    fn write_bytes(&self, var: usize) -> u64 {
+        if self.layout.alignment > 1 {
+            self.layout.slot_bytes(var)
+        } else {
+            self.layout.datasets[var].record_bytes
+        }
+    }
+
+    /// Write this rank's records of dataset `var` (one `WriteAt` per
+    /// record at the layout's offsets).
+    pub fn write_own_records(&mut self, var: usize) {
+        assert!(self.open, "write before open");
+        let d = self.layout.datasets[var];
+        for rec in 0..d.records_per_rank {
+            let off = self.layout.record_offset(var, self.rank, rec);
+            self.ops.push(Op::WriteAt {
+                file: self.file,
+                offset: off,
+                bytes: self.write_bytes(var),
+            });
+        }
+    }
+
+    /// Write records of dataset `var` on behalf of `owner` (collective
+    /// buffering: an aggregator writing a member's slots).
+    pub fn write_records_for(&mut self, var: usize, owner: u32) {
+        assert!(self.open, "write before open");
+        let d = self.layout.datasets[var];
+        for rec in 0..d.records_per_rank {
+            let off = self.layout.record_offset(var, owner, rec);
+            self.ops.push(Op::WriteAt {
+                file: self.file,
+                offset: off,
+                bytes: self.write_bytes(var),
+            });
+        }
+    }
+
+    /// Commit dataset `var`'s metadata (rank 0 only; no-ops elsewhere).
+    /// Under `PerOperation` this emits the serialized small writes; under
+    /// `DeferredAggregated` it only accumulates.
+    pub fn commit_dataset_metadata(&mut self, var: usize) {
+        let _ = var;
+        if !self.owns_metadata() {
+            return;
+        }
+        let n = self.meta_writes_for_dataset();
+        match self.cfg.policy {
+            MetadataPolicy::PerOperation => {
+                for _ in 0..n {
+                    let off = self
+                        .layout
+                        .meta_offset(self.meta_seq, self.cfg.meta_write_bytes);
+                    self.meta_seq += 1;
+                    self.ops.push(Op::MetaWrite {
+                        file: self.file,
+                        offset: off,
+                        bytes: self.cfg.meta_write_bytes,
+                    });
+                }
+            }
+            MetadataPolicy::DeferredAggregated { .. } => {
+                self.pending_meta += n * self.cfg.meta_write_bytes;
+            }
+        }
+    }
+
+    /// Synchronize with the other ranks.
+    pub fn barrier(&mut self) {
+        self.ops.push(Op::Barrier);
+    }
+
+    /// Blocking send (collective-buffering stage one).
+    pub fn send(&mut self, to: u32, bytes: u64) {
+        self.ops.push(Op::Send { to, bytes });
+    }
+
+    /// Blocking receive.
+    pub fn recv(&mut self, from: u32) {
+        self.ops.push(Op::Recv { from });
+    }
+
+    /// `H5Fclose`: flush deferred metadata (aggregated), flush data, close.
+    pub fn close(&mut self) {
+        assert!(self.open, "close before open");
+        if let MetadataPolicy::DeferredAggregated { write_bytes } = self.cfg.policy {
+            if self.owns_metadata() && self.pending_meta > 0 {
+                let mut left = self.pending_meta;
+                while left > 0 {
+                    let chunk = left.min(write_bytes);
+                    let off = self.layout.meta_offset(self.meta_seq, chunk);
+                    self.meta_seq += 1;
+                    self.ops.push(Op::MetaWrite {
+                        file: self.file,
+                        offset: off,
+                        bytes: chunk,
+                    });
+                    left -= chunk;
+                }
+                self.pending_meta = 0;
+            }
+        }
+        self.ops.push(Op::Flush { file: self.file });
+        self.ops.push(Op::Close { file: self.file });
+        self.open = false;
+    }
+
+    /// Finish, yielding the rank's program.
+    pub fn finish(self) -> Program {
+        assert!(!self.open, "finish with file still open");
+        Program { ops: self.ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::DatasetSpec;
+
+    const MB: u64 = 1 << 20;
+
+    fn layout(ranks: u32, alignment: u64) -> H5Layout {
+        H5Layout::new(
+            ranks,
+            vec![
+                DatasetSpec {
+                    records_per_rank: 1,
+                    record_bytes: 16 * MB / 10,
+                },
+                DatasetSpec {
+                    records_per_rank: 6,
+                    record_bytes: 16 * MB / 10,
+                },
+            ],
+            alignment,
+            MB,
+        )
+    }
+
+    fn count(p: &Program, f: impl Fn(&Op) -> bool) -> usize {
+        p.ops.iter().filter(|o| f(o)).count()
+    }
+
+    #[test]
+    fn basic_flow_produces_expected_ops() {
+        let l = layout(8, 0);
+        let mut w = H5PartWriter::new(&l, H5Config::default(), 3, 0);
+        w.open();
+        w.write_own_records(0);
+        w.barrier();
+        w.write_own_records(1);
+        w.barrier();
+        w.close();
+        let p = w.finish();
+        assert_eq!(count(&p, |o| matches!(o, Op::Open { .. })), 1);
+        assert_eq!(count(&p, |o| matches!(o, Op::MetaRead { .. })), 2);
+        assert_eq!(count(&p, |o| matches!(o, Op::WriteAt { .. })), 7);
+        assert_eq!(count(&p, |o| matches!(o, Op::Barrier)), 2);
+        assert_eq!(count(&p, |o| matches!(o, Op::Flush { .. })), 1);
+        assert_eq!(count(&p, |o| matches!(o, Op::Close { .. })), 1);
+        // Rank 3 writes no metadata.
+        assert_eq!(count(&p, |o| matches!(o, Op::MetaWrite { .. })), 0);
+    }
+
+    #[test]
+    fn rank0_emits_per_operation_metadata() {
+        let l = layout(8, 0);
+        let mut w = H5PartWriter::new(&l, H5Config::default(), 0, 0);
+        w.open();
+        w.write_own_records(0);
+        w.commit_dataset_metadata(0);
+        w.close();
+        let p = w.finish();
+        // ceil(8 ranks × 0.2) = 2 metadata writes per dataset.
+        assert_eq!(count(&p, |o| matches!(o, Op::MetaWrite { .. })), 2);
+        // Metadata writes are the configured small size.
+        for op in &p.ops {
+            if let Op::MetaWrite { bytes, .. } = op {
+                assert_eq!(*bytes, 2048);
+            }
+        }
+    }
+
+    #[test]
+    fn deferred_metadata_aggregates_at_close() {
+        let l = layout(1024, 0);
+        let cfg = H5Config {
+            policy: MetadataPolicy::DeferredAggregated { write_bytes: MB },
+            ..H5Config::default()
+        };
+        let mut w = H5PartWriter::new(&l, cfg, 0, 0);
+        w.open();
+        for var in 0..2 {
+            w.write_own_records(var);
+            w.commit_dataset_metadata(var);
+        }
+        w.close();
+        let p = w.finish();
+        let metas: Vec<&Op> = p
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::MetaWrite { .. }))
+            .collect();
+        // 2 datasets × 205 transactions × 2 KB = 820 KB → one deferred write.
+        assert_eq!(metas.len(), 1, "{metas:?}");
+        if let Op::MetaWrite { bytes, .. } = metas[0] {
+            assert_eq!(*bytes, 2 * 205 * 2048);
+        }
+        // Deferred metadata precedes the flush.
+        let mpos = p.ops.iter().position(|o| matches!(o, Op::MetaWrite { .. })).unwrap();
+        let fpos = p.ops.iter().position(|o| matches!(o, Op::Flush { .. })).unwrap();
+        assert!(mpos < fpos);
+    }
+
+    #[test]
+    fn deferred_metadata_splits_large_volumes() {
+        let l = layout(1024, 0);
+        let cfg = H5Config {
+            meta_writes_per_rank: 1.0, // 1024 transactions × 2 KB = 2 MB
+            policy: MetadataPolicy::DeferredAggregated { write_bytes: MB },
+            ..H5Config::default()
+        };
+        let mut w = H5PartWriter::new(&l, cfg, 0, 0);
+        w.open();
+        w.write_own_records(0);
+        w.commit_dataset_metadata(0);
+        w.close();
+        let p = w.finish();
+        assert_eq!(count(&p, |o| matches!(o, Op::MetaWrite { bytes, .. } if *bytes == MB)), 2);
+    }
+
+    #[test]
+    fn aggregator_writes_members_slots() {
+        let l = layout(8, 0);
+        let mut w = H5PartWriter::new(&l, H5Config::default(), 0, 0);
+        w.open();
+        w.write_records_for(1, 5);
+        w.close();
+        let p = w.finish();
+        // Offsets are rank 5's.
+        let mut expect: Vec<u64> = (0..6).map(|r| l.record_offset(1, 5, r)).collect();
+        let mut got: Vec<u64> = p
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::WriteAt { offset, .. } => Some(*offset),
+                _ => None,
+            })
+            .collect();
+        expect.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn nonzero_ranks_never_write_metadata_even_deferred() {
+        let l = layout(64, 0);
+        let cfg = H5Config {
+            policy: MetadataPolicy::DeferredAggregated { write_bytes: MB },
+            ..H5Config::default()
+        };
+        let mut w = H5PartWriter::new(&l, cfg, 7, 0);
+        w.open();
+        w.write_own_records(0);
+        w.commit_dataset_metadata(0);
+        w.close();
+        let p = w.finish();
+        assert_eq!(count(&p, |o| matches!(o, Op::MetaWrite { .. })), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn write_before_open_panics() {
+        let l = layout(4, 0);
+        let mut w = H5PartWriter::new(&l, H5Config::default(), 0, 0);
+        w.write_own_records(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn finish_with_open_file_panics() {
+        let l = layout(4, 0);
+        let mut w = H5PartWriter::new(&l, H5Config::default(), 0, 0);
+        w.open();
+        let _ = w.finish();
+    }
+}

@@ -1,0 +1,22 @@
+//! # pio-mpi — simulated MPI execution substrate
+//!
+//! The paper's applications are MPI programs whose I/O happens in
+//! synchronous phases. This crate provides what the analysis needs from
+//! MPI — ranks, program order, barriers, and point-to-point messages for
+//! collective buffering — executed in virtual time against the
+//! [`pio_fs`] file-system simulator, with every intercepted call recorded
+//! through [`pio_trace`] exactly as IPM-I/O would.
+//!
+//! * [`program`] — the per-rank I/O program IR ([`program::Op`]) and a
+//!   builder; a [`program::Job`] bundles one program per rank plus the
+//!   file table.
+//! * [`world`] — the discrete-event world: rank scheduling, barrier
+//!   bookkeeping, send/recv matching, fd tables, trace recording.
+//! * [`runner`] — one-call execution: job + platform + seed → trace.
+
+pub mod program;
+pub mod runner;
+pub mod world;
+
+pub use program::{FileSpec, Job, Op, Program, ProgramBuilder};
+pub use runner::{run, run_ensemble, MpiConfig, RunConfig, RunError, RunResult};

@@ -1,0 +1,515 @@
+//! Per-rank I/O programs: the IR that workloads compile to.
+//!
+//! A `Program` is the sequence of calls one MPI rank makes; a `Job` is one
+//! program per rank plus the table of files they reference. The runner
+//! executes jobs in virtual time with POSIX cursor semantics (`Seek` +
+//! `Write` advance a per-fd cursor, `WriteAt`/`ReadAt` are pwrite/pread).
+
+use pio_des::SimSpan;
+
+/// One call in a rank's program. Files are referenced by job-local index
+/// (see [`Job::files`]); the runner assigns per-rank descriptors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Open file `file` (must precede any I/O on it by this rank).
+    Open {
+        /// Job-local file index.
+        file: u32,
+    },
+    /// Close file `file`.
+    Close {
+        /// Job-local file index.
+        file: u32,
+    },
+    /// Set the cursor.
+    Seek {
+        /// Job-local file index.
+        file: u32,
+        /// New absolute cursor position.
+        offset: u64,
+    },
+    /// Sequential write of `bytes` at the cursor (advances it).
+    Write {
+        /// Job-local file index.
+        file: u32,
+        /// Transfer size.
+        bytes: u64,
+    },
+    /// Positioned write (does not move the cursor).
+    WriteAt {
+        /// Job-local file index.
+        file: u32,
+        /// Absolute offset.
+        offset: u64,
+        /// Transfer size.
+        bytes: u64,
+    },
+    /// Sequential read of `bytes` at the cursor (advances it).
+    Read {
+        /// Job-local file index.
+        file: u32,
+        /// Transfer size.
+        bytes: u64,
+    },
+    /// Positioned read (does not move the cursor).
+    ReadAt {
+        /// Job-local file index.
+        file: u32,
+        /// Absolute offset.
+        offset: u64,
+        /// Transfer size.
+        bytes: u64,
+    },
+    /// Small middleware metadata write at an absolute offset.
+    MetaWrite {
+        /// Job-local file index.
+        file: u32,
+        /// Absolute offset.
+        offset: u64,
+        /// Transfer size.
+        bytes: u64,
+    },
+    /// Small middleware metadata read at an absolute offset.
+    MetaRead {
+        /// Job-local file index.
+        file: u32,
+        /// Absolute offset.
+        offset: u64,
+        /// Transfer size.
+        bytes: u64,
+    },
+    /// Wait until all dirty data of this rank's node is on the servers.
+    Flush {
+        /// Job-local file index (label only; flush is per node).
+        file: u32,
+    },
+    /// Global barrier (advances the phase counter).
+    Barrier,
+    /// Non-I/O computation.
+    Compute {
+        /// Duration of the computation.
+        span: SimSpan,
+    },
+    /// Blocking send to `to` (aggregation traffic).
+    Send {
+        /// Destination rank.
+        to: u32,
+        /// Message size.
+        bytes: u64,
+    },
+    /// Blocking receive from `from` (matches sends in order per pair).
+    Recv {
+        /// Source rank.
+        from: u32,
+    },
+}
+
+impl Op {
+    /// Bytes this op moves (0 for control ops).
+    pub fn bytes(&self) -> u64 {
+        match *self {
+            Op::Write { bytes, .. }
+            | Op::WriteAt { bytes, .. }
+            | Op::Read { bytes, .. }
+            | Op::ReadAt { bytes, .. }
+            | Op::MetaWrite { bytes, .. }
+            | Op::MetaRead { bytes, .. }
+            | Op::Send { bytes, .. } => bytes,
+            _ => 0,
+        }
+    }
+
+    /// File this op targets, if any.
+    pub fn file(&self) -> Option<u32> {
+        match *self {
+            Op::Open { file }
+            | Op::Close { file }
+            | Op::Seek { file, .. }
+            | Op::Write { file, .. }
+            | Op::WriteAt { file, .. }
+            | Op::Read { file, .. }
+            | Op::ReadAt { file, .. }
+            | Op::MetaWrite { file, .. }
+            | Op::MetaRead { file, .. }
+            | Op::Flush { file } => Some(file),
+            _ => None,
+        }
+    }
+}
+
+/// One rank's call sequence.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// The ops, in program order.
+    pub ops: Vec<Op>,
+}
+
+impl Program {
+    /// Empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total data-plane bytes written.
+    pub fn bytes_written(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, Op::Write { .. } | Op::WriteAt { .. }))
+            .map(Op::bytes)
+            .sum()
+    }
+
+    /// Total data-plane bytes read.
+    pub fn bytes_read(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, Op::Read { .. } | Op::ReadAt { .. }))
+            .map(Op::bytes)
+            .sum()
+    }
+
+    /// Number of barriers.
+    pub fn barriers(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o, Op::Barrier)).count()
+    }
+}
+
+/// Fluent builder for programs.
+///
+/// ```
+/// use pio_mpi::program::ProgramBuilder;
+/// let p = ProgramBuilder::new()
+///     .open(0)
+///     .write(0, 1 << 20)
+///     .barrier()
+///     .close(0)
+///     .build();
+/// assert_eq!(p.ops.len(), 4);
+/// assert_eq!(p.bytes_written(), 1 << 20);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    ops: Vec<Op>,
+}
+
+impl ProgramBuilder {
+    /// Start an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append `open(file)`.
+    pub fn open(mut self, file: u32) -> Self {
+        self.ops.push(Op::Open { file });
+        self
+    }
+
+    /// Append `close(file)`.
+    pub fn close(mut self, file: u32) -> Self {
+        self.ops.push(Op::Close { file });
+        self
+    }
+
+    /// Append a seek.
+    pub fn seek(mut self, file: u32, offset: u64) -> Self {
+        self.ops.push(Op::Seek { file, offset });
+        self
+    }
+
+    /// Append a sequential write.
+    pub fn write(mut self, file: u32, bytes: u64) -> Self {
+        self.ops.push(Op::Write { file, bytes });
+        self
+    }
+
+    /// Append a positioned write.
+    pub fn write_at(mut self, file: u32, offset: u64, bytes: u64) -> Self {
+        self.ops.push(Op::WriteAt { file, offset, bytes });
+        self
+    }
+
+    /// Append a sequential read.
+    pub fn read(mut self, file: u32, bytes: u64) -> Self {
+        self.ops.push(Op::Read { file, bytes });
+        self
+    }
+
+    /// Append a positioned read.
+    pub fn read_at(mut self, file: u32, offset: u64, bytes: u64) -> Self {
+        self.ops.push(Op::ReadAt { file, offset, bytes });
+        self
+    }
+
+    /// Append a metadata write.
+    pub fn meta_write(mut self, file: u32, offset: u64, bytes: u64) -> Self {
+        self.ops.push(Op::MetaWrite { file, offset, bytes });
+        self
+    }
+
+    /// Append a metadata read.
+    pub fn meta_read(mut self, file: u32, offset: u64, bytes: u64) -> Self {
+        self.ops.push(Op::MetaRead { file, offset, bytes });
+        self
+    }
+
+    /// Append a flush.
+    pub fn flush(mut self, file: u32) -> Self {
+        self.ops.push(Op::Flush { file });
+        self
+    }
+
+    /// Append a barrier.
+    pub fn barrier(mut self) -> Self {
+        self.ops.push(Op::Barrier);
+        self
+    }
+
+    /// Append computation.
+    pub fn compute(mut self, span: SimSpan) -> Self {
+        self.ops.push(Op::Compute { span });
+        self
+    }
+
+    /// Append a blocking send.
+    pub fn send(mut self, to: u32, bytes: u64) -> Self {
+        self.ops.push(Op::Send { to, bytes });
+        self
+    }
+
+    /// Append a blocking receive.
+    pub fn recv(mut self, from: u32) -> Self {
+        self.ops.push(Op::Recv { from });
+        self
+    }
+
+    /// Finish the program.
+    pub fn build(self) -> Program {
+        Program { ops: self.ops }
+    }
+}
+
+/// Declaration of a file used by a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileSpec {
+    /// Whether multiple ranks write it (enables extent-lock semantics).
+    pub shared: bool,
+}
+
+/// A complete multi-rank workload.
+#[derive(Debug, Clone, Default)]
+pub struct Job {
+    /// One program per rank (index = rank).
+    pub programs: Vec<Program>,
+    /// Files referenced by the programs (index = file id in ops).
+    pub files: Vec<FileSpec>,
+}
+
+impl Job {
+    /// Number of ranks.
+    pub fn ranks(&self) -> u32 {
+        self.programs.len() as u32
+    }
+
+    /// Total bytes written across ranks.
+    pub fn total_bytes_written(&self) -> u64 {
+        self.programs.iter().map(Program::bytes_written).sum()
+    }
+
+    /// Total bytes read across ranks.
+    pub fn total_bytes_read(&self) -> u64 {
+        self.programs.iter().map(Program::bytes_read).sum()
+    }
+
+    /// Static validity: every referenced file exists, every file I/O is
+    /// preceded by an open and not after a close, barrier counts agree
+    /// across ranks, and every send has a matching recv (per ordered
+    /// pair). Returns the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        let nf = self.files.len() as u32;
+        let mut barrier_counts = Vec::with_capacity(self.programs.len());
+        let mut sends: std::collections::HashMap<(u32, u32), i64> = std::collections::HashMap::new();
+        for (rank, prog) in self.programs.iter().enumerate() {
+            let mut open: Vec<bool> = vec![false; nf as usize];
+            for (i, op) in prog.ops.iter().enumerate() {
+                if let Some(f) = op.file() {
+                    if f >= nf {
+                        return Err(format!("rank {rank} op {i}: file {f} not declared"));
+                    }
+                    match op {
+                        Op::Open { .. } => {
+                            if open[f as usize] {
+                                return Err(format!("rank {rank} op {i}: double open of file {f}"));
+                            }
+                            open[f as usize] = true;
+                        }
+                        Op::Close { .. } => {
+                            if !open[f as usize] {
+                                return Err(format!("rank {rank} op {i}: close of unopened file {f}"));
+                            }
+                            open[f as usize] = false;
+                        }
+                        _ => {
+                            if !open[f as usize] {
+                                return Err(format!(
+                                    "rank {rank} op {i}: I/O on unopened file {f}"
+                                ));
+                            }
+                        }
+                    }
+                }
+                match *op {
+                    Op::Send { to, .. } => {
+                        if to as usize >= self.programs.len() {
+                            return Err(format!("rank {rank} op {i}: send to missing rank {to}"));
+                        }
+                        *sends.entry((rank as u32, to)).or_insert(0) += 1;
+                    }
+                    Op::Recv { from } => {
+                        if from as usize >= self.programs.len() {
+                            return Err(format!(
+                                "rank {rank} op {i}: recv from missing rank {from}"
+                            ));
+                        }
+                        *sends.entry((from, rank as u32)).or_insert(0) -= 1;
+                    }
+                    _ => {}
+                }
+            }
+            barrier_counts.push(prog.barriers());
+        }
+        if let (Some(&min), Some(&max)) =
+            (barrier_counts.iter().min(), barrier_counts.iter().max())
+        {
+            if min != max {
+                return Err(format!(
+                    "barrier count mismatch across ranks: {min} vs {max}"
+                ));
+            }
+        }
+        for ((from, to), bal) in sends {
+            if bal != 0 {
+                return Err(format!(
+                    "unmatched messages {from}->{to}: balance {bal}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job_two_ranks() -> Job {
+        let p0 = ProgramBuilder::new()
+            .open(0)
+            .write(0, 100)
+            .barrier()
+            .send(1, 50)
+            .close(0)
+            .build();
+        let p1 = ProgramBuilder::new()
+            .open(0)
+            .write_at(0, 100, 100)
+            .barrier()
+            .recv(0)
+            .close(0)
+            .build();
+        Job {
+            programs: vec![p0, p1],
+            files: vec![FileSpec { shared: true }],
+        }
+    }
+
+    #[test]
+    fn builder_produces_expected_ops() {
+        let p = ProgramBuilder::new()
+            .open(0)
+            .seek(0, 42)
+            .write(0, 10)
+            .read(0, 5)
+            .flush(0)
+            .barrier()
+            .close(0)
+            .build();
+        assert_eq!(p.ops.len(), 7);
+        assert_eq!(p.ops[1], Op::Seek { file: 0, offset: 42 });
+        assert_eq!(p.bytes_written(), 10);
+        assert_eq!(p.bytes_read(), 5);
+        assert_eq!(p.barriers(), 1);
+    }
+
+    #[test]
+    fn job_totals() {
+        let j = job_two_ranks();
+        assert_eq!(j.ranks(), 2);
+        assert_eq!(j.total_bytes_written(), 200);
+        assert_eq!(j.total_bytes_read(), 0);
+    }
+
+    #[test]
+    fn valid_job_validates() {
+        job_two_ranks().validate().unwrap();
+    }
+
+    #[test]
+    fn undeclared_file_rejected() {
+        let mut j = job_two_ranks();
+        j.files.clear();
+        assert!(j.validate().unwrap_err().contains("not declared"));
+    }
+
+    #[test]
+    fn io_before_open_rejected() {
+        let p = ProgramBuilder::new().write(0, 10).build();
+        let j = Job {
+            programs: vec![p],
+            files: vec![FileSpec { shared: false }],
+        };
+        assert!(j.validate().unwrap_err().contains("unopened"));
+    }
+
+    #[test]
+    fn io_after_close_rejected() {
+        let p = ProgramBuilder::new().open(0).close(0).read(0, 1).build();
+        let j = Job {
+            programs: vec![p],
+            files: vec![FileSpec { shared: false }],
+        };
+        assert!(j.validate().unwrap_err().contains("unopened"));
+    }
+
+    #[test]
+    fn barrier_mismatch_rejected() {
+        let mut j = job_two_ranks();
+        j.programs[0].ops.push(Op::Barrier);
+        assert!(j.validate().unwrap_err().contains("barrier count"));
+    }
+
+    #[test]
+    fn unmatched_send_rejected() {
+        let mut j = job_two_ranks();
+        j.programs[0].ops.push(Op::Send { to: 1, bytes: 1 });
+        assert!(j.validate().unwrap_err().contains("unmatched"));
+    }
+
+    #[test]
+    fn send_to_missing_rank_rejected() {
+        let p = ProgramBuilder::new().send(7, 1).build();
+        let j = Job {
+            programs: vec![p],
+            files: vec![],
+        };
+        assert!(j.validate().unwrap_err().contains("missing rank"));
+    }
+
+    #[test]
+    fn op_bytes_and_file_helpers() {
+        assert_eq!(Op::Write { file: 0, bytes: 9 }.bytes(), 9);
+        assert_eq!(Op::Barrier.bytes(), 0);
+        assert_eq!(Op::Barrier.file(), None);
+        assert_eq!(Op::Flush { file: 3 }.file(), Some(3));
+        assert_eq!(Op::Send { to: 1, bytes: 4 }.bytes(), 4);
+    }
+}

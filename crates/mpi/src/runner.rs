@@ -1,0 +1,444 @@
+//! One-call job execution: job + platform + seed → trace.
+
+use crate::program::Job;
+use crate::world::MpiWorld;
+use pio_des::{SimTime, Simulator};
+use pio_fs::sim::UtilizationReport;
+use pio_fs::{FsConfig, FsSim, FsStats};
+use pio_trace::{Trace, TraceMeta};
+
+pub use crate::world::MpiConfig;
+
+/// Everything that identifies a run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Platform preset.
+    pub fs: FsConfig,
+    /// Message-layer cost model.
+    pub mpi: MpiConfig,
+    /// Master seed — the only source of run-to-run variability.
+    pub seed: u64,
+    /// Experiment label for the trace metadata.
+    pub experiment: String,
+}
+
+impl RunConfig {
+    /// A run of `experiment` on `fs` with `seed` and default MPI costs.
+    pub fn new(fs: FsConfig, seed: u64, experiment: impl Into<String>) -> Self {
+        RunConfig {
+            fs,
+            mpi: MpiConfig::default(),
+            seed,
+            experiment: experiment.into(),
+        }
+    }
+}
+
+/// Why a run could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The job failed static validation.
+    InvalidJob(String),
+    /// The event queue drained with unfinished ranks (e.g. a recv whose
+    /// send never happens). Lists `(rank, pc)` of stuck ranks.
+    Deadlock(Vec<(u32, usize)>),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::InvalidJob(e) => write!(f, "invalid job: {e}"),
+            RunError::Deadlock(stuck) => {
+                write!(f, "deadlock: {} ranks stuck (first: {:?})", stuck.len(),
+                    stuck.first())
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// The outcome of a run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// The captured IPM-I/O trace.
+    pub trace: Trace,
+    /// File-system statistics.
+    pub stats: FsStats,
+    /// Lock statistics: (grants, conflicts, rmws).
+    pub lock_stats: (u64, u64, u64),
+    /// Resource-utilization breakdown at run end.
+    pub util: UtilizationReport,
+    /// Events processed by the engine.
+    pub events: u64,
+    /// Virtual end time of the run.
+    pub end: SimTime,
+}
+
+impl RunResult {
+    /// Wall-clock of the run in seconds.
+    pub fn wall_secs(&self) -> f64 {
+        self.end.as_secs_f64()
+    }
+}
+
+/// Execute `job` under `cfg`.
+pub fn run(job: &Job, cfg: &RunConfig) -> Result<RunResult, RunError> {
+    job.validate().map_err(RunError::InvalidJob)?;
+    let ranks = job.ranks();
+    let nodes = ranks.div_ceil(cfg.fs.tasks_per_node).max(1);
+    let mut fs = FsSim::new(cfg.fs.clone(), nodes, cfg.seed);
+    for spec in &job.files {
+        fs.register_file(spec.shared);
+    }
+    let meta = TraceMeta {
+        experiment: cfg.experiment.clone(),
+        platform: cfg.fs.name.clone(),
+        ranks,
+        seed: cfg.seed,
+    };
+    let mut world = MpiWorld::new(job.clone(), fs, cfg.mpi.clone(), cfg.seed, meta);
+    let initial = world.initial_events();
+    let mut sim = Simulator::new(world);
+    for (t, e) in initial {
+        sim.schedule(t, e);
+    }
+    let end = sim.run();
+    if sim.world.finished_ranks() != ranks {
+        return Err(RunError::Deadlock(sim.world.stuck_ranks()));
+    }
+    let mut trace = std::mem::take(&mut sim.world.trace);
+    trace.sort_by_start();
+    debug_assert_eq!(trace.validate(), Ok(()));
+    Ok(RunResult {
+        stats: sim.world.fs.stats().clone(),
+        lock_stats: sim.world.fs.lock_stats(),
+        util: sim.world.fs.utilization(end),
+        trace,
+        events: sim.processed(),
+        end,
+    })
+}
+
+/// Run the same experiment with several seeds, returning one trace per
+/// run — the paper's "ensemble of runs" construction.
+pub fn run_ensemble(job: &Job, base: &RunConfig, seeds: &[u64]) -> Result<Vec<Trace>, RunError> {
+    seeds
+        .iter()
+        .map(|&seed| {
+            let cfg = RunConfig {
+                seed,
+                ..base.clone()
+            };
+            run(job, &cfg).map(|r| r.trace)
+        })
+        .collect()
+}
+
+/// [`run_ensemble`] with one OS thread per run (runs are independent
+/// simulations, so the ensemble parallelizes perfectly). Results come
+/// back in seed order regardless of completion order.
+pub fn run_ensemble_parallel(
+    job: &Job,
+    base: &RunConfig,
+    seeds: &[u64],
+) -> Result<Vec<Trace>, RunError> {
+    job.validate().map_err(RunError::InvalidJob)?;
+    let results: Vec<Result<Trace, RunError>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                let cfg = RunConfig {
+                    seed,
+                    ..base.clone()
+                };
+                scope.spawn(move |_| run(job, &cfg).map(|r| r.trace))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("run thread")).collect()
+    })
+    .expect("ensemble scope");
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{FileSpec, Op, ProgramBuilder};
+    use pio_trace::CallKind;
+
+    const MB: u64 = 1 << 20;
+
+    fn simple_job(ranks: u32, write_mb: u64) -> Job {
+        let programs = (0..ranks)
+            .map(|r| {
+                ProgramBuilder::new()
+                    .open(0)
+                    .seek(0, r as u64 * 512 * MB)
+                    .write(0, write_mb * MB)
+                    .barrier()
+                    .flush(0)
+                    .close(0)
+                    .build()
+            })
+            .collect();
+        Job {
+            programs,
+            files: vec![FileSpec { shared: true }],
+        }
+    }
+
+    fn cfg(seed: u64) -> RunConfig {
+        RunConfig::new(FsConfig::tiny_test(), seed, "unit")
+    }
+
+    #[test]
+    fn simple_job_runs_to_completion() {
+        let job = simple_job(8, 4);
+        let res = run(&job, &cfg(1)).unwrap();
+        assert_eq!(res.trace.meta.ranks, 8);
+        // 8 ranks × (open, seek, write, barrier, flush, close) = 48 records.
+        assert_eq!(res.trace.records.len(), 48);
+        assert_eq!(res.stats.bytes_written, 8 * 4 * MB);
+        assert!(res.end > SimTime::ZERO);
+        res.trace.validate().unwrap();
+    }
+
+    #[test]
+    fn trace_has_correct_phases() {
+        let job = simple_job(4, 2);
+        let res = run(&job, &cfg(2)).unwrap();
+        // Ops before the barrier are phase 0; flush/close are phase 1.
+        for r in &res.trace.records {
+            match r.call {
+                CallKind::Open | CallKind::Seek | CallKind::Write | CallKind::Barrier => {
+                    assert_eq!(r.phase, 0, "{r:?}")
+                }
+                CallKind::Flush | CallKind::Close => assert_eq!(r.phase, 1, "{r:?}"),
+                _ => {}
+            }
+        }
+        assert_eq!(res.trace.phase_count(), 2);
+    }
+
+    #[test]
+    fn same_seed_reproduces_exactly() {
+        let job = simple_job(8, 4);
+        let a = run(&job, &cfg(7)).unwrap();
+        let b = run(&job, &cfg(7)).unwrap();
+        assert_eq!(a.trace.records, b.trace.records);
+        assert_eq!(a.end, b.end);
+    }
+
+    #[test]
+    fn different_seeds_differ_but_same_shape() {
+        let job = simple_job(8, 4);
+        let a = run(&job, &cfg(1)).unwrap();
+        let b = run(&job, &cfg(2)).unwrap();
+        assert_ne!(a.trace.records, b.trace.records);
+        assert_eq!(a.trace.records.len(), b.trace.records.len());
+        // Total bytes identical (the experiment, not the run, fixes them).
+        assert_eq!(a.stats.bytes_written, b.stats.bytes_written);
+    }
+
+    #[test]
+    fn barrier_synchronizes_ranks() {
+        let job = simple_job(4, 2);
+        let res = run(&job, &cfg(3)).unwrap();
+        // All barrier records end at the same instant.
+        let ends: Vec<u64> = res
+            .trace
+            .of_kind(CallKind::Barrier)
+            .map(|r| r.end_ns)
+            .collect();
+        assert_eq!(ends.len(), 4);
+        assert!(ends.windows(2).all(|w| w[0] == w[1]));
+        // And that instant is ≥ every pre-barrier write end.
+        let max_write = res
+            .trace
+            .of_kind(CallKind::Write)
+            .map(|r| r.end_ns)
+            .max()
+            .unwrap();
+        assert!(ends[0] >= max_write);
+    }
+
+    #[test]
+    fn send_recv_pair_works() {
+        let p0 = ProgramBuilder::new().send(1, 10 * MB).build();
+        let p1 = ProgramBuilder::new().recv(0).build();
+        let job = Job {
+            programs: vec![p0, p1],
+            files: vec![],
+        };
+        let res = run(&job, &cfg(4)).unwrap();
+        let send: Vec<_> = res.trace.of_kind(CallKind::Send).collect();
+        let recv: Vec<_> = res.trace.of_kind(CallKind::Recv).collect();
+        assert_eq!(send.len(), 1);
+        assert_eq!(recv.len(), 1);
+        // Recv cannot complete before the send does.
+        assert!(recv[0].end_ns >= send[0].end_ns);
+        assert_eq!(send[0].bytes, 10 * MB);
+    }
+
+    #[test]
+    fn recv_before_send_blocks_until_send() {
+        // Rank 1 computes first, so its send lands after rank 0's recv.
+        let p0 = ProgramBuilder::new().recv(1).build();
+        let p1 = ProgramBuilder::new()
+            .compute(pio_des::SimSpan::from_secs(1))
+            .send(0, 1024)
+            .build();
+        let job = Job {
+            programs: vec![p0, p1],
+            files: vec![],
+        };
+        let res = run(&job, &cfg(5)).unwrap();
+        let recv = res.trace.of_kind(CallKind::Recv).next().unwrap();
+        assert!(recv.secs() >= 0.99, "recv must wait for the send: {recv:?}");
+    }
+
+    #[test]
+    fn unmatched_recv_is_invalid_job() {
+        let p0 = ProgramBuilder::new().recv(1).build();
+        let p1 = ProgramBuilder::new().build();
+        let job = Job {
+            programs: vec![p0, p1],
+            files: vec![],
+        };
+        assert!(matches!(run(&job, &cfg(6)), Err(RunError::InvalidJob(_))));
+    }
+
+    #[test]
+    fn utilization_report_accounts_for_the_run() {
+        let job = simple_job(8, 4);
+        let res = run(&job, &cfg(31)).unwrap();
+        let u = &res.util;
+        assert!(u.horizon_s > 0.0);
+        // Bytes served by OSTs equal bytes written (all drained by flush).
+        assert_eq!(u.ost_bytes.iter().sum::<u64>(), res.stats.bytes_written);
+        assert!(u.fabric_utilization() > 0.0 && u.fabric_utilization() <= 1.0);
+        assert!(u.mean_ost_utilization() > 0.0);
+        assert!(u.ost_imbalance() >= 1.0);
+        // Some node buffered data at some point.
+        assert!(u.node_dirty_peak.iter().any(|&p| p > 0));
+    }
+
+    #[test]
+    fn parallel_ensemble_matches_serial() {
+        let job = simple_job(4, 2);
+        let base = cfg(0);
+        let seeds = [5u64, 6, 7];
+        let serial = run_ensemble(&job, &base, &seeds).unwrap();
+        let parallel = run_ensemble_parallel(&job, &base, &seeds).unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.records, b.records, "parallel must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn ensemble_runs_all_seeds() {
+        let job = simple_job(4, 1);
+        let traces = run_ensemble(&job, &cfg(0), &[1, 2, 3]).unwrap();
+        assert_eq!(traces.len(), 3);
+        assert_eq!(traces[0].meta.seed, 1);
+        assert_eq!(traces[2].meta.seed, 3);
+    }
+
+    #[test]
+    fn compute_op_takes_time_and_is_traced() {
+        let p = ProgramBuilder::new()
+            .compute(pio_des::SimSpan::from_secs(2))
+            .build();
+        let job = Job {
+            programs: vec![p],
+            files: vec![],
+        };
+        let res = run(&job, &cfg(8)).unwrap();
+        let c = res.trace.of_kind(CallKind::Compute).next().unwrap();
+        assert!((c.secs() - 2.0).abs() < 1e-9);
+        assert!((res.wall_secs() - 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn sequential_writes_advance_cursor() {
+        let p = ProgramBuilder::new()
+            .open(0)
+            .write(0, MB)
+            .write(0, MB)
+            .write(0, MB)
+            .close(0)
+            .build();
+        let job = Job {
+            programs: vec![p],
+            files: vec![FileSpec { shared: false }],
+        };
+        let res = run(&job, &cfg(9)).unwrap();
+        let offsets: Vec<u64> = res
+            .trace
+            .of_kind(CallKind::Write)
+            .map(|r| r.offset)
+            .collect();
+        assert_eq!(offsets, vec![0, MB, 2 * MB]);
+    }
+
+    #[test]
+    fn read_after_write_with_flush() {
+        let p = ProgramBuilder::new()
+            .open(0)
+            .write(0, 2 * MB)
+            .flush(0)
+            .seek(0, 0)
+            .read(0, 2 * MB)
+            .close(0)
+            .build();
+        let job = Job {
+            programs: vec![p],
+            files: vec![FileSpec { shared: false }],
+        };
+        let res = run(&job, &cfg(10)).unwrap();
+        assert_eq!(res.stats.bytes_read, 2 * MB);
+        assert_eq!(res.stats.bytes_written, 2 * MB);
+        assert_eq!(res.stats.flushes, 1);
+        // Program order is preserved in the trace.
+        let kinds: Vec<CallKind> = res.trace.records.iter().map(|r| r.call).collect();
+        let w = kinds.iter().position(|&k| k == CallKind::Write).unwrap();
+        let f = kinds.iter().position(|&k| k == CallKind::Flush).unwrap();
+        let r = kinds.iter().position(|&k| k == CallKind::Read).unwrap();
+        assert!(w < f && f < r);
+    }
+
+    #[test]
+    fn many_ranks_over_many_nodes() {
+        // 32 ranks on 8 nodes (tiny config: 4 tasks/node).
+        let job = simple_job(32, 1);
+        let res = run(&job, &cfg(11)).unwrap();
+        assert_eq!(res.trace.meta.ranks, 32);
+        assert_eq!(res.stats.bytes_written, 32 * MB);
+        assert!(res.events > 0);
+    }
+
+    #[test]
+    fn op_helpers_in_running_context() {
+        // WriteAt does not move the cursor.
+        let p = ProgramBuilder::new()
+            .open(0)
+            .write_at(0, 10 * MB, MB)
+            .write(0, MB) // cursor still 0
+            .close(0)
+            .build();
+        let job = Job {
+            programs: vec![p],
+            files: vec![FileSpec { shared: false }],
+        };
+        let res = run(&job, &cfg(12)).unwrap();
+        let offsets: Vec<u64> = res
+            .trace
+            .of_kind(CallKind::Write)
+            .map(|r| r.offset)
+            .collect();
+        assert_eq!(offsets, vec![10 * MB, 0]);
+        assert!(matches!(job.programs[0].ops[1], Op::WriteAt { .. }));
+    }
+}

@@ -1,0 +1,147 @@
+//! The open-file-descriptor lookup table.
+//!
+//! IPM-I/O keeps "a look-up table of open file descriptors \[that\] allows
+//! IPM-I/O to associate events interacting with the same file". The same
+//! structure serves the simulator: each rank owns one table mapping its
+//! descriptors to file identities and cursor positions.
+
+use std::collections::HashMap;
+
+/// Identity of a file within a run (the simulator's file namespace).
+pub type FileId = u32;
+
+/// State tracked per open descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenFile {
+    /// Which file this descriptor refers to.
+    pub file: FileId,
+    /// Current cursor position (advanced by read/write, set by seek).
+    pub position: u64,
+    /// Path label for reports.
+    pub path: String,
+}
+
+/// Per-rank descriptor table.
+#[derive(Debug, Clone, Default)]
+pub struct FdTable {
+    next_fd: i32,
+    open: HashMap<i32, OpenFile>,
+    opened_total: u64,
+}
+
+impl FdTable {
+    /// An empty table. Descriptors start at 3 (0–2 are "taken" by stdio,
+    /// matching POSIX numbering in real traces).
+    pub fn new() -> Self {
+        FdTable {
+            next_fd: 3,
+            open: HashMap::new(),
+            opened_total: 0,
+        }
+    }
+
+    /// Open `file`, returning the new descriptor.
+    pub fn open(&mut self, file: FileId, path: impl Into<String>) -> i32 {
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        self.open.insert(
+            fd,
+            OpenFile {
+                file,
+                position: 0,
+                path: path.into(),
+            },
+        );
+        self.opened_total += 1;
+        fd
+    }
+
+    /// Close `fd`; returns the entry if it was open.
+    pub fn close(&mut self, fd: i32) -> Option<OpenFile> {
+        self.open.remove(&fd)
+    }
+
+    /// Look up an open descriptor.
+    pub fn get(&self, fd: i32) -> Option<&OpenFile> {
+        self.open.get(&fd)
+    }
+
+    /// Mutable lookup (cursor updates).
+    pub fn get_mut(&mut self, fd: i32) -> Option<&mut OpenFile> {
+        self.open.get_mut(&fd)
+    }
+
+    /// Set the cursor for `fd`; returns false if not open.
+    pub fn seek(&mut self, fd: i32, position: u64) -> bool {
+        match self.open.get_mut(&fd) {
+            Some(f) => {
+                f.position = position;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Advance the cursor after a transfer of `bytes`; returns the offset
+    /// the transfer started at, or `None` if `fd` is not open.
+    pub fn advance(&mut self, fd: i32, bytes: u64) -> Option<u64> {
+        let f = self.open.get_mut(&fd)?;
+        let at = f.position;
+        f.position += bytes;
+        Some(at)
+    }
+
+    /// Number of currently open descriptors.
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Total descriptors ever opened.
+    pub fn opened_total(&self) -> u64 {
+        self.opened_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_assigns_increasing_fds_from_3() {
+        let mut t = FdTable::new();
+        let a = t.open(0, "a");
+        let b = t.open(1, "b");
+        assert_eq!((a, b), (3, 4));
+        assert_eq!(t.open_count(), 2);
+    }
+
+    #[test]
+    fn cursor_tracks_sequential_io() {
+        let mut t = FdTable::new();
+        let fd = t.open(7, "matrix");
+        assert_eq!(t.advance(fd, 100), Some(0));
+        assert_eq!(t.advance(fd, 50), Some(100));
+        assert_eq!(t.get(fd).unwrap().position, 150);
+        assert!(t.seek(fd, 1 << 20));
+        assert_eq!(t.advance(fd, 8), Some(1 << 20));
+    }
+
+    #[test]
+    fn close_removes_entry_and_fds_are_not_reused() {
+        let mut t = FdTable::new();
+        let fd = t.open(0, "x");
+        assert!(t.close(fd).is_some());
+        assert!(t.close(fd).is_none());
+        assert_eq!(t.get(fd), None);
+        let fd2 = t.open(0, "x");
+        assert_ne!(fd, fd2, "descriptors are unique per run for trace clarity");
+        assert_eq!(t.opened_total(), 2);
+    }
+
+    #[test]
+    fn operations_on_unknown_fd_fail_cleanly() {
+        let mut t = FdTable::new();
+        assert!(!t.seek(99, 0));
+        assert_eq!(t.advance(99, 10), None);
+    }
+}

@@ -1,0 +1,153 @@
+//! Trace serialization: JSONL (one record per line, as IPM-I/O "emits the
+//! entire trace") and CSV for plotting tools.
+
+use crate::record::Record;
+use crate::trace::{Trace, TraceMeta};
+use std::io::{BufRead, Write};
+
+/// Write `trace` as a JSONL stream: first line the metadata, then one
+/// record per line.
+pub fn write_jsonl<W: Write>(trace: &Trace, mut w: W) -> std::io::Result<()> {
+    serde_json::to_writer(&mut w, &trace.meta)?;
+    w.write_all(b"\n")?;
+    for r in &trace.records {
+        serde_json::to_writer(&mut w, r)?;
+        w.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Read a trace previously written by [`write_jsonl`].
+pub fn read_jsonl<R: BufRead>(r: R) -> std::io::Result<Trace> {
+    let mut lines = r.lines();
+    let meta: TraceMeta = match lines.next() {
+        Some(line) => serde_json::from_str(&line?)?,
+        None => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "empty trace stream",
+            ))
+        }
+    };
+    let mut trace = Trace::new(meta);
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: Record = serde_json::from_str(&line)?;
+        trace.push(rec);
+    }
+    Ok(trace)
+}
+
+/// Write records as CSV with a header row.
+pub fn write_csv<W: Write>(trace: &Trace, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "rank,call,fd,offset,bytes,start_s,end_s,duration_s,phase")?;
+    for r in &trace.records {
+        writeln!(
+            w,
+            "{},{},{},{},{},{:.9},{:.9},{:.9},{}",
+            r.rank,
+            r.call.name(),
+            r.fd,
+            r.offset,
+            r.bytes,
+            r.start().as_secs_f64(),
+            r.end().as_secs_f64(),
+            r.secs(),
+            r.phase
+        )?;
+    }
+    Ok(())
+}
+
+/// Save a trace to a file (JSONL).
+pub fn save(trace: &Trace, path: &std::path::Path) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_jsonl(trace, std::io::BufWriter::new(f))
+}
+
+/// Load a trace from a file (JSONL).
+pub fn load(path: &std::path::Path) -> std::io::Result<Trace> {
+    let f = std::fs::File::open(path)?;
+    read_jsonl(std::io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::CallKind;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new(TraceMeta {
+            experiment: "roundtrip".into(),
+            platform: "franklin".into(),
+            ranks: 4,
+            seed: 99,
+        });
+        for i in 0..10 {
+            t.push(Record {
+                rank: i % 4,
+                call: if i % 2 == 0 { CallKind::Write } else { CallKind::Read },
+                fd: 3,
+                offset: i as u64 * 1024,
+                bytes: 1024,
+                start_ns: i as u64 * 1_000_000,
+                end_ns: i as u64 * 1_000_000 + 500_000,
+                phase: i / 5,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_jsonl(&t, &mut buf).unwrap();
+        let back = read_jsonl(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back.meta, t.meta);
+        assert_eq!(back.records, t.records);
+    }
+
+    #[test]
+    fn jsonl_tolerates_blank_lines() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_jsonl(&t, &mut buf).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let back = read_jsonl(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back.records.len(), t.records.len());
+    }
+
+    #[test]
+    fn empty_stream_is_an_error() {
+        let err = read_jsonl(std::io::Cursor::new(Vec::new())).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 11);
+        assert!(lines[0].starts_with("rank,call"));
+        assert!(lines[1].starts_with("0,write,3,0,1024,"));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("pio_trace_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        let t = sample();
+        save(&t, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.records, t.records);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,32 @@
+//! # pio-trace — an IPM-I/O reimplementation
+//!
+//! The paper extends IPM (Integrated Performance Monitoring) with I/O
+//! tracing: every POSIX I/O call is intercepted and recorded as a
+//! timestamped entry containing the call, its arguments, and its duration,
+//! with a lookup table of open file descriptors associating events that
+//! touch the same file. This crate reproduces that record stream for the
+//! simulated POSIX layer:
+//!
+//! * [`record`] — the trace-entry schema (`Record`, `CallKind`).
+//! * [`fdtable`] — the open-descriptor lookup table.
+//! * [`trace`] — the in-memory trace: filters, slices, aggregate queries.
+//! * [`phase`] — barrier-phase segmentation (synchronous I/O phases are
+//!   the unit of the paper's order-statistics argument).
+//! * [`profile`] — the *online profiling* mode the paper's future-work
+//!   section proposes: accumulate duration histograms at capture time and
+//!   never store individual events.
+//! * [`io`] — JSONL / CSV serialization of traces.
+//! * [`summary`] — an IPM-style per-call summary report.
+
+pub mod fdtable;
+pub mod io;
+pub mod phase;
+pub mod profile;
+pub mod record;
+pub mod summary;
+pub mod trace;
+
+pub use fdtable::FdTable;
+pub use profile::OnlineProfile;
+pub use record::{CallKind, Record};
+pub use trace::{Trace, TraceMeta};

@@ -1,0 +1,201 @@
+//! Barrier-phase segmentation.
+//!
+//! HPC I/O "happens in synchronous phases" — the trace diagrams of the
+//! paper show vertically banded intervals separated by barriers, and the
+//! order-statistics argument applies *per phase*: the task that arrives
+//! last at the barrier defines that phase's performance. This module
+//! summarizes a trace phase-by-phase.
+
+use crate::record::CallKind;
+use crate::trace::Trace;
+use pio_des::{SimSpan, SimTime};
+
+/// Aggregate view of one barrier phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSummary {
+    /// Phase index.
+    pub phase: u32,
+    /// Earliest record start in the phase.
+    pub start: SimTime,
+    /// Latest record end in the phase (excluding barrier waits).
+    pub end: SimTime,
+    /// Number of I/O records.
+    pub io_ops: u64,
+    /// Bytes read (data + metadata).
+    pub bytes_read: u64,
+    /// Bytes written (data + metadata).
+    pub bytes_written: u64,
+    /// Sum of per-op I/O time across ranks.
+    pub io_time_total: SimSpan,
+    /// The longest single I/O op — the order-statistic that bounds the phase.
+    pub slowest_op: SimSpan,
+    /// Total barrier-wait time across ranks (the "white space").
+    pub barrier_wait_total: SimSpan,
+}
+
+impl PhaseSummary {
+    /// Phase wall duration.
+    pub fn duration(&self) -> SimSpan {
+        self.end.since(self.start)
+    }
+
+    /// Aggregate phase data rate in MB/s.
+    pub fn rate_mb_s(&self) -> f64 {
+        let secs = self.duration().as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        (self.bytes_read + self.bytes_written) as f64 / 1e6 / secs
+    }
+}
+
+/// Summarize every phase of `trace` (indices without records are skipped).
+pub fn phase_summaries(trace: &Trace) -> Vec<PhaseSummary> {
+    let n = trace.phase_count();
+    let mut out = Vec::new();
+    for p in 0..n {
+        let mut s = PhaseSummary {
+            phase: p,
+            start: SimTime::MAX,
+            end: SimTime::ZERO,
+            io_ops: 0,
+            bytes_read: 0,
+            bytes_written: 0,
+            io_time_total: SimSpan::ZERO,
+            slowest_op: SimSpan::ZERO,
+            barrier_wait_total: SimSpan::ZERO,
+        };
+        let mut any = false;
+        for r in trace.in_phase(p) {
+            any = true;
+            s.start = s.start.min(r.start());
+            if r.call == CallKind::Barrier {
+                s.barrier_wait_total += r.duration();
+                continue;
+            }
+            s.end = s.end.max(r.end());
+            if r.call.is_io() {
+                s.io_ops += 1;
+                s.io_time_total += r.duration();
+                if r.duration() > s.slowest_op {
+                    s.slowest_op = r.duration();
+                }
+                if r.call.is_read() {
+                    s.bytes_read += r.bytes;
+                } else {
+                    s.bytes_written += r.bytes;
+                }
+            }
+        }
+        if any {
+            if s.end < s.start {
+                s.end = s.start; // phase with only barriers
+            }
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// The fraction of total rank-time spent waiting at barriers — a direct
+/// measure of how much the slowest performers cost (paper §III).
+pub fn barrier_wait_fraction(trace: &Trace) -> f64 {
+    let wait: f64 = trace
+        .of_kind(CallKind::Barrier)
+        .map(|r| r.secs())
+        .sum();
+    let busy: f64 = trace
+        .records
+        .iter()
+        .filter(|r| r.call != CallKind::Barrier)
+        .map(|r| r.secs())
+        .sum();
+    let total = wait + busy;
+    if total <= 0.0 {
+        0.0
+    } else {
+        wait / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+    use crate::trace::TraceMeta;
+
+    fn rec(rank: u32, call: CallKind, bytes: u64, start: u64, end: u64, phase: u32) -> Record {
+        Record {
+            rank,
+            call,
+            fd: 3,
+            offset: 0,
+            bytes,
+            start_ns: start,
+            end_ns: end,
+            phase,
+        }
+    }
+
+    fn two_phase_trace() -> Trace {
+        let mut t = Trace::new(TraceMeta::default());
+        // Phase 0: two writes, one barrier wait.
+        t.push(rec(0, CallKind::Write, 100, 0, 1_000_000_000, 0));
+        t.push(rec(1, CallKind::Write, 100, 0, 3_000_000_000, 0));
+        t.push(rec(0, CallKind::Barrier, 0, 1_000_000_000, 3_000_000_000, 0));
+        // Phase 1: reads.
+        t.push(rec(0, CallKind::Read, 50, 3_000_000_000, 4_000_000_000, 1));
+        t.push(rec(1, CallKind::Read, 50, 3_000_000_000, 3_500_000_000, 1));
+        t
+    }
+
+    #[test]
+    fn summaries_cover_phases() {
+        let t = two_phase_trace();
+        let ps = phase_summaries(&t);
+        assert_eq!(ps.len(), 2);
+        let p0 = &ps[0];
+        assert_eq!(p0.io_ops, 2);
+        assert_eq!(p0.bytes_written, 200);
+        assert_eq!(p0.bytes_read, 0);
+        assert_eq!(p0.slowest_op, SimSpan::from_secs(3));
+        assert_eq!(p0.barrier_wait_total, SimSpan::from_secs(2));
+        assert_eq!(p0.duration(), SimSpan::from_secs(3));
+        let p1 = &ps[1];
+        assert_eq!(p1.bytes_read, 100);
+        assert_eq!(p1.duration(), SimSpan::from_secs(1));
+    }
+
+    #[test]
+    fn phase_rate() {
+        let t = two_phase_trace();
+        let ps = phase_summaries(&t);
+        // Phase 0: 200 bytes over 3 s.
+        assert!((ps[0].rate_mb_s() - 200.0 / 1e6 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn wait_fraction() {
+        let t = two_phase_trace();
+        // Busy: 1+3+1+0.5 = 5.5 s; wait: 2 s.
+        let f = barrier_wait_fraction(&t);
+        assert!((f - 2.0 / 7.5).abs() < 1e-12, "{f}");
+    }
+
+    #[test]
+    fn empty_trace_yields_nothing() {
+        let t = Trace::default();
+        assert!(phase_summaries(&t).is_empty());
+        assert_eq!(barrier_wait_fraction(&t), 0.0);
+    }
+
+    #[test]
+    fn phase_with_only_barrier_is_degenerate_but_present() {
+        let mut t = Trace::new(TraceMeta::default());
+        t.push(rec(0, CallKind::Barrier, 0, 0, 1_000_000_000, 0));
+        let ps = phase_summaries(&t);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].io_ops, 0);
+        assert_eq!(ps[0].duration(), SimSpan::ZERO);
+    }
+}

@@ -1,0 +1,259 @@
+//! Online profiling mode.
+//!
+//! The paper's conclusion proposes moving "from an I/O tracing paradigm to
+//! an I/O profiling paradigm": since the ensemble distribution is what
+//! matters and it is reproducible, one need not store every event — just
+//! enough to define the distribution. `OnlineProfile` does exactly that:
+//! fixed-memory logarithmic duration histograms per call kind, accumulated
+//! at capture time, with byte and count totals. Memory is O(kinds × bins)
+//! regardless of trace length.
+
+use crate::record::{CallKind, Record};
+use serde::{Deserialize, Serialize};
+
+/// Number of log-spaced bins per call kind.
+pub const DEFAULT_BINS: usize = 64;
+
+/// Fixed-memory log-histogram profile of a record stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OnlineProfile {
+    /// Smallest resolvable duration (seconds); shorter events land in bin 0.
+    t_min: f64,
+    /// Largest resolvable duration (seconds); longer events land in the last bin.
+    t_max: f64,
+    bins: usize,
+    /// counts[kind][bin]
+    counts: Vec<Vec<u64>>,
+    /// Per-kind totals: (events, bytes, total seconds, max seconds).
+    totals: Vec<(u64, u64, f64, f64)>,
+}
+
+impl Default for OnlineProfile {
+    fn default() -> Self {
+        // 10 µs .. 1000 s covers everything from metadata RPCs to the
+        // paper's 500-second pathological reads.
+        OnlineProfile::new(1e-5, 1e3, DEFAULT_BINS)
+    }
+}
+
+impl OnlineProfile {
+    /// A profile resolving durations in `[t_min, t_max]` seconds over
+    /// `bins` log-spaced bins.
+    pub fn new(t_min: f64, t_max: f64, bins: usize) -> Self {
+        assert!(t_min > 0.0 && t_max > t_min && bins >= 2);
+        OnlineProfile {
+            t_min,
+            t_max,
+            bins,
+            counts: vec![vec![0; bins]; CallKind::ALL.len()],
+            totals: vec![(0, 0, 0.0, 0.0); CallKind::ALL.len()],
+        }
+    }
+
+    fn kind_index(kind: CallKind) -> usize {
+        CallKind::ALL.iter().position(|&k| k == kind).expect("kind in ALL")
+    }
+
+    /// Bin index for a duration in seconds.
+    pub fn bin_of(&self, secs: f64) -> usize {
+        if secs <= self.t_min {
+            return 0;
+        }
+        if secs >= self.t_max {
+            return self.bins - 1;
+        }
+        let frac = (secs / self.t_min).ln() / (self.t_max / self.t_min).ln();
+        ((frac * self.bins as f64) as usize).min(self.bins - 1)
+    }
+
+    /// Geometric center (seconds) of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let ratio = (self.t_max / self.t_min).powf((i as f64 + 0.5) / self.bins as f64);
+        self.t_min * ratio
+    }
+
+    /// Accumulate one record.
+    pub fn record(&mut self, r: &Record) {
+        let k = Self::kind_index(r.call);
+        let secs = r.secs();
+        let bin = self.bin_of(secs);
+        self.counts[k][bin] += 1;
+        let t = &mut self.totals[k];
+        t.0 += 1;
+        t.1 += r.bytes;
+        t.2 += secs;
+        t.3 = t.3.max(secs);
+    }
+
+    /// Accumulate a whole stream.
+    pub fn record_all<'a, I: IntoIterator<Item = &'a Record>>(&mut self, records: I) {
+        for r in records {
+            self.record(r);
+        }
+    }
+
+    /// Event count for a kind.
+    pub fn count(&self, kind: CallKind) -> u64 {
+        self.totals[Self::kind_index(kind)].0
+    }
+
+    /// Byte total for a kind.
+    pub fn bytes(&self, kind: CallKind) -> u64 {
+        self.totals[Self::kind_index(kind)].1
+    }
+
+    /// Mean duration for a kind, if any events were seen.
+    pub fn mean_secs(&self, kind: CallKind) -> Option<f64> {
+        let (n, _, sum, _) = self.totals[Self::kind_index(kind)];
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Longest event for a kind.
+    pub fn max_secs(&self, kind: CallKind) -> f64 {
+        self.totals[Self::kind_index(kind)].3
+    }
+
+    /// Histogram (bin centers, counts) for a kind.
+    pub fn histogram(&self, kind: CallKind) -> Vec<(f64, u64)> {
+        let k = Self::kind_index(kind);
+        (0..self.bins)
+            .map(|i| (self.bin_center(i), self.counts[k][i]))
+            .collect()
+    }
+
+    /// Approximate quantile for a kind from the binned counts, or `None`
+    /// if no events. `q` in `[0,1]`.
+    pub fn quantile(&self, kind: CallKind, q: f64) -> Option<f64> {
+        let k = Self::kind_index(kind);
+        let total: u64 = self.counts[k].iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut acc = 0;
+        for i in 0..self.bins {
+            acc += self.counts[k][i];
+            if acc >= target {
+                return Some(self.bin_center(i));
+            }
+        }
+        Some(self.bin_center(self.bins - 1))
+    }
+
+    /// Merge another profile (same geometry) into this one.
+    ///
+    /// Panics if geometries differ — merging across ranks requires the
+    /// collectors to agree on binning, as a real IPM reduction would.
+    pub fn merge(&mut self, other: &OnlineProfile) {
+        assert!(
+            self.t_min == other.t_min && self.t_max == other.t_max && self.bins == other.bins,
+            "merging profiles with different bin geometry"
+        );
+        for k in 0..self.counts.len() {
+            for b in 0..self.bins {
+                self.counts[k][b] += other.counts[k][b];
+            }
+            self.totals[k].0 += other.totals[k].0;
+            self.totals[k].1 += other.totals[k].1;
+            self.totals[k].2 += other.totals[k].2;
+            self.totals[k].3 = self.totals[k].3.max(other.totals[k].3);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(call: CallKind, bytes: u64, secs: f64) -> Record {
+        Record {
+            rank: 0,
+            call,
+            fd: 3,
+            offset: 0,
+            bytes,
+            start_ns: 0,
+            end_ns: (secs * 1e9) as u64,
+            phase: 0,
+        }
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut p = OnlineProfile::default();
+        p.record(&rec(CallKind::Write, 100, 1.0));
+        p.record(&rec(CallKind::Write, 200, 3.0));
+        p.record(&rec(CallKind::Read, 50, 0.5));
+        assert_eq!(p.count(CallKind::Write), 2);
+        assert_eq!(p.bytes(CallKind::Write), 300);
+        assert_eq!(p.mean_secs(CallKind::Write), Some(2.0));
+        assert_eq!(p.max_secs(CallKind::Write), 3.0);
+        assert_eq!(p.count(CallKind::Read), 1);
+        assert_eq!(p.count(CallKind::Barrier), 0);
+        assert!(p.mean_secs(CallKind::Barrier).is_none());
+    }
+
+    #[test]
+    fn binning_is_monotone_and_clamped() {
+        let p = OnlineProfile::new(1e-3, 1e2, 32);
+        assert_eq!(p.bin_of(1e-9), 0);
+        assert_eq!(p.bin_of(1e9), 31);
+        let mut last = 0;
+        for i in 0..100 {
+            let t = 1e-3 * (1e5f64).powf(i as f64 / 99.0);
+            let b = p.bin_of(t);
+            assert!(b >= last);
+            last = b;
+        }
+    }
+
+    #[test]
+    fn bin_center_round_trips() {
+        let p = OnlineProfile::new(1e-3, 1e2, 32);
+        for i in 0..32 {
+            assert_eq!(p.bin_of(p.bin_center(i)), i, "bin {i}");
+        }
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let mut p = OnlineProfile::default();
+        for i in 1..=100 {
+            p.record(&rec(CallKind::Read, 1, i as f64 * 0.1));
+        }
+        let q50 = p.quantile(CallKind::Read, 0.5).unwrap();
+        // True median 5.05 s; log bins are coarse, allow 2x.
+        assert!(q50 > 2.5 && q50 < 10.0, "{q50}");
+        let q100 = p.quantile(CallKind::Read, 1.0).unwrap();
+        assert!(q100 >= q50);
+        assert!(p.quantile(CallKind::Write, 0.5).is_none());
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = OnlineProfile::default();
+        let mut b = OnlineProfile::default();
+        let mut combined = OnlineProfile::default();
+        for i in 0..50 {
+            let r = rec(CallKind::Write, i, 0.01 * (i + 1) as f64);
+            if i % 2 == 0 {
+                a.record(&r);
+            } else {
+                b.record(&r);
+            }
+            combined.record(&r);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(CallKind::Write), combined.count(CallKind::Write));
+        assert_eq!(a.bytes(CallKind::Write), combined.bytes(CallKind::Write));
+        assert_eq!(a.histogram(CallKind::Write), combined.histogram(CallKind::Write));
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = OnlineProfile::new(1e-3, 1e2, 32);
+        let b = OnlineProfile::new(1e-3, 1e2, 64);
+        a.merge(&b);
+    }
+}

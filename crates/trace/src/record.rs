@@ -1,0 +1,217 @@
+//! The trace-entry schema: one record per intercepted call.
+
+use pio_des::{SimSpan, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Which intercepted call a record describes.
+///
+/// `Read`/`Write` are POSIX data calls; `MetaRead`/`MetaWrite` are the
+/// sub-3 KB middleware metadata transactions the GCRM study isolates
+/// (traced separately so histograms can be split by buffer class, as in
+/// the paper's Figure 6); `Barrier` entries capture synchronization waits
+/// (the "white space" of the paper's trace diagrams); `Send`/`Recv` cover
+/// the collective-buffering aggregation stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CallKind {
+    /// `open()`.
+    Open,
+    /// `close()`.
+    Close,
+    /// Data `read()` / `pread()`.
+    Read,
+    /// Data `write()` / `pwrite()`.
+    Write,
+    /// `lseek()`.
+    Seek,
+    /// Middleware metadata read (small).
+    MetaRead,
+    /// Middleware metadata write (small).
+    MetaWrite,
+    /// `fsync()`-like flush: wait for write-back to reach the servers.
+    Flush,
+    /// Barrier wait.
+    Barrier,
+    /// Point-to-point send (aggregation traffic).
+    Send,
+    /// Point-to-point receive (aggregation traffic).
+    Recv,
+    /// Non-I/O computation interval.
+    Compute,
+}
+
+impl CallKind {
+    /// True for calls that move file data or metadata bytes.
+    pub fn is_io(self) -> bool {
+        matches!(
+            self,
+            CallKind::Read | CallKind::Write | CallKind::MetaRead | CallKind::MetaWrite
+        )
+    }
+
+    /// True for data-plane reads/writes (excludes metadata).
+    pub fn is_data(self) -> bool {
+        matches!(self, CallKind::Read | CallKind::Write)
+    }
+
+    /// True for reads of any class.
+    pub fn is_read(self) -> bool {
+        matches!(self, CallKind::Read | CallKind::MetaRead)
+    }
+
+    /// True for writes of any class.
+    pub fn is_write(self) -> bool {
+        matches!(self, CallKind::Write | CallKind::MetaWrite)
+    }
+
+    /// Short lowercase name used in reports and CSV headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            CallKind::Open => "open",
+            CallKind::Close => "close",
+            CallKind::Read => "read",
+            CallKind::Write => "write",
+            CallKind::Seek => "seek",
+            CallKind::MetaRead => "meta_read",
+            CallKind::MetaWrite => "meta_write",
+            CallKind::Flush => "flush",
+            CallKind::Barrier => "barrier",
+            CallKind::Send => "send",
+            CallKind::Recv => "recv",
+            CallKind::Compute => "compute",
+        }
+    }
+
+    /// Every kind, for per-kind tabulation.
+    pub const ALL: [CallKind; 12] = [
+        CallKind::Open,
+        CallKind::Close,
+        CallKind::Read,
+        CallKind::Write,
+        CallKind::Seek,
+        CallKind::MetaRead,
+        CallKind::MetaWrite,
+        CallKind::Flush,
+        CallKind::Barrier,
+        CallKind::Send,
+        CallKind::Recv,
+        CallKind::Compute,
+    ];
+}
+
+/// One timestamped trace entry, mirroring IPM-I/O's
+/// `(task, call, descriptor, arguments, timestamp, duration)` tuple.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Record {
+    /// MPI rank that issued the call.
+    pub rank: u32,
+    /// The intercepted call.
+    pub call: CallKind,
+    /// File descriptor (`-1` for barriers/compute).
+    pub fd: i32,
+    /// File offset of the access (0 where meaningless).
+    pub offset: u64,
+    /// Bytes moved (0 for barriers, seeks, opens).
+    pub bytes: u64,
+    /// Call entry time, nanoseconds of virtual time.
+    pub start_ns: u64,
+    /// Call return time, nanoseconds of virtual time.
+    pub end_ns: u64,
+    /// Barrier-phase index at time of issue (0-based).
+    pub phase: u32,
+}
+
+impl Record {
+    /// Call entry instant.
+    pub fn start(&self) -> SimTime {
+        SimTime(self.start_ns)
+    }
+
+    /// Call return instant.
+    pub fn end(&self) -> SimTime {
+        SimTime(self.end_ns)
+    }
+
+    /// Call duration.
+    pub fn duration(&self) -> SimSpan {
+        SimSpan(self.end_ns.saturating_sub(self.start_ns))
+    }
+
+    /// Duration in seconds (the paper's histogram axis).
+    pub fn secs(&self) -> f64 {
+        self.duration().as_secs_f64()
+    }
+
+    /// Achieved rate in MB/s (decimal MB, as the paper reports), or `None`
+    /// for zero-byte or zero-duration records.
+    pub fn rate_mb_s(&self) -> Option<f64> {
+        let secs = self.secs();
+        if self.bytes == 0 || secs <= 0.0 {
+            return None;
+        }
+        Some(self.bytes as f64 / 1e6 / secs)
+    }
+
+    /// Normalized cost in seconds per MB (the paper's Figure 6 lower axis),
+    /// or `None` for zero-byte records.
+    pub fn sec_per_mb(&self) -> Option<f64> {
+        if self.bytes == 0 {
+            return None;
+        }
+        Some(self.secs() / (self.bytes as f64 / 1e6))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(call: CallKind, bytes: u64, start: u64, end: u64) -> Record {
+        Record {
+            rank: 0,
+            call,
+            fd: 3,
+            offset: 0,
+            bytes,
+            start_ns: start,
+            end_ns: end,
+            phase: 0,
+        }
+    }
+
+    #[test]
+    fn duration_and_rate() {
+        // 100 MB in 2 seconds = 50 MB/s.
+        let r = rec(CallKind::Write, 100_000_000, 1_000_000_000, 3_000_000_000);
+        assert_eq!(r.duration(), SimSpan::from_secs(2));
+        assert!((r.rate_mb_s().unwrap() - 50.0).abs() < 1e-9);
+        assert!((r.sec_per_mb().unwrap() - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_byte_records_have_no_rate() {
+        let r = rec(CallKind::Barrier, 0, 0, 5);
+        assert!(r.rate_mb_s().is_none());
+        assert!(r.sec_per_mb().is_none());
+    }
+
+    #[test]
+    fn backwards_timestamps_saturate() {
+        let r = rec(CallKind::Read, 10, 100, 50);
+        assert_eq!(r.duration(), SimSpan(0));
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(CallKind::Read.is_io() && CallKind::Read.is_data() && CallKind::Read.is_read());
+        assert!(CallKind::MetaWrite.is_io() && !CallKind::MetaWrite.is_data());
+        assert!(CallKind::MetaWrite.is_write());
+        assert!(!CallKind::Barrier.is_io());
+        assert!(!CallKind::Seek.is_io());
+        assert_eq!(CallKind::ALL.len(), 12);
+        // Names unique.
+        let mut names: Vec<_> = CallKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+}

@@ -1,0 +1,179 @@
+//! IPM-style per-call summary report: counts, bytes, and duration
+//! statistics per intercepted call kind — the "profile block" a real IPM
+//! run prints at exit.
+
+use crate::record::CallKind;
+use crate::trace::Trace;
+use std::fmt::Write as _;
+
+/// Per-kind aggregate line of the summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KindSummary {
+    /// Call kind.
+    pub kind: CallKind,
+    /// Event count.
+    pub count: u64,
+    /// Total bytes.
+    pub bytes: u64,
+    /// Minimum duration (s).
+    pub min_s: f64,
+    /// Mean duration (s).
+    pub mean_s: f64,
+    /// Maximum duration (s).
+    pub max_s: f64,
+    /// Total time in this call across ranks (s).
+    pub total_s: f64,
+}
+
+/// Whole-run summary.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// One entry per call kind that appears in the trace.
+    pub kinds: Vec<KindSummary>,
+    /// Run makespan (s).
+    pub makespan_s: f64,
+    /// Aggregate data rate (MB/s).
+    pub rate_mb_s: f64,
+    /// Rank count from metadata.
+    pub ranks: u32,
+}
+
+/// Compute the summary of `trace`.
+pub fn summarize(trace: &Trace) -> Summary {
+    let mut kinds = Vec::new();
+    for &kind in &CallKind::ALL {
+        let mut count = 0u64;
+        let mut bytes = 0u64;
+        let mut min_s = f64::INFINITY;
+        let mut max_s = 0f64;
+        let mut total_s = 0f64;
+        for r in trace.of_kind(kind) {
+            count += 1;
+            bytes += r.bytes;
+            let s = r.secs();
+            min_s = min_s.min(s);
+            max_s = max_s.max(s);
+            total_s += s;
+        }
+        if count > 0 {
+            kinds.push(KindSummary {
+                kind,
+                count,
+                bytes,
+                min_s,
+                mean_s: total_s / count as f64,
+                max_s,
+                total_s,
+            });
+        }
+    }
+    Summary {
+        kinds,
+        makespan_s: trace.makespan().as_secs_f64(),
+        rate_mb_s: trace.aggregate_rate_mb_s(),
+        ranks: trace.meta.ranks,
+    }
+}
+
+/// Render the summary as a fixed-width text block.
+pub fn render(trace: &Trace) -> String {
+    let s = summarize(trace);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# IPM-I/O summary: {} on {} ({} ranks, seed {})",
+        trace.meta.experiment, trace.meta.platform, s.ranks, trace.meta.seed
+    );
+    let _ = writeln!(
+        out,
+        "# makespan {:>10.3} s   aggregate {:>10.1} MB/s",
+        s.makespan_s, s.rate_mb_s
+    );
+    let _ = writeln!(
+        out,
+        "{:<11} {:>10} {:>16} {:>12} {:>12} {:>12} {:>12}",
+        "call", "count", "bytes", "min(s)", "mean(s)", "max(s)", "total(s)"
+    );
+    for k in &s.kinds {
+        let _ = writeln!(
+            out,
+            "{:<11} {:>10} {:>16} {:>12.6} {:>12.6} {:>12.6} {:>12.3}",
+            k.kind.name(),
+            k.count,
+            k.bytes,
+            k.min_s,
+            k.mean_s,
+            k.max_s,
+            k.total_s
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+    use crate::trace::TraceMeta;
+
+    fn trace() -> Trace {
+        let mut t = Trace::new(TraceMeta {
+            experiment: "sum".into(),
+            platform: "test".into(),
+            ranks: 2,
+            seed: 0,
+        });
+        for (rank, secs, bytes) in [(0u32, 1.0f64, 100u64), (1, 3.0, 100)] {
+            t.push(Record {
+                rank,
+                call: CallKind::Write,
+                fd: 3,
+                offset: 0,
+                bytes,
+                start_ns: 0,
+                end_ns: (secs * 1e9) as u64,
+                phase: 0,
+            });
+        }
+        t.push(Record {
+            rank: 0,
+            call: CallKind::Barrier,
+            fd: -1,
+            offset: 0,
+            bytes: 0,
+            start_ns: 1_000_000_000,
+            end_ns: 3_000_000_000,
+            phase: 0,
+        });
+        t
+    }
+
+    #[test]
+    fn summary_stats_per_kind() {
+        let s = summarize(&trace());
+        assert_eq!(s.kinds.len(), 2); // write + barrier
+        let w = s.kinds.iter().find(|k| k.kind == CallKind::Write).unwrap();
+        assert_eq!(w.count, 2);
+        assert_eq!(w.bytes, 200);
+        assert_eq!(w.min_s, 1.0);
+        assert_eq!(w.mean_s, 2.0);
+        assert_eq!(w.max_s, 3.0);
+        assert_eq!(w.total_s, 4.0);
+    }
+
+    #[test]
+    fn render_contains_key_fields() {
+        let text = render(&trace());
+        assert!(text.contains("IPM-I/O summary: sum"));
+        assert!(text.contains("write"));
+        assert!(text.contains("barrier"));
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    fn empty_trace_summary() {
+        let s = summarize(&Trace::default());
+        assert!(s.kinds.is_empty());
+        assert_eq!(s.makespan_s, 0.0);
+    }
+}

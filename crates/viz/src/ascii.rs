@@ -1,0 +1,262 @@
+//! Text renderings of the paper's figure panels.
+//!
+//! * [`trace_diagram`] — Figure 1(a)-style: one row per task (or task
+//!   bucket), time on the x-axis, `W`/`R`/`m` marks where the task is
+//!   inside a write/read/metadata call, space elsewhere (the barrier
+//!   "white space").
+//! * [`rate_curve_text`] — Figure 1(b)-style aggregate rate over time.
+//! * [`histogram_text`] — Figure 1(c)-style completion-time histograms.
+
+use pio_core::hist::Histogram;
+use pio_core::rates::RateCurve;
+use pio_trace::{CallKind, Trace};
+use std::fmt::Write as _;
+
+fn mark_of(call: CallKind) -> char {
+    match call {
+        CallKind::Write => 'W',
+        CallKind::Read => 'R',
+        CallKind::MetaWrite | CallKind::MetaRead => 'm',
+        CallKind::Send | CallKind::Recv => '.',
+        CallKind::Flush => 'f',
+        _ => ' ',
+    }
+}
+
+/// Render the trace diagram: `rows` task rows × `cols` time columns.
+/// When there are more tasks than rows, tasks are bucketed and a bucket
+/// shows the mark of the most common active call. Marks: `W` write,
+/// `R` read, `m` metadata, `f` flush, space = barrier/idle.
+pub fn trace_diagram(trace: &Trace, rows: usize, cols: usize) -> String {
+    assert!(rows > 0 && cols > 0);
+    let ranks = trace.meta.ranks.max(1) as usize;
+    let rows = rows.min(ranks);
+    let end = trace.end_time().as_secs_f64().max(1e-9);
+    // grid[row][col] → counts per mark.
+    let mut grid = vec![vec![[0u32; 5]; cols]; rows];
+    let slot = |c: char| match c {
+        'W' => 0,
+        'R' => 1,
+        'm' => 2,
+        'f' => 3,
+        _ => 4,
+    };
+    for r in &trace.records {
+        let mark = mark_of(r.call);
+        if mark == ' ' {
+            continue;
+        }
+        let row = (r.rank as usize * rows) / ranks;
+        let c0 = ((r.start().as_secs_f64() / end) * cols as f64) as usize;
+        let c1 = ((r.end().as_secs_f64() / end) * cols as f64).ceil() as usize;
+        for cell in grid[row.min(rows - 1)][c0..c1.min(cols)].iter_mut() {
+            cell[slot(mark)] += 1;
+        }
+    }
+    let mut out = String::with_capacity(rows * (cols + 1) + 64);
+    let _ = writeln!(
+        out,
+        "# trace {} [{}]: {} ranks, {:.2}s  (W=write R=read m=meta f=flush)",
+        trace.meta.experiment, trace.meta.platform, ranks, end
+    );
+    for row in &grid {
+        for cell in row {
+            let marks = ['W', 'R', 'm', 'f'];
+            let best = (0..4).max_by_key(|&i| cell[i]).unwrap_or(4);
+            out.push(if cell[best] > 0 { marks[best] } else { ' ' });
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "0{:>width$.1}s", end, width = cols - 1);
+    out
+}
+
+/// Render a rate curve as a bar chart over time.
+pub fn rate_curve_text(curve: &RateCurve, height: usize, label: &str) -> String {
+    assert!(height > 0);
+    let peak = curve.peak().max(1e-12);
+    let mut out = String::new();
+    let _ = writeln!(out, "# {label}: peak {:.1} MB/s, avg {:.1} MB/s", curve.peak(), curve.average());
+    for level in (1..=height).rev() {
+        let threshold = peak * level as f64 / height as f64;
+        let _ = write!(out, "{:>10.0} |", threshold);
+        for &(_, r) in &curve.points {
+            out.push(if r >= threshold { '#' } else { ' ' });
+        }
+        out.push('\n');
+    }
+    let _ = write!(out, "{:>10} +", "MB/s");
+    for _ in &curve.points {
+        out.push('-');
+    }
+    let secs = curve.points.len() as f64 * curve.dt;
+    let _ = writeln!(out, " {secs:.1}s");
+    out
+}
+
+/// Render a histogram as horizontal count bars.
+pub fn histogram_text(hist: &Histogram, width: usize, label: &str) -> String {
+    assert!(width > 0);
+    let max = hist.counts().iter().copied().max().unwrap_or(0).max(1);
+    let mut out = String::new();
+    let _ = writeln!(out, "# {label}: {} events", hist.in_range());
+    for i in 0..hist.bins() {
+        let c = hist.count(i);
+        if c == 0 {
+            continue;
+        }
+        let bar = (c as usize * width).div_ceil(max as usize);
+        let _ = writeln!(
+            out,
+            "{:>10.3}s |{:<width$} {}",
+            hist.bin_center(i),
+            "#".repeat(bar),
+            c,
+            width = width
+        );
+    }
+    out
+}
+
+/// Render progress curves (Figure 5(a) style): one labelled row group per
+/// curve, `#` up to the fraction complete at each of `cols` time columns
+/// spanning `[0, t_max]`.
+pub fn cdf_text(curves: &[(String, Vec<(f64, f64)>)], cols: usize, label: &str) -> String {
+    assert!(cols > 0);
+    let t_max = curves
+        .iter()
+        .flat_map(|(_, c)| c.iter().map(|&(t, _)| t))
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let mut out = String::new();
+    let _ = writeln!(out, "# {label} (x: 0..{t_max:.1}s, bar = fraction complete)");
+    for (name, curve) in curves {
+        let _ = write!(out, "{name:>12} |");
+        for c in 0..cols {
+            let t = t_max * (c as f64 + 0.5) / cols as f64;
+            // Fraction complete at time t: last point with time <= t.
+            let frac = curve
+                .iter()
+                .take_while(|&&(ct, _)| ct <= t)
+                .last()
+                .map(|&(_, f)| f)
+                .unwrap_or(0.0);
+            out.push(match (frac * 4.0) as u32 {
+                0 => ' ',
+                1 => '.',
+                2 => ':',
+                3 => '+',
+                _ => '#',
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pio_core::rates::write_rate_curve;
+    use pio_trace::{Record, TraceMeta};
+
+    fn trace() -> Trace {
+        let mut t = Trace::new(TraceMeta {
+            experiment: "viz".into(),
+            platform: "test".into(),
+            ranks: 4,
+            seed: 0,
+        });
+        for rank in 0..4u32 {
+            t.push(Record {
+                rank,
+                call: CallKind::Write,
+                fd: 3,
+                offset: 0,
+                bytes: 10_000_000,
+                start_ns: 0,
+                end_ns: (rank as u64 + 1) * 1_000_000_000,
+                phase: 0,
+            });
+            t.push(Record {
+                rank,
+                call: CallKind::Read,
+                fd: 3,
+                offset: 0,
+                bytes: 10_000_000,
+                start_ns: 5_000_000_000,
+                end_ns: 6_000_000_000,
+                phase: 1,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn diagram_shape_and_marks() {
+        let t = trace();
+        let d = trace_diagram(&t, 4, 60);
+        let lines: Vec<&str> = d.lines().collect();
+        // Header + 4 rows + axis.
+        assert_eq!(lines.len(), 6);
+        assert!(lines[0].contains("4 ranks"));
+        // Rank 0 wrote for 1/6 of the time: leading Ws then blank.
+        assert!(lines[1].starts_with('W'));
+        // All rows contain both W and R marks.
+        for row in &lines[1..5] {
+            assert!(row.contains('W'), "{row}");
+            assert!(row.contains('R'), "{row}");
+        }
+        // The barrier gap (between write end and read start) is blank.
+        assert!(lines[1].contains("  "), "white space expected");
+    }
+
+    #[test]
+    fn diagram_buckets_many_ranks() {
+        let t = trace();
+        let d = trace_diagram(&t, 2, 30);
+        assert_eq!(d.lines().count(), 4); // header + 2 rows + axis
+    }
+
+    #[test]
+    fn rate_curve_renders() {
+        let t = trace();
+        let c = write_rate_curve(&t, 0.2);
+        let text = rate_curve_text(&c, 5, "write rate");
+        assert!(text.contains("write rate"));
+        assert!(text.contains('#'));
+        assert_eq!(text.lines().count(), 7);
+    }
+
+    #[test]
+    fn histogram_renders_nonzero_bins() {
+        let h = Histogram::from_samples(&[1.0, 1.1, 1.2, 4.0, 4.1], 10);
+        let text = histogram_text(&h, 20, "durations");
+        assert!(text.contains("5 events"));
+        // Two clusters → at least two bar lines.
+        assert!(text.lines().filter(|l| l.contains('#')).count() >= 2);
+    }
+
+    #[test]
+    fn cdf_text_orders_fast_before_slow() {
+        let fast: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, i as f64 / 10.0)).collect();
+        let slow: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64 * 4.0, i as f64 / 10.0)).collect();
+        let text = cdf_text(
+            &[("fast".into(), fast), ("slow".into(), slow)],
+            40,
+            "progress",
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // The fast curve saturates ('#') earlier than the slow one.
+        let first_hash = |l: &str| l.find('#').unwrap_or(usize::MAX);
+        assert!(first_hash(lines[1]) < first_hash(lines[2]), "{text}");
+    }
+
+    #[test]
+    fn empty_trace_diagram_is_safe() {
+        let t = Trace::default();
+        let d = trace_diagram(&t, 3, 10);
+        assert!(d.contains("0.00s") || d.contains("ranks"));
+    }
+}

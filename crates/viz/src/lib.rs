@@ -1,0 +1,11 @@
+//! # pio-viz — terminal rendering and data export for traces
+//!
+//! Text renderings of the paper's three panel types — trace diagram,
+//! aggregate rate curve, completion-time histogram — plus CSV export of
+//! the underlying series so external plotting tools can regenerate the
+//! figures faithfully.
+
+pub mod ascii;
+pub mod csv;
+
+pub use ascii::{histogram_text, rate_curve_text, trace_diagram};

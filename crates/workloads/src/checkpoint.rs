@@ -1,0 +1,211 @@
+//! Periodic checkpointing — the I/O pattern the paper's §III names as
+//! what HPC I/O mostly is: "large-scale data movement, such as
+//! check-pointing the state of the running application".
+//!
+//! Not one of the paper's three measured workloads, but the natural
+//! fourth: compute for a while, dump the full application state, repeat.
+//! Supports the two classic layouts (one shared checkpoint file at
+//! per-rank offsets vs file-per-process) and an optional restart read,
+//! so the ensemble tooling can be exercised on the pattern the paper
+//! motivates with.
+
+use pio_des::SimSpan;
+use pio_mpi::program::{FileSpec, Job, Op, Program};
+
+/// Checkpoint workload parameters.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// MPI task count.
+    pub tasks: u32,
+    /// Bytes of state each task dumps per checkpoint.
+    pub state_bytes: u64,
+    /// Number of checkpoint epochs.
+    pub epochs: u32,
+    /// Compute time between checkpoints.
+    pub compute: SimSpan,
+    /// One shared file (per-rank offsets, stripe-aligned) or one file per
+    /// process.
+    pub file_per_process: bool,
+    /// Restart: read the last checkpoint back at the end (failure
+    /// recovery path).
+    pub restart_read: bool,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig {
+            tasks: 256,
+            state_bytes: 256 << 20,
+            epochs: 4,
+            compute: SimSpan::from_secs(30),
+            file_per_process: false,
+            restart_read: false,
+        }
+    }
+}
+
+impl CheckpointConfig {
+    /// Scaled-down variant (divides the task count).
+    pub fn scaled(&self, scale: u32) -> Self {
+        CheckpointConfig {
+            tasks: (self.tasks / scale).max(4),
+            ..self.clone()
+        }
+    }
+
+    /// Stripe-aligned slot for one rank's state in the shared layout.
+    pub fn slot_bytes(&self) -> u64 {
+        self.state_bytes.div_ceil(1 << 20) * (1 << 20)
+    }
+
+    /// Total bytes written across all epochs.
+    pub fn total_bytes_written(&self) -> u64 {
+        self.tasks as u64 * self.state_bytes * self.epochs as u64
+    }
+
+    /// Build the job. Each epoch: compute, dump state, barrier (the
+    /// checkpoint must be globally consistent), flush every other epoch
+    /// (checkpoint libraries fsync on commit).
+    pub fn job(&self) -> Job {
+        let programs = (0..self.tasks)
+            .map(|t| {
+                let (file, base) = if self.file_per_process {
+                    (t, 0u64)
+                } else {
+                    (0u32, t as u64 * self.slot_bytes())
+                };
+                let mut ops = vec![Op::Open { file }, Op::Barrier];
+                for _epoch in 0..self.epochs {
+                    if self.compute > SimSpan::ZERO {
+                        ops.push(Op::Compute { span: self.compute });
+                    }
+                    // Checkpoints overwrite in place (double-buffered
+                    // schemes alternate; in-place is the simplest commit).
+                    ops.push(Op::WriteAt {
+                        file,
+                        offset: base,
+                        bytes: self.state_bytes,
+                    });
+                    ops.push(Op::Flush { file });
+                    ops.push(Op::Barrier);
+                }
+                if self.restart_read {
+                    ops.push(Op::ReadAt {
+                        file,
+                        offset: base,
+                        bytes: self.state_bytes,
+                    });
+                    ops.push(Op::Barrier);
+                }
+                ops.push(Op::Close { file });
+                Program { ops }
+            })
+            .collect();
+        let files = if self.file_per_process {
+            vec![FileSpec { shared: false }; self.tasks as usize]
+        } else {
+            vec![FileSpec { shared: true }]
+        };
+        Job { programs, files }
+    }
+
+    /// Fraction of wall time a run spent checkpointing (I/O + flush) —
+    /// the number a center uses to size its file system ("I/O should
+    /// consume less than 5% of run time").
+    pub fn io_fraction(trace: &pio_trace::Trace) -> f64 {
+        let io: f64 = trace
+            .records
+            .iter()
+            .filter(|r| r.call.is_io() || r.call == pio_trace::CallKind::Flush)
+            .map(|r| r.secs())
+            .sum();
+        let compute: f64 = trace
+            .of_kind(pio_trace::CallKind::Compute)
+            .map(|r| r.secs())
+            .sum();
+        let total = io + compute;
+        if total <= 0.0 {
+            0.0
+        } else {
+            io / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pio_fs::FsConfig;
+    use pio_mpi::{run, RunConfig};
+    use pio_trace::CallKind;
+
+    fn small(fpp: bool) -> CheckpointConfig {
+        CheckpointConfig {
+            tasks: 8,
+            state_bytes: 8 << 20,
+            epochs: 3,
+            compute: SimSpan::from_secs(2),
+            file_per_process: fpp,
+            restart_read: true,
+        }
+    }
+
+    #[test]
+    fn job_shape_and_conservation() {
+        let cfg = small(false);
+        let job = cfg.job();
+        job.validate().unwrap();
+        let res = run(&job, &RunConfig::new(FsConfig::tiny_test(), 1, "ckpt")).unwrap();
+        assert_eq!(res.stats.bytes_written, cfg.total_bytes_written());
+        assert_eq!(res.stats.bytes_read, 8 * (8 << 20));
+        assert_eq!(res.stats.flushes, 8 * 3);
+        res.trace.validate().unwrap();
+    }
+
+    #[test]
+    fn shared_slots_are_aligned_and_exclusive() {
+        let cfg = small(false);
+        assert_eq!(cfg.slot_bytes() % (1 << 20), 0);
+        let res = run(&cfg.job(), &RunConfig::new(FsConfig::tiny_test(), 2, "ckpt2")).unwrap();
+        assert_eq!(res.lock_stats.1, 0, "aligned exclusive slots never conflict");
+    }
+
+    #[test]
+    fn fpp_variant_uses_private_files() {
+        let cfg = small(true);
+        let job = cfg.job();
+        assert_eq!(job.files.len(), 8);
+        let res = run(&job, &RunConfig::new(FsConfig::tiny_test(), 3, "ckpt3")).unwrap();
+        assert_eq!(res.stats.bytes_written, cfg.total_bytes_written());
+    }
+
+    #[test]
+    fn io_fraction_reflects_compute_ratio() {
+        // Long compute → small I/O fraction; no compute → fraction 1.
+        let mut cfg = small(false);
+        cfg.compute = SimSpan::from_secs(60);
+        cfg.restart_read = false;
+        let res = run(&cfg.job(), &RunConfig::new(FsConfig::tiny_test(), 4, "ckpt4")).unwrap();
+        let frac = CheckpointConfig::io_fraction(&res.trace);
+        assert!(frac > 0.0 && frac < 0.2, "{frac}");
+        let mut busy = small(false);
+        busy.compute = SimSpan::ZERO;
+        let res2 = run(&busy.job(), &RunConfig::new(FsConfig::tiny_test(), 4, "ckpt5")).unwrap();
+        assert_eq!(CheckpointConfig::io_fraction(&res2.trace), 1.0);
+    }
+
+    #[test]
+    fn flush_makes_epochs_durable() {
+        // After each epoch barrier, the OSTs have received everything the
+        // epoch wrote (flush-before-barrier semantics).
+        let cfg = small(false);
+        let res = run(&cfg.job(), &RunConfig::new(FsConfig::tiny_test(), 5, "ckpt6")).unwrap();
+        // Flush records exist in each epoch's phase.
+        let flush_phases: std::collections::HashSet<u32> = res
+            .trace
+            .of_kind(CallKind::Flush)
+            .map(|r| r.phase)
+            .collect();
+        assert!(flush_phases.len() >= 3);
+    }
+}

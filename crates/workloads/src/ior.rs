@@ -1,0 +1,328 @@
+//! IOR (Interleaved-Or-Random) — the parametrized I/O micro-benchmark.
+//!
+//! The paper's configuration: "IOR has been configured to run with 1024
+//! tasks … Each task writes 512 MB to a unique offset within a shared
+//! file, and does so in a single write() call, followed by a barrier.
+//! This is then repeated five times." The Figure 2 variants split the
+//! 512 MB into k = 2, 4, 8 successive calls "with no barrier until all
+//! 512 MB has been written".
+
+use pio_mpi::program::{FileSpec, Job, Op, Program};
+
+/// IOR parameters.
+#[derive(Debug, Clone)]
+pub struct IorConfig {
+    /// MPI task count.
+    pub tasks: u32,
+    /// Per-task block written per repetition (bytes).
+    pub block_bytes: u64,
+    /// Number of write() calls the block is split into (the paper's k).
+    pub segments: u32,
+    /// Repetitions (barriered phases).
+    pub repetitions: u32,
+    /// Read the block back after writing (IOR's `-r`; off in the paper's
+    /// runs but part of the benchmark).
+    pub read_back: bool,
+    /// IOR's `-F` (filePerProc): each task writes its own file at offset
+    /// 0 instead of a unique offset of one shared file. The paper's runs
+    /// use a shared file; file-per-process is the classic comparison
+    /// point (no shared-file locking, more metadata load).
+    pub file_per_process: bool,
+}
+
+impl Default for IorConfig {
+    fn default() -> Self {
+        IorConfig {
+            tasks: 1024,
+            block_bytes: 512 << 20,
+            segments: 1,
+            repetitions: 5,
+            read_back: false,
+            file_per_process: false,
+        }
+    }
+}
+
+impl IorConfig {
+    /// The paper's Figure 1 experiment.
+    pub fn paper_fig1() -> Self {
+        Self::default()
+    }
+
+    /// The paper's Figure 2 experiments (k = 1, 2, 4, 8; single phase of
+    /// 512 MB with no intermediate barriers).
+    pub fn paper_fig2(k: u32) -> Self {
+        IorConfig {
+            segments: k,
+            repetitions: 1,
+            ..Self::default()
+        }
+    }
+
+    /// A scaled-down variant: `scale` divides the task count (per-task
+    /// block unchanged, so per-node behaviour matches the full run when
+    /// paired with `FsConfig::scaled`).
+    pub fn scaled(&self, scale: u32) -> Self {
+        IorConfig {
+            tasks: (self.tasks / scale).max(4),
+            ..self.clone()
+        }
+    }
+
+    /// Per-segment transfer size.
+    pub fn transfer_bytes(&self) -> u64 {
+        self.block_bytes / self.segments as u64
+    }
+
+    /// Total bytes the job writes.
+    pub fn total_bytes(&self) -> u64 {
+        self.tasks as u64 * self.block_bytes * self.repetitions as u64
+    }
+
+    /// Build the job.
+    pub fn job(&self) -> Job {
+        assert!(self.segments >= 1 && self.block_bytes.is_multiple_of(self.segments as u64));
+        let xfer = self.transfer_bytes();
+        let programs = (0..self.tasks)
+            .map(|t| {
+                let (file, base) = if self.file_per_process {
+                    (t, 0u64)
+                } else {
+                    (0u32, t as u64 * self.block_bytes)
+                };
+                let mut ops = vec![Op::Open { file }, Op::Barrier];
+                for _rep in 0..self.repetitions {
+                    for s in 0..self.segments {
+                        ops.push(Op::WriteAt {
+                            file,
+                            offset: base + s as u64 * xfer,
+                            bytes: xfer,
+                        });
+                    }
+                    ops.push(Op::Barrier);
+                    if self.read_back {
+                        for s in 0..self.segments {
+                            ops.push(Op::ReadAt {
+                                file,
+                                offset: base + s as u64 * xfer,
+                                bytes: xfer,
+                            });
+                        }
+                        ops.push(Op::Barrier);
+                    }
+                }
+                ops.push(Op::Flush { file });
+                ops.push(Op::Close { file });
+                Program { ops }
+            })
+            .collect();
+        let files = if self.file_per_process {
+            vec![FileSpec { shared: false }; self.tasks as usize]
+        } else {
+            vec![FileSpec { shared: true }]
+        };
+        Job { programs, files }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pio_fs::FsConfig;
+    use pio_mpi::{run, RunConfig};
+    use pio_trace::CallKind;
+
+    const MB: u64 = 1 << 20;
+
+    #[test]
+    fn job_shape_matches_parameters() {
+        let cfg = IorConfig {
+            tasks: 8,
+            block_bytes: 8 * MB,
+            segments: 4,
+            repetitions: 3,
+            read_back: false,
+            file_per_process: false,
+        };
+        let job = cfg.job();
+        job.validate().unwrap();
+        assert_eq!(job.ranks(), 8);
+        assert_eq!(job.total_bytes_written(), cfg.total_bytes());
+        assert_eq!(cfg.transfer_bytes(), 2 * MB);
+        // Barriers: 1 after open + 1 per repetition.
+        assert_eq!(job.programs[0].barriers(), 4);
+    }
+
+    #[test]
+    fn offsets_are_unique_and_disjoint() {
+        let cfg = IorConfig {
+            tasks: 4,
+            block_bytes: 4 * MB,
+            segments: 2,
+            repetitions: 1,
+            read_back: false,
+            file_per_process: false,
+        };
+        let job = cfg.job();
+        let mut extents = Vec::new();
+        for p in &job.programs {
+            for op in &p.ops {
+                if let Op::WriteAt { offset, bytes, .. } = op {
+                    extents.push((*offset, offset + bytes));
+                }
+            }
+        }
+        extents.sort_unstable();
+        for w in extents.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlapping writes {w:?}");
+        }
+    }
+
+    #[test]
+    fn repetitions_rewrite_the_same_block() {
+        let cfg = IorConfig {
+            tasks: 2,
+            block_bytes: 2 * MB,
+            segments: 1,
+            repetitions: 5,
+            read_back: false,
+            file_per_process: false,
+        };
+        let job = cfg.job();
+        let offsets: Vec<u64> = job.programs[1]
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::WriteAt { offset, .. } => Some(*offset),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(offsets, vec![2 * MB; 5]);
+    }
+
+    #[test]
+    fn read_back_adds_reads() {
+        let cfg = IorConfig {
+            tasks: 2,
+            block_bytes: 2 * MB,
+            segments: 2,
+            repetitions: 1,
+            read_back: true,
+            file_per_process: false,
+        };
+        let job = cfg.job();
+        assert_eq!(job.total_bytes_read(), job.total_bytes_written());
+        job.validate().unwrap();
+    }
+
+    #[test]
+    fn runs_end_to_end_on_tiny_platform() {
+        let cfg = IorConfig {
+            tasks: 8,
+            block_bytes: 4 * MB,
+            segments: 1,
+            repetitions: 2,
+            read_back: false,
+            file_per_process: false,
+        };
+        let res = run(&cfg.job(), &RunConfig::new(FsConfig::tiny_test(), 1, "ior-test")).unwrap();
+        assert_eq!(res.stats.bytes_written, cfg.total_bytes());
+        assert_eq!(res.trace.of_kind(CallKind::Write).count(), 16);
+        res.trace.validate().unwrap();
+        // Aligned unique offsets on a shared file: no lock conflicts.
+        assert_eq!(res.lock_stats.1, 0);
+    }
+
+    #[test]
+    fn more_segments_same_bytes() {
+        for k in [1u32, 2, 4, 8] {
+            let cfg = IorConfig {
+                tasks: 4,
+                block_bytes: 8 * MB,
+                segments: k,
+                repetitions: 1,
+                read_back: false,
+                file_per_process: false,
+            };
+            let res =
+                run(&cfg.job(), &RunConfig::new(FsConfig::tiny_test(), k as u64, "ior-k")).unwrap();
+            assert_eq!(res.stats.bytes_written, 4 * 8 * MB);
+            assert_eq!(res.trace.of_kind(CallKind::Write).count(), (4 * k) as usize);
+        }
+    }
+
+    #[test]
+    fn paper_presets() {
+        let f1 = IorConfig::paper_fig1();
+        assert_eq!(f1.tasks, 1024);
+        assert_eq!(f1.block_bytes, 512 << 20);
+        assert_eq!(f1.repetitions, 5);
+        let f2 = IorConfig::paper_fig2(8);
+        assert_eq!(f2.segments, 8);
+        assert_eq!(f2.repetitions, 1);
+        assert_eq!(f2.transfer_bytes(), 64 << 20);
+        let s = f1.scaled(8);
+        assert_eq!(s.tasks, 128);
+        assert_eq!(s.block_bytes, 512 << 20);
+    }
+
+    #[test]
+    fn file_per_process_builds_private_files() {
+        let cfg = IorConfig {
+            tasks: 4,
+            block_bytes: 2 * MB,
+            segments: 1,
+            repetitions: 1,
+            read_back: false,
+            file_per_process: true,
+        };
+        let job = cfg.job();
+        job.validate().unwrap();
+        assert_eq!(job.files.len(), 4);
+        assert!(job.files.iter().all(|f| !f.shared));
+        // Every task writes at offset 0 of its own file.
+        for (t, p) in job.programs.iter().enumerate() {
+            let w = p
+                .ops
+                .iter()
+                .find_map(|o| match o {
+                    Op::WriteAt { file, offset, .. } => Some((*file, *offset)),
+                    _ => None,
+                })
+                .unwrap();
+            assert_eq!(w, (t as u32, 0));
+        }
+        let res = run(&cfg.job(), &RunConfig::new(FsConfig::tiny_test(), 2, "ior-fpp")).unwrap();
+        assert_eq!(res.stats.bytes_written, cfg.total_bytes());
+        assert_eq!(res.lock_stats.1, 0, "private files cannot conflict");
+    }
+
+    #[test]
+    fn fpp_and_shared_move_the_same_bytes() {
+        let mk = |fpp| IorConfig {
+            tasks: 8,
+            block_bytes: 4 * MB,
+            segments: 2,
+            repetitions: 1,
+            read_back: false,
+            file_per_process: fpp,
+        };
+        let a = run(&mk(false).job(), &RunConfig::new(FsConfig::tiny_test(), 3, "shared")).unwrap();
+        let b = run(&mk(true).job(), &RunConfig::new(FsConfig::tiny_test(), 3, "fpp")).unwrap();
+        assert_eq!(a.stats.bytes_written, b.stats.bytes_written);
+    }
+
+    #[test]
+    #[should_panic]
+    fn indivisible_block_rejected() {
+        IorConfig {
+            tasks: 2,
+            block_bytes: 3 * MB,
+            segments: 5,
+            repetitions: 1,
+            read_back: false,
+            file_per_process: false,
+        }
+        .job();
+    }
+}

@@ -1,0 +1,353 @@
+//! MADbench — the out-of-core CMB analysis I/O kernel (paper §IV).
+//!
+//! "An out-of-core solver that has three phases": write 8 matrices;
+//! read each back, multiply, write the result (seek, read, seek, write);
+//! read the results and accumulate a trace. Per task the matrices live
+//! sequentially in an exclusive region of a shared file, each aligned to
+//! a 1 MB boundary — producing "a small gap between the end of each I/O
+//! region and the next", the stride that trips Franklin's read-ahead.
+//! Computation and communication are "effectively turned off" as in the
+//! paper's experiments (a configurable compute stub is provided).
+
+use pio_des::SimSpan;
+use pio_mpi::program::{FileSpec, Job, Op, Program};
+
+/// MADbench parameters.
+#[derive(Debug, Clone)]
+pub struct MadbenchConfig {
+    /// MPI task count (paper: 256).
+    pub tasks: u32,
+    /// Matrix bytes per task (paper: ~300 MB; deliberately NOT an
+    /// alignment multiple so the aligned slots leave a gap).
+    pub matrix_bytes: u64,
+    /// Matrices per task (paper: 8).
+    pub n_matrices: u32,
+    /// Alignment of each matrix slot (paper: 1 MB).
+    pub alignment: u64,
+    /// Compute time between I/O ops (paper: off).
+    pub compute: SimSpan,
+}
+
+impl Default for MadbenchConfig {
+    fn default() -> Self {
+        MadbenchConfig {
+            tasks: 256,
+            // 300 MB + 256 KiB: leaves a 0.75 MiB gap per 1 MiB-aligned slot.
+            matrix_bytes: (300 << 20) + (256 << 10),
+            n_matrices: 8,
+            alignment: 1 << 20,
+            compute: SimSpan::ZERO,
+        }
+    }
+}
+
+impl MadbenchConfig {
+    /// The paper's 256-task experiment.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Scaled-down variant: divides the task count only, keeping the
+    /// per-task matrices (and hence cache pressure) at paper size.
+    pub fn scaled(&self, scale: u32) -> Self {
+        MadbenchConfig {
+            tasks: (self.tasks / scale).max(4),
+            ..self.clone()
+        }
+    }
+
+    /// Aligned slot size of one matrix.
+    pub fn slot_bytes(&self) -> u64 {
+        if self.alignment <= 1 {
+            self.matrix_bytes
+        } else {
+            self.matrix_bytes.div_ceil(self.alignment) * self.alignment
+        }
+    }
+
+    /// Gap between the end of a matrix and the next slot — the stride
+    /// remainder the read-ahead engine keys on.
+    pub fn gap_bytes(&self) -> u64 {
+        self.slot_bytes() - self.matrix_bytes
+    }
+
+    /// Base offset of matrix `m` for `task`.
+    pub fn matrix_offset(&self, task: u32, m: u32) -> u64 {
+        debug_assert!(task < self.tasks && m < self.n_matrices);
+        let region = self.slot_bytes() * self.n_matrices as u64;
+        task as u64 * region + m as u64 * self.slot_bytes()
+    }
+
+    /// Total bytes written by the job (phases 1 and 2).
+    pub fn total_bytes_written(&self) -> u64 {
+        self.tasks as u64 * self.matrix_bytes * self.n_matrices as u64 * 2
+    }
+
+    /// Total bytes read by the job (phases 2 and 3).
+    pub fn total_bytes_read(&self) -> u64 {
+        self.total_bytes_written()
+    }
+
+    /// Build the job: `8×W; 8×(seek, R, seek, W); 8×R`. The write phase
+    /// and the final read phase are barriered per matrix (the vertical
+    /// bands of Figure 4(a)); the middle phase free-runs per task with a
+    /// single barrier at its end — which is what lets one task's writes
+    /// overlap another's reads and keep "the client-side system buffers
+    /// … full" (paper §IV-C).
+    pub fn job(&self) -> Job {
+        let programs = (0..self.tasks)
+            .map(|t| {
+                let mut ops = vec![Op::Open { file: 0 }, Op::Barrier];
+                let compute = |ops: &mut Vec<Op>| {
+                    if self.compute > SimSpan::ZERO {
+                        ops.push(Op::Compute { span: self.compute });
+                    }
+                };
+                // Phase 1: write the matrices.
+                for m in 0..self.n_matrices {
+                    compute(&mut ops);
+                    ops.push(Op::Seek {
+                        file: 0,
+                        offset: self.matrix_offset(t, m),
+                    });
+                    ops.push(Op::Write {
+                        file: 0,
+                        bytes: self.matrix_bytes,
+                    });
+                    ops.push(Op::Barrier);
+                }
+                // Phase 2: read, "multiply", write back in place —
+                // free-running, one barrier at the end.
+                for m in 0..self.n_matrices {
+                    compute(&mut ops);
+                    ops.push(Op::Seek {
+                        file: 0,
+                        offset: self.matrix_offset(t, m),
+                    });
+                    ops.push(Op::Read {
+                        file: 0,
+                        bytes: self.matrix_bytes,
+                    });
+                    compute(&mut ops);
+                    ops.push(Op::Seek {
+                        file: 0,
+                        offset: self.matrix_offset(t, m),
+                    });
+                    ops.push(Op::Write {
+                        file: 0,
+                        bytes: self.matrix_bytes,
+                    });
+                }
+                ops.push(Op::Barrier);
+                // Phase 3: read the results.
+                for m in 0..self.n_matrices {
+                    compute(&mut ops);
+                    ops.push(Op::Seek {
+                        file: 0,
+                        offset: self.matrix_offset(t, m),
+                    });
+                    ops.push(Op::Read {
+                        file: 0,
+                        bytes: self.matrix_bytes,
+                    });
+                    ops.push(Op::Barrier);
+                }
+                ops.push(Op::Flush { file: 0 });
+                ops.push(Op::Close { file: 0 });
+                Program { ops }
+            })
+            .collect();
+        Job {
+            programs,
+            files: vec![FileSpec { shared: true }],
+        }
+    }
+
+    /// The barrier phase containing the whole free-running middle
+    /// section (phase 0 = open barrier; 1..=n the write iterations).
+    pub fn middle_phase(&self) -> u32 {
+        self.n_matrices + 1
+    }
+
+    /// Middle-phase read durations grouped by read index (1-based):
+    /// element `m-1` holds every rank's `m`-th middle read — the per-read
+    /// ensembles of Figure 5(a).
+    pub fn middle_reads_by_index(&self, trace: &pio_trace::Trace) -> Vec<Vec<f64>> {
+        let phase = self.middle_phase();
+        let mut per_rank: std::collections::HashMap<u32, Vec<(u64, f64)>> =
+            std::collections::HashMap::new();
+        for r in trace.in_phase(phase) {
+            if r.call == pio_trace::CallKind::Read {
+                per_rank
+                    .entry(r.rank)
+                    .or_default()
+                    .push((r.start_ns, r.secs()));
+            }
+        }
+        let mut out = vec![Vec::new(); self.n_matrices as usize];
+        for (_, mut reads) in per_rank {
+            reads.sort_unstable_by_key(|&(t, _)| t);
+            for (m, (_, secs)) in reads.into_iter().enumerate() {
+                if m < out.len() {
+                    out[m].push(secs);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pio_fs::FsConfig;
+    use pio_mpi::{run, RunConfig};
+    use pio_trace::CallKind;
+
+    #[test]
+    fn geometry_produces_the_stride_gap() {
+        let cfg = MadbenchConfig::paper();
+        assert_eq!(cfg.slot_bytes(), 301 << 20);
+        assert_eq!(cfg.gap_bytes(), (1 << 20) - (256 << 10));
+        // Slots are aligned and regions disjoint across tasks.
+        assert_eq!(cfg.matrix_offset(0, 1), 301 << 20);
+        assert_eq!(cfg.matrix_offset(1, 0), 8 * (301 << 20));
+        assert_eq!(cfg.matrix_offset(0, 1) % cfg.alignment, 0);
+    }
+
+    #[test]
+    fn job_has_the_paper_op_pattern() {
+        let cfg = MadbenchConfig {
+            tasks: 4,
+            matrix_bytes: (4 << 20) + (256 << 10),
+            n_matrices: 8,
+            alignment: 1 << 20,
+            compute: SimSpan::ZERO,
+        };
+        let job = cfg.job();
+        job.validate().unwrap();
+        let p = &job.programs[0];
+        let writes = p.ops.iter().filter(|o| matches!(o, Op::Write { .. })).count();
+        let reads = p.ops.iter().filter(|o| matches!(o, Op::Read { .. })).count();
+        let seeks = p.ops.iter().filter(|o| matches!(o, Op::Seek { .. })).count();
+        assert_eq!(writes, 16); // 8 + 8
+        assert_eq!(reads, 16); // 8 + 8
+        assert_eq!(seeks, 32);
+        assert_eq!(p.barriers(), 1 + 8 + 1 + 8);
+        assert_eq!(job.total_bytes_written(), cfg.total_bytes_written());
+    }
+
+    #[test]
+    fn runs_end_to_end_small() {
+        let cfg = MadbenchConfig {
+            tasks: 4,
+            matrix_bytes: (2 << 20) + (256 << 10),
+            n_matrices: 3,
+            alignment: 1 << 20,
+            compute: SimSpan::ZERO,
+        };
+        let res = run(
+            &cfg.job(),
+            &RunConfig::new(FsConfig::tiny_test(), 1, "madbench-test"),
+        )
+        .unwrap();
+        assert_eq!(res.stats.bytes_written, cfg.total_bytes_written());
+        assert_eq!(res.stats.bytes_read, cfg.total_bytes_read());
+        res.trace.validate().unwrap();
+        // No lock conflicts: regions are exclusive and gaps isolate slots.
+        assert_eq!(res.lock_stats.1, 0);
+    }
+
+    #[test]
+    fn buggy_platform_degrades_reads_and_patch_fixes_them() {
+        // Small but sufficient: 6 matrices so strided detection (3rd
+        // appearance) has room to bite; matrices big enough to stay on
+        // the buffered path (mostly full stripes) and to pressure the
+        // cache.
+        let cfg = MadbenchConfig {
+            tasks: 8,
+            matrix_bytes: (8 << 20) + (256 << 10),
+            n_matrices: 6,
+            alignment: 1 << 20,
+            compute: SimSpan::ZERO,
+        };
+        let mut buggy = FsConfig::tiny_test();
+        buggy.readahead.strided_detection = true;
+        buggy.cache_bytes = 16 << 20;
+        buggy.pressure_frac = 0.3;
+        let mut patched = buggy.clone();
+        patched.readahead.strided_detection = false;
+
+        let rb = run(&cfg.job(), &RunConfig::new(buggy, 7, "mb-buggy")).unwrap();
+        let rp = run(&cfg.job(), &RunConfig::new(patched, 7, "mb-patched")).unwrap();
+        assert!(rb.stats.degraded_reads > 0, "bug must fire");
+        assert_eq!(rp.stats.degraded_reads, 0, "patch must not");
+        assert!(
+            rb.wall_secs() > rp.wall_secs(),
+            "buggy {} vs patched {}",
+            rb.wall_secs(),
+            rp.wall_secs()
+        );
+        // Degraded reads show up as a slow tail on read durations.
+        let buggy_max = rb
+            .trace
+            .durations_of(CallKind::Read)
+            .into_iter()
+            .fold(0.0f64, f64::max);
+        let patched_max = rp
+            .trace
+            .durations_of(CallKind::Read)
+            .into_iter()
+            .fold(0.0f64, f64::max);
+        assert!(buggy_max > 2.0 * patched_max, "{buggy_max} vs {patched_max}");
+    }
+
+    #[test]
+    fn middle_phase_indexing_and_grouping() {
+        let cfg = MadbenchConfig {
+            tasks: 4,
+            matrix_bytes: (2 << 20) + (256 << 10),
+            n_matrices: 3,
+            alignment: 1 << 20,
+            compute: SimSpan::ZERO,
+        };
+        assert_eq!(cfg.middle_phase(), 4);
+        let res = run(
+            &cfg.job(),
+            &RunConfig::new(FsConfig::tiny_test(), 2, "mb-group"),
+        )
+        .unwrap();
+        let groups = cfg.middle_reads_by_index(&res.trace);
+        assert_eq!(groups.len(), 3);
+        for g in &groups {
+            assert_eq!(g.len(), 4, "each rank contributes one read per index");
+        }
+    }
+
+    #[test]
+    fn compute_stub_inserts_compute_ops() {
+        let cfg = MadbenchConfig {
+            tasks: 4,
+            matrix_bytes: (2 << 20) + (256 << 10),
+            n_matrices: 2,
+            alignment: 1 << 20,
+            compute: SimSpan::from_millis(10),
+        };
+        let job = cfg.job();
+        let computes = job.programs[0]
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::Compute { .. }))
+            .count();
+        assert_eq!(computes, 2 + 2 * 2 + 2);
+    }
+
+    #[test]
+    fn scaled_preserves_structure() {
+        let s = MadbenchConfig::paper().scaled(16);
+        assert_eq!(s.tasks, 16);
+        assert_eq!(s.n_matrices, 8);
+        assert_eq!(s.matrix_bytes, MadbenchConfig::paper().matrix_bytes);
+        assert!(s.gap_bytes() > 0, "scaling must preserve the stride gap");
+    }
+}

@@ -1,0 +1,120 @@
+//! The paper's experiments as one-call presets: workload + platform +
+//! label, exactly as the evaluation section parameterizes them, plus
+//! scaled variants usable in tests and quick demos.
+
+use crate::gcrm::GcrmConfig;
+use crate::ior::IorConfig;
+use crate::madbench::MadbenchConfig;
+use pio_fs::FsConfig;
+use pio_mpi::program::Job;
+use pio_mpi::RunConfig;
+
+/// A fully specified experiment: job + run configuration.
+pub struct Experiment {
+    /// Identifier (figure reference).
+    pub id: &'static str,
+    /// The workload.
+    pub job: Job,
+    /// Platform and seed.
+    pub run: RunConfig,
+}
+
+/// Figure 1: IOR, 1024 tasks × 512 MB × 5 phases on Franklin.
+/// `scratch2` selects the second file system (same hardware, new seed) —
+/// the reproducibility comparison of Figure 1(c).
+pub fn fig1_ior(seed: u64, scratch2: bool, scale: u32) -> Experiment {
+    let cfg = IorConfig::paper_fig1().scaled(scale);
+    let fs = if scratch2 {
+        FsConfig::franklin_scratch2()
+    } else {
+        FsConfig::franklin()
+    }
+    .scaled(scale);
+    Experiment {
+        id: "fig1",
+        job: cfg.job(),
+        run: RunConfig::new(fs, seed, format!("ior-512m-k1-x{scale}")),
+    }
+}
+
+/// Figure 2: IOR with the 512 MB split into k calls, one phase.
+pub fn fig2_ior(k: u32, seed: u64, scale: u32) -> Experiment {
+    let cfg = IorConfig::paper_fig2(k).scaled(scale);
+    Experiment {
+        id: "fig2",
+        job: cfg.job(),
+        run: RunConfig::new(
+            FsConfig::franklin().scaled(scale),
+            seed,
+            format!("ior-512m-k{k}-x{scale}"),
+        ),
+    }
+}
+
+/// Figures 4–5: MADbench at 256 tasks on a platform preset
+/// (`franklin`, `franklin-patched`, or `jaguar`).
+pub fn fig4_madbench(platform: FsConfig, seed: u64, scale: u32) -> Experiment {
+    let cfg = MadbenchConfig::paper().scaled(scale);
+    let name = platform.name.clone();
+    Experiment {
+        id: "fig4",
+        job: cfg.job(),
+        run: RunConfig::new(
+            platform.scaled(scale),
+            seed,
+            format!("madbench-256-{name}-x{scale}"),
+        ),
+    }
+}
+
+/// Figure 6: GCRM at 10,240 tasks, optimization `stage` (0..=3).
+pub fn fig6_gcrm(stage: u32, seed: u64, scale: u32) -> Experiment {
+    let cfg = GcrmConfig::paper_stage(stage).scaled(scale);
+    Experiment {
+        id: "fig6",
+        job: cfg.job(),
+        run: RunConfig::new(
+            FsConfig::franklin().scaled(scale),
+            seed,
+            format!("gcrm-stage{stage}-x{scale}"),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pio_mpi::run;
+
+    #[test]
+    fn all_presets_validate() {
+        for exp in [
+            fig1_ior(1, false, 64),
+            fig1_ior(2, true, 64),
+            fig2_ior(4, 1, 64),
+            fig4_madbench(FsConfig::franklin(), 1, 32),
+            fig4_madbench(FsConfig::jaguar(), 1, 32),
+            fig6_gcrm(0, 1, 640),
+            fig6_gcrm(3, 1, 640),
+        ] {
+            exp.job.validate().unwrap_or_else(|e| panic!("{}: {e}", exp.run.experiment));
+        }
+    }
+
+    #[test]
+    fn scaled_fig1_runs() {
+        let exp = fig1_ior(9, false, 128);
+        let res = run(&exp.job, &exp.run).unwrap();
+        assert!(res.wall_secs() > 0.0);
+        assert!(res.trace.meta.platform.starts_with("franklin"));
+        assert!(res.trace.meta.experiment.contains("k1"));
+    }
+
+    #[test]
+    fn scratch2_differs_only_in_label_and_seed_space() {
+        let a = fig1_ior(1, false, 128);
+        let b = fig1_ior(2, true, 128);
+        assert_eq!(a.run.fs.n_osts, b.run.fs.n_osts);
+        assert_ne!(a.run.fs.name, b.run.fs.name);
+    }
+}

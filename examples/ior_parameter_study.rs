@@ -1,0 +1,82 @@
+//! IOR parameter study: sweep the transfer-split factor k and watch the
+//! Law of Large Numbers buy throughput — the paper's Figure 2 effect,
+//! plus the analytical prediction from the k=1 ensemble alone.
+//!
+//!     cargo run --release --example ior_parameter_study
+
+use events_to_ensembles::fs::FsConfig;
+use events_to_ensembles::mpi::{run, RunConfig};
+use events_to_ensembles::stats::empirical::EmpiricalDist;
+use events_to_ensembles::stats::lln;
+use events_to_ensembles::trace::CallKind;
+use events_to_ensembles::workloads::IorConfig;
+
+fn main() {
+    let scale = 8; // 128 tasks — fast but contended
+    let platform = FsConfig::franklin().scaled(scale);
+    println!(
+        "platform: {} ({} OSTs, {:.1} GB/s fabric)",
+        platform.name,
+        platform.n_osts,
+        platform.fabric_bw / 1e9
+    );
+    println!(
+        "\n{:>3} {:>10} {:>12} {:>10} {:>8}",
+        "k", "xfer(MB)", "rate(MB/s)", "speedup", "cv(t_k)"
+    );
+
+    let mut base_rate = None;
+    let mut k1_dist: Option<EmpiricalDist> = None;
+    for k in [1u32, 2, 4, 8, 16] {
+        let cfg = IorConfig {
+            segments: k,
+            repetitions: 1,
+            ..IorConfig::paper_fig1()
+        }
+        .scaled(scale);
+        let res = run(&cfg.job(), &RunConfig::new(platform.clone(), 100 + k as u64, "ior-k"))
+            .expect("run");
+
+        // Reported rate: slowest write defines the phase (paper §III-A).
+        let start = res.trace.of_kind(CallKind::Write).map(|r| r.start_ns).min().unwrap();
+        let end = res.trace.of_kind(CallKind::Write).map(|r| r.end_ns).max().unwrap();
+        let rate = res.stats.bytes_written as f64 / 1e6 / ((end - start) as f64 / 1e9);
+
+        // Per-task totals.
+        let mut totals = vec![0.0f64; cfg.tasks as usize];
+        for r in res.trace.of_kind(CallKind::Write) {
+            totals[r.rank as usize] += r.secs();
+        }
+        let dist = EmpiricalDist::new(&totals);
+        let base = *base_rate.get_or_insert(rate);
+        println!(
+            "{:>3} {:>10.0} {:>12.0} {:>9.1}% {:>8.3}",
+            k,
+            cfg.transfer_bytes() as f64 / 1e6,
+            rate,
+            (rate / base - 1.0) * 100.0,
+            dist.cv().unwrap_or(0.0)
+        );
+        if k == 1 {
+            k1_dist = Some(dist);
+        }
+    }
+
+    // The analytical story: convolve the k=1 ensemble k-fold and read the
+    // predicted worst case over all tasks.
+    let k1 = k1_dist.expect("k=1 ran");
+    println!("\nconvolution prediction from the k=1 ensemble (no further runs):");
+    for p in [1u32, 2, 4, 8, 16].map(|k| lln::predict(&k1, k, 128, 96)) {
+        println!(
+            "  k={:>2}: E[t_k]={:.1}s  cv={:.3}  E[slowest]/k={:.1}s",
+            p.k,
+            p.mean,
+            p.cv,
+            p.expected_worst / p.k as f64
+        );
+    }
+    println!(
+        "\ntakeaway: same bytes, more calls -> narrower per-task totals -> \
+         the slowest task (which the barrier waits for) improves."
+    );
+}

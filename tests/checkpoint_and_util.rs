@@ -1,0 +1,91 @@
+//! Integration coverage for the checkpoint workload and the utilization
+//! reporting path: where the time goes must add up.
+
+use events_to_ensembles::des::SimSpan;
+use events_to_ensembles::fs::FsConfig;
+use events_to_ensembles::mpi::{run, RunConfig};
+use events_to_ensembles::trace::CallKind;
+use events_to_ensembles::workloads::CheckpointConfig;
+
+fn cfg() -> CheckpointConfig {
+    CheckpointConfig {
+        compute: SimSpan::from_secs(10),
+        ..CheckpointConfig::default().scaled(32) // 8 tasks × 256 MB
+    }
+}
+
+#[test]
+fn checkpoint_runs_and_io_fraction_is_sane() {
+    let res = run(
+        &cfg().job(),
+        &RunConfig::new(FsConfig::franklin().scaled(32), 1, "ckpt-int"),
+    )
+    .unwrap();
+    res.trace.validate().unwrap();
+    let frac = CheckpointConfig::io_fraction(&res.trace);
+    assert!(frac > 0.0 && frac < 1.0, "{frac}");
+    // 4 epochs × 8 ranks of flushes.
+    assert_eq!(res.stats.flushes, 32);
+    assert_eq!(res.stats.bytes_written, cfg().total_bytes_written());
+}
+
+#[test]
+fn utilization_report_is_consistent_with_the_trace() {
+    let res = run(
+        &cfg().job(),
+        &RunConfig::new(FsConfig::franklin().scaled(32), 2, "ckpt-util"),
+    )
+    .unwrap();
+    let u = &res.util;
+    // Horizon equals the run end.
+    assert!((u.horizon_s - res.wall_secs()).abs() < 1e-9);
+    // OSTs served exactly the written payload (flushes guarantee drain).
+    assert_eq!(u.ost_bytes.iter().sum::<u64>(), res.stats.bytes_written);
+    // Busy fractions are fractions.
+    assert!(u.fabric_utilization() >= 0.0 && u.fabric_utilization() <= 1.0);
+    assert!(u.mean_ost_utilization() > 0.0 && u.mean_ost_utilization() <= 1.0);
+    // Per-node dirty: peak bounds average.
+    for (peak, avg) in u.node_dirty_peak.iter().zip(&u.node_dirty_avg) {
+        assert!(*avg <= *peak as f64 + 1e-6, "avg {avg} > peak {peak}");
+    }
+    // Something was actually buffered.
+    assert!(u.node_dirty_peak.iter().any(|&p| p > 0));
+    // OST load is reasonably balanced for stripe-aligned slots.
+    assert!(u.ost_imbalance() < 3.0, "imbalance {}", u.ost_imbalance());
+}
+
+#[test]
+fn more_frequent_checkpoints_cost_more_io_time() {
+    let mut few = cfg();
+    few.epochs = 2;
+    let mut many = cfg();
+    many.epochs = 8;
+    let r_few = run(
+        &few.job(),
+        &RunConfig::new(FsConfig::franklin().scaled(32), 3, "ckpt-few"),
+    )
+    .unwrap();
+    let r_many = run(
+        &many.job(),
+        &RunConfig::new(FsConfig::franklin().scaled(32), 3, "ckpt-many"),
+    )
+    .unwrap();
+    let io = |t: &events_to_ensembles::trace::Trace| {
+        t.durations_of(CallKind::Write).iter().sum::<f64>()
+    };
+    assert!(io(&r_many.trace) > 3.0 * io(&r_few.trace));
+    assert!(r_many.wall_secs() > r_few.wall_secs());
+}
+
+#[test]
+fn fpp_checkpoint_avoids_shared_file_machinery_entirely() {
+    let mut c = cfg();
+    c.file_per_process = true;
+    let res = run(
+        &c.job(),
+        &RunConfig::new(FsConfig::franklin().scaled(32), 4, "ckpt-fpp"),
+    )
+    .unwrap();
+    assert_eq!(res.lock_stats.0, 0, "private files take no shared locks");
+    assert_eq!(res.stats.sync_writes, 0);
+}

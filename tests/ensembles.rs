@@ -1,0 +1,111 @@
+//! The paper's core statistical claim, end to end: ensembles are stable
+//! across runs, order statistics explain phase times, and the LLN
+//! prediction machinery tracks measurements.
+
+use events_to_ensembles::fs::FsConfig;
+use events_to_ensembles::mpi::{run, run_ensemble, RunConfig};
+use events_to_ensembles::stats::ensemble::Ensemble;
+use events_to_ensembles::stats::lln;
+use events_to_ensembles::stats::empirical::EmpiricalDist;
+use events_to_ensembles::trace::CallKind;
+use events_to_ensembles::workloads::IorConfig;
+
+fn experiment() -> IorConfig {
+    IorConfig {
+        repetitions: 2,
+        ..IorConfig::paper_fig1().scaled(64)
+    }
+}
+
+#[test]
+fn ensemble_is_reproducible_across_seeds_and_across_file_systems() {
+    let cfg = experiment();
+    let base = RunConfig::new(FsConfig::franklin().scaled(64), 0, "ens");
+    let traces = run_ensemble(&cfg.job(), &base, &[1, 2, 3, 4]).unwrap();
+    let runs: Vec<Vec<f64>> = traces
+        .iter()
+        .map(|t| t.durations_of(CallKind::Write))
+        .collect();
+    let ens = Ensemble::from_samples(&runs);
+    let stability = ens.stability().unwrap();
+    assert!(
+        ens.is_reproducible(0.35),
+        "ensemble unstable: {stability:?}"
+    );
+    // The "other file system" (scratch2): same hardware, fresh seed —
+    // still the same distribution.
+    let fs2 = RunConfig::new(FsConfig::franklin_scratch2().scaled(64), 99, "ens2");
+    let t2 = run(&cfg.job(), &fs2).unwrap().trace;
+    let mut all = runs;
+    all.push(t2.durations_of(CallKind::Write));
+    let ens2 = Ensemble::from_samples(&all);
+    assert!(ens2.is_reproducible(0.35));
+    let (mean, sd) = ens2.mean_of_means();
+    assert!(sd / mean < 0.2, "means vary too much: {mean} ± {sd}");
+}
+
+#[test]
+fn a_pathological_run_breaks_stability() {
+    // Mix healthy Franklin runs with a buggy MADbench-style read
+    // ensemble: the stability metric must notice.
+    let cfg = experiment();
+    let base = RunConfig::new(FsConfig::franklin().scaled(64), 0, "ens-bad");
+    let traces = run_ensemble(&cfg.job(), &base, &[5, 6]).unwrap();
+    let mut runs: Vec<Vec<f64>> = traces
+        .iter()
+        .map(|t| t.durations_of(CallKind::Write))
+        .collect();
+    // Synthetic pathological run: everything 20x slower.
+    runs.push(runs[0].iter().map(|&d| d * 20.0).collect());
+    let ens = Ensemble::from_samples(&runs);
+    assert!(!ens.is_reproducible(0.5));
+}
+
+#[test]
+fn lln_prediction_tracks_measurement_direction() {
+    let platform = FsConfig::franklin().scaled(64);
+    let mut measured = Vec::new();
+    let mut k1_totals = None;
+    for k in [1u32, 4] {
+        let cfg = IorConfig {
+            segments: k,
+            repetitions: 1,
+            ..IorConfig::paper_fig1().scaled(64)
+        };
+        let res = run(&cfg.job(), &RunConfig::new(platform.clone(), 40 + k as u64, "lln")).unwrap();
+        let start = res.trace.of_kind(CallKind::Write).map(|r| r.start_ns).min().unwrap();
+        let end = res.trace.of_kind(CallKind::Write).map(|r| r.end_ns).max().unwrap();
+        measured.push(res.stats.bytes_written as f64 / ((end - start) as f64 / 1e9));
+        if k == 1 {
+            let mut totals = vec![0.0f64; cfg.tasks as usize];
+            for r in res.trace.of_kind(CallKind::Write) {
+                totals[r.rank as usize] += r.secs();
+            }
+            k1_totals = Some(EmpiricalDist::new(&totals));
+        }
+    }
+    // Measurement: k=4 at least as fast as k=1.
+    assert!(measured[1] >= measured[0] * 0.98, "{measured:?}");
+    // Prediction from the k=1 ensemble alone agrees in direction.
+    let pred = lln::predicted_rate_vs_k(&k1_totals.unwrap(), &[1, 4], 16, measured[0], 96);
+    assert!(pred[1].1 >= pred[0].1, "{pred:?}");
+}
+
+#[test]
+fn pooled_distribution_has_the_runs_inside_it() {
+    let cfg = experiment();
+    let base = RunConfig::new(FsConfig::franklin().scaled(64), 0, "pool");
+    let traces = run_ensemble(&cfg.job(), &base, &[7, 8]).unwrap();
+    let runs: Vec<Vec<f64>> = traces
+        .iter()
+        .map(|t| t.durations_of(CallKind::Write))
+        .collect();
+    let n: usize = runs.iter().map(Vec::len).sum();
+    let ens = Ensemble::from_samples(&runs);
+    let pooled = ens.pooled();
+    assert_eq!(pooled.n(), n);
+    for d in ens.distributions() {
+        assert!(pooled.min() <= d.min());
+        assert!(pooled.max() >= d.max());
+    }
+}

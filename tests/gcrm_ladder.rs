@@ -1,0 +1,122 @@
+//! The GCRM case study end-to-end: each optimization stage removes its
+//! mechanism and buys run time (paper §V, Figure 6).
+
+use events_to_ensembles::fs::FsConfig;
+use events_to_ensembles::mpi::{run, RunConfig, RunResult};
+use events_to_ensembles::stats::diagnosis::{diagnose, Finding};
+use events_to_ensembles::stats::empirical::EmpiricalDist;
+use events_to_ensembles::stats::rates::sec_per_mb_samples;
+use events_to_ensembles::trace::CallKind;
+use events_to_ensembles::workloads::gcrm::GcrmConfig;
+
+const SCALE: u32 = 64; // 160 tasks, 2 aggregators, full metadata volume
+
+fn run_stage(stage: u32, seed: u64) -> RunResult {
+    let cfg = GcrmConfig::paper_stage(stage).scaled(SCALE);
+    run(
+        &cfg.job(),
+        &RunConfig::new(FsConfig::franklin().scaled(SCALE), seed, format!("gcrm-{stage}")),
+    )
+    .unwrap()
+}
+
+#[test]
+fn ladder_monotonically_reduces_runtime_overall() {
+    let times: Vec<f64> = (0..4).map(|s| run_stage(s, 11).wall_secs()).collect();
+    assert!(
+        times[2] < times[0],
+        "alignment must beat baseline: {times:?}"
+    );
+    assert!(
+        times[3] < times[2],
+        "metadata aggregation must beat alignment: {times:?}"
+    );
+    assert!(
+        times[3] < times[0] / 2.0,
+        "the full ladder is worth >2x even at test scale: {times:?}"
+    );
+}
+
+#[test]
+fn baseline_mechanism_is_synchronous_unaligned_writes() {
+    let base = run_stage(0, 3);
+    // Unaligned shared-file records go synchronous and conflict.
+    assert!(base.stats.sync_writes > 0);
+    assert!(base.lock_stats.1 > 0);
+    // Per-task rates collapse to the sub-MB/s bulge of Fig 6(c).
+    let cost = EmpiricalDist::new(&sec_per_mb_samples(&base.trace, |r| {
+        r.call == CallKind::Write
+    }));
+    let per_task_rate = 1.0 / cost.median();
+    assert!(
+        per_task_rate < 20.0,
+        "baseline per-task rate should be pitiful, got {per_task_rate:.1} MB/s"
+    );
+}
+
+#[test]
+fn alignment_removes_conflicts_and_sync_writes() {
+    let aligned = run_stage(2, 3);
+    assert_eq!(aligned.lock_stats.1, 0);
+    assert_eq!(aligned.stats.sync_writes, 0);
+    // All writes land on stripe boundaries.
+    for r in aligned.trace.of_kind(CallKind::Write) {
+        assert_eq!(r.offset % (1 << 20), 0, "{r:?}");
+    }
+}
+
+#[test]
+fn metadata_serialization_is_found_then_fixed() {
+    let aligned = run_stage(2, 7);
+    let final_stage = run_stage(3, 7);
+    let f2 = diagnose(&aligned.trace);
+    assert!(
+        f2.iter().any(|f| matches!(
+            f,
+            Finding::SerializedRank { rank: 0, metadata: true, .. }
+        )),
+        "stage 2 must flag rank-0 metadata: {f2:?}"
+    );
+    let f3 = diagnose(&final_stage.trace);
+    assert!(
+        !f3.iter()
+            .any(|f| matches!(f, Finding::SerializedRank { metadata: true, .. })),
+        "stage 3 must not: {f3:?}"
+    );
+    // Metadata volume is aggregated, not dropped.
+    let meta_bytes_2 = aligned.trace.bytes_of(CallKind::MetaWrite);
+    let meta_bytes_3 = final_stage.trace.bytes_of(CallKind::MetaWrite);
+    assert_eq!(meta_bytes_2, meta_bytes_3);
+    let ops_2 = aligned.trace.of_kind(CallKind::MetaWrite).count();
+    let ops_3 = final_stage.trace.of_kind(CallKind::MetaWrite).count();
+    assert!(ops_3 * 50 < ops_2, "{ops_2} -> {ops_3}");
+}
+
+#[test]
+fn collective_buffering_moves_all_data_through_aggregators() {
+    let cfg = GcrmConfig::paper_stage(1).scaled(SCALE);
+    let res = run_stage(1, 5);
+    // Only aggregators write; payload conserved.
+    let writers: std::collections::HashSet<u32> =
+        res.trace.of_kind(CallKind::Write).map(|r| r.rank).collect();
+    let plan = cfg.aggregation().unwrap();
+    assert_eq!(writers.len() as u32, plan.aggregators);
+    for w in &writers {
+        assert!(plan.is_aggregator(*w));
+    }
+    assert_eq!(res.stats.bytes_written, cfg.total_payload());
+    // Everyone else shipped data via messages.
+    let senders: std::collections::HashSet<u32> =
+        res.trace.of_kind(CallKind::Send).map(|r| r.rank).collect();
+    assert_eq!(senders.len() as u32, cfg.tasks - plan.aggregators);
+}
+
+#[test]
+fn trace_is_valid_and_deterministic_at_every_stage() {
+    for stage in 0..4 {
+        let a = run_stage(stage, 21);
+        let b = run_stage(stage, 21);
+        a.trace.validate().unwrap();
+        assert_eq!(a.trace.records, b.trace.records, "stage {stage} not reproducible");
+    }
+}

@@ -1,0 +1,142 @@
+//! End-to-end IOR pipeline: workload → simulator → trace → ensemble
+//! statistics, asserting the paper's Figure 1/2 structure at test scale.
+
+use events_to_ensembles::fs::FsConfig;
+use events_to_ensembles::mpi::{run, run_ensemble, RunConfig};
+use events_to_ensembles::stats::distance::ks_statistic;
+use events_to_ensembles::stats::empirical::EmpiricalDist;
+use events_to_ensembles::stats::order_stats;
+use events_to_ensembles::stats::rates::write_rate_curve;
+use events_to_ensembles::trace::phase::{barrier_wait_fraction, phase_summaries};
+use events_to_ensembles::trace::CallKind;
+use events_to_ensembles::workloads::IorConfig;
+
+fn scaled_platform() -> FsConfig {
+    FsConfig::franklin().scaled(64)
+}
+
+fn ior(reps: u32, segments: u32) -> IorConfig {
+    IorConfig {
+        segments,
+        repetitions: reps,
+        ..IorConfig::paper_fig1().scaled(64) // 16 tasks × 512 MB
+    }
+}
+
+#[test]
+fn trace_is_well_formed_and_conserves_bytes() {
+    let cfg = ior(2, 1);
+    let res = run(&cfg.job(), &RunConfig::new(scaled_platform(), 1, "ior-int")).unwrap();
+    res.trace.validate().unwrap();
+    assert_eq!(res.stats.bytes_written, cfg.total_bytes());
+    assert_eq!(
+        res.trace.bytes_of(CallKind::Write),
+        cfg.total_bytes(),
+        "trace and simulator must agree on bytes"
+    );
+    // Every rank produced the same op sequence length.
+    for rank in 0..cfg.tasks {
+        assert_eq!(res.trace.of_rank(rank).count(), res.trace.of_rank(0).count());
+    }
+}
+
+#[test]
+fn phases_are_synchronous_and_barriers_cost_time() {
+    let cfg = ior(3, 1);
+    let res = run(&cfg.job(), &RunConfig::new(scaled_platform(), 2, "ior-phases")).unwrap();
+    let phases = phase_summaries(&res.trace);
+    // Open barrier phase + 3 write phases + close phase.
+    assert!(phases.len() >= 4, "{}", phases.len());
+    // Write phases move the full per-phase volume.
+    let per_phase = cfg.tasks as u64 * cfg.block_bytes;
+    let write_phases: Vec<_> = phases.iter().filter(|p| p.bytes_written >= per_phase).collect();
+    assert_eq!(write_phases.len(), 3);
+    // Somebody always waits at a barrier (the order-statistics tax).
+    assert!(barrier_wait_fraction(&res.trace) > 0.01);
+    // The phase ends at its slowest op (within barrier-exit jitter).
+    for p in &write_phases {
+        assert!(p.slowest_op.as_secs_f64() <= p.duration().as_secs_f64() + 1e-6);
+        assert!(p.slowest_op.as_secs_f64() > 0.5 * p.duration().as_secs_f64());
+    }
+}
+
+#[test]
+fn distribution_reproduces_across_runs_while_traces_differ() {
+    let cfg = ior(2, 1);
+    let base = RunConfig::new(scaled_platform(), 0, "ior-ens");
+    let traces = run_ensemble(&cfg.job(), &base, &[11, 22, 33]).unwrap();
+    let dists: Vec<EmpiricalDist> = traces
+        .iter()
+        .map(|t| EmpiricalDist::new(&t.durations_of(CallKind::Write)))
+        .collect();
+    // Traces differ event-by-event...
+    assert_ne!(traces[0].records, traces[1].records);
+    // ...but the ensembles nearly coincide (paper Fig 1c claim).
+    for i in 0..dists.len() {
+        for j in i + 1..dists.len() {
+            let ks = ks_statistic(&dists[i], &dists[j]);
+            assert!(ks < 0.35, "runs {i},{j} diverge: KS {ks}");
+        }
+    }
+}
+
+#[test]
+fn splitting_transfers_narrows_totals_and_helps_the_worst_case() {
+    let k1 = run(&ior(1, 1).job(), &RunConfig::new(scaled_platform(), 5, "k1")).unwrap();
+    let k8 = run(&ior(1, 8).job(), &RunConfig::new(scaled_platform(), 5, "k8")).unwrap();
+    let totals = |res: &events_to_ensembles::mpi::RunResult| {
+        let mut t = vec![0.0f64; res.trace.meta.ranks as usize];
+        for r in res.trace.of_kind(CallKind::Write) {
+            t[r.rank as usize] += r.secs();
+        }
+        EmpiricalDist::new(&t)
+    };
+    let d1 = totals(&k1);
+    let d8 = totals(&k8);
+    assert!(
+        d8.cv().unwrap() < d1.cv().unwrap(),
+        "LLN: cv must shrink ({} -> {})",
+        d1.cv().unwrap(),
+        d8.cv().unwrap()
+    );
+    assert!(
+        d8.max() < d1.max() * 1.05,
+        "worst case must not get worse: {} vs {}",
+        d8.max(),
+        d1.max()
+    );
+}
+
+#[test]
+fn order_statistics_predict_the_phase_time() {
+    let cfg = ior(1, 1);
+    let res = run(&cfg.job(), &RunConfig::new(scaled_platform(), 9, "ostat")).unwrap();
+    let d = EmpiricalDist::new(&res.trace.durations_of(CallKind::Write));
+    // The observed slowest write is the N-th order statistic; under the
+    // empirical measure its expectation is below the sample max and above
+    // the p75.
+    let emax = order_stats::expected_max(&d, cfg.tasks);
+    assert!(emax <= d.max() + 1e-9);
+    assert!(emax >= d.quantile(0.75));
+    // The write phase's wall time is governed by that slowest op.
+    let phases = phase_summaries(&res.trace);
+    let wp = phases.iter().find(|p| p.bytes_written > 0).unwrap();
+    let ratio = wp.slowest_op.as_secs_f64() / d.max();
+    assert!((ratio - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn rate_curve_conserves_volume() {
+    let cfg = ior(2, 2);
+    let res = run(&cfg.job(), &RunConfig::new(scaled_platform(), 4, "rates")).unwrap();
+    let curve = write_rate_curve(&res.trace, res.wall_secs() / 64.0);
+    let mb: f64 = curve.points.iter().map(|&(_, r)| r * curve.dt).sum();
+    let expect = res.stats.bytes_written as f64 / 1e6;
+    assert!(
+        (mb - expect).abs() < 1e-6 * expect,
+        "curve {} MB vs written {} MB",
+        mb,
+        expect
+    );
+    assert!(curve.peak() >= curve.average());
+}

@@ -1,0 +1,123 @@
+//! Cross-crate trace-plumbing checks: serialization round-trips on real
+//! simulator output, the online-profiling mode agreeing with full traces,
+//! and the IPM summary reflecting the run.
+
+use events_to_ensembles::fs::FsConfig;
+use events_to_ensembles::mpi::{run, RunConfig};
+use events_to_ensembles::stats::empirical::EmpiricalDist;
+use events_to_ensembles::trace::io as trace_io;
+use events_to_ensembles::trace::summary;
+use events_to_ensembles::trace::{CallKind, OnlineProfile, Trace};
+use events_to_ensembles::workloads::IorConfig;
+
+fn small_run(seed: u64) -> Trace {
+    let cfg = IorConfig {
+        tasks: 8,
+        block_bytes: 64 << 20,
+        segments: 2,
+        repetitions: 2,
+        read_back: true,
+        file_per_process: false,
+    };
+    run(
+        &cfg.job(),
+        &RunConfig::new(FsConfig::franklin().scaled(128), seed, "trace-int"),
+    )
+    .unwrap()
+    .trace
+}
+
+#[test]
+fn jsonl_round_trip_preserves_a_real_trace() {
+    let trace = small_run(1);
+    let mut buf = Vec::new();
+    trace_io::write_jsonl(&trace, &mut buf).unwrap();
+    let back = trace_io::read_jsonl(std::io::Cursor::new(buf)).unwrap();
+    assert_eq!(back.meta, trace.meta);
+    assert_eq!(back.records, trace.records);
+    back.validate().unwrap();
+}
+
+#[test]
+fn csv_export_row_count_matches() {
+    let trace = small_run(2);
+    let mut buf = Vec::new();
+    trace_io::write_csv(&trace, &mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    assert_eq!(text.lines().count(), trace.records.len() + 1);
+}
+
+#[test]
+fn online_profile_matches_the_full_trace() {
+    // The paper's future-work mode: collect only the distribution. It
+    // must agree with post-hoc analysis of the full trace.
+    let trace = small_run(3);
+    let mut profile = OnlineProfile::default();
+    profile.record_all(&trace.records);
+    for kind in [CallKind::Write, CallKind::Read, CallKind::Barrier] {
+        assert_eq!(
+            profile.count(kind) as usize,
+            trace.of_kind(kind).count(),
+            "{kind:?} count"
+        );
+        assert_eq!(profile.bytes(kind), trace.bytes_of(kind), "{kind:?} bytes");
+    }
+    // Quantiles agree within log-bin resolution (bins are ~1.3x wide).
+    let d = EmpiricalDist::new(&trace.durations_of(CallKind::Write));
+    let q = profile.quantile(CallKind::Write, 0.5).unwrap();
+    assert!(
+        q > d.median() / 2.0 && q < d.median() * 2.0,
+        "profile median {q} vs exact {}",
+        d.median()
+    );
+}
+
+#[test]
+fn per_rank_profiles_merge_to_the_global_one() {
+    let trace = small_run(4);
+    let mut global = OnlineProfile::default();
+    global.record_all(&trace.records);
+    // Build one profile per rank (as each rank's IPM would) and reduce.
+    let mut merged = OnlineProfile::default();
+    for rank in 0..trace.meta.ranks {
+        let mut p = OnlineProfile::default();
+        for r in trace.of_rank(rank) {
+            p.record(r);
+        }
+        merged.merge(&p);
+    }
+    for kind in CallKind::ALL {
+        assert_eq!(merged.count(kind), global.count(kind));
+        assert_eq!(merged.histogram(kind), global.histogram(kind));
+    }
+}
+
+#[test]
+fn summary_reflects_the_run() {
+    let trace = small_run(5);
+    let s = summary::summarize(&trace);
+    assert_eq!(s.ranks, 8);
+    let w = s
+        .kinds
+        .iter()
+        .find(|k| k.kind == CallKind::Write)
+        .expect("writes in summary");
+    assert_eq!(w.count as usize, trace.of_kind(CallKind::Write).count());
+    assert!(w.min_s <= w.mean_s && w.mean_s <= w.max_s);
+    let text = summary::render(&trace);
+    assert!(text.contains("write"));
+    assert!(text.contains("read"));
+    assert!(text.contains("barrier"));
+}
+
+#[test]
+fn file_round_trip_on_disk() {
+    let trace = small_run(6);
+    let dir = std::env::temp_dir().join("pio_int_trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.jsonl");
+    trace_io::save(&trace, &path).unwrap();
+    let back = trace_io::load(&path).unwrap();
+    assert_eq!(back.records.len(), trace.records.len());
+    std::fs::remove_file(&path).ok();
+}
