@@ -1,0 +1,140 @@
+//! Criterion benchmarks for the streaming-ingest pipeline: streaming vs
+//! batch analysis throughput, and snapshot merge scaling with shard
+//! count.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pio_core::diagnosis::{diagnose_with, Thresholds};
+use pio_ingest::pipeline::{IngestConfig, IngestPipeline, OverflowPolicy};
+use pio_ingest::shard::{EnsembleSnapshot, ShardKey, ShardStats};
+use pio_ingest::sketch::HeavyHitters;
+use pio_ingest::{DiagnoserConfig, StreamDiagnoser};
+use pio_trace::{CallKind, Record, RecordSink, Trace, TraceMeta};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+/// A deterministic MADbench-shaped record stream: phased reads/writes
+/// with a slow right-shoulder tail.
+fn records(n: usize) -> Vec<Record> {
+    (0..n)
+        .map(|i| {
+            let call = match i % 4 {
+                0 | 1 => CallKind::Read,
+                2 => CallKind::Write,
+                _ => CallKind::MetaWrite,
+            };
+            let dur = if i % 97 == 0 {
+                5.0 + (i % 13) as f64
+            } else {
+                0.01 + (i % 31) as f64 * 0.002
+            };
+            Record {
+                rank: (i % 64) as u32,
+                call,
+                fd: 3,
+                offset: (i as u64) << 20,
+                bytes: 1 << 20,
+                start_ns: i as u64 * 1000,
+                end_ns: i as u64 * 1000 + (dur * 1e9) as u64,
+                phase: (i / (n / 8).max(1)) as u32,
+            }
+        })
+        .collect()
+}
+
+fn bench_streaming_vs_batch(c: &mut Criterion) {
+    let recs = records(50_000);
+    let meta = TraceMeta {
+        experiment: "bench".into(),
+        platform: "synthetic".into(),
+        ranks: 64,
+        seed: 0,
+    };
+    let mut group = c.benchmark_group("ingest/50k_records");
+    group.bench_function("batch_trace_then_diagnose", |b| {
+        b.iter(|| {
+            let mut trace = Trace::new(meta.clone());
+            for r in black_box(&recs) {
+                trace.push(r.clone());
+            }
+            black_box(diagnose_with(&trace, &Thresholds::default()))
+        })
+    });
+    group.bench_function("stream_diagnoser", |b| {
+        b.iter(|| {
+            let mut d = StreamDiagnoser::new(DiagnoserConfig::default());
+            for r in black_box(&recs) {
+                d.push(r);
+            }
+            d.finish();
+            black_box(d.findings().len())
+        })
+    });
+    for workers in [1usize, 4] {
+        group.bench_function(&format!("pipeline_{workers}w"), |b| {
+            b.iter(|| {
+                let pipeline = IngestPipeline::new(IngestConfig {
+                    workers,
+                    policy: OverflowPolicy::Block,
+                    ..IngestConfig::default()
+                });
+                let mut sink = pipeline.sink();
+                for r in black_box(&recs) {
+                    sink.push(r);
+                }
+                drop(sink);
+                black_box(pipeline.finish().ingested)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Pre-build `shards` worker maps, each covering the same key space, for
+/// the snapshot-merge scaling measurement.
+fn shard_maps(shards: usize) -> Vec<HashMap<ShardKey, ShardStats>> {
+    let recs = records(4096);
+    (0..shards)
+        .map(|w| {
+            let mut map: HashMap<ShardKey, ShardStats> = HashMap::new();
+            for r in recs.iter().skip(w).step_by(shards) {
+                let key = ShardKey {
+                    kind: r.call,
+                    group: r.rank % 8,
+                    phase: r.phase,
+                };
+                map.entry(key)
+                    .or_insert_with(|| ShardStats::new(1e-6, 1e3, 96))
+                    .accumulate(r);
+            }
+            map
+        })
+        .collect()
+}
+
+fn bench_merge_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest/snapshot_merge");
+    for shards in [1usize, 2, 4, 8, 16] {
+        let maps = shard_maps(shards);
+        group.bench_function(&format!("{shards}_shards"), |b| {
+            b.iter_batched(
+                || maps.clone(),
+                |maps| {
+                    black_box(EnsembleSnapshot::assemble(
+                        maps,
+                        HeavyHitters::new(16),
+                        0.0,
+                        0.0,
+                        64,
+                        4096,
+                        0,
+                    ))
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming_vs_batch, bench_merge_scaling);
+criterion_main!(benches);

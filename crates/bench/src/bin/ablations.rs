@@ -30,7 +30,10 @@ fn shared_vs_file_per_process(scale: u32) {
         "{:<26} {:>10} {:>11} {:>11} {:>10}",
         "layout", "runtime(s)", "rate(MB/s)", "meta ops", "conflicts"
     );
-    for (label, fpp) in [("shared file (paper)", false), ("file per process (-F)", true)] {
+    for (label, fpp) in [
+        ("shared file (paper)", false),
+        ("file per process (-F)", true),
+    ] {
         let cfg = IorConfig {
             repetitions: 2,
             file_per_process: fpp,
@@ -144,7 +147,9 @@ fn alignment_ablation(scale: u32) {
     for (label, stage) in [
         (
             "unaligned (collective, 1.6MB)",
-            GcrmStage::CollectiveBuffering { aggregators: 80 / scale.clamp(1, 40) },
+            GcrmStage::CollectiveBuffering {
+                aggregators: 80 / scale.clamp(1, 40),
+            },
         ),
         (
             "aligned to 1 MiB (padded 2MiB)",
@@ -176,7 +181,10 @@ fn alignment_ablation(scale: u32) {
 /// Aggregator-count sweep: how few writers saturate the I/O subsystem?
 fn aggregator_sweep(scale: u32) {
     println!("\n== ablation: collective-buffering aggregator count (GCRM) ==");
-    println!("{:>12} {:>12} {:>14}", "aggregators", "runtime(s)", "agg MB/s");
+    println!(
+        "{:>12} {:>12} {:>14}",
+        "aggregators", "runtime(s)", "agg MB/s"
+    );
     let mut base = GcrmConfig::paper_baseline().scaled(scale);
     base.h5.meta_writes_per_rank = 0.0; // isolate the data path
     let total_mb = base.total_payload() as f64 / 1e6;
@@ -190,11 +198,7 @@ fn aggregator_sweep(scale: u32) {
             aggregators: aggs,
             alignment: 1 << 20,
         };
-        let res = run(
-            &cfg.job(),
-            &RunConfig::new(platform.clone(), 13, "abl-agg"),
-        )
-        .unwrap();
+        let res = run(&cfg.job(), &RunConfig::new(platform.clone(), 13, "abl-agg")).unwrap();
         let actual = cfg.aggregation().unwrap().aggregators;
         println!(
             "{:>12} {:>12.0} {:>14.0}",

@@ -17,9 +17,24 @@ fn main() {
 
     // Figure 1.
     let r1 = fig1::run(scale, 1);
-    rows.push(Row::new("fig1 IOR aggregate rate", 11_610.0, r1.rate_curve.average() * scale_f, "MB/s"));
-    rows.push(Row::new("fig1 modes detected (3 peaks)", 3.0, r1.modes.len() as f64, ""));
-    rows.push(Row::new("fig1 run-to-run KS (≈0 = reproducible)", 0.05, r1.ks_between_runs, ""));
+    rows.push(Row::new(
+        "fig1 IOR aggregate rate",
+        11_610.0,
+        r1.rate_curve.average() * scale_f,
+        "MB/s",
+    ));
+    rows.push(Row::new(
+        "fig1 modes detected (3 peaks)",
+        3.0,
+        r1.modes.len() as f64,
+        "",
+    ));
+    rows.push(Row::new(
+        "fig1 run-to-run KS (≈0 = reproducible)",
+        0.05,
+        r1.ks_between_runs,
+        "",
+    ));
     eprintln!("[{:>6.1}s] fig1 done", t0.elapsed().as_secs_f64());
 
     // Figure 2.
@@ -43,9 +58,24 @@ fn main() {
     // Figures 4 & 5.
     let r5 = fig5::run(scale, 5);
     let jaguar = fig4::run(FsConfig::jaguar(), scale, 5);
-    rows.push(Row::new("fig4 MADbench Franklin (buggy)", 2200.0, r5.before.runtime_s, "s"));
-    rows.push(Row::new("fig4 MADbench Jaguar", 275.0, jaguar.runtime_s, "s"));
-    rows.push(Row::new("fig5 MADbench Franklin (patched)", 520.0, r5.after.runtime_s, "s"));
+    rows.push(Row::new(
+        "fig4 MADbench Franklin (buggy)",
+        2200.0,
+        r5.before.runtime_s,
+        "s",
+    ));
+    rows.push(Row::new(
+        "fig4 MADbench Jaguar",
+        275.0,
+        jaguar.runtime_s,
+        "s",
+    ));
+    rows.push(Row::new(
+        "fig5 MADbench Franklin (patched)",
+        520.0,
+        r5.after.runtime_s,
+        "s",
+    ));
     rows.push(Row::new("fig5 patch speedup", 4.2, r5.speedup, "x"));
     rows.push(Row::new(
         "fig4 Franklin slowest read",
@@ -74,5 +104,8 @@ fn main() {
     eprintln!("[{:>6.1}s] fig6 done", t0.elapsed().as_secs_f64());
 
     print_rows("All experiments: paper vs measured", &rows);
-    println!("\ntotal sweep time: {:.1}s real", t0.elapsed().as_secs_f64());
+    println!(
+        "\ntotal sweep time: {:.1}s real",
+        t0.elapsed().as_secs_f64()
+    );
 }

@@ -3,18 +3,24 @@
 //! producer) to get the paper's full ensemble treatment without re-running
 //! anything.
 //!
-//! Usage: `analyze <trace.jsonl> [--diagram] [--csv DIR]`
+//! Usage: `analyze <trace.jsonl> [--stream] [--diagram] [--csv DIR]`
 //!
 //! Prints the IPM summary, per-call-class ensemble statistics and modes,
 //! per-phase breakdown, and the bottleneck diagnosis; optionally the
 //! ASCII trace diagram and CSV exports of the histograms.
+//!
+//! With `--stream`, the trace is never loaded into memory: records are
+//! streamed one line at a time through the `pio-ingest` pipeline and
+//! online diagnoser, and the report is rendered from the mergeable
+//! snapshot — constant memory regardless of trace size.
 
 use pio_core::empirical::EmpiricalDist;
 use pio_core::loghist::LogHistogram;
 use pio_core::rates::write_rate_curve;
 use pio_core::report;
+use pio_ingest::{IngestConfig, IngestPipeline, StreamDiagnoser};
 use pio_trace::phase::phase_summaries;
-use pio_trace::{io as trace_io, CallKind};
+use pio_trace::{io as trace_io, CallKind, Tee};
 use pio_viz::ascii;
 use pio_viz::csv as vcsv;
 use std::path::PathBuf;
@@ -22,9 +28,13 @@ use std::path::PathBuf;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: analyze <trace.jsonl> [--diagram] [--csv DIR]");
+        eprintln!("usage: analyze <trace.jsonl> [--stream] [--diagram] [--csv DIR]");
         std::process::exit(2);
     };
+    if args.iter().any(|a| a == "--stream") {
+        stream_analyze(path);
+        return;
+    }
     let want_diagram = args.iter().any(|a| a == "--diagram");
     let csv_dir: Option<PathBuf> = args
         .iter()
@@ -75,7 +85,10 @@ fn main() {
     if want_diagram {
         println!("\n{}", ascii::trace_diagram(&trace, 24, 100));
         let curve = write_rate_curve(&trace, trace.makespan().as_secs_f64().max(1e-9) / 100.0);
-        println!("{}", ascii::rate_curve_text(&curve, 8, "aggregate write rate"));
+        println!(
+            "{}",
+            ascii::rate_curve_text(&curve, 8, "aggregate write rate")
+        );
     }
 
     if let Some(dir) = csv_dir {
@@ -97,4 +110,29 @@ fn main() {
         }
         println!("\nCSV exports written to {}", dir.display());
     }
+}
+
+/// The `--stream` path: one record in memory at a time, report rendered
+/// from the mergeable ensemble snapshot and the online diagnoser.
+fn stream_analyze(path: &str) {
+    let mut diagnoser = StreamDiagnoser::with_defaults();
+    let pipeline = IngestPipeline::new(IngestConfig::default());
+    let (meta, n) = {
+        let mut tee = Tee(&mut diagnoser, pipeline.sink());
+        match pio_ingest::stream_file(std::path::Path::new(path), &mut tee) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("analyze: cannot stream {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    let snap = pipeline.finish();
+    println!(
+        "# {} [{}]: {} ranks, seed {}, {} records (streamed)\n",
+        meta.experiment, meta.platform, meta.ranks, meta.seed, n
+    );
+    println!("{}", pio_viz::snapshot_panel(&snap, 40));
+    println!("## Online findings");
+    print!("{}", pio_viz::findings_text(diagnoser.findings()));
 }

@@ -22,11 +22,17 @@ fn main() {
     println!("\n{}", ascii::trace_diagram(&r.trace, 24, 100));
 
     // Panel (b): aggregate write rate.
-    println!("{}", ascii::rate_curve_text(&r.rate_curve, 10, "aggregate write rate"));
+    println!(
+        "{}",
+        ascii::rate_curve_text(&r.rate_curve, 10, "aggregate write rate")
+    );
 
     // Panel (c): completion-time histogram + modes.
     let hist = Histogram::from_samples(r.write_dist.samples(), 48);
-    println!("{}", ascii::histogram_text(&hist, 50, "write() completion times"));
+    println!(
+        "{}",
+        ascii::histogram_text(&hist, 50, "write() completion times")
+    );
     println!("detected modes:");
     for m in &r.modes {
         println!("  {:.2} s  (mass {:.0}%)", m.location, m.mass * 100.0);
@@ -42,10 +48,30 @@ fn main() {
 
     let scale_f = scale as f64;
     let rows = vec![
-        Row::new("aggregate write rate (x scale)", 11_610.0, r.rate_curve.average() * scale_f, "MB/s"),
-        Row::new("phase time (~45 s per 512 MB phase)", 45.0, r.runtime_s / 5.0, "s"),
-        Row::new("fair-share time T = 512MB/(BW/N)", 32.0, r.fair_share_time_s, "s"),
-        Row::new("scratch vs scratch2 KS distance", 0.0, r.ks_between_runs, ""),
+        Row::new(
+            "aggregate write rate (x scale)",
+            11_610.0,
+            r.rate_curve.average() * scale_f,
+            "MB/s",
+        ),
+        Row::new(
+            "phase time (~45 s per 512 MB phase)",
+            45.0,
+            r.runtime_s / 5.0,
+            "s",
+        ),
+        Row::new(
+            "fair-share time T = 512MB/(BW/N)",
+            32.0,
+            r.fair_share_time_s,
+            "s",
+        ),
+        Row::new(
+            "scratch vs scratch2 KS distance",
+            0.0,
+            r.ks_between_runs,
+            "",
+        ),
     ];
     print_rows("Figure 1: paper vs measured", &rows);
     println!(
@@ -63,8 +89,10 @@ fn main() {
         vcsv::rate_curve_csv(&r.rate_curve, w)
     })
     .expect("write fig1_rate_curve.csv");
-    vcsv::save(&dir.join("fig1_write_hist.csv"), |w| vcsv::histogram_csv(&hist, w))
-        .expect("write fig1_write_hist.csv");
+    vcsv::save(&dir.join("fig1_write_hist.csv"), |w| {
+        vcsv::histogram_csv(&hist, w)
+    })
+    .expect("write fig1_write_hist.csv");
     let hist2 = Histogram::from_samples(r.write_dist2.samples(), 48);
     vcsv::save(&dir.join("fig1_write_hist_scratch2.csv"), |w| {
         vcsv::histogram_csv(&hist2, w)

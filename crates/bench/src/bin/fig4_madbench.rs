@@ -19,8 +19,14 @@ fn main() {
     for r in [&franklin, &jaguar] {
         println!("\n## {} — run time {:.0} s", r.platform, r.runtime_s);
         println!("{}", ascii::trace_diagram(&r.trace, 16, 100));
-        println!("{}", ascii::rate_curve_text(&r.read_rate, 6, "aggregate read rate"));
-        println!("{}", ascii::rate_curve_text(&r.write_rate, 6, "aggregate write rate"));
+        println!(
+            "{}",
+            ascii::rate_curve_text(&r.read_rate, 6, "aggregate read rate")
+        );
+        println!(
+            "{}",
+            ascii::rate_curve_text(&r.write_rate, 6, "aggregate write rate")
+        );
         println!("log-log read histogram (center s, count):");
         for (c, n) in r.read_hist.series() {
             println!("  {c:>10.3}  {n}");
@@ -49,7 +55,12 @@ fn main() {
             franklin.runtime_s / jaguar.runtime_s,
             "x",
         ),
-        Row::new("Franklin slowest read (30-500 s band)", 500.0, franklin.read_dist.max(), "s"),
+        Row::new(
+            "Franklin slowest read (30-500 s band)",
+            500.0,
+            franklin.read_dist.max(),
+            "s",
+        ),
         Row::new("Jaguar slowest read", 30.0, jaguar.read_dist.max(), "s"),
     ];
     print_rows("Figure 4: paper vs measured", &rows);

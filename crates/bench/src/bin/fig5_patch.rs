@@ -18,7 +18,10 @@ fn main() {
 
     // Panel (a): per-read-index progress (quantiles of the CDFs).
     println!("\n## (a) middle-phase reads by index (buggy run)");
-    println!("{:>6} {:>10} {:>10} {:>10} {:>10}", "read", "p50(s)", "p90(s)", "p99(s)", "max(s)");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10}",
+        "read", "p50(s)", "p90(s)", "p99(s)", "max(s)"
+    );
     for (m, d) in &r.phase_reads {
         println!(
             "{:>6} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
@@ -38,7 +41,10 @@ fn main() {
         .iter()
         .map(|(m, d)| (format!("read {m}"), d.progress_curve()))
         .collect();
-    println!("\n{}", ascii::cdf_text(&curves, 90, "fraction of reads complete vs time"));
+    println!(
+        "\n{}",
+        ascii::cdf_text(&curves, 90, "fraction of reads complete vs time")
+    );
 
     // Panel (b): before/after read distributions.
     println!("\n## (b) read ensemble before vs after the patch");
@@ -59,7 +65,10 @@ fn main() {
 
     // Per-class before/after comparison (the KS view of panel b).
     println!("\n## per-class comparison (before vs after)");
-    println!("{}", compare::render(&compare::compare(&r.before.trace, &r.after.trace)));
+    println!(
+        "{}",
+        compare::render(&compare::compare(&r.before.trace, &r.after.trace))
+    );
 
     // Panel (c): run times.
     let rows = vec![

@@ -22,7 +22,10 @@ fn main() {
     for r in &results {
         println!("\n## stage {}: {} — {:.0} s", r.stage, r.label, r.runtime_s);
         println!("{}", ascii::trace_diagram(&r.trace, 12, 100));
-        println!("{}", ascii::rate_curve_text(&r.write_rate, 6, "aggregate write rate"));
+        println!(
+            "{}",
+            ascii::rate_curve_text(&r.write_rate, 6, "aggregate write rate")
+        );
         println!(
             "data records: {:.3} s/MB median ({:.2} MB/s per task); worst {:.3} s/MB",
             r.data_sec_per_mb.median(),
@@ -48,22 +51,24 @@ fn main() {
             None => println!("diagnosis: no rank-serialization flagged"),
         }
 
-        let data_hist =
-            LogHistogram::from_samples(r.data_sec_per_mb.samples(), 60);
-        vcsv::save(&dir.join(format!("fig6_stage{}_data_secmb.csv", r.stage)), |w| {
-            vcsv::log_histogram_csv(&data_hist, w)
-        })
+        let data_hist = LogHistogram::from_samples(r.data_sec_per_mb.samples(), 60);
+        vcsv::save(
+            &dir.join(format!("fig6_stage{}_data_secmb.csv", r.stage)),
+            |w| vcsv::log_histogram_csv(&data_hist, w),
+        )
         .expect("csv");
         if let Some(meta) = &r.meta_sec_per_mb {
             let meta_hist = LogHistogram::from_samples(meta.samples(), 60);
-            vcsv::save(&dir.join(format!("fig6_stage{}_meta_secmb.csv", r.stage)), |w| {
-                vcsv::log_histogram_csv(&meta_hist, w)
-            })
+            vcsv::save(
+                &dir.join(format!("fig6_stage{}_meta_secmb.csv", r.stage)),
+                |w| vcsv::log_histogram_csv(&meta_hist, w),
+            )
             .expect("csv");
         }
-        vcsv::save(&dir.join(format!("fig6_stage{}_write_rate.csv", r.stage)), |w| {
-            vcsv::rate_curve_csv(&r.write_rate, w)
-        })
+        vcsv::save(
+            &dir.join(format!("fig6_stage{}_write_rate.csv", r.stage)),
+            |w| vcsv::rate_curve_csv(&r.write_rate, w),
+        )
         .expect("csv");
     }
 

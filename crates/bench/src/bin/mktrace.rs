@@ -5,7 +5,9 @@ use pio_mpi::{run, RunConfig};
 use pio_workloads::IorConfig;
 
 fn main() {
-    let path = std::env::args().nth(1).unwrap_or_else(|| "results/sample_trace.jsonl".into());
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/sample_trace.jsonl".into());
     let cfg = IorConfig {
         repetitions: 2,
         ..IorConfig::paper_fig1().scaled(32)

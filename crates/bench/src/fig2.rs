@@ -33,12 +33,8 @@ pub struct Fig2Row {
 }
 
 /// The paper's reported rates for k = 1, 2, 4, 8.
-pub const PAPER_RATES: [(u32, f64); 4] = [
-    (1, 11_610.0),
-    (2, 12_016.0),
-    (4, 13_446.0),
-    (8, 13_486.0),
-];
+pub const PAPER_RATES: [(u32, f64); 4] =
+    [(1, 11_610.0), (2, 12_016.0), (4, 13_446.0), (8, 13_486.0)];
 
 /// Run the sweep at `scale` and compute per-k rows.
 pub fn run(scale: u32, seed: u64) -> Vec<Fig2Row> {

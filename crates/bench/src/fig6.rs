@@ -87,10 +87,7 @@ mod tests {
         let results = run_all(64, 13); // 160 tasks
         let times: Vec<f64> = results.iter().map(|r| r.runtime_s).collect();
         // Headline: >2x from baseline to final stage even at small scale.
-        assert!(
-            times[3] < times[0] / 1.5,
-            "ladder must improve: {times:?}"
-        );
+        assert!(times[3] < times[0] / 1.5, "ladder must improve: {times:?}");
         // Mechanisms: baseline conflicts heavily; aligned stages don't.
         assert!(results[0].lock_conflicts > 0);
         assert_eq!(results[2].lock_conflicts, 0, "alignment removes conflicts");

@@ -39,11 +39,7 @@ pub fn dist_of(trace: &Trace, kind: CallKind) -> Option<EmpiricalDist> {
 /// Time from the first record of `kind` starting to the last ending —
 /// the "phase time" IOR-style rates are computed over.
 pub fn span_of(trace: &Trace, kind: CallKind) -> f64 {
-    let start = trace
-        .of_kind(kind)
-        .map(|r| r.start_ns)
-        .min()
-        .unwrap_or(0);
+    let start = trace.of_kind(kind).map(|r| r.start_ns).min().unwrap_or(0);
     let end = trace.of_kind(kind).map(|r| r.end_ns).max().unwrap_or(0);
     (end.saturating_sub(start)) as f64 / 1e9
 }
@@ -101,7 +97,12 @@ pub fn print_rows(title: &str, rows: &[Row]) {
     for r in rows {
         println!(
             "{:<44} {:>9.1} {:>2} {:>9.1} {:>2} {:>7.2}x",
-            r.label, r.paper, r.unit, r.measured, r.unit, r.ratio()
+            r.label,
+            r.paper,
+            r.unit,
+            r.measured,
+            r.unit,
+            r.ratio()
         );
     }
 }

@@ -87,12 +87,22 @@ pub fn bootstrap_ci<F: Fn(&EmpiricalDist) -> f64>(
 }
 
 /// CI for the median.
-pub fn median_ci(dist: &EmpiricalDist, resamples: usize, level: f64, seed: u64) -> ConfidenceInterval {
+pub fn median_ci(
+    dist: &EmpiricalDist,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> ConfidenceInterval {
     bootstrap_ci(dist, EmpiricalDist::median, resamples, level, seed)
 }
 
 /// CI for the mean.
-pub fn mean_ci(dist: &EmpiricalDist, resamples: usize, level: f64, seed: u64) -> ConfidenceInterval {
+pub fn mean_ci(
+    dist: &EmpiricalDist,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> ConfidenceInterval {
     bootstrap_ci(dist, EmpiricalDist::mean, resamples, level, seed)
 }
 
@@ -152,7 +162,14 @@ mod tests {
     fn identical_distributions_are_not_distinguishable() {
         let a = dist(10.0);
         let b = dist(10.0);
-        assert!(!distinguishable(&a, &b, EmpiricalDist::median, 100, 0.95, 2));
+        assert!(!distinguishable(
+            &a,
+            &b,
+            EmpiricalDist::median,
+            100,
+            0.95,
+            2
+        ));
     }
 
     #[test]

@@ -181,8 +181,16 @@ mod tests {
         let before = mk(&[100.0, 120.0, 110.0, 130.0], &[5.0, 5.1, 4.9, 5.0]);
         let after = mk(&[10.0, 12.0, 11.0, 13.0], &[5.0, 5.1, 4.9, 5.0]);
         let cmp = compare(&before, &after);
-        let read = cmp.classes.iter().find(|c| c.kind == CallKind::Read).unwrap();
-        let write = cmp.classes.iter().find(|c| c.kind == CallKind::Write).unwrap();
+        let read = cmp
+            .classes
+            .iter()
+            .find(|c| c.kind == CallKind::Read)
+            .unwrap();
+        let write = cmp
+            .classes
+            .iter()
+            .find(|c| c.kind == CallKind::Write)
+            .unwrap();
         assert!((read.median_speedup() - 10.0).abs() < 0.5);
         assert!(read.ks > 0.9, "reads changed completely");
         assert!(write.unchanged(0.05), "writes did not change");

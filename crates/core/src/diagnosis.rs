@@ -16,7 +16,7 @@
 //!   aggregation.
 
 use crate::empirical::EmpiricalDist;
-use crate::modes::{find_modes, harmonic_structure};
+use crate::modes::{find_modes, harmonic_structure, Mode};
 use crate::rates::{durations, per_rank_io_time};
 use pio_trace::{CallKind, Trace};
 
@@ -104,14 +104,23 @@ pub enum Finding {
 impl std::fmt::Display for Finding {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Finding::HarmonicModes { kind, fundamental, orders } => write!(
+            Finding::HarmonicModes {
+                kind,
+                fundamental,
+                orders,
+            } => write!(
                 f,
                 "{}: harmonic modes at T={fundamental:.2}s with orders {orders:?} — \
                  intra-node I/O serialization (one or two tasks per node \
                  monopolize node I/O)",
                 kind.name()
             ),
-            Finding::RightShoulder { kind, median, p99, tail_mass } => write!(
+            Finding::RightShoulder {
+                kind,
+                median,
+                p99,
+                tail_mass,
+            } => write!(
                 f,
                 "{}: right shoulder — median {median:.2}s but p99 {p99:.2}s \
                  ({:.1}% of events beyond 2x median); suspect middleware \
@@ -119,7 +128,11 @@ impl std::fmt::Display for Finding {
                 kind.name(),
                 tail_mass * 100.0
             ),
-            Finding::ProgressiveDeterioration { kind, phase_medians, factor } => write!(
+            Finding::ProgressiveDeterioration {
+                kind,
+                phase_medians,
+                factor,
+            } => write!(
                 f,
                 "{}: progressive per-phase deterioration ({} phases, median \
                  grows {factor:.1}x from first to last) — cumulative resource \
@@ -127,7 +140,11 @@ impl std::fmt::Display for Finding {
                 kind.name(),
                 phase_medians.len()
             ),
-            Finding::SerializedRank { rank, share, metadata } => write!(
+            Finding::SerializedRank {
+                rank,
+                share,
+                metadata,
+            } => write!(
                 f,
                 "rank {rank} owns {:.0}% of {} time — serialized {}; \
                  aggregate into fewer, larger operations",
@@ -137,6 +154,18 @@ impl std::fmt::Display for Finding {
             ),
         }
     }
+}
+
+/// Harmonic verdict from already-extracted modes. Shared by the batch
+/// detector (KDE modes) and the streaming path in `pio-ingest` (modes from
+/// a windowed log-histogram grid).
+pub fn harmonic_verdict(kind: CallKind, modes: &[Mode], th: &Thresholds) -> Option<Finding> {
+    let h = harmonic_structure(modes, th.harmonic_tol)?;
+    Some(Finding::HarmonicModes {
+        kind,
+        fundamental: h.fundamental,
+        orders: h.orders,
+    })
 }
 
 /// Harmonic-mode detector over one call class.
@@ -150,12 +179,34 @@ pub fn detect_harmonics(trace: &Trace, kind: CallKind, th: &Thresholds) -> Optio
         return None;
     }
     let modes = find_modes(&dist, 512, th.mode_height_frac);
-    let h = harmonic_structure(&modes, th.harmonic_tol)?;
-    Some(Finding::HarmonicModes {
-        kind,
-        fundamental: h.fundamental,
-        orders: h.orders,
-    })
+    harmonic_verdict(kind, &modes, th)
+}
+
+/// Right-shoulder verdict from summary statistics (`n` samples with the
+/// given median, p99, and mass beyond 2× median). Shared by the batch
+/// detector (exact order statistics) and the streaming path (sketch
+/// estimates).
+pub fn shoulder_verdict(
+    kind: CallKind,
+    n: usize,
+    median: f64,
+    p99: f64,
+    tail_mass: f64,
+    th: &Thresholds,
+) -> Option<Finding> {
+    if n < th.min_samples || median <= 0.0 {
+        return None;
+    }
+    if p99 / median >= th.shoulder_tail_ratio && tail_mass >= th.shoulder_mass {
+        Some(Finding::RightShoulder {
+            kind,
+            median,
+            p99,
+            tail_mass,
+        })
+    } else {
+        None
+    }
 }
 
 /// Right-shoulder (pathological slow tail) detector.
@@ -166,17 +217,37 @@ pub fn detect_right_shoulder(trace: &Trace, kind: CallKind, th: &Thresholds) -> 
     }
     let dist = EmpiricalDist::new(&samples);
     let median = dist.median();
-    if median <= 0.0 {
-        return None;
-    }
     let p99 = dist.quantile(0.99);
     let tail_mass = dist.fraction_above(2.0 * median);
-    if p99 / median >= th.shoulder_tail_ratio && tail_mass >= th.shoulder_mass {
-        Some(Finding::RightShoulder {
+    shoulder_verdict(kind, samples.len(), median, p99, tail_mass, th)
+}
+
+/// Deterioration verdict over ordered `(group, median)` pairs: fires when
+/// the longest run of consecutive increases ending at the last entry spans
+/// at least 3 groups and grows by `deterioration_factor`. Shared by the
+/// batch detectors and the streaming per-phase path.
+pub fn deterioration_verdict(
+    kind: CallKind,
+    medians: &[(u32, f64)],
+    th: &Thresholds,
+) -> Option<Finding> {
+    if medians.len() < 3 {
+        return None;
+    }
+    let mut start = medians.len() - 1;
+    while start > 0 && medians[start - 1].1 < medians[start].1 {
+        start -= 1;
+    }
+    let run = &medians[start..];
+    if run.len() < 3 {
+        return None;
+    }
+    let factor = run.last().unwrap().1 / run[0].1.max(1e-300);
+    if factor >= th.deterioration_factor {
+        Some(Finding::ProgressiveDeterioration {
             kind,
-            median,
-            p99,
-            tail_mass,
+            phase_medians: run.to_vec(),
+            factor,
         })
     } else {
         None
@@ -201,28 +272,7 @@ pub fn detect_progressive_deterioration(
             phase_medians.push((p, EmpiricalDist::new(&samples).median()));
         }
     }
-    if phase_medians.len() < 3 {
-        return None;
-    }
-    // Longest run of consecutive-entry increases ending at the last entry.
-    let mut start = phase_medians.len() - 1;
-    while start > 0 && phase_medians[start - 1].1 < phase_medians[start].1 {
-        start -= 1;
-    }
-    let run = &phase_medians[start..];
-    if run.len() < 3 {
-        return None;
-    }
-    let factor = run.last().unwrap().1 / run[0].1.max(1e-300);
-    if factor >= th.deterioration_factor {
-        Some(Finding::ProgressiveDeterioration {
-            kind,
-            phase_medians: run.to_vec(),
-            factor,
-        })
-    } else {
-        None
-    }
+    deterioration_verdict(kind, &phase_medians, th)
 }
 
 /// Progressive deterioration over explicitly ordered sample groups
@@ -239,23 +289,40 @@ pub fn detect_deterioration_in_groups(
         .filter(|(_, g)| g.len() >= th.min_samples.min(8))
         .map(|(i, g)| (i as u32, EmpiricalDist::new(g).median()))
         .collect();
-    if medians.len() < 3 {
+    deterioration_verdict(kind, &medians, th)
+}
+
+/// Serialized-metadata verdict from per-rank aggregates: `per_rank` holds
+/// `(rank, metadata seconds, metadata ops)` for the candidate heavy ranks
+/// (need not be exhaustive — only the maximum matters), `meta_total` the
+/// total metadata seconds, and `all_io_time` the total I/O seconds.
+/// Shared by the batch detector and the streaming heavy-hitter path.
+pub fn serialized_meta_verdict(
+    per_rank: &[(u32, f64, usize)],
+    meta_total: f64,
+    ranks: u32,
+    all_io_time: f64,
+    th: &Thresholds,
+) -> Option<Finding> {
+    if meta_total <= 0.0 {
         return None;
     }
-    let mut start = medians.len() - 1;
-    while start > 0 && medians[start - 1].1 < medians[start].1 {
-        start -= 1;
-    }
-    let run = &medians[start..];
-    if run.len() < 3 {
-        return None;
-    }
-    let factor = run.last().unwrap().1 / run[0].1.max(1e-300);
-    if factor >= th.deterioration_factor {
-        Some(Finding::ProgressiveDeterioration {
-            kind,
-            phase_medians: run.to_vec(),
-            factor,
+    let &(rank, t, ops) = per_rank.iter().max_by(|a, b| a.1.total_cmp(&b.1))?;
+    let share = t / meta_total;
+    // Require genuine concentration: far above 1/ranks, made of *many*
+    // operations (the serialization pathology — a handful of large
+    // aggregated writes is the fix, not the bug), and material against
+    // total I/O time.
+    let fair = 1.0 / ranks.max(1) as f64;
+    if share >= th.serialized_share
+        && share > 10.0 * fair
+        && ops >= th.serialized_min_ops
+        && t / all_io_time.max(1e-300) >= 0.05
+    {
+        Some(Finding::SerializedRank {
+            rank,
+            share,
+            metadata: true,
         })
     } else {
         None
@@ -277,29 +344,15 @@ pub fn detect_serialized_rank(trace: &Trace, th: &Thresholds) -> Option<Finding>
         e.1 += 1;
         meta_total += r.secs();
     }
-    if meta_total > 0.0 {
-        if let Some((&rank, &(t, ops))) = meta.iter().max_by(|a, b| a.1 .0.total_cmp(&b.1 .0)) {
-            let share = t / meta_total;
-            // Require genuine concentration: far above 1/ranks, and made
-            // of *many* operations (the serialization pathology).
-            let fair = 1.0 / trace.meta.ranks.max(1) as f64;
-            if share >= th.serialized_share && share > 10.0 * fair && ops >= th.serialized_min_ops {
-                // Is the serialized time also material vs all I/O time?
-                let all_io: f64 = trace
-                    .records
-                    .iter()
-                    .filter(|r| r.call.is_io())
-                    .map(|r| r.secs())
-                    .sum();
-                if t / all_io.max(1e-300) >= 0.05 {
-                    return Some(Finding::SerializedRank {
-                        rank,
-                        share,
-                        metadata: true,
-                    });
-                }
-            }
-        }
+    let per_rank: Vec<(u32, f64, usize)> = meta.iter().map(|(&r, &(t, ops))| (r, t, ops)).collect();
+    let all_io: f64 = trace
+        .records
+        .iter()
+        .filter(|r| r.call.is_io())
+        .map(|r| r.secs())
+        .sum();
+    if let Some(f) = serialized_meta_verdict(&per_rank, meta_total, trace.meta.ranks, all_io, th) {
+        return Some(f);
     }
     // General I/O concentration.
     let per_rank = per_rank_io_time(trace);
@@ -388,10 +441,13 @@ mod tests {
             } + (i % 5) as f64 * 0.05;
             t.push(rec(i, CallKind::Write, 1 << 20, 0.0, dur, 0));
         }
-        let f = detect_harmonics(&t, CallKind::Write, &Thresholds::default())
-            .expect("harmonics");
+        let f = detect_harmonics(&t, CallKind::Write, &Thresholds::default()).expect("harmonics");
         match f {
-            Finding::HarmonicModes { fundamental, ref orders, .. } => {
+            Finding::HarmonicModes {
+                fundamental,
+                ref orders,
+                ..
+            } => {
                 assert!((fundamental - 32.0).abs() < 2.0);
                 assert!(orders.contains(&2) || orders.contains(&4));
             }
@@ -405,7 +461,14 @@ mod tests {
     fn unimodal_trace_not_harmonic() {
         let mut t = Trace::new(meta(64));
         for i in 0..64u32 {
-            t.push(rec(i, CallKind::Write, 1 << 20, 0.0, 10.0 + (i % 7) as f64 * 0.02, 0));
+            t.push(rec(
+                i,
+                CallKind::Write,
+                1 << 20,
+                0.0,
+                10.0 + (i % 7) as f64 * 0.02,
+                0,
+            ));
         }
         assert!(detect_harmonics(&t, CallKind::Write, &Thresholds::default()).is_none());
     }
@@ -414,16 +477,28 @@ mod tests {
     fn right_shoulder_detected_on_buggy_reads() {
         let mut t = Trace::new(meta(64));
         for i in 0..60u32 {
-            t.push(rec(i, CallKind::Read, 1 << 20, 0.0, 15.0 + (i % 5) as f64 * 0.1, 0));
+            t.push(rec(
+                i,
+                CallKind::Read,
+                1 << 20,
+                0.0,
+                15.0 + (i % 5) as f64 * 0.1,
+                0,
+            ));
         }
         // A handful of catastrophic reads (30–500 s).
         for (i, dur) in [(60u32, 90.0), (61, 200.0), (62, 450.0), (63, 35.0)] {
             t.push(rec(i, CallKind::Read, 1 << 20, 0.0, dur, 0));
         }
-        let f = detect_right_shoulder(&t, CallKind::Read, &Thresholds::default())
-            .expect("shoulder");
+        let f =
+            detect_right_shoulder(&t, CallKind::Read, &Thresholds::default()).expect("shoulder");
         match f {
-            Finding::RightShoulder { median, p99, tail_mass, .. } => {
+            Finding::RightShoulder {
+                median,
+                p99,
+                tail_mass,
+                ..
+            } => {
                 assert!((median - 15.2).abs() < 1.0);
                 assert!(p99 > 100.0);
                 assert!(tail_mass > 0.03);
@@ -436,7 +511,14 @@ mod tests {
     fn healthy_reads_have_no_shoulder() {
         let mut t = Trace::new(meta(64));
         for i in 0..64u32 {
-            t.push(rec(i, CallKind::Read, 1 << 20, 0.0, 15.0 + (i % 5) as f64 * 0.2, 0));
+            t.push(rec(
+                i,
+                CallKind::Read,
+                1 << 20,
+                0.0,
+                15.0 + (i % 5) as f64 * 0.2,
+                0,
+            ));
         }
         assert!(detect_right_shoulder(&t, CallKind::Read, &Thresholds::default()).is_none());
     }
@@ -448,13 +530,24 @@ mod tests {
         let medians = [10.0, 10.0, 12.0, 20.0, 35.0, 60.0];
         for (p, &m) in medians.iter().enumerate() {
             for i in 0..32u32 {
-                t.push(rec(i, CallKind::Read, 1 << 20, p as f64 * 100.0, m + (i % 3) as f64 * 0.1, p as u32));
+                t.push(rec(
+                    i,
+                    CallKind::Read,
+                    1 << 20,
+                    p as f64 * 100.0,
+                    m + (i % 3) as f64 * 0.1,
+                    p as u32,
+                ));
             }
         }
         let f = detect_progressive_deterioration(&t, CallKind::Read, &Thresholds::default())
             .expect("deterioration");
         match f {
-            Finding::ProgressiveDeterioration { factor, ref phase_medians, .. } => {
+            Finding::ProgressiveDeterioration {
+                factor,
+                ref phase_medians,
+                ..
+            } => {
                 assert!(factor > 2.0, "{factor}");
                 assert!(phase_medians.len() >= 4);
                 assert_eq!(phase_medians.last().unwrap().0, 5);
@@ -488,7 +581,14 @@ mod tests {
         let mut t = Trace::new(meta(32));
         for p in 0..6u32 {
             for i in 0..32u32 {
-                t.push(rec(i, CallKind::Read, 1 << 20, p as f64 * 100.0, 10.0 + (i % 3) as f64 * 0.1, p));
+                t.push(rec(
+                    i,
+                    CallKind::Read,
+                    1 << 20,
+                    p as f64 * 100.0,
+                    10.0 + (i % 3) as f64 * 0.1,
+                    p,
+                ));
             }
         }
         assert!(
@@ -508,7 +608,11 @@ mod tests {
         }
         let f = detect_serialized_rank(&t, &Thresholds::default()).expect("serialized");
         match f {
-            Finding::SerializedRank { rank, share, metadata } => {
+            Finding::SerializedRank {
+                rank,
+                share,
+                metadata,
+            } => {
                 assert_eq!(rank, 0);
                 assert!(share > 0.9);
                 assert!(metadata);
@@ -533,7 +637,14 @@ mod tests {
         // Harmonic writes + serialized metadata.
         for i in 0..128u32 {
             let dur = if i % 4 == 0 { 16.0 } else { 32.0 };
-            t.push(rec(i, CallKind::Write, 1 << 20, 0.0, dur + (i % 5) as f64 * 0.03, 0));
+            t.push(rec(
+                i,
+                CallKind::Write,
+                1 << 20,
+                0.0,
+                dur + (i % 5) as f64 * 0.03,
+                0,
+            ));
         }
         for i in 0..700 {
             t.push(rec(0, CallKind::MetaWrite, 2048, i as f64, 0.5, 0));

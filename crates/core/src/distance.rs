@@ -80,7 +80,11 @@ mod tests {
     use super::*;
 
     fn uniform(n: usize, shift: f64) -> EmpiricalDist {
-        EmpiricalDist::new(&(0..n).map(|i| i as f64 / n as f64 + shift).collect::<Vec<_>>())
+        EmpiricalDist::new(
+            &(0..n)
+                .map(|i| i as f64 / n as f64 + shift)
+                .collect::<Vec<_>>(),
+        )
     }
 
     #[test]

@@ -250,9 +250,15 @@ mod tests {
         runs[0].extend((0..60).map(|i| 50.0 + (i % 5) as f64 * 0.05));
         let e = Ensemble::from_samples(&runs);
         let stable = e.stable_modes(0.05, 0.15);
-        let far = stable.iter().find(|(m, _)| m.location > 40.0).expect("far mode");
+        let far = stable
+            .iter()
+            .find(|(m, _)| m.location > 40.0)
+            .expect("far mode");
         assert!(far.1 <= 0.3, "transient mode presence {far:?}");
-        let main = stable.iter().find(|(m, _)| (m.location - 10.0).abs() < 2.0).unwrap();
+        let main = stable
+            .iter()
+            .find(|(m, _)| (m.location - 10.0).abs() < 2.0)
+            .unwrap();
         assert!(main.1 >= 1.0);
     }
 }

@@ -92,7 +92,9 @@ mod tests {
 
     #[test]
     fn grid_integrates_to_one() {
-        let samples: Vec<f64> = (0..200).map(|i| (i as f64 * 0.618).fract() * 10.0).collect();
+        let samples: Vec<f64> = (0..200)
+            .map(|i| (i as f64 * 0.618).fract() * 10.0)
+            .collect();
         let d = EmpiricalDist::new(&samples);
         let kde = Kde::new(&d);
         let grid = kde.grid(512);

@@ -212,7 +212,12 @@ mod tests {
         let d = spread_dist();
         let g = GridPdf::from_empirical(&d, 128);
         assert!((g.mass() - 1.0).abs() < 1e-9);
-        assert!((g.mean() - d.mean()).abs() < 0.05, "{} {}", g.mean(), d.mean());
+        assert!(
+            (g.mean() - d.mean()).abs() < 0.05,
+            "{} {}",
+            g.mean(),
+            d.mean()
+        );
     }
 
     #[test]
@@ -232,8 +237,16 @@ mod tests {
         let cv1 = g.cv();
         let cv4 = g.convolve_k(4).cv();
         let cv16 = g.convolve_k(16).cv();
-        assert!((cv4 - cv1 / 2.0).abs() < 0.05 * cv1, "cv4 {cv4} vs {}", cv1 / 2.0);
-        assert!((cv16 - cv1 / 4.0).abs() < 0.05 * cv1, "cv16 {cv16} vs {}", cv1 / 4.0);
+        assert!(
+            (cv4 - cv1 / 2.0).abs() < 0.05 * cv1,
+            "cv4 {cv4} vs {}",
+            cv1 / 2.0
+        );
+        assert!(
+            (cv16 - cv1 / 4.0).abs() < 0.05 * cv1,
+            "cv16 {cv16} vs {}",
+            cv1 / 4.0
+        );
     }
 
     #[test]

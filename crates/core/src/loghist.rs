@@ -1,116 +1,14 @@
 //! Log-spaced histograms — the paper's log-log plots (Figures 4(c,f),
 //! 6(c,f,i,l)) where "the different modes, especially the slowest modes,
 //! stand out".
+//!
+//! The implementation lives in [`pio_des::hist`] so that the analysis
+//! layer (this crate), the capture layer (`pio-trace`), and the streaming
+//! sketches (`pio-ingest`) all share one mergeable log-histogram; this
+//! module re-exports it under its historical name and keeps the
+//! analysis-facing tests.
 
-use serde::{Deserialize, Serialize};
-
-/// A histogram with logarithmically spaced bins over `[lo, hi)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct LogHistogram {
-    lo: f64,
-    hi: f64,
-    counts: Vec<u64>,
-    underflow: u64,
-    overflow: u64,
-}
-
-impl LogHistogram {
-    /// `bins` log-spaced bins over `[lo, hi)`; both bounds must be positive.
-    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
-        assert!(lo > 0.0 && hi > lo && bins > 0, "invalid log histogram");
-        LogHistogram {
-            lo,
-            hi,
-            counts: vec![0; bins],
-            underflow: 0,
-            overflow: 0,
-        }
-    }
-
-    /// Build from positive samples, range padded to cover all of them.
-    /// Non-positive samples land in the underflow counter.
-    pub fn from_samples(samples: &[f64], bins: usize) -> Self {
-        let positives: Vec<f64> = samples.iter().cloned().filter(|&v| v > 0.0).collect();
-        assert!(!positives.is_empty(), "no positive samples");
-        let min = positives.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = positives.iter().cloned().fold(0.0f64, f64::max);
-        let mut h = LogHistogram::new(min / 1.05, max * 1.05, bins);
-        for &s in samples {
-            h.add(s);
-        }
-        h
-    }
-
-    /// Record one sample (non-positive values count as underflow).
-    pub fn add(&mut self, v: f64) {
-        if v <= 0.0 || v < self.lo {
-            self.underflow += 1;
-        } else if v >= self.hi {
-            self.overflow += 1;
-        } else {
-            let frac = (v / self.lo).ln() / (self.hi / self.lo).ln();
-            let idx = ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
-            self.counts[idx] += 1;
-        }
-    }
-
-    /// Geometric center of bin `i`.
-    pub fn bin_center(&self, i: usize) -> f64 {
-        let ratio = (self.hi / self.lo).powf((i as f64 + 0.5) / self.counts.len() as f64);
-        self.lo * ratio
-    }
-
-    /// Bin edges `(left, right)` of bin `i`.
-    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
-        let n = self.counts.len() as f64;
-        let l = self.lo * (self.hi / self.lo).powf(i as f64 / n);
-        let r = self.lo * (self.hi / self.lo).powf((i as f64 + 1.0) / n);
-        (l, r)
-    }
-
-    /// Raw counts.
-    pub fn counts(&self) -> &[u64] {
-        &self.counts
-    }
-
-    /// Bin count.
-    pub fn bins(&self) -> usize {
-        self.counts.len()
-    }
-
-    /// Total samples including out-of-range.
-    pub fn total(&self) -> u64 {
-        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
-    }
-
-    /// In-range samples.
-    pub fn in_range(&self) -> u64 {
-        self.counts.iter().sum()
-    }
-
-    /// `(center, count)` pairs with nonzero counts — ready for log-log
-    /// plotting.
-    pub fn series(&self) -> Vec<(f64, u64)> {
-        (0..self.counts.len())
-            .filter(|&i| self.counts[i] > 0)
-            .map(|i| (self.bin_center(i), self.counts[i]))
-            .collect()
-    }
-
-    /// Fraction of in-range mass at or beyond `threshold` — quantifies a
-    /// "right shoulder" like Franklin's slow reads.
-    pub fn tail_fraction(&self, threshold: f64) -> f64 {
-        let total = self.in_range();
-        if total == 0 {
-            return 0.0;
-        }
-        let tail: u64 = (0..self.counts.len())
-            .filter(|&i| self.bin_edges(i).1 > threshold)
-            .map(|i| self.counts[i])
-            .sum();
-        tail as f64 / total as f64 + self.overflow as f64 / total as f64
-    }
-}
+pub use pio_des::hist::{BinSlot, LogBins, LogHistogram};
 
 #[cfg(test)]
 mod tests {
@@ -176,6 +74,27 @@ mod tests {
         h.add(1.0);
         assert_eq!(h.series().len(), 1);
     }
+
+    #[test]
+    fn serde_round_trip_preserves_layout() {
+        let mut h = LogHistogram::new(0.1, 10.0, 4);
+        h.add(1.0);
+        h.add(-1.0);
+        h.add(100.0);
+        let json = serde_json::to_string(&h).unwrap();
+        // Field layout is part of the on-disk profile format.
+        for key in [
+            "\"lo\"",
+            "\"hi\"",
+            "\"counts\"",
+            "\"underflow\"",
+            "\"overflow\"",
+        ] {
+            assert!(json.contains(key), "{json}");
+        }
+        let back: LogHistogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+    }
 }
 
 #[cfg(test)]
@@ -195,10 +114,10 @@ mod proptests {
         /// Bins are monotone in value.
         #[test]
         fn binning_monotone(a in 1e-3f64..1e3, b in 1e-3f64..1e3) {
-            let _h = LogHistogram::new(1e-4, 1e4, 48);
-            let bin = |v: f64| {
-                let frac = (v / 1e-4f64).ln() / (1e4f64 / 1e-4).ln();
-                ((frac * 48.0) as usize).min(47)
+            let g = LogBins::new(1e-4, 1e4, 48);
+            let bin = |v: f64| match g.slot(v) {
+                BinSlot::In(i) => i,
+                _ => unreachable!("in-range by construction"),
             };
             if a <= b {
                 prop_assert!(bin(a) <= bin(b));

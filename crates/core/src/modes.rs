@@ -46,10 +46,7 @@ pub fn find_modes_on_grid(grid: &[(f64, f64)], min_height_frac: f64) -> Vec<Mode
             peaks.push(i);
         }
     }
-    let tallest = peaks
-        .iter()
-        .map(|&i| grid[i].1)
-        .fold(0.0f64, f64::max);
+    let tallest = peaks.iter().map(|&i| grid[i].1).fold(0.0f64, f64::max);
     if tallest <= 0.0 {
         return Vec::new();
     }
@@ -65,9 +62,7 @@ pub fn find_modes_on_grid(grid: &[(f64, f64)], min_height_frac: f64) -> Vec<Mode
         let mut k = 0;
         while k + 1 < peaks.len() {
             let (a, b) = (peaks[k], peaks[k + 1]);
-            let valley = (a..=b)
-                .map(|i| grid[i].1)
-                .fold(f64::INFINITY, f64::min);
+            let valley = (a..=b).map(|i| grid[i].1).fold(f64::INFINITY, f64::min);
             let shorter = grid[a].1.min(grid[b].1);
             if valley >= VALLEY_FRAC * shorter {
                 let drop = if grid[a].1 < grid[b].1 { k } else { k + 1 };
@@ -198,7 +193,9 @@ mod tests {
 
     #[test]
     fn unimodal_has_no_harmonics() {
-        let samples: Vec<f64> = (0..200).map(|i| 10.0 + ((i * 37) % 100) as f64 * 0.004).collect();
+        let samples: Vec<f64> = (0..200)
+            .map(|i| 10.0 + ((i * 37) % 100) as f64 * 0.004)
+            .collect();
         let d = EmpiricalDist::new(&samples);
         let modes = find_modes(&d, 256, 0.1);
         assert_eq!(modes.len(), 1, "{modes:?}");

@@ -59,7 +59,11 @@ pub fn max_quantile(dist: &EmpiricalDist, q: f64, n: u32) -> f64 {
 pub fn max_density_grid(dist: &EmpiricalDist, n: u32, points: usize) -> Vec<(f64, f64)> {
     let kde = crate::kde::Kde::new(dist);
     let grid = kde.grid(points);
-    let dt = if grid.len() >= 2 { grid[1].0 - grid[0].0 } else { 0.0 };
+    let dt = if grid.len() >= 2 {
+        grid[1].0 - grid[0].0
+    } else {
+        0.0
+    };
     let mut cum = 0.0;
     grid.into_iter()
         .map(|(t, f)| {

@@ -198,7 +198,9 @@ mod tests {
     #[test]
     fn ensemble_report_flags_divergence() {
         let runs = vec![
-            (0..100).map(|i| 1.0 + (i % 7) as f64 * 0.01).collect::<Vec<f64>>(),
+            (0..100)
+                .map(|i| 1.0 + (i % 7) as f64 * 0.01)
+                .collect::<Vec<f64>>(),
             (0..100).map(|i| 9.0 + (i % 7) as f64 * 0.01).collect(),
         ];
         let text = render_ensemble("bad", &runs);

@@ -1,0 +1,325 @@
+//! Mergeable log-spaced histograms — the single binning implementation
+//! shared by the analysis layer (`pio-core::loghist`), the capture layer
+//! (`pio-trace::profile`), and the streaming-ingest sketches
+//! (`pio-ingest`).
+//!
+//! Two pieces: [`LogBins`] is the pure geometry (which bin does a value
+//! fall in, where is a bin centered), and [`LogHistogram`] is geometry
+//! plus mergeable counts. Merging two histograms with the same geometry
+//! is exactly equivalent to accumulating the union of their streams,
+//! which is what makes per-shard and per-rank collection safe.
+
+use serde::{Deserialize, Serialize};
+
+/// Where a value lands relative to a [`LogBins`] geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinSlot {
+    /// Below the range (or non-positive).
+    Under,
+    /// In-range bin index.
+    In(usize),
+    /// At or above the upper bound.
+    Over,
+}
+
+/// Logarithmically spaced bin geometry over `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogBins {
+    lo: f64,
+    hi: f64,
+    bins: usize,
+}
+
+impl LogBins {
+    /// `bins` log-spaced bins over `[lo, hi)`; both bounds must be positive.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo > 0.0 && hi > lo && bins > 0, "invalid log bin geometry");
+        LogBins { lo, hi, bins }
+    }
+
+    /// Lower bound (inclusive).
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound (exclusive).
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Classify a value.
+    pub fn slot(&self, v: f64) -> BinSlot {
+        if v <= 0.0 || v < self.lo {
+            BinSlot::Under
+        } else if v >= self.hi {
+            BinSlot::Over
+        } else {
+            let frac = (v / self.lo).ln() / (self.hi / self.lo).ln();
+            BinSlot::In(((frac * self.bins as f64) as usize).min(self.bins - 1))
+        }
+    }
+
+    /// Bin index with out-of-range values clamped to the edge bins.
+    pub fn index_clamped(&self, v: f64) -> usize {
+        match self.slot(v) {
+            BinSlot::Under => 0,
+            BinSlot::In(i) => i,
+            BinSlot::Over => self.bins - 1,
+        }
+    }
+
+    /// Geometric center of bin `i`.
+    pub fn center(&self, i: usize) -> f64 {
+        self.lo * (self.hi / self.lo).powf((i as f64 + 0.5) / self.bins as f64)
+    }
+
+    /// Bin edges `(left, right)` of bin `i`.
+    pub fn edges(&self, i: usize) -> (f64, f64) {
+        let n = self.bins as f64;
+        let l = self.lo * (self.hi / self.lo).powf(i as f64 / n);
+        let r = self.lo * (self.hi / self.lo).powf((i as f64 + 1.0) / n);
+        (l, r)
+    }
+}
+
+/// A histogram with logarithmically spaced bins over `[lo, hi)`.
+///
+/// Out-of-range samples land in dedicated under/overflow counters by
+/// default ([`LogHistogram::add`]); capture-style collectors that prefer
+/// clamping use [`LogHistogram::add_clamped`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl LogHistogram {
+    /// `bins` log-spaced bins over `[lo, hi)`; both bounds must be positive.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        let geom = LogBins::new(lo, hi, bins);
+        LogHistogram {
+            lo: geom.lo,
+            hi: geom.hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Build from positive samples, range padded to cover all of them.
+    /// Non-positive samples land in the underflow counter.
+    pub fn from_samples(samples: &[f64], bins: usize) -> Self {
+        let positives: Vec<f64> = samples.iter().cloned().filter(|&v| v > 0.0).collect();
+        assert!(!positives.is_empty(), "no positive samples");
+        let min = positives.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = positives.iter().cloned().fold(0.0f64, f64::max);
+        let mut h = LogHistogram::new(min / 1.05, max * 1.05, bins);
+        for &s in samples {
+            h.add(s);
+        }
+        h
+    }
+
+    /// Rebuild from raw parts — for container formats (e.g. saved
+    /// profiles) that store the counts of several histograms side by side.
+    /// Panics on invalid geometry or empty counts.
+    pub fn from_parts(lo: f64, hi: f64, counts: Vec<u64>, underflow: u64, overflow: u64) -> Self {
+        LogBins::new(lo, hi, counts.len());
+        LogHistogram {
+            lo,
+            hi,
+            counts,
+            underflow,
+            overflow,
+        }
+    }
+
+    /// The bin geometry.
+    pub fn geometry(&self) -> LogBins {
+        LogBins::new(self.lo, self.hi, self.counts.len())
+    }
+
+    /// Record one sample (non-positive values count as underflow).
+    pub fn add(&mut self, v: f64) {
+        match self.geometry().slot(v) {
+            BinSlot::Under => self.underflow += 1,
+            BinSlot::In(i) => self.counts[i] += 1,
+            BinSlot::Over => self.overflow += 1,
+        }
+    }
+
+    /// Record one sample, clamping out-of-range values to the edge bins.
+    pub fn add_clamped(&mut self, v: f64) {
+        let i = self.geometry().index_clamped(v);
+        self.counts[i] += 1;
+    }
+
+    /// Geometric center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.geometry().center(i)
+    }
+
+    /// Bin edges `(left, right)` of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        self.geometry().edges(i)
+    }
+
+    /// Raw counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Bin count.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Samples below the range (or non-positive).
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples including out-of-range.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// In-range samples.
+    pub fn in_range(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(center, count)` pairs with nonzero counts — ready for log-log
+    /// plotting.
+    pub fn series(&self) -> Vec<(f64, u64)> {
+        (0..self.counts.len())
+            .filter(|&i| self.counts[i] > 0)
+            .map(|i| (self.bin_center(i), self.counts[i]))
+            .collect()
+    }
+
+    /// Fraction of in-range mass at or beyond `threshold` — quantifies a
+    /// "right shoulder" like Franklin's slow reads.
+    pub fn tail_fraction(&self, threshold: f64) -> f64 {
+        let total = self.in_range();
+        if total == 0 {
+            return 0.0;
+        }
+        let tail: u64 = (0..self.counts.len())
+            .filter(|&i| self.bin_edges(i).1 > threshold)
+            .map(|i| self.counts[i])
+            .sum();
+        tail as f64 / total as f64 + self.overflow as f64 / total as f64
+    }
+
+    /// Approximate quantile over the in-range mass (bin-center resolution),
+    /// or `None` if empty. `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.in_range();
+        if total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut acc = 0;
+        for i in 0..self.counts.len() {
+            acc += self.counts[i];
+            if acc >= target {
+                return Some(self.bin_center(i));
+            }
+        }
+        Some(self.bin_center(self.counts.len() - 1))
+    }
+
+    /// Merge another histogram with the same geometry into this one; the
+    /// result is identical to having accumulated both streams into one
+    /// histogram. Panics if geometries differ.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len(),
+            "merging log histograms with different bin geometry"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_partition_the_line() {
+        let g = LogBins::new(0.1, 10.0, 20);
+        assert_eq!(g.slot(-1.0), BinSlot::Under);
+        assert_eq!(g.slot(0.05), BinSlot::Under);
+        assert_eq!(g.slot(0.1), BinSlot::In(0));
+        assert_eq!(g.slot(10.0), BinSlot::Over);
+        assert_eq!(g.index_clamped(1e-9), 0);
+        assert_eq!(g.index_clamped(1e9), 19);
+    }
+
+    #[test]
+    fn centers_inside_edges() {
+        let g = LogBins::new(0.01, 100.0, 32);
+        for i in 0..32 {
+            let c = g.center(i);
+            let (l, r) = g.edges(i);
+            assert!(l < c && c < r, "bin {i}: {l} {c} {r}");
+            assert_eq!(g.slot(c), BinSlot::In(i));
+        }
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let vals: Vec<f64> = (1..200).map(|i| 0.01 * i as f64 * i as f64).collect();
+        let mut a = LogHistogram::new(0.05, 50.0, 24);
+        let mut b = a.clone();
+        let mut union = a.clone();
+        for (i, &v) in vals.iter().enumerate() {
+            if i % 3 == 0 {
+                a.add(v);
+            } else {
+                b.add(v);
+            }
+            union.add(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, union);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = LogHistogram::new(0.1, 10.0, 8);
+        let b = LogHistogram::new(0.1, 10.0, 16);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let mut h = LogHistogram::new(1e-3, 1e3, 64);
+        for i in 1..=100 {
+            h.add(i as f64 * 0.1);
+        }
+        let q50 = h.quantile(0.5).unwrap();
+        assert!(q50 > 2.5 && q50 < 10.0, "{q50}");
+        assert!(h.quantile(1.0).unwrap() >= q50);
+        assert!(LogHistogram::new(0.1, 1.0, 4).quantile(0.5).is_none());
+    }
+}

@@ -14,6 +14,7 @@
 //! repeated runs of a single *experiment*).
 
 pub mod engine;
+pub mod hist;
 pub mod maxmin;
 pub mod queue;
 pub mod rng;

@@ -122,7 +122,10 @@ pub fn maxmin_rates(link_caps: &[f64], flows: &[Flow]) -> Vec<f64> {
                 continue;
             }
             let at_cap = f.cap.is_some_and(|c| rate[i] >= c - EPS);
-            let on_saturated = f.links.iter().any(|&l| rem_cap[l] <= EPS * link_caps[l].max(1.0));
+            let on_saturated = f
+                .links
+                .iter()
+                .any(|&l| rem_cap[l] <= EPS * link_caps[l].max(1.0));
             if at_cap || on_saturated {
                 newly_frozen.push(i);
             }
@@ -160,7 +163,11 @@ mod tests {
 
     #[test]
     fn cap_diverts_share_to_others() {
-        let flows = vec![Flow::capped(vec![0], 1.0), Flow::over(vec![0]), Flow::over(vec![0])];
+        let flows = vec![
+            Flow::capped(vec![0], 1.0),
+            Flow::over(vec![0]),
+            Flow::over(vec![0]),
+        ];
         let rates = maxmin_rates(&[10.0], &flows);
         assert!(close(rates[0], 1.0), "{rates:?}");
         assert!(close(rates[1], 4.5) && close(rates[2], 4.5), "{rates:?}");

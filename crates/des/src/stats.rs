@@ -137,8 +137,7 @@ impl OnlineMoments {
         let delta_n2 = delta_n * delta_n;
         let term1 = delta * delta_n * n1;
         self.mean += delta_n;
-        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0)
-            + 6.0 * delta_n2 * self.m2
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * self.m2
             - 4.0 * delta_n * self.m3;
         self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
         self.m2 += term1;
@@ -191,6 +190,40 @@ impl OnlineMoments {
         }
         Some(self.std_dev()? / mean.abs())
     }
+
+    /// Combine another accumulator into this one (Chan/Terriberry parallel
+    /// update), as if both streams had been recorded into a single
+    /// accumulator. Associative and commutative up to float rounding, so
+    /// per-shard accumulators can be merged in any order.
+    pub fn merge(&mut self, other: &OnlineMoments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let na = self.n as f64;
+        let nb = other.n as f64;
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        let d2 = delta * delta;
+        let m2 = self.m2 + other.m2 + d2 * na * nb / n;
+        let m3 = self.m3
+            + other.m3
+            + d2 * delta * na * nb * (na - nb) / (n * n)
+            + 3.0 * delta * (na * other.m2 - nb * self.m2) / n;
+        let m4 = self.m4
+            + other.m4
+            + d2 * d2 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n)
+            + 6.0 * d2 * (na * na * other.m2 + nb * nb * self.m2) / (n * n)
+            + 4.0 * delta * (na * other.m3 - nb * self.m3) / n;
+        self.mean += delta * nb / n;
+        self.m2 = m2;
+        self.m3 = m3;
+        self.m4 = m4;
+        self.n += other.n;
+    }
 }
 
 #[cfg(test)]
@@ -215,7 +248,7 @@ mod tests {
         let mut w = TimeWeighted::new(0.0);
         w.set(SimTime::from_secs(2), 10.0); // 0 for [0,2)
         w.set(SimTime::from_secs(4), 0.0); // 10 for [2,4)
-        // Average over [0,5]: (0*2 + 10*2 + 0*1)/5 = 4.
+                                           // Average over [0,5]: (0*2 + 10*2 + 0*1)/5 = 4.
         assert!((w.average(SimTime::from_secs(5)) - 4.0).abs() < 1e-12);
         assert_eq!(w.peak(), 10.0);
         assert_eq!(w.value(), 0.0);
@@ -233,6 +266,45 @@ mod tests {
         assert!((m.variance().unwrap() - 60.0 / 9.0).abs() < 1e-9);
         // Symmetric: zero skewness.
         assert!(m.skewness().unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_matches_single_stream() {
+        let xs: Vec<f64> = (0..120)
+            .map(|i| (i as f64 * 0.37).sin() * 20.0 + 5.0)
+            .collect();
+        let mut whole = OnlineMoments::new();
+        let mut left = OnlineMoments::new();
+        let mut right = OnlineMoments::new();
+        for (i, &x) in xs.iter().enumerate() {
+            whole.record(x);
+            if i < 47 {
+                left.record(x);
+            } else {
+                right.record(x);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-9);
+        assert!((left.variance().unwrap() - whole.variance().unwrap()).abs() < 1e-9);
+        assert!((left.skewness().unwrap() - whole.skewness().unwrap()).abs() < 1e-9);
+        assert!((left.excess_kurtosis().unwrap() - whole.excess_kurtosis().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut m = OnlineMoments::new();
+        m.record(1.0);
+        m.record(3.0);
+        let snapshot = m.clone();
+        m.merge(&OnlineMoments::new());
+        assert_eq!(m.count(), snapshot.count());
+        assert_eq!(m.mean(), snapshot.mean());
+        let mut empty = OnlineMoments::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty.count(), 2);
+        assert_eq!(empty.mean(), snapshot.mean());
     }
 
     #[test]

@@ -323,7 +323,8 @@ mod tests {
             FsConfig::jaguar(),
             FsConfig::tiny_test(),
         ] {
-            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
         }
     }
 

@@ -259,8 +259,14 @@ mod tests {
         assert!(n.under_pressure(SimTime::ZERO, 200, 0.5));
         assert!(!n.under_pressure(SimTime::ZERO, 400, 0.5));
         n.note_pressure(SimTime::from_secs(10), 5.0);
-        assert!(n.under_pressure(SimTime::from_secs(14), 400, 0.5), "lingers");
-        assert!(!n.under_pressure(SimTime::from_secs(16), 400, 0.5), "expires");
+        assert!(
+            n.under_pressure(SimTime::from_secs(14), 400, 0.5),
+            "lingers"
+        );
+        assert!(
+            !n.under_pressure(SimTime::from_secs(16), 400, 0.5),
+            "expires"
+        );
     }
 
     #[test]

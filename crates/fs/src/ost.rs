@@ -129,7 +129,16 @@ mod tests {
         let c = cfg();
         let mut rng = SimRng::new(1);
         let mut ost = Ost::new();
-        let t1 = ost.submit(SimTime::ZERO, 100_000_000, 1, false, 1.0, SimSpan::ZERO, &c, &mut rng);
+        let t1 = ost.submit(
+            SimTime::ZERO,
+            100_000_000,
+            1,
+            false,
+            1.0,
+            SimSpan::ZERO,
+            &c,
+            &mut rng,
+        );
         // 100 MB at 100 MB/s ≈ 1 s (+ ~1ms overhead + ~10ms first-stream switch).
         let secs = t1.as_secs_f64();
         assert!(secs > 1.0 && secs < 1.1, "{secs}");
@@ -140,11 +149,38 @@ mod tests {
         let c = cfg();
         let mut rng = SimRng::new(2);
         let mut ost = Ost::new();
-        ost.submit(SimTime::ZERO, 1000, 5, false, 1.0, SimSpan::ZERO, &c, &mut rng);
+        ost.submit(
+            SimTime::ZERO,
+            1000,
+            5,
+            false,
+            1.0,
+            SimSpan::ZERO,
+            &c,
+            &mut rng,
+        );
         let before = ost.switches();
-        ost.submit(SimTime::ZERO, 1000, 5, false, 1.0, SimSpan::ZERO, &c, &mut rng);
+        ost.submit(
+            SimTime::ZERO,
+            1000,
+            5,
+            false,
+            1.0,
+            SimSpan::ZERO,
+            &c,
+            &mut rng,
+        );
         assert_eq!(ost.switches(), before);
-        ost.submit(SimTime::ZERO, 1000, 6, false, 1.0, SimSpan::ZERO, &c, &mut rng);
+        ost.submit(
+            SimTime::ZERO,
+            1000,
+            6,
+            false,
+            1.0,
+            SimSpan::ZERO,
+            &c,
+            &mut rng,
+        );
         assert_eq!(ost.switches(), before + 1);
     }
 
@@ -157,10 +193,28 @@ mod tests {
         let mut batched = Ost::new();
         // 20 RPCs alternating between 2 streams vs grouped by stream.
         for i in 0..20u64 {
-            interleaved.submit(SimTime::ZERO, 1000, i % 2, false, 1.0, SimSpan::ZERO, &c, &mut rng_a);
+            interleaved.submit(
+                SimTime::ZERO,
+                1000,
+                i % 2,
+                false,
+                1.0,
+                SimSpan::ZERO,
+                &c,
+                &mut rng_a,
+            );
         }
         for i in 0..20u64 {
-            batched.submit(SimTime::ZERO, 1000, i / 10, false, 1.0, SimSpan::ZERO, &c, &mut rng_b);
+            batched.submit(
+                SimTime::ZERO,
+                1000,
+                i / 10,
+                false,
+                1.0,
+                SimSpan::ZERO,
+                &c,
+                &mut rng_b,
+            );
         }
         assert!(interleaved.busy_time() > batched.busy_time());
         assert_eq!(interleaved.switches(), 19);
@@ -174,8 +228,26 @@ mod tests {
         let mut ost_noisy = Ost::new();
         let mut r1 = SimRng::new(4);
         let mut r2 = SimRng::new(4);
-        let a = ost_quiet.submit(SimTime::ZERO, 1000, 1, false, 1.0, SimSpan::ZERO, &c, &mut r1);
-        let b = ost_noisy.submit(SimTime::ZERO, 1000, 1, false, 5.0, SimSpan::ZERO, &c, &mut r2);
+        let a = ost_quiet.submit(
+            SimTime::ZERO,
+            1000,
+            1,
+            false,
+            1.0,
+            SimSpan::ZERO,
+            &c,
+            &mut r1,
+        );
+        let b = ost_noisy.submit(
+            SimTime::ZERO,
+            1000,
+            1,
+            false,
+            5.0,
+            SimSpan::ZERO,
+            &c,
+            &mut r2,
+        );
         assert!(b > a);
         // The slowdown is bounded by 5x of the overhead terms.
         assert!(b.as_secs_f64() < 5.0 * a.as_secs_f64() + 1e-9);
@@ -188,8 +260,26 @@ mod tests {
         let mut r2 = SimRng::new(5);
         let mut x = Ost::new();
         let mut y = Ost::new();
-        let a = x.submit(SimTime::ZERO, 1000, 1, false, 1.0, SimSpan::ZERO, &c, &mut r1);
-        let b = y.submit(SimTime::ZERO, 1000, 1, false, 1.0, SimSpan::from_secs(2), &c, &mut r2);
+        let a = x.submit(
+            SimTime::ZERO,
+            1000,
+            1,
+            false,
+            1.0,
+            SimSpan::ZERO,
+            &c,
+            &mut r1,
+        );
+        let b = y.submit(
+            SimTime::ZERO,
+            1000,
+            1,
+            false,
+            1.0,
+            SimSpan::from_secs(2),
+            &c,
+            &mut r2,
+        );
         assert_eq!(b.since(a), SimSpan::from_secs(2));
     }
 
@@ -199,7 +289,16 @@ mod tests {
         let mut rng = SimRng::new(6);
         let mut ost = Ost::new();
         for _ in 0..5 {
-            ost.submit(SimTime::ZERO, 100, 1, false, 1.0, SimSpan::ZERO, &c, &mut rng);
+            ost.submit(
+                SimTime::ZERO,
+                100,
+                1,
+                false,
+                1.0,
+                SimSpan::ZERO,
+                &c,
+                &mut rng,
+            );
         }
         assert_eq!(ost.served(), 5);
         assert_eq!(ost.bytes(), 500);

@@ -231,7 +231,7 @@ mod tests {
         let c = cfg(true);
         let mut t = ReadaheadTracker::new();
         strided_reads(&mut t, &c, 6); // stream 7 strided
-        // Stream 8 fresh: normal.
+                                      // Stream 8 fresh: normal.
         let m = t.observe_read(&c, 8, 0, MB);
         assert_eq!(m, ReadMode::Normal);
         assert_eq!(t.streams_tracked(), 2);

@@ -313,7 +313,9 @@ impl FsSim {
     pub fn new(cfg: FsConfig, n_nodes: u32, seed: u64) -> Self {
         cfg.validate().expect("invalid fs config");
         let osts = (0..cfg.n_osts).map(|_| Ost::new()).collect();
-        let nodes = (0..n_nodes).map(|_| Node::new(cfg.tasks_per_node)).collect();
+        let nodes = (0..n_nodes)
+            .map(|_| Node::new(cfg.tasks_per_node))
+            .collect();
         let mds = MultiServiceCenter::new(cfg.mds_threads);
         FsSim {
             fabric: ServiceCenter::new(),
@@ -360,7 +362,11 @@ impl FsSim {
 
     /// Lock-table statistics.
     pub fn lock_stats(&self) -> (u64, u64, u64) {
-        (self.locks.grants(), self.locks.conflicts(), self.locks.rmws())
+        (
+            self.locks.grants(),
+            self.locks.conflicts(),
+            self.locks.rmws(),
+        )
     }
 
     /// Where the run's time went, measured against `end`.
@@ -370,13 +376,13 @@ impl FsSim {
             fabric_busy_s: self.fabric.busy_time().as_secs_f64(),
             dlm_busy_s: self.dlm.busy_time().as_secs_f64(),
             mds_busy_s: self.mds.busy_time().as_secs_f64(),
-            ost_busy_s: self.osts.iter().map(|o| o.busy_time().as_secs_f64()).collect(),
-            ost_switches: self.osts.iter().map(|o| o.switches()).collect(),
-            ost_direction_switches: self
+            ost_busy_s: self
                 .osts
                 .iter()
-                .map(|o| o.direction_switches())
+                .map(|o| o.busy_time().as_secs_f64())
                 .collect(),
+            ost_switches: self.osts.iter().map(|o| o.switches()).collect(),
+            ost_direction_switches: self.osts.iter().map(|o| o.direction_switches()).collect(),
             ost_bytes: self.osts.iter().map(|o| o.bytes()).collect(),
             node_dirty_peak: self.nodes.iter().map(|n| n.dirty_peak).collect(),
             node_dirty_avg: self
@@ -414,7 +420,11 @@ impl FsSim {
         let io = self.next_io;
         self.next_io += 1;
         debug_assert!((req.node as usize) < self.nodes.len(), "unknown node");
-        debug_assert!((req.file as usize) < self.files.len() || !matches!(req.kind, IoKind::Read | IoKind::Write | IoKind::MetaWrite), "unknown file");
+        debug_assert!(
+            (req.file as usize) < self.files.len()
+                || !matches!(req.kind, IoKind::Read | IoKind::Write | IoKind::MetaWrite),
+            "unknown file"
+        );
 
         match req.kind {
             IoKind::Open | IoKind::Close | IoKind::MetaRead => {
@@ -486,10 +496,7 @@ impl FsSim {
                     self.cfg.cache_bytes,
                     self.cfg.pressure_frac,
                 );
-                let stretch = self
-                    .rng
-                    .lognormal(1.0, self.cfg.grant_noise_sigma)
-                    .max(1.0);
+                let stretch = self.rng.lognormal(1.0, self.cfg.grant_noise_sigma).max(1.0);
                 let st = IoState {
                     rank: req.rank,
                     node: req.node,
@@ -638,10 +645,8 @@ impl FsSim {
                                 sync = true;
                                 if rmw {
                                     // Read the stripe back before writing.
-                                    ost_extra += SimSpan::for_bytes(
-                                        self.cfg.stripe_bytes,
-                                        self.cfg.ost_bw,
-                                    );
+                                    ost_extra +=
+                                        SimSpan::for_bytes(self.cfg.stripe_bytes, self.cfg.ost_bw);
                                 }
                             }
                             LockOutcome::Granted | LockOutcome::Owned => {}
@@ -813,9 +818,7 @@ impl FsSim {
             // Lock revocation serializes through the DLM before the data
             // moves.
             let start = if rpc.revoke {
-                let lat = self
-                    .rng
-                    .lognormal(self.cfg.lock_revoke_latency, 0.3);
+                let lat = self.rng.lognormal(self.cfg.lock_revoke_latency, 0.3);
                 self.dlm.submit(now, SimSpan::from_secs_f64(lat))
             } else {
                 now
@@ -823,9 +826,10 @@ impl FsSim {
             let t_nic = self.nodes[node_id as usize]
                 .nic
                 .submit(start, SimSpan::for_bytes(rpc.len as u64, self.cfg.nic_bw));
-            let t_fab = self
-                .fabric
-                .submit(t_nic, SimSpan::for_bytes(rpc.len as u64, self.cfg.fabric_bw));
+            let t_fab = self.fabric.submit(
+                t_nic,
+                SimSpan::for_bytes(rpc.len as u64, self.cfg.fabric_bw),
+            );
             let layout = self.files[file as usize].layout;
             let ost = layout.ost_of_stripe(layout.stripe_of(rpc.offset));
             let t_ost = self.osts[ost].submit(
@@ -1028,7 +1032,11 @@ mod tests {
         let mut sim = world(FsConfig::tiny_test(), 1);
         let f = sim.world.fs.register_file(false);
         // 64 MB write, cache is 16 MB → drain-bound.
-        let io = submit(&mut sim, SimTime::ZERO, req(0, 0, f, IoKind::Write, 0, 64 * MB));
+        let io = submit(
+            &mut sim,
+            SimTime::ZERO,
+            req(0, 0, f, IoKind::Write, 0, 64 * MB),
+        );
         sim.run();
         assert_eq!(sim.world.done.len(), 1);
         let (t, done_io, rank) = sim.world.done[0];
@@ -1045,7 +1053,11 @@ mod tests {
     fn small_write_fits_cache_and_returns_at_ingest_speed() {
         let mut sim = world(FsConfig::tiny_test(), 1);
         let f = sim.world.fs.register_file(false);
-        submit(&mut sim, SimTime::ZERO, req(0, 0, f, IoKind::Write, 0, 4 * MB));
+        submit(
+            &mut sim,
+            SimTime::ZERO,
+            req(0, 0, f, IoKind::Write, 0, 4 * MB),
+        );
         sim.run();
         let (t, _, _) = sim.world.done[0];
         // 4 MB at 400 MB/s ingest ≈ 0.01 s, far faster than 4 MB at
@@ -1061,7 +1073,11 @@ mod tests {
     fn read_completes_at_last_rpc() {
         let mut sim = world(FsConfig::tiny_test(), 1);
         let f = sim.world.fs.register_file(false);
-        submit(&mut sim, SimTime::ZERO, req(0, 0, f, IoKind::Read, 0, 8 * MB));
+        submit(
+            &mut sim,
+            SimTime::ZERO,
+            req(0, 0, f, IoKind::Read, 0, 8 * MB),
+        );
         sim.run();
         assert_eq!(sim.world.done.len(), 1);
         let (t, _, _) = sim.world.done[0];
@@ -1075,7 +1091,11 @@ mod tests {
     fn flush_waits_for_writeback() {
         let mut sim = world(FsConfig::tiny_test(), 1);
         let f = sim.world.fs.register_file(false);
-        submit(&mut sim, SimTime::ZERO, req(0, 0, f, IoKind::Write, 0, 4 * MB));
+        submit(
+            &mut sim,
+            SimTime::ZERO,
+            req(0, 0, f, IoKind::Write, 0, 4 * MB),
+        );
         // Run until the write call returns (fast), then flush.
         sim.run_until(SimTime::from_secs_f64(0.02));
         assert!(sim.world.fs.node(0).dirty > 0, "write-back still pending");
@@ -1104,8 +1124,16 @@ mod tests {
         let mut sim = world(FsConfig::tiny_test(), 1);
         let f = sim.world.fs.register_file(true);
         submit(&mut sim, SimTime::ZERO, req(0, 0, f, IoKind::Open, 0, 0));
-        submit(&mut sim, SimTime::ZERO, req(0, 0, f, IoKind::MetaRead, 0, 2048));
-        submit(&mut sim, SimTime::ZERO, req(0, 0, f, IoKind::MetaWrite, 0, 2048));
+        submit(
+            &mut sim,
+            SimTime::ZERO,
+            req(0, 0, f, IoKind::MetaRead, 0, 2048),
+        );
+        submit(
+            &mut sim,
+            SimTime::ZERO,
+            req(0, 0, f, IoKind::MetaWrite, 0, 2048),
+        );
         submit(&mut sim, SimTime::ZERO, req(0, 0, f, IoKind::Close, 0, 0));
         sim.run();
         assert_eq!(sim.world.done.len(), 4);
@@ -1119,10 +1147,18 @@ mod tests {
         let mut sim = world(cfg, 2);
         let f = sim.world.fs.register_file(true);
         // Node 0 writes [0, 1.5MB); node 1 writes [1.5MB, 3MB): stripe 1 shared.
-        submit(&mut sim, SimTime::ZERO, req(0, 0, f, IoKind::Write, 0, 3 * MB / 2));
+        submit(
+            &mut sim,
+            SimTime::ZERO,
+            req(0, 0, f, IoKind::Write, 0, 3 * MB / 2),
+        );
         sim.run();
         let now = sim.now();
-        submit(&mut sim, now, req(4, 1, f, IoKind::Write, 3 * MB / 2, 3 * MB / 2));
+        submit(
+            &mut sim,
+            now,
+            req(4, 1, f, IoKind::Write, 3 * MB / 2, 3 * MB / 2),
+        );
         sim.run();
         let (_, conflicts, rmws) = sim.world.fs.lock_stats();
         assert!(conflicts >= 1, "boundary stripe must conflict");
@@ -1135,8 +1171,16 @@ mod tests {
     fn aligned_shared_writes_do_not_conflict() {
         let mut sim = world(FsConfig::tiny_test(), 2);
         let f = sim.world.fs.register_file(true);
-        submit(&mut sim, SimTime::ZERO, req(0, 0, f, IoKind::Write, 0, 2 * MB));
-        submit(&mut sim, SimTime::ZERO, req(4, 1, f, IoKind::Write, 2 * MB, 2 * MB));
+        submit(
+            &mut sim,
+            SimTime::ZERO,
+            req(0, 0, f, IoKind::Write, 0, 2 * MB),
+        );
+        submit(
+            &mut sim,
+            SimTime::ZERO,
+            req(4, 1, f, IoKind::Write, 2 * MB, 2 * MB),
+        );
         sim.run();
         let (_, conflicts, _) = sim.world.fs.lock_stats();
         assert_eq!(conflicts, 0);
@@ -1151,7 +1195,11 @@ mod tests {
         let mut sim = world(cfg, 1);
         let f = sim.world.fs.register_file(false);
         // Keep the node dirty: a big buffered write that can't drain fast.
-        submit(&mut sim, SimTime::ZERO, req(1, 0, f, IoKind::Write, 1000 * MB, 64 * MB));
+        submit(
+            &mut sim,
+            SimTime::ZERO,
+            req(1, 0, f, IoKind::Write, 1000 * MB, 64 * MB),
+        );
         // Strided read sequence on another stream (2 MB reads, 1 MB gaps),
         // issued while the write is still draining so the node is under
         // pressure when the strided mode engages.
@@ -1184,7 +1232,11 @@ mod tests {
         cfg.pressure_frac = 0.25;
         let mut sim = world(cfg, 1);
         let f = sim.world.fs.register_file(false);
-        submit(&mut sim, SimTime::ZERO, req(1, 0, f, IoKind::Write, 1000 * MB, 64 * MB));
+        submit(
+            &mut sim,
+            SimTime::ZERO,
+            req(1, 0, f, IoKind::Write, 1000 * MB, 64 * MB),
+        );
         let f2 = sim.world.fs.register_file(false);
         for i in 0..6u64 {
             let r = IoReq {
@@ -1251,7 +1303,10 @@ mod tests {
         let mut times: Vec<f64> = sim.world.done.iter().map(|d| d.0.as_secs_f64()).collect();
         times.sort_by(f64::total_cmp);
         let spread = (times[3] - times[0]) / times[3];
-        assert!(spread < 0.25, "fair sharing should finish together: {times:?}");
+        assert!(
+            spread < 0.25,
+            "fair sharing should finish together: {times:?}"
+        );
     }
 
     #[test]
@@ -1262,7 +1317,14 @@ mod tests {
             submit(
                 &mut sim,
                 SimTime::ZERO,
-                req(rank, rank % 2, f, IoKind::Write, rank as u64 * 64 * MB, 8 * MB),
+                req(
+                    rank,
+                    rank % 2,
+                    f,
+                    IoKind::Write,
+                    rank as u64 * 64 * MB,
+                    8 * MB,
+                ),
             );
         }
         let end = sim.run();
@@ -1285,7 +1347,11 @@ mod tests {
         let mut sim = world(cfg, 1);
         let f = sim.world.fs.register_file(false);
         // Cross the threshold, then let everything drain.
-        submit(&mut sim, SimTime::ZERO, req(1, 0, f, IoKind::Write, 1000 * MB, 16 * MB));
+        submit(
+            &mut sim,
+            SimTime::ZERO,
+            req(1, 0, f, IoKind::Write, 1000 * MB, 16 * MB),
+        );
         sim.run();
         assert_eq!(sim.world.fs.node(0).dirty, 0, "drained");
         // Strided reads issued long after: still under held pressure.
@@ -1320,7 +1386,11 @@ mod tests {
         let fw = sim.world.fs.register_file(false);
         let fr = sim.world.fs.register_file(false);
         // Build the stride while pressured (concurrent big write).
-        submit(&mut sim, SimTime::ZERO, req(1, 0, fw, IoKind::Write, 1000 * MB, 64 * MB));
+        submit(
+            &mut sim,
+            SimTime::ZERO,
+            req(1, 0, fw, IoKind::Write, 1000 * MB, 64 * MB),
+        );
         for i in 0..4u64 {
             let r = IoReq {
                 rank: 0,
@@ -1385,13 +1455,20 @@ mod tests {
         let run_one = |cfg: FsConfig| {
             let mut sim = world(cfg, 1);
             let f = sim.world.fs.register_file(false);
-            submit(&mut sim, SimTime::ZERO, req(0, 0, f, IoKind::Write, 0, 64 * MB));
+            submit(
+                &mut sim,
+                SimTime::ZERO,
+                req(0, 0, f, IoKind::Write, 0, 64 * MB),
+            );
             sim.run();
             sim.world.done[0].0.as_secs_f64()
         };
         let quiet = run_one(base);
         let loud = run_one(noisy);
-        assert!(loud >= quiet * 0.99, "stretch is a pure delay: {quiet} vs {loud}");
+        assert!(
+            loud >= quiet * 0.99,
+            "stretch is a pure delay: {quiet} vs {loud}"
+        );
     }
 
     #[test]

@@ -317,8 +317,16 @@ mod tests {
             assert_eq!(*bytes, 2 * 205 * 2048);
         }
         // Deferred metadata precedes the flush.
-        let mpos = p.ops.iter().position(|o| matches!(o, Op::MetaWrite { .. })).unwrap();
-        let fpos = p.ops.iter().position(|o| matches!(o, Op::Flush { .. })).unwrap();
+        let mpos = p
+            .ops
+            .iter()
+            .position(|o| matches!(o, Op::MetaWrite { .. }))
+            .unwrap();
+        let fpos = p
+            .ops
+            .iter()
+            .position(|o| matches!(o, Op::Flush { .. }))
+            .unwrap();
         assert!(mpos < fpos);
     }
 
@@ -336,7 +344,13 @@ mod tests {
         w.commit_dataset_metadata(0);
         w.close();
         let p = w.finish();
-        assert_eq!(count(&p, |o| matches!(o, Op::MetaWrite { bytes, .. } if *bytes == MB)), 2);
+        assert_eq!(
+            count(
+                &p,
+                |o| matches!(o, Op::MetaWrite { bytes, .. } if *bytes == MB)
+            ),
+            2
+        );
     }
 
     #[test]

@@ -1,0 +1,477 @@
+//! Online diagnosis: the paper's detectors, incrementally, mid-run.
+//!
+//! [`StreamDiagnoser`] is a [`RecordSink`] that watches the record stream
+//! as it is produced and raises the same findings as
+//! `pio_core::diagnosis::diagnose_with` — through the *same* verdict
+//! functions, fed sketch estimates instead of exact order statistics:
+//!
+//! * **Right shoulder** and **harmonic modes** are evaluated over a
+//!   tumbling window of recent records, so a pathology that develops
+//!   mid-run (Franklin's read-ahead bug) is flagged long before the job
+//!   ends.
+//! * **Progressive deterioration** closes a per-phase quantile sketch at
+//!   every barrier boundary ([`RecordSink::phase_end`]) and re-tests the
+//!   median ladder.
+//! * **Serialized metadata rank** keeps a weighted heavy-hitter sketch
+//!   by rank and re-tests at each barrier.
+//!
+//! Memory is O(window bins + active phases × bins + heavy-hitter k):
+//! constant in the number of records.
+
+use crate::sketch::{HeavyHitters, QuantileSketch};
+use pio_core::diagnosis::{
+    deterioration_verdict, harmonic_verdict, serialized_meta_verdict, shoulder_verdict, Finding,
+    Thresholds,
+};
+use pio_core::modes::find_modes_on_grid;
+use pio_des::hist::LogHistogram;
+use pio_trace::{CallKind, Record, RecordSink};
+use std::collections::{HashMap, HashSet};
+
+/// Online-diagnoser tuning knobs.
+#[derive(Debug, Clone)]
+pub struct DiagnoserConfig {
+    /// Detector thresholds (shared with the batch path).
+    pub thresholds: Thresholds,
+    /// Tumbling-window length in records, per watched call class.
+    pub window: usize,
+    /// Call classes watched for windowed distributional pathologies.
+    pub watch: Vec<CallKind>,
+    /// Duration geometry: lower bound, seconds.
+    pub hist_lo: f64,
+    /// Duration geometry: upper bound, seconds.
+    pub hist_hi: f64,
+    /// Duration geometry: bucket count.
+    pub hist_bins: usize,
+    /// Heavy-hitter sketch capacity.
+    pub hitter_capacity: usize,
+}
+
+impl Default for DiagnoserConfig {
+    fn default() -> Self {
+        DiagnoserConfig {
+            thresholds: Thresholds::default(),
+            window: 2048,
+            watch: vec![CallKind::Write, CallKind::Read],
+            hist_lo: 1e-6,
+            hist_hi: 1e3,
+            hist_bins: 96,
+            hitter_capacity: 16,
+        }
+    }
+}
+
+/// A finding plus when the stream first produced it.
+#[derive(Debug, Clone)]
+pub struct TimedFinding {
+    /// The diagnosis.
+    pub finding: Finding,
+    /// Records ingested when it first fired.
+    pub after_records: u64,
+    /// Barrier phase in effect when it first fired.
+    pub phase: u32,
+}
+
+/// Windowed per-kind state for the distributional detectors.
+struct KindWindow {
+    hist: LogHistogram,
+    sketch: QuantileSketch,
+}
+
+impl KindWindow {
+    fn new(cfg: &DiagnoserConfig) -> Self {
+        KindWindow {
+            hist: LogHistogram::new(cfg.hist_lo, cfg.hist_hi, cfg.hist_bins),
+            sketch: QuantileSketch::new(cfg.hist_lo, cfg.hist_hi, cfg.hist_bins),
+        }
+    }
+
+    fn add(&mut self, secs: f64) {
+        self.hist.add_clamped(secs);
+        self.sketch.add(secs);
+    }
+
+    fn count(&self) -> u64 {
+        self.sketch.count()
+    }
+}
+
+/// Streaming, constant-memory implementation of the paper's detectors.
+pub struct StreamDiagnoser {
+    cfg: DiagnoserConfig,
+    windows: HashMap<CallKind, KindWindow>,
+    phase_sketches: HashMap<(CallKind, u32), QuantileSketch>,
+    phase_medians: HashMap<CallKind, Vec<(u32, f64)>>,
+    hitters: HeavyHitters,
+    meta_secs: f64,
+    io_secs: f64,
+    ranks: u32,
+    records: u64,
+    current_phase: u32,
+    findings: Vec<TimedFinding>,
+    seen: HashSet<(u8, Option<CallKind>)>,
+}
+
+impl StreamDiagnoser {
+    /// A diagnoser with the given configuration.
+    pub fn new(cfg: DiagnoserConfig) -> Self {
+        let hitters = HeavyHitters::new(cfg.hitter_capacity);
+        StreamDiagnoser {
+            cfg,
+            windows: HashMap::new(),
+            phase_sketches: HashMap::new(),
+            phase_medians: HashMap::new(),
+            hitters,
+            meta_secs: 0.0,
+            io_secs: 0.0,
+            ranks: 0,
+            records: 0,
+            current_phase: 0,
+            findings: Vec::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// A diagnoser with default configuration.
+    pub fn with_defaults() -> Self {
+        StreamDiagnoser::new(DiagnoserConfig::default())
+    }
+
+    /// Every finding raised so far, in the order they first fired.
+    pub fn findings(&self) -> &[TimedFinding] {
+        &self.findings
+    }
+
+    /// Records ingested so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// One dedup key per (finding variant, call class): repeated windows
+    /// re-confirming a known pathology stay one finding.
+    fn dedup_key(f: &Finding) -> (u8, Option<CallKind>) {
+        match f {
+            Finding::HarmonicModes { kind, .. } => (0, Some(*kind)),
+            Finding::RightShoulder { kind, .. } => (1, Some(*kind)),
+            Finding::ProgressiveDeterioration { kind, .. } => (2, Some(*kind)),
+            Finding::SerializedRank { .. } => (3, None),
+        }
+    }
+
+    fn raise(&mut self, f: Finding) {
+        if self.seen.insert(Self::dedup_key(&f)) {
+            self.findings.push(TimedFinding {
+                finding: f,
+                after_records: self.records,
+                phase: self.current_phase,
+            });
+        }
+    }
+
+    /// Evaluate the distributional detectors over one kind's window.
+    fn evaluate_window(&mut self, kind: CallKind) {
+        let Some(w) = self.windows.get(&kind) else {
+            return;
+        };
+        let n = w.count() as usize;
+        let th = self.cfg.thresholds.clone();
+        if n < th.min_samples {
+            return;
+        }
+        let mut raised = Vec::new();
+        let grid = density_grid(&w.hist);
+        let modes = find_modes_on_grid(&grid, th.mode_height_frac);
+        if let Some(f) = harmonic_verdict(kind, &modes, &th) {
+            raised.push(f);
+        }
+        if let (Some(median), Some(p99)) = (w.sketch.quantile(0.5), w.sketch.quantile(0.99)) {
+            let tail = w.sketch.fraction_above(2.0 * median);
+            if let Some(f) = shoulder_verdict(kind, n, median, p99, tail, &th) {
+                raised.push(f);
+            }
+        }
+        for f in raised {
+            self.raise(f);
+        }
+    }
+
+    /// Re-test the serialized-metadata detector over cumulative state.
+    fn evaluate_serialized(&mut self) {
+        let per_rank: Vec<(u32, f64, usize)> = self
+            .hitters
+            .top()
+            .into_iter()
+            .map(|h| (h.key, h.weight, h.ops as usize))
+            .collect();
+        if let Some(f) = serialized_meta_verdict(
+            &per_rank,
+            self.meta_secs,
+            self.ranks,
+            self.io_secs,
+            &self.cfg.thresholds,
+        ) {
+            self.raise(f);
+        }
+    }
+}
+
+/// A smoothed `(duration, density)` grid from a windowed histogram.
+fn density_grid(hist: &LogHistogram) -> Vec<(f64, f64)> {
+    let total = hist.in_range() as f64;
+    if total == 0.0 {
+        return Vec::new();
+    }
+    let raw: Vec<(f64, f64)> = (0..hist.bins())
+        .map(|i| {
+            let (l, r) = hist.bin_edges(i);
+            (
+                hist.bin_center(i),
+                hist.counts()[i] as f64 / (total * (r - l)),
+            )
+        })
+        .collect();
+    (0..raw.len())
+        .map(|i| {
+            let prev = if i > 0 { raw[i - 1].1 } else { raw[i].1 };
+            let next = if i + 1 < raw.len() {
+                raw[i + 1].1
+            } else {
+                raw[i].1
+            };
+            (raw[i].0, 0.25 * prev + 0.5 * raw[i].1 + 0.25 * next)
+        })
+        .collect()
+}
+
+impl RecordSink for StreamDiagnoser {
+    fn push(&mut self, r: &Record) {
+        self.records += 1;
+        self.ranks = self.ranks.max(r.rank + 1);
+        self.current_phase = self.current_phase.max(r.phase);
+        let secs = r.secs();
+        if matches!(r.call, CallKind::MetaRead | CallKind::MetaWrite) {
+            self.hitters.add(r.rank, secs);
+            self.meta_secs += secs;
+        }
+        if r.call.is_io() {
+            self.io_secs += secs;
+        }
+        if !self.cfg.watch.contains(&r.call) {
+            return;
+        }
+        let (lo, hi, bins) = (self.cfg.hist_lo, self.cfg.hist_hi, self.cfg.hist_bins);
+        self.windows
+            .entry(r.call)
+            .or_insert_with(|| KindWindow::new(&self.cfg))
+            .add(secs);
+        self.phase_sketches
+            .entry((r.call, r.phase))
+            .or_insert_with(|| QuantileSketch::new(lo, hi, bins))
+            .add(secs);
+        if self.windows[&r.call].count() as usize >= self.cfg.window {
+            self.evaluate_window(r.call);
+            self.windows.remove(&r.call);
+        }
+    }
+
+    fn phase_end(&mut self, phase: u32) {
+        self.current_phase = self.current_phase.max(phase);
+        let min_n = self.cfg.thresholds.min_samples.min(8);
+        let kinds: Vec<CallKind> = self.cfg.watch.clone();
+        for kind in kinds {
+            // Close every sketch for phases up to the barrier (phases
+            // complete in order; anything still open at `phase` is done).
+            let mut closed: Vec<(u32, f64)> = Vec::new();
+            let done: Vec<(CallKind, u32)> = self
+                .phase_sketches
+                .keys()
+                .filter(|&&(k, p)| k == kind && p <= phase)
+                .cloned()
+                .collect();
+            for key in done {
+                let s = self.phase_sketches.remove(&key).expect("present");
+                if s.count() as usize >= min_n {
+                    if let Some(m) = s.quantile(0.5) {
+                        closed.push((key.1, m));
+                    }
+                }
+            }
+            if closed.is_empty() {
+                continue;
+            }
+            let medians = self.phase_medians.entry(kind).or_default();
+            medians.extend(closed);
+            medians.sort_by_key(|&(p, _)| p);
+            let medians = medians.clone();
+            if let Some(f) = deterioration_verdict(kind, &medians, &self.cfg.thresholds) {
+                self.raise(f);
+            }
+        }
+        self.evaluate_serialized();
+    }
+
+    fn finish(&mut self) {
+        // Flush partially filled windows and any never-closed phases.
+        let kinds: Vec<CallKind> = self.cfg.watch.clone();
+        for kind in &kinds {
+            self.evaluate_window(*kind);
+        }
+        self.phase_end(u32::MAX);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(rank: u32, call: CallKind, dur: f64, phase: u32) -> Record {
+        Record {
+            rank,
+            call,
+            fd: 3,
+            offset: 0,
+            bytes: 1 << 20,
+            start_ns: 0,
+            end_ns: (dur * 1e9) as u64,
+            phase,
+        }
+    }
+
+    #[test]
+    fn shoulder_flagged_mid_stream() {
+        let mut d = StreamDiagnoser::new(DiagnoserConfig {
+            window: 128,
+            ..DiagnoserConfig::default()
+        });
+        // First window: healthy. Second window: the read-ahead pathology
+        // appears. The finding must fire before the stream ends.
+        for i in 0..128u32 {
+            d.push(&rec(i % 16, CallKind::Read, 10.0 + (i % 5) as f64 * 0.1, 0));
+        }
+        assert!(d.findings().is_empty());
+        for i in 0..128u32 {
+            let dur = if i % 8 == 0 {
+                250.0
+            } else {
+                10.0 + (i % 5) as f64 * 0.1
+            };
+            d.push(&rec(i % 16, CallKind::Read, dur, 0));
+        }
+        let shoulder = d
+            .findings()
+            .iter()
+            .find(|t| {
+                matches!(
+                    t.finding,
+                    Finding::RightShoulder {
+                        kind: CallKind::Read,
+                        ..
+                    }
+                )
+            })
+            .expect("shoulder must fire from the second window");
+        assert!(shoulder.after_records <= 256, "{}", shoulder.after_records);
+        // Still only one finding after more pathological windows.
+        for i in 0..512u32 {
+            let dur = if i % 8 == 0 { 250.0 } else { 10.0 };
+            d.push(&rec(i % 16, CallKind::Read, dur, 0));
+        }
+        let shoulders = d
+            .findings()
+            .iter()
+            .filter(|t| matches!(t.finding, Finding::RightShoulder { .. }))
+            .count();
+        assert_eq!(shoulders, 1);
+    }
+
+    #[test]
+    fn healthy_stream_stays_clean() {
+        let mut d = StreamDiagnoser::new(DiagnoserConfig {
+            window: 256,
+            ..DiagnoserConfig::default()
+        });
+        for p in 0..4u32 {
+            for i in 0..512u32 {
+                d.push(&rec(
+                    i % 32,
+                    CallKind::Write,
+                    5.0 + (i % 7) as f64 * 0.05,
+                    p,
+                ));
+                d.push(&rec(i % 32, CallKind::Read, 2.0 + (i % 5) as f64 * 0.04, p));
+            }
+            d.phase_end(p);
+        }
+        d.finish();
+        assert!(d.findings().is_empty(), "{:?}", d.findings());
+    }
+
+    #[test]
+    fn deterioration_flagged_at_barrier() {
+        let mut d = StreamDiagnoser::with_defaults();
+        for (p, m) in [8.0, 8.1, 11.0, 17.0, 28.0, 45.0].iter().enumerate() {
+            for i in 0..64u32 {
+                d.push(&rec(
+                    i % 16,
+                    CallKind::Read,
+                    m + (i % 3) as f64 * 0.05,
+                    p as u32,
+                ));
+            }
+            d.phase_end(p as u32);
+        }
+        let t = d
+            .findings()
+            .iter()
+            .find(|t| {
+                matches!(
+                    t.finding,
+                    Finding::ProgressiveDeterioration {
+                        kind: CallKind::Read,
+                        ..
+                    }
+                )
+            })
+            .expect("deterioration fires at a barrier");
+        // Fired at a phase_end, not only at finish().
+        assert!(t.phase <= 5);
+    }
+
+    #[test]
+    fn serialized_rank_flagged_from_heavy_hitters() {
+        let mut d = StreamDiagnoser::with_defaults();
+        for i in 0..500u32 {
+            d.push(&rec(0, CallKind::MetaWrite, 0.3, 0));
+            d.push(&rec(i % 256, CallKind::Write, 1.0, 0));
+        }
+        d.phase_end(0);
+        assert!(
+            d.findings()
+                .iter()
+                .any(|t| matches!(t.finding, Finding::SerializedRank { rank: 0, .. })),
+            "{:?}",
+            d.findings()
+        );
+    }
+
+    #[test]
+    fn finish_flushes_partial_windows() {
+        let mut d = StreamDiagnoser::new(DiagnoserConfig {
+            window: 100_000,
+            ..DiagnoserConfig::default()
+        });
+        for i in 0..120u32 {
+            let dur = if i % 8 == 0 { 300.0 } else { 12.0 };
+            d.push(&rec(i % 16, CallKind::Read, dur, 0));
+        }
+        assert!(d.findings().is_empty());
+        d.finish();
+        assert!(
+            d.findings()
+                .iter()
+                .any(|t| matches!(t.finding, Finding::RightShoulder { .. })),
+            "{:?}",
+            d.findings()
+        );
+    }
+}

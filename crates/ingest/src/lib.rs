@@ -1,0 +1,39 @@
+//! # pio-ingest — streaming trace ingestion and online ensemble diagnosis
+//!
+//! The paper closes by proposing that its ensemble methodology move from
+//! post-mortem analysis to *online* monitoring: histograms and summary
+//! statistics are small and mergeable, so they can be maintained while
+//! the job runs and pathologies flagged before it ends. This crate is
+//! that pipeline:
+//!
+//! * [`sketch`] — mergeable building blocks: a log-bucketed
+//!   [`QuantileSketch`](sketch::QuantileSketch), a weighted Space-Saving
+//!   [`HeavyHitters`](sketch::HeavyHitters) sketch, and the shared
+//!   [`OnlineMoments`](sketch::OnlineMoments) / log-histogram from
+//!   `pio-des`. Merging two sketches equals accumulating the
+//!   concatenated stream, which makes sharding safe.
+//! * [`shard`] — per-`(call kind, rank group, phase)` accumulators and
+//!   the merged [`EnsembleSnapshot`](shard::EnsembleSnapshot), whose
+//!   memory is O(shards × bins) regardless of event count.
+//! * [`pipeline`] — the concurrent bounded-memory
+//!   [`IngestPipeline`](pipeline::IngestPipeline): producers fan records
+//!   over bounded channels (explicit backpressure: block or
+//!   drop-and-count) into worker-owned shards.
+//! * [`diagnose`] — the [`StreamDiagnoser`](diagnose::StreamDiagnoser):
+//!   incremental versions of the `pio-core` detectors over tumbling
+//!   windows and barrier boundaries, raising the paper's findings
+//!   mid-run through the same verdict functions as the batch path.
+//! * [`reader`] — incremental JSONL reading: diagnose an on-disk trace
+//!   in constant memory via any [`RecordSink`](pio_trace::RecordSink).
+
+pub mod diagnose;
+pub mod pipeline;
+pub mod reader;
+pub mod shard;
+pub mod sketch;
+
+pub use diagnose::{DiagnoserConfig, StreamDiagnoser, TimedFinding};
+pub use pipeline::{IngestConfig, IngestPipeline, IngestSink, OverflowPolicy};
+pub use reader::{stream_file, stream_jsonl};
+pub use shard::{EnsembleSnapshot, ShardKey, ShardStats};
+pub use sketch::{HeavyHitters, OnlineMoments, QuantileSketch};

@@ -1,0 +1,396 @@
+//! The concurrent bounded-memory ingestion pipeline.
+//!
+//! Records fan out from any number of producers over bounded channels to
+//! worker threads, each of which owns a map of mergeable shard
+//! accumulators. Because every accumulator obeys the merge-equals-union
+//! law, a snapshot taken at any instant — or the final merge at
+//! [`IngestPipeline::finish`] — is exactly the state a single sequential
+//! accumulator would have reached over the same records, regardless of
+//! how they interleaved across workers.
+//!
+//! Backpressure is explicit: a full channel either blocks the producer
+//! ([`OverflowPolicy::Block`], losslessly coupling capture speed to
+//! analysis speed) or sheds the record and counts it
+//! ([`OverflowPolicy::DropAndCount`], for capture paths that must never
+//! stall the application being traced).
+
+use crate::shard::{EnsembleSnapshot, ShardKey, ShardStats};
+use crate::sketch::HeavyHitters;
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+use pio_trace::{CallKind, Record, RecordSink};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// What a producer does when its worker's channel is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Wait for the worker to catch up (lossless).
+    Block,
+    /// Drop the record and increment the dropped counter (non-stalling).
+    DropAndCount,
+}
+
+/// Pipeline tuning knobs.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Worker threads (records are routed by `rank % workers`, so one
+    /// rank's records stay ordered within a worker).
+    pub workers: usize,
+    /// Bounded channel capacity per worker.
+    pub capacity: usize,
+    /// Overflow policy when a channel is full.
+    pub policy: OverflowPolicy,
+    /// Rank groups for shard keys (`rank % rank_groups`).
+    pub rank_groups: u32,
+    /// Duration geometry: lower bound, seconds.
+    pub hist_lo: f64,
+    /// Duration geometry: upper bound, seconds.
+    pub hist_hi: f64,
+    /// Duration geometry: bucket count.
+    pub hist_bins: usize,
+    /// Heavy-hitter sketch capacity (tracked ranks).
+    pub hitter_capacity: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            workers: 4,
+            capacity: 1024,
+            policy: OverflowPolicy::Block,
+            rank_groups: 8,
+            hist_lo: 1e-6,
+            hist_hi: 1e3,
+            hist_bins: 96,
+            hitter_capacity: 16,
+        }
+    }
+}
+
+/// Per-worker accumulator state (shared with the snapshot path).
+struct WorkerState {
+    shards: HashMap<ShardKey, ShardStats>,
+    hitters: HeavyHitters,
+    meta_secs: f64,
+    io_secs: f64,
+    ranks: u32,
+    ingested: u64,
+}
+
+impl WorkerState {
+    fn new(cfg: &IngestConfig) -> Self {
+        WorkerState {
+            shards: HashMap::new(),
+            hitters: HeavyHitters::new(cfg.hitter_capacity),
+            meta_secs: 0.0,
+            io_secs: 0.0,
+            ranks: 0,
+            ingested: 0,
+        }
+    }
+
+    fn accumulate(&mut self, r: &Record, cfg: &IngestConfig) {
+        let key = ShardKey {
+            kind: r.call,
+            group: r.rank % cfg.rank_groups.max(1),
+            phase: r.phase,
+        };
+        self.shards
+            .entry(key)
+            .or_insert_with(|| ShardStats::new(cfg.hist_lo, cfg.hist_hi, cfg.hist_bins))
+            .accumulate(r);
+        let secs = r.secs();
+        if matches!(r.call, CallKind::MetaRead | CallKind::MetaWrite) {
+            self.hitters.add(r.rank, secs);
+            self.meta_secs += secs;
+        }
+        if r.call.is_io() {
+            self.io_secs += secs;
+        }
+        self.ranks = self.ranks.max(r.rank + 1);
+        self.ingested += 1;
+    }
+}
+
+/// How many records a worker drains per lock acquisition.
+const WORKER_BATCH: usize = 256;
+
+/// A concurrent sharded ingestion pipeline.
+///
+/// Create with [`IngestPipeline::new`], hand out producer handles with
+/// [`IngestPipeline::sink`], then either poll [`IngestPipeline::snapshot`]
+/// mid-run or drop every sink and call [`IngestPipeline::finish`].
+pub struct IngestPipeline {
+    cfg: IngestConfig,
+    senders: Vec<Sender<Record>>,
+    states: Vec<Arc<Mutex<WorkerState>>>,
+    handles: Vec<JoinHandle<()>>,
+    dropped: Arc<AtomicU64>,
+}
+
+impl IngestPipeline {
+    /// Spawn the worker threads and their bounded channels.
+    pub fn new(cfg: IngestConfig) -> Self {
+        let workers = cfg.workers.max(1);
+        let capacity = cfg.capacity.max(1);
+        let mut senders = Vec::with_capacity(workers);
+        let mut states = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx): (Sender<Record>, Receiver<Record>) = channel::bounded(capacity);
+            let state = Arc::new(Mutex::new(WorkerState::new(&cfg)));
+            let worker_state = Arc::clone(&state);
+            let worker_cfg = cfg.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut batch = Vec::with_capacity(WORKER_BATCH);
+                while let Ok(first) = rx.recv() {
+                    batch.push(first);
+                    while batch.len() < WORKER_BATCH {
+                        match rx.try_recv() {
+                            Ok(r) => batch.push(r),
+                            Err(_) => break,
+                        }
+                    }
+                    let mut st = worker_state.lock();
+                    for r in &batch {
+                        st.accumulate(r, &worker_cfg);
+                    }
+                    drop(st);
+                    batch.clear();
+                }
+            }));
+            senders.push(tx);
+            states.push(state);
+        }
+        IngestPipeline {
+            cfg,
+            senders,
+            states,
+            handles,
+            dropped: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// A producer handle. Cheap to clone; safe to use from any thread.
+    pub fn sink(&self) -> IngestSink {
+        IngestSink {
+            senders: self.senders.clone(),
+            policy: self.cfg.policy,
+            dropped: Arc::clone(&self.dropped),
+        }
+    }
+
+    /// Records shed so far under [`OverflowPolicy::DropAndCount`].
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Merge every worker's current state into a consistent-per-worker
+    /// snapshot. Cheap enough to poll mid-run: workers are blocked only
+    /// while their own map is cloned.
+    pub fn snapshot(&self) -> EnsembleSnapshot {
+        let mut maps = Vec::with_capacity(self.states.len());
+        let mut hitters = HeavyHitters::new(self.cfg.hitter_capacity);
+        let (mut meta_secs, mut io_secs) = (0.0, 0.0);
+        let (mut ranks, mut ingested) = (0u32, 0u64);
+        for state in &self.states {
+            let st = state.lock();
+            maps.push(st.shards.clone());
+            hitters.merge(&st.hitters);
+            meta_secs += st.meta_secs;
+            io_secs += st.io_secs;
+            ranks = ranks.max(st.ranks);
+            ingested += st.ingested;
+        }
+        EnsembleSnapshot::assemble(
+            maps,
+            hitters,
+            meta_secs,
+            io_secs,
+            ranks,
+            ingested,
+            self.dropped(),
+        )
+    }
+
+    /// Close the pipeline: stop accepting records, drain the channels,
+    /// join the workers, and return the final merged snapshot.
+    ///
+    /// Every [`IngestSink`] must have been dropped first, or the workers
+    /// (and this call) wait forever for more records.
+    pub fn finish(mut self) -> EnsembleSnapshot {
+        self.senders.clear();
+        for h in self.handles.drain(..) {
+            h.join().expect("ingest worker panicked");
+        }
+        self.snapshot()
+    }
+}
+
+/// A cloneable producer handle implementing [`RecordSink`].
+#[derive(Clone)]
+pub struct IngestSink {
+    senders: Vec<Sender<Record>>,
+    policy: OverflowPolicy,
+    dropped: Arc<AtomicU64>,
+}
+
+impl RecordSink for IngestSink {
+    fn push(&mut self, r: &Record) {
+        let tx = &self.senders[r.rank as usize % self.senders.len()];
+        match self.policy {
+            OverflowPolicy::Block => {
+                // Err only if the worker died; records are then dropped
+                // rather than panicking the traced application.
+                if tx.send(r.clone()).is_err() {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            OverflowPolicy::DropAndCount => {
+                if let Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) =
+                    tx.try_send(r.clone())
+                {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(rank: u32, call: CallKind, dur: f64, phase: u32) -> Record {
+        Record {
+            rank,
+            call,
+            fd: 3,
+            offset: 0,
+            bytes: 1 << 20,
+            start_ns: 0,
+            end_ns: (dur * 1e9) as u64,
+            phase,
+        }
+    }
+
+    #[test]
+    fn concurrent_ingest_matches_sequential_accumulation() {
+        let records: Vec<Record> = (0..4000u32)
+            .map(|i| {
+                rec(
+                    i % 32,
+                    CallKind::Read,
+                    0.001 * (1 + i % 500) as f64,
+                    i / 1000,
+                )
+            })
+            .collect();
+
+        let cfg = IngestConfig::default();
+        let pipeline = IngestPipeline::new(cfg.clone());
+        // Four producer threads, interleaving arbitrarily.
+        crossbeam::thread::scope(|s| {
+            for chunk in records.chunks(1000) {
+                let mut sink = pipeline.sink();
+                s.spawn(move |_| {
+                    for r in chunk {
+                        sink.push(r);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let snap = pipeline.finish();
+
+        // Sequential reference over the same records.
+        let mut reference = WorkerState::new(&cfg);
+        for r in &records {
+            reference.accumulate(r, &cfg);
+        }
+
+        assert_eq!(snap.ingested, 4000);
+        assert_eq!(snap.dropped, 0);
+        let merged = snap.kind_stats(CallKind::Read).unwrap();
+        let mut ref_merged: Option<ShardStats> = None;
+        for s in reference.shards.values() {
+            match &mut ref_merged {
+                Some(a) => a.merge(s),
+                None => ref_merged = Some(s.clone()),
+            }
+        }
+        let ref_merged = ref_merged.unwrap();
+        assert_eq!(merged.hist, ref_merged.hist);
+        assert_eq!(merged.ops, ref_merged.ops);
+        assert_eq!(merged.bytes, ref_merged.bytes);
+        // Shard set identical, not just the merged view.
+        assert_eq!(snap.shards.len(), reference.shards.len());
+        for (k, s) in &snap.shards {
+            assert_eq!(s.hist, reference.shards[k].hist, "shard {k:?}");
+        }
+    }
+
+    #[test]
+    fn drop_and_count_sheds_under_backpressure() {
+        let cfg = IngestConfig {
+            workers: 1,
+            capacity: 8,
+            policy: OverflowPolicy::DropAndCount,
+            ..IngestConfig::default()
+        };
+        let pipeline = IngestPipeline::new(cfg);
+        let mut sink = pipeline.sink();
+        // Pin the worker: it can drain at most one batch into its local
+        // buffer, then blocks trying to take the state lock we hold.
+        let gate = pipeline.states[0].lock();
+        for _ in 0..2000 {
+            sink.push(&rec(0, CallKind::Write, 0.001, 0));
+        }
+        assert!(pipeline.dropped() > 0, "expected shed records");
+        drop(gate);
+        drop(sink);
+        let snap = pipeline.finish();
+        assert_eq!(snap.ingested + snap.dropped, 2000);
+        assert!(snap.dropped >= 2000 - (WORKER_BATCH as u64) - 8 - 1);
+    }
+
+    #[test]
+    fn block_policy_is_lossless() {
+        let cfg = IngestConfig {
+            workers: 2,
+            capacity: 4,
+            policy: OverflowPolicy::Block,
+            ..IngestConfig::default()
+        };
+        let pipeline = IngestPipeline::new(cfg);
+        let mut sink = pipeline.sink();
+        for i in 0..5000u32 {
+            sink.push(&rec(i % 16, CallKind::Write, 0.001, 0));
+        }
+        drop(sink);
+        let snap = pipeline.finish();
+        assert_eq!(snap.ingested, 5000);
+        assert_eq!(snap.dropped, 0);
+    }
+
+    #[test]
+    fn mid_run_snapshot_is_a_prefix_state() {
+        let pipeline = IngestPipeline::new(IngestConfig::default());
+        let mut sink = pipeline.sink();
+        for i in 0..1000u32 {
+            sink.push(&rec(i % 8, CallKind::Read, 0.01, 0));
+        }
+        let mid = pipeline.snapshot();
+        assert!(mid.ingested <= 1000);
+        for i in 0..1000u32 {
+            sink.push(&rec(i % 8, CallKind::Read, 0.01, 0));
+        }
+        drop(sink);
+        let fin = pipeline.finish();
+        assert_eq!(fin.ingested, 2000);
+        assert!(mid.ingested <= fin.ingested);
+    }
+}

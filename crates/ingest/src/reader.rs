@@ -1,0 +1,161 @@
+//! Incremental JSONL trace reading: one record in memory at a time.
+//!
+//! [`stream_jsonl`] consumes the same on-disk format as
+//! `pio_trace::io::read_jsonl` (metadata line, then one record per line)
+//! but never materializes a [`Trace`](pio_trace::Trace): each record is
+//! parsed and handed to a [`RecordSink`], so a multi-gigabyte trace can
+//! be diagnosed in constant memory. Barrier boundaries are synthesized
+//! from the records' phase indices: when the stream advances from phase
+//! `p` to `p+1`, every phase up to `p` is complete and the sink's
+//! [`phase_end`](RecordSink::phase_end) fires for it.
+
+use pio_trace::{Record, RecordSink, TraceMeta};
+use std::io::BufRead;
+
+/// Stream a JSONL trace into `sink`. Returns the trace metadata and the
+/// number of records streamed. Calls `sink.finish()` at end of stream.
+pub fn stream_jsonl<R: BufRead, S: RecordSink>(
+    reader: R,
+    sink: &mut S,
+) -> std::io::Result<(TraceMeta, u64)> {
+    let mut lines = reader.lines();
+    let meta: TraceMeta = match lines.next() {
+        Some(line) => serde_json::from_str(&line?)?,
+        None => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "empty trace stream",
+            ))
+        }
+    };
+    let mut count = 0u64;
+    let mut phase = 0u32;
+    let mut saw_record = false;
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: Record = serde_json::from_str(&line)?;
+        // The stream completes phases in order; a phase jump means every
+        // earlier phase has ended.
+        if saw_record && rec.phase > phase {
+            for p in phase..rec.phase {
+                sink.phase_end(p);
+            }
+        }
+        phase = phase.max(rec.phase);
+        saw_record = true;
+        sink.push(&rec);
+        count += 1;
+    }
+    if saw_record {
+        sink.phase_end(phase);
+    }
+    sink.finish();
+    Ok((meta, count))
+}
+
+/// Stream a JSONL trace file into `sink` (see [`stream_jsonl`]).
+pub fn stream_file<S: RecordSink>(
+    path: &std::path::Path,
+    sink: &mut S,
+) -> std::io::Result<(TraceMeta, u64)> {
+    let f = std::fs::File::open(path)?;
+    stream_jsonl(std::io::BufReader::new(f), sink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pio_trace::io::write_jsonl;
+    use pio_trace::{CallKind, Trace};
+
+    fn sample(phases: u32, per_phase: u32) -> Trace {
+        let mut t = Trace::new(TraceMeta {
+            experiment: "stream".into(),
+            platform: "test".into(),
+            ranks: 8,
+            seed: 1,
+        });
+        for p in 0..phases {
+            for i in 0..per_phase {
+                t.push(Record {
+                    rank: i % 8,
+                    call: CallKind::Read,
+                    fd: 3,
+                    offset: 0,
+                    bytes: 4096,
+                    start_ns: 0,
+                    end_ns: 1_000_000,
+                    phase: p,
+                });
+            }
+        }
+        t
+    }
+
+    /// Sink that logs the event sequence for ordering assertions.
+    #[derive(Default)]
+    struct EventLog {
+        pushes: u64,
+        phase_ends: Vec<u32>,
+        finished: bool,
+    }
+
+    impl RecordSink for EventLog {
+        fn push(&mut self, _r: &Record) {
+            self.pushes += 1;
+        }
+        fn phase_end(&mut self, phase: u32) {
+            self.phase_ends.push(phase);
+        }
+        fn finish(&mut self) {
+            self.finished = true;
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch_read() {
+        let t = sample(3, 10);
+        let mut buf = Vec::new();
+        write_jsonl(&t, &mut buf).unwrap();
+
+        let mut collected = Trace::new(t.meta.clone());
+        let (meta, n) = stream_jsonl(std::io::Cursor::new(&buf), &mut collected).unwrap();
+        assert_eq!(meta, t.meta);
+        assert_eq!(n, 30);
+        assert_eq!(collected.records, t.records);
+    }
+
+    #[test]
+    fn phase_boundaries_are_synthesized_in_order() {
+        let t = sample(3, 5);
+        let mut buf = Vec::new();
+        write_jsonl(&t, &mut buf).unwrap();
+        let mut log = EventLog::default();
+        stream_jsonl(std::io::Cursor::new(&buf), &mut log).unwrap();
+        assert_eq!(log.pushes, 15);
+        assert_eq!(log.phase_ends, vec![0, 1, 2]);
+        assert!(log.finished);
+    }
+
+    #[test]
+    fn empty_stream_is_an_error() {
+        let mut log = EventLog::default();
+        let err = stream_jsonl(std::io::Cursor::new(Vec::new()), &mut log).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn meta_only_stream_finishes_cleanly() {
+        let t = sample(0, 0);
+        let mut buf = Vec::new();
+        write_jsonl(&t, &mut buf).unwrap();
+        let mut log = EventLog::default();
+        let (_, n) = stream_jsonl(std::io::Cursor::new(&buf), &mut log).unwrap();
+        assert_eq!(n, 0);
+        assert!(log.phase_ends.is_empty());
+        assert!(log.finished);
+    }
+}

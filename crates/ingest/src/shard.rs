@@ -1,0 +1,475 @@
+//! Per-shard accumulators and the merged ensemble snapshot.
+//!
+//! A shard is keyed by `(call kind, rank group, barrier phase)` and holds
+//! only mergeable sketches, so the whole pipeline's memory is
+//! O(shards × bins) regardless of how many events stream through. A
+//! [`EnsembleSnapshot`] is the order-independent merge of every shard,
+//! plus the global scalars and heavy-hitter sketch the serialized-rank
+//! detector needs; it re-runs the paper's detectors through the shared
+//! verdict functions in `pio_core::diagnosis`, so a snapshot diagnosis
+//! differs from the batch one only in how the summary statistics were
+//! estimated (sketches vs exact order statistics).
+
+use crate::sketch::{HeavyHitters, OnlineMoments, QuantileSketch};
+use pio_core::diagnosis::{
+    deterioration_verdict, harmonic_verdict, serialized_meta_verdict, shoulder_verdict, Finding,
+    Thresholds,
+};
+use pio_core::modes::find_modes_on_grid;
+use pio_des::hist::LogHistogram;
+use pio_trace::{CallKind, Record};
+use std::collections::HashMap;
+
+/// Which accumulator a record lands in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardKey {
+    /// The intercepted call.
+    pub kind: CallKind,
+    /// Rank group (`rank % groups`) — coarse spatial resolution.
+    pub group: u32,
+    /// Barrier-phase index.
+    pub phase: u32,
+}
+
+/// The mergeable statistics one shard accumulates.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Duration histogram (clamped, capture-style).
+    pub hist: LogHistogram,
+    /// Duration quantile sketch.
+    pub sketch: QuantileSketch,
+    /// Duration moments (mean/variance/skew/kurtosis).
+    pub moments: OnlineMoments,
+    /// Operation count.
+    pub ops: u64,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Total seconds spent in the call class.
+    pub secs: f64,
+}
+
+impl ShardStats {
+    /// An empty shard over the given duration geometry.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        ShardStats {
+            hist: LogHistogram::new(lo, hi, bins),
+            sketch: QuantileSketch::new(lo, hi, bins),
+            moments: OnlineMoments::new(),
+            ops: 0,
+            bytes: 0,
+            secs: 0.0,
+        }
+    }
+
+    /// Accumulate one record's duration and size.
+    pub fn accumulate(&mut self, r: &Record) {
+        let secs = r.secs();
+        self.hist.add_clamped(secs);
+        self.sketch.add(secs);
+        self.moments.record(secs);
+        self.ops += 1;
+        self.bytes += r.bytes;
+        self.secs += secs;
+    }
+
+    /// Merge another shard (same geometry); equivalent to having
+    /// accumulated both record streams into one shard.
+    pub fn merge(&mut self, other: &ShardStats) {
+        self.hist.merge(&other.hist);
+        self.sketch.merge(&other.sketch);
+        self.moments.merge(&other.moments);
+        self.ops += other.ops;
+        self.bytes += other.bytes;
+        self.secs += other.secs;
+    }
+}
+
+/// The merged, order-independent view of everything ingested so far.
+#[derive(Debug, Clone)]
+pub struct EnsembleSnapshot {
+    /// Every populated shard, sorted for deterministic iteration.
+    pub shards: Vec<(ShardKey, ShardStats)>,
+    /// Metadata-time heavy hitters by rank.
+    pub meta_hitters: HeavyHitters,
+    /// Total metadata seconds (exact).
+    pub meta_secs: f64,
+    /// Total I/O seconds across data + metadata calls (exact).
+    pub io_secs: f64,
+    /// Number of ranks observed (max rank + 1).
+    pub ranks: u32,
+    /// Records ingested.
+    pub ingested: u64,
+    /// Records dropped by the overflow policy.
+    pub dropped: u64,
+}
+
+impl EnsembleSnapshot {
+    /// Assemble a snapshot from unordered shard maps (deduplicates keys by
+    /// merging) plus the global scalars.
+    pub fn assemble(
+        maps: Vec<HashMap<ShardKey, ShardStats>>,
+        meta_hitters: HeavyHitters,
+        meta_secs: f64,
+        io_secs: f64,
+        ranks: u32,
+        ingested: u64,
+        dropped: u64,
+    ) -> Self {
+        let mut merged: HashMap<ShardKey, ShardStats> = HashMap::new();
+        for map in maps {
+            for (k, s) in map {
+                match merged.entry(k) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().merge(&s),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(s);
+                    }
+                }
+            }
+        }
+        let mut shards: Vec<(ShardKey, ShardStats)> = merged.into_iter().collect();
+        shards.sort_by_key(|(k, _)| (k.kind as u8, k.group, k.phase));
+        EnsembleSnapshot {
+            shards,
+            meta_hitters,
+            meta_secs,
+            io_secs,
+            ranks,
+            ingested,
+            dropped,
+        }
+    }
+
+    /// Merge every shard of one call class, across groups and phases.
+    pub fn kind_stats(&self, kind: CallKind) -> Option<ShardStats> {
+        let mut acc: Option<ShardStats> = None;
+        for (k, s) in &self.shards {
+            if k.kind != kind {
+                continue;
+            }
+            match &mut acc {
+                Some(a) => a.merge(s),
+                None => acc = Some(s.clone()),
+            }
+        }
+        acc
+    }
+
+    /// Per-phase duration medians of one call class (phases with fewer
+    /// than `min_n` samples are skipped), in phase order.
+    pub fn phase_medians(&self, kind: CallKind, min_n: usize) -> Vec<(u32, f64)> {
+        let mut per_phase: HashMap<u32, QuantileSketch> = HashMap::new();
+        for (k, s) in &self.shards {
+            if k.kind != kind {
+                continue;
+            }
+            match per_phase.entry(k.phase) {
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().merge(&s.sketch),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(s.sketch.clone());
+                }
+            }
+        }
+        let mut out: Vec<(u32, f64)> = per_phase
+            .into_iter()
+            .filter(|(_, s)| s.count() as usize >= min_n)
+            .filter_map(|(p, s)| s.quantile(0.5).map(|m| (p, m)))
+            .collect();
+        out.sort_by_key(|&(p, _)| p);
+        out
+    }
+
+    /// Rough resident size of the snapshot in bytes — the bounded-memory
+    /// invariant is `O(shards × bins)`, independent of record count.
+    pub fn approx_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|(_, s)| {
+                std::mem::size_of::<(ShardKey, ShardStats)>()
+                    + s.hist.bins() * std::mem::size_of::<u64>()
+                    + s.sketch.geometry().bins()
+                        * (std::mem::size_of::<u64>() + std::mem::size_of::<f64>())
+            })
+            .sum::<usize>()
+            + self.meta_hitters.top().len() * std::mem::size_of::<(u32, f64, u64)>()
+    }
+
+    /// A smoothed `(duration, density)` grid for mode detection, from the
+    /// merged histogram of one call class.
+    fn density_grid(hist: &LogHistogram) -> Vec<(f64, f64)> {
+        let total = hist.in_range() as f64;
+        if total == 0.0 {
+            return Vec::new();
+        }
+        let raw: Vec<(f64, f64)> = (0..hist.bins())
+            .map(|i| {
+                let (l, r) = hist.bin_edges(i);
+                (
+                    hist.bin_center(i),
+                    hist.counts()[i] as f64 / (total * (r - l)),
+                )
+            })
+            .collect();
+        // Light 1-2-1 smoothing: mode finding should not trip over
+        // single-bin quantization noise.
+        (0..raw.len())
+            .map(|i| {
+                let prev = if i > 0 { raw[i - 1].1 } else { raw[i].1 };
+                let next = if i + 1 < raw.len() {
+                    raw[i + 1].1
+                } else {
+                    raw[i].1
+                };
+                (raw[i].0, 0.25 * prev + 0.5 * raw[i].1 + 0.25 * next)
+            })
+            .collect()
+    }
+
+    /// Run the incremental detectors over the snapshot — same verdict
+    /// functions as the batch `pio_core::diagnosis::diagnose_with`, fed
+    /// sketch estimates instead of exact order statistics.
+    pub fn diagnose(&self, th: &Thresholds) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for kind in [CallKind::Write, CallKind::Read] {
+            let Some(stats) = self.kind_stats(kind) else {
+                continue;
+            };
+            let n = stats.sketch.count() as usize;
+            if n >= th.min_samples {
+                // Harmonic-mode ladder on the merged histogram density.
+                let grid = Self::density_grid(&stats.hist);
+                let modes = find_modes_on_grid(&grid, th.mode_height_frac);
+                if let Some(f) = harmonic_verdict(kind, &modes, th) {
+                    findings.push(f);
+                }
+                // Right shoulder from sketch quantiles.
+                if let (Some(median), Some(p99)) =
+                    (stats.sketch.quantile(0.5), stats.sketch.quantile(0.99))
+                {
+                    let tail = stats.sketch.fraction_above(2.0 * median);
+                    if let Some(f) = shoulder_verdict(kind, n, median, p99, tail, th) {
+                        findings.push(f);
+                    }
+                }
+            }
+            // Progressive per-phase deterioration.
+            let medians = self.phase_medians(kind, th.min_samples.min(8));
+            if let Some(f) = deterioration_verdict(kind, &medians, th) {
+                findings.push(f);
+            }
+        }
+        // Serialized metadata rank from the heavy-hitter sketch.
+        let per_rank: Vec<(u32, f64, usize)> = self
+            .meta_hitters
+            .top()
+            .into_iter()
+            .map(|h| (h.key, h.weight, h.ops as usize))
+            .collect();
+        if let Some(f) =
+            serialized_meta_verdict(&per_rank, self.meta_secs, self.ranks, self.io_secs, th)
+        {
+            findings.push(f);
+        }
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(rank: u32, call: CallKind, bytes: u64, dur: f64, phase: u32) -> Record {
+        Record {
+            rank,
+            call,
+            fd: 3,
+            offset: 0,
+            bytes,
+            start_ns: 0,
+            end_ns: (dur * 1e9) as u64,
+            phase,
+        }
+    }
+
+    fn snapshot_of(records: &[Record], groups: u32) -> EnsembleSnapshot {
+        let mut map: HashMap<ShardKey, ShardStats> = HashMap::new();
+        let mut hitters = HeavyHitters::new(8);
+        let (mut meta_secs, mut io_secs) = (0.0, 0.0);
+        let mut ranks = 0;
+        for r in records {
+            let key = ShardKey {
+                kind: r.call,
+                group: r.rank % groups,
+                phase: r.phase,
+            };
+            map.entry(key)
+                .or_insert_with(|| ShardStats::new(1e-6, 1e3, 96))
+                .accumulate(r);
+            if matches!(r.call, CallKind::MetaRead | CallKind::MetaWrite) {
+                hitters.add(r.rank, r.secs());
+                meta_secs += r.secs();
+            }
+            if r.call.is_io() {
+                io_secs += r.secs();
+            }
+            ranks = ranks.max(r.rank + 1);
+        }
+        EnsembleSnapshot::assemble(
+            vec![map],
+            hitters,
+            meta_secs,
+            io_secs,
+            ranks,
+            records.len() as u64,
+            0,
+        )
+    }
+
+    #[test]
+    fn shard_merge_equals_union() {
+        let recs: Vec<Record> = (0..200)
+            .map(|i| rec(i % 8, CallKind::Read, 1 << 20, 0.01 * (i + 1) as f64, 0))
+            .collect();
+        let mut a = ShardStats::new(1e-6, 1e3, 96);
+        let mut b = a.clone();
+        let mut whole = a.clone();
+        for (i, r) in recs.iter().enumerate() {
+            if i % 2 == 0 {
+                a.accumulate(r);
+            } else {
+                b.accumulate(r);
+            }
+            whole.accumulate(r);
+        }
+        a.merge(&b);
+        assert_eq!(a.hist, whole.hist);
+        assert_eq!(a.sketch.count(), whole.sketch.count());
+        assert_eq!(a.ops, whole.ops);
+        assert_eq!(a.bytes, whole.bytes);
+        assert!((a.secs - whole.secs).abs() < 1e-9);
+        assert!((a.moments.mean().unwrap() - whole.moments.mean().unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_flags_right_shoulder() {
+        let mut recs = Vec::new();
+        for i in 0..120u32 {
+            recs.push(rec(
+                i % 16,
+                CallKind::Read,
+                1 << 20,
+                10.0 + (i % 5) as f64 * 0.1,
+                0,
+            ));
+        }
+        for (i, d) in [(0u32, 90.0), (1, 200.0), (2, 450.0), (3, 120.0)] {
+            recs.push(rec(i, CallKind::Read, 1 << 20, d, 0));
+        }
+        let snap = snapshot_of(&recs, 4);
+        let findings = snap.diagnose(&Thresholds::default());
+        assert!(
+            findings.iter().any(|f| matches!(
+                f,
+                Finding::RightShoulder {
+                    kind: CallKind::Read,
+                    ..
+                }
+            )),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn healthy_snapshot_is_clean() {
+        let recs: Vec<Record> = (0..256u32)
+            .map(|i| {
+                rec(
+                    i % 32,
+                    CallKind::Write,
+                    1 << 20,
+                    5.0 + (i % 7) as f64 * 0.05,
+                    i / 64,
+                )
+            })
+            .collect();
+        let snap = snapshot_of(&recs, 8);
+        let findings = snap.diagnose(&Thresholds::default());
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn snapshot_flags_deterioration_across_phases() {
+        let mut recs = Vec::new();
+        for (p, m) in [10.0, 10.0, 13.0, 21.0, 36.0, 60.0].iter().enumerate() {
+            for i in 0..48u32 {
+                recs.push(rec(
+                    i % 16,
+                    CallKind::Read,
+                    1 << 20,
+                    m + (i % 3) as f64 * 0.1,
+                    p as u32,
+                ));
+            }
+        }
+        let snap = snapshot_of(&recs, 4);
+        let findings = snap.diagnose(&Thresholds::default());
+        assert!(
+            findings.iter().any(|f| matches!(
+                f,
+                Finding::ProgressiveDeterioration {
+                    kind: CallKind::Read,
+                    ..
+                }
+            )),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn snapshot_flags_serialized_metadata_rank() {
+        let mut recs = Vec::new();
+        for i in 0..500 {
+            recs.push(rec(0, CallKind::MetaWrite, 2048, 0.3, (i / 250) as u32));
+        }
+        for i in 0..256u32 {
+            recs.push(rec(i, CallKind::Write, 1 << 20, 1.0, 0));
+        }
+        let snap = snapshot_of(&recs, 8);
+        let findings = snap.diagnose(&Thresholds::default());
+        match findings
+            .iter()
+            .find(|f| matches!(f, Finding::SerializedRank { .. }))
+        {
+            Some(Finding::SerializedRank {
+                rank,
+                share,
+                metadata,
+            }) => {
+                assert_eq!(*rank, 0);
+                assert!(*share > 0.9);
+                assert!(*metadata);
+            }
+            other => panic!("expected serialized rank, got {other:?} in {findings:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_memory_is_bounded_by_shards_not_records() {
+        let few: Vec<Record> = (0..100u32)
+            .map(|i| rec(i % 8, CallKind::Read, 1 << 20, 1.0, 0))
+            .collect();
+        let many: Vec<Record> = (0..50_000u32)
+            .map(|i| {
+                rec(
+                    i % 8,
+                    CallKind::Read,
+                    1 << 20,
+                    1.0 + (i % 100) as f64 * 0.01,
+                    0,
+                )
+            })
+            .collect();
+        let (a, b) = (snapshot_of(&few, 4), snapshot_of(&many, 4));
+        assert_eq!(a.approx_bytes(), b.approx_bytes());
+        assert_eq!(b.ingested, 50_000);
+    }
+}

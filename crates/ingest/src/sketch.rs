@@ -1,0 +1,375 @@
+//! Mergeable streaming sketches.
+//!
+//! Everything here satisfies the same law as [`LogHistogram`]: merging
+//! two sketches built from disjoint streams gives the same state (counts
+//! exactly, float accumulators up to rounding) as one sketch fed the
+//! concatenated stream. That law is what makes sharded ingestion safe —
+//! shards can be merged in any order at snapshot time.
+//!
+//! * [`QuantileSketch`] — log-bucketed quantile estimator. Buckets follow
+//!   a [`LogBins`] geometry; each keeps a count *and* a sum so quantiles
+//!   are reported at the mean of the in-bucket samples rather than the
+//!   geometric bin center, which tightens the estimate considerably for
+//!   the concentrated unimodal distributions healthy I/O produces.
+//! * [`HeavyHitters`] — weighted Space-Saving top-k over ranks, used to
+//!   spot one rank monopolizing metadata time without a per-rank table.
+//! * [`OnlineMoments`] (re-exported) — mergeable mean/variance/skew/
+//!   kurtosis accumulator from `pio-des`.
+
+use pio_des::hist::LogBins;
+pub use pio_des::stats::OnlineMoments;
+use std::collections::HashMap;
+
+/// Streaming quantile sketch over log-spaced buckets.
+///
+/// Out-of-range samples are clamped into the edge buckets (capture-style:
+/// nothing is dropped), and the exact global min/max are tracked so the
+/// extreme quantiles never report outside the observed range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    geom: LogBins,
+    counts: Vec<u64>,
+    sums: Vec<f64>,
+    min: f64,
+    max: f64,
+}
+
+impl QuantileSketch {
+    /// A sketch with `bins` log-spaced buckets over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        let geom = LogBins::new(lo, hi, bins);
+        QuantileSketch {
+            geom,
+            counts: vec![0; bins],
+            sums: vec![0.0; bins],
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The default geometry for call durations: 1 µs to 1000 s. At 96
+    /// buckets over 9 decades each bucket spans a factor of ~1.24, so a
+    /// median/p99 ratio is resolved well inside the 4× shoulder threshold.
+    pub fn for_durations() -> Self {
+        QuantileSketch::new(1e-6, 1e3, 96)
+    }
+
+    /// The bucket geometry.
+    pub fn geometry(&self) -> LogBins {
+        self.geom
+    }
+
+    /// Record one sample.
+    pub fn add(&mut self, v: f64) {
+        let i = self.geom.index_clamped(v);
+        self.counts[i] += 1;
+        self.sums[i] += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sums.iter().sum()
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count() > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count() > 0).then_some(self.max)
+    }
+
+    /// Estimated value of bucket `i`: the mean of its samples, falling
+    /// back to the geometric center for empty buckets.
+    fn bucket_value(&self, i: usize) -> f64 {
+        if self.counts[i] > 0 {
+            self.sums[i] / self.counts[i] as f64
+        } else {
+            self.geom.center(i)
+        }
+    }
+
+    /// Approximate quantile, `q` in `[0, 1]`, or `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut acc = 0;
+        for i in 0..self.counts.len() {
+            acc += self.counts[i];
+            if acc >= target {
+                return Some(self.bucket_value(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Estimated fraction of samples above `x` (buckets count wholly by
+    /// their in-bucket mean).
+    pub fn fraction_above(&self, x: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let above: u64 = (0..self.counts.len())
+            .filter(|&i| self.counts[i] > 0 && self.bucket_value(i) > x)
+            .map(|i| self.counts[i])
+            .sum();
+        above as f64 / total as f64
+    }
+
+    /// Merge another sketch with the same geometry; equivalent to having
+    /// fed both streams into one sketch. Panics if geometries differ.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert!(
+            self.geom == other.geom,
+            "merging quantile sketches with different bucket geometry"
+        );
+        for i in 0..self.counts.len() {
+            self.counts[i] += other.counts[i];
+            self.sums[i] += other.sums[i];
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// One tracked key in a [`HeavyHitters`] sketch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hitter {
+    /// The key (an MPI rank).
+    pub key: u32,
+    /// Accumulated weight (seconds), an overestimate by at most the
+    /// weight of the smallest entry ever evicted.
+    pub weight: f64,
+    /// Accumulated operation count (same overestimate caveat).
+    pub ops: u64,
+}
+
+/// Weighted Space-Saving heavy-hitter sketch: tracks the top-`k` keys by
+/// total weight in O(k) memory. A key whose true weight share exceeds
+/// `1/k` of the total is guaranteed to be present; reported weights
+/// overestimate by at most the evicted minimum, which is harmless for
+/// "one rank owns ≥25% of metadata time" style questions.
+#[derive(Debug, Clone)]
+pub struct HeavyHitters {
+    capacity: usize,
+    entries: HashMap<u32, (f64, u64)>,
+    total_weight: f64,
+    total_ops: u64,
+}
+
+impl HeavyHitters {
+    /// Track up to `capacity` keys (must be nonzero).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "heavy-hitter capacity must be nonzero");
+        HeavyHitters {
+            capacity,
+            entries: HashMap::new(),
+            total_weight: 0.0,
+            total_ops: 0,
+        }
+    }
+
+    /// Record `weight` for `key` (one operation).
+    pub fn add(&mut self, key: u32, weight: f64) {
+        self.add_many(key, weight, 1);
+    }
+
+    /// Record `weight` spread over `ops` operations for `key`.
+    pub fn add_many(&mut self, key: u32, weight: f64, ops: u64) {
+        self.total_weight += weight;
+        self.total_ops += ops;
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.0 += weight;
+            e.1 += ops;
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.insert(key, (weight, ops));
+            return;
+        }
+        // Space-Saving eviction: the new key absorbs the smallest entry's
+        // counters, bounding the underestimate of any true heavy hitter.
+        let &evict = self
+            .entries
+            .iter()
+            .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+            .map(|(k, _)| k)
+            .expect("capacity > 0");
+        let (w0, n0) = self.entries.remove(&evict).expect("present");
+        self.entries.insert(key, (w0 + weight, n0 + ops));
+    }
+
+    /// Total weight seen (exact).
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Total operations seen (exact).
+    pub fn total_ops(&self) -> u64 {
+        self.total_ops
+    }
+
+    /// Tracked keys, heaviest first.
+    pub fn top(&self) -> Vec<Hitter> {
+        let mut v: Vec<Hitter> = self
+            .entries
+            .iter()
+            .map(|(&key, &(weight, ops))| Hitter { key, weight, ops })
+            .collect();
+        v.sort_by(|a, b| b.weight.total_cmp(&a.weight).then(a.key.cmp(&b.key)));
+        v
+    }
+
+    /// Merge another sketch (capacities may differ; the receiver's is
+    /// kept). Totals are exact; per-key weights keep the Space-Saving
+    /// overestimate bound of the combined streams.
+    pub fn merge(&mut self, other: &HeavyHitters) {
+        self.total_weight += other.total_weight;
+        self.total_ops += other.total_ops;
+        let mut incoming = other.top();
+        // Insert heaviest first so the keys that matter survive eviction.
+        incoming.sort_by(|a, b| b.weight.total_cmp(&a.weight));
+        for h in incoming {
+            if let Some(e) = self.entries.get_mut(&h.key) {
+                e.0 += h.weight;
+                e.1 += h.ops;
+            } else if self.entries.len() < self.capacity {
+                self.entries.insert(h.key, (h.weight, h.ops));
+            } else {
+                let &evict = self
+                    .entries
+                    .iter()
+                    .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+                    .map(|(k, _)| k)
+                    .expect("capacity > 0");
+                let (w0, n0) = self.entries[&evict];
+                if h.weight > w0 {
+                    self.entries.remove(&evict);
+                    self.entries.insert(h.key, (w0 + h.weight, n0 + h.ops));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sketch_quantiles_track_exact_order_stats() {
+        let mut s = QuantileSketch::for_durations();
+        let mut vals: Vec<f64> = (1..=1000).map(|i| 0.001 * i as f64).collect();
+        for &v in &vals {
+            s.add(v);
+        }
+        vals.sort_by(f64::total_cmp);
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let exact = vals[((q * 1000.0) as usize).min(999)];
+            let est = s.quantile(q).unwrap();
+            // Log buckets span a 1.24 factor; in-bucket means do better.
+            assert!(
+                est / exact < 1.3 && exact / est < 1.3,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+        assert_eq!(s.count(), 1000);
+        assert!((s.min().unwrap() - 0.001).abs() < 1e-12);
+        assert!((s.max().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sketch_merge_matches_single_stream() {
+        let mut a = QuantileSketch::new(1e-3, 1e2, 48);
+        let mut b = a.clone();
+        let mut whole = a.clone();
+        for i in 1..500 {
+            let v = 0.002 * i as f64;
+            if i % 2 == 0 {
+                a.add(v);
+            } else {
+                b.add(v);
+            }
+            whole.add(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.quantile(0.5), whole.quantile(0.5));
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    #[should_panic]
+    fn sketch_merge_rejects_mismatched_geometry() {
+        let mut a = QuantileSketch::new(1e-3, 1e2, 48);
+        let b = QuantileSketch::new(1e-3, 1e2, 32);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        let s = QuantileSketch::for_durations();
+        assert!(s.quantile(0.5).is_none());
+        assert!(s.min().is_none());
+        assert_eq!(s.fraction_above(0.0), 0.0);
+    }
+
+    #[test]
+    fn fraction_above_splits_at_threshold() {
+        let mut s = QuantileSketch::new(1e-3, 1e3, 96);
+        for _ in 0..90 {
+            s.add(1.0);
+        }
+        for _ in 0..10 {
+            s.add(100.0);
+        }
+        let f = s.fraction_above(10.0);
+        assert!((f - 0.10).abs() < 1e-9, "{f}");
+    }
+
+    #[test]
+    fn heavy_hitter_finds_dominant_rank() {
+        let mut hh = HeavyHitters::new(4);
+        // Rank 7 owns ~70% of the weight among 64 ranks.
+        for round in 0..50 {
+            hh.add(7, 1.0);
+            hh.add(round % 64, 0.01);
+        }
+        let top = hh.top();
+        assert_eq!(top[0].key, 7);
+        assert!(top[0].weight / hh.total_weight() > 0.6);
+        assert_eq!(hh.total_ops(), 100);
+    }
+
+    #[test]
+    fn heavy_hitter_merge_preserves_dominance() {
+        let mut a = HeavyHitters::new(4);
+        let mut b = HeavyHitters::new(4);
+        for i in 0..100u32 {
+            a.add(0, 0.5);
+            a.add(i % 32, 0.01);
+            b.add(0, 0.5);
+            b.add(i % 16, 0.02);
+        }
+        let (wa, wb) = (a.total_weight(), b.total_weight());
+        a.merge(&b);
+        assert!((a.total_weight() - (wa + wb)).abs() < 1e-9);
+        let top = a.top();
+        assert_eq!(top[0].key, 0);
+        assert!(top[0].weight >= 100.0);
+    }
+}

@@ -19,4 +19,6 @@ pub mod runner;
 pub mod world;
 
 pub use program::{FileSpec, Job, Op, Program, ProgramBuilder};
-pub use runner::{run, run_ensemble, MpiConfig, RunConfig, RunError, RunResult};
+pub use runner::{
+    run, run_ensemble, run_streaming, MpiConfig, RunConfig, RunError, RunResult, StreamRunResult,
+};

@@ -224,7 +224,11 @@ impl ProgramBuilder {
 
     /// Append a positioned write.
     pub fn write_at(mut self, file: u32, offset: u64, bytes: u64) -> Self {
-        self.ops.push(Op::WriteAt { file, offset, bytes });
+        self.ops.push(Op::WriteAt {
+            file,
+            offset,
+            bytes,
+        });
         self
     }
 
@@ -236,19 +240,31 @@ impl ProgramBuilder {
 
     /// Append a positioned read.
     pub fn read_at(mut self, file: u32, offset: u64, bytes: u64) -> Self {
-        self.ops.push(Op::ReadAt { file, offset, bytes });
+        self.ops.push(Op::ReadAt {
+            file,
+            offset,
+            bytes,
+        });
         self
     }
 
     /// Append a metadata write.
     pub fn meta_write(mut self, file: u32, offset: u64, bytes: u64) -> Self {
-        self.ops.push(Op::MetaWrite { file, offset, bytes });
+        self.ops.push(Op::MetaWrite {
+            file,
+            offset,
+            bytes,
+        });
         self
     }
 
     /// Append a metadata read.
     pub fn meta_read(mut self, file: u32, offset: u64, bytes: u64) -> Self {
-        self.ops.push(Op::MetaRead { file, offset, bytes });
+        self.ops.push(Op::MetaRead {
+            file,
+            offset,
+            bytes,
+        });
         self
     }
 
@@ -327,7 +343,8 @@ impl Job {
     pub fn validate(&self) -> Result<(), String> {
         let nf = self.files.len() as u32;
         let mut barrier_counts = Vec::with_capacity(self.programs.len());
-        let mut sends: std::collections::HashMap<(u32, u32), i64> = std::collections::HashMap::new();
+        let mut sends: std::collections::HashMap<(u32, u32), i64> =
+            std::collections::HashMap::new();
         for (rank, prog) in self.programs.iter().enumerate() {
             let mut open: Vec<bool> = vec![false; nf as usize];
             for (i, op) in prog.ops.iter().enumerate() {
@@ -344,7 +361,9 @@ impl Job {
                         }
                         Op::Close { .. } => {
                             if !open[f as usize] {
-                                return Err(format!("rank {rank} op {i}: close of unopened file {f}"));
+                                return Err(format!(
+                                    "rank {rank} op {i}: close of unopened file {f}"
+                                ));
                             }
                             open[f as usize] = false;
                         }
@@ -377,8 +396,7 @@ impl Job {
             }
             barrier_counts.push(prog.barriers());
         }
-        if let (Some(&min), Some(&max)) =
-            (barrier_counts.iter().min(), barrier_counts.iter().max())
+        if let (Some(&min), Some(&max)) = (barrier_counts.iter().min(), barrier_counts.iter().max())
         {
             if min != max {
                 return Err(format!(
@@ -388,9 +406,7 @@ impl Job {
         }
         for ((from, to), bal) in sends {
             if bal != 0 {
-                return Err(format!(
-                    "unmatched messages {from}->{to}: balance {bal}"
-                ));
+                return Err(format!("unmatched messages {from}->{to}: balance {bal}"));
             }
         }
         Ok(())
@@ -434,7 +450,13 @@ mod tests {
             .close(0)
             .build();
         assert_eq!(p.ops.len(), 7);
-        assert_eq!(p.ops[1], Op::Seek { file: 0, offset: 42 });
+        assert_eq!(
+            p.ops[1],
+            Op::Seek {
+                file: 0,
+                offset: 42
+            }
+        );
         assert_eq!(p.bytes_written(), 10);
         assert_eq!(p.bytes_read(), 5);
         assert_eq!(p.barriers(), 1);

@@ -5,7 +5,7 @@ use crate::world::MpiWorld;
 use pio_des::{SimTime, Simulator};
 use pio_fs::sim::UtilizationReport;
 use pio_fs::{FsConfig, FsSim, FsStats};
-use pio_trace::{Trace, TraceMeta};
+use pio_trace::{RecordSink, Trace, TraceMeta};
 
 pub use crate::world::MpiConfig;
 
@@ -49,8 +49,12 @@ impl std::fmt::Display for RunError {
         match self {
             RunError::InvalidJob(e) => write!(f, "invalid job: {e}"),
             RunError::Deadlock(stuck) => {
-                write!(f, "deadlock: {} ranks stuck (first: {:?})", stuck.len(),
-                    stuck.first())
+                write!(
+                    f,
+                    "deadlock: {} ranks stuck (first: {:?})",
+                    stuck.len(),
+                    stuck.first()
+                )
             }
         }
     }
@@ -82,8 +86,31 @@ impl RunResult {
     }
 }
 
-/// Execute `job` under `cfg`.
-pub fn run(job: &Job, cfg: &RunConfig) -> Result<RunResult, RunError> {
+/// The outcome of a streaming run: everything in [`RunResult`] except
+/// the trace, which went to the caller's sink instead of memory.
+#[derive(Debug)]
+pub struct StreamRunResult {
+    /// Trace metadata (the records themselves went to the sink).
+    pub meta: TraceMeta,
+    /// File-system statistics.
+    pub stats: FsStats,
+    /// Lock statistics: (grants, conflicts, rmws).
+    pub lock_stats: (u64, u64, u64),
+    /// Resource-utilization breakdown at run end.
+    pub util: UtilizationReport,
+    /// Events processed by the engine.
+    pub events: u64,
+    /// Virtual end time of the run.
+    pub end: SimTime,
+}
+
+/// Build the simulator for one run and execute it to completion.
+fn execute<'s>(
+    job: &Job,
+    cfg: &RunConfig,
+    sink: Option<&'s mut dyn RecordSink>,
+    store_records: bool,
+) -> Result<(Simulator<MpiWorld<'s>>, SimTime), RunError> {
     job.validate().map_err(RunError::InvalidJob)?;
     let ranks = job.ranks();
     let nodes = ranks.div_ceil(cfg.fs.tasks_per_node).max(1);
@@ -98,6 +125,10 @@ pub fn run(job: &Job, cfg: &RunConfig) -> Result<RunResult, RunError> {
         seed: cfg.seed,
     };
     let mut world = MpiWorld::new(job.clone(), fs, cfg.mpi.clone(), cfg.seed, meta);
+    if let Some(sink) = sink {
+        world.set_sink(sink);
+    }
+    world.set_store_records(store_records);
     let initial = world.initial_events();
     let mut sim = Simulator::new(world);
     for (t, e) in initial {
@@ -107,6 +138,12 @@ pub fn run(job: &Job, cfg: &RunConfig) -> Result<RunResult, RunError> {
     if sim.world.finished_ranks() != ranks {
         return Err(RunError::Deadlock(sim.world.stuck_ranks()));
     }
+    Ok((sim, end))
+}
+
+/// Execute `job` under `cfg`.
+pub fn run(job: &Job, cfg: &RunConfig) -> Result<RunResult, RunError> {
+    let (mut sim, end) = execute(job, cfg, None, true)?;
     let mut trace = std::mem::take(&mut sim.world.trace);
     trace.sort_by_start();
     debug_assert_eq!(trace.validate(), Ok(()));
@@ -118,6 +155,40 @@ pub fn run(job: &Job, cfg: &RunConfig) -> Result<RunResult, RunError> {
         events: sim.processed(),
         end,
     })
+}
+
+/// Execute `job` under `cfg`, streaming every record into `sink` as the
+/// simulated call completes instead of buffering a trace — the online
+/// capture mode (memory stays constant in run length). Records arrive in
+/// completion order; [`RecordSink::phase_end`] fires at every barrier
+/// release, and [`RecordSink::finish`] when the run ends.
+pub fn run_streaming(
+    job: &Job,
+    cfg: &RunConfig,
+    sink: &mut dyn RecordSink,
+) -> Result<StreamRunResult, RunError> {
+    let meta = TraceMeta {
+        experiment: cfg.experiment.clone(),
+        platform: cfg.fs.name.clone(),
+        ranks: job.ranks(),
+        seed: cfg.seed,
+    };
+    let (sim, end) = execute(job, cfg, Some(&mut *sink), false)?;
+    let final_phase = sim.world.phase();
+    let result = StreamRunResult {
+        meta,
+        stats: sim.world.fs.stats().clone(),
+        lock_stats: sim.world.fs.lock_stats(),
+        util: sim.world.fs.utilization(end),
+        events: sim.processed(),
+        end,
+    };
+    drop(sim);
+    // The tail of the program after the last barrier is a final,
+    // implicitly closed phase.
+    sink.phase_end(final_phase);
+    sink.finish();
+    Ok(result)
 }
 
 /// Run the same experiment with several seeds, returning one trace per
@@ -155,7 +226,10 @@ pub fn run_ensemble_parallel(
                 scope.spawn(move |_| run(job, &cfg).map(|r| r.trace))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("run thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("run thread"))
+            .collect()
     })
     .expect("ensemble scope");
     results.into_iter().collect()
@@ -322,6 +396,50 @@ mod tests {
         assert!(u.ost_imbalance() >= 1.0);
         // Some node buffered data at some point.
         assert!(u.node_dirty_peak.iter().any(|&p| p > 0));
+    }
+
+    #[test]
+    fn streaming_run_matches_buffered_run() {
+        let job = simple_job(8, 4);
+        let config = cfg(21);
+        let buffered = run(&job, &config).unwrap();
+
+        // Collect through the streaming path into an in-memory trace.
+        let mut collected = Trace::new(buffered.trace.meta.clone());
+        let res = run_streaming(&job, &config, &mut collected).unwrap();
+        collected.sort_by_start();
+        assert_eq!(collected.records, buffered.trace.records);
+        assert_eq!(res.meta, buffered.trace.meta);
+        assert_eq!(res.end, buffered.end);
+        assert_eq!(res.stats.bytes_written, buffered.stats.bytes_written);
+    }
+
+    #[test]
+    fn streaming_run_fires_phase_boundaries() {
+        #[derive(Default)]
+        struct Log {
+            pushes: u64,
+            phase_ends: Vec<u32>,
+            finished: bool,
+        }
+        impl pio_trace::RecordSink for Log {
+            fn push(&mut self, _r: &pio_trace::Record) {
+                self.pushes += 1;
+            }
+            fn phase_end(&mut self, phase: u32) {
+                self.phase_ends.push(phase);
+            }
+            fn finish(&mut self) {
+                self.finished = true;
+            }
+        }
+        let job = simple_job(4, 2);
+        let mut log = Log::default();
+        run_streaming(&job, &cfg(22), &mut log).unwrap();
+        // 4 ranks × 6 ops = 24 records; one barrier then the final tail.
+        assert_eq!(log.pushes, 24);
+        assert_eq!(log.phase_ends, vec![0, 1]);
+        assert!(log.finished);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::program::{Job, Op};
 use pio_des::{Scheduler, SimRng, SimSpan, SimTime, World};
 use pio_fs::sim::FsOut;
 use pio_fs::{FsEvent, FsNotify, FsSim, IoKind, IoReq};
-use pio_trace::{CallKind, FdTable, Record, Trace, TraceMeta};
+use pio_trace::{CallKind, FdTable, Record, RecordSink, Trace, TraceMeta};
 use std::collections::{HashMap, VecDeque};
 
 /// MPI message-layer cost model (the fabric's message path is far faster
@@ -71,11 +71,21 @@ struct Channel {
 }
 
 /// The simulation world for one job run.
-pub struct MpiWorld {
+///
+/// The lifetime `'s` is the borrow of an optional streaming
+/// [`RecordSink`]; worlds without one (the buffering path) are
+/// `MpiWorld<'static>`.
+pub struct MpiWorld<'s> {
     /// The file-system model (public for post-run inspection).
     pub fs: FsSim,
     /// The captured trace (public for post-run extraction).
     pub trace: Trace,
+    /// Streaming capture path: records are pushed here as calls complete,
+    /// and `phase_end` fires at every barrier release.
+    sink: Option<&'s mut dyn RecordSink>,
+    /// Whether records are also buffered into `trace` (disabled for
+    /// constant-memory streaming runs).
+    store_records: bool,
     job: Job,
     ranks: Vec<RankState>,
     phase: u32,
@@ -88,7 +98,7 @@ pub struct MpiWorld {
     fsout: FsOut,
 }
 
-impl MpiWorld {
+impl<'s> MpiWorld<'s> {
     /// Build the world; `fs` must already have the job's files registered
     /// (in order, so job file index == fs file id).
     pub fn new(job: Job, fs: FsSim, mpi: MpiConfig, seed: u64, meta: TraceMeta) -> Self {
@@ -107,6 +117,8 @@ impl MpiWorld {
         MpiWorld {
             fs,
             trace: Trace::new(meta),
+            sink: None,
+            store_records: true,
             barrier_arrivals: vec![None; n],
             job,
             ranks,
@@ -118,6 +130,24 @@ impl MpiWorld {
             finished: 0,
             fsout: FsOut::new(),
         }
+    }
+
+    /// Attach a streaming sink: every record is pushed as the call
+    /// completes (completion order, not start order), and
+    /// [`RecordSink::phase_end`] fires at each barrier release.
+    pub fn set_sink(&mut self, sink: &'s mut dyn RecordSink) {
+        self.sink = Some(sink);
+    }
+
+    /// Enable/disable buffering records into [`MpiWorld::trace`]
+    /// (disable for constant-memory streaming runs).
+    pub fn set_store_records(&mut self, store: bool) {
+        self.store_records = store;
+    }
+
+    /// The current barrier-phase index.
+    pub fn phase(&self) -> u32 {
+        self.phase
     }
 
     /// Ranks that have completed their whole program.
@@ -136,8 +166,17 @@ impl MpiWorld {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn record(&mut self, rank: u32, call: CallKind, fd: i32, offset: u64, bytes: u64, start: SimTime, end: SimTime) {
-        self.trace.push(Record {
+    fn record(
+        &mut self,
+        rank: u32,
+        call: CallKind,
+        fd: i32,
+        offset: u64,
+        bytes: u64,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        let rec = Record {
             rank,
             call,
             fd,
@@ -146,7 +185,13 @@ impl MpiWorld {
             start_ns: start.nanos(),
             end_ns: end.nanos(),
             phase: self.phase,
-        });
+        };
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.push(&rec);
+        }
+        if self.store_records {
+            self.trace.push(rec);
+        }
     }
 
     fn drain_fsout(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
@@ -163,7 +208,10 @@ impl MpiWorld {
     /// The rank's pending fs-bound call returned: record it and advance.
     fn complete_io(&mut self, now: SimTime, rank: u32, sched: &mut Scheduler<Ev>) {
         let r = rank as usize;
-        let cur = self.ranks[r].cur.take().expect("completion without pending op");
+        let cur = self.ranks[r]
+            .cur
+            .take()
+            .expect("completion without pending op");
         let start = self.ranks[r].op_start;
         let mut fd = cur.fd;
         if let Some(file) = cur.open_file {
@@ -250,49 +298,164 @@ impl MpiWorld {
                     self.ranks[r].pc += 1;
                 }
                 Op::Open { file } => {
-                    self.submit_fs(now, rank, IoKind::Open, file, 0, 0, CallKind::Open, -1, Some(file), sched);
+                    self.submit_fs(
+                        now,
+                        rank,
+                        IoKind::Open,
+                        file,
+                        0,
+                        0,
+                        CallKind::Open,
+                        -1,
+                        Some(file),
+                        sched,
+                    );
                     return;
                 }
                 Op::Close { file } => {
                     let fd = self.fd_of(rank, file);
-                    self.submit_fs(now, rank, IoKind::Close, file, 0, 0, CallKind::Close, fd, None, sched);
+                    self.submit_fs(
+                        now,
+                        rank,
+                        IoKind::Close,
+                        file,
+                        0,
+                        0,
+                        CallKind::Close,
+                        fd,
+                        None,
+                        sched,
+                    );
                     return;
                 }
                 Op::Write { file, bytes } => {
                     let fd = self.fd_of(rank, file);
                     let offset = self.ranks[r].fdt.advance(fd, bytes).unwrap_or(0);
-                    self.submit_fs(now, rank, IoKind::Write, file, offset, bytes, CallKind::Write, fd, None, sched);
+                    self.submit_fs(
+                        now,
+                        rank,
+                        IoKind::Write,
+                        file,
+                        offset,
+                        bytes,
+                        CallKind::Write,
+                        fd,
+                        None,
+                        sched,
+                    );
                     return;
                 }
-                Op::WriteAt { file, offset, bytes } => {
+                Op::WriteAt {
+                    file,
+                    offset,
+                    bytes,
+                } => {
                     let fd = self.fd_of(rank, file);
-                    self.submit_fs(now, rank, IoKind::Write, file, offset, bytes, CallKind::Write, fd, None, sched);
+                    self.submit_fs(
+                        now,
+                        rank,
+                        IoKind::Write,
+                        file,
+                        offset,
+                        bytes,
+                        CallKind::Write,
+                        fd,
+                        None,
+                        sched,
+                    );
                     return;
                 }
                 Op::Read { file, bytes } => {
                     let fd = self.fd_of(rank, file);
                     let offset = self.ranks[r].fdt.advance(fd, bytes).unwrap_or(0);
-                    self.submit_fs(now, rank, IoKind::Read, file, offset, bytes, CallKind::Read, fd, None, sched);
+                    self.submit_fs(
+                        now,
+                        rank,
+                        IoKind::Read,
+                        file,
+                        offset,
+                        bytes,
+                        CallKind::Read,
+                        fd,
+                        None,
+                        sched,
+                    );
                     return;
                 }
-                Op::ReadAt { file, offset, bytes } => {
+                Op::ReadAt {
+                    file,
+                    offset,
+                    bytes,
+                } => {
                     let fd = self.fd_of(rank, file);
-                    self.submit_fs(now, rank, IoKind::Read, file, offset, bytes, CallKind::Read, fd, None, sched);
+                    self.submit_fs(
+                        now,
+                        rank,
+                        IoKind::Read,
+                        file,
+                        offset,
+                        bytes,
+                        CallKind::Read,
+                        fd,
+                        None,
+                        sched,
+                    );
                     return;
                 }
-                Op::MetaWrite { file, offset, bytes } => {
+                Op::MetaWrite {
+                    file,
+                    offset,
+                    bytes,
+                } => {
                     let fd = self.fd_of(rank, file);
-                    self.submit_fs(now, rank, IoKind::MetaWrite, file, offset, bytes, CallKind::MetaWrite, fd, None, sched);
+                    self.submit_fs(
+                        now,
+                        rank,
+                        IoKind::MetaWrite,
+                        file,
+                        offset,
+                        bytes,
+                        CallKind::MetaWrite,
+                        fd,
+                        None,
+                        sched,
+                    );
                     return;
                 }
-                Op::MetaRead { file, offset, bytes } => {
+                Op::MetaRead {
+                    file,
+                    offset,
+                    bytes,
+                } => {
                     let fd = self.fd_of(rank, file);
-                    self.submit_fs(now, rank, IoKind::MetaRead, file, offset, bytes, CallKind::MetaRead, fd, None, sched);
+                    self.submit_fs(
+                        now,
+                        rank,
+                        IoKind::MetaRead,
+                        file,
+                        offset,
+                        bytes,
+                        CallKind::MetaRead,
+                        fd,
+                        None,
+                        sched,
+                    );
                     return;
                 }
                 Op::Flush { file } => {
                     let fd = self.fd_of(rank, file);
-                    self.submit_fs(now, rank, IoKind::Flush, file, 0, 0, CallKind::Flush, fd, None, sched);
+                    self.submit_fs(
+                        now,
+                        rank,
+                        IoKind::Flush,
+                        file,
+                        0,
+                        0,
+                        CallKind::Flush,
+                        fd,
+                        None,
+                        sched,
+                    );
                     return;
                 }
                 Op::Compute { span } => {
@@ -369,7 +532,11 @@ impl MpiWorld {
             self.record(rank, CallKind::Barrier, -1, 0, 0, arrival, now);
         }
         self.arrived = 0;
+        let ended = self.phase;
         self.phase += 1;
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.phase_end(ended);
+        }
         self.fs.new_phase();
         for rank in 0..n {
             let jitter = SimSpan::from_secs_f64(self.rng.f64() * self.mpi.barrier_jitter);
@@ -390,7 +557,7 @@ impl MpiWorld {
     }
 }
 
-impl World for MpiWorld {
+impl World for MpiWorld<'_> {
     type Event = Ev;
 
     fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {

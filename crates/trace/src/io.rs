@@ -43,7 +43,10 @@ pub fn read_jsonl<R: BufRead>(r: R) -> std::io::Result<Trace> {
 
 /// Write records as CSV with a header row.
 pub fn write_csv<W: Write>(trace: &Trace, mut w: W) -> std::io::Result<()> {
-    writeln!(w, "rank,call,fd,offset,bytes,start_s,end_s,duration_s,phase")?;
+    writeln!(
+        w,
+        "rank,call,fd,offset,bytes,start_s,end_s,duration_s,phase"
+    )?;
     for r in &trace.records {
         writeln!(
             w,
@@ -89,7 +92,11 @@ mod tests {
         for i in 0..10 {
             t.push(Record {
                 rank: i % 4,
-                call: if i % 2 == 0 { CallKind::Write } else { CallKind::Read },
+                call: if i % 2 == 0 {
+                    CallKind::Write
+                } else {
+                    CallKind::Read
+                },
                 fd: 3,
                 offset: i as u64 * 1024,
                 bytes: 1024,

@@ -15,6 +15,8 @@
 //! * [`profile`] — the *online profiling* mode the paper's future-work
 //!   section proposes: accumulate duration histograms at capture time and
 //!   never store individual events.
+//! * [`sink`] — streaming record sinks: consume events as they happen
+//!   instead of buffering a whole trace (`pio-ingest` builds on this).
 //! * [`io`] — JSONL / CSV serialization of traces.
 //! * [`summary`] — an IPM-style per-call summary report.
 
@@ -23,10 +25,12 @@ pub mod io;
 pub mod phase;
 pub mod profile;
 pub mod record;
+pub mod sink;
 pub mod summary;
 pub mod trace;
 
 pub use fdtable::FdTable;
 pub use profile::OnlineProfile;
 pub use record::{CallKind, Record};
+pub use sink::{NullSink, RecordSink, Tee};
 pub use trace::{Trace, TraceMeta};

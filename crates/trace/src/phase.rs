@@ -100,10 +100,7 @@ pub fn phase_summaries(trace: &Trace) -> Vec<PhaseSummary> {
 /// The fraction of total rank-time spent waiting at barriers — a direct
 /// measure of how much the slowest performers cost (paper §III).
 pub fn barrier_wait_fraction(trace: &Trace) -> f64 {
-    let wait: f64 = trace
-        .of_kind(CallKind::Barrier)
-        .map(|r| r.secs())
-        .sum();
+    let wait: f64 = trace.of_kind(CallKind::Barrier).map(|r| r.secs()).sum();
     let busy: f64 = trace
         .records
         .iter()
@@ -142,7 +139,14 @@ mod tests {
         // Phase 0: two writes, one barrier wait.
         t.push(rec(0, CallKind::Write, 100, 0, 1_000_000_000, 0));
         t.push(rec(1, CallKind::Write, 100, 0, 3_000_000_000, 0));
-        t.push(rec(0, CallKind::Barrier, 0, 1_000_000_000, 3_000_000_000, 0));
+        t.push(rec(
+            0,
+            CallKind::Barrier,
+            0,
+            1_000_000_000,
+            3_000_000_000,
+            0,
+        ));
         // Phase 1: reads.
         t.push(rec(0, CallKind::Read, 50, 3_000_000_000, 4_000_000_000, 1));
         t.push(rec(1, CallKind::Read, 50, 3_000_000_000, 3_500_000_000, 1));

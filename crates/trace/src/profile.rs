@@ -7,23 +7,26 @@
 //! fixed-memory logarithmic duration histograms per call kind, accumulated
 //! at capture time, with byte and count totals. Memory is O(kinds × bins)
 //! regardless of trace length.
+//!
+//! The histograms are [`pio_des::hist::LogHistogram`]s — the same
+//! mergeable implementation the analysis layer bins with — so a profile
+//! merged across ranks is bit-identical to one collected centrally. The
+//! saved-profile serde layout (`t_min`/`t_max`/`bins`/`counts`/`totals`)
+//! is preserved from the pre-refactor format.
 
 use crate::record::{CallKind, Record};
-use serde::{Deserialize, Serialize};
+use pio_des::hist::{LogBins, LogHistogram};
+use serde::{de_field, Content, DeError, Deserialize, Serialize};
 
 /// Number of log-spaced bins per call kind.
 pub const DEFAULT_BINS: usize = 64;
 
 /// Fixed-memory log-histogram profile of a record stream.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OnlineProfile {
-    /// Smallest resolvable duration (seconds); shorter events land in bin 0.
-    t_min: f64,
-    /// Largest resolvable duration (seconds); longer events land in the last bin.
-    t_max: f64,
-    bins: usize,
-    /// counts[kind][bin]
-    counts: Vec<Vec<u64>>,
+    /// hists[kind], all sharing one geometry; durations are clamped into
+    /// the edge bins so every event is counted.
+    hists: Vec<LogHistogram>,
     /// Per-kind totals: (events, bytes, total seconds, max seconds).
     totals: Vec<(u64, u64, f64, f64)>,
 }
@@ -42,42 +45,37 @@ impl OnlineProfile {
     pub fn new(t_min: f64, t_max: f64, bins: usize) -> Self {
         assert!(t_min > 0.0 && t_max > t_min && bins >= 2);
         OnlineProfile {
-            t_min,
-            t_max,
-            bins,
-            counts: vec![vec![0; bins]; CallKind::ALL.len()],
+            hists: vec![LogHistogram::new(t_min, t_max, bins); CallKind::ALL.len()],
             totals: vec![(0, 0, 0.0, 0.0); CallKind::ALL.len()],
         }
     }
 
     fn kind_index(kind: CallKind) -> usize {
-        CallKind::ALL.iter().position(|&k| k == kind).expect("kind in ALL")
+        CallKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("kind in ALL")
     }
 
-    /// Bin index for a duration in seconds.
+    fn geometry(&self) -> LogBins {
+        self.hists[0].geometry()
+    }
+
+    /// Bin index for a duration in seconds (clamped to the edge bins).
     pub fn bin_of(&self, secs: f64) -> usize {
-        if secs <= self.t_min {
-            return 0;
-        }
-        if secs >= self.t_max {
-            return self.bins - 1;
-        }
-        let frac = (secs / self.t_min).ln() / (self.t_max / self.t_min).ln();
-        ((frac * self.bins as f64) as usize).min(self.bins - 1)
+        self.geometry().index_clamped(secs)
     }
 
     /// Geometric center (seconds) of bin `i`.
     pub fn bin_center(&self, i: usize) -> f64 {
-        let ratio = (self.t_max / self.t_min).powf((i as f64 + 0.5) / self.bins as f64);
-        self.t_min * ratio
+        self.geometry().center(i)
     }
 
     /// Accumulate one record.
     pub fn record(&mut self, r: &Record) {
         let k = Self::kind_index(r.call);
         let secs = r.secs();
-        let bin = self.bin_of(secs);
-        self.counts[k][bin] += 1;
+        self.hists[k].add_clamped(secs);
         let t = &mut self.totals[k];
         t.0 += 1;
         t.1 += r.bytes;
@@ -90,6 +88,11 @@ impl OnlineProfile {
         for r in records {
             self.record(r);
         }
+    }
+
+    /// The duration histogram for a kind.
+    pub fn hist(&self, kind: CallKind) -> &LogHistogram {
+        &self.hists[Self::kind_index(kind)]
     }
 
     /// Event count for a kind.
@@ -115,29 +118,16 @@ impl OnlineProfile {
 
     /// Histogram (bin centers, counts) for a kind.
     pub fn histogram(&self, kind: CallKind) -> Vec<(f64, u64)> {
-        let k = Self::kind_index(kind);
-        (0..self.bins)
-            .map(|i| (self.bin_center(i), self.counts[k][i]))
+        let h = self.hist(kind);
+        (0..h.bins())
+            .map(|i| (h.bin_center(i), h.counts()[i]))
             .collect()
     }
 
     /// Approximate quantile for a kind from the binned counts, or `None`
     /// if no events. `q` in `[0,1]`.
     pub fn quantile(&self, kind: CallKind, q: f64) -> Option<f64> {
-        let k = Self::kind_index(kind);
-        let total: u64 = self.counts[k].iter().sum();
-        if total == 0 {
-            return None;
-        }
-        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
-        let mut acc = 0;
-        for i in 0..self.bins {
-            acc += self.counts[k][i];
-            if acc >= target {
-                return Some(self.bin_center(i));
-            }
-        }
-        Some(self.bin_center(self.bins - 1))
+        self.hist(kind).quantile(q)
     }
 
     /// Merge another profile (same geometry) into this one.
@@ -145,19 +135,57 @@ impl OnlineProfile {
     /// Panics if geometries differ — merging across ranks requires the
     /// collectors to agree on binning, as a real IPM reduction would.
     pub fn merge(&mut self, other: &OnlineProfile) {
-        assert!(
-            self.t_min == other.t_min && self.t_max == other.t_max && self.bins == other.bins,
-            "merging profiles with different bin geometry"
-        );
-        for k in 0..self.counts.len() {
-            for b in 0..self.bins {
-                self.counts[k][b] += other.counts[k][b];
-            }
-            self.totals[k].0 += other.totals[k].0;
-            self.totals[k].1 += other.totals[k].1;
-            self.totals[k].2 += other.totals[k].2;
-            self.totals[k].3 = self.totals[k].3.max(other.totals[k].3);
+        for (h, o) in self.hists.iter_mut().zip(&other.hists) {
+            h.merge(o);
         }
+        for (t, o) in self.totals.iter_mut().zip(&other.totals) {
+            t.0 += o.0;
+            t.1 += o.1;
+            t.2 += o.2;
+            t.3 = t.3.max(o.3);
+        }
+    }
+}
+
+// Saved profiles predate the shared-histogram refactor; serialize the
+// historical field layout rather than the internal representation.
+impl Serialize for OnlineProfile {
+    fn to_content(&self) -> Content {
+        let geom = self.geometry();
+        let counts: Vec<Vec<u64>> = self.hists.iter().map(|h| h.counts().to_vec()).collect();
+        Content::Map(vec![
+            ("t_min".to_string(), geom.lo().to_content()),
+            ("t_max".to_string(), geom.hi().to_content()),
+            ("bins".to_string(), geom.bins().to_content()),
+            ("counts".to_string(), counts.to_content()),
+            ("totals".to_string(), self.totals.to_content()),
+        ])
+    }
+}
+
+impl Deserialize for OnlineProfile {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let t_min: f64 = de_field(c, "t_min")?;
+        let t_max: f64 = de_field(c, "t_max")?;
+        let bins: usize = de_field(c, "bins")?;
+        let counts: Vec<Vec<u64>> = de_field(c, "counts")?;
+        let totals: Vec<(u64, u64, f64, f64)> = de_field(c, "totals")?;
+        if counts.len() != CallKind::ALL.len() || totals.len() != CallKind::ALL.len() {
+            return Err(DeError(format!(
+                "profile kind count {}/{} does not match {} call kinds",
+                counts.len(),
+                totals.len(),
+                CallKind::ALL.len()
+            )));
+        }
+        if counts.iter().any(|k| k.len() != bins) {
+            return Err(DeError("profile bin count mismatch".to_string()));
+        }
+        let hists = counts
+            .into_iter()
+            .map(|k| LogHistogram::from_parts(t_min, t_max, k, 0, 0))
+            .collect();
+        Ok(OnlineProfile { hists, totals })
     }
 }
 
@@ -246,7 +274,10 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(CallKind::Write), combined.count(CallKind::Write));
         assert_eq!(a.bytes(CallKind::Write), combined.bytes(CallKind::Write));
-        assert_eq!(a.histogram(CallKind::Write), combined.histogram(CallKind::Write));
+        assert_eq!(
+            a.histogram(CallKind::Write),
+            combined.histogram(CallKind::Write)
+        );
     }
 
     #[test]
@@ -255,5 +286,27 @@ mod tests {
         let mut a = OnlineProfile::new(1e-3, 1e2, 32);
         let b = OnlineProfile::new(1e-3, 1e2, 64);
         a.merge(&b);
+    }
+
+    #[test]
+    fn serde_layout_is_preserved() {
+        let mut p = OnlineProfile::new(1e-3, 1e2, 8);
+        p.record(&rec(CallKind::Write, 512, 0.5));
+        p.record(&rec(CallKind::Read, 64, 7.0));
+        let json = serde_json::to_string(&p).unwrap();
+        for key in [
+            "\"t_min\"",
+            "\"t_max\"",
+            "\"bins\":8",
+            "\"counts\"",
+            "\"totals\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let back: OnlineProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.count(CallKind::Write), 1);
+        assert_eq!(back.bytes(CallKind::Write), 512);
+        assert_eq!(back.histogram(CallKind::Read), p.histogram(CallKind::Read));
+        assert_eq!(back.max_secs(CallKind::Read), 7.0);
     }
 }

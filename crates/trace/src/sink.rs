@@ -1,0 +1,147 @@
+//! Record sinks — the streaming counterpart of an in-memory [`Trace`].
+//!
+//! A [`RecordSink`] consumes trace records as they are produced (by the
+//! simulated MPI runtime or by a JSONL reader) without requiring the
+//! whole event stream to be buffered. The in-memory [`Trace`] and the
+//! fixed-memory [`OnlineProfile`] are both sinks; `pio-ingest` adds a
+//! concurrent sharded pipeline behind the same trait.
+
+use crate::profile::OnlineProfile;
+use crate::record::Record;
+use crate::trace::Trace;
+
+/// A consumer of a record stream.
+///
+/// Implementations must accept records in the order the producer emits
+/// them; nothing else is guaranteed (in particular, records from
+/// different ranks interleave arbitrarily within a phase).
+pub trait RecordSink {
+    /// Consume one record.
+    fn push(&mut self, r: &Record);
+
+    /// A barrier-phase boundary: every rank has finished `phase`. Online
+    /// analyses use this to close per-phase windows; buffering sinks may
+    /// ignore it.
+    fn phase_end(&mut self, _phase: u32) {}
+
+    /// The stream is complete; flush any buffered state.
+    fn finish(&mut self) {}
+}
+
+impl RecordSink for Trace {
+    fn push(&mut self, r: &Record) {
+        Trace::push(self, r.clone());
+    }
+}
+
+impl RecordSink for OnlineProfile {
+    fn push(&mut self, r: &Record) {
+        self.record(r);
+    }
+}
+
+/// The null sink: discards everything (capture disabled).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl RecordSink for NullSink {
+    fn push(&mut self, _r: &Record) {}
+}
+
+/// Duplicate a stream into two sinks (e.g. keep the full trace while
+/// streaming into an online pipeline).
+#[derive(Debug, Default)]
+pub struct Tee<A, B>(pub A, pub B);
+
+impl<A: RecordSink, B: RecordSink> RecordSink for Tee<A, B> {
+    fn push(&mut self, r: &Record) {
+        self.0.push(r);
+        self.1.push(r);
+    }
+
+    fn phase_end(&mut self, phase: u32) {
+        self.0.phase_end(phase);
+        self.1.phase_end(phase);
+    }
+
+    fn finish(&mut self) {
+        self.0.finish();
+        self.1.finish();
+    }
+}
+
+impl<S: RecordSink + ?Sized> RecordSink for &mut S {
+    fn push(&mut self, r: &Record) {
+        (**self).push(r);
+    }
+
+    fn phase_end(&mut self, phase: u32) {
+        (**self).phase_end(phase);
+    }
+
+    fn finish(&mut self) {
+        (**self).finish();
+    }
+}
+
+impl<S: RecordSink + ?Sized> RecordSink for Box<S> {
+    fn push(&mut self, r: &Record) {
+        (**self).push(r);
+    }
+
+    fn phase_end(&mut self, phase: u32) {
+        (**self).phase_end(phase);
+    }
+
+    fn finish(&mut self) {
+        (**self).finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::CallKind;
+    use crate::trace::TraceMeta;
+
+    fn rec(i: u32) -> Record {
+        Record {
+            rank: i,
+            call: CallKind::Write,
+            fd: 3,
+            offset: 0,
+            bytes: 8,
+            start_ns: 0,
+            end_ns: 1_000_000,
+            phase: 0,
+        }
+    }
+
+    #[test]
+    fn trace_and_profile_are_sinks() {
+        let mut trace = Trace::new(TraceMeta {
+            experiment: "sink".into(),
+            platform: "test".into(),
+            ranks: 4,
+            seed: 0,
+        });
+        let mut profile = OnlineProfile::default();
+        {
+            let mut tee = Tee(&mut trace, &mut profile);
+            for i in 0..4 {
+                tee.push(&rec(i));
+            }
+            tee.phase_end(0);
+            tee.finish();
+        }
+        assert_eq!(trace.records.len(), 4);
+        assert_eq!(profile.count(CallKind::Write), 4);
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        let mut sink = NullSink;
+        sink.push(&rec(0));
+        sink.finish();
+    }
+}

@@ -118,8 +118,7 @@ impl Trace {
 
     /// Sort records by start time (rank-major traces interleave naturally).
     pub fn sort_by_start(&mut self) {
-        self.records
-            .sort_by_key(|r| (r.start_ns, r.rank, r.end_ns));
+        self.records.sort_by_key(|r| (r.start_ns, r.rank, r.end_ns));
     }
 
     /// The rank whose records sum to the largest total I/O time
@@ -132,9 +131,7 @@ impl Trace {
         for r in self.records.iter().filter(|r| r.call.is_io()) {
             *per_rank.entry(r.rank).or_insert(0.0) += r.secs();
         }
-        per_rank
-            .into_iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
+        per_rank.into_iter().max_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     /// Records overlapping the virtual-time window `[t0, t1)` — for
@@ -180,7 +177,10 @@ impl Trace {
             }
             let lp = last_phase.entry(r.rank).or_insert(0);
             if r.phase < *lp {
-                return Err(format!("record {i}: phase went backwards on rank {}", r.rank));
+                return Err(format!(
+                    "record {i}: phase went backwards on rank {}",
+                    r.rank
+                ));
             }
             *lp = r.phase;
         }
@@ -214,9 +214,23 @@ mod tests {
         });
         t.push(rec(0, CallKind::Write, 1000, 0, 2_000_000_000, 0));
         t.push(rec(1, CallKind::Write, 1000, 0, 4_000_000_000, 0));
-        t.push(rec(0, CallKind::Barrier, 0, 2_000_000_000, 4_000_000_000, 0));
+        t.push(rec(
+            0,
+            CallKind::Barrier,
+            0,
+            2_000_000_000,
+            4_000_000_000,
+            0,
+        ));
         t.push(rec(0, CallKind::Read, 500, 4_000_000_000, 5_000_000_000, 1));
-        t.push(rec(1, CallKind::MetaWrite, 3, 4_000_000_000, 4_100_000_000, 1));
+        t.push(rec(
+            1,
+            CallKind::MetaWrite,
+            3,
+            4_000_000_000,
+            4_100_000_000,
+            1,
+        ));
         t
     }
 
@@ -305,7 +319,10 @@ mod tests {
         let mut sorted = starts.clone();
         sorted.sort_unstable();
         assert_eq!(starts, sorted);
-        assert_eq!(shard0.bytes_of(CallKind::Write), full.bytes_of(CallKind::Write));
+        assert_eq!(
+            shard0.bytes_of(CallKind::Write),
+            full.bytes_of(CallKind::Write)
+        );
     }
 
     #[test]

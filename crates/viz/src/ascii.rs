@@ -76,7 +76,12 @@ pub fn rate_curve_text(curve: &RateCurve, height: usize, label: &str) -> String 
     assert!(height > 0);
     let peak = curve.peak().max(1e-12);
     let mut out = String::new();
-    let _ = writeln!(out, "# {label}: peak {:.1} MB/s, avg {:.1} MB/s", curve.peak(), curve.average());
+    let _ = writeln!(
+        out,
+        "# {label}: peak {:.1} MB/s, avg {:.1} MB/s",
+        curve.peak(),
+        curve.average()
+    );
     for level in (1..=height).rev() {
         let threshold = peak * level as f64 / height as f64;
         let _ = write!(out, "{:>10.0} |", threshold);
@@ -129,7 +134,10 @@ pub fn cdf_text(curves: &[(String, Vec<(f64, f64)>)], cols: usize, label: &str) 
         .fold(0.0f64, f64::max)
         .max(1e-9);
     let mut out = String::new();
-    let _ = writeln!(out, "# {label} (x: 0..{t_max:.1}s, bar = fraction complete)");
+    let _ = writeln!(
+        out,
+        "# {label} (x: 0..{t_max:.1}s, bar = fraction complete)"
+    );
     for (name, curve) in curves {
         let _ = write!(out, "{name:>12} |");
         for c in 0..cols {
@@ -240,7 +248,9 @@ mod tests {
     #[test]
     fn cdf_text_orders_fast_before_slow() {
         let fast: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, i as f64 / 10.0)).collect();
-        let slow: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64 * 4.0, i as f64 / 10.0)).collect();
+        let slow: Vec<(f64, f64)> = (1..=10)
+            .map(|i| (i as f64 * 4.0, i as f64 / 10.0))
+            .collect();
         let text = cdf_text(
             &[("fast".into(), fast), ("slow".into(), slow)],
             40,

@@ -93,7 +93,10 @@ mod tests {
     fn xy_csv_and_save() {
         let dir = std::env::temp_dir().join("pio_viz_csv_test");
         let path = dir.join("series.csv");
-        save(&path, |w| xy_csv("k,rate", &[(1.0, 11610.0), (8.0, 13486.0)], w)).unwrap();
+        save(&path, |w| {
+            xy_csv("k,rate", &[(1.0, 11610.0), (8.0, 13486.0)], w)
+        })
+        .unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with("k,rate"));
         assert_eq!(text.lines().count(), 3);

@@ -3,9 +3,12 @@
 //! Text renderings of the paper's three panel types — trace diagram,
 //! aggregate rate curve, completion-time histogram — plus CSV export of
 //! the underlying series so external plotting tools can regenerate the
-//! figures faithfully.
+//! figures faithfully, and monitoring panels for streaming-ingest
+//! snapshots ([`snapshot`]).
 
 pub mod ascii;
 pub mod csv;
+pub mod snapshot;
 
 pub use ascii::{histogram_text, rate_curve_text, trace_diagram};
+pub use snapshot::{findings_text, snapshot_panel};

@@ -166,8 +166,15 @@ mod tests {
     fn shared_slots_are_aligned_and_exclusive() {
         let cfg = small(false);
         assert_eq!(cfg.slot_bytes() % (1 << 20), 0);
-        let res = run(&cfg.job(), &RunConfig::new(FsConfig::tiny_test(), 2, "ckpt2")).unwrap();
-        assert_eq!(res.lock_stats.1, 0, "aligned exclusive slots never conflict");
+        let res = run(
+            &cfg.job(),
+            &RunConfig::new(FsConfig::tiny_test(), 2, "ckpt2"),
+        )
+        .unwrap();
+        assert_eq!(
+            res.lock_stats.1, 0,
+            "aligned exclusive slots never conflict"
+        );
     }
 
     #[test]
@@ -185,12 +192,20 @@ mod tests {
         let mut cfg = small(false);
         cfg.compute = SimSpan::from_secs(60);
         cfg.restart_read = false;
-        let res = run(&cfg.job(), &RunConfig::new(FsConfig::tiny_test(), 4, "ckpt4")).unwrap();
+        let res = run(
+            &cfg.job(),
+            &RunConfig::new(FsConfig::tiny_test(), 4, "ckpt4"),
+        )
+        .unwrap();
         let frac = CheckpointConfig::io_fraction(&res.trace);
         assert!(frac > 0.0 && frac < 0.2, "{frac}");
         let mut busy = small(false);
         busy.compute = SimSpan::ZERO;
-        let res2 = run(&busy.job(), &RunConfig::new(FsConfig::tiny_test(), 4, "ckpt5")).unwrap();
+        let res2 = run(
+            &busy.job(),
+            &RunConfig::new(FsConfig::tiny_test(), 4, "ckpt5"),
+        )
+        .unwrap();
         assert_eq!(CheckpointConfig::io_fraction(&res2.trace), 1.0);
     }
 
@@ -199,7 +214,11 @@ mod tests {
         // After each epoch barrier, the OSTs have received everything the
         // epoch wrote (flush-before-barrier semantics).
         let cfg = small(false);
-        let res = run(&cfg.job(), &RunConfig::new(FsConfig::tiny_test(), 5, "ckpt6")).unwrap();
+        let res = run(
+            &cfg.job(),
+            &RunConfig::new(FsConfig::tiny_test(), 5, "ckpt6"),
+        )
+        .unwrap();
         // Flush records exist in each epoch's phase.
         let flush_phases: std::collections::HashSet<u32> = res
             .trace

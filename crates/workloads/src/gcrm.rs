@@ -326,10 +326,7 @@ mod tests {
         // Unaligned shared records must conflict.
         assert!(res.lock_stats.1 > 0, "expected lock conflicts");
         // Metadata on rank 0 only.
-        assert!(res
-            .trace
-            .of_kind(CallKind::MetaWrite)
-            .all(|r| r.rank == 0));
+        assert!(res.trace.of_kind(CallKind::MetaWrite).all(|r| r.rank == 0));
     }
 
     #[test]
@@ -343,11 +340,8 @@ mod tests {
         assert_eq!(res.stats.bytes_written, cfg.total_payload());
         assert!(res.trace.bytes_of(CallKind::MetaWrite) > 0);
         // Only aggregators write data.
-        let writers: std::collections::HashSet<u32> = res
-            .trace
-            .of_kind(CallKind::Write)
-            .map(|r| r.rank)
-            .collect();
+        let writers: std::collections::HashSet<u32> =
+            res.trace.of_kind(CallKind::Write).map(|r| r.rank).collect();
         assert_eq!(writers.len(), 4);
         // Sends happened from non-aggregators.
         assert!(res.trace.of_kind(CallKind::Send).count() > 0);
@@ -372,7 +366,7 @@ mod tests {
         .unwrap();
         assert_eq!(ra.lock_stats.1, 0, "aligned writes must not conflict");
         let _ = ru; // unaligned CB may conflict only at group boundaries
-        // All aligned write offsets are on MiB boundaries.
+                    // All aligned write offsets are on MiB boundaries.
         for r in ra.trace.of_kind(CallKind::Write) {
             assert_eq!(r.offset % (1 << 20), 0);
         }

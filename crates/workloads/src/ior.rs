@@ -225,7 +225,11 @@ mod tests {
             read_back: false,
             file_per_process: false,
         };
-        let res = run(&cfg.job(), &RunConfig::new(FsConfig::tiny_test(), 1, "ior-test")).unwrap();
+        let res = run(
+            &cfg.job(),
+            &RunConfig::new(FsConfig::tiny_test(), 1, "ior-test"),
+        )
+        .unwrap();
         assert_eq!(res.stats.bytes_written, cfg.total_bytes());
         assert_eq!(res.trace.of_kind(CallKind::Write).count(), 16);
         res.trace.validate().unwrap();
@@ -244,8 +248,11 @@ mod tests {
                 read_back: false,
                 file_per_process: false,
             };
-            let res =
-                run(&cfg.job(), &RunConfig::new(FsConfig::tiny_test(), k as u64, "ior-k")).unwrap();
+            let res = run(
+                &cfg.job(),
+                &RunConfig::new(FsConfig::tiny_test(), k as u64, "ior-k"),
+            )
+            .unwrap();
             assert_eq!(res.stats.bytes_written, 4 * 8 * MB);
             assert_eq!(res.trace.of_kind(CallKind::Write).count(), (4 * k) as usize);
         }
@@ -292,7 +299,11 @@ mod tests {
                 .unwrap();
             assert_eq!(w, (t as u32, 0));
         }
-        let res = run(&cfg.job(), &RunConfig::new(FsConfig::tiny_test(), 2, "ior-fpp")).unwrap();
+        let res = run(
+            &cfg.job(),
+            &RunConfig::new(FsConfig::tiny_test(), 2, "ior-fpp"),
+        )
+        .unwrap();
         assert_eq!(res.stats.bytes_written, cfg.total_bytes());
         assert_eq!(res.lock_stats.1, 0, "private files cannot conflict");
     }
@@ -307,8 +318,16 @@ mod tests {
             read_back: false,
             file_per_process: fpp,
         };
-        let a = run(&mk(false).job(), &RunConfig::new(FsConfig::tiny_test(), 3, "shared")).unwrap();
-        let b = run(&mk(true).job(), &RunConfig::new(FsConfig::tiny_test(), 3, "fpp")).unwrap();
+        let a = run(
+            &mk(false).job(),
+            &RunConfig::new(FsConfig::tiny_test(), 3, "shared"),
+        )
+        .unwrap();
+        let b = run(
+            &mk(true).job(),
+            &RunConfig::new(FsConfig::tiny_test(), 3, "fpp"),
+        )
+        .unwrap();
         assert_eq!(a.stats.bytes_written, b.stats.bytes_written);
     }
 

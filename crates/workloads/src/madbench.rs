@@ -227,9 +227,21 @@ mod tests {
         let job = cfg.job();
         job.validate().unwrap();
         let p = &job.programs[0];
-        let writes = p.ops.iter().filter(|o| matches!(o, Op::Write { .. })).count();
-        let reads = p.ops.iter().filter(|o| matches!(o, Op::Read { .. })).count();
-        let seeks = p.ops.iter().filter(|o| matches!(o, Op::Seek { .. })).count();
+        let writes = p
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::Write { .. }))
+            .count();
+        let reads = p
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::Read { .. }))
+            .count();
+        let seeks = p
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::Seek { .. }))
+            .count();
         assert_eq!(writes, 16); // 8 + 8
         assert_eq!(reads, 16); // 8 + 8
         assert_eq!(seeks, 32);
@@ -299,7 +311,10 @@ mod tests {
             .durations_of(CallKind::Read)
             .into_iter()
             .fold(0.0f64, f64::max);
-        assert!(buggy_max > 2.0 * patched_max, "{buggy_max} vs {patched_max}");
+        assert!(
+            buggy_max > 2.0 * patched_max,
+            "{buggy_max} vs {patched_max}"
+        );
     }
 
     #[test]

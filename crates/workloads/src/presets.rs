@@ -97,7 +97,9 @@ mod tests {
             fig6_gcrm(0, 1, 640),
             fig6_gcrm(3, 1, 640),
         ] {
-            exp.job.validate().unwrap_or_else(|e| panic!("{}: {e}", exp.run.experiment));
+            exp.job
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", exp.run.experiment));
         }
     }
 

@@ -34,12 +34,25 @@ fn main() {
             ..IorConfig::paper_fig1()
         }
         .scaled(scale);
-        let res = run(&cfg.job(), &RunConfig::new(platform.clone(), 100 + k as u64, "ior-k"))
-            .expect("run");
+        let res = run(
+            &cfg.job(),
+            &RunConfig::new(platform.clone(), 100 + k as u64, "ior-k"),
+        )
+        .expect("run");
 
         // Reported rate: slowest write defines the phase (paper §III-A).
-        let start = res.trace.of_kind(CallKind::Write).map(|r| r.start_ns).min().unwrap();
-        let end = res.trace.of_kind(CallKind::Write).map(|r| r.end_ns).max().unwrap();
+        let start = res
+            .trace
+            .of_kind(CallKind::Write)
+            .map(|r| r.start_ns)
+            .min()
+            .unwrap();
+        let end = res
+            .trace
+            .of_kind(CallKind::Write)
+            .map(|r| r.end_ns)
+            .max()
+            .unwrap();
         let rate = res.stats.bytes_written as f64 / 1e6 / ((end - start) as f64 / 1e9);
 
         // Per-task totals.

@@ -49,7 +49,12 @@ fn main() {
             continue;
         }
         let d = EmpiricalDist::new(samples);
-        println!("  read {:>2}: median {:>7.1}s  p90 {:>7.1}s", i + 1, d.median(), d.quantile(0.9));
+        println!(
+            "  read {:>2}: median {:>7.1}s  p90 {:>7.1}s",
+            i + 1,
+            d.median(),
+            d.quantile(0.9)
+        );
     }
     let findings = diagnose(&buggy.trace);
     println!("\nautomatic diagnosis:");
@@ -67,7 +72,11 @@ fn main() {
     // detection removed, exactly what Cray shipped for Franklin).
     let patched = run(
         &cfg.job(),
-        &RunConfig::new(FsConfig::franklin_patched().scaled(scale), 7, "madbench-patched"),
+        &RunConfig::new(
+            FsConfig::franklin_patched().scaled(scale),
+            7,
+            "madbench-patched",
+        ),
     )
     .expect("run");
     println!(

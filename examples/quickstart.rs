@@ -35,15 +35,17 @@ fn main() {
     let platform = FsConfig::franklin().scaled(16);
 
     // 3. Run it. The seed is the only source of run-to-run variability.
-    let result = run(&workload.job(), &RunConfig::new(platform, 42, "quickstart"))
-        .expect("run failed");
+    let result =
+        run(&workload.job(), &RunConfig::new(platform, 42, "quickstart")).expect("run failed");
     println!("run time: {:.1} s (virtual)\n", result.wall_secs());
 
     // 4. The IPM-style per-call summary.
     println!("{}", summary::render(&result.trace));
 
     // 5. From events to ensembles: the write-time distribution.
-    let durations = result.trace.durations_of(events_to_ensembles::trace::CallKind::Write);
+    let durations = result
+        .trace
+        .durations_of(events_to_ensembles::trace::CallKind::Write);
     let dist = EmpiricalDist::new(&durations);
     println!(
         "write() ensemble: n={}  median {:.1}s  p90 {:.1}s  max {:.1}s  cv {:.2}",
@@ -54,7 +56,10 @@ fn main() {
         dist.cv().unwrap_or(0.0)
     );
     let hist = Histogram::from_samples(&durations, 32);
-    println!("\n{}", ascii::histogram_text(&hist, 40, "write() completion times"));
+    println!(
+        "\n{}",
+        ascii::histogram_text(&hist, 40, "write() completion times")
+    );
 
     // 6. Modes: the paper's harmonic fingerprint of node-level sharing.
     let modes = find_modes(&dist, 256, 0.1);
@@ -62,7 +67,10 @@ fn main() {
         println!("mode at {:.1}s (mass {:.0}%)", m.location, m.mass * 100.0);
     }
     if let Some(h) = harmonic_structure(&modes, 0.2) {
-        println!("harmonic ladder: T={:.1}s, orders {:?}", h.fundamental, h.orders);
+        println!(
+            "harmonic ladder: T={:.1}s, orders {:?}",
+            h.fundamental, h.orders
+        );
     }
 
     // 7. Order statistics: what the slowest of N tasks costs.

@@ -3,6 +3,7 @@ pub use pio_core as stats;
 pub use pio_des as des;
 pub use pio_fs as fs;
 pub use pio_h5 as h5;
+pub use pio_ingest as ingest;
 pub use pio_mpi as mpi;
 pub use pio_trace as trace;
 pub use pio_viz as viz;

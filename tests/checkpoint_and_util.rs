@@ -70,9 +70,8 @@ fn more_frequent_checkpoints_cost_more_io_time() {
         &RunConfig::new(FsConfig::franklin().scaled(32), 3, "ckpt-many"),
     )
     .unwrap();
-    let io = |t: &events_to_ensembles::trace::Trace| {
-        t.durations_of(CallKind::Write).iter().sum::<f64>()
-    };
+    let io =
+        |t: &events_to_ensembles::trace::Trace| t.durations_of(CallKind::Write).iter().sum::<f64>();
     assert!(io(&r_many.trace) > 3.0 * io(&r_few.trace));
     assert!(r_many.wall_secs() > r_few.wall_secs());
 }

@@ -4,9 +4,9 @@
 
 use events_to_ensembles::fs::FsConfig;
 use events_to_ensembles::mpi::{run, run_ensemble, RunConfig};
+use events_to_ensembles::stats::empirical::EmpiricalDist;
 use events_to_ensembles::stats::ensemble::Ensemble;
 use events_to_ensembles::stats::lln;
-use events_to_ensembles::stats::empirical::EmpiricalDist;
 use events_to_ensembles::trace::CallKind;
 use events_to_ensembles::workloads::IorConfig;
 
@@ -72,9 +72,23 @@ fn lln_prediction_tracks_measurement_direction() {
             repetitions: 1,
             ..IorConfig::paper_fig1().scaled(64)
         };
-        let res = run(&cfg.job(), &RunConfig::new(platform.clone(), 40 + k as u64, "lln")).unwrap();
-        let start = res.trace.of_kind(CallKind::Write).map(|r| r.start_ns).min().unwrap();
-        let end = res.trace.of_kind(CallKind::Write).map(|r| r.end_ns).max().unwrap();
+        let res = run(
+            &cfg.job(),
+            &RunConfig::new(platform.clone(), 40 + k as u64, "lln"),
+        )
+        .unwrap();
+        let start = res
+            .trace
+            .of_kind(CallKind::Write)
+            .map(|r| r.start_ns)
+            .min()
+            .unwrap();
+        let end = res
+            .trace
+            .of_kind(CallKind::Write)
+            .map(|r| r.end_ns)
+            .max()
+            .unwrap();
         measured.push(res.stats.bytes_written as f64 / ((end - start) as f64 / 1e9));
         if k == 1 {
             let mut totals = vec![0.0f64; cfg.tasks as usize];

@@ -15,7 +15,11 @@ fn run_stage(stage: u32, seed: u64) -> RunResult {
     let cfg = GcrmConfig::paper_stage(stage).scaled(SCALE);
     run(
         &cfg.job(),
-        &RunConfig::new(FsConfig::franklin().scaled(SCALE), seed, format!("gcrm-{stage}")),
+        &RunConfig::new(
+            FsConfig::franklin().scaled(SCALE),
+            seed,
+            format!("gcrm-{stage}"),
+        ),
     )
     .unwrap()
 }
@@ -73,7 +77,11 @@ fn metadata_serialization_is_found_then_fixed() {
     assert!(
         f2.iter().any(|f| matches!(
             f,
-            Finding::SerializedRank { rank: 0, metadata: true, .. }
+            Finding::SerializedRank {
+                rank: 0,
+                metadata: true,
+                ..
+            }
         )),
         "stage 2 must flag rank-0 metadata: {f2:?}"
     );
@@ -117,6 +125,9 @@ fn trace_is_valid_and_deterministic_at_every_stage() {
         let a = run_stage(stage, 21);
         let b = run_stage(stage, 21);
         a.trace.validate().unwrap();
-        assert_eq!(a.trace.records, b.trace.records, "stage {stage} not reproducible");
+        assert_eq!(
+            a.trace.records, b.trace.records,
+            "stage {stage} not reproducible"
+        );
     }
 }

@@ -36,20 +36,30 @@ fn trace_is_well_formed_and_conserves_bytes() {
     );
     // Every rank produced the same op sequence length.
     for rank in 0..cfg.tasks {
-        assert_eq!(res.trace.of_rank(rank).count(), res.trace.of_rank(0).count());
+        assert_eq!(
+            res.trace.of_rank(rank).count(),
+            res.trace.of_rank(0).count()
+        );
     }
 }
 
 #[test]
 fn phases_are_synchronous_and_barriers_cost_time() {
     let cfg = ior(3, 1);
-    let res = run(&cfg.job(), &RunConfig::new(scaled_platform(), 2, "ior-phases")).unwrap();
+    let res = run(
+        &cfg.job(),
+        &RunConfig::new(scaled_platform(), 2, "ior-phases"),
+    )
+    .unwrap();
     let phases = phase_summaries(&res.trace);
     // Open barrier phase + 3 write phases + close phase.
     assert!(phases.len() >= 4, "{}", phases.len());
     // Write phases move the full per-phase volume.
     let per_phase = cfg.tasks as u64 * cfg.block_bytes;
-    let write_phases: Vec<_> = phases.iter().filter(|p| p.bytes_written >= per_phase).collect();
+    let write_phases: Vec<_> = phases
+        .iter()
+        .filter(|p| p.bytes_written >= per_phase)
+        .collect();
     assert_eq!(write_phases.len(), 3);
     // Somebody always waits at a barrier (the order-statistics tax).
     assert!(barrier_wait_fraction(&res.trace) > 0.01);
@@ -82,8 +92,16 @@ fn distribution_reproduces_across_runs_while_traces_differ() {
 
 #[test]
 fn splitting_transfers_narrows_totals_and_helps_the_worst_case() {
-    let k1 = run(&ior(1, 1).job(), &RunConfig::new(scaled_platform(), 5, "k1")).unwrap();
-    let k8 = run(&ior(1, 8).job(), &RunConfig::new(scaled_platform(), 5, "k8")).unwrap();
+    let k1 = run(
+        &ior(1, 1).job(),
+        &RunConfig::new(scaled_platform(), 5, "k1"),
+    )
+    .unwrap();
+    let k8 = run(
+        &ior(1, 8).job(),
+        &RunConfig::new(scaled_platform(), 5, "k8"),
+    )
+    .unwrap();
     let totals = |res: &events_to_ensembles::mpi::RunResult| {
         let mut t = vec![0.0f64; res.trace.meta.ranks as usize];
         for r in res.trace.of_kind(CallKind::Write) {

@@ -42,15 +42,23 @@ fn read_shoulder_appears_only_on_the_buggy_platform() {
     let f_buggy = diagnose(&buggy.trace);
     let f_patched = diagnose(&patched.trace);
     assert!(
-        f_buggy
-            .iter()
-            .any(|f| matches!(f, Finding::RightShoulder { kind: CallKind::Read, .. })),
+        f_buggy.iter().any(|f| matches!(
+            f,
+            Finding::RightShoulder {
+                kind: CallKind::Read,
+                ..
+            }
+        )),
         "{f_buggy:?}"
     );
     assert!(
-        !f_patched
-            .iter()
-            .any(|f| matches!(f, Finding::RightShoulder { kind: CallKind::Read, .. })),
+        !f_patched.iter().any(|f| matches!(
+            f,
+            Finding::RightShoulder {
+                kind: CallKind::Read,
+                ..
+            }
+        )),
         "{f_patched:?}"
     );
 }
@@ -66,7 +74,10 @@ fn middle_reads_deteriorate_progressively() {
         .collect();
     // Reads 4..8 slower than reads 1..3 (first strided trigger at 4),
     // and the last read is the worst (growing erroneous window).
-    let early = medians[..3].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let early = medians[..3]
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
     assert!(
         medians[5..].iter().all(|&m| m > early),
         "late reads must exceed early ones: {medians:?}"

@@ -3,8 +3,8 @@
 //! deterministic replay — no matter what op soup the generator produces.
 
 use events_to_ensembles::fs::FsConfig;
-use events_to_ensembles::mpi::{run, Job, Op, Program, RunConfig};
 use events_to_ensembles::mpi::FileSpec;
+use events_to_ensembles::mpi::{run, Job, Op, Program, RunConfig};
 use events_to_ensembles::trace::CallKind;
 use proptest::prelude::*;
 
@@ -17,11 +17,23 @@ fn arb_body(n_files: u32) -> impl Strategy<Value = Vec<Op>> {
         let offset = off_mb * MB;
         let bytes = len_mb * MB;
         match kind {
-            0 => Op::WriteAt { file: f, offset, bytes },
-            1 => Op::ReadAt { file: f, offset, bytes },
+            0 => Op::WriteAt {
+                file: f,
+                offset,
+                bytes,
+            },
+            1 => Op::ReadAt {
+                file: f,
+                offset,
+                bytes,
+            },
             2 => Op::Seek { file: f, offset },
             3 => Op::Write { file: f, bytes },
-            4 => Op::MetaWrite { file: f, offset: offset % MB, bytes: 2048 },
+            4 => Op::MetaWrite {
+                file: f,
+                offset: offset % MB,
+                bytes: 2048,
+            },
             _ => Op::Flush { file: f },
         }
     });

@@ -1,0 +1,274 @@
+//! Offline stand-in for `criterion`: the benchmark-harness surface this
+//! workspace uses (`criterion_group!`/`criterion_main!`, `Criterion`,
+//! `BenchmarkGroup::sample_size`, `Bencher::iter`/`iter_batched`).
+//!
+//! Behaviour: under `cargo test` (cargo passes `--test` to `harness = false`
+//! bench binaries) every routine runs exactly once as a smoke test; under
+//! `cargo bench` (cargo passes `--bench`) each routine is timed over a small
+//! number of wall-clock samples and a mean/min/max summary is printed. No
+//! statistical analysis, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-sample data handed to benchmark closures.
+pub struct Bencher {
+    quick: bool,
+    samples: usize,
+    timings: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+/// How `iter_batched` amortises setup cost; the stub treats all variants
+/// identically (one setup per measured call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small payload per iteration.
+    SmallInput,
+    /// Large payload per iteration.
+    LargeInput,
+    /// One payload per batch.
+    PerIteration,
+}
+
+impl Bencher {
+    fn new(quick: bool, samples: usize) -> Self {
+        Bencher {
+            quick,
+            samples,
+            timings: Vec::new(),
+            iters_per_sample: 1,
+        }
+    }
+
+    /// Time `routine` over the configured samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup doubles as calibration: pick an iteration count that makes
+        // one sample last ~2ms so cheap kernels aren't pure timer noise.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        if self.quick {
+            self.timings.push(once);
+            return;
+        }
+        let target = Duration::from_millis(2);
+        self.iters_per_sample = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.timings.push(t.elapsed());
+        }
+    }
+
+    /// Time `routine` on fresh input from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        if self.quick {
+            self.timings.push(once);
+            return;
+        }
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.timings.push(t.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.timings.is_empty() {
+            println!("{name:<40} (no measurement)");
+            return;
+        }
+        let per_iter: Vec<f64> = self
+            .timings
+            .iter()
+            .map(|d| d.as_secs_f64() / self.iters_per_sample as f64)
+            .collect();
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+        if self.quick {
+            println!("{name:<40} ok ({})", fmt_time(mean));
+        } else {
+            println!(
+                "{name:<40} time: [{} {} {}]",
+                fmt_time(min),
+                fmt_time(mean),
+                fmt_time(max)
+            );
+        }
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Benchmark driver; one per `criterion_group!`-generated runner.
+pub struct Criterion {
+    quick: bool,
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            quick: true,
+            sample_size: 20,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Configure from the CLI args cargo passes: `--bench` selects measured
+    /// mode, `--test` (or no flag, i.e. `cargo test`) selects one-shot smoke
+    /// mode. A bare non-flag argument filters benchmarks by substring.
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => c.quick = false,
+                "--test" => c.quick = true,
+                s if !s.starts_with('-') => c.filter = Some(s.to_string()),
+                _ => {}
+            }
+        }
+        c
+    }
+
+    /// Override the number of measured samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    fn enabled(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if self.enabled(name) {
+            let mut b = Bencher::new(self.quick, self.sample_size);
+            f(&mut b);
+            b.report(name);
+        }
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// Group of benchmarks sharing a name prefix and sample-size override.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Override the number of measured samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        if self.criterion.enabled(&full) {
+            let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+            let mut b = Bencher::new(self.criterion.quick, samples);
+            f(&mut b);
+            b.report(&full);
+        }
+        self
+    }
+
+    /// Finish the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a runner callable from `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_addition(c: &mut Criterion) {
+        c.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
+        let mut g = c.benchmark_group("grouped");
+        g.sample_size(4);
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+
+    criterion_group!(smoke, bench_addition);
+
+    #[test]
+    fn runner_smoke() {
+        smoke();
+    }
+
+    #[test]
+    fn measured_mode_records_samples() {
+        let mut b = Bencher::new(false, 5);
+        b.iter(|| black_box(1u64).wrapping_mul(3));
+        assert_eq!(b.timings.len(), 5);
+        b.report("measured");
+    }
+}

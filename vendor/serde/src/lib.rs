@@ -1,0 +1,318 @@
+//! Offline stand-in for `serde`.
+//!
+//! The registry is unreachable in this build environment, so the workspace
+//! vendors a minimal serde-compatible surface: `Serialize` / `Deserialize`
+//! traits over a self-describing [`Content`] tree, plus derive macros (in
+//! `serde_derive`) for named-field structs and unit-variant enums — the
+//! only shapes this workspace derives. `serde_json` (also vendored) maps
+//! `Content` to and from JSON text with the same layout real serde_json
+//! produces for these shapes, so trace files stay interchangeable.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value tree (the stub's entire data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer (only produced for negative values).
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (arrays, tuples).
+    Seq(Vec<Content>),
+    /// Key-ordered map (structs).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Look up a struct field by name.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization failure: what was expected, what was found.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types convertible to the content model.
+pub trait Serialize {
+    /// Build the content tree for `self`.
+    fn to_content(&self) -> Content;
+}
+
+/// Types reconstructible from the content model.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a content tree.
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+}
+
+/// Fetch and deserialize a struct field (derive-macro helper).
+pub fn de_field<T: Deserialize>(c: &Content, key: &str) -> Result<T, DeError> {
+    match c.get(key) {
+        Some(v) => T::from_content(v).map_err(|e| DeError(format!("field `{key}`: {}", e.0))),
+        None => Err(DeError(format!("missing field `{key}`"))),
+    }
+}
+
+// ---- primitive impls --------------------------------------------------
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match *c {
+                    Content::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| DeError(format!("{v} out of range for {}", stringify!($t)))),
+                    Content::I64(v) => <$t>::try_from(v)
+                        .map_err(|_| DeError(format!("{v} out of range for {}", stringify!($t)))),
+                    ref other => Err(DeError(format!(
+                        "expected integer, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                if *self >= 0 { Content::U64(*self as u64) } else { Content::I64(*self as i64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match *c {
+                    Content::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| DeError(format!("{v} out of range for {}", stringify!($t)))),
+                    Content::I64(v) => <$t>::try_from(v)
+                        .map_err(|_| DeError(format!("{v} out of range for {}", stringify!($t)))),
+                    ref other => Err(DeError(format!(
+                        "expected integer, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+ser_unsigned!(u8, u16, u32, u64, usize);
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match *c {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            ref other => Err(DeError(format!("expected number, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match *c {
+            Content::Bool(v) => Ok(v),
+            ref other => Err(DeError(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_content(c)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError(format!("expected array of length {N}, found {got}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::Seq(items) => {
+                        const LEN: usize = [$($n),+].len();
+                        if items.len() != LEN {
+                            return Err(DeError(format!(
+                                "expected {LEN}-tuple, found {} elements", items.len()
+                            )));
+                        }
+                        Ok(($($t::from_content(&items[$n])?,)+))
+                    }
+                    other => Err(DeError(format!("expected array, found {other:?}"))),
+                }
+            }
+        }
+    )+};
+}
+
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_primitives() {
+        assert_eq!(u64::from_content(&42u64.to_content()).unwrap(), 42);
+        assert_eq!(i32::from_content(&(-7i32).to_content()).unwrap(), -7);
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn round_trip_containers() {
+        let v = vec![(1u64, 2.5f64), (3, 4.5)];
+        let c = v.to_content();
+        assert_eq!(Vec::<(u64, f64)>::from_content(&c).unwrap(), v);
+        let o: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_content(&o.to_content()).unwrap(), None);
+    }
+
+    #[test]
+    fn field_lookup_errors_are_descriptive() {
+        let c = Content::Map(vec![("a".into(), Content::U64(1))]);
+        assert_eq!(de_field::<u64>(&c, "a").unwrap(), 1);
+        let err = de_field::<u64>(&c, "b").unwrap_err();
+        assert!(err.0.contains("missing field `b`"));
+    }
+}
