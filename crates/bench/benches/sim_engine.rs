@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use pio_des::{EventQueue, ServiceCenter, SimSpan, SimTime};
 use pio_fs::FsConfig;
-use pio_mpi::{run, RunConfig};
+use pio_mpi::{RunConfig, Runner};
 use pio_workloads::{IorConfig, MadbenchConfig};
 use std::hint::black_box;
 
@@ -51,10 +51,11 @@ fn bench_ior_simulation(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            run(
+            Runner::new(
                 &job,
-                &RunConfig::new(FsConfig::franklin().scaled(64), seed, "bench"),
+                RunConfig::new(FsConfig::franklin().scaled(64), seed, "bench"),
             )
+            .execute_one()
             .unwrap()
             .events
         })
@@ -72,10 +73,11 @@ fn bench_madbench_simulation(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            run(
+            Runner::new(
                 &job,
-                &RunConfig::new(FsConfig::franklin_patched().scaled(64), seed, "bench"),
+                RunConfig::new(FsConfig::franklin_patched().scaled(64), seed, "bench"),
             )
+            .execute_one()
             .unwrap()
             .events
         })

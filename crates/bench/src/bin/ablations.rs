@@ -8,10 +8,15 @@ use pio_bench::util::scale_from_args;
 use pio_core::empirical::EmpiricalDist;
 use pio_core::modes::find_modes;
 use pio_fs::FsConfig;
-use pio_mpi::{run, RunConfig};
+use pio_mpi::program::Job;
+use pio_mpi::{RunConfig, RunReport, Runner};
 use pio_trace::{CallKind, OnlineProfile};
 use pio_workloads::gcrm::{GcrmConfig, GcrmStage};
 use pio_workloads::{IorConfig, MadbenchConfig};
+
+fn run(job: &Job, cfg: RunConfig) -> RunReport {
+    Runner::new(job, cfg).execute_one().unwrap()
+}
 
 fn main() {
     let scale = scale_from_args(16);
@@ -41,23 +46,22 @@ fn shared_vs_file_per_process(scale: u32) {
         };
         let res = run(
             &cfg.job(),
-            &RunConfig::new(FsConfig::franklin().scaled(scale), 17, "abl-fpp"),
-        )
-        .unwrap();
+            RunConfig::new(FsConfig::franklin().scaled(scale), 17, "abl-fpp"),
+        );
         let meta_ops = res
-            .trace
+            .trace()
             .records
             .iter()
             .filter(|r| matches!(r.call, CallKind::MetaRead | CallKind::MetaWrite))
             .count()
-            + res.trace.of_kind(CallKind::Open).count()
-            + res.trace.of_kind(CallKind::Close).count();
+            + res.trace().of_kind(CallKind::Open).count()
+            + res.trace().of_kind(CallKind::Close).count();
         println!(
             "{label:<26} {:>10.0} {:>11.0} {:>11} {:>10}",
             res.wall_secs(),
             res.stats.bytes_written as f64 / 1e6 / res.wall_secs(),
             meta_ops,
-            res.lock_stats.1
+            res.lock_stats.contended
         );
     }
     println!("-> aligned exclusive offsets make the shared file conflict-free,");
@@ -83,10 +87,10 @@ fn discipline_ablation(scale: u32) {
     ] {
         let mut fs = FsConfig::franklin().scaled(scale);
         fs.discipline_weights = weights;
-        let res = run(&cfg.job(), &RunConfig::new(fs, 7, "abl-disc")).unwrap();
+        let res = run(&cfg.job(), RunConfig::new(fs, 7, "abl-disc"));
         // Skip the cache-absorption fast mode (< 20% of the median) so the
         // drain-bound mode structure is what we compare.
-        let all = res.trace.durations_of(CallKind::Write);
+        let all = res.trace().durations_of(CallKind::Write);
         let med = EmpiricalDist::new(&all).median();
         let drained: Vec<f64> = all.iter().cloned().filter(|&d| d > 0.2 * med).collect();
         let d = EmpiricalDist::new(&drained);
@@ -120,9 +124,9 @@ fn readahead_ablation(scale: u32) {
         let mut fs = FsConfig::franklin().scaled(scale);
         fs.readahead.strided_detection = detect;
         fs.cache_bytes = (fs.cache_bytes as f64 * cache_mult) as u64;
-        let res = run(&cfg.job(), &RunConfig::new(fs, 5, "abl-ra")).unwrap();
+        let res = run(&cfg.job(), RunConfig::new(fs, 5, "abl-ra"));
         let worst = res
-            .trace
+            .trace()
             .durations_of(CallKind::Read)
             .into_iter()
             .fold(0.0f64, f64::max);
@@ -164,13 +168,12 @@ fn alignment_ablation(scale: u32) {
         cfg.h5.meta_writes_per_rank = 0.0; // isolate the data path
         let res = run(
             &cfg.job(),
-            &RunConfig::new(FsConfig::franklin().scaled(scale), 11, "abl-align"),
-        )
-        .unwrap();
+            RunConfig::new(FsConfig::franklin().scaled(scale), 11, "abl-align"),
+        );
         println!(
             "{label:<34} {:>10.0} {:>11} {:>10}",
             res.wall_secs(),
-            res.lock_stats.1,
+            res.lock_stats.contended,
             res.stats.sync_writes
         );
     }
@@ -198,7 +201,7 @@ fn aggregator_sweep(scale: u32) {
             aggregators: aggs,
             alignment: 1 << 20,
         };
-        let res = run(&cfg.job(), &RunConfig::new(platform.clone(), 13, "abl-agg")).unwrap();
+        let res = run(&cfg.job(), RunConfig::new(platform.clone(), 13, "abl-agg"));
         let actual = cfg.aggregation().unwrap().aggregators;
         println!(
             "{:>12} {:>12.0} {:>14.0}",
@@ -220,17 +223,16 @@ fn profile_vs_trace(scale: u32) {
     };
     let res = run(
         &cfg.job(),
-        &RunConfig::new(FsConfig::franklin().scaled(scale), 9, "abl-prof"),
-    )
-    .unwrap();
+        RunConfig::new(FsConfig::franklin().scaled(scale), 9, "abl-prof"),
+    );
     let mut buf = Vec::new();
-    pio_trace::io::write_jsonl(&res.trace, &mut buf).unwrap();
+    pio_trace::io::write_jsonl(res.trace(), &mut buf).unwrap();
     let mut profile = OnlineProfile::default();
-    profile.record_all(&res.trace.records);
+    profile.record_all(&res.trace().records);
     let profile_bytes = serde_json::to_vec(&profile).unwrap().len();
     println!(
         "full trace: {} records, {} KB serialized",
-        res.trace.records.len(),
+        res.trace().records.len(),
         buf.len() / 1024
     );
     println!(
@@ -238,7 +240,7 @@ fn profile_vs_trace(scale: u32) {
         profile_bytes / 1024,
         buf.len() / profile_bytes.max(1)
     );
-    let d = EmpiricalDist::new(&res.trace.durations_of(CallKind::Write));
+    let d = EmpiricalDist::new(&res.trace().durations_of(CallKind::Write));
     println!(
         "write median: exact {:.2}s vs profile {:.2}s — the distribution,",
         d.median(),

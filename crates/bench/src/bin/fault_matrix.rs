@@ -1,0 +1,30 @@
+//! Fault × workload matrix driver: every fault class against the
+//! workload that exposes its ensemble signature, two seeds each, with a
+//! baseline-clean, signature-present, and bit-reproducibility check per
+//! cell. Exits non-zero if any cell fails — CI smoke-runs this at
+//! `--scale 8`.
+
+use pio_bench::fault_matrix::{empty_plan_is_inert, render, run_matrix};
+use pio_bench::util::scale_from_args;
+
+fn main() {
+    let scale = scale_from_args(8);
+    let seeds = [101, 202];
+
+    println!("== fault x workload matrix (scale {scale}, seeds {seeds:?}) ==");
+    let cells = run_matrix(scale, &seeds);
+    print!("{}", render(&cells));
+
+    let inert = empty_plan_is_inert(scale, seeds[0]);
+    println!(
+        "no-fault inertness (empty plan == no plan): {}",
+        if inert { "exact" } else { "VIOLATED" }
+    );
+
+    let failed = cells.iter().filter(|c| !c.pass()).count();
+    if failed > 0 || !inert {
+        eprintln!("FAIL: {failed} cell(s) failed");
+        std::process::exit(1);
+    }
+    println!("PASS: all {} cells", cells.len());
+}

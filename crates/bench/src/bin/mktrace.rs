@@ -1,7 +1,7 @@
 //! Generate a sample trace file for `analyze` (also doubles as the
 //! save-path smoke test): a scaled IOR run saved as JSONL.
 use pio_fs::FsConfig;
-use pio_mpi::{run, RunConfig};
+use pio_mpi::{RunConfig, Runner};
 use pio_workloads::IorConfig;
 
 fn main() {
@@ -12,14 +12,16 @@ fn main() {
         repetitions: 2,
         ..IorConfig::paper_fig1().scaled(32)
     };
-    let res = run(
-        &cfg.job(),
-        &RunConfig::new(FsConfig::franklin().scaled(32), 7, "sample-ior"),
+    let job = cfg.job();
+    let res = Runner::new(
+        &job,
+        RunConfig::new(FsConfig::franklin().scaled(32), 7, "sample-ior"),
     )
+    .execute_one()
     .unwrap();
     if let Some(parent) = std::path::Path::new(&path).parent() {
         std::fs::create_dir_all(parent).ok();
     }
-    pio_trace::io::save(&res.trace, std::path::Path::new(&path)).unwrap();
-    eprintln!("wrote {} records to {path}", res.trace.records.len());
+    pio_trace::io::save(res.trace(), std::path::Path::new(&path)).unwrap();
+    eprintln!("wrote {} records to {path}", res.trace().records.len());
 }

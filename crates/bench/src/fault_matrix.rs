@@ -1,0 +1,453 @@
+//! The fault × workload matrix: every `pio-fault` fault class run
+//! against a workload chosen to expose its ensemble signature, with the
+//! paper's detectors doing the attribution.
+//!
+//! Each cell runs three simulations per seed:
+//!
+//! 1. a **baseline** (no fault plan) that must *not* show the signature,
+//! 2. the **faulted** run that must show it and attribute it correctly,
+//! 3. a **repeat** of the faulted run that must be bit-identical —
+//!    fault plans are deterministic given `(plan, seed)`.
+//!
+//! The matrix is the executable statement of the crate's thesis: fault
+//! classes are distinguishable *from the shape of the ensemble alone*
+//! (right shoulder vs. per-phase drift vs. rank correlation), plus one
+//! resource-level attribution each (which OST, which node, how much
+//! tail mass).
+
+use pio_core::diagnosis::{detect_progressive_deterioration, detect_right_shoulder, Thresholds};
+use pio_core::Finding;
+use pio_fault::{Fault, FaultPlan};
+use pio_fs::FsConfig;
+use pio_mpi::program::{Job, Op, Program};
+use pio_mpi::{RunConfig, RunReport, Runner};
+use pio_trace::CallKind;
+use pio_workloads::IorConfig;
+
+/// One fault × workload cell.
+pub struct Scenario {
+    /// Fault-class label (matrix row).
+    pub fault: &'static str,
+    /// Workload label (matrix column).
+    pub workload: &'static str,
+    /// The signature this cell asserts, for the report table.
+    pub expect: &'static str,
+    plan: FaultPlan,
+    job: Job,
+    fs: FsConfig,
+    #[allow(clippy::type_complexity)]
+    detect: Box<dyn Fn(&RunReport) -> Result<String, String>>,
+}
+
+/// Outcome of one cell at one seed.
+pub struct CellOutcome {
+    /// Fault-class label.
+    pub fault: &'static str,
+    /// Workload label.
+    pub workload: &'static str,
+    /// Seed of this row.
+    pub seed: u64,
+    /// `Ok(signature detail)` when the faulted run shows the expected
+    /// signature, `Err(reason)` otherwise.
+    pub signature: Result<String, String>,
+    /// The baseline run does *not* show the signature.
+    pub baseline_clean: bool,
+    /// Two faulted runs with the same seed produced identical traces.
+    pub reproducible: bool,
+}
+
+impl CellOutcome {
+    /// Did every assertion of the cell hold?
+    pub fn pass(&self) -> bool {
+        self.signature.is_ok() && self.baseline_clean && self.reproducible
+    }
+}
+
+/// Shoulder detection on one call class, as `Result` with the reason.
+fn shoulder(res: &RunReport, kind: CallKind) -> Result<Finding, String> {
+    detect_right_shoulder(res.trace(), kind, &Thresholds::default())
+        .ok_or_else(|| format!("no right shoulder on {kind:?}"))
+}
+
+/// Median duration of `kind` over ranks selected by `pick`.
+fn median_where(res: &RunReport, kind: CallKind, pick: impl Fn(u32) -> bool) -> f64 {
+    let mut d: Vec<f64> = res
+        .trace()
+        .records
+        .iter()
+        .filter(|r| r.call == kind && pick(r.rank))
+        .map(|r| r.secs())
+        .collect();
+    if d.is_empty() {
+        return 0.0;
+    }
+    d.sort_by(f64::total_cmp);
+    d[d.len() / 2]
+}
+
+/// A read-heavy IOR: per-task 1 MiB calls so every data RPC lands on a
+/// single OST — faults touching a minority of resources surface as a
+/// minority of slow *events* (a shoulder), not a uniform shift.
+fn read_heavy(tasks: u32, repetitions: u32) -> Job {
+    IorConfig {
+        tasks,
+        block_bytes: 8 << 20,
+        segments: 8,
+        repetitions,
+        read_back: true,
+        file_per_process: false,
+    }
+    .job()
+}
+
+/// Paced 1 MiB reads: each rank reads on a fixed compute cadence with a
+/// per-rank stagger, so the OSTs never see a barrier burst and the
+/// baseline distribution stays tight — queueing noise would otherwise
+/// put a right shoulder on the *healthy* ensemble.
+fn paced_reads(tasks: u32, reads_per_rank: u32, gap_s: f64) -> Job {
+    use pio_des::SimSpan;
+    const MB: u64 = 1 << 20;
+    let programs = (0..tasks)
+        .map(|t| {
+            let mut ops = vec![
+                Op::Open { file: 0 },
+                Op::Barrier,
+                // Spread rank start times over several gaps: the first
+                // read of every rank would otherwise arrive as one burst
+                // whose queue drain puts a tail on the baseline.
+                Op::Compute {
+                    span: SimSpan::from_secs_f64(t as f64 * gap_s * 0.37),
+                },
+            ];
+            for i in 0..reads_per_rank {
+                // Deterministic cadence jitter (0.7-1.3x the gap) so the
+                // ranks fall out of lockstep: resonant arrivals would
+                // queue at the OSTs and put a tail on the baseline.
+                let jitter = 0.7 + 0.6 * ((t * 31 + i * 17) % 16) as f64 / 16.0;
+                ops.push(Op::Compute {
+                    span: SimSpan::from_secs_f64(gap_s * jitter),
+                });
+                ops.push(Op::ReadAt {
+                    file: 0,
+                    offset: (t as u64 * reads_per_rank as u64 + i as u64) * MB,
+                    bytes: MB,
+                });
+            }
+            ops.push(Op::Close { file: 0 });
+            Program { ops }
+        })
+        .collect();
+    Job {
+        programs,
+        files: vec![pio_mpi::program::FileSpec { shared: true }],
+    }
+}
+
+/// A metadata-heavy job: every rank issues a stream of small metadata
+/// reads spread over virtual time (staggered by rank, paced by compute),
+/// so recurring MDS blackout windows catch a fraction of them.
+fn meta_heavy(tasks: u32, ops_per_rank: u32) -> Job {
+    use pio_des::SimSpan;
+    let programs = (0..tasks)
+        .map(|t| {
+            let mut ops = vec![
+                Op::Open { file: 0 },
+                Op::Barrier,
+                // Stagger ranks so arrivals cover the stall period.
+                Op::Compute {
+                    span: SimSpan::from_secs_f64(t as f64 * 0.007),
+                },
+            ];
+            for i in 0..ops_per_rank {
+                ops.push(Op::Compute {
+                    span: SimSpan::from_secs_f64(0.2),
+                });
+                ops.push(Op::MetaRead {
+                    file: 0,
+                    offset: (t as u64 * ops_per_rank as u64 + i as u64) * 4096,
+                    bytes: 4096,
+                });
+            }
+            ops.push(Op::Close { file: 0 });
+            Program { ops }
+        })
+        .collect();
+    Job {
+        programs,
+        files: vec![pio_mpi::program::FileSpec { shared: true }],
+    }
+}
+
+/// Build the matrix for one scale. `scale` divides the platform and the
+/// task counts exactly like the figure drivers (scale 1 = paper size).
+pub fn scenarios(scale: u32) -> Vec<Scenario> {
+    let fs = FsConfig::franklin().scaled(scale);
+    // The paced cells need a quiet baseline: pin the node service
+    // discipline to fair-share so intra-node serialization (a real
+    // Franklin effect, but a *different* signature) does not put its own
+    // tail on the healthy ensemble and mask the injected fault.
+    let mut calm = fs.clone();
+    calm.discipline_weights = [0.0, 0.0, 1.0];
+    let tasks = (256 / scale).max(16);
+    let n_osts = fs.n_osts;
+    let tasks_per_node = fs.tasks_per_node;
+
+    let mut cells = Vec::new();
+
+    // 1. One slow OST: shoulder on reads, and the busy-time imbalance
+    //    points at the degraded target.
+    let slow_target = 1 % n_osts;
+    cells.push(Scenario {
+        fault: "slow-ost",
+        workload: "ior-read",
+        expect: "read shoulder + OST imbalance at the target",
+        plan: FaultPlan::new().with(Fault::SlowOst {
+            ost: slow_target,
+            slowdown: 8.0,
+            ramp_per_s: 0.0,
+        }),
+        job: read_heavy(tasks, 2),
+        fs: fs.clone(),
+        detect: Box::new(move |res| {
+            let f = shoulder(res, CallKind::Read)?;
+            let imb = res.util.ost_imbalance();
+            if imb < 1.4 {
+                return Err(format!(
+                    "OST busy imbalance {imb:.2} too even for a slow OST"
+                ));
+            }
+            let busiest = res
+                .util
+                .ost_busy_s
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(usize::MAX);
+            if busiest != slow_target {
+                return Err(format!(
+                    "imbalance points at OST {busiest}, fault was on {slow_target}"
+                ));
+            }
+            Ok(format!("{f}; busiest OST = {busiest}, imbalance {imb:.1}x"))
+        }),
+    });
+
+    // 2. Every OST degrading on a ramp: per-phase read medians drift up —
+    //    the paper's progressive-deterioration shape from a new cause.
+    let ramp_plan = (0..n_osts).fold(FaultPlan::new(), |p, ost| {
+        p.with(Fault::SlowOst {
+            ost,
+            slowdown: 1.5,
+            ramp_per_s: 2.0,
+        })
+    });
+    cells.push(Scenario {
+        fault: "slow-ost-ramp",
+        workload: "ior-read x4",
+        expect: "progressive per-phase read deterioration",
+        plan: ramp_plan,
+        job: read_heavy(tasks, 4),
+        fs: fs.clone(),
+        detect: Box::new(|res| {
+            detect_progressive_deterioration(res.trace(), CallKind::Read, &Thresholds::default())
+                .map(|f| f.to_string())
+                .ok_or_else(|| "no progressive deterioration on reads".into())
+        }),
+    });
+
+    // 3. Flaky fabric: a shoulder again, but the OST pool stays balanced —
+    //    that contrast is what separates "a disk" from "the network".
+    cells.push(Scenario {
+        fault: "flaky-fabric",
+        workload: "paced-read",
+        expect: "read shoulder with the OST pool still balanced",
+        plan: FaultPlan::new().with(Fault::FlakyFabric {
+            period_s: 0.25,
+            duty: 0.1,
+            slowdown: 40.0,
+        }),
+        job: paced_reads(tasks, 48, 0.1),
+        fs: calm.clone(),
+        detect: Box::new(|res| {
+            let f = shoulder(res, CallKind::Read)?;
+            let imb = res.util.ost_imbalance();
+            if imb >= 1.4 {
+                return Err(format!(
+                    "OST imbalance {imb:.2} — looks like a disk fault, not fabric"
+                ));
+            }
+            Ok(format!("{f}; OSTs balanced ({imb:.2}x)"))
+        }),
+    });
+
+    // 4. MDS stall windows: the shoulder moves to the metadata class.
+    cells.push(Scenario {
+        fault: "mds-stall",
+        workload: "meta-stream",
+        expect: "metadata-read shoulder from blackout windows",
+        plan: FaultPlan::new().with(Fault::MdsStall {
+            period_s: 3.1,
+            stall_s: 0.7,
+        }),
+        job: meta_heavy(tasks, 40),
+        fs: fs.clone(),
+        detect: Box::new(|res| {
+            let f = shoulder(res, CallKind::MetaRead)?;
+            Ok(f.to_string())
+        }),
+    });
+
+    // 5. One straggling client node: the tail is *rank-correlated* —
+    //    the node's tasks are slow, everyone else is fine.
+    cells.push(Scenario {
+        fault: "straggler-node",
+        workload: "paced-read",
+        expect: "read tail concentrated on the straggler's ranks",
+        plan: FaultPlan::new().with(Fault::StragglerNode {
+            node: 0,
+            slowdown: 32.0,
+        }),
+        job: paced_reads(tasks, 48, 0.1),
+        fs: calm.clone(),
+        detect: Box::new(move |res| {
+            let slow = median_where(res, CallKind::Read, |r| r < tasks_per_node);
+            let rest = median_where(res, CallKind::Read, |r| r >= tasks_per_node);
+            if rest <= 0.0 || slow < 2.0 * rest {
+                return Err(format!(
+                    "node-0 read median {slow:.4}s not clearly above the rest ({rest:.4}s)"
+                ));
+            }
+            Ok(format!(
+                "node-0 ranks read at {slow:.3}s median vs {rest:.3}s elsewhere ({:.1}x)",
+                slow / rest
+            ))
+        }),
+    });
+
+    // 6. Transient drops with retry: right-tail mass tracks the drop
+    //    probability — loss surfaces as latency, never deadlock.
+    let drop_prob = 0.08;
+    cells.push(Scenario {
+        fault: "drop-retry",
+        workload: "paced-read",
+        expect: "read tail mass tracking the drop probability",
+        plan: FaultPlan::new().with(Fault::DropRetry {
+            prob: drop_prob,
+            timeout_s: 0.3,
+            max_retries: 4,
+        }),
+        job: paced_reads(tasks, 48, 0.1),
+        fs: calm,
+        detect: Box::new(move |res| {
+            let f = shoulder(res, CallKind::Read)?;
+            if let Finding::RightShoulder { tail_mass, .. } = &f {
+                let tail_mass = *tail_mass;
+                if tail_mass < drop_prob / 3.0 || tail_mass > 4.0 * drop_prob {
+                    return Err(format!(
+                        "tail mass {tail_mass:.3} does not track drop prob {drop_prob}"
+                    ));
+                }
+                Ok(format!("{f}; tail mass tracks drop prob {drop_prob}"))
+            } else {
+                unreachable!("shoulder() returns RightShoulder")
+            }
+        }),
+    });
+
+    cells
+}
+
+fn run_once(
+    job: &Job,
+    fs: &FsConfig,
+    seed: u64,
+    label: &str,
+    plan: Option<&FaultPlan>,
+) -> RunReport {
+    let mut cfg = RunConfig::new(fs.clone(), seed, label);
+    if let Some(p) = plan {
+        cfg = cfg.with_fault(p.clone());
+    }
+    Runner::new(job, cfg)
+        .execute_one()
+        .unwrap_or_else(|e| panic!("{label}: {e}"))
+}
+
+/// Run one cell at one seed: baseline + faulted + repeat.
+pub fn run_cell(s: &Scenario, seed: u64) -> CellOutcome {
+    let label = format!("fault-{}", s.fault);
+    let base = run_once(&s.job, &s.fs, seed, &label, None);
+    let faulted = run_once(&s.job, &s.fs, seed, &label, Some(&s.plan));
+    let repeat = run_once(&s.job, &s.fs, seed, &label, Some(&s.plan));
+    let reproducible = faulted.trace().records == repeat.trace().records
+        && faulted.events == repeat.events
+        && faulted.end == repeat.end;
+    CellOutcome {
+        fault: s.fault,
+        workload: s.workload,
+        seed,
+        signature: (s.detect)(&faulted),
+        baseline_clean: (s.detect)(&base).is_err(),
+        reproducible,
+    }
+}
+
+/// Run the whole matrix: every scenario × every seed.
+pub fn run_matrix(scale: u32, seeds: &[u64]) -> Vec<CellOutcome> {
+    let mut out = Vec::new();
+    for s in scenarios(scale) {
+        for &seed in seeds {
+            out.push(run_cell(&s, seed));
+        }
+    }
+    out
+}
+
+/// Did every cell pass?
+pub fn all_pass(cells: &[CellOutcome]) -> bool {
+    cells.iter().all(CellOutcome::pass)
+}
+
+/// The no-fault inertness contract: a `None` plan and an empty plan
+/// produce bit-identical traces (no RNG draws, no perturbation).
+pub fn empty_plan_is_inert(scale: u32, seed: u64) -> bool {
+    let fs = FsConfig::franklin().scaled(scale);
+    let job = read_heavy((256 / scale).max(16), 1);
+    let none = run_once(&job, &fs, seed, "inert", None);
+    let empty = run_once(&job, &fs, seed, "inert", Some(&FaultPlan::new()));
+    none.trace().records == empty.trace().records
+        && none.events == empty.events
+        && none.end == empty.end
+}
+
+/// Render the matrix as a fixed-width table.
+pub fn render(cells: &[CellOutcome]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<15} {:<12} {:>5}  {:<5} {:<6} {:<7} detail",
+        "fault", "workload", "seed", "sig", "base", "repro"
+    )
+    .unwrap();
+    for c in cells {
+        let (sig, detail) = match &c.signature {
+            Ok(d) => ("ok", d.clone()),
+            Err(e) => ("MISS", e.clone()),
+        };
+        writeln!(
+            out,
+            "{:<15} {:<12} {:>5}  {:<5} {:<6} {:<7} {}",
+            c.fault,
+            c.workload,
+            c.seed,
+            sig,
+            if c.baseline_clean { "clean" } else { "DIRTY" },
+            if c.reproducible { "exact" } else { "DRIFT" },
+            detail
+        )
+        .unwrap();
+    }
+    out
+}

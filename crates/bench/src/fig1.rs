@@ -45,11 +45,15 @@ pub fn run(scale: u32, seed: u64) -> Fig1Result {
     let block = exp.job.total_bytes_written() as f64 / tasks as f64 / 5.0;
     let fair = block / (exp.run.fs.fabric_bw / tasks as f64);
 
-    let res = pio_mpi::run(&exp.job, &exp.run).expect("fig1 run");
-    let res2 = pio_mpi::run(&exp2.job, &exp2.run).expect("fig1 scratch2 run");
+    let res = pio_mpi::Runner::new(&exp.job, exp.run.clone())
+        .execute_one()
+        .expect("fig1 run");
+    let res2 = pio_mpi::Runner::new(&exp2.job, exp2.run.clone())
+        .execute_one()
+        .expect("fig1 scratch2 run");
 
-    let write_dist = dist_of(&res.trace, CallKind::Write).expect("writes");
-    let write_dist2 = dist_of(&res2.trace, CallKind::Write).expect("writes");
+    let write_dist = dist_of(res.trace(), CallKind::Write).expect("writes");
+    let write_dist2 = dist_of(res2.trace(), CallKind::Write).expect("writes");
     let modes = find_modes(&write_dist, 512, 0.08);
     let harmonics = harmonic_structure(&modes, 0.2);
     let ks = ks_statistic(&write_dist, &write_dist2);
@@ -57,14 +61,14 @@ pub fn run(scale: u32, seed: u64) -> Fig1Result {
 
     Fig1Result {
         runtime_s: res.wall_secs(),
-        rate_curve: write_rate_curve(&res.trace, dt),
+        rate_curve: write_rate_curve(res.trace(), dt),
         write_dist,
         write_dist2,
         modes,
         harmonics,
         ks_between_runs: ks,
         fair_share_time_s: fair,
-        trace: res.trace,
+        trace: res.into_trace(),
     }
 }
 

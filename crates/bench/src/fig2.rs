@@ -42,19 +42,21 @@ pub fn run(scale: u32, seed: u64) -> Vec<Fig2Row> {
     let mut rate1 = None;
     for &(k, paper_rate) in &PAPER_RATES {
         let exp = fig2_ior(k, seed + k as u64, scale);
-        let res = pio_mpi::run(&exp.job, &exp.run).expect("fig2 run");
+        let res = pio_mpi::Runner::new(&exp.job, exp.run.clone())
+            .execute_one()
+            .expect("fig2 run");
         let total_mb = res.stats.bytes_written as f64 / 1e6;
         // "The run time for an experiment, and therefore the reported
         // data rate, is determined by the slowest I/O operation amongst
         // all the tasks" — the write span (write-back continues in the
         // background, exactly as on the real client).
-        let span = crate::util::span_of(&res.trace, CallKind::Write);
+        let span = crate::util::span_of(res.trace(), CallKind::Write);
         let rate = total_mb / span.max(1e-9);
 
         // Per-task totals t_k.
-        let ranks = res.trace.meta.ranks;
+        let ranks = res.trace().meta.ranks;
         let mut totals = vec![0.0f64; ranks as usize];
-        for r in res.trace.of_kind(CallKind::Write) {
+        for r in res.trace().of_kind(CallKind::Write) {
             totals[r.rank as usize] += r.secs();
         }
         let tk_dist = EmpiricalDist::new(&totals);

@@ -41,24 +41,26 @@ pub struct Fig4Result {
 /// Run MADbench on `platform` at `scale`.
 pub fn run(platform: FsConfig, scale: u32, seed: u64) -> Fig4Result {
     let exp = fig4_madbench(platform, seed, scale);
-    let res = pio_mpi::run(&exp.job, &exp.run).expect("fig4 run");
-    let read_dist = dist_of(&res.trace, CallKind::Read).expect("reads");
-    let write_dist = dist_of(&res.trace, CallKind::Write).expect("writes");
+    let res = pio_mpi::Runner::new(&exp.job, exp.run.clone())
+        .execute_one()
+        .expect("fig4 run");
+    let read_dist = dist_of(res.trace(), CallKind::Read).expect("reads");
+    let write_dist = dist_of(res.trace(), CallKind::Write).expect("writes");
     let read_hist = LogHistogram::from_samples(read_dist.samples(), 60);
     let write_hist = LogHistogram::from_samples(write_dist.samples(), 60);
     let dt = (res.wall_secs() / 200.0).max(1e-3);
     Fig4Result {
-        platform: res.trace.meta.platform.clone(),
+        platform: res.trace().meta.platform.clone(),
         runtime_s: res.wall_secs(),
-        read_rate: read_rate_curve(&res.trace, dt),
-        write_rate: write_rate_curve(&res.trace, dt),
-        shoulder: detect_right_shoulder(&res.trace, CallKind::Read, &Thresholds::default()),
+        read_rate: read_rate_curve(res.trace(), dt),
+        write_rate: write_rate_curve(res.trace(), dt),
+        shoulder: detect_right_shoulder(res.trace(), CallKind::Read, &Thresholds::default()),
         degraded_reads: res.stats.degraded_reads,
         read_dist,
         write_dist,
         read_hist,
         write_hist,
-        trace: res.trace,
+        trace: res.into_trace(),
     }
 }
 

@@ -49,9 +49,11 @@ pub const LABELS: [&str; 4] = [
 /// Run one stage at `scale`.
 pub fn run(stage: u32, scale: u32, seed: u64) -> Fig6Result {
     let exp = fig6_gcrm(stage, seed, scale);
-    let res = pio_mpi::run(&exp.job, &exp.run).expect("fig6 run");
-    let data: Vec<f64> = sec_per_mb_samples(&res.trace, |r| r.call == CallKind::Write);
-    let meta: Vec<f64> = sec_per_mb_samples(&res.trace, |r| {
+    let res = pio_mpi::Runner::new(&exp.job, exp.run.clone())
+        .execute_one()
+        .expect("fig6 run");
+    let data: Vec<f64> = sec_per_mb_samples(res.trace(), |r| r.call == CallKind::Write);
+    let meta: Vec<f64> = sec_per_mb_samples(res.trace(), |r| {
         matches!(r.call, CallKind::MetaWrite | CallKind::MetaRead)
     });
     let dt = (res.wall_secs() / 200.0).max(1e-3);
@@ -59,17 +61,17 @@ pub fn run(stage: u32, scale: u32, seed: u64) -> Fig6Result {
         stage,
         label: LABELS[stage as usize],
         runtime_s: res.wall_secs(),
-        write_rate: write_rate_curve(&res.trace, dt),
+        write_rate: write_rate_curve(res.trace(), dt),
         data_sec_per_mb: EmpiricalDist::new(&data),
         meta_sec_per_mb: if meta.is_empty() {
             None
         } else {
             Some(EmpiricalDist::new(&meta))
         },
-        lock_conflicts: res.lock_stats.1,
+        lock_conflicts: res.lock_stats.contended,
         sync_writes: res.stats.sync_writes,
-        serialized: detect_serialized_rank(&res.trace, &Thresholds::default()),
-        trace: res.trace,
+        serialized: detect_serialized_rank(res.trace(), &Thresholds::default()),
+        trace: res.into_trace(),
     }
 }
 

@@ -5,6 +5,7 @@
 //! plain data; the `src/bin/figN_*.rs` binaries print the paper-vs-
 //! measured comparison and export CSVs under `results/`.
 
+pub mod fault_matrix;
 pub mod fig1;
 pub mod fig2;
 pub mod fig4;

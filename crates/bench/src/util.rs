@@ -7,16 +7,39 @@ use std::path::PathBuf;
 /// Parse `--scale N` from argv (default `default`). Scale divides task
 /// counts and transfer sizes so the full experiments can be smoke-run
 /// quickly; scale 1 is the paper's configuration.
+///
+/// A malformed or missing value after `--scale` is an error, not a
+/// silent fall-through to the default: exits with status 2.
 pub fn scale_from_args(default: u32) -> u32 {
     let args: Vec<String> = std::env::args().collect();
-    for i in 0..args.len() {
-        if args[i] == "--scale" {
-            if let Some(v) = args.get(i + 1).and_then(|s| s.parse::<u32>().ok()) {
-                return v.max(1);
-            }
+    match parse_scale(&args, default) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: {} [--scale N]", args.first().map_or("bench", |a| a));
+            std::process::exit(2);
         }
     }
-    default
+}
+
+/// The testable core of [`scale_from_args`]: find `--scale N` in `args`.
+pub fn parse_scale(args: &[String], default: u32) -> Result<u32, String> {
+    let mut scale = default;
+    for (i, arg) in args.iter().enumerate() {
+        if arg == "--scale" {
+            let raw = args
+                .get(i + 1)
+                .ok_or_else(|| "--scale requires a value".to_string())?;
+            let v: u32 = raw.parse().map_err(|_| {
+                format!("invalid --scale value {raw:?}: expected a positive integer")
+            })?;
+            if v == 0 {
+                return Err("--scale must be at least 1".to_string());
+            }
+            scale = v;
+        }
+    }
+    Ok(scale)
 }
 
 /// Output directory for CSV exports (`results/`, or `$PIO_RESULTS`).
@@ -140,6 +163,24 @@ mod tests {
         assert_eq!(rate_of(&t, CallKind::Read), 0.0);
         assert!(dist_of(&t, CallKind::Write).is_some());
         assert!(dist_of(&t, CallKind::Read).is_none());
+    }
+
+    #[test]
+    fn parse_scale_accepts_valid_and_rejects_malformed() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_scale(&args(&["bench"]), 16), Ok(16));
+        assert_eq!(parse_scale(&args(&["bench", "--scale", "8"]), 16), Ok(8));
+        // Last occurrence wins.
+        assert_eq!(
+            parse_scale(&args(&["bench", "--scale", "8", "--scale", "4"]), 16),
+            Ok(4)
+        );
+        // Malformed values are errors, not silent defaults.
+        assert!(parse_scale(&args(&["bench", "--scale"]), 16).is_err());
+        assert!(parse_scale(&args(&["bench", "--scale", "abc"]), 16).is_err());
+        assert!(parse_scale(&args(&["bench", "--scale", "-3"]), 16).is_err());
+        assert!(parse_scale(&args(&["bench", "--scale", "0"]), 16).is_err());
+        assert!(parse_scale(&args(&["bench", "--scale", "8x"]), 16).is_err());
     }
 
     #[test]

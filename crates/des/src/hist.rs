@@ -22,6 +22,31 @@ pub enum BinSlot {
     Over,
 }
 
+/// The `[left, right)` bounds of one histogram bin.
+///
+/// Named fields replace the old `(f64, f64)` return of
+/// [`LogBins::edges`] / [`LogHistogram::bin_edges`]: at call sites a
+/// bare `.1` gave no hint whether it was the upper edge or a count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BinEdges {
+    /// Lower edge (inclusive).
+    pub left: f64,
+    /// Upper edge (exclusive).
+    pub right: f64,
+}
+
+impl BinEdges {
+    /// Geometric width `right / left` (log-bin "width" is a ratio).
+    pub fn ratio(&self) -> f64 {
+        self.right / self.left
+    }
+
+    /// Does `v` fall inside `[left, right)`?
+    pub fn contains(&self, v: f64) -> bool {
+        self.left <= v && v < self.right
+    }
+}
+
 /// Logarithmically spaced bin geometry over `[lo, hi)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LogBins {
@@ -78,12 +103,13 @@ impl LogBins {
         self.lo * (self.hi / self.lo).powf((i as f64 + 0.5) / self.bins as f64)
     }
 
-    /// Bin edges `(left, right)` of bin `i`.
-    pub fn edges(&self, i: usize) -> (f64, f64) {
+    /// Bounds of bin `i`.
+    pub fn edges(&self, i: usize) -> BinEdges {
         let n = self.bins as f64;
-        let l = self.lo * (self.hi / self.lo).powf(i as f64 / n);
-        let r = self.lo * (self.hi / self.lo).powf((i as f64 + 1.0) / n);
-        (l, r)
+        BinEdges {
+            left: self.lo * (self.hi / self.lo).powf(i as f64 / n),
+            right: self.lo * (self.hi / self.lo).powf((i as f64 + 1.0) / n),
+        }
     }
 }
 
@@ -167,8 +193,8 @@ impl LogHistogram {
         self.geometry().center(i)
     }
 
-    /// Bin edges `(left, right)` of bin `i`.
-    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+    /// Bounds of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> BinEdges {
         self.geometry().edges(i)
     }
 
@@ -219,7 +245,7 @@ impl LogHistogram {
             return 0.0;
         }
         let tail: u64 = (0..self.counts.len())
-            .filter(|&i| self.bin_edges(i).1 > threshold)
+            .filter(|&i| self.bin_edges(i).right > threshold)
             .map(|i| self.counts[i])
             .sum();
         tail as f64 / total as f64 + self.overflow as f64 / total as f64
@@ -279,8 +305,9 @@ mod tests {
         let g = LogBins::new(0.01, 100.0, 32);
         for i in 0..32 {
             let c = g.center(i);
-            let (l, r) = g.edges(i);
-            assert!(l < c && c < r, "bin {i}: {l} {c} {r}");
+            let e = g.edges(i);
+            assert!(e.contains(c), "bin {i}: {} {c} {}", e.left, e.right);
+            assert!(e.ratio() > 1.0);
             assert_eq!(g.slot(c), BinSlot::In(i));
         }
     }

@@ -1,0 +1,486 @@
+//! # pio-fault — deterministic fault plans with ensemble-shape signatures
+//!
+//! The paper's thesis is that I/O pathologies are *diagnosable from the
+//! shape of the completion-time ensemble*: harmonic modes, right
+//! shoulders, progressive deterioration, serialized ranks. The simulator
+//! reproduces the paper's four scripted bugs — this crate opens the
+//! space up: it injects *faults the diagnosers were not hand-built for*
+//! and lets the test suite assert that each fault class still produces
+//! its distinctive, attributable signature.
+//!
+//! A [`FaultPlan`] is a list of [`Fault`]s. Plans are plain data
+//! (cloneable, comparable, seed-independent); all randomness lives in
+//! the [`PlanInjector`] built per run from `(plan, seed)`, which owns
+//! stream-split RNGs so a faulted run perturbs *only* what the plan
+//! says — the base simulation draws are untouched, and the same
+//! `(plan, seed)` reproduces the same faulted run bit-for-bit.
+//!
+//! Fault classes and the ensemble signature each one leaves:
+//!
+//! | Fault                | Mechanism                                   | Signature                          |
+//! |----------------------|---------------------------------------------|------------------------------------|
+//! | [`Fault::SlowOst`]   | extra service ∝ bytes on one OST            | right shoulder + OST imbalance     |
+//! | + `ramp_per_s > 0`   | slowdown grows with virtual time            | per-phase CDF drift (deterioration)|
+//! | [`Fault::FlakyFabric`] | duty-cycled link-rate collapse            | right shoulder, *no* OST imbalance |
+//! | [`Fault::MdsStall`]  | recurring MDS blackout windows              | shoulder on metadata ops           |
+//! | [`Fault::StragglerNode`] | one node's NIC runs slow                | rank-correlated mode split         |
+//! | [`Fault::DropRetry`] | timeout + bounded retransmit per RPC        | right-tail mass ≈ drop probability |
+
+use pio_des::{SimRng, SimSpan, SimTime};
+use pio_fs::fault::FaultInjector;
+use pio_fs::NodeId;
+
+/// One injectable fault. All parameters are deterministic policy; any
+/// randomness (drop coin-flips) comes from the injector's own RNG.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// One OST serves slower: every RPC it handles gains
+    /// `nominal × (slowdown − 1)` extra service, where `nominal` is the
+    /// unperturbed bandwidth-proportional span. With `ramp_per_s > 0`
+    /// the excess grows linearly in virtual time — a progressively
+    /// degrading target (failing disk, deepening rebuild).
+    SlowOst {
+        /// Index of the degraded OST.
+        ost: usize,
+        /// Service-time multiplier at t = 0 (must be ≥ 1).
+        slowdown: f64,
+        /// Linear growth of the *excess* per virtual second
+        /// (0 = constant degradation).
+        ramp_per_s: f64,
+    },
+    /// Fabric link rate collapses intermittently: during the first
+    /// `duty` fraction of every `period_s` window, transfers gain
+    /// `nominal × (slowdown − 1)` extra fabric service.
+    FlakyFabric {
+        /// Window length in virtual seconds.
+        period_s: f64,
+        /// Fraction of each window spent degraded, in `[0, 1]`.
+        duty: f64,
+        /// Fabric service multiplier while degraded (must be ≥ 1).
+        slowdown: f64,
+    },
+    /// The metadata server blacks out for `stall_s` at the start of
+    /// every `period_s` window: operations issued inside a stall are
+    /// served only after it ends (failover pause, lock recovery).
+    MdsStall {
+        /// Window length in virtual seconds.
+        period_s: f64,
+        /// Stall length at the head of each window (≤ `period_s`).
+        stall_s: f64,
+    },
+    /// One client node's NIC runs slow, stretching every transfer that
+    /// node originates by `nominal × (slowdown − 1)`.
+    StragglerNode {
+        /// The straggling node.
+        node: NodeId,
+        /// NIC service multiplier (must be ≥ 1).
+        slowdown: f64,
+    },
+    /// Transient request loss: each RPC transmission is dropped with
+    /// probability `prob`; every drop costs one `timeout_s` client-side
+    /// wait before the retry. At most `max_retries` drops per request,
+    /// so completion is always bounded — lost requests surface as
+    /// right-tail latency, never deadlock.
+    DropRetry {
+        /// Per-transmission drop probability in `[0, 1)`.
+        prob: f64,
+        /// Client retransmit timeout per drop, virtual seconds.
+        timeout_s: f64,
+        /// Upper bound on consecutive drops of one request.
+        max_retries: u32,
+    },
+}
+
+impl Fault {
+    /// Validate parameter ranges; returns a description of the problem.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            Fault::SlowOst {
+                slowdown,
+                ramp_per_s,
+                ..
+            } => {
+                if slowdown < 1.0 || ramp_per_s < 0.0 {
+                    return Err(format!("SlowOst needs slowdown >= 1, ramp >= 0: {self:?}"));
+                }
+            }
+            Fault::FlakyFabric {
+                period_s,
+                duty,
+                slowdown,
+            } => {
+                if period_s <= 0.0 || !(0.0..=1.0).contains(&duty) || slowdown < 1.0 {
+                    return Err(format!(
+                        "FlakyFabric needs period > 0, duty in [0,1], slowdown >= 1: {self:?}"
+                    ));
+                }
+            }
+            Fault::MdsStall { period_s, stall_s } => {
+                if period_s <= 0.0 || stall_s < 0.0 || stall_s > period_s {
+                    return Err(format!(
+                        "MdsStall needs period > 0 and 0 <= stall <= period: {self:?}"
+                    ));
+                }
+            }
+            Fault::StragglerNode { slowdown, .. } => {
+                if slowdown < 1.0 {
+                    return Err(format!("StragglerNode needs slowdown >= 1: {self:?}"));
+                }
+            }
+            Fault::DropRetry {
+                prob, timeout_s, ..
+            } => {
+                if !(0.0..1.0).contains(&prob) || timeout_s < 0.0 {
+                    return Err(format!(
+                        "DropRetry needs prob in [0,1) and timeout >= 0: {self:?}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A deterministic, seed-reproducible set of faults for one run.
+///
+/// The plan is pure data; build per-run hooks with
+/// [`FaultPlan::fs_injector`] / [`FaultPlan::mpi_injector`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a fault (builder style). Panics on invalid parameters — a
+    /// plan is experiment configuration, and a bad one is a bug at the
+    /// call site, not a runtime condition.
+    pub fn with(mut self, fault: Fault) -> Self {
+        if let Err(e) = fault.validate() {
+            panic!("invalid fault: {e}");
+        }
+        self.faults.push(fault);
+        self
+    }
+
+    /// The faults in plan order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Hooks for the file-system layer of a run with master seed `seed`.
+    pub fn fs_injector(&self, seed: u64) -> PlanInjector {
+        PlanInjector::new(self.clone(), seed, 0xFA01)
+    }
+
+    /// Hooks for the MPI message layer of the same run — a separate RNG
+    /// stream so message-layer draws never perturb file-system draws.
+    pub fn mpi_injector(&self, seed: u64) -> PlanInjector {
+        PlanInjector::new(self.clone(), seed, 0xFA02)
+    }
+}
+
+/// Per-run realization of a [`FaultPlan`]: implements the simulator's
+/// [`FaultInjector`] hooks, drawing any randomness from its own
+/// stream-split RNG (never the simulator's).
+pub struct PlanInjector {
+    plan: FaultPlan,
+    rng: SimRng,
+}
+
+/// Excess span for a duty-cycled window fault: is `at` inside the
+/// degraded head of its window?
+fn in_window(at: SimTime, period_s: f64, frac: f64) -> bool {
+    let t = at.as_secs_f64();
+    let pos = t - (t / period_s).floor() * period_s;
+    pos < period_s * frac
+}
+
+impl PlanInjector {
+    fn new(plan: FaultPlan, seed: u64, lane: u64) -> Self {
+        PlanInjector {
+            plan,
+            rng: SimRng::stream(seed, lane),
+        }
+    }
+
+    /// Drop-with-retry delay: geometric number of drops (capped), each
+    /// costing one timeout.
+    fn drop_delay(&mut self) -> SimSpan {
+        let mut total = SimSpan::ZERO;
+        for fault in &self.plan.faults {
+            if let Fault::DropRetry {
+                prob,
+                timeout_s,
+                max_retries,
+            } = *fault
+            {
+                let mut drops = 0;
+                while drops < max_retries && self.rng.bernoulli(prob) {
+                    drops += 1;
+                }
+                total += SimSpan::from_secs_f64(drops as f64 * timeout_s);
+            }
+        }
+        total
+    }
+}
+
+impl FaultInjector for PlanInjector {
+    fn ost_extra(&mut self, at: SimTime, ost: usize, nominal: SimSpan, _is_read: bool) -> SimSpan {
+        let mut extra = SimSpan::ZERO;
+        for fault in &self.plan.faults {
+            if let Fault::SlowOst {
+                ost: target,
+                slowdown,
+                ramp_per_s,
+            } = *fault
+            {
+                if ost == target {
+                    let excess = (slowdown - 1.0) * (1.0 + ramp_per_s * at.as_secs_f64());
+                    extra += nominal.scale(excess);
+                }
+            }
+        }
+        extra
+    }
+
+    fn fabric_extra(&mut self, at: SimTime, nominal: SimSpan) -> SimSpan {
+        let mut extra = SimSpan::ZERO;
+        for fault in &self.plan.faults {
+            if let Fault::FlakyFabric {
+                period_s,
+                duty,
+                slowdown,
+            } = *fault
+            {
+                if in_window(at, period_s, duty) {
+                    extra += nominal.scale(slowdown - 1.0);
+                }
+            }
+        }
+        extra
+    }
+
+    fn nic_extra(&mut self, _at: SimTime, node: NodeId, nominal: SimSpan) -> SimSpan {
+        let mut extra = SimSpan::ZERO;
+        for fault in &self.plan.faults {
+            if let Fault::StragglerNode {
+                node: target,
+                slowdown,
+            } = *fault
+            {
+                if node == target {
+                    extra += nominal.scale(slowdown - 1.0);
+                }
+            }
+        }
+        extra
+    }
+
+    fn mds_extra(&mut self, at: SimTime, _nominal: SimSpan) -> SimSpan {
+        let mut extra = SimSpan::ZERO;
+        for fault in &self.plan.faults {
+            if let Fault::MdsStall { period_s, stall_s } = *fault {
+                let t = at.as_secs_f64();
+                let pos = t - (t / period_s).floor() * period_s;
+                if pos < stall_s {
+                    // Serve only after the stall window ends.
+                    extra += SimSpan::from_secs_f64(stall_s - pos);
+                }
+            }
+        }
+        extra
+    }
+
+    fn rpc_drop_delay(&mut self, _at: SimTime) -> SimSpan {
+        self.drop_delay()
+    }
+
+    fn msg_drop_delay(&mut self, _at: SimTime) -> SimSpan {
+        self.drop_delay()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spans_equal(a: SimSpan, b: SimSpan) -> bool {
+        a == b
+    }
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        let mut inj = plan.fs_injector(1);
+        let nom = SimSpan::from_secs(1);
+        for t in 0..50u64 {
+            let at = SimTime::from_secs(t);
+            assert!(spans_equal(inj.ost_extra(at, 0, nom, true), SimSpan::ZERO));
+            assert!(spans_equal(inj.fabric_extra(at, nom), SimSpan::ZERO));
+            assert!(spans_equal(inj.nic_extra(at, 0, nom), SimSpan::ZERO));
+            assert!(spans_equal(inj.mds_extra(at, nom), SimSpan::ZERO));
+            assert!(spans_equal(inj.rpc_drop_delay(at), SimSpan::ZERO));
+        }
+    }
+
+    #[test]
+    fn slow_ost_hits_only_its_target() {
+        let plan = FaultPlan::new().with(Fault::SlowOst {
+            ost: 2,
+            slowdown: 4.0,
+            ramp_per_s: 0.0,
+        });
+        let mut inj = plan.fs_injector(7);
+        let nom = SimSpan::from_secs(2);
+        let at = SimTime::from_secs(10);
+        assert_eq!(inj.ost_extra(at, 2, nom, true), nom.scale(3.0));
+        assert_eq!(inj.ost_extra(at, 1, nom, true), SimSpan::ZERO);
+        // Other subsystems untouched.
+        assert_eq!(inj.fabric_extra(at, nom), SimSpan::ZERO);
+        assert_eq!(inj.mds_extra(at, nom), SimSpan::ZERO);
+    }
+
+    #[test]
+    fn slow_ost_ramp_grows_with_time() {
+        let plan = FaultPlan::new().with(Fault::SlowOst {
+            ost: 0,
+            slowdown: 2.0,
+            ramp_per_s: 0.1,
+        });
+        let mut inj = plan.fs_injector(7);
+        let nom = SimSpan::from_secs(1);
+        let early = inj.ost_extra(SimTime::ZERO, 0, nom, true);
+        let late = inj.ost_extra(SimTime::from_secs(100), 0, nom, true);
+        assert!(late.as_secs_f64() > early.as_secs_f64() * 5.0);
+    }
+
+    #[test]
+    fn flaky_fabric_follows_duty_cycle() {
+        let plan = FaultPlan::new().with(Fault::FlakyFabric {
+            period_s: 10.0,
+            duty: 0.3,
+            slowdown: 5.0,
+        });
+        let mut inj = plan.fs_injector(7);
+        let nom = SimSpan::from_secs(1);
+        // Head of the window: degraded.
+        let bad = inj.fabric_extra(SimTime::from_secs_f64(21.0), nom);
+        assert_eq!(bad, nom.scale(4.0));
+        // Tail of the window: clean.
+        let good = inj.fabric_extra(SimTime::from_secs_f64(27.0), nom);
+        assert_eq!(good, SimSpan::ZERO);
+    }
+
+    #[test]
+    fn mds_stall_serves_after_window_end() {
+        let plan = FaultPlan::new().with(Fault::MdsStall {
+            period_s: 20.0,
+            stall_s: 4.0,
+        });
+        let mut inj = plan.fs_injector(7);
+        let nom = SimSpan::from_secs_f64(0.001);
+        // 1 s into the stall: wait the remaining 3 s.
+        let d = inj.mds_extra(SimTime::from_secs_f64(41.0), nom);
+        assert!((d.as_secs_f64() - 3.0).abs() < 1e-9);
+        // Outside the stall: nothing.
+        assert_eq!(
+            inj.mds_extra(SimTime::from_secs_f64(50.0), nom),
+            SimSpan::ZERO
+        );
+    }
+
+    #[test]
+    fn straggler_hits_only_its_node() {
+        let plan = FaultPlan::new().with(Fault::StragglerNode {
+            node: 3,
+            slowdown: 6.0,
+        });
+        let mut inj = plan.fs_injector(7);
+        let nom = SimSpan::from_secs(1);
+        assert_eq!(inj.nic_extra(SimTime::ZERO, 3, nom), nom.scale(5.0));
+        assert_eq!(inj.nic_extra(SimTime::ZERO, 0, nom), SimSpan::ZERO);
+    }
+
+    #[test]
+    fn drop_retry_is_bounded_and_seed_reproducible() {
+        let plan = FaultPlan::new().with(Fault::DropRetry {
+            prob: 0.5,
+            timeout_s: 2.0,
+            max_retries: 3,
+        });
+        let draws = |seed: u64| -> Vec<f64> {
+            let mut inj = plan.fs_injector(seed);
+            (0..200)
+                .map(|_| inj.rpc_drop_delay(SimTime::ZERO).as_secs_f64())
+                .collect()
+        };
+        let a = draws(11);
+        let b = draws(11);
+        let c = draws(12);
+        assert_eq!(a, b, "same seed, same drop pattern");
+        assert_ne!(a, c, "different seed, different drop pattern");
+        // Bounded: at most max_retries × timeout; and with p = 0.5 some
+        // request must actually get dropped.
+        assert!(a.iter().all(|&d| d <= 3.0 * 2.0 + 1e-9));
+        assert!(a.iter().any(|&d| d > 0.0));
+    }
+
+    #[test]
+    fn fs_and_mpi_injectors_use_independent_streams() {
+        let plan = FaultPlan::new().with(Fault::DropRetry {
+            prob: 0.4,
+            timeout_s: 1.0,
+            max_retries: 5,
+        });
+        let mut fs = plan.fs_injector(9);
+        let mut mpi = plan.mpi_injector(9);
+        let a: Vec<f64> = (0..100)
+            .map(|_| fs.rpc_drop_delay(SimTime::ZERO).as_secs_f64())
+            .collect();
+        let b: Vec<f64> = (0..100)
+            .map(|_| mpi.msg_drop_delay(SimTime::ZERO).as_secs_f64())
+            .collect();
+        assert_ne!(a, b, "lanes must be decorrelated");
+    }
+
+    #[test]
+    fn faults_compose_additively() {
+        let plan = FaultPlan::new()
+            .with(Fault::SlowOst {
+                ost: 0,
+                slowdown: 2.0,
+                ramp_per_s: 0.0,
+            })
+            .with(Fault::SlowOst {
+                ost: 0,
+                slowdown: 3.0,
+                ramp_per_s: 0.0,
+            });
+        let mut inj = plan.fs_injector(1);
+        let nom = SimSpan::from_secs(1);
+        // (2-1) + (3-1) = 3× the nominal span of excess.
+        assert_eq!(inj.ost_extra(SimTime::ZERO, 0, nom, false), nom.scale(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault")]
+    fn invalid_fault_rejected_at_plan_build() {
+        let _ = FaultPlan::new().with(Fault::SlowOst {
+            ost: 0,
+            slowdown: 0.5,
+            ramp_per_s: 0.0,
+        });
+    }
+}

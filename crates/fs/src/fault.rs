@@ -1,0 +1,104 @@
+//! Fault-injection hook points for the file-system model.
+//!
+//! [`FsSim`](crate::FsSim) (and the MPI message layer above it) consults
+//! an optional [`FaultInjector`] at every resource touch point. The
+//! contract that keeps the hook layer *provably inert* when absent:
+//!
+//! * Every hook has a default implementation returning [`SimSpan::ZERO`],
+//!   and the simulator only calls hooks when an injector is installed —
+//!   a run without one performs **zero** extra work and **zero** extra
+//!   RNG draws, so its trace is bit-identical to a build without the
+//!   fault layer.
+//! * An injector must own its *own* random stream (see
+//!   `pio-fault`): it must never draw from the simulator's RNGs, so the
+//!   base event randomness is the same with and without faults and any
+//!   distributional change is attributable to the fault alone.
+//! * Hooks return *additional* service demand (or client-side delay);
+//!   they can slow a component down but never speed it up or reorder
+//!   completions, which keeps conservation invariants (bytes moved,
+//!   records emitted) intact under any plan.
+//!
+//! The concrete fault vocabulary (slow OST, flaky fabric, MDS stalls,
+//! straggler nodes, drop-with-retry) lives in the `pio-fault` crate;
+//! this trait is deliberately mechanism-only so the file-system crate
+//! carries no fault policy.
+
+use crate::NodeId;
+use pio_des::{SimSpan, SimTime};
+
+/// Injection hooks consulted by the simulator at each resource touch
+/// point. All methods take `&mut self` so injectors can keep state
+/// (their own RNG, retry counters); all default to "no fault".
+///
+/// `nominal` arguments carry the unperturbed bandwidth-proportional
+/// service span of the request, letting injectors express *relative*
+/// degradation ("this OST is 4× slower") without knowing the platform
+/// configuration.
+pub trait FaultInjector: Send {
+    /// Extra service demand for an RPC at OST `ost` starting around `at`.
+    fn ost_extra(&mut self, at: SimTime, ost: usize, nominal: SimSpan, is_read: bool) -> SimSpan {
+        let _ = (at, ost, nominal, is_read);
+        SimSpan::ZERO
+    }
+
+    /// Extra fabric service demand for a transfer entering around `at`.
+    fn fabric_extra(&mut self, at: SimTime, nominal: SimSpan) -> SimSpan {
+        let _ = (at, nominal);
+        SimSpan::ZERO
+    }
+
+    /// Extra NIC service demand on `node` for a transfer around `at`.
+    fn nic_extra(&mut self, at: SimTime, node: NodeId, nominal: SimSpan) -> SimSpan {
+        let _ = (at, node, nominal);
+        SimSpan::ZERO
+    }
+
+    /// Extra metadata-server demand for an operation issued at `at`.
+    fn mds_extra(&mut self, at: SimTime, nominal: SimSpan) -> SimSpan {
+        let _ = (at, nominal);
+        SimSpan::ZERO
+    }
+
+    /// Client-side delay before a data RPC may be (re)transmitted —
+    /// models transient request drops: the client times out and
+    /// retries, so the RPC still completes (bounded retries, no
+    /// deadlock) but its latency gains a right tail.
+    fn rpc_drop_delay(&mut self, at: SimTime) -> SimSpan {
+        let _ = at;
+        SimSpan::ZERO
+    }
+
+    /// Delay before a point-to-point MPI message is delivered — the
+    /// message-layer analogue of [`FaultInjector::rpc_drop_delay`].
+    fn msg_drop_delay(&mut self, at: SimTime) -> SimSpan {
+        let _ = at;
+        SimSpan::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop;
+    impl FaultInjector for Nop {}
+
+    #[test]
+    fn default_hooks_are_all_zero() {
+        let mut f = Nop;
+        let t = SimTime::from_secs(3);
+        let nom = SimSpan::from_secs(1);
+        assert_eq!(f.ost_extra(t, 0, nom, true), SimSpan::ZERO);
+        assert_eq!(f.fabric_extra(t, nom), SimSpan::ZERO);
+        assert_eq!(f.nic_extra(t, 0, nom), SimSpan::ZERO);
+        assert_eq!(f.mds_extra(t, nom), SimSpan::ZERO);
+        assert_eq!(f.rpc_drop_delay(t), SimSpan::ZERO);
+        assert_eq!(f.msg_drop_delay(t), SimSpan::ZERO);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut b: Box<dyn FaultInjector> = Box::new(Nop);
+        assert_eq!(b.rpc_drop_delay(SimTime::ZERO), SimSpan::ZERO);
+    }
+}

@@ -32,8 +32,14 @@
 //! * **MDS** ([`sim`]) — a metadata service center; small serialized
 //!   metadata transactions are what the GCRM metadata-aggregation
 //!   optimization attacks.
+//! * **Fault hooks** ([`fault`]) — an optional injection trait consulted
+//!   at every resource touch point (OST, fabric, NIC, MDS, RPC
+//!   transmission); inert when absent, it lets the `pio-fault` crate
+//!   degrade components deterministically without this crate carrying
+//!   any fault policy.
 
 pub mod config;
+pub mod fault;
 pub mod locks;
 pub mod node;
 pub mod ost;
@@ -42,6 +48,8 @@ pub mod sim;
 pub mod stripe;
 
 pub use config::{FsConfig, ReadaheadConfig};
+pub use fault::FaultInjector;
+pub use locks::LockStats;
 pub use sim::{FsEvent, FsNotify, FsSim, FsStats, IoId, IoKind, IoReq};
 pub use stripe::{Extent, StripeLayout};
 

@@ -27,6 +27,23 @@ pub enum LockOutcome {
     },
 }
 
+/// Aggregate lock-table counters for a run.
+///
+/// Replaces the old positional `(grants, conflicts, rmws)` tuple so call
+/// sites name what they read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Fresh extent-lock grants (nobody held the stripe).
+    pub acquired: u64,
+    /// Acquisitions that hit a foreign owner — each costs a revocation
+    /// round-trip through the DLM.
+    pub contended: u64,
+    /// Contended acquisitions whose partial-stripe write also had to read
+    /// the stripe back (read-modify-write) under the revoked lock — the
+    /// expensive subset of `contended`.
+    pub revoked: u64,
+}
+
 /// Lock table for all shared files.
 #[derive(Debug, Default)]
 pub struct LockMap {
@@ -66,6 +83,15 @@ impl LockMap {
                 }
                 LockOutcome::Conflict { rmw }
             }
+        }
+    }
+
+    /// Snapshot of the aggregate counters.
+    pub fn stats(&self) -> LockStats {
+        LockStats {
+            acquired: self.grants,
+            contended: self.conflicts,
+            revoked: self.rmws,
         }
     }
 

@@ -25,7 +25,8 @@
 //!   touch their OST); they bypass the data token.
 
 use crate::config::FsConfig;
-use crate::locks::{LockMap, LockOutcome};
+use crate::fault::FaultInjector;
+use crate::locks::{LockMap, LockOutcome, LockStats};
 use crate::node::Node;
 use crate::ost::Ost;
 use crate::readahead::{ReadMode, ReadaheadTracker};
@@ -211,6 +212,9 @@ pub struct FsSim {
     /// even if memory pressure has eased (the window-size calculation,
     /// not the pressure, was the bug).
     degraded_streams: std::collections::HashSet<u64>,
+    /// Optional fault-injection hooks (see [`crate::fault`]). `None` is
+    /// the common case and costs nothing: no hook calls, no RNG draws.
+    fault: Option<Box<dyn FaultInjector>>,
 }
 
 /// Where a run's time went: per-resource busy time and contention
@@ -333,8 +337,16 @@ impl FsSim {
             node_wr_outstanding: vec![0; n_nodes as usize],
             node_flush_waiters: vec![Vec::new(); n_nodes as usize],
             degraded_streams: std::collections::HashSet::new(),
+            fault: None,
             cfg,
         }
+    }
+
+    /// Install fault-injection hooks for this run. The injector must own
+    /// its own RNG stream (it may not draw from the simulator's), so a
+    /// faulted run perturbs only what the plan says it perturbs.
+    pub fn set_fault(&mut self, fault: Box<dyn FaultInjector>) {
+        self.fault = Some(fault);
     }
 
     /// Register a file; `shared` enables extent-lock semantics.
@@ -361,12 +373,8 @@ impl FsSim {
     }
 
     /// Lock-table statistics.
-    pub fn lock_stats(&self) -> (u64, u64, u64) {
-        (
-            self.locks.grants(),
-            self.locks.conflicts(),
-            self.locks.rmws(),
-        )
+    pub fn lock_stats(&self) -> LockStats {
+        self.locks.stats()
     }
 
     /// Where the run's time went, measured against `end`.
@@ -435,7 +443,11 @@ impl FsSim {
                 let lat = self
                     .rng
                     .lognormal(self.cfg.mds_latency_median, self.cfg.meta_sigma);
-                let done = self.mds.submit(now, SimSpan::from_secs_f64(lat));
+                let mut demand = SimSpan::from_secs_f64(lat);
+                if let Some(f) = self.fault.as_deref_mut() {
+                    demand += f.mds_extra(now, demand);
+                }
+                let done = self.mds.submit(now, demand);
                 self.ios.insert(io, self.meta_state(io, &req, now));
                 out.sched.push((done, FsEvent::MetaDone { io }));
             }
@@ -445,7 +457,11 @@ impl FsSim {
                 let lat = self
                     .rng
                     .lognormal(self.cfg.meta_sync_median, self.cfg.meta_sigma);
-                let t1 = self.mds.submit(now, SimSpan::from_secs_f64(lat));
+                let mut demand = SimSpan::from_secs_f64(lat);
+                if let Some(f) = self.fault.as_deref_mut() {
+                    demand += f.mds_extra(now, demand);
+                }
+                let t1 = self.mds.submit(now, demand);
                 // The metadata bytes land on the OST of their offset.
                 let layout = self.files[req.file as usize].layout;
                 let ost = layout.ost_of_stripe(layout.stripe_of(req.offset));
@@ -815,6 +831,26 @@ impl FsSim {
                 )
             };
 
+            let bytes = rpc.len as u64;
+            let layout = self.files[file as usize].layout;
+            let ost = layout.ost_of_stripe(layout.stripe_of(rpc.offset));
+            // Fault hooks (inert when no injector is installed): extra
+            // per-stage demand plus a client-side drop/retry delay before
+            // the RPC is (re)transmitted.
+            let (drop_delay, nic_x, fab_x, ost_x) = match self.fault.as_deref_mut() {
+                Some(f) => (
+                    f.rpc_drop_delay(now),
+                    f.nic_extra(now, node_id, SimSpan::for_bytes(bytes, self.cfg.nic_bw)),
+                    f.fabric_extra(now, SimSpan::for_bytes(bytes, self.cfg.fabric_bw)),
+                    f.ost_extra(
+                        now,
+                        ost,
+                        SimSpan::for_bytes(bytes, self.cfg.ost_bw),
+                        !is_write,
+                    ),
+                ),
+                None => (SimSpan::ZERO, SimSpan::ZERO, SimSpan::ZERO, SimSpan::ZERO),
+            };
             // Lock revocation serializes through the DLM before the data
             // moves.
             let start = if rpc.revoke {
@@ -825,24 +861,26 @@ impl FsSim {
             };
             let t_nic = self.nodes[node_id as usize]
                 .nic
-                .submit(start, SimSpan::for_bytes(rpc.len as u64, self.cfg.nic_bw));
-            let t_fab = self.fabric.submit(
-                t_nic,
-                SimSpan::for_bytes(rpc.len as u64, self.cfg.fabric_bw),
-            );
-            let layout = self.files[file as usize].layout;
-            let ost = layout.ost_of_stripe(layout.stripe_of(rpc.offset));
+                .submit(start, SimSpan::for_bytes(bytes, self.cfg.nic_bw));
+            let t_fab = self
+                .fabric
+                .submit(t_nic, SimSpan::for_bytes(bytes, self.cfg.fabric_bw) + fab_x);
             let t_ost = self.osts[ost].submit(
                 t_fab,
-                rpc.len as u64,
+                bytes,
                 stream,
                 !is_write,
                 noise,
-                rpc.ost_extra,
+                rpc.ost_extra + ost_x,
                 &self.cfg,
                 &mut self.rng,
             );
-            let done = t_ost + rpc.local_extra;
+            // Drop/retry waits and the straggler-NIC excess are
+            // client-visible latency only: with eager completion-time
+            // reservations, charging them to the shared pipeline would
+            // let one sick client stall the global fabric FIFO behind
+            // its future start times.
+            let done = t_ost + rpc.local_extra + drop_delay + nic_x;
             self.stats.data_rpcs += 1;
             if is_write {
                 self.node_wr_outstanding[node_id as usize] += 1;
@@ -1160,9 +1198,9 @@ mod tests {
             req(4, 1, f, IoKind::Write, 3 * MB / 2, 3 * MB / 2),
         );
         sim.run();
-        let (_, conflicts, rmws) = sim.world.fs.lock_stats();
-        assert!(conflicts >= 1, "boundary stripe must conflict");
-        assert!(rmws >= 1, "partial boundary stripe needs RMW");
+        let locks = sim.world.fs.lock_stats();
+        assert!(locks.contended >= 1, "boundary stripe must conflict");
+        assert!(locks.revoked >= 1, "partial boundary stripe needs RMW");
         // Both writes are small unaligned shared-file writes: sync.
         assert_eq!(sim.world.fs.stats().sync_writes, 2);
     }
@@ -1182,8 +1220,7 @@ mod tests {
             req(4, 1, f, IoKind::Write, 2 * MB, 2 * MB),
         );
         sim.run();
-        let (_, conflicts, _) = sim.world.fs.lock_stats();
-        assert_eq!(conflicts, 0);
+        assert_eq!(sim.world.fs.lock_stats().contended, 0);
         assert_eq!(sim.world.fs.stats().sync_writes, 0);
     }
 

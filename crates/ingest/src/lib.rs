@@ -7,19 +7,19 @@
 //! that pipeline:
 //!
 //! * [`sketch`] — mergeable building blocks: a log-bucketed
-//!   [`QuantileSketch`](sketch::QuantileSketch), a weighted Space-Saving
-//!   [`HeavyHitters`](sketch::HeavyHitters) sketch, and the shared
-//!   [`OnlineMoments`](sketch::OnlineMoments) / log-histogram from
+//!   [`sketch::QuantileSketch`], a weighted Space-Saving
+//!   [`sketch::HeavyHitters`] sketch, and the shared
+//!   [`sketch::OnlineMoments`] / log-histogram from
 //!   `pio-des`. Merging two sketches equals accumulating the
 //!   concatenated stream, which makes sharding safe.
 //! * [`shard`] — per-`(call kind, rank group, phase)` accumulators and
-//!   the merged [`EnsembleSnapshot`](shard::EnsembleSnapshot), whose
+//!   the merged [`shard::EnsembleSnapshot`], whose
 //!   memory is O(shards × bins) regardless of event count.
 //! * [`pipeline`] — the concurrent bounded-memory
-//!   [`IngestPipeline`](pipeline::IngestPipeline): producers fan records
+//!   [`pipeline::IngestPipeline`]: producers fan records
 //!   over bounded channels (explicit backpressure: block or
 //!   drop-and-count) into worker-owned shards.
-//! * [`diagnose`] — the [`StreamDiagnoser`](diagnose::StreamDiagnoser):
+//! * [`diagnose`] — the [`diagnose::StreamDiagnoser`]:
 //!   incremental versions of the `pio-core` detectors over tumbling
 //!   windows and barrier boundaries, raising the paper's findings
 //!   mid-run through the same verdict functions as the batch path.

@@ -202,10 +202,10 @@ impl EnsembleSnapshot {
         }
         let raw: Vec<(f64, f64)> = (0..hist.bins())
             .map(|i| {
-                let (l, r) = hist.bin_edges(i);
+                let e = hist.bin_edges(i);
                 (
                     hist.bin_center(i),
-                    hist.counts()[i] as f64 / (total * (r - l)),
+                    hist.counts()[i] as f64 / (total * (e.right - e.left)),
                 )
             })
             .collect();

@@ -1,6 +1,6 @@
 //! Mergeable streaming sketches.
 //!
-//! Everything here satisfies the same law as [`LogHistogram`]: merging
+//! Everything here satisfies the same law as [`pio_des::hist::LogHistogram`]: merging
 //! two sketches built from disjoint streams gives the same state (counts
 //! exactly, float accumulators up to rounding) as one sketch fed the
 //! concatenated stream. That law is what makes sharded ingestion safe —

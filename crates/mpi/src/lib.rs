@@ -12,13 +12,15 @@
 //!   file table.
 //! * [`world`] — the discrete-event world: rank scheduling, barrier
 //!   bookkeeping, send/recv matching, fd tables, trace recording.
-//! * [`runner`] — one-call execution: job + platform + seed → trace.
+//! * [`runner`] — the [`Runner`] builder: job + platform + seeds →
+//!   one [`RunReport`] per run, buffered or streaming, serial or
+//!   parallel, with optional deterministic fault injection.
 
 pub mod program;
 pub mod runner;
 pub mod world;
 
 pub use program::{FileSpec, Job, Op, Program, ProgramBuilder};
-pub use runner::{
-    run, run_ensemble, run_streaming, MpiConfig, RunConfig, RunError, RunResult, StreamRunResult,
-};
+#[allow(deprecated)]
+pub use runner::{run, run_ensemble, run_ensemble_parallel, run_streaming};
+pub use runner::{MpiConfig, RunConfig, RunError, RunReport, RunResult, Runner, StreamRunResult};

@@ -1,10 +1,28 @@
-//! One-call job execution: job + platform + seed → trace.
+//! Job execution: a [`Runner`] builder drives one or many seeded
+//! simulations of a job — buffered or streaming, serial or one thread
+//! per run, with or without an injected fault plan — and returns one
+//! [`RunReport`] per seed.
+//!
+//! ```no_run
+//! # use pio_mpi::{Runner, RunConfig, Job};
+//! # use pio_fs::FsConfig;
+//! # let job: Job = todo!();
+//! let reports = Runner::new(&job, RunConfig::new(FsConfig::tiny_test(), 0, "exp"))
+//!     .seeds(&[1, 2, 3])
+//!     .threads(3)
+//!     .execute()?;
+//! # Ok::<(), pio_mpi::RunError>(())
+//! ```
+//!
+//! The historical free functions (`run`, `run_streaming`, `run_ensemble`,
+//! `run_ensemble_parallel`) survive as thin deprecated wrappers.
 
 use crate::program::Job;
 use crate::world::MpiWorld;
 use pio_des::{SimTime, Simulator};
+use pio_fault::FaultPlan;
 use pio_fs::sim::UtilizationReport;
-use pio_fs::{FsConfig, FsSim, FsStats};
+use pio_fs::{FsConfig, FsSim, FsStats, LockStats};
 use pio_trace::{RecordSink, Trace, TraceMeta};
 
 pub use crate::world::MpiConfig;
@@ -20,17 +38,28 @@ pub struct RunConfig {
     pub seed: u64,
     /// Experiment label for the trace metadata.
     pub experiment: String,
+    /// Optional fault plan. `None` (and the empty plan) leave the
+    /// simulation bit-identical to a build without the fault layer.
+    pub fault: Option<FaultPlan>,
 }
 
 impl RunConfig {
-    /// A run of `experiment` on `fs` with `seed` and default MPI costs.
+    /// A run of `experiment` on `fs` with `seed`, default MPI costs and
+    /// no faults.
     pub fn new(fs: FsConfig, seed: u64, experiment: impl Into<String>) -> Self {
         RunConfig {
             fs,
             mpi: MpiConfig::default(),
             seed,
             experiment: experiment.into(),
+            fault: None,
         }
+    }
+
+    /// The same run with a fault plan installed (builder style).
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
     }
 }
 
@@ -42,6 +71,9 @@ pub enum RunError {
     /// The event queue drained with unfinished ranks (e.g. a recv whose
     /// send never happens). Lists `(rank, pc)` of stuck ranks.
     Deadlock(Vec<(u32, usize)>),
+    /// The [`Runner`] was configured inconsistently (e.g. a sink with
+    /// several seeds).
+    Config(String),
 }
 
 impl std::fmt::Display for RunError {
@@ -56,21 +88,27 @@ impl std::fmt::Display for RunError {
                     stuck.first()
                 )
             }
+            RunError::Config(e) => write!(f, "invalid runner configuration: {e}"),
         }
     }
 }
 
 impl std::error::Error for RunError {}
 
-/// The outcome of a run.
+/// The outcome of one seeded run.
 #[derive(Debug)]
-pub struct RunResult {
-    /// The captured IPM-I/O trace.
-    pub trace: Trace,
+pub struct RunReport {
+    /// The seed this run used.
+    pub seed: u64,
+    /// Trace metadata (always present, even when records went to a sink).
+    pub meta: TraceMeta,
+    /// The captured IPM-I/O trace, sorted by start time — `None` when
+    /// the run streamed its records into a sink instead of memory.
+    pub trace: Option<Trace>,
     /// File-system statistics.
     pub stats: FsStats,
-    /// Lock statistics: (grants, conflicts, rmws).
-    pub lock_stats: (u64, u64, u64),
+    /// Extent-lock statistics.
+    pub lock_stats: LockStats,
     /// Resource-utilization breakdown at run end.
     pub util: UtilizationReport,
     /// Events processed by the engine.
@@ -79,33 +117,136 @@ pub struct RunResult {
     pub end: SimTime,
 }
 
-impl RunResult {
+impl RunReport {
     /// Wall-clock of the run in seconds.
     pub fn wall_secs(&self) -> f64 {
         self.end.as_secs_f64()
     }
+
+    /// The buffered trace. Panics if the run streamed into a sink — a
+    /// streamed run's records live wherever the sink put them.
+    pub fn trace(&self) -> &Trace {
+        self.trace
+            .as_ref()
+            .expect("this run streamed its records into a sink; no buffered trace")
+    }
+
+    /// Take ownership of the buffered trace (panics if streamed).
+    pub fn into_trace(self) -> Trace {
+        self.trace
+            .expect("this run streamed its records into a sink; no buffered trace")
+    }
 }
 
-/// The outcome of a streaming run: everything in [`RunResult`] except
-/// the trace, which went to the caller's sink instead of memory.
-#[derive(Debug)]
-pub struct StreamRunResult {
-    /// Trace metadata (the records themselves went to the sink).
-    pub meta: TraceMeta,
-    /// File-system statistics.
-    pub stats: FsStats,
-    /// Lock statistics: (grants, conflicts, rmws).
-    pub lock_stats: (u64, u64, u64),
-    /// Resource-utilization breakdown at run end.
-    pub util: UtilizationReport,
-    /// Events processed by the engine.
-    pub events: u64,
-    /// Virtual end time of the run.
-    pub end: SimTime,
+/// Builder for executing a job one or more times.
+///
+/// * [`Runner::seeds`] — run once per seed (default: the config's seed).
+/// * [`Runner::threads`] — worker threads for multi-seed ensembles
+///   (runs are independent simulations; results come back in seed
+///   order regardless of completion order).
+/// * [`Runner::sink`] — stream records into a [`RecordSink`] instead of
+///   buffering a trace (constant memory; single seed only).
+/// * [`Runner::fault_plan`] — inject a deterministic [`FaultPlan`].
+pub struct Runner<'j, 's> {
+    job: &'j Job,
+    cfg: RunConfig,
+    seeds: Vec<u64>,
+    threads: usize,
+    sink: Option<&'s mut dyn RecordSink>,
+}
+
+impl<'j, 's> Runner<'j, 's> {
+    /// A runner for `job` under `cfg`, defaulting to one buffered,
+    /// serial run with `cfg.seed`.
+    pub fn new(job: &'j Job, cfg: RunConfig) -> Self {
+        Runner {
+            job,
+            seeds: vec![cfg.seed],
+            cfg,
+            threads: 1,
+            sink: None,
+        }
+    }
+
+    /// Run once per seed — the paper's "ensemble of runs" construction.
+    pub fn seeds(mut self, seeds: &[u64]) -> Self {
+        self.seeds = seeds.to_vec();
+        self
+    }
+
+    /// Use up to `n` worker threads for multi-seed ensembles (values
+    /// below 1 mean serial).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Stream every record into `sink` as the simulated call completes
+    /// instead of buffering a trace — the online capture mode (memory
+    /// stays constant in run length). Records arrive in completion
+    /// order; [`RecordSink::phase_end`] fires at every barrier release
+    /// and [`RecordSink::finish`] when the run ends. Streaming is
+    /// single-seed and single-threaded.
+    pub fn sink(mut self, sink: &'s mut dyn RecordSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Inject `plan` into every run (equivalent to
+    /// [`RunConfig::with_fault`]).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.cfg.fault = Some(plan);
+        self
+    }
+
+    /// Execute all configured runs, returning one report per seed, in
+    /// seed order.
+    pub fn execute(mut self) -> Result<Vec<RunReport>, RunError> {
+        self.job.validate().map_err(RunError::InvalidJob)?;
+        if self.seeds.is_empty() {
+            return Err(RunError::Config("no seeds to run".into()));
+        }
+        if self.sink.is_some() && self.seeds.len() > 1 {
+            return Err(RunError::Config(
+                "a sink receives exactly one run; use a single seed".into(),
+            ));
+        }
+        if let Some(sink) = self.sink.take() {
+            let cfg = RunConfig {
+                seed: self.seeds[0],
+                ..self.cfg.clone()
+            };
+            return Ok(vec![run_single_streaming(self.job, &cfg, sink)?]);
+        }
+        if self.threads > 1 && self.seeds.len() > 1 {
+            return execute_parallel(self.job, &self.cfg, &self.seeds, self.threads);
+        }
+        self.seeds
+            .iter()
+            .map(|&seed| {
+                let cfg = RunConfig {
+                    seed,
+                    ..self.cfg.clone()
+                };
+                run_single(self.job, &cfg)
+            })
+            .collect()
+    }
+
+    /// Execute a single-seed configuration and unwrap its one report.
+    pub fn execute_one(self) -> Result<RunReport, RunError> {
+        if self.seeds.len() != 1 {
+            return Err(RunError::Config(format!(
+                "execute_one needs exactly one seed, got {}",
+                self.seeds.len()
+            )));
+        }
+        Ok(self.execute()?.pop().expect("one report"))
+    }
 }
 
 /// Build the simulator for one run and execute it to completion.
-fn execute<'s>(
+fn build_and_run<'s>(
     job: &Job,
     cfg: &RunConfig,
     sink: Option<&'s mut dyn RecordSink>,
@@ -118,6 +259,12 @@ fn execute<'s>(
     for spec in &job.files {
         fs.register_file(spec.shared);
     }
+    // Empty plans install nothing, so `FaultPlan::new()` is exactly as
+    // inert as `None`.
+    let plan = cfg.fault.as_ref().filter(|p| !p.is_empty());
+    if let Some(plan) = plan {
+        fs.set_fault(Box::new(plan.fs_injector(cfg.seed)));
+    }
     let meta = TraceMeta {
         experiment: cfg.experiment.clone(),
         platform: cfg.fs.name.clone(),
@@ -125,6 +272,9 @@ fn execute<'s>(
         seed: cfg.seed,
     };
     let mut world = MpiWorld::new(job.clone(), fs, cfg.mpi.clone(), cfg.seed, meta);
+    if let Some(plan) = plan {
+        world.set_fault(Box::new(plan.mpi_injector(cfg.seed)));
+    }
     if let Some(sink) = sink {
         world.set_sink(sink);
     }
@@ -141,42 +291,42 @@ fn execute<'s>(
     Ok((sim, end))
 }
 
-/// Execute `job` under `cfg`.
-pub fn run(job: &Job, cfg: &RunConfig) -> Result<RunResult, RunError> {
-    let (mut sim, end) = execute(job, cfg, None, true)?;
+/// One buffered run.
+fn run_single(job: &Job, cfg: &RunConfig) -> Result<RunReport, RunError> {
+    let (mut sim, end) = build_and_run(job, cfg, None, true)?;
     let mut trace = std::mem::take(&mut sim.world.trace);
     trace.sort_by_start();
     debug_assert_eq!(trace.validate(), Ok(()));
-    Ok(RunResult {
+    Ok(RunReport {
+        seed: cfg.seed,
+        meta: trace.meta.clone(),
         stats: sim.world.fs.stats().clone(),
         lock_stats: sim.world.fs.lock_stats(),
         util: sim.world.fs.utilization(end),
-        trace,
+        trace: Some(trace),
         events: sim.processed(),
         end,
     })
 }
 
-/// Execute `job` under `cfg`, streaming every record into `sink` as the
-/// simulated call completes instead of buffering a trace — the online
-/// capture mode (memory stays constant in run length). Records arrive in
-/// completion order; [`RecordSink::phase_end`] fires at every barrier
-/// release, and [`RecordSink::finish`] when the run ends.
-pub fn run_streaming(
+/// One streaming run: records go to `sink`, the report carries no trace.
+fn run_single_streaming(
     job: &Job,
     cfg: &RunConfig,
     sink: &mut dyn RecordSink,
-) -> Result<StreamRunResult, RunError> {
+) -> Result<RunReport, RunError> {
     let meta = TraceMeta {
         experiment: cfg.experiment.clone(),
         platform: cfg.fs.name.clone(),
         ranks: job.ranks(),
         seed: cfg.seed,
     };
-    let (sim, end) = execute(job, cfg, Some(&mut *sink), false)?;
+    let (sim, end) = build_and_run(job, cfg, Some(&mut *sink), false)?;
     let final_phase = sim.world.phase();
-    let result = StreamRunResult {
+    let report = RunReport {
+        seed: cfg.seed,
         meta,
+        trace: None,
         stats: sim.world.fs.stats().clone(),
         lock_stats: sim.world.fs.lock_stats(),
         util: sim.world.fs.utilization(end),
@@ -188,42 +338,38 @@ pub fn run_streaming(
     // implicitly closed phase.
     sink.phase_end(final_phase);
     sink.finish();
-    Ok(result)
+    Ok(report)
 }
 
-/// Run the same experiment with several seeds, returning one trace per
-/// run — the paper's "ensemble of runs" construction.
-pub fn run_ensemble(job: &Job, base: &RunConfig, seeds: &[u64]) -> Result<Vec<Trace>, RunError> {
-    seeds
-        .iter()
-        .map(|&seed| {
-            let cfg = RunConfig {
-                seed,
-                ..base.clone()
-            };
-            run(job, &cfg).map(|r| r.trace)
-        })
-        .collect()
-}
-
-/// [`run_ensemble`] with one OS thread per run (runs are independent
-/// simulations, so the ensemble parallelizes perfectly). Results come
-/// back in seed order regardless of completion order.
-pub fn run_ensemble_parallel(
+/// Multi-seed execution over up to `threads` OS threads (runs are
+/// independent simulations, so the ensemble parallelizes perfectly).
+/// Reports come back in seed order regardless of completion order.
+fn execute_parallel(
     job: &Job,
     base: &RunConfig,
     seeds: &[u64],
-) -> Result<Vec<Trace>, RunError> {
-    job.validate().map_err(RunError::InvalidJob)?;
-    let results: Vec<Result<Trace, RunError>> = crossbeam::thread::scope(|scope| {
+    threads: usize,
+) -> Result<Vec<RunReport>, RunError> {
+    let per_chunk = seeds.len().div_ceil(threads.min(seeds.len()));
+    let chunked: Vec<Vec<Result<RunReport, RunError>>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = seeds
-            .iter()
-            .map(|&seed| {
-                let cfg = RunConfig {
-                    seed,
-                    ..base.clone()
-                };
-                scope.spawn(move |_| run(job, &cfg).map(|r| r.trace))
+            .chunks(per_chunk)
+            .map(|chunk| {
+                let cfg = base.clone();
+                scope.spawn(move |_| {
+                    chunk
+                        .iter()
+                        .map(|&seed| {
+                            run_single(
+                                job,
+                                &RunConfig {
+                                    seed,
+                                    ..cfg.clone()
+                                },
+                            )
+                        })
+                        .collect()
+                })
             })
             .collect();
         handles
@@ -232,7 +378,127 @@ pub fn run_ensemble_parallel(
             .collect()
     })
     .expect("ensemble scope");
-    results.into_iter().collect()
+    chunked.into_iter().flatten().collect()
+}
+
+/// The outcome of a run under the deprecated [`run`] entry point.
+#[derive(Debug)]
+pub struct RunResult {
+    /// The captured IPM-I/O trace.
+    pub trace: Trace,
+    /// File-system statistics.
+    pub stats: FsStats,
+    /// Extent-lock statistics.
+    pub lock_stats: LockStats,
+    /// Resource-utilization breakdown at run end.
+    pub util: UtilizationReport,
+    /// Events processed by the engine.
+    pub events: u64,
+    /// Virtual end time of the run.
+    pub end: SimTime,
+}
+
+impl RunResult {
+    /// Wall-clock of the run in seconds.
+    pub fn wall_secs(&self) -> f64 {
+        self.end.as_secs_f64()
+    }
+}
+
+/// The outcome of a run under the deprecated [`run_streaming`] entry
+/// point: everything in [`RunResult`] except the trace, which went to
+/// the caller's sink instead of memory.
+#[derive(Debug)]
+pub struct StreamRunResult {
+    /// Trace metadata (the records themselves went to the sink).
+    pub meta: TraceMeta,
+    /// File-system statistics.
+    pub stats: FsStats,
+    /// Extent-lock statistics.
+    pub lock_stats: LockStats,
+    /// Resource-utilization breakdown at run end.
+    pub util: UtilizationReport,
+    /// Events processed by the engine.
+    pub events: u64,
+    /// Virtual end time of the run.
+    pub end: SimTime,
+}
+
+/// Execute `job` under `cfg`.
+#[deprecated(note = "use Runner::new(job, cfg.clone()).execute_one()")]
+pub fn run(job: &Job, cfg: &RunConfig) -> Result<RunResult, RunError> {
+    let report = Runner::new(job, cfg.clone()).execute_one()?;
+    let RunReport {
+        trace,
+        stats,
+        lock_stats,
+        util,
+        events,
+        end,
+        ..
+    } = report;
+    Ok(RunResult {
+        trace: trace.expect("buffered run has a trace"),
+        stats,
+        lock_stats,
+        util,
+        events,
+        end,
+    })
+}
+
+/// Execute `job` under `cfg`, streaming records into `sink`.
+#[deprecated(note = "use Runner::new(job, cfg.clone()).sink(sink).execute_one()")]
+pub fn run_streaming(
+    job: &Job,
+    cfg: &RunConfig,
+    sink: &mut dyn RecordSink,
+) -> Result<StreamRunResult, RunError> {
+    let report = Runner::new(job, cfg.clone()).sink(sink).execute_one()?;
+    let RunReport {
+        meta,
+        stats,
+        lock_stats,
+        util,
+        events,
+        end,
+        ..
+    } = report;
+    Ok(StreamRunResult {
+        meta,
+        stats,
+        lock_stats,
+        util,
+        events,
+        end,
+    })
+}
+
+/// Run the same experiment with several seeds, one trace per run.
+#[deprecated(note = "use Runner::new(job, base.clone()).seeds(seeds).execute()")]
+pub fn run_ensemble(job: &Job, base: &RunConfig, seeds: &[u64]) -> Result<Vec<Trace>, RunError> {
+    Ok(Runner::new(job, base.clone())
+        .seeds(seeds)
+        .execute()?
+        .into_iter()
+        .map(RunReport::into_trace)
+        .collect())
+}
+
+/// [`run_ensemble`] with one OS thread per run.
+#[deprecated(note = "use Runner::new(job, base.clone()).seeds(seeds).threads(n).execute()")]
+pub fn run_ensemble_parallel(
+    job: &Job,
+    base: &RunConfig,
+    seeds: &[u64],
+) -> Result<Vec<Trace>, RunError> {
+    Ok(Runner::new(job, base.clone())
+        .seeds(seeds)
+        .threads(seeds.len().max(1))
+        .execute()?
+        .into_iter()
+        .map(RunReport::into_trace)
+        .collect())
 }
 
 #[cfg(test)]
@@ -266,24 +532,28 @@ mod tests {
         RunConfig::new(FsConfig::tiny_test(), seed, "unit")
     }
 
+    fn go(job: &Job, config: RunConfig) -> RunReport {
+        Runner::new(job, config).execute_one().unwrap()
+    }
+
     #[test]
     fn simple_job_runs_to_completion() {
         let job = simple_job(8, 4);
-        let res = run(&job, &cfg(1)).unwrap();
-        assert_eq!(res.trace.meta.ranks, 8);
+        let res = go(&job, cfg(1));
+        assert_eq!(res.trace().meta.ranks, 8);
         // 8 ranks × (open, seek, write, barrier, flush, close) = 48 records.
-        assert_eq!(res.trace.records.len(), 48);
+        assert_eq!(res.trace().records.len(), 48);
         assert_eq!(res.stats.bytes_written, 8 * 4 * MB);
         assert!(res.end > SimTime::ZERO);
-        res.trace.validate().unwrap();
+        res.trace().validate().unwrap();
     }
 
     #[test]
     fn trace_has_correct_phases() {
         let job = simple_job(4, 2);
-        let res = run(&job, &cfg(2)).unwrap();
+        let res = go(&job, cfg(2));
         // Ops before the barrier are phase 0; flush/close are phase 1.
-        for r in &res.trace.records {
+        for r in &res.trace().records {
             match r.call {
                 CallKind::Open | CallKind::Seek | CallKind::Write | CallKind::Barrier => {
                     assert_eq!(r.phase, 0, "{r:?}")
@@ -292,25 +562,25 @@ mod tests {
                 _ => {}
             }
         }
-        assert_eq!(res.trace.phase_count(), 2);
+        assert_eq!(res.trace().phase_count(), 2);
     }
 
     #[test]
     fn same_seed_reproduces_exactly() {
         let job = simple_job(8, 4);
-        let a = run(&job, &cfg(7)).unwrap();
-        let b = run(&job, &cfg(7)).unwrap();
-        assert_eq!(a.trace.records, b.trace.records);
+        let a = go(&job, cfg(7));
+        let b = go(&job, cfg(7));
+        assert_eq!(a.trace().records, b.trace().records);
         assert_eq!(a.end, b.end);
     }
 
     #[test]
     fn different_seeds_differ_but_same_shape() {
         let job = simple_job(8, 4);
-        let a = run(&job, &cfg(1)).unwrap();
-        let b = run(&job, &cfg(2)).unwrap();
-        assert_ne!(a.trace.records, b.trace.records);
-        assert_eq!(a.trace.records.len(), b.trace.records.len());
+        let a = go(&job, cfg(1));
+        let b = go(&job, cfg(2));
+        assert_ne!(a.trace().records, b.trace().records);
+        assert_eq!(a.trace().records.len(), b.trace().records.len());
         // Total bytes identical (the experiment, not the run, fixes them).
         assert_eq!(a.stats.bytes_written, b.stats.bytes_written);
     }
@@ -318,10 +588,10 @@ mod tests {
     #[test]
     fn barrier_synchronizes_ranks() {
         let job = simple_job(4, 2);
-        let res = run(&job, &cfg(3)).unwrap();
+        let res = go(&job, cfg(3));
         // All barrier records end at the same instant.
         let ends: Vec<u64> = res
-            .trace
+            .trace()
             .of_kind(CallKind::Barrier)
             .map(|r| r.end_ns)
             .collect();
@@ -329,7 +599,7 @@ mod tests {
         assert!(ends.windows(2).all(|w| w[0] == w[1]));
         // And that instant is ≥ every pre-barrier write end.
         let max_write = res
-            .trace
+            .trace()
             .of_kind(CallKind::Write)
             .map(|r| r.end_ns)
             .max()
@@ -345,9 +615,9 @@ mod tests {
             programs: vec![p0, p1],
             files: vec![],
         };
-        let res = run(&job, &cfg(4)).unwrap();
-        let send: Vec<_> = res.trace.of_kind(CallKind::Send).collect();
-        let recv: Vec<_> = res.trace.of_kind(CallKind::Recv).collect();
+        let res = go(&job, cfg(4));
+        let send: Vec<_> = res.trace().of_kind(CallKind::Send).collect();
+        let recv: Vec<_> = res.trace().of_kind(CallKind::Recv).collect();
         assert_eq!(send.len(), 1);
         assert_eq!(recv.len(), 1);
         // Recv cannot complete before the send does.
@@ -367,8 +637,9 @@ mod tests {
             programs: vec![p0, p1],
             files: vec![],
         };
-        let res = run(&job, &cfg(5)).unwrap();
-        let recv = res.trace.of_kind(CallKind::Recv).next().unwrap();
+        let res = go(&job, cfg(5));
+        let binding = res.trace();
+        let recv = binding.of_kind(CallKind::Recv).next().unwrap();
         assert!(recv.secs() >= 0.99, "recv must wait for the send: {recv:?}");
     }
 
@@ -380,13 +651,16 @@ mod tests {
             programs: vec![p0, p1],
             files: vec![],
         };
-        assert!(matches!(run(&job, &cfg(6)), Err(RunError::InvalidJob(_))));
+        assert!(matches!(
+            Runner::new(&job, cfg(6)).execute(),
+            Err(RunError::InvalidJob(_))
+        ));
     }
 
     #[test]
     fn utilization_report_accounts_for_the_run() {
         let job = simple_job(8, 4);
-        let res = run(&job, &cfg(31)).unwrap();
+        let res = go(&job, cfg(31));
         let u = &res.util;
         assert!(u.horizon_s > 0.0);
         // Bytes served by OSTs equal bytes written (all drained by flush).
@@ -401,15 +675,18 @@ mod tests {
     #[test]
     fn streaming_run_matches_buffered_run() {
         let job = simple_job(8, 4);
-        let config = cfg(21);
-        let buffered = run(&job, &config).unwrap();
+        let buffered = go(&job, cfg(21));
 
         // Collect through the streaming path into an in-memory trace.
-        let mut collected = Trace::new(buffered.trace.meta.clone());
-        let res = run_streaming(&job, &config, &mut collected).unwrap();
+        let mut collected = Trace::new(buffered.trace().meta.clone());
+        let res = Runner::new(&job, cfg(21))
+            .sink(&mut collected)
+            .execute_one()
+            .unwrap();
         collected.sort_by_start();
-        assert_eq!(collected.records, buffered.trace.records);
-        assert_eq!(res.meta, buffered.trace.meta);
+        assert_eq!(collected.records, buffered.trace().records);
+        assert_eq!(res.meta, buffered.trace().meta);
+        assert!(res.trace.is_none(), "streamed run buffers nothing");
         assert_eq!(res.end, buffered.end);
         assert_eq!(res.stats.bytes_written, buffered.stats.bytes_written);
     }
@@ -435,7 +712,10 @@ mod tests {
         }
         let job = simple_job(4, 2);
         let mut log = Log::default();
-        run_streaming(&job, &cfg(22), &mut log).unwrap();
+        Runner::new(&job, cfg(22))
+            .sink(&mut log)
+            .execute_one()
+            .unwrap();
         // 4 ranks × 6 ops = 24 records; one barrier then the final tail.
         assert_eq!(log.pushes, 24);
         assert_eq!(log.phase_ends, vec![0, 1]);
@@ -445,23 +725,85 @@ mod tests {
     #[test]
     fn parallel_ensemble_matches_serial() {
         let job = simple_job(4, 2);
-        let base = cfg(0);
         let seeds = [5u64, 6, 7];
-        let serial = run_ensemble(&job, &base, &seeds).unwrap();
-        let parallel = run_ensemble_parallel(&job, &base, &seeds).unwrap();
+        let serial = Runner::new(&job, cfg(0)).seeds(&seeds).execute().unwrap();
+        let parallel = Runner::new(&job, cfg(0))
+            .seeds(&seeds)
+            .threads(3)
+            .execute()
+            .unwrap();
         assert_eq!(serial.len(), parallel.len());
         for (a, b) in serial.iter().zip(&parallel) {
-            assert_eq!(a.records, b.records, "parallel must be bit-identical");
+            assert_eq!(a.seed, b.seed, "seed order preserved");
+            assert_eq!(
+                a.trace().records,
+                b.trace().records,
+                "parallel must be bit-identical"
+            );
         }
     }
 
     #[test]
     fn ensemble_runs_all_seeds() {
         let job = simple_job(4, 1);
-        let traces = run_ensemble(&job, &cfg(0), &[1, 2, 3]).unwrap();
-        assert_eq!(traces.len(), 3);
-        assert_eq!(traces[0].meta.seed, 1);
-        assert_eq!(traces[2].meta.seed, 3);
+        let reports = Runner::new(&job, cfg(0))
+            .seeds(&[1, 2, 3])
+            .execute()
+            .unwrap();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].meta.seed, 1);
+        assert_eq!(reports[2].meta.seed, 3);
+    }
+
+    #[test]
+    fn sink_with_many_seeds_is_a_config_error() {
+        let job = simple_job(2, 1);
+        let mut collected = Trace::new(TraceMeta {
+            experiment: "x".into(),
+            platform: "y".into(),
+            ranks: 2,
+            seed: 0,
+        });
+        let err = Runner::new(&job, cfg(1))
+            .seeds(&[1, 2])
+            .sink(&mut collected)
+            .execute()
+            .unwrap_err();
+        assert!(matches!(err, RunError::Config(_)), "{err}");
+        let err = Runner::new(&job, cfg(1)).seeds(&[]).execute().unwrap_err();
+        assert!(matches!(err, RunError::Config(_)), "{err}");
+        let err = Runner::new(&job, cfg(1))
+            .seeds(&[1, 2])
+            .execute_one()
+            .unwrap_err();
+        assert!(matches!(err, RunError::Config(_)), "{err}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_runner() {
+        let job = simple_job(4, 2);
+        let new = go(&job, cfg(13));
+        let old = run(&job, &cfg(13)).unwrap();
+        assert_eq!(old.trace.records, new.trace().records);
+        assert_eq!(old.lock_stats, new.lock_stats);
+        assert_eq!(old.end, new.end);
+        assert_eq!(old.wall_secs(), new.wall_secs());
+
+        let seeds = [3u64, 4];
+        let ens = run_ensemble(&job, &cfg(0), &seeds).unwrap();
+        let par = run_ensemble_parallel(&job, &cfg(0), &seeds).unwrap();
+        let via_runner = Runner::new(&job, cfg(0)).seeds(&seeds).execute().unwrap();
+        for ((a, b), c) in ens.iter().zip(&par).zip(&via_runner) {
+            assert_eq!(a.records, b.records);
+            assert_eq!(a.records, c.trace().records);
+        }
+
+        let mut collected = Trace::new(new.meta.clone());
+        let streamed = run_streaming(&job, &cfg(13), &mut collected).unwrap();
+        collected.sort_by_start();
+        assert_eq!(collected.records, new.trace().records);
+        assert_eq!(streamed.meta, new.meta);
     }
 
     #[test]
@@ -473,8 +815,9 @@ mod tests {
             programs: vec![p],
             files: vec![],
         };
-        let res = run(&job, &cfg(8)).unwrap();
-        let c = res.trace.of_kind(CallKind::Compute).next().unwrap();
+        let res = go(&job, cfg(8));
+        let binding = res.trace();
+        let c = binding.of_kind(CallKind::Compute).next().unwrap();
         assert!((c.secs() - 2.0).abs() < 1e-9);
         assert!((res.wall_secs() - 2.0).abs() < 1e-2);
     }
@@ -492,9 +835,9 @@ mod tests {
             programs: vec![p],
             files: vec![FileSpec { shared: false }],
         };
-        let res = run(&job, &cfg(9)).unwrap();
+        let res = go(&job, cfg(9));
         let offsets: Vec<u64> = res
-            .trace
+            .trace()
             .of_kind(CallKind::Write)
             .map(|r| r.offset)
             .collect();
@@ -515,12 +858,12 @@ mod tests {
             programs: vec![p],
             files: vec![FileSpec { shared: false }],
         };
-        let res = run(&job, &cfg(10)).unwrap();
+        let res = go(&job, cfg(10));
         assert_eq!(res.stats.bytes_read, 2 * MB);
         assert_eq!(res.stats.bytes_written, 2 * MB);
         assert_eq!(res.stats.flushes, 1);
         // Program order is preserved in the trace.
-        let kinds: Vec<CallKind> = res.trace.records.iter().map(|r| r.call).collect();
+        let kinds: Vec<CallKind> = res.trace().records.iter().map(|r| r.call).collect();
         let w = kinds.iter().position(|&k| k == CallKind::Write).unwrap();
         let f = kinds.iter().position(|&k| k == CallKind::Flush).unwrap();
         let r = kinds.iter().position(|&k| k == CallKind::Read).unwrap();
@@ -531,8 +874,8 @@ mod tests {
     fn many_ranks_over_many_nodes() {
         // 32 ranks on 8 nodes (tiny config: 4 tasks/node).
         let job = simple_job(32, 1);
-        let res = run(&job, &cfg(11)).unwrap();
-        assert_eq!(res.trace.meta.ranks, 32);
+        let res = go(&job, cfg(11));
+        assert_eq!(res.trace().meta.ranks, 32);
         assert_eq!(res.stats.bytes_written, 32 * MB);
         assert!(res.events > 0);
     }
@@ -550,9 +893,9 @@ mod tests {
             programs: vec![p],
             files: vec![FileSpec { shared: false }],
         };
-        let res = run(&job, &cfg(12)).unwrap();
+        let res = go(&job, cfg(12));
         let offsets: Vec<u64> = res
-            .trace
+            .trace()
             .of_kind(CallKind::Write)
             .map(|r| r.offset)
             .collect();

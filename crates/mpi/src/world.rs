@@ -3,6 +3,7 @@
 
 use crate::program::{Job, Op};
 use pio_des::{Scheduler, SimRng, SimSpan, SimTime, World};
+use pio_fs::fault::FaultInjector;
 use pio_fs::sim::FsOut;
 use pio_fs::{FsEvent, FsNotify, FsSim, IoKind, IoReq};
 use pio_trace::{CallKind, FdTable, Record, RecordSink, Trace, TraceMeta};
@@ -96,6 +97,11 @@ pub struct MpiWorld<'s> {
     rng: SimRng,
     finished: u32,
     fsout: FsOut,
+    /// Optional message-layer fault hooks (drop-with-retry delays on
+    /// point-to-point sends). `None` costs nothing — no hook calls, no
+    /// RNG draws — so fault-free runs are bit-identical to a build
+    /// without the fault layer.
+    fault: Option<Box<dyn FaultInjector>>,
 }
 
 impl<'s> MpiWorld<'s> {
@@ -129,7 +135,16 @@ impl<'s> MpiWorld<'s> {
             rng: SimRng::stream(seed, 0xA1),
             finished: 0,
             fsout: FsOut::new(),
+            fault: None,
         }
+    }
+
+    /// Install message-layer fault hooks (see [`pio_fs::fault`]). A
+    /// dropped message delays delivery by the injector's bounded
+    /// retransmit wait, so faults surface as right-tail send/recv
+    /// latency rather than deadlocks.
+    pub fn set_fault(&mut self, fault: Box<dyn FaultInjector>) {
+        self.fault = Some(fault);
     }
 
     /// Attach a streaming sink: every record is pushed as the call
@@ -480,8 +495,13 @@ impl<'s> MpiWorld<'s> {
                     return;
                 }
                 Op::Send { to, bytes } => {
-                    let cost = SimSpan::from_secs_f64(self.mpi.latency)
+                    let mut cost = SimSpan::from_secs_f64(self.mpi.latency)
                         + SimSpan::for_bytes(bytes, self.mpi.bw);
+                    if let Some(f) = self.fault.as_deref_mut() {
+                        // Transient message loss: each drop costs one
+                        // bounded retransmit timeout before delivery.
+                        cost += f.msg_drop_delay(now);
+                    }
                     let done = now + cost;
                     self.record(rank, CallKind::Send, -1, 0, bytes, now, done);
                     self.ranks[r].pc += 1;

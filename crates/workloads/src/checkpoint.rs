@@ -136,7 +136,11 @@ impl CheckpointConfig {
 mod tests {
     use super::*;
     use pio_fs::FsConfig;
-    use pio_mpi::{run, RunConfig};
+    use pio_mpi::{RunConfig, Runner};
+
+    fn run(job: &Job, cfg: RunConfig) -> pio_mpi::RunReport {
+        Runner::new(job, cfg).execute_one().unwrap()
+    }
     use pio_trace::CallKind;
 
     fn small(fpp: bool) -> CheckpointConfig {
@@ -155,11 +159,11 @@ mod tests {
         let cfg = small(false);
         let job = cfg.job();
         job.validate().unwrap();
-        let res = run(&job, &RunConfig::new(FsConfig::tiny_test(), 1, "ckpt")).unwrap();
+        let res = run(&job, RunConfig::new(FsConfig::tiny_test(), 1, "ckpt"));
         assert_eq!(res.stats.bytes_written, cfg.total_bytes_written());
         assert_eq!(res.stats.bytes_read, 8 * (8 << 20));
         assert_eq!(res.stats.flushes, 8 * 3);
-        res.trace.validate().unwrap();
+        res.trace().validate().unwrap();
     }
 
     #[test]
@@ -168,11 +172,10 @@ mod tests {
         assert_eq!(cfg.slot_bytes() % (1 << 20), 0);
         let res = run(
             &cfg.job(),
-            &RunConfig::new(FsConfig::tiny_test(), 2, "ckpt2"),
-        )
-        .unwrap();
+            RunConfig::new(FsConfig::tiny_test(), 2, "ckpt2"),
+        );
         assert_eq!(
-            res.lock_stats.1, 0,
+            res.lock_stats.contended, 0,
             "aligned exclusive slots never conflict"
         );
     }
@@ -182,7 +185,7 @@ mod tests {
         let cfg = small(true);
         let job = cfg.job();
         assert_eq!(job.files.len(), 8);
-        let res = run(&job, &RunConfig::new(FsConfig::tiny_test(), 3, "ckpt3")).unwrap();
+        let res = run(&job, RunConfig::new(FsConfig::tiny_test(), 3, "ckpt3"));
         assert_eq!(res.stats.bytes_written, cfg.total_bytes_written());
     }
 
@@ -194,19 +197,17 @@ mod tests {
         cfg.restart_read = false;
         let res = run(
             &cfg.job(),
-            &RunConfig::new(FsConfig::tiny_test(), 4, "ckpt4"),
-        )
-        .unwrap();
-        let frac = CheckpointConfig::io_fraction(&res.trace);
+            RunConfig::new(FsConfig::tiny_test(), 4, "ckpt4"),
+        );
+        let frac = CheckpointConfig::io_fraction(res.trace());
         assert!(frac > 0.0 && frac < 0.2, "{frac}");
         let mut busy = small(false);
         busy.compute = SimSpan::ZERO;
         let res2 = run(
             &busy.job(),
-            &RunConfig::new(FsConfig::tiny_test(), 4, "ckpt5"),
-        )
-        .unwrap();
-        assert_eq!(CheckpointConfig::io_fraction(&res2.trace), 1.0);
+            RunConfig::new(FsConfig::tiny_test(), 4, "ckpt5"),
+        );
+        assert_eq!(CheckpointConfig::io_fraction(res2.trace()), 1.0);
     }
 
     #[test]
@@ -216,12 +217,11 @@ mod tests {
         let cfg = small(false);
         let res = run(
             &cfg.job(),
-            &RunConfig::new(FsConfig::tiny_test(), 5, "ckpt6"),
-        )
-        .unwrap();
+            RunConfig::new(FsConfig::tiny_test(), 5, "ckpt6"),
+        );
         // Flush records exist in each epoch's phase.
         let flush_phases: std::collections::HashSet<u32> = res
-            .trace
+            .trace()
             .of_kind(CallKind::Flush)
             .map(|r| r.phase)
             .collect();

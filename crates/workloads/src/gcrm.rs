@@ -286,7 +286,11 @@ mod tests {
     use super::*;
     use pio_fs::FsConfig;
     use pio_mpi::program::Op;
-    use pio_mpi::{run, RunConfig};
+    use pio_mpi::{RunConfig, Runner};
+
+    fn run(job: &Job, cfg: RunConfig) -> pio_mpi::RunReport {
+        Runner::new(job, cfg).execute_one().unwrap()
+    }
     use pio_trace::CallKind;
 
     fn small(stage: GcrmStage) -> GcrmConfig {
@@ -319,14 +323,17 @@ mod tests {
         let job = cfg.job();
         job.validate().unwrap();
         assert_eq!(job.ranks(), 16);
-        let res = run(&job, &RunConfig::new(FsConfig::tiny_test(), 3, "gcrm-base")).unwrap();
+        let res = run(&job, RunConfig::new(FsConfig::tiny_test(), 3, "gcrm-base"));
         // Data payload all written (plus metadata on top).
         assert!(res.stats.bytes_written >= cfg.total_payload());
-        res.trace.validate().unwrap();
+        res.trace().validate().unwrap();
         // Unaligned shared records must conflict.
-        assert!(res.lock_stats.1 > 0, "expected lock conflicts");
+        assert!(res.lock_stats.contended > 0, "expected lock conflicts");
         // Metadata on rank 0 only.
-        assert!(res.trace.of_kind(CallKind::MetaWrite).all(|r| r.rank == 0));
+        assert!(res
+            .trace()
+            .of_kind(CallKind::MetaWrite)
+            .all(|r| r.rank == 0));
     }
 
     #[test]
@@ -334,17 +341,20 @@ mod tests {
         let cfg = small(GcrmStage::CollectiveBuffering { aggregators: 4 });
         let job = cfg.job();
         job.validate().unwrap();
-        let res = run(&job, &RunConfig::new(FsConfig::tiny_test(), 3, "gcrm-cb")).unwrap();
+        let res = run(&job, RunConfig::new(FsConfig::tiny_test(), 3, "gcrm-cb"));
         // Data-plane writes carry exactly the payload (metadata is
         // accounted separately as MetaWrite).
         assert_eq!(res.stats.bytes_written, cfg.total_payload());
-        assert!(res.trace.bytes_of(CallKind::MetaWrite) > 0);
+        assert!(res.trace().bytes_of(CallKind::MetaWrite) > 0);
         // Only aggregators write data.
-        let writers: std::collections::HashSet<u32> =
-            res.trace.of_kind(CallKind::Write).map(|r| r.rank).collect();
+        let writers: std::collections::HashSet<u32> = res
+            .trace()
+            .of_kind(CallKind::Write)
+            .map(|r| r.rank)
+            .collect();
         assert_eq!(writers.len(), 4);
         // Sends happened from non-aggregators.
-        assert!(res.trace.of_kind(CallKind::Send).count() > 0);
+        assert!(res.trace().of_kind(CallKind::Send).count() > 0);
     }
 
     #[test]
@@ -356,18 +366,19 @@ mod tests {
         });
         let ru = run(
             &unaligned.job(),
-            &RunConfig::new(FsConfig::tiny_test(), 5, "gcrm-unaligned"),
-        )
-        .unwrap();
+            RunConfig::new(FsConfig::tiny_test(), 5, "gcrm-unaligned"),
+        );
         let ra = run(
             &aligned.job(),
-            &RunConfig::new(FsConfig::tiny_test(), 5, "gcrm-aligned"),
-        )
-        .unwrap();
-        assert_eq!(ra.lock_stats.1, 0, "aligned writes must not conflict");
+            RunConfig::new(FsConfig::tiny_test(), 5, "gcrm-aligned"),
+        );
+        assert_eq!(
+            ra.lock_stats.contended, 0,
+            "aligned writes must not conflict"
+        );
         let _ = ru; // unaligned CB may conflict only at group boundaries
                     // All aligned write offsets are on MiB boundaries.
-        for r in ra.trace.of_kind(CallKind::Write) {
+        for r in ra.trace().of_kind(CallKind::Write) {
             assert_eq!(r.offset % (1 << 20), 0);
         }
     }
@@ -414,9 +425,8 @@ mod tests {
             let job = cfg.job();
             let res = run(
                 &job,
-                &RunConfig::new(FsConfig::tiny_test(), 11, format!("gcrm-s{stage}")),
-            )
-            .unwrap();
+                RunConfig::new(FsConfig::tiny_test(), 11, format!("gcrm-s{stage}")),
+            );
             times.push(res.wall_secs());
         }
         assert!(

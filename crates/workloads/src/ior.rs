@@ -129,7 +129,11 @@ impl IorConfig {
 mod tests {
     use super::*;
     use pio_fs::FsConfig;
-    use pio_mpi::{run, RunConfig};
+    use pio_mpi::{RunConfig, Runner};
+
+    fn run(job: &Job, cfg: RunConfig) -> pio_mpi::RunReport {
+        Runner::new(job, cfg).execute_one().unwrap()
+    }
     use pio_trace::CallKind;
 
     const MB: u64 = 1 << 20;
@@ -227,14 +231,13 @@ mod tests {
         };
         let res = run(
             &cfg.job(),
-            &RunConfig::new(FsConfig::tiny_test(), 1, "ior-test"),
-        )
-        .unwrap();
+            RunConfig::new(FsConfig::tiny_test(), 1, "ior-test"),
+        );
         assert_eq!(res.stats.bytes_written, cfg.total_bytes());
-        assert_eq!(res.trace.of_kind(CallKind::Write).count(), 16);
-        res.trace.validate().unwrap();
+        assert_eq!(res.trace().of_kind(CallKind::Write).count(), 16);
+        res.trace().validate().unwrap();
         // Aligned unique offsets on a shared file: no lock conflicts.
-        assert_eq!(res.lock_stats.1, 0);
+        assert_eq!(res.lock_stats.contended, 0);
     }
 
     #[test]
@@ -250,11 +253,13 @@ mod tests {
             };
             let res = run(
                 &cfg.job(),
-                &RunConfig::new(FsConfig::tiny_test(), k as u64, "ior-k"),
-            )
-            .unwrap();
+                RunConfig::new(FsConfig::tiny_test(), k as u64, "ior-k"),
+            );
             assert_eq!(res.stats.bytes_written, 4 * 8 * MB);
-            assert_eq!(res.trace.of_kind(CallKind::Write).count(), (4 * k) as usize);
+            assert_eq!(
+                res.trace().of_kind(CallKind::Write).count(),
+                (4 * k) as usize
+            );
         }
     }
 
@@ -301,11 +306,10 @@ mod tests {
         }
         let res = run(
             &cfg.job(),
-            &RunConfig::new(FsConfig::tiny_test(), 2, "ior-fpp"),
-        )
-        .unwrap();
+            RunConfig::new(FsConfig::tiny_test(), 2, "ior-fpp"),
+        );
         assert_eq!(res.stats.bytes_written, cfg.total_bytes());
-        assert_eq!(res.lock_stats.1, 0, "private files cannot conflict");
+        assert_eq!(res.lock_stats.contended, 0, "private files cannot conflict");
     }
 
     #[test]
@@ -320,14 +324,12 @@ mod tests {
         };
         let a = run(
             &mk(false).job(),
-            &RunConfig::new(FsConfig::tiny_test(), 3, "shared"),
-        )
-        .unwrap();
+            RunConfig::new(FsConfig::tiny_test(), 3, "shared"),
+        );
         let b = run(
             &mk(true).job(),
-            &RunConfig::new(FsConfig::tiny_test(), 3, "fpp"),
-        )
-        .unwrap();
+            RunConfig::new(FsConfig::tiny_test(), 3, "fpp"),
+        );
         assert_eq!(a.stats.bytes_written, b.stats.bytes_written);
     }
 

@@ -201,7 +201,11 @@ impl MadbenchConfig {
 mod tests {
     use super::*;
     use pio_fs::FsConfig;
-    use pio_mpi::{run, RunConfig};
+    use pio_mpi::{RunConfig, Runner};
+
+    fn run(job: &Job, cfg: RunConfig) -> pio_mpi::RunReport {
+        Runner::new(job, cfg).execute_one().unwrap()
+    }
     use pio_trace::CallKind;
 
     #[test]
@@ -260,14 +264,13 @@ mod tests {
         };
         let res = run(
             &cfg.job(),
-            &RunConfig::new(FsConfig::tiny_test(), 1, "madbench-test"),
-        )
-        .unwrap();
+            RunConfig::new(FsConfig::tiny_test(), 1, "madbench-test"),
+        );
         assert_eq!(res.stats.bytes_written, cfg.total_bytes_written());
         assert_eq!(res.stats.bytes_read, cfg.total_bytes_read());
-        res.trace.validate().unwrap();
+        res.trace().validate().unwrap();
         // No lock conflicts: regions are exclusive and gaps isolate slots.
-        assert_eq!(res.lock_stats.1, 0);
+        assert_eq!(res.lock_stats.contended, 0);
     }
 
     #[test]
@@ -290,8 +293,8 @@ mod tests {
         let mut patched = buggy.clone();
         patched.readahead.strided_detection = false;
 
-        let rb = run(&cfg.job(), &RunConfig::new(buggy, 7, "mb-buggy")).unwrap();
-        let rp = run(&cfg.job(), &RunConfig::new(patched, 7, "mb-patched")).unwrap();
+        let rb = run(&cfg.job(), RunConfig::new(buggy, 7, "mb-buggy"));
+        let rp = run(&cfg.job(), RunConfig::new(patched, 7, "mb-patched"));
         assert!(rb.stats.degraded_reads > 0, "bug must fire");
         assert_eq!(rp.stats.degraded_reads, 0, "patch must not");
         assert!(
@@ -302,12 +305,12 @@ mod tests {
         );
         // Degraded reads show up as a slow tail on read durations.
         let buggy_max = rb
-            .trace
+            .trace()
             .durations_of(CallKind::Read)
             .into_iter()
             .fold(0.0f64, f64::max);
         let patched_max = rp
-            .trace
+            .trace()
             .durations_of(CallKind::Read)
             .into_iter()
             .fold(0.0f64, f64::max);
@@ -329,10 +332,9 @@ mod tests {
         assert_eq!(cfg.middle_phase(), 4);
         let res = run(
             &cfg.job(),
-            &RunConfig::new(FsConfig::tiny_test(), 2, "mb-group"),
-        )
-        .unwrap();
-        let groups = cfg.middle_reads_by_index(&res.trace);
+            RunConfig::new(FsConfig::tiny_test(), 2, "mb-group"),
+        );
+        let groups = cfg.middle_reads_by_index(res.trace());
         assert_eq!(groups.len(), 3);
         for g in &groups {
             assert_eq!(g.len(), 4, "each rank contributes one read per index");

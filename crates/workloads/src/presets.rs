@@ -84,7 +84,7 @@ pub fn fig6_gcrm(stage: u32, seed: u64, scale: u32) -> Experiment {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pio_mpi::run;
+    use pio_mpi::Runner;
 
     #[test]
     fn all_presets_validate() {
@@ -106,10 +106,12 @@ mod tests {
     #[test]
     fn scaled_fig1_runs() {
         let exp = fig1_ior(9, false, 128);
-        let res = run(&exp.job, &exp.run).unwrap();
+        let res = Runner::new(&exp.job, exp.run.clone())
+            .execute_one()
+            .unwrap();
         assert!(res.wall_secs() > 0.0);
-        assert!(res.trace.meta.platform.starts_with("franklin"));
-        assert!(res.trace.meta.experiment.contains("k1"));
+        assert!(res.trace().meta.platform.starts_with("franklin"));
+        assert!(res.trace().meta.experiment.contains("k1"));
     }
 
     #[test]

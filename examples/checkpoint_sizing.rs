@@ -7,7 +7,7 @@
 
 use events_to_ensembles::des::SimSpan;
 use events_to_ensembles::fs::FsConfig;
-use events_to_ensembles::mpi::{run, RunConfig};
+use events_to_ensembles::mpi::{RunConfig, Runner};
 use events_to_ensembles::stats::empirical::EmpiricalDist;
 use events_to_ensembles::stats::order_stats;
 use events_to_ensembles::trace::CallKind;
@@ -33,12 +33,14 @@ fn main() {
             compute: SimSpan::from_secs(compute_s),
             ..CheckpointConfig::default().scaled(scale)
         };
-        let res = run(
-            &cfg.job(),
-            &RunConfig::new(platform.clone(), 3, format!("ckpt-{compute_s}")),
+        let job = cfg.job();
+        let res = Runner::new(
+            &job,
+            RunConfig::new(platform.clone(), 3, format!("ckpt-{compute_s}")),
         )
+        .execute_one()
         .expect("run");
-        let frac = CheckpointConfig::io_fraction(&res.trace);
+        let frac = CheckpointConfig::io_fraction(res.trace());
         println!(
             "{:>14} {:>12.0} {:>11.1}% {:>14}",
             compute_s,
@@ -46,7 +48,7 @@ fn main() {
             frac * 100.0,
             if frac < 0.05 { "yes" } else { "no" }
         );
-        last_trace = Some(res.trace);
+        last_trace = Some(res.into_trace());
     }
 
     // The ensemble view of one checkpoint: the barrier pays for the

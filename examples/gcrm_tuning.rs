@@ -6,7 +6,7 @@
 //!     cargo run --release --example gcrm_tuning
 
 use events_to_ensembles::fs::FsConfig;
-use events_to_ensembles::mpi::{run, RunConfig};
+use events_to_ensembles::mpi::{RunConfig, Runner};
 use events_to_ensembles::stats::diagnosis::diagnose;
 use events_to_ensembles::stats::empirical::EmpiricalDist;
 use events_to_ensembles::stats::rates::sec_per_mb_samples;
@@ -24,14 +24,16 @@ fn main() {
     let mut runs = Vec::new();
     for stage in 0..4u32 {
         let cfg = GcrmConfig::paper_stage(stage).scaled(scale);
-        let res = run(
-            &cfg.job(),
-            &RunConfig::new(
+        let job = cfg.job();
+        let res = Runner::new(
+            &job,
+            RunConfig::new(
                 FsConfig::franklin().scaled(scale),
                 11,
                 format!("gcrm-s{stage}"),
             ),
         )
+        .execute_one()
         .expect("run");
         println!(
             "{:<38} {:>9.0} {:>11} {:>10} {:>10}",
@@ -42,9 +44,9 @@ fn main() {
                 _ => "3 + metadata aggregation",
             },
             res.wall_secs(),
-            res.lock_stats.1,
+            res.lock_stats.contended,
             res.stats.sync_writes,
-            res.trace.of_kind(CallKind::MetaWrite).count(),
+            res.trace().of_kind(CallKind::MetaWrite).count(),
         );
         runs.push(res);
     }
@@ -53,7 +55,7 @@ fn main() {
     // normalized axis).
     println!("\nper-task data-write cost (sec/MB — lower is better):");
     for (stage, res) in runs.iter().enumerate() {
-        let s = sec_per_mb_samples(&res.trace, |r| r.call == CallKind::Write);
+        let s = sec_per_mb_samples(res.trace(), |r| r.call == CallKind::Write);
         let d = EmpiricalDist::new(&s);
         println!(
             "  stage {stage}: median {:.3} s/MB ({:.1} MB/s per writer), p99 {:.3} s/MB",
@@ -66,7 +68,7 @@ fn main() {
     // What the diagnosis says at each rung.
     println!("\ndiagnosis per stage:");
     for (stage, res) in runs.iter().enumerate() {
-        let findings = diagnose(&res.trace);
+        let findings = diagnose(res.trace());
         println!("  stage {stage}: {} findings", findings.len());
         for f in &findings {
             println!("    - {f}");

@@ -5,7 +5,7 @@
 //!     cargo run --release --example ior_parameter_study
 
 use events_to_ensembles::fs::FsConfig;
-use events_to_ensembles::mpi::{run, RunConfig};
+use events_to_ensembles::mpi::{RunConfig, Runner};
 use events_to_ensembles::stats::empirical::EmpiricalDist;
 use events_to_ensembles::stats::lln;
 use events_to_ensembles::trace::CallKind;
@@ -34,21 +34,23 @@ fn main() {
             ..IorConfig::paper_fig1()
         }
         .scaled(scale);
-        let res = run(
-            &cfg.job(),
-            &RunConfig::new(platform.clone(), 100 + k as u64, "ior-k"),
+        let job = cfg.job();
+        let res = Runner::new(
+            &job,
+            RunConfig::new(platform.clone(), 100 + k as u64, "ior-k"),
         )
+        .execute_one()
         .expect("run");
 
         // Reported rate: slowest write defines the phase (paper §III-A).
         let start = res
-            .trace
+            .trace()
             .of_kind(CallKind::Write)
             .map(|r| r.start_ns)
             .min()
             .unwrap();
         let end = res
-            .trace
+            .trace()
             .of_kind(CallKind::Write)
             .map(|r| r.end_ns)
             .max()
@@ -57,7 +59,7 @@ fn main() {
 
         // Per-task totals.
         let mut totals = vec![0.0f64; cfg.tasks as usize];
-        for r in res.trace.of_kind(CallKind::Write) {
+        for r in res.trace().of_kind(CallKind::Write) {
             totals[r.rank as usize] += r.secs();
         }
         let dist = EmpiricalDist::new(&totals);

@@ -5,7 +5,7 @@
 //!     cargo run --release --example madbench_diagnosis
 
 use events_to_ensembles::fs::FsConfig;
-use events_to_ensembles::mpi::{run, RunConfig};
+use events_to_ensembles::mpi::{RunConfig, Runner};
 use events_to_ensembles::stats::diagnosis::{diagnose, Finding};
 use events_to_ensembles::stats::distance::ks_statistic;
 use events_to_ensembles::stats::empirical::EmpiricalDist;
@@ -26,17 +26,19 @@ fn main() {
     );
 
     // Step 1: the symptom — Franklin is mysteriously slow.
-    let buggy = run(
-        &cfg.job(),
-        &RunConfig::new(FsConfig::franklin().scaled(scale), 7, "madbench-franklin"),
+    let job = cfg.job();
+    let buggy = Runner::new(
+        &job,
+        RunConfig::new(FsConfig::franklin().scaled(scale), 7, "madbench-franklin"),
     )
+    .execute_one()
     .expect("run");
     println!("\nFranklin run time: {:.0} s", buggy.wall_secs());
-    println!("{}", ascii::trace_diagram(&buggy.trace, 16, 100));
+    println!("{}", ascii::trace_diagram(buggy.trace(), 16, 100));
 
     // Step 2: the ensemble view — reads have a pathological right tail,
     // and it gets worse phase over phase.
-    let reads = EmpiricalDist::new(&buggy.trace.durations_of(CallKind::Read));
+    let reads = EmpiricalDist::new(&buggy.trace().durations_of(CallKind::Read));
     println!(
         "read ensemble: median {:.1}s but p99 {:.1}s, max {:.1}s",
         reads.median(),
@@ -44,7 +46,7 @@ fn main() {
         reads.max()
     );
     println!("\nper-read middle-phase medians (the Figure 5(a) insight):");
-    for (i, samples) in cfg.middle_reads_by_index(&buggy.trace).iter().enumerate() {
+    for (i, samples) in cfg.middle_reads_by_index(buggy.trace()).iter().enumerate() {
         if samples.is_empty() {
             continue;
         }
@@ -56,7 +58,7 @@ fn main() {
             d.quantile(0.9)
         );
     }
-    let findings = diagnose(&buggy.trace);
+    let findings = diagnose(buggy.trace());
     println!("\nautomatic diagnosis:");
     for f in &findings {
         println!("  - {f}");
@@ -70,14 +72,15 @@ fn main() {
 
     // Step 3: the fix — the patched platform (strided read-ahead
     // detection removed, exactly what Cray shipped for Franklin).
-    let patched = run(
-        &cfg.job(),
-        &RunConfig::new(
+    let patched = Runner::new(
+        &job,
+        RunConfig::new(
             FsConfig::franklin_patched().scaled(scale),
             7,
             "madbench-patched",
         ),
     )
+    .execute_one()
     .expect("run");
     println!(
         "\nafter the Lustre patch: {:.0} s -> {:.0} s  ({:.1}x, paper: 4.2x)",
@@ -85,7 +88,7 @@ fn main() {
         patched.wall_secs(),
         buggy.wall_secs() / patched.wall_secs()
     );
-    let reads_after = EmpiricalDist::new(&patched.trace.durations_of(CallKind::Read));
+    let reads_after = EmpiricalDist::new(&patched.trace().durations_of(CallKind::Read));
     println!(
         "read tail: max {:.1}s -> {:.1}s; KS distance between the read \
          ensembles: {:.2}",
@@ -94,7 +97,7 @@ fn main() {
         ks_statistic(&reads, &reads_after)
     );
     println!("\nremaining findings after the patch:");
-    let after = diagnose(&patched.trace);
+    let after = diagnose(patched.trace());
     if after.is_empty() {
         println!("  (none — the ensembles look healthy)");
     }

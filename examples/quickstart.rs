@@ -9,7 +9,7 @@
 //! *distribution* of write times rather than individual events.
 
 use events_to_ensembles::fs::FsConfig;
-use events_to_ensembles::mpi::{run, RunConfig};
+use events_to_ensembles::mpi::{RunConfig, Runner};
 use events_to_ensembles::stats::diagnosis::diagnose;
 use events_to_ensembles::stats::empirical::EmpiricalDist;
 use events_to_ensembles::stats::hist::Histogram;
@@ -35,16 +35,18 @@ fn main() {
     let platform = FsConfig::franklin().scaled(16);
 
     // 3. Run it. The seed is the only source of run-to-run variability.
-    let result =
-        run(&workload.job(), &RunConfig::new(platform, 42, "quickstart")).expect("run failed");
+    let job = workload.job();
+    let result = Runner::new(&job, RunConfig::new(platform, 42, "quickstart"))
+        .execute_one()
+        .expect("run failed");
     println!("run time: {:.1} s (virtual)\n", result.wall_secs());
 
     // 4. The IPM-style per-call summary.
-    println!("{}", summary::render(&result.trace));
+    println!("{}", summary::render(result.trace()));
 
     // 5. From events to ensembles: the write-time distribution.
     let durations = result
-        .trace
+        .trace()
         .durations_of(events_to_ensembles::trace::CallKind::Write);
     let dist = EmpiricalDist::new(&durations);
     println!(
@@ -81,7 +83,7 @@ fn main() {
     );
 
     // 8. Automatic diagnosis.
-    let findings = diagnose(&result.trace);
+    let findings = diagnose(result.trace());
     println!("\ndiagnosis ({} findings):", findings.len());
     for f in &findings {
         println!("  - {f}");

@@ -1,6 +1,7 @@
 //! Facade crate re-exporting the whole workspace for examples and tests.
 pub use pio_core as stats;
 pub use pio_des as des;
+pub use pio_fault as fault;
 pub use pio_fs as fs;
 pub use pio_h5 as h5;
 pub use pio_ingest as ingest;

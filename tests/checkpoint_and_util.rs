@@ -3,9 +3,13 @@
 
 use events_to_ensembles::des::SimSpan;
 use events_to_ensembles::fs::FsConfig;
-use events_to_ensembles::mpi::{run, RunConfig};
+use events_to_ensembles::mpi::{Job, RunConfig, RunReport, Runner};
 use events_to_ensembles::trace::CallKind;
 use events_to_ensembles::workloads::CheckpointConfig;
+
+fn run(job: &Job, cfg: RunConfig) -> RunReport {
+    Runner::new(job, cfg).execute_one().unwrap()
+}
 
 fn cfg() -> CheckpointConfig {
     CheckpointConfig {
@@ -18,11 +22,10 @@ fn cfg() -> CheckpointConfig {
 fn checkpoint_runs_and_io_fraction_is_sane() {
     let res = run(
         &cfg().job(),
-        &RunConfig::new(FsConfig::franklin().scaled(32), 1, "ckpt-int"),
-    )
-    .unwrap();
-    res.trace.validate().unwrap();
-    let frac = CheckpointConfig::io_fraction(&res.trace);
+        RunConfig::new(FsConfig::franklin().scaled(32), 1, "ckpt-int"),
+    );
+    res.trace().validate().unwrap();
+    let frac = CheckpointConfig::io_fraction(res.trace());
     assert!(frac > 0.0 && frac < 1.0, "{frac}");
     // 4 epochs × 8 ranks of flushes.
     assert_eq!(res.stats.flushes, 32);
@@ -33,9 +36,8 @@ fn checkpoint_runs_and_io_fraction_is_sane() {
 fn utilization_report_is_consistent_with_the_trace() {
     let res = run(
         &cfg().job(),
-        &RunConfig::new(FsConfig::franklin().scaled(32), 2, "ckpt-util"),
-    )
-    .unwrap();
+        RunConfig::new(FsConfig::franklin().scaled(32), 2, "ckpt-util"),
+    );
     let u = &res.util;
     // Horizon equals the run end.
     assert!((u.horizon_s - res.wall_secs()).abs() < 1e-9);
@@ -62,17 +64,15 @@ fn more_frequent_checkpoints_cost_more_io_time() {
     many.epochs = 8;
     let r_few = run(
         &few.job(),
-        &RunConfig::new(FsConfig::franklin().scaled(32), 3, "ckpt-few"),
-    )
-    .unwrap();
+        RunConfig::new(FsConfig::franklin().scaled(32), 3, "ckpt-few"),
+    );
     let r_many = run(
         &many.job(),
-        &RunConfig::new(FsConfig::franklin().scaled(32), 3, "ckpt-many"),
-    )
-    .unwrap();
+        RunConfig::new(FsConfig::franklin().scaled(32), 3, "ckpt-many"),
+    );
     let io =
         |t: &events_to_ensembles::trace::Trace| t.durations_of(CallKind::Write).iter().sum::<f64>();
-    assert!(io(&r_many.trace) > 3.0 * io(&r_few.trace));
+    assert!(io(r_many.trace()) > 3.0 * io(r_few.trace()));
     assert!(r_many.wall_secs() > r_few.wall_secs());
 }
 
@@ -82,9 +82,11 @@ fn fpp_checkpoint_avoids_shared_file_machinery_entirely() {
     c.file_per_process = true;
     let res = run(
         &c.job(),
-        &RunConfig::new(FsConfig::franklin().scaled(32), 4, "ckpt-fpp"),
-    )
-    .unwrap();
-    assert_eq!(res.lock_stats.0, 0, "private files take no shared locks");
+        RunConfig::new(FsConfig::franklin().scaled(32), 4, "ckpt-fpp"),
+    );
+    assert_eq!(
+        res.lock_stats.acquired, 0,
+        "private files take no shared locks"
+    );
     assert_eq!(res.stats.sync_writes, 0);
 }

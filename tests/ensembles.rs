@@ -3,7 +3,7 @@
 //! prediction machinery tracks measurements.
 
 use events_to_ensembles::fs::FsConfig;
-use events_to_ensembles::mpi::{run, run_ensemble, RunConfig};
+use events_to_ensembles::mpi::{RunConfig, Runner};
 use events_to_ensembles::stats::empirical::EmpiricalDist;
 use events_to_ensembles::stats::ensemble::Ensemble;
 use events_to_ensembles::stats::lln;
@@ -21,10 +21,14 @@ fn experiment() -> IorConfig {
 fn ensemble_is_reproducible_across_seeds_and_across_file_systems() {
     let cfg = experiment();
     let base = RunConfig::new(FsConfig::franklin().scaled(64), 0, "ens");
-    let traces = run_ensemble(&cfg.job(), &base, &[1, 2, 3, 4]).unwrap();
-    let runs: Vec<Vec<f64>> = traces
+    let job = cfg.job();
+    let reports = Runner::new(&job, base)
+        .seeds(&[1, 2, 3, 4])
+        .execute()
+        .unwrap();
+    let runs: Vec<Vec<f64>> = reports
         .iter()
-        .map(|t| t.durations_of(CallKind::Write))
+        .map(|r| r.trace().durations_of(CallKind::Write))
         .collect();
     let ens = Ensemble::from_samples(&runs);
     let stability = ens.stability().unwrap();
@@ -35,7 +39,7 @@ fn ensemble_is_reproducible_across_seeds_and_across_file_systems() {
     // The "other file system" (scratch2): same hardware, fresh seed —
     // still the same distribution.
     let fs2 = RunConfig::new(FsConfig::franklin_scratch2().scaled(64), 99, "ens2");
-    let t2 = run(&cfg.job(), &fs2).unwrap().trace;
+    let t2 = Runner::new(&job, fs2).execute_one().unwrap().into_trace();
     let mut all = runs;
     all.push(t2.durations_of(CallKind::Write));
     let ens2 = Ensemble::from_samples(&all);
@@ -50,10 +54,11 @@ fn a_pathological_run_breaks_stability() {
     // ensemble: the stability metric must notice.
     let cfg = experiment();
     let base = RunConfig::new(FsConfig::franklin().scaled(64), 0, "ens-bad");
-    let traces = run_ensemble(&cfg.job(), &base, &[5, 6]).unwrap();
-    let mut runs: Vec<Vec<f64>> = traces
+    let job = cfg.job();
+    let reports = Runner::new(&job, base).seeds(&[5, 6]).execute().unwrap();
+    let mut runs: Vec<Vec<f64>> = reports
         .iter()
-        .map(|t| t.durations_of(CallKind::Write))
+        .map(|r| r.trace().durations_of(CallKind::Write))
         .collect();
     // Synthetic pathological run: everything 20x slower.
     runs.push(runs[0].iter().map(|&d| d * 20.0).collect());
@@ -72,19 +77,18 @@ fn lln_prediction_tracks_measurement_direction() {
             repetitions: 1,
             ..IorConfig::paper_fig1().scaled(64)
         };
-        let res = run(
-            &cfg.job(),
-            &RunConfig::new(platform.clone(), 40 + k as u64, "lln"),
-        )
-        .unwrap();
+        let job = cfg.job();
+        let res = Runner::new(&job, RunConfig::new(platform.clone(), 40 + k as u64, "lln"))
+            .execute_one()
+            .unwrap();
         let start = res
-            .trace
+            .trace()
             .of_kind(CallKind::Write)
             .map(|r| r.start_ns)
             .min()
             .unwrap();
         let end = res
-            .trace
+            .trace()
             .of_kind(CallKind::Write)
             .map(|r| r.end_ns)
             .max()
@@ -92,7 +96,7 @@ fn lln_prediction_tracks_measurement_direction() {
         measured.push(res.stats.bytes_written as f64 / ((end - start) as f64 / 1e9));
         if k == 1 {
             let mut totals = vec![0.0f64; cfg.tasks as usize];
-            for r in res.trace.of_kind(CallKind::Write) {
+            for r in res.trace().of_kind(CallKind::Write) {
                 totals[r.rank as usize] += r.secs();
             }
             k1_totals = Some(EmpiricalDist::new(&totals));
@@ -109,10 +113,11 @@ fn lln_prediction_tracks_measurement_direction() {
 fn pooled_distribution_has_the_runs_inside_it() {
     let cfg = experiment();
     let base = RunConfig::new(FsConfig::franklin().scaled(64), 0, "pool");
-    let traces = run_ensemble(&cfg.job(), &base, &[7, 8]).unwrap();
-    let runs: Vec<Vec<f64>> = traces
+    let job = cfg.job();
+    let reports = Runner::new(&job, base).seeds(&[7, 8]).execute().unwrap();
+    let runs: Vec<Vec<f64>> = reports
         .iter()
-        .map(|t| t.durations_of(CallKind::Write))
+        .map(|r| r.trace().durations_of(CallKind::Write))
         .collect();
     let n: usize = runs.iter().map(Vec::len).sum();
     let ens = Ensemble::from_samples(&runs);

@@ -2,7 +2,7 @@
 //! mechanism and buys run time (paper §V, Figure 6).
 
 use events_to_ensembles::fs::FsConfig;
-use events_to_ensembles::mpi::{run, RunConfig, RunResult};
+use events_to_ensembles::mpi::{RunConfig, RunReport, Runner};
 use events_to_ensembles::stats::diagnosis::{diagnose, Finding};
 use events_to_ensembles::stats::empirical::EmpiricalDist;
 use events_to_ensembles::stats::rates::sec_per_mb_samples;
@@ -11,16 +11,18 @@ use events_to_ensembles::workloads::gcrm::GcrmConfig;
 
 const SCALE: u32 = 64; // 160 tasks, 2 aggregators, full metadata volume
 
-fn run_stage(stage: u32, seed: u64) -> RunResult {
+fn run_stage(stage: u32, seed: u64) -> RunReport {
     let cfg = GcrmConfig::paper_stage(stage).scaled(SCALE);
-    run(
-        &cfg.job(),
-        &RunConfig::new(
+    let job = cfg.job();
+    Runner::new(
+        &job,
+        RunConfig::new(
             FsConfig::franklin().scaled(SCALE),
             seed,
             format!("gcrm-{stage}"),
         ),
     )
+    .execute_one()
     .unwrap()
 }
 
@@ -46,9 +48,9 @@ fn baseline_mechanism_is_synchronous_unaligned_writes() {
     let base = run_stage(0, 3);
     // Unaligned shared-file records go synchronous and conflict.
     assert!(base.stats.sync_writes > 0);
-    assert!(base.lock_stats.1 > 0);
+    assert!(base.lock_stats.contended > 0);
     // Per-task rates collapse to the sub-MB/s bulge of Fig 6(c).
-    let cost = EmpiricalDist::new(&sec_per_mb_samples(&base.trace, |r| {
+    let cost = EmpiricalDist::new(&sec_per_mb_samples(base.trace(), |r| {
         r.call == CallKind::Write
     }));
     let per_task_rate = 1.0 / cost.median();
@@ -61,10 +63,10 @@ fn baseline_mechanism_is_synchronous_unaligned_writes() {
 #[test]
 fn alignment_removes_conflicts_and_sync_writes() {
     let aligned = run_stage(2, 3);
-    assert_eq!(aligned.lock_stats.1, 0);
+    assert_eq!(aligned.lock_stats.contended, 0);
     assert_eq!(aligned.stats.sync_writes, 0);
     // All writes land on stripe boundaries.
-    for r in aligned.trace.of_kind(CallKind::Write) {
+    for r in aligned.trace().of_kind(CallKind::Write) {
         assert_eq!(r.offset % (1 << 20), 0, "{r:?}");
     }
 }
@@ -73,7 +75,7 @@ fn alignment_removes_conflicts_and_sync_writes() {
 fn metadata_serialization_is_found_then_fixed() {
     let aligned = run_stage(2, 7);
     let final_stage = run_stage(3, 7);
-    let f2 = diagnose(&aligned.trace);
+    let f2 = diagnose(aligned.trace());
     assert!(
         f2.iter().any(|f| matches!(
             f,
@@ -85,18 +87,18 @@ fn metadata_serialization_is_found_then_fixed() {
         )),
         "stage 2 must flag rank-0 metadata: {f2:?}"
     );
-    let f3 = diagnose(&final_stage.trace);
+    let f3 = diagnose(final_stage.trace());
     assert!(
         !f3.iter()
             .any(|f| matches!(f, Finding::SerializedRank { metadata: true, .. })),
         "stage 3 must not: {f3:?}"
     );
     // Metadata volume is aggregated, not dropped.
-    let meta_bytes_2 = aligned.trace.bytes_of(CallKind::MetaWrite);
-    let meta_bytes_3 = final_stage.trace.bytes_of(CallKind::MetaWrite);
+    let meta_bytes_2 = aligned.trace().bytes_of(CallKind::MetaWrite);
+    let meta_bytes_3 = final_stage.trace().bytes_of(CallKind::MetaWrite);
     assert_eq!(meta_bytes_2, meta_bytes_3);
-    let ops_2 = aligned.trace.of_kind(CallKind::MetaWrite).count();
-    let ops_3 = final_stage.trace.of_kind(CallKind::MetaWrite).count();
+    let ops_2 = aligned.trace().of_kind(CallKind::MetaWrite).count();
+    let ops_3 = final_stage.trace().of_kind(CallKind::MetaWrite).count();
     assert!(ops_3 * 50 < ops_2, "{ops_2} -> {ops_3}");
 }
 
@@ -105,8 +107,11 @@ fn collective_buffering_moves_all_data_through_aggregators() {
     let cfg = GcrmConfig::paper_stage(1).scaled(SCALE);
     let res = run_stage(1, 5);
     // Only aggregators write; payload conserved.
-    let writers: std::collections::HashSet<u32> =
-        res.trace.of_kind(CallKind::Write).map(|r| r.rank).collect();
+    let writers: std::collections::HashSet<u32> = res
+        .trace()
+        .of_kind(CallKind::Write)
+        .map(|r| r.rank)
+        .collect();
     let plan = cfg.aggregation().unwrap();
     assert_eq!(writers.len() as u32, plan.aggregators);
     for w in &writers {
@@ -114,8 +119,11 @@ fn collective_buffering_moves_all_data_through_aggregators() {
     }
     assert_eq!(res.stats.bytes_written, cfg.total_payload());
     // Everyone else shipped data via messages.
-    let senders: std::collections::HashSet<u32> =
-        res.trace.of_kind(CallKind::Send).map(|r| r.rank).collect();
+    let senders: std::collections::HashSet<u32> = res
+        .trace()
+        .of_kind(CallKind::Send)
+        .map(|r| r.rank)
+        .collect();
     assert_eq!(senders.len() as u32, cfg.tasks - plan.aggregators);
 }
 
@@ -124,9 +132,10 @@ fn trace_is_valid_and_deterministic_at_every_stage() {
     for stage in 0..4 {
         let a = run_stage(stage, 21);
         let b = run_stage(stage, 21);
-        a.trace.validate().unwrap();
+        a.trace().validate().unwrap();
         assert_eq!(
-            a.trace.records, b.trace.records,
+            a.trace().records,
+            b.trace().records,
             "stage {stage} not reproducible"
         );
     }

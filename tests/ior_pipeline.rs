@@ -2,7 +2,7 @@
 //! statistics, asserting the paper's Figure 1/2 structure at test scale.
 
 use events_to_ensembles::fs::FsConfig;
-use events_to_ensembles::mpi::{run, run_ensemble, RunConfig};
+use events_to_ensembles::mpi::{Job, RunConfig, RunReport, Runner};
 use events_to_ensembles::stats::distance::ks_statistic;
 use events_to_ensembles::stats::empirical::EmpiricalDist;
 use events_to_ensembles::stats::order_stats;
@@ -13,6 +13,10 @@ use events_to_ensembles::workloads::IorConfig;
 
 fn scaled_platform() -> FsConfig {
     FsConfig::franklin().scaled(64)
+}
+
+fn run(job: &Job, cfg: RunConfig) -> RunReport {
+    Runner::new(job, cfg).execute_one().unwrap()
 }
 
 fn ior(reps: u32, segments: u32) -> IorConfig {
@@ -26,19 +30,19 @@ fn ior(reps: u32, segments: u32) -> IorConfig {
 #[test]
 fn trace_is_well_formed_and_conserves_bytes() {
     let cfg = ior(2, 1);
-    let res = run(&cfg.job(), &RunConfig::new(scaled_platform(), 1, "ior-int")).unwrap();
-    res.trace.validate().unwrap();
+    let res = run(&cfg.job(), RunConfig::new(scaled_platform(), 1, "ior-int"));
+    res.trace().validate().unwrap();
     assert_eq!(res.stats.bytes_written, cfg.total_bytes());
     assert_eq!(
-        res.trace.bytes_of(CallKind::Write),
+        res.trace().bytes_of(CallKind::Write),
         cfg.total_bytes(),
         "trace and simulator must agree on bytes"
     );
     // Every rank produced the same op sequence length.
     for rank in 0..cfg.tasks {
         assert_eq!(
-            res.trace.of_rank(rank).count(),
-            res.trace.of_rank(0).count()
+            res.trace().of_rank(rank).count(),
+            res.trace().of_rank(0).count()
         );
     }
 }
@@ -48,10 +52,9 @@ fn phases_are_synchronous_and_barriers_cost_time() {
     let cfg = ior(3, 1);
     let res = run(
         &cfg.job(),
-        &RunConfig::new(scaled_platform(), 2, "ior-phases"),
-    )
-    .unwrap();
-    let phases = phase_summaries(&res.trace);
+        RunConfig::new(scaled_platform(), 2, "ior-phases"),
+    );
+    let phases = phase_summaries(res.trace());
     // Open barrier phase + 3 write phases + close phase.
     assert!(phases.len() >= 4, "{}", phases.len());
     // Write phases move the full per-phase volume.
@@ -62,7 +65,7 @@ fn phases_are_synchronous_and_barriers_cost_time() {
         .collect();
     assert_eq!(write_phases.len(), 3);
     // Somebody always waits at a barrier (the order-statistics tax).
-    assert!(barrier_wait_fraction(&res.trace) > 0.01);
+    assert!(barrier_wait_fraction(res.trace()) > 0.01);
     // The phase ends at its slowest op (within barrier-exit jitter).
     for p in &write_phases {
         assert!(p.slowest_op.as_secs_f64() <= p.duration().as_secs_f64() + 1e-6);
@@ -74,7 +77,14 @@ fn phases_are_synchronous_and_barriers_cost_time() {
 fn distribution_reproduces_across_runs_while_traces_differ() {
     let cfg = ior(2, 1);
     let base = RunConfig::new(scaled_platform(), 0, "ior-ens");
-    let traces = run_ensemble(&cfg.job(), &base, &[11, 22, 33]).unwrap();
+    let job = cfg.job();
+    let traces: Vec<_> = Runner::new(&job, base)
+        .seeds(&[11, 22, 33])
+        .execute()
+        .unwrap()
+        .into_iter()
+        .map(RunReport::into_trace)
+        .collect();
     let dists: Vec<EmpiricalDist> = traces
         .iter()
         .map(|t| EmpiricalDist::new(&t.durations_of(CallKind::Write)))
@@ -92,19 +102,11 @@ fn distribution_reproduces_across_runs_while_traces_differ() {
 
 #[test]
 fn splitting_transfers_narrows_totals_and_helps_the_worst_case() {
-    let k1 = run(
-        &ior(1, 1).job(),
-        &RunConfig::new(scaled_platform(), 5, "k1"),
-    )
-    .unwrap();
-    let k8 = run(
-        &ior(1, 8).job(),
-        &RunConfig::new(scaled_platform(), 5, "k8"),
-    )
-    .unwrap();
-    let totals = |res: &events_to_ensembles::mpi::RunResult| {
-        let mut t = vec![0.0f64; res.trace.meta.ranks as usize];
-        for r in res.trace.of_kind(CallKind::Write) {
+    let k1 = run(&ior(1, 1).job(), RunConfig::new(scaled_platform(), 5, "k1"));
+    let k8 = run(&ior(1, 8).job(), RunConfig::new(scaled_platform(), 5, "k8"));
+    let totals = |res: &RunReport| {
+        let mut t = vec![0.0f64; res.trace().meta.ranks as usize];
+        for r in res.trace().of_kind(CallKind::Write) {
             t[r.rank as usize] += r.secs();
         }
         EmpiricalDist::new(&t)
@@ -128,8 +130,8 @@ fn splitting_transfers_narrows_totals_and_helps_the_worst_case() {
 #[test]
 fn order_statistics_predict_the_phase_time() {
     let cfg = ior(1, 1);
-    let res = run(&cfg.job(), &RunConfig::new(scaled_platform(), 9, "ostat")).unwrap();
-    let d = EmpiricalDist::new(&res.trace.durations_of(CallKind::Write));
+    let res = run(&cfg.job(), RunConfig::new(scaled_platform(), 9, "ostat"));
+    let d = EmpiricalDist::new(&res.trace().durations_of(CallKind::Write));
     // The observed slowest write is the N-th order statistic; under the
     // empirical measure its expectation is below the sample max and above
     // the p75.
@@ -137,7 +139,7 @@ fn order_statistics_predict_the_phase_time() {
     assert!(emax <= d.max() + 1e-9);
     assert!(emax >= d.quantile(0.75));
     // The write phase's wall time is governed by that slowest op.
-    let phases = phase_summaries(&res.trace);
+    let phases = phase_summaries(res.trace());
     let wp = phases.iter().find(|p| p.bytes_written > 0).unwrap();
     let ratio = wp.slowest_op.as_secs_f64() / d.max();
     assert!((ratio - 1.0).abs() < 1e-9);
@@ -146,8 +148,8 @@ fn order_statistics_predict_the_phase_time() {
 #[test]
 fn rate_curve_conserves_volume() {
     let cfg = ior(2, 2);
-    let res = run(&cfg.job(), &RunConfig::new(scaled_platform(), 4, "rates")).unwrap();
-    let curve = write_rate_curve(&res.trace, res.wall_secs() / 64.0);
+    let res = run(&cfg.job(), RunConfig::new(scaled_platform(), 4, "rates"));
+    let curve = write_rate_curve(res.trace(), res.wall_secs() / 64.0);
     let mb: f64 = curve.points.iter().map(|&(_, r)| r * curve.dt).sum();
     let expect = res.stats.bytes_written as f64 / 1e6;
     assert!(

@@ -3,7 +3,7 @@
 //! (paper §IV, Figures 4–5).
 
 use events_to_ensembles::fs::FsConfig;
-use events_to_ensembles::mpi::{run, RunConfig, RunResult};
+use events_to_ensembles::mpi::{RunConfig, RunReport, Runner};
 use events_to_ensembles::stats::diagnosis::{diagnose, Finding};
 use events_to_ensembles::stats::empirical::EmpiricalDist;
 use events_to_ensembles::stats::loghist::LogHistogram;
@@ -12,12 +12,14 @@ use events_to_ensembles::workloads::MadbenchConfig;
 
 const SCALE: u32 = 32; // 8 tasks, full-size 300 MB matrices
 
-fn run_on(platform: FsConfig, seed: u64) -> (MadbenchConfig, RunResult) {
+fn run_on(platform: FsConfig, seed: u64) -> (MadbenchConfig, RunReport) {
     let cfg = MadbenchConfig::paper().scaled(SCALE);
-    let res = run(
-        &cfg.job(),
-        &RunConfig::new(platform.scaled(SCALE), seed, "madbench-int"),
+    let job = cfg.job();
+    let res = Runner::new(
+        &job,
+        RunConfig::new(platform.scaled(SCALE), seed, "madbench-int"),
     )
+    .execute_one()
     .unwrap();
     (cfg, res)
 }
@@ -39,8 +41,8 @@ fn bug_fires_on_franklin_and_not_after_patch_or_on_jaguar() {
 fn read_shoulder_appears_only_on_the_buggy_platform() {
     let (_, buggy) = run_on(FsConfig::franklin(), 7);
     let (_, patched) = run_on(FsConfig::franklin_patched(), 7);
-    let f_buggy = diagnose(&buggy.trace);
-    let f_patched = diagnose(&patched.trace);
+    let f_buggy = diagnose(buggy.trace());
+    let f_patched = diagnose(patched.trace());
     assert!(
         f_buggy.iter().any(|f| matches!(
             f,
@@ -66,7 +68,7 @@ fn read_shoulder_appears_only_on_the_buggy_platform() {
 #[test]
 fn middle_reads_deteriorate_progressively() {
     let (cfg, buggy) = run_on(FsConfig::franklin(), 5);
-    let groups = cfg.middle_reads_by_index(&buggy.trace);
+    let groups = cfg.middle_reads_by_index(buggy.trace());
     assert_eq!(groups.len(), cfg.n_matrices as usize);
     let medians: Vec<f64> = groups
         .iter()
@@ -96,10 +98,10 @@ fn write_ensembles_similar_but_read_ensembles_differ_across_platforms() {
     // different pattern from each other."
     let (_, franklin) = run_on(FsConfig::franklin(), 9);
     let (_, jaguar) = run_on(FsConfig::jaguar(), 9);
-    let w_f = EmpiricalDist::new(&franklin.trace.durations_of(CallKind::Write));
-    let w_j = EmpiricalDist::new(&jaguar.trace.durations_of(CallKind::Write));
-    let r_f = EmpiricalDist::new(&franklin.trace.durations_of(CallKind::Read));
-    let r_j = EmpiricalDist::new(&jaguar.trace.durations_of(CallKind::Read));
+    let w_f = EmpiricalDist::new(&franklin.trace().durations_of(CallKind::Write));
+    let w_j = EmpiricalDist::new(&jaguar.trace().durations_of(CallKind::Write));
+    let r_f = EmpiricalDist::new(&franklin.trace().durations_of(CallKind::Read));
+    let r_j = EmpiricalDist::new(&jaguar.trace().durations_of(CallKind::Read));
     let write_gap = w_f.quantile(0.95) / w_j.quantile(0.95);
     let read_gap = r_f.quantile(0.95) / r_j.quantile(0.95);
     assert!(
@@ -112,7 +114,7 @@ fn write_ensembles_similar_but_read_ensembles_differ_across_platforms() {
 #[test]
 fn log_histogram_shows_the_slow_read_band() {
     let (_, buggy) = run_on(FsConfig::franklin(), 11);
-    let reads = buggy.trace.durations_of(CallKind::Read);
+    let reads = buggy.trace().durations_of(CallKind::Read);
     let hist = LogHistogram::from_samples(&reads, 60);
     // A material fraction of reads live beyond 30 s (the paper's
     // "slowest read() calls vary from 30 to 500 seconds").
@@ -120,7 +122,7 @@ fn log_histogram_shows_the_slow_read_band() {
     assert!(tail > 0.02, "slow-read band missing: {tail}");
     // And the patched run has essentially nothing out there.
     let (_, patched) = run_on(FsConfig::franklin_patched(), 11);
-    let hist_p = LogHistogram::from_samples(&patched.trace.durations_of(CallKind::Read), 60);
+    let hist_p = LogHistogram::from_samples(&patched.trace().durations_of(CallKind::Read), 60);
     assert!(hist_p.tail_fraction(120.0) < 0.01);
 }
 
@@ -129,5 +131,5 @@ fn no_lock_conflicts_in_madbench() {
     // Exclusive per-task regions + alignment gaps: the paper's MADbench
     // problem is read-ahead, never extent locking.
     let (_, buggy) = run_on(FsConfig::franklin(), 13);
-    assert_eq!(buggy.lock_stats.1, 0);
+    assert_eq!(buggy.lock_stats.contended, 0);
 }

@@ -1,0 +1,153 @@
+//! Runner API contract tests: deadlock surfacing on both execution
+//! paths, configuration errors, and builder semantics.
+
+use events_to_ensembles::fs::FsConfig;
+use events_to_ensembles::mpi::program::{FileSpec, Job, Op, Program};
+use events_to_ensembles::mpi::{RunConfig, RunError, Runner};
+use events_to_ensembles::trace::NullSink;
+
+fn cfg(seed: u64) -> RunConfig {
+    RunConfig::new(FsConfig::franklin().scaled(128), seed, "runner-api")
+}
+
+/// Two ranks that each wait to receive before sending. Every ordered
+/// (src, dst) pair has a matching send, so static validation passes —
+/// but neither send can ever be reached at runtime.
+fn cross_recv_job() -> Job {
+    let p0 = Program {
+        ops: vec![Op::Recv { from: 1 }, Op::Send { to: 1, bytes: 8 }],
+    };
+    let p1 = Program {
+        ops: vec![Op::Recv { from: 0 }, Op::Send { to: 0, bytes: 8 }],
+    };
+    Job {
+        programs: vec![p0, p1],
+        files: vec![],
+    }
+}
+
+#[test]
+fn cross_recv_passes_static_validation() {
+    assert_eq!(cross_recv_job().validate(), Ok(()));
+}
+
+#[test]
+fn deadlock_is_reported_buffered() {
+    let job = cross_recv_job();
+    let err = Runner::new(&job, cfg(7)).execute_one().unwrap_err();
+    match err {
+        RunError::Deadlock(stuck) => {
+            // Both ranks are stuck on their first op (the recv).
+            assert_eq!(stuck, vec![(0, 0), (1, 0)]);
+        }
+        other => panic!("expected Deadlock, got {other}"),
+    }
+}
+
+#[test]
+fn deadlock_is_reported_streaming() {
+    let job = cross_recv_job();
+    let mut sink = NullSink;
+    let err = Runner::new(&job, cfg(7))
+        .sink(&mut sink)
+        .execute()
+        .unwrap_err();
+    match err {
+        RunError::Deadlock(stuck) => assert_eq!(stuck, vec![(0, 0), (1, 0)]),
+        other => panic!("expected Deadlock, got {other}"),
+    }
+}
+
+#[test]
+fn deadlock_display_names_the_stuck_ranks() {
+    let msg = RunError::Deadlock(vec![(0, 0), (1, 0)]).to_string();
+    assert!(msg.contains("deadlock"), "{msg}");
+    assert!(msg.contains("2 ranks stuck"), "{msg}");
+}
+
+fn tiny_io_job() -> Job {
+    let prog = Program {
+        ops: vec![
+            Op::Open { file: 0 },
+            Op::WriteAt {
+                file: 0,
+                offset: 0,
+                bytes: 1 << 16,
+            },
+            Op::Close { file: 0 },
+        ],
+    };
+    Job {
+        programs: vec![prog.clone(), prog],
+        files: vec![FileSpec { shared: true }],
+    }
+}
+
+#[test]
+fn empty_seed_list_is_a_config_error() {
+    let job = tiny_io_job();
+    let err = Runner::new(&job, cfg(1)).seeds(&[]).execute().unwrap_err();
+    assert!(matches!(err, RunError::Config(_)), "{err}");
+}
+
+#[test]
+fn sink_with_multiple_seeds_is_a_config_error() {
+    let job = tiny_io_job();
+    let mut sink = NullSink;
+    let err = Runner::new(&job, cfg(1))
+        .seeds(&[1, 2])
+        .sink(&mut sink)
+        .execute()
+        .unwrap_err();
+    assert!(matches!(err, RunError::Config(_)), "{err}");
+}
+
+#[test]
+fn execute_one_refuses_multiple_seeds() {
+    let job = tiny_io_job();
+    let err = Runner::new(&job, cfg(1))
+        .seeds(&[1, 2])
+        .execute_one()
+        .unwrap_err();
+    assert!(matches!(err, RunError::Config(_)), "{err}");
+}
+
+#[test]
+fn reports_come_back_in_seed_order() {
+    let job = tiny_io_job();
+    let seeds = [11u64, 5, 42];
+    let reports = Runner::new(&job, cfg(0)).seeds(&seeds).execute().unwrap();
+    let got: Vec<u64> = reports.iter().map(|r| r.seed).collect();
+    assert_eq!(got, seeds);
+}
+
+#[test]
+fn parallel_ensemble_matches_serial() {
+    let job = tiny_io_job();
+    let seeds = [1u64, 2, 3, 4];
+    let serial = Runner::new(&job, cfg(0)).seeds(&seeds).execute().unwrap();
+    let parallel = Runner::new(&job, cfg(0))
+        .seeds(&seeds)
+        .threads(4)
+        .execute()
+        .unwrap();
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.seed, p.seed);
+        assert_eq!(s.trace().records, p.trace().records);
+        assert_eq!(s.end, p.end);
+    }
+}
+
+#[test]
+fn streaming_and_buffered_agree_on_the_trace() {
+    use events_to_ensembles::trace::Trace;
+    let job = tiny_io_job();
+    let buffered = Runner::new(&job, cfg(9)).execute_one().unwrap();
+    let mut streamed = Trace::new(buffered.trace().meta.clone());
+    Runner::new(&job, cfg(9))
+        .sink(&mut streamed)
+        .execute()
+        .unwrap();
+    streamed.sort_by_start();
+    assert_eq!(buffered.trace().records, streamed.records);
+}

@@ -4,11 +4,15 @@
 
 use events_to_ensembles::fs::FsConfig;
 use events_to_ensembles::mpi::FileSpec;
-use events_to_ensembles::mpi::{run, Job, Op, Program, RunConfig};
+use events_to_ensembles::mpi::{Job, Op, Program, RunConfig, RunReport, Runner};
 use events_to_ensembles::trace::CallKind;
 use proptest::prelude::*;
 
 const MB: u64 = 1 << 20;
+
+fn run(job: &Job, cfg: RunConfig) -> Result<RunReport, events_to_ensembles::mpi::RunError> {
+    Runner::new(job, cfg).execute_one()
+}
 
 /// A random per-rank op body over `n_files` files (open/close bracketing
 /// is added afterwards so the job always validates).
@@ -74,14 +78,14 @@ proptest! {
     /// accounting against its own program text.
     #[test]
     fn random_jobs_run_and_conserve_bytes(job in arb_job(), seed in 0u64..1000) {
-        let res = run(&job, &RunConfig::new(FsConfig::tiny_test(), seed, "fuzz"))
+        let res = run(&job, RunConfig::new(FsConfig::tiny_test(), seed, "fuzz"))
             .expect("valid jobs must not deadlock");
-        res.trace.validate().expect("trace well-formed");
+        res.trace().validate().expect("trace well-formed");
         prop_assert_eq!(res.stats.bytes_written, job.total_bytes_written());
         prop_assert_eq!(res.stats.bytes_read, job.total_bytes_read());
         // Trace record counts match program op counts (every op traced).
         let total_ops: usize = job.programs.iter().map(|p| p.ops.len()).sum();
-        prop_assert_eq!(res.trace.records.len(), total_ops);
+        prop_assert_eq!(res.trace().records.len(), total_ops);
         // Time moves forward and ends after it starts.
         prop_assert!(res.end.as_secs_f64() > 0.0);
     }
@@ -90,11 +94,11 @@ proptest! {
     /// agree on totals.
     #[test]
     fn determinism_under_replay(job in arb_job()) {
-        let a = run(&job, &RunConfig::new(FsConfig::tiny_test(), 77, "fuzz-a")).unwrap();
-        let b = run(&job, &RunConfig::new(FsConfig::tiny_test(), 77, "fuzz-b")).unwrap();
-        prop_assert_eq!(&a.trace.records, &b.trace.records);
+        let a = run(&job, RunConfig::new(FsConfig::tiny_test(), 77, "fuzz-a")).unwrap();
+        let b = run(&job, RunConfig::new(FsConfig::tiny_test(), 77, "fuzz-b")).unwrap();
+        prop_assert_eq!(&a.trace().records, &b.trace().records);
         prop_assert_eq!(a.end, b.end);
-        let c = run(&job, &RunConfig::new(FsConfig::tiny_test(), 78, "fuzz-c")).unwrap();
+        let c = run(&job, RunConfig::new(FsConfig::tiny_test(), 78, "fuzz-c")).unwrap();
         prop_assert_eq!(a.stats.bytes_written, c.stats.bytes_written);
     }
 
@@ -102,7 +106,7 @@ proptest! {
     /// whatever was written is on the OSTs when the event queue empties.
     #[test]
     fn all_dirty_data_eventually_drains(job in arb_job(), seed in 0u64..100) {
-        let res = run(&job, &RunConfig::new(FsConfig::tiny_test(), seed, "fuzz-drain")).unwrap();
+        let res = run(&job, RunConfig::new(FsConfig::tiny_test(), seed, "fuzz-drain")).unwrap();
         let ost_bytes: u64 = res.util.ost_bytes.iter().sum();
         // OSTs served at least the data-plane write bytes (reads and RMW
         // traffic add more; metadata adds its own).
@@ -115,10 +119,10 @@ proptest! {
     /// not traced as a call).
     #[test]
     fn phases_never_invert(job in arb_job(), seed in 0u64..100) {
-        let res = run(&job, &RunConfig::new(FsConfig::tiny_test(), seed, "fuzz-phase")).unwrap();
-        let mut max_end = vec![0u64; res.trace.phase_count() as usize + 1];
-        let mut min_start = vec![u64::MAX; res.trace.phase_count() as usize + 1];
-        for r in &res.trace.records {
+        let res = run(&job, RunConfig::new(FsConfig::tiny_test(), seed, "fuzz-phase")).unwrap();
+        let mut max_end = vec![0u64; res.trace().phase_count() as usize + 1];
+        let mut min_start = vec![u64::MAX; res.trace().phase_count() as usize + 1];
+        for r in &res.trace().records {
             if r.call == CallKind::Barrier {
                 continue;
             }

@@ -8,7 +8,7 @@ use events_to_ensembles::fs::FsConfig;
 use events_to_ensembles::ingest::{
     DiagnoserConfig, IngestConfig, IngestPipeline, StreamDiagnoser, TimedFinding,
 };
-use events_to_ensembles::mpi::{run, run_streaming, RunConfig};
+use events_to_ensembles::mpi::{RunConfig, Runner};
 use events_to_ensembles::stats::diagnosis::{diagnose, Finding};
 use events_to_ensembles::trace::{CallKind, RecordSink, Tee, Trace, TraceMeta};
 use events_to_ensembles::workloads::MadbenchConfig;
@@ -67,7 +67,10 @@ fn streaming_flags_madbench_bug_before_end_of_run_matching_batch() {
     });
     {
         let mut tee = Tee(&mut diagnoser, &mut trace);
-        run_streaming(&job, &cfg, &mut tee).expect("streaming run");
+        Runner::new(&job, cfg)
+            .sink(&mut tee)
+            .execute_one()
+            .expect("streaming run");
     }
     trace.records.sort_by_key(|r| (r.start_ns, r.rank));
 
@@ -100,13 +103,13 @@ fn streaming_stays_clean_on_patched_platform() {
     );
 
     let mut diagnoser = StreamDiagnoser::new(DiagnoserConfig::default());
-    let res = run(&job, &cfg).expect("buffered run");
-    for r in &res.trace.records {
+    let res = Runner::new(&job, cfg).execute_one().expect("buffered run");
+    for r in &res.trace().records {
         diagnoser.push(r);
     }
     diagnoser.finish();
 
-    let batch = diagnose(&res.trace);
+    let batch = diagnose(res.trace());
     assert!(!has_read_shoulder(&batch), "{batch:?}");
     assert!(
         timed_read_shoulder(diagnoser.findings()).is_none(),
@@ -126,7 +129,10 @@ fn pipeline_snapshot_diagnosis_is_bounded_and_agrees_with_batch() {
     let pipeline = IngestPipeline::new(IngestConfig::default());
     let res = {
         let mut sink = pipeline.sink();
-        run_streaming(&job, &cfg, &mut sink).expect("streaming run")
+        Runner::new(&job, cfg.clone())
+            .sink(&mut sink)
+            .execute_one()
+            .expect("streaming run")
     };
     let snap = pipeline.finish();
     assert_eq!(snap.dropped, 0, "blocking policy must be lossless");
@@ -139,13 +145,13 @@ fn pipeline_snapshot_diagnosis_is_bounded_and_agrees_with_batch() {
     // Constant memory: the same record stream replayed 4x over the same
     // key space must not grow the snapshot at all — state scales with
     // shards × bins, never with records ingested.
-    let buffered = run(&job, &cfg).expect("buffered run");
+    let buffered = Runner::new(&job, cfg).execute_one().expect("buffered run");
     let replay = |times: usize| {
         let p = IngestPipeline::new(IngestConfig::default());
         {
             let mut sink = p.sink();
             for _ in 0..times {
-                for r in &buffered.trace.records {
+                for r in &buffered.trace().records {
                     sink.push(r);
                 }
             }

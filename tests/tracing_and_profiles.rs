@@ -3,7 +3,7 @@
 //! and the IPM summary reflecting the run.
 
 use events_to_ensembles::fs::FsConfig;
-use events_to_ensembles::mpi::{run, RunConfig};
+use events_to_ensembles::mpi::{RunConfig, Runner};
 use events_to_ensembles::stats::empirical::EmpiricalDist;
 use events_to_ensembles::trace::io as trace_io;
 use events_to_ensembles::trace::summary;
@@ -19,12 +19,14 @@ fn small_run(seed: u64) -> Trace {
         read_back: true,
         file_per_process: false,
     };
-    run(
-        &cfg.job(),
-        &RunConfig::new(FsConfig::franklin().scaled(128), seed, "trace-int"),
+    let job = cfg.job();
+    Runner::new(
+        &job,
+        RunConfig::new(FsConfig::franklin().scaled(128), seed, "trace-int"),
     )
+    .execute_one()
     .unwrap()
-    .trace
+    .into_trace()
 }
 
 #[test]
