@@ -74,6 +74,12 @@ fn bench_modes_and_order_stats(c: &mut Criterion) {
         let kde = Kde::new(&d);
         b.iter(|| kde.grid(black_box(512)))
     });
+    // The same evaluation forced down the exact O(n·points) path — the
+    // before/after pair for the linear-binned fast path.
+    c.bench_function("modes/kde_grid_exact_512", |b| {
+        let kde = Kde::new(&d);
+        b.iter(|| kde.grid_exact(black_box(512)))
+    });
     c.bench_function("modes/find_modes_5k", |b| {
         b.iter(|| find_modes(black_box(&d), 256, 0.1))
     });

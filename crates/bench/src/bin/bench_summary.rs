@@ -1,0 +1,42 @@
+//! Perf-regression harness: run the fixed hot-path scenarios and write
+//! `BENCH_summary.json` (events/sec, ns/op, peak RSS) so the performance
+//! trajectory is machine-readable commit-to-commit.
+//!
+//! Usage: `bench_summary [--out PATH] [--reps N]` (default
+//! `BENCH_summary.json`, per-metric repetition defaults).
+
+use pio_bench::summary;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut out = "BENCH_summary.json".to_string();
+    let mut reps: Option<u32> = None;
+    for (i, arg) in args.iter().enumerate() {
+        if arg == "--out" {
+            match args.get(i + 1) {
+                Some(p) => out = p.clone(),
+                None => {
+                    eprintln!("error: --out requires a path");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if arg == "--reps" {
+            match args.get(i + 1).and_then(|v| v.parse::<u32>().ok()) {
+                Some(n) if n >= 1 => reps = Some(n),
+                _ => {
+                    eprintln!("error: --reps requires a positive integer");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+
+    println!("== bench_summary: fixed-scale hot-path scenarios ==");
+    let s = summary::run_all_with(reps);
+    print!("{}", summary::render(&s));
+
+    let json = serde_json::to_string(&s).expect("serialize summary");
+    std::fs::write(&out, &json).expect("write summary JSON");
+    println!("wrote {out}");
+}

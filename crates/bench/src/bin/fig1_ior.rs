@@ -5,18 +5,24 @@
 //! (panel c), and the scratch-vs-scratch2 reproducibility comparison;
 //! exports the series as CSV under `results/`.
 //!
-//! Usage: `fig1_ior [--scale N]` (scale 1 = the paper's size).
+//! Usage: `fig1_ior [--scale N] [--fault <plan>]` (scale 1 = the
+//! paper's size; `--fault` re-runs the experiment under a named fault
+//! plan, e.g. `slow-ost`).
 
 use pio_bench::fig1;
-use pio_bench::util::{print_rows, results_dir, scale_from_args, Row};
+use pio_bench::util::{fault_from_args, print_rows, results_dir, scale_from_args, Row};
 use pio_core::hist::Histogram;
 use pio_viz::ascii;
 use pio_viz::csv as vcsv;
 
 fn main() {
     let scale = scale_from_args(1);
-    println!("# Figure 1 — IOR ensembles (scale 1/{scale})");
-    let r = fig1::run(scale, 1);
+    let fault = fault_from_args();
+    match &fault {
+        Some(_) => println!("# Figure 1 — IOR ensembles (scale 1/{scale}, faulted)"),
+        None => println!("# Figure 1 — IOR ensembles (scale 1/{scale})"),
+    }
+    let r = fig1::run_with_fault(scale, 1, fault);
 
     // Panel (a): trace diagram.
     println!("\n{}", ascii::trace_diagram(&r.trace, 24, 100));

@@ -6,18 +6,22 @@
 //! paper's 11,610 → 13,486 MB/s, and the convolution-based prediction
 //! from the k=1 distribution.
 //!
-//! Usage: `fig2_lln [--scale N]`.
+//! Usage: `fig2_lln [--scale N] [--fault <plan>]`.
 
 use pio_bench::fig2;
-use pio_bench::util::{print_rows, results_dir, scale_from_args, Row};
+use pio_bench::util::{fault_from_args, print_rows, results_dir, scale_from_args, Row};
 use pio_core::hist::Histogram;
 use pio_viz::ascii;
 use pio_viz::csv as vcsv;
 
 fn main() {
     let scale = scale_from_args(1);
-    println!("# Figure 2 — Law of Large Numbers (scale 1/{scale})");
-    let rows = fig2::run(scale, 21);
+    let fault = fault_from_args();
+    match &fault {
+        Some(_) => println!("# Figure 2 — Law of Large Numbers (scale 1/{scale}, faulted)"),
+        None => println!("# Figure 2 — Law of Large Numbers (scale 1/{scale})"),
+    }
+    let rows = fig2::run_with_fault(scale, 21, fault);
 
     for r in &rows {
         let hist = Histogram::from_samples(r.tk_dist.samples(), 32);

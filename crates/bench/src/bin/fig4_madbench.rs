@@ -2,19 +2,25 @@
 //! read-ahead) and Jaguar — traces, aggregate read/write rates, and
 //! log-log duration histograms with Franklin's "broad right shoulder".
 //!
-//! Usage: `fig4_madbench [--scale N]`.
+//! Usage: `fig4_madbench [--scale N] [--fault <plan>]`.
 
 use pio_bench::fig4;
-use pio_bench::util::{print_rows, results_dir, scale_from_args, Row};
+use pio_bench::util::{fault_from_args, print_rows, results_dir, scale_from_args, Row};
 use pio_fs::FsConfig;
 use pio_viz::ascii;
 use pio_viz::csv as vcsv;
 
 fn main() {
     let scale = scale_from_args(1);
-    println!("# Figure 4 — MADbench on Franklin vs Jaguar (scale 1/{scale})");
-    let franklin = fig4::run(FsConfig::franklin(), scale, 5);
-    let jaguar = fig4::run(FsConfig::jaguar(), scale, 5);
+    let fault = fault_from_args();
+    match &fault {
+        Some(_) => {
+            println!("# Figure 4 — MADbench on Franklin vs Jaguar (scale 1/{scale}, faulted)")
+        }
+        None => println!("# Figure 4 — MADbench on Franklin vs Jaguar (scale 1/{scale})"),
+    }
+    let franklin = fig4::run_with_fault(FsConfig::franklin(), scale, 5, fault.clone());
+    let jaguar = fig4::run_with_fault(FsConfig::jaguar(), scale, 5, fault);
 
     for r in [&franklin, &jaguar] {
         println!("\n## {} — run time {:.0} s", r.platform, r.runtime_s);

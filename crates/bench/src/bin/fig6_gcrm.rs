@@ -4,18 +4,22 @@
 //! the size-normalized (sec/MB) histograms split into data and metadata
 //! classes.
 //!
-//! Usage: `fig6_gcrm [--scale N]`.
+//! Usage: `fig6_gcrm [--scale N] [--fault <plan>]`.
 
 use pio_bench::fig6;
-use pio_bench::util::{print_rows, results_dir, scale_from_args, Row};
+use pio_bench::util::{fault_from_args, print_rows, results_dir, scale_from_args, Row};
 use pio_core::loghist::LogHistogram;
 use pio_viz::ascii;
 use pio_viz::csv as vcsv;
 
 fn main() {
     let scale = scale_from_args(1);
-    println!("# Figure 6 — GCRM optimization ladder (scale 1/{scale})");
-    let results = fig6::run_all(scale, 11);
+    let fault = fault_from_args();
+    match &fault {
+        Some(_) => println!("# Figure 6 — GCRM optimization ladder (scale 1/{scale}, faulted)"),
+        None => println!("# Figure 6 — GCRM optimization ladder (scale 1/{scale})"),
+    }
+    let results = fig6::run_all_with_fault(scale, 11, fault);
     let dir = results_dir();
     let scale_f = scale as f64;
 

@@ -39,18 +39,27 @@ pub struct Fig1Result {
 
 /// Run the Figure 1 experiment at `scale` (1 = the paper's size).
 pub fn run(scale: u32, seed: u64) -> Fig1Result {
+    run_with_fault(scale, seed, None)
+}
+
+/// [`run`] under an optional fault plan (injected into both the scratch
+/// and scratch2 runs, so the reproducibility comparison stays
+/// like-for-like).
+pub fn run_with_fault(scale: u32, seed: u64, fault: Option<pio_fault::FaultPlan>) -> Fig1Result {
     let exp = fig1_ior(seed, false, scale);
     let exp2 = fig1_ior(seed + 1, true, scale);
     let tasks = exp.job.ranks();
     let block = exp.job.total_bytes_written() as f64 / tasks as f64 / 5.0;
     let fair = block / (exp.run.fs.fabric_bw / tasks as f64);
 
-    let res = pio_mpi::Runner::new(&exp.job, exp.run.clone())
-        .execute_one()
-        .expect("fig1 run");
-    let res2 = pio_mpi::Runner::new(&exp2.job, exp2.run.clone())
-        .execute_one()
-        .expect("fig1 scratch2 run");
+    let mut runner = pio_mpi::Runner::new(&exp.job, exp.run.clone());
+    let mut runner2 = pio_mpi::Runner::new(&exp2.job, exp2.run.clone());
+    if let Some(plan) = fault {
+        runner = runner.fault_plan(plan.clone());
+        runner2 = runner2.fault_plan(plan);
+    }
+    let res = runner.execute_one().expect("fig1 run");
+    let res2 = runner2.execute_one().expect("fig1 scratch2 run");
 
     let write_dist = dist_of(res.trace(), CallKind::Write).expect("writes");
     let write_dist2 = dist_of(res2.trace(), CallKind::Write).expect("writes");

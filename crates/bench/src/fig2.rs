@@ -38,13 +38,21 @@ pub const PAPER_RATES: [(u32, f64); 4] =
 
 /// Run the sweep at `scale` and compute per-k rows.
 pub fn run(scale: u32, seed: u64) -> Vec<Fig2Row> {
+    run_with_fault(scale, seed, None)
+}
+
+/// [`run`] under an optional fault plan (applied to every k, so the
+/// sweep compares like against like).
+pub fn run_with_fault(scale: u32, seed: u64, fault: Option<pio_fault::FaultPlan>) -> Vec<Fig2Row> {
     let mut rows = Vec::new();
     let mut rate1 = None;
     for &(k, paper_rate) in &PAPER_RATES {
         let exp = fig2_ior(k, seed + k as u64, scale);
-        let res = pio_mpi::Runner::new(&exp.job, exp.run.clone())
-            .execute_one()
-            .expect("fig2 run");
+        let mut runner = pio_mpi::Runner::new(&exp.job, exp.run.clone());
+        if let Some(plan) = &fault {
+            runner = runner.fault_plan(plan.clone());
+        }
+        let res = runner.execute_one().expect("fig2 run");
         let total_mb = res.stats.bytes_written as f64 / 1e6;
         // "The run time for an experiment, and therefore the reported
         // data rate, is determined by the slowest I/O operation amongst

@@ -40,10 +40,22 @@ pub struct Fig4Result {
 
 /// Run MADbench on `platform` at `scale`.
 pub fn run(platform: FsConfig, scale: u32, seed: u64) -> Fig4Result {
+    run_with_fault(platform, scale, seed, None)
+}
+
+/// [`run`] under an optional fault plan.
+pub fn run_with_fault(
+    platform: FsConfig,
+    scale: u32,
+    seed: u64,
+    fault: Option<pio_fault::FaultPlan>,
+) -> Fig4Result {
     let exp = fig4_madbench(platform, seed, scale);
-    let res = pio_mpi::Runner::new(&exp.job, exp.run.clone())
-        .execute_one()
-        .expect("fig4 run");
+    let mut runner = pio_mpi::Runner::new(&exp.job, exp.run.clone());
+    if let Some(plan) = fault {
+        runner = runner.fault_plan(plan);
+    }
+    let res = runner.execute_one().expect("fig4 run");
     let read_dist = dist_of(res.trace(), CallKind::Read).expect("reads");
     let write_dist = dist_of(res.trace(), CallKind::Write).expect("writes");
     let read_hist = LogHistogram::from_samples(read_dist.samples(), 60);

@@ -48,10 +48,22 @@ pub const LABELS: [&str; 4] = [
 
 /// Run one stage at `scale`.
 pub fn run(stage: u32, scale: u32, seed: u64) -> Fig6Result {
+    run_with_fault(stage, scale, seed, None)
+}
+
+/// [`run`] under an optional fault plan.
+pub fn run_with_fault(
+    stage: u32,
+    scale: u32,
+    seed: u64,
+    fault: Option<pio_fault::FaultPlan>,
+) -> Fig6Result {
     let exp = fig6_gcrm(stage, seed, scale);
-    let res = pio_mpi::Runner::new(&exp.job, exp.run.clone())
-        .execute_one()
-        .expect("fig6 run");
+    let mut runner = pio_mpi::Runner::new(&exp.job, exp.run.clone());
+    if let Some(plan) = fault {
+        runner = runner.fault_plan(plan);
+    }
+    let res = runner.execute_one().expect("fig6 run");
     let data: Vec<f64> = sec_per_mb_samples(res.trace(), |r| r.call == CallKind::Write);
     let meta: Vec<f64> = sec_per_mb_samples(res.trace(), |r| {
         matches!(r.call, CallKind::MetaWrite | CallKind::MetaRead)
@@ -77,7 +89,18 @@ pub fn run(stage: u32, scale: u32, seed: u64) -> Fig6Result {
 
 /// Run the whole ladder.
 pub fn run_all(scale: u32, seed: u64) -> Vec<Fig6Result> {
-    (0..4).map(|s| run(s, scale, seed)).collect()
+    run_all_with_fault(scale, seed, None)
+}
+
+/// [`run_all`] under an optional fault plan (same plan every stage).
+pub fn run_all_with_fault(
+    scale: u32,
+    seed: u64,
+    fault: Option<pio_fault::FaultPlan>,
+) -> Vec<Fig6Result> {
+    (0..4)
+        .map(|s| run_with_fault(s, scale, seed, fault.clone()))
+        .collect()
 }
 
 #[cfg(test)]

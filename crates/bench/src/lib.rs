@@ -11,4 +11,5 @@ pub mod fig2;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod summary;
 pub mod util;

@@ -1,0 +1,284 @@
+//! The perf-regression harness behind the `bench_summary` binary.
+//!
+//! Runs a fixed set of hot-path scenarios — event-queue churn, the IOR
+//! simulation, one fault-matrix cell, and the KDE/bootstrap statistics
+//! kernels — and reports each as a machine-readable [`Metric`]
+//! (ns/op and ops/sec), plus peak RSS. The binary serializes the result
+//! to `BENCH_summary.json` so the performance trajectory of the repo is
+//! comparable commit-to-commit.
+//!
+//! Scenario scales are fixed (they are part of the metric's identity);
+//! timings take the best of several repetitions to shave scheduler
+//! noise. All inputs are deterministic, so two runs on the same machine
+//! measure the same work.
+
+use crate::fault_matrix::{run_cell, scenarios};
+use pio_core::bootstrap::median_ci;
+use pio_core::empirical::EmpiricalDist;
+use pio_core::kde::Kde;
+use pio_des::{EventQueue, SimTime};
+use pio_fs::FsConfig;
+use pio_mpi::{RunConfig, Runner};
+use pio_workloads::IorConfig;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured scenario.
+#[derive(Debug, Clone, Serialize)]
+pub struct Metric {
+    /// Stable scenario name (the trajectory key).
+    pub name: String,
+    /// What one "op" is for this scenario.
+    pub unit: String,
+    /// Operations per repetition.
+    pub ops: u64,
+    /// Best-of-reps wall time for one repetition, nanoseconds.
+    pub wall_ns: u64,
+    /// Nanoseconds per op (best repetition).
+    pub ns_per_op: f64,
+    /// Ops per second (best repetition).
+    pub ops_per_sec: f64,
+}
+
+/// The whole summary: every metric plus process-level peak memory.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchSummary {
+    /// Schema tag for downstream tooling.
+    pub schema: String,
+    /// Metrics in scenario order.
+    pub metrics: Vec<Metric>,
+    /// Peak resident set size of this process, kilobytes (0 if unknown).
+    pub peak_rss_kb: u64,
+}
+
+/// Time `scenario` `reps` times; it returns the op count per repetition.
+fn measure(name: &str, unit: &str, reps: u32, mut scenario: impl FnMut() -> u64) -> Metric {
+    assert!(reps >= 1);
+    let mut best = u64::MAX;
+    let mut ops = 0u64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        ops = scenario();
+        let dt = t0.elapsed().as_nanos() as u64;
+        best = best.min(dt.max(1));
+    }
+    Metric {
+        name: name.to_string(),
+        unit: unit.to_string(),
+        ops,
+        wall_ns: best,
+        ns_per_op: best as f64 / ops.max(1) as f64,
+        ops_per_sec: ops as f64 / (best as f64 / 1e9),
+    }
+}
+
+/// Deterministic tri-modal samples shaped like an IOR ensemble (the same
+/// generator the criterion kernels use).
+pub fn trimodal_samples(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let base = match i % 8 {
+                0 => 8.0,
+                1..=2 => 16.0,
+                _ => 32.0,
+            };
+            base + (i % 97) as f64 * 0.01
+        })
+        .collect()
+}
+
+/// Event-queue churn: interleaved pushes and pops with a scattered time
+/// key — the pure queue cost of the DES hot loop.
+fn event_queue_churn() -> u64 {
+    const N: u64 = 100_000;
+    let mut q = EventQueue::new();
+    for i in 0..N {
+        q.push(SimTime(i * 7919 % 1_000_000), i);
+    }
+    let mut acc = 0u64;
+    while let Some((_, e)) = q.pop() {
+        acc = acc.wrapping_add(e);
+    }
+    black_box(acc);
+    N
+}
+
+/// Near-future churn: the steady-state DES pattern — every pop schedules
+/// a follow-up a short span ahead, so the working set stays small while
+/// the event count is large.
+fn event_queue_followups() -> u64 {
+    const N: u64 = 200_000;
+    let mut q = EventQueue::new();
+    for i in 0..64u64 {
+        q.push(SimTime(i * 131), i);
+    }
+    let mut processed = 0u64;
+    while processed < N {
+        let Some((t, e)) = q.pop() else { break };
+        processed += 1;
+        q.push(SimTime(t.nanos() + 1 + (e * 2654435761) % 10_000), e);
+    }
+    black_box(q.len());
+    processed
+}
+
+/// The IOR simulation at 1/64 scale: events per second of real time.
+fn ior_sim() -> u64 {
+    let cfg = IorConfig {
+        repetitions: 1,
+        ..IorConfig::paper_fig1().scaled(64)
+    };
+    let job = cfg.job();
+    let res = Runner::new(
+        &job,
+        RunConfig::new(FsConfig::franklin().scaled(64), 1, "bench_summary"),
+    )
+    .execute_one()
+    .expect("ior run");
+    res.events
+}
+
+/// One fault-matrix cell (slow-OST × read-heavy at 1/8 scale): the cost
+/// of a full baseline + faulted + reproducibility check.
+fn fault_matrix_cell() -> u64 {
+    let s = scenarios(8).into_iter().next().expect("scenarios");
+    let cell = run_cell(&s, 101);
+    assert!(cell.pass(), "fault cell must pass while being timed");
+    1
+}
+
+/// All scenarios, measured with per-metric default repetition counts.
+pub fn run_all() -> BenchSummary {
+    run_all_with(None)
+}
+
+/// [`run_all`] with every metric's repetition count overridden by
+/// `reps` (best-of-reps is reported either way; more reps means more
+/// robustness against scheduler noise at linear cost).
+pub fn run_all_with(reps: Option<u32>) -> BenchSummary {
+    let r = |default: u32| reps.unwrap_or(default).max(1);
+    let mut metrics = vec![
+        measure(
+            "des/event_queue_churn_100k",
+            "event",
+            r(5),
+            event_queue_churn,
+        ),
+        measure(
+            "des/event_queue_followups_200k",
+            "event",
+            r(5),
+            event_queue_followups,
+        ),
+        // Whole-simulation throughput; ops = engine events.
+        measure("sim/ior_scale64", "event", r(3), ior_sim),
+        measure(
+            "sim/fault_matrix_cell_scale8",
+            "cell",
+            r(1),
+            fault_matrix_cell,
+        ),
+    ];
+
+    // Statistics kernels.
+    let data = trimodal_samples(100_000);
+    let dist = EmpiricalDist::new(&data);
+    let kde = Kde::new(&dist);
+    metrics.push(measure(
+        "stats/kde_grid_512_n100k",
+        "grid-point",
+        r(3),
+        || black_box(kde.grid(512)).len() as u64,
+    ));
+    // Exact-path reference at a size the binned path normally handles —
+    // the denominator of the binned speedup.
+    let exact_ref = EmpiricalDist::new(&trimodal_samples(10_000));
+    let kde_exact = Kde::new(&exact_ref);
+    metrics.push(measure(
+        "stats/kde_grid_exact_512_n10k",
+        "grid-point",
+        r(3),
+        || black_box(kde_exact.grid_exact(512)).len() as u64,
+    ));
+
+    let small = EmpiricalDist::new(&trimodal_samples(10_000));
+    metrics.push(measure(
+        "stats/bootstrap_median_200x_n10k",
+        "resample",
+        r(3),
+        || {
+            black_box(median_ci(&small, 200, 0.95, 42));
+            200
+        },
+    ));
+
+    BenchSummary {
+        schema: "pio-bench/summary/v1".to_string(),
+        metrics,
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+/// Peak RSS (VmHWM) from `/proc/self/status`; 0 when unavailable.
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Render the summary as an aligned human-readable table.
+pub fn render(s: &BenchSummary) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<36} {:>12} {:>14} {:>16}",
+        "scenario", "ops", "ns/op", "ops/sec"
+    );
+    for m in &s.metrics {
+        let _ = writeln!(
+            out,
+            "{:<36} {:>12} {:>14.1} {:>16.0}",
+            m.name, m.ops, m.ns_per_op, m.ops_per_sec
+        );
+    }
+    let _ = writeln!(out, "peak RSS: {} kB", s.peak_rss_kb);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_consistent_rates() {
+        let m = measure("test/noop", "op", 3, || {
+            black_box((0..1000u64).sum::<u64>());
+            1000
+        });
+        assert_eq!(m.ops, 1000);
+        assert!(m.wall_ns >= 1);
+        assert!((m.ns_per_op - m.wall_ns as f64 / 1000.0).abs() < 1e-9);
+        assert!(m.ops_per_sec > 0.0);
+    }
+
+    #[test]
+    fn summary_serializes_with_schema() {
+        let s = BenchSummary {
+            schema: "pio-bench/summary/v1".into(),
+            metrics: vec![measure("a", "op", 1, || 1)],
+            peak_rss_kb: peak_rss_kb(),
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("pio-bench/summary/v1"));
+        assert!(json.contains("ns_per_op"));
+        assert!(!render(&s).is_empty());
+    }
+}

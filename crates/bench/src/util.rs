@@ -1,6 +1,7 @@
 //! Shared helpers for the experiment drivers.
 
 use pio_core::empirical::EmpiricalDist;
+use pio_fault::{Fault, FaultPlan};
 use pio_trace::{CallKind, Trace};
 use std::path::PathBuf;
 
@@ -40,6 +41,95 @@ pub fn parse_scale(args: &[String], default: u32) -> Result<u32, String> {
         }
     }
     Ok(scale)
+}
+
+/// Parse `--fault <plan>` from argv; `None` when the flag is absent, so
+/// every figure driver can re-run its experiment under a named fault
+/// plan without changing its clean-run default.
+///
+/// Like [`scale_from_args`], a malformed plan name is an error (exit 2),
+/// not a silent clean run — a typo must never masquerade as a baseline.
+pub fn fault_from_args() -> Option<FaultPlan> {
+    let args: Vec<String> = std::env::args().collect();
+    match parse_fault(&args) {
+        Ok(plan) => plan,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: {} [--scale N] [--fault {}]",
+                args.first().map_or("bench", |a| a),
+                FAULT_PLAN_NAMES.join("|"),
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The named plans [`parse_fault`] accepts.
+pub const FAULT_PLAN_NAMES: [&str; 5] = [
+    "slow-ost",
+    "flaky-fabric",
+    "mds-stall",
+    "straggler",
+    "drop-retry",
+];
+
+/// The testable core of [`fault_from_args`]: find `--fault <plan>` in
+/// `args` (last occurrence wins, matching `--scale`).
+pub fn parse_fault(args: &[String]) -> Result<Option<FaultPlan>, String> {
+    let mut plan = None;
+    for (i, arg) in args.iter().enumerate() {
+        if arg == "--fault" {
+            let raw = args
+                .get(i + 1)
+                .ok_or_else(|| "--fault requires a plan name".to_string())?;
+            plan = Some(named_fault_plan(raw)?);
+        }
+    }
+    Ok(plan)
+}
+
+/// A named single-fault plan with representative parameters — strong
+/// enough that every driver's ensemble shows the fault's shape
+/// signature, mild enough that runs still complete at small scales.
+pub fn named_fault_plan(name: &str) -> Result<FaultPlan, String> {
+    let plan = match name {
+        // One OST serving 4x slow: right shoulder + OST imbalance.
+        "slow-ost" => FaultPlan::new().with(Fault::SlowOst {
+            ost: 0,
+            slowdown: 4.0,
+            ramp_per_s: 0.0,
+        }),
+        // Duty-cycled fabric collapse: shoulder, OST pool stays balanced.
+        "flaky-fabric" => FaultPlan::new().with(Fault::FlakyFabric {
+            period_s: 2.0,
+            duty: 0.2,
+            slowdown: 8.0,
+        }),
+        // Recurring metadata blackouts: shoulder on the metadata class.
+        "mds-stall" => FaultPlan::new().with(Fault::MdsStall {
+            period_s: 5.0,
+            stall_s: 1.0,
+        }),
+        // One slow client node: rank-correlated mode split.
+        "straggler" => FaultPlan::new().with(Fault::StragglerNode {
+            node: 0,
+            slowdown: 4.0,
+        }),
+        // Transient request loss: right-tail mass tracks the drop rate.
+        "drop-retry" => FaultPlan::new().with(Fault::DropRetry {
+            prob: 0.02,
+            timeout_s: 0.5,
+            max_retries: 4,
+        }),
+        other => {
+            return Err(format!(
+                "unknown --fault plan {other:?}: expected one of {}",
+                FAULT_PLAN_NAMES.join(", ")
+            ))
+        }
+    };
+    Ok(plan)
 }
 
 /// Output directory for CSV exports (`results/`, or `$PIO_RESULTS`).
@@ -181,6 +271,32 @@ mod tests {
         assert!(parse_scale(&args(&["bench", "--scale", "-3"]), 16).is_err());
         assert!(parse_scale(&args(&["bench", "--scale", "0"]), 16).is_err());
         assert!(parse_scale(&args(&["bench", "--scale", "8x"]), 16).is_err());
+    }
+
+    #[test]
+    fn parse_fault_resolves_named_plans() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_fault(&args(&["bench"])), Ok(None));
+        for name in FAULT_PLAN_NAMES {
+            let plan = parse_fault(&args(&["bench", "--fault", name]))
+                .expect("named plan parses")
+                .expect("plan present");
+            assert!(!plan.is_empty(), "{name} produced an empty plan");
+        }
+        // Last occurrence wins, matching --scale.
+        let plan = parse_fault(&args(&[
+            "bench",
+            "--fault",
+            "slow-ost",
+            "--fault",
+            "mds-stall",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert_eq!(plan, named_fault_plan("mds-stall").unwrap());
+        // Malformed input is an error, not a silent clean run.
+        assert!(parse_fault(&args(&["bench", "--fault"])).is_err());
+        assert!(parse_fault(&args(&["bench", "--fault", "bogus"])).is_err());
     }
 
     #[test]

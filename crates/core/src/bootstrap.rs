@@ -50,30 +50,117 @@ impl Mix {
     }
 }
 
+/// SplitMix64 finalizer: a bijective 64-bit scramble.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The RNG stream of resample `r` under `seed`.
+///
+/// Every resample owns an independent generator derived by **fully
+/// mixing** `(seed, r)` — a naive `seed + r·constant` start state would
+/// make stream `r` a shifted copy of stream 0 (SplitMix64 walks its
+/// state by a fixed increment), correlating the resamples. The full
+/// scramble makes the partition of resamples over threads irrelevant:
+/// any worker count draws exactly the same indices for resample `r`.
+fn resample_stream(seed: u64, r: u64) -> Mix {
+    Mix(mix64(
+        (seed ^ 0xB007).wrapping_add(r.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    ))
+}
+
+/// Resamples below this run serially: thread spawn costs more than the
+/// work (resamples × n index draws + sorts).
+const PARALLEL_MIN_WORK: usize = 1 << 17;
+
+/// Compute the sorted bootstrap statistics for `resamples` resamples,
+/// `lo..hi` of which are produced by this call (one worker's share).
+fn resample_range<F: Fn(&EmpiricalDist) -> f64>(
+    samples: &[f64],
+    stat: &F,
+    lo: usize,
+    hi: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let n = samples.len();
+    let mut out = Vec::with_capacity(hi - lo);
+    let mut buf = vec![0.0f64; n];
+    // One scratch distribution per worker, refilled in place: the loop
+    // body allocates nothing after the first iteration.
+    let mut scratch = EmpiricalDist::new(samples);
+    for r in lo..hi {
+        let mut rng = resample_stream(seed, r as u64);
+        for slot in buf.iter_mut() {
+            *slot = samples[rng.index(n)];
+        }
+        scratch.refill_from(&buf);
+        out.push(stat(&scratch));
+    }
+    out
+}
+
 /// Percentile-bootstrap confidence interval for `stat` over `dist`:
 /// `resamples` with-replacement resamples, interval at `level`
 /// (e.g. 0.95), generator seeded by `seed`.
-pub fn bootstrap_ci<F: Fn(&EmpiricalDist) -> f64>(
+///
+/// Large inputs fan the resamples out over threads. The result is
+/// **bit-identical for any worker count**: resample `r` always draws
+/// from its own SplitMix64-derived stream, and the percentile
+/// extraction sorts the statistics, erasing completion order.
+pub fn bootstrap_ci<F: Fn(&EmpiricalDist) -> f64 + Sync>(
     dist: &EmpiricalDist,
     stat: F,
     resamples: usize,
     level: f64,
     seed: u64,
 ) -> ConfidenceInterval {
+    let workers = if resamples * dist.n() >= PARALLEL_MIN_WORK {
+        std::thread::available_parallelism().map_or(1, |p| p.get().min(8))
+    } else {
+        1
+    };
+    bootstrap_ci_with_workers(dist, stat, resamples, level, seed, workers)
+}
+
+/// [`bootstrap_ci`] with an explicit worker count — exposed so the
+/// determinism suite can assert worker-count invariance directly.
+#[doc(hidden)]
+pub fn bootstrap_ci_with_workers<F: Fn(&EmpiricalDist) -> f64 + Sync>(
+    dist: &EmpiricalDist,
+    stat: F,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+    workers: usize,
+) -> ConfidenceInterval {
     assert!(resamples >= 8, "too few resamples");
     assert!((0.0..1.0).contains(&level) && level > 0.0);
     let estimate = stat(dist);
-    let n = dist.n();
     let samples = dist.samples();
-    let mut rng = Mix(seed ^ 0xB007);
-    let mut stats = Vec::with_capacity(resamples);
-    let mut buf = vec![0.0f64; n];
-    for _ in 0..resamples {
-        for slot in buf.iter_mut() {
-            *slot = samples[rng.index(n)];
-        }
-        stats.push(stat(&EmpiricalDist::new(&buf)));
-    }
+
+    let workers = workers.clamp(1, resamples);
+    let mut stats = if workers == 1 {
+        resample_range(samples, &stat, 0, resamples, seed)
+    } else {
+        let per = resamples.div_ceil(workers);
+        let stat = &stat;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let lo = (w * per).min(resamples);
+                    let hi = ((w + 1) * per).min(resamples);
+                    scope.spawn(move || resample_range(samples, stat, lo, hi, seed))
+                })
+                .collect();
+            let mut all = Vec::with_capacity(resamples);
+            for h in handles {
+                all.extend(h.join().expect("bootstrap worker"));
+            }
+            all
+        })
+    };
     stats.sort_by(f64::total_cmp);
     let alpha = (1.0 - level) / 2.0;
     let lo_idx = ((alpha * resamples as f64) as usize).min(resamples - 1);
@@ -109,7 +196,7 @@ pub fn mean_ci(
 /// Are two runs' statistics distinguishable? True when the bootstrap
 /// intervals of `stat` at `level` do not overlap — the "same experiment
 /// or a real shift?" question the ensemble method keeps asking.
-pub fn distinguishable<F: Fn(&EmpiricalDist) -> f64 + Copy>(
+pub fn distinguishable<F: Fn(&EmpiricalDist) -> f64 + Copy + Sync>(
     a: &EmpiricalDist,
     b: &EmpiricalDist,
     stat: F,
@@ -170,6 +257,36 @@ mod tests {
             0.95,
             2
         ));
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_interval() {
+        let d = dist(3.0);
+        let serial = bootstrap_ci_with_workers(&d, EmpiricalDist::median, 128, 0.95, 11, 1);
+        for workers in [2, 3, 8, 128] {
+            let par = bootstrap_ci_with_workers(&d, EmpiricalDist::median, 128, 0.95, 11, workers);
+            assert_eq!(serial, par, "workers={workers}");
+        }
+        // And the auto-dispatching entry point agrees too.
+        assert_eq!(serial, median_ci(&d, 128, 0.95, 11));
+    }
+
+    #[test]
+    fn resample_streams_are_not_shifted_copies() {
+        // Adjacent resamples must draw unrelated index sequences; a
+        // shifted-stream bug would make stream r+1 reproduce stream r
+        // offset by one draw.
+        let a: Vec<u64> = {
+            let mut s = resample_stream(42, 0);
+            (0..16).map(|_| s.next()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut s = resample_stream(42, 1);
+            (0..16).map(|_| s.next()).collect()
+        };
+        assert_ne!(a, b);
+        assert_ne!(a[1..], b[..15], "stream 1 is stream 0 shifted");
+        assert_ne!(b[1..], a[..15], "stream 0 is stream 1 shifted");
     }
 
     #[test]

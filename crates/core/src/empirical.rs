@@ -28,6 +28,28 @@ impl EmpiricalDist {
         EmpiricalDist { sorted }
     }
 
+    /// Build from a vector that is already sorted ascending (checked in
+    /// debug builds only) — no copy, no re-sort.
+    pub fn from_sorted_vec(sorted: Vec<f64>) -> Self {
+        assert!(!sorted.is_empty(), "empty distribution");
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le()),
+            "samples not sorted"
+        );
+        EmpiricalDist { sorted }
+    }
+
+    /// Replace the contents with `samples` (copied and sorted), reusing
+    /// this distribution's allocation — the bootstrap loop's resample
+    /// buffer, refilled thousands of times without reallocating.
+    pub fn refill_from(&mut self, samples: &[f64]) {
+        assert!(!samples.is_empty(), "empty distribution");
+        assert!(samples.iter().all(|v| !v.is_nan()), "NaN sample");
+        self.sorted.clear();
+        self.sorted.extend_from_slice(samples);
+        self.sorted.sort_by(f64::total_cmp);
+    }
+
     /// Number of observations.
     pub fn n(&self) -> usize {
         self.sorted.len()

@@ -17,10 +17,14 @@ pub struct Scheduler<E> {
 }
 
 impl<E> Scheduler<E> {
-    fn new(now: SimTime) -> Self {
+    /// A scheduler for `now` reusing `pending` as its follow-up buffer
+    /// (the simulator hands the same buffer back every step, so the
+    /// steady-state event loop allocates nothing).
+    fn with_buffer(now: SimTime, pending: Vec<(SimTime, E)>) -> Self {
+        debug_assert!(pending.is_empty());
         Scheduler {
             now,
-            pending: Vec::new(),
+            pending,
             clamped: 0,
         }
     }
@@ -41,15 +45,17 @@ impl<E> Scheduler<E> {
         self.pending.push((at, event));
     }
 
-    /// Schedule `event` after `delay`.
+    /// Schedule `event` after `delay`. Routes through [`Scheduler::at`]
+    /// so clamp accounting stays consistent across entry points.
     pub fn after(&mut self, delay: SimSpan, event: E) {
-        self.pending.push((self.now + delay, event));
+        self.at(self.now + delay, event);
     }
 
     /// Schedule `event` immediately (still goes through the queue, so it
-    /// runs after the current handler returns).
+    /// runs after the current handler returns). Same clamp accounting as
+    /// [`Scheduler::at`] — `now` is never in the past, so never counted.
     pub fn now_(&mut self, event: E) {
-        self.pending.push((self.now, event));
+        self.at(self.now, event);
     }
 }
 
@@ -70,6 +76,9 @@ pub struct Simulator<W: World> {
     now: SimTime,
     processed: u64,
     clamped: u64,
+    /// Follow-up buffer recycled through every `step()`'s `Scheduler`,
+    /// keeping the steady-state loop allocation-free.
+    scratch: Vec<(SimTime, W::Event)>,
 }
 
 impl<W: World> Simulator<W> {
@@ -81,6 +90,7 @@ impl<W: World> Simulator<W> {
             now: SimTime::ZERO,
             processed: 0,
             clamped: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -112,12 +122,11 @@ impl<W: World> Simulator<W> {
         };
         debug_assert!(t >= self.now, "event queue went backwards");
         self.now = t;
-        let mut sched = Scheduler::new(t);
+        let mut sched = Scheduler::with_buffer(t, std::mem::take(&mut self.scratch));
         self.world.handle(t, ev, &mut sched);
         self.clamped += sched.clamped;
-        for (at, e) in sched.pending {
-            self.queue.push(at, e);
-        }
+        self.queue.push_batch(&mut sched.pending);
+        self.scratch = sched.pending;
         self.processed += 1;
         true
     }

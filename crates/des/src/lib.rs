@@ -14,6 +14,7 @@
 //! repeated runs of a single *experiment*).
 
 pub mod engine;
+pub mod hash;
 pub mod hist;
 pub mod maxmin;
 pub mod queue;
@@ -23,6 +24,7 @@ pub mod stats;
 pub mod time;
 
 pub use engine::{Scheduler, Simulator, World};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use server::{MultiServiceCenter, ServiceCenter};

@@ -9,7 +9,7 @@
 //! eliminate these shared boundary stripes.
 
 use crate::NodeId;
-use std::collections::HashMap;
+use pio_des::FxHashMap;
 
 /// What a write into a stripe costs in lock terms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,7 +48,7 @@ pub struct LockStats {
 #[derive(Debug, Default)]
 pub struct LockMap {
     /// (file, stripe) → owning node.
-    owners: HashMap<(u32, u64), NodeId>,
+    owners: FxHashMap<(u32, u64), NodeId>,
     grants: u64,
     conflicts: u64,
     rmws: u64,

@@ -17,7 +17,7 @@
 //! fetches whose per-page cost scales with the erroneous window size).
 
 use crate::config::ReadaheadConfig;
-use std::collections::HashMap;
+use pio_des::FxHashMap;
 
 /// Pattern classification of the *next* read on a stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,7 +48,7 @@ struct StreamState {
 /// typically hash of `(rank, fd)`).
 #[derive(Debug, Default)]
 pub struct ReadaheadTracker {
-    streams: HashMap<u64, StreamState>,
+    streams: FxHashMap<u64, StreamState>,
     /// Total reads classified as strided (for diagnostics/stats).
     strided_classified: u64,
 }

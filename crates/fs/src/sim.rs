@@ -32,8 +32,7 @@ use crate::ost::Ost;
 use crate::readahead::{ReadMode, ReadaheadTracker};
 use crate::stripe::StripeLayout;
 use crate::{FileId, NodeId};
-use pio_des::{MultiServiceCenter, ServiceCenter, SimRng, SimSpan, SimTime};
-use std::collections::HashMap;
+use pio_des::{FxHashMap, FxHashSet, MultiServiceCenter, ServiceCenter, SimRng, SimSpan, SimTime};
 
 /// Identifier of an in-flight (or recently submitted) I/O.
 pub type IoId = u64;
@@ -111,7 +110,7 @@ pub enum FsNotify {
 }
 
 /// Aggregate statistics over a run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FsStats {
     /// Data RPCs issued.
     pub data_rpcs: u64,
@@ -199,7 +198,7 @@ pub struct FsSim {
     files: Vec<FileMeta>,
     readahead: ReadaheadTracker,
     locks: LockMap,
-    ios: HashMap<IoId, IoState>,
+    ios: FxHashMap<IoId, IoState>,
     next_io: IoId,
     rng: SimRng,
     stats: FsStats,
@@ -211,16 +210,21 @@ pub struct FsSim {
     /// erroneous window is in effect it stays until the pattern breaks,
     /// even if memory pressure has eased (the window-size calculation,
     /// not the pressure, was the bug).
-    degraded_streams: std::collections::HashSet<u64>,
+    degraded_streams: FxHashSet<u64>,
     /// Optional fault-injection hooks (see [`crate::fault`]). `None` is
     /// the common case and costs nothing: no hook calls, no RNG draws.
     fault: Option<Box<dyn FaultInjector>>,
+    /// Recycled RPC-plan buffers: retired I/Os return their `rpcs` Vec
+    /// here and `grant` reuses them, so steady state allocates no plans.
+    rpc_pool: Vec<Vec<Rpc>>,
+    /// Scratch buffer for stripe decomposition during `grant`.
+    extent_scratch: Vec<crate::stripe::Extent>,
 }
 
 /// Where a run's time went: per-resource busy time and contention
 /// counters, for the utilization breakdowns the figure binaries and
 /// `analyze` print.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct UtilizationReport {
     /// Run end used for the fractions (seconds).
     pub horizon_s: f64,
@@ -330,14 +334,16 @@ impl FsSim {
             files: Vec::new(),
             readahead: ReadaheadTracker::new(),
             locks: LockMap::new(),
-            ios: HashMap::new(),
+            ios: FxHashMap::default(),
             next_io: 1,
             rng: SimRng::stream(seed, 0xF5),
             stats: FsStats::default(),
             node_wr_outstanding: vec![0; n_nodes as usize],
             node_flush_waiters: vec![Vec::new(); n_nodes as usize],
-            degraded_streams: std::collections::HashSet::new(),
+            degraded_streams: FxHashSet::default(),
             fault: None,
+            rpc_pool: Vec::new(),
+            extent_scratch: Vec::new(),
             cfg,
         }
     }
@@ -552,7 +558,7 @@ impl FsSim {
     pub fn handle(&mut self, now: SimTime, ev: FsEvent, out: &mut FsOut) {
         match ev {
             FsEvent::MetaDone { io } => {
-                let st = self.ios.remove(&io).expect("meta io state");
+                let st = self.retire(io);
                 out.notify.push(FsNotify::Done { io, rank: st.rank });
             }
             FsEvent::Accepted { io } => {
@@ -564,7 +570,7 @@ impl FsSim {
                 out.notify.push(FsNotify::Done { io, rank });
                 self.release_token(now, node, out);
                 if all_done {
-                    self.ios.remove(&io);
+                    self.retire(io);
                 }
             }
             FsEvent::RpcDone { io, idx } => self.rpc_done(now, io, idx, out),
@@ -572,6 +578,16 @@ impl FsSim {
     }
 
     // ---- internal machinery -------------------------------------------
+
+    /// Remove a finished I/O, recycling its RPC-plan buffer for reuse by
+    /// a later `grant`.
+    fn retire(&mut self, io: IoId) -> IoState {
+        let mut st = self.ios.remove(&io).expect("retire io state");
+        let mut rpcs = std::mem::take(&mut st.rpcs);
+        rpcs.clear();
+        self.rpc_pool.push(rpcs);
+        st
+    }
 
     fn meta_state(&self, _io: IoId, req: &IoReq, _now: SimTime) -> IoState {
         IoState {
@@ -627,12 +643,16 @@ impl FsSim {
         let shared = self.files[file as usize].shared;
         let window_default = self.nodes[node_id as usize].io_window(self.cfg.node_window);
 
-        let mut rpcs = Vec::new();
+        let mut rpcs = self.rpc_pool.pop().unwrap_or_default();
+        debug_assert!(rpcs.is_empty());
         let mut sync = false;
         let degraded = false;
+        // Decompose into a recycled scratch buffer (taken out of `self`
+        // so the loop below can still borrow the lock table and RNG).
+        let mut extents = std::mem::take(&mut self.extent_scratch);
+        layout.extents_into(offset, len, &mut extents);
         match kind {
             IoKind::Write => {
-                let extents = layout.extents(offset, len);
                 // A small shared-file write dominated by partial stripes
                 // cannot be buffered: the client must perform the
                 // lock-covered read-modify-write edges synchronously. Large
@@ -644,7 +664,7 @@ impl FsSim {
                 if shared && partials * 4 > extents.len() {
                     sync = true;
                 }
-                for ex in extents {
+                for &ex in &extents {
                     let full = ex.is_full_stripe(self.cfg.stripe_bytes);
                     let mut ost_extra = SimSpan::ZERO;
                     let mut revoke = false;
@@ -682,7 +702,7 @@ impl FsSim {
                 }
             }
             IoKind::Read => {
-                for ex in layout.extents(offset, len) {
+                for &ex in &extents {
                     rpcs.push(Rpc {
                         offset: ex.offset,
                         len: ex.len as u32,
@@ -695,6 +715,7 @@ impl FsSim {
             }
             _ => unreachable!("grant is only for data I/O"),
         }
+        self.extent_scratch = extents;
 
         let severity = match read_mode {
             ReadMode::Strided { severity } if kind == IoKind::Read => severity,
@@ -805,75 +826,79 @@ impl FsSim {
                 }
             }
         }
+        // Split the borrow so each iteration pays a single map lookup:
+        // the I/O state stays mutably borrowed from `ios` while the
+        // service centers, RNG and counters are reached through their own
+        // disjoint fields.
+        let FsSim {
+            ios,
+            nodes,
+            files,
+            fabric,
+            dlm,
+            osts,
+            rng,
+            cfg,
+            fault,
+            stats,
+            node_wr_outstanding,
+            ..
+        } = self;
         loop {
-            let (node_id, file, stream, noise, rpc, idx, is_write) = {
-                let Some(st) = self.ios.get(&io) else { return };
-                if st.inflight >= st.window || (st.next_rpc as usize) >= st.rpcs.len() {
-                    return;
-                }
-                let idx = st.next_rpc as usize;
-                let rpc = st.rpcs[idx];
-                // Buffered writes send only accepted bytes.
-                if st.kind == IoKind::Write
-                    && !st.sync
-                    && rpc.offset + rpc.len as u64 > st.offset + st.accepted
-                {
-                    return;
-                }
-                (
-                    st.node,
-                    st.file,
-                    st.stream,
-                    st.noise,
-                    rpc,
-                    idx as u32,
-                    st.kind == IoKind::Write,
-                )
-            };
+            let Some(st) = ios.get_mut(&io) else { return };
+            if st.inflight >= st.window || (st.next_rpc as usize) >= st.rpcs.len() {
+                return;
+            }
+            let idx = st.next_rpc as usize;
+            let rpc = st.rpcs[idx];
+            // Buffered writes send only accepted bytes.
+            if st.kind == IoKind::Write
+                && !st.sync
+                && rpc.offset + rpc.len as u64 > st.offset + st.accepted
+            {
+                return;
+            }
+            let (node_id, stream, noise, is_write) =
+                (st.node, st.stream, st.noise, st.kind == IoKind::Write);
+            let layout = files[st.file as usize].layout;
+            st.next_rpc += 1;
+            st.inflight += 1;
 
             let bytes = rpc.len as u64;
-            let layout = self.files[file as usize].layout;
             let ost = layout.ost_of_stripe(layout.stripe_of(rpc.offset));
             // Fault hooks (inert when no injector is installed): extra
             // per-stage demand plus a client-side drop/retry delay before
             // the RPC is (re)transmitted.
-            let (drop_delay, nic_x, fab_x, ost_x) = match self.fault.as_deref_mut() {
+            let (drop_delay, nic_x, fab_x, ost_x) = match fault.as_deref_mut() {
                 Some(f) => (
                     f.rpc_drop_delay(now),
-                    f.nic_extra(now, node_id, SimSpan::for_bytes(bytes, self.cfg.nic_bw)),
-                    f.fabric_extra(now, SimSpan::for_bytes(bytes, self.cfg.fabric_bw)),
-                    f.ost_extra(
-                        now,
-                        ost,
-                        SimSpan::for_bytes(bytes, self.cfg.ost_bw),
-                        !is_write,
-                    ),
+                    f.nic_extra(now, node_id, SimSpan::for_bytes(bytes, cfg.nic_bw)),
+                    f.fabric_extra(now, SimSpan::for_bytes(bytes, cfg.fabric_bw)),
+                    f.ost_extra(now, ost, SimSpan::for_bytes(bytes, cfg.ost_bw), !is_write),
                 ),
                 None => (SimSpan::ZERO, SimSpan::ZERO, SimSpan::ZERO, SimSpan::ZERO),
             };
             // Lock revocation serializes through the DLM before the data
             // moves.
             let start = if rpc.revoke {
-                let lat = self.rng.lognormal(self.cfg.lock_revoke_latency, 0.3);
-                self.dlm.submit(now, SimSpan::from_secs_f64(lat))
+                let lat = rng.lognormal(cfg.lock_revoke_latency, 0.3);
+                dlm.submit(now, SimSpan::from_secs_f64(lat))
             } else {
                 now
             };
-            let t_nic = self.nodes[node_id as usize]
+            let t_nic = nodes[node_id as usize]
                 .nic
-                .submit(start, SimSpan::for_bytes(bytes, self.cfg.nic_bw));
-            let t_fab = self
-                .fabric
-                .submit(t_nic, SimSpan::for_bytes(bytes, self.cfg.fabric_bw) + fab_x);
-            let t_ost = self.osts[ost].submit(
+                .submit(start, SimSpan::for_bytes(bytes, cfg.nic_bw));
+            let t_fab = fabric.submit(t_nic, SimSpan::for_bytes(bytes, cfg.fabric_bw) + fab_x);
+            let t_ost = osts[ost].submit(
                 t_fab,
                 bytes,
                 stream,
                 !is_write,
                 noise,
                 rpc.ost_extra + ost_x,
-                &self.cfg,
-                &mut self.rng,
+                cfg,
+                rng,
             );
             // Drop/retry waits and the straggler-NIC excess are
             // client-visible latency only: with eager completion-time
@@ -881,16 +906,17 @@ impl FsSim {
             // let one sick client stall the global fabric FIFO behind
             // its future start times.
             let done = t_ost + rpc.local_extra + drop_delay + nic_x;
-            self.stats.data_rpcs += 1;
+            stats.data_rpcs += 1;
             if is_write {
-                self.node_wr_outstanding[node_id as usize] += 1;
+                node_wr_outstanding[node_id as usize] += 1;
             }
-            {
-                let st = self.ios.get_mut(&io).expect("io state");
-                st.next_rpc += 1;
-                st.inflight += 1;
-            }
-            out.sched.push((done, FsEvent::RpcDone { io, idx }));
+            out.sched.push((
+                done,
+                FsEvent::RpcDone {
+                    io,
+                    idx: idx as u32,
+                },
+            ));
         }
     }
 
@@ -931,18 +957,18 @@ impl FsSim {
             match kind {
                 IoKind::Read => {
                     out.notify.push(FsNotify::Done { io, rank });
-                    self.ios.remove(&io);
+                    self.retire(io);
                     self.release_token(now, node_id, out);
                 }
                 IoKind::Write => {
                     if sync {
                         // Sync write returns at last RPC.
                         out.notify.push(FsNotify::Done { io, rank });
-                        self.ios.remove(&io);
+                        self.retire(io);
                         self.release_token(now, node_id, out);
                     } else if returned {
                         // Call already returned at acceptance; write-back done.
-                        self.ios.remove(&io);
+                        self.retire(io);
                     }
                     // else: acceptance event will clean up.
                 }
@@ -972,11 +998,12 @@ impl FsSim {
             let Some(&front) = self.nodes[n].blocked.front() else {
                 return;
             };
-            let (take, fully) = {
+            let (take, fully, ret) = {
                 let st = self.ios.get_mut(&front).expect("blocked io state");
                 let take = free.min(st.len - st.accepted);
                 st.accepted += take;
-                (take, st.accepted == st.len)
+                let ret = stretch_accept(st.granted_at, st.ingest_done.max(now), st.stretch);
+                (take, st.accepted == st.len, ret)
             };
             self.nodes[n].add_dirty(now, take);
             if self.nodes[n].under_pressure(now, self.cfg.cache_bytes, self.cfg.pressure_frac) {
@@ -984,8 +1011,6 @@ impl FsSim {
             }
             if fully {
                 self.nodes[n].blocked.pop_front();
-                let st = self.ios.get(&front).expect("blocked io state");
-                let ret = stretch_accept(st.granted_at, st.ingest_done.max(now), st.stretch);
                 out.sched.push((ret, FsEvent::Accepted { io: front }));
                 self.pump(now, front, out);
                 // Loop: maybe more free space for the next blocked writer.

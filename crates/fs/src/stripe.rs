@@ -72,6 +72,15 @@ impl StripeLayout {
     /// in file order. Empty ranges yield no extents.
     pub fn extents(&self, offset: u64, len: u64) -> Vec<Extent> {
         let mut out = Vec::new();
+        self.extents_into(offset, len, &mut out);
+        out
+    }
+
+    /// Like [`StripeLayout::extents`], but clears and fills a
+    /// caller-provided buffer — the hot path reuses one buffer per
+    /// simulator so steady-state grants allocate nothing.
+    pub fn extents_into(&self, offset: u64, len: u64, out: &mut Vec<Extent>) {
+        out.clear();
         let mut at = offset;
         let end = offset + len;
         while at < end {
@@ -86,7 +95,6 @@ impl StripeLayout {
             });
             at += piece;
         }
-        out
     }
 
     /// Number of stripes a range touches.

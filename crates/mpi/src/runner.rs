@@ -96,7 +96,7 @@ impl std::fmt::Display for RunError {
 impl std::error::Error for RunError {}
 
 /// The outcome of one seeded run.
-#[derive(Debug)]
+#[derive(Debug, PartialEq)]
 pub struct RunReport {
     /// The seed this run used.
     pub seed: u64,
@@ -344,41 +344,68 @@ fn run_single_streaming(
 /// Multi-seed execution over up to `threads` OS threads (runs are
 /// independent simulations, so the ensemble parallelizes perfectly).
 /// Reports come back in seed order regardless of completion order.
+///
+/// Work distribution is a **work-stealing loop**: workers claim the next
+/// unstarted seed from a shared atomic counter, so a slow run (a faulted
+/// straggler cell, a larger scale) never idles the other threads the way
+/// static chunking does. Determinism is untouched — which thread runs a
+/// seed has no effect on that run (each simulation owns all its state
+/// and RNG streams), and reports are placed by seed index, so the result
+/// is bit-identical for any thread count and any interleaving.
 fn execute_parallel(
     job: &Job,
     base: &RunConfig,
     seeds: &[u64],
     threads: usize,
 ) -> Result<Vec<RunReport>, RunError> {
-    let per_chunk = seeds.len().div_ceil(threads.min(seeds.len()));
-    let chunked: Vec<Vec<Result<RunReport, RunError>>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = seeds
-            .chunks(per_chunk)
-            .map(|chunk| {
-                let cfg = base.clone();
-                scope.spawn(move |_| {
-                    chunk
-                        .iter()
-                        .map(|&seed| {
-                            run_single(
-                                job,
-                                &RunConfig {
-                                    seed,
-                                    ..cfg.clone()
-                                },
-                            )
-                        })
-                        .collect()
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let workers = threads.min(seeds.len()).max(1);
+    let next = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, Result<RunReport, RunError>)>> =
+        crossbeam::thread::scope(|scope| {
+            let next = &next;
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cfg = base.clone();
+                    scope.spawn(move |_| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&seed) = seeds.get(i) else { break };
+                            local.push((
+                                i,
+                                run_single(
+                                    job,
+                                    &RunConfig {
+                                        seed,
+                                        ..cfg.clone()
+                                    },
+                                ),
+                            ));
+                        }
+                        local
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("run thread"))
-            .collect()
-    })
-    .expect("ensemble scope");
-    chunked.into_iter().flatten().collect()
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("run thread"))
+                .collect()
+        })
+        .expect("ensemble scope");
+
+    // Place by claimed index: seed order, independent of completion order.
+    let mut slots: Vec<Option<Result<RunReport, RunError>>> =
+        (0..seeds.len()).map(|_| None).collect();
+    for (i, report) in per_worker.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "seed {i} claimed twice");
+        slots[i] = Some(report);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every seed claimed exactly once"))
+        .collect()
 }
 
 /// The outcome of a run under the deprecated [`run`] entry point.

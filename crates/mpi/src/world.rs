@@ -2,12 +2,12 @@
 //! time, barriers, point-to-point messages, and IPM-I/O trace capture.
 
 use crate::program::{Job, Op};
-use pio_des::{Scheduler, SimRng, SimSpan, SimTime, World};
+use pio_des::{FxHashMap, Scheduler, SimRng, SimSpan, SimTime, World};
 use pio_fs::fault::FaultInjector;
 use pio_fs::sim::FsOut;
 use pio_fs::{FsEvent, FsNotify, FsSim, IoKind, IoReq};
 use pio_trace::{CallKind, FdTable, Record, RecordSink, Trace, TraceMeta};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// MPI message-layer cost model (the fabric's message path is far faster
 /// than its I/O path; modeled as latency + bandwidth without queueing).
@@ -92,7 +92,7 @@ pub struct MpiWorld<'s> {
     phase: u32,
     barrier_arrivals: Vec<Option<SimTime>>,
     arrived: u32,
-    channels: HashMap<(u32, u32), Channel>,
+    channels: FxHashMap<(u32, u32), Channel>,
     mpi: MpiConfig,
     rng: SimRng,
     finished: u32,
@@ -130,7 +130,7 @@ impl<'s> MpiWorld<'s> {
             ranks,
             phase: 0,
             arrived: 0,
-            channels: HashMap::new(),
+            channels: FxHashMap::default(),
             mpi,
             rng: SimRng::stream(seed, 0xA1),
             finished: 0,

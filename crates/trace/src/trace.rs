@@ -24,7 +24,7 @@ pub struct TraceMeta {
 }
 
 /// A complete trace: metadata plus records in issue order per rank.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Trace {
     /// Experiment identification.
     pub meta: TraceMeta,
