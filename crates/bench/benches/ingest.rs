@@ -111,6 +111,57 @@ fn shard_maps(shards: usize) -> Vec<HashMap<ShardKey, ShardStats>> {
         .collect()
 }
 
+/// Parse throughput of the three trace readers over the same records:
+/// the serde_json-per-line baseline, the hand-rolled JSONL fast path,
+/// and the binary ptb block reader.
+fn bench_parse_formats(c: &mut Criterion) {
+    let meta = TraceMeta {
+        experiment: "bench".into(),
+        platform: "synthetic".into(),
+        ranks: 64,
+        seed: 0,
+    };
+    let mut trace = Trace::new(meta);
+    for r in records(50_000) {
+        trace.push(r);
+    }
+    let mut jsonl = Vec::new();
+    pio_trace::io::write_jsonl(&trace, &mut jsonl).unwrap();
+    let mut ptb = Vec::new();
+    pio_trace::ptb::write_ptb(&trace, &mut ptb).unwrap();
+
+    let mut group = c.benchmark_group("ingest/parse_50k");
+    group.bench_function("jsonl_serde_baseline", |b| {
+        b.iter(|| {
+            use std::io::BufRead;
+            let mut n = 0u64;
+            for line in black_box(&jsonl[..]).lines().skip(1) {
+                let rec: Record = serde_json::from_str(&line.unwrap()).unwrap();
+                black_box(&rec);
+                n += 1;
+            }
+            n
+        })
+    });
+    group.bench_function("jsonl_fast", |b| {
+        b.iter(|| {
+            let mut sink = pio_trace::NullSink;
+            pio_ingest::stream_jsonl(std::io::Cursor::new(black_box(&jsonl[..])), &mut sink)
+                .unwrap()
+                .1
+        })
+    });
+    group.bench_function("ptb", |b| {
+        b.iter(|| {
+            let mut sink = pio_trace::NullSink;
+            pio_ingest::stream_ptb(std::io::Cursor::new(black_box(&ptb[..])), &mut sink)
+                .unwrap()
+                .1
+        })
+    });
+    group.finish();
+}
+
 fn bench_merge_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("ingest/snapshot_merge");
     for shards in [1usize, 2, 4, 8, 16] {
@@ -136,5 +187,10 @@ fn bench_merge_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_streaming_vs_batch, bench_merge_scaling);
+criterion_group!(
+    benches,
+    bench_streaming_vs_batch,
+    bench_parse_formats,
+    bench_merge_scaling
+);
 criterion_main!(benches);

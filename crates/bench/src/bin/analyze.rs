@@ -1,9 +1,10 @@
 //! Offline trace analysis — the tool a user points at a saved IPM-I/O
-//! trace (JSONL, as written by `pio_trace::io::save` or any conforming
-//! producer) to get the paper's full ensemble treatment without re-running
-//! anything.
+//! trace (JSONL or binary ptb, as written by `pio_trace::io` or any
+//! conforming producer) to get the paper's full ensemble treatment
+//! without re-running anything. The input format is sniffed from the
+//! file's bytes; `--format jsonl|ptb` forces it.
 //!
-//! Usage: `analyze <trace.jsonl> [--stream] [--diagram] [--csv DIR]`
+//! Usage: `analyze <trace> [--stream] [--format jsonl|ptb] [--diagram] [--csv DIR]`
 //!
 //! Prints the IPM summary, per-call-class ensemble statistics and modes,
 //! per-phase breakdown, and the bottleneck diagnosis; optionally the
@@ -14,13 +15,14 @@
 //! online diagnoser, and the report is rendered from the mergeable
 //! snapshot — constant memory regardless of trace size.
 
+use pio_bench::util::format_from_args;
 use pio_core::empirical::EmpiricalDist;
 use pio_core::loghist::LogHistogram;
 use pio_core::rates::write_rate_curve;
 use pio_core::report;
 use pio_ingest::{IngestConfig, IngestPipeline, StreamDiagnoser};
 use pio_trace::phase::phase_summaries;
-use pio_trace::{io as trace_io, CallKind, Tee};
+use pio_trace::{io as trace_io, CallKind, Tee, TraceFormat};
 use pio_viz::ascii;
 use pio_viz::csv as vcsv;
 use std::path::PathBuf;
@@ -28,11 +30,13 @@ use std::path::PathBuf;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: analyze <trace.jsonl> [--stream] [--diagram] [--csv DIR]");
+        eprintln!("usage: analyze <trace> [--stream] [--format jsonl|ptb] [--diagram] [--csv DIR]");
         std::process::exit(2);
     };
+    // Exits with status 2 on a malformed --format before any I/O.
+    let forced_format = format_from_args();
     if args.iter().any(|a| a == "--stream") {
-        stream_analyze(path);
+        stream_analyze(path, forced_format);
         return;
     }
     let want_diagram = args.iter().any(|a| a == "--diagram");
@@ -42,7 +46,15 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from);
 
-    let trace = match trace_io::load(std::path::Path::new(path)) {
+    let loaded = match forced_format {
+        Some(TraceFormat::Jsonl) => {
+            std::fs::File::open(path).and_then(|f| trace_io::read_jsonl(std::io::BufReader::new(f)))
+        }
+        Some(TraceFormat::Ptb) => std::fs::File::open(path)
+            .and_then(|f| pio_trace::ptb::read_ptb(std::io::BufReader::new(f))),
+        None => trace_io::load(std::path::Path::new(path)),
+    };
+    let trace = match loaded {
         Ok(t) => t,
         Err(e) => {
             eprintln!("analyze: cannot load {path}: {e}");
@@ -114,12 +126,22 @@ fn main() {
 
 /// The `--stream` path: one record in memory at a time, report rendered
 /// from the mergeable ensemble snapshot and the online diagnoser.
-fn stream_analyze(path: &str) {
+fn stream_analyze(path: &str, forced_format: Option<TraceFormat>) {
     let mut diagnoser = StreamDiagnoser::with_defaults();
     let pipeline = IngestPipeline::new(IngestConfig::default());
     let (meta, n) = {
         let mut tee = Tee(&mut diagnoser, pipeline.sink());
-        match pio_ingest::stream_file(std::path::Path::new(path), &mut tee) {
+        let p = std::path::Path::new(path);
+        let streamed = match forced_format {
+            // Forced format bypasses sniffing (e.g. a ptb file behind a
+            // pipe-unfriendly name); mismatches fail with a parse error.
+            Some(TraceFormat::Jsonl) => std::fs::File::open(p)
+                .and_then(|f| pio_ingest::stream_jsonl(std::io::BufReader::new(f), &mut tee)),
+            Some(TraceFormat::Ptb) => std::fs::File::open(p)
+                .and_then(|f| pio_ingest::stream_ptb(std::io::BufReader::new(f), &mut tee)),
+            None => pio_ingest::stream_file(p, &mut tee),
+        };
+        match streamed {
             Ok(out) => out,
             Err(e) => {
                 eprintln!("analyze: cannot stream {path}: {e}");

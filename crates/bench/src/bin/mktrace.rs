@@ -1,13 +1,26 @@
 //! Generate a sample trace file for `analyze` (also doubles as the
-//! save-path smoke test): a scaled IOR run saved as JSONL.
+//! save-path smoke test): a scaled IOR run saved as JSONL or, with
+//! `--format ptb` (or a `.ptb` output extension), the binary format.
+use pio_bench::util::format_from_args;
 use pio_fs::FsConfig;
 use pio_mpi::{RunConfig, Runner};
+use pio_trace::TraceFormat;
 use pio_workloads::IorConfig;
 
 fn main() {
     let path = std::env::args()
         .nth(1)
+        .filter(|a| !a.starts_with("--"))
         .unwrap_or_else(|| "results/sample_trace.jsonl".into());
+    let format = format_from_args().unwrap_or_else(|| {
+        match std::path::Path::new(&path)
+            .extension()
+            .and_then(|e| e.to_str())
+        {
+            Some("ptb") => TraceFormat::Ptb,
+            _ => TraceFormat::Jsonl,
+        }
+    });
     let cfg = IorConfig {
         repetitions: 2,
         ..IorConfig::paper_fig1().scaled(32)
@@ -22,6 +35,10 @@ fn main() {
     if let Some(parent) = std::path::Path::new(&path).parent() {
         std::fs::create_dir_all(parent).ok();
     }
-    pio_trace::io::save(res.trace(), std::path::Path::new(&path)).unwrap();
-    eprintln!("wrote {} records to {path}", res.trace().records.len());
+    pio_trace::io::save_as(res.trace(), std::path::Path::new(&path), format).unwrap();
+    eprintln!(
+        "wrote {} records to {path} ({})",
+        res.trace().records.len(),
+        format.name()
+    );
 }

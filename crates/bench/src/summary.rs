@@ -19,6 +19,7 @@ use pio_core::kde::Kde;
 use pio_des::{EventQueue, SimTime};
 use pio_fs::FsConfig;
 use pio_mpi::{RunConfig, Runner};
+use pio_trace::{CallKind, NullSink, Record, Trace, TraceMeta};
 use pio_workloads::IorConfig;
 use serde::Serialize;
 use std::hint::black_box;
@@ -148,6 +149,63 @@ fn fault_matrix_cell() -> u64 {
     1
 }
 
+/// A deterministic MADbench-shaped trace for the parse-throughput
+/// metrics (same generator shape as the criterion ingest bench).
+pub fn ingest_trace(n: usize) -> Trace {
+    let mut t = Trace::new(TraceMeta {
+        experiment: "bench_summary".into(),
+        platform: "synthetic".into(),
+        ranks: 64,
+        seed: 0,
+    });
+    for i in 0..n {
+        let call = match i % 4 {
+            0 | 1 => CallKind::Read,
+            2 => CallKind::Write,
+            _ => CallKind::MetaWrite,
+        };
+        let dur = if i % 97 == 0 {
+            5.0 + (i % 13) as f64
+        } else {
+            0.01 + (i % 31) as f64 * 0.002
+        };
+        t.push(Record {
+            rank: (i % 64) as u32,
+            call,
+            fd: 3,
+            offset: (i as u64) << 20,
+            bytes: 1 << 20,
+            start_ns: i as u64 * 1000,
+            end_ns: i as u64 * 1000 + (dur * 1e9) as u64,
+            phase: (i / (n / 8).max(1)) as u32,
+        });
+    }
+    t
+}
+
+/// The pre-fast-path JSONL loop (`serde_json` on every line) — kept as
+/// the in-file baseline the `ingest/parse_jsonl_1m` speedup is measured
+/// against.
+fn parse_jsonl_serde(bytes: &[u8]) -> u64 {
+    use std::io::BufRead;
+    let mut lines = bytes.lines();
+    let meta: TraceMeta =
+        serde_json::from_str(&lines.next().expect("meta line").expect("meta read"))
+            .expect("meta parse");
+    black_box(meta);
+    let mut n = 0u64;
+    for line in lines {
+        let line = line.expect("line read");
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: Record = serde_json::from_str(&line).expect("record parse");
+        black_box(&rec);
+        n += 1;
+    }
+    n
+}
+
 /// All scenarios, measured with per-metric default repetition counts.
 pub fn run_all() -> BenchSummary {
     run_all_with(None)
@@ -212,6 +270,39 @@ pub fn run_all_with(reps: Option<u32>) -> BenchSummary {
             200
         },
     ));
+
+    // Trace-plane parse throughput: the same 1M-record trace through
+    // the serde baseline, the fast JSONL scanner, and binary ptb. The
+    // trace itself is dropped before timing so only the serialized
+    // bytes stay resident.
+    let (jsonl_bytes, ptb_bytes) = {
+        let trace = ingest_trace(1_000_000);
+        let mut jsonl = Vec::new();
+        pio_trace::io::write_jsonl(&trace, &mut jsonl).expect("jsonl encode");
+        let mut ptb = Vec::new();
+        pio_trace::ptb::write_ptb(&trace, &mut ptb).expect("ptb encode");
+        (jsonl, ptb)
+    };
+    metrics.push(measure(
+        "ingest/parse_jsonl_serde_1m",
+        "record",
+        r(2),
+        || parse_jsonl_serde(&jsonl_bytes),
+    ));
+    metrics.push(measure("ingest/parse_jsonl_1m", "record", r(2), || {
+        let mut sink = NullSink;
+        let (meta, n) = pio_ingest::stream_jsonl(std::io::Cursor::new(&jsonl_bytes[..]), &mut sink)
+            .expect("jsonl stream");
+        black_box(meta);
+        n
+    }));
+    metrics.push(measure("ingest/parse_ptb_1m", "record", r(2), || {
+        let mut sink = NullSink;
+        let (meta, n) = pio_ingest::stream_ptb(std::io::Cursor::new(&ptb_bytes[..]), &mut sink)
+            .expect("ptb stream");
+        black_box(meta);
+        n
+    }));
 
     BenchSummary {
         schema: "pio-bench/summary/v1".to_string(),

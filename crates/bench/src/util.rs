@@ -2,7 +2,7 @@
 
 use pio_core::empirical::EmpiricalDist;
 use pio_fault::{Fault, FaultPlan};
-use pio_trace::{CallKind, Trace};
+use pio_trace::{CallKind, Trace, TraceFormat};
 use std::path::PathBuf;
 
 /// Parse `--scale N` from argv (default `default`). Scale divides task
@@ -130,6 +130,44 @@ pub fn named_fault_plan(name: &str) -> Result<FaultPlan, String> {
         }
     };
     Ok(plan)
+}
+
+/// Parse `--format jsonl|ptb` from argv; `None` when absent so callers
+/// keep their own default (sniffing on input, JSONL on output).
+///
+/// Like [`scale_from_args`], a malformed format name is an error (exit
+/// 2), not a silent fall-through.
+pub fn format_from_args() -> Option<TraceFormat> {
+    let args: Vec<String> = std::env::args().collect();
+    match parse_format(&args) {
+        Ok(f) => f,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: {} [--format jsonl|ptb]",
+                args.first().map_or("bench", |a| a)
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The testable core of [`format_from_args`]: find `--format <name>` in
+/// `args` (last occurrence wins, matching `--scale`).
+pub fn parse_format(args: &[String]) -> Result<Option<TraceFormat>, String> {
+    let mut format = None;
+    for (i, arg) in args.iter().enumerate() {
+        if arg == "--format" {
+            let raw = args
+                .get(i + 1)
+                .ok_or_else(|| "--format requires a value".to_string())?;
+            format = Some(
+                TraceFormat::from_name(raw)
+                    .ok_or_else(|| format!("unknown --format {raw:?}: expected jsonl or ptb"))?,
+            );
+        }
+    }
+    Ok(format)
 }
 
 /// Output directory for CSV exports (`results/`, or `$PIO_RESULTS`).
@@ -297,6 +335,27 @@ mod tests {
         // Malformed input is an error, not a silent clean run.
         assert!(parse_fault(&args(&["bench", "--fault"])).is_err());
         assert!(parse_fault(&args(&["bench", "--fault", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn parse_format_accepts_valid_and_rejects_malformed() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_format(&args(&["bench"])), Ok(None));
+        assert_eq!(
+            parse_format(&args(&["bench", "--format", "ptb"])),
+            Ok(Some(TraceFormat::Ptb))
+        );
+        assert_eq!(
+            parse_format(&args(&["bench", "--format", "jsonl"])),
+            Ok(Some(TraceFormat::Jsonl))
+        );
+        // Last occurrence wins, matching --scale.
+        assert_eq!(
+            parse_format(&args(&["bench", "--format", "ptb", "--format", "jsonl"])),
+            Ok(Some(TraceFormat::Jsonl))
+        );
+        assert!(parse_format(&args(&["bench", "--format"])).is_err());
+        assert!(parse_format(&args(&["bench", "--format", "csv"])).is_err());
     }
 
     #[test]

@@ -112,7 +112,7 @@ impl TimeWeighted {
 }
 
 /// Single-pass mean/variance/skewness/kurtosis accumulator.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct OnlineMoments {
     n: u64,
     mean: f64,

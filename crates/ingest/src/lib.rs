@@ -23,8 +23,11 @@
 //!   incremental versions of the `pio-core` detectors over tumbling
 //!   windows and barrier boundaries, raising the paper's findings
 //!   mid-run through the same verdict functions as the batch path.
-//! * [`reader`] — incremental JSONL reading: diagnose an on-disk trace
-//!   in constant memory via any [`RecordSink`](pio_trace::RecordSink).
+//! * [`reader`] — incremental trace reading (JSONL via the hand-rolled
+//!   fast parser, binary ptb via the block reader, format sniffed from
+//!   the file): diagnose an on-disk trace in constant memory via any
+//!   [`RecordSink`](pio_trace::RecordSink), or feed every pipeline
+//!   worker concurrently with [`reader::stream_ptb_parallel`].
 
 pub mod diagnose;
 pub mod pipeline;
@@ -34,6 +37,6 @@ pub mod sketch;
 
 pub use diagnose::{DiagnoserConfig, StreamDiagnoser, TimedFinding};
 pub use pipeline::{IngestConfig, IngestPipeline, IngestSink, OverflowPolicy};
-pub use reader::{stream_file, stream_jsonl};
+pub use reader::{stream_file, stream_jsonl, stream_ptb, stream_ptb_parallel};
 pub use shard::{EnsembleSnapshot, ShardKey, ShardStats};
 pub use sketch::{HeavyHitters, OnlineMoments, QuantileSketch};

@@ -1,74 +1,199 @@
-//! Incremental JSONL trace reading: one record in memory at a time.
+//! Incremental trace reading: one record (JSONL) or one block (ptb) in
+//! memory at a time.
 //!
 //! [`stream_jsonl`] consumes the same on-disk format as
 //! `pio_trace::io::read_jsonl` (metadata line, then one record per line)
 //! but never materializes a [`Trace`](pio_trace::Trace): each record is
-//! parsed and handed to a [`RecordSink`], so a multi-gigabyte trace can
-//! be diagnosed in constant memory. Barrier boundaries are synthesized
-//! from the records' phase indices: when the stream advances from phase
-//! `p` to `p+1`, every phase up to `p` is complete and the sink's
-//! [`phase_end`](RecordSink::phase_end) fires for it.
+//! parsed — through the hand-rolled scanner in `pio_trace::jsonl`, with
+//! `serde_json` as the strict fallback — and handed to a [`RecordSink`],
+//! so a multi-gigabyte trace can be diagnosed in constant memory.
+//! [`stream_ptb`] is the binary-format equivalent, decoding CRC-checked
+//! blocks out of reused buffers; [`stream_file`] sniffs the format from
+//! the file's leading bytes so callers need not care.
+//!
+//! Barrier boundaries are synthesized from the records' phase indices:
+//! when the stream advances from phase `p` to `p+1`, every phase up to
+//! `p` is complete and the sink's [`phase_end`](RecordSink::phase_end)
+//! fires for it.
+//!
+//! [`stream_ptb_parallel`] feeds every worker of an
+//! [`IngestPipeline`] concurrently from one ptb
+//! file and still produces a bit-identical snapshot: each reader thread
+//! decodes the block stream independently and forwards only the records
+//! its worker owns (`rank % workers`), so every worker observes exactly
+//! the file-order subsequence it would have received from a single
+//! sequential producer — same records, same order, same f64
+//! accumulation order.
 
+use crate::pipeline::IngestPipeline;
+use pio_trace::io::TraceFormat;
+use pio_trace::ptb::PtbBlockReader;
 use pio_trace::{Record, RecordSink, TraceMeta};
-use std::io::BufRead;
+use std::io::{BufRead, Read};
+use std::path::Path;
+
+/// Tracks phase progression and synthesizes `phase_end` events.
+struct PhaseTracker {
+    phase: u32,
+    saw_record: bool,
+}
+
+impl PhaseTracker {
+    fn new() -> Self {
+        PhaseTracker {
+            phase: 0,
+            saw_record: false,
+        }
+    }
+
+    fn on_record<S: RecordSink>(&mut self, rec: &Record, sink: &mut S) {
+        // The stream completes phases in order; a phase jump means every
+        // earlier phase has ended.
+        if self.saw_record && rec.phase > self.phase {
+            for p in self.phase..rec.phase {
+                sink.phase_end(p);
+            }
+        }
+        self.phase = self.phase.max(rec.phase);
+        self.saw_record = true;
+    }
+
+    fn finish<S: RecordSink>(&mut self, sink: &mut S) {
+        if self.saw_record {
+            sink.phase_end(self.phase);
+        }
+        sink.finish();
+    }
+}
 
 /// Stream a JSONL trace into `sink`. Returns the trace metadata and the
 /// number of records streamed. Calls `sink.finish()` at end of stream.
 pub fn stream_jsonl<R: BufRead, S: RecordSink>(
-    reader: R,
+    mut reader: R,
     sink: &mut S,
 ) -> std::io::Result<(TraceMeta, u64)> {
-    let mut lines = reader.lines();
-    let meta: TraceMeta = match lines.next() {
-        Some(line) => serde_json::from_str(&line?)?,
-        None => {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "empty trace stream",
-            ))
-        }
-    };
+    let mut buf = String::new();
+    if reader.read_line(&mut buf)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "empty trace stream",
+        ));
+    }
+    let meta: TraceMeta = serde_json::from_str(buf.trim_end())?;
     let mut count = 0u64;
-    let mut phase = 0u32;
-    let mut saw_record = false;
-    for line in lines {
-        let line = line?;
-        if line.trim().is_empty() {
+    let mut phases = PhaseTracker::new();
+    loop {
+        buf.clear();
+        if reader.read_line(&mut buf)? == 0 {
+            break;
+        }
+        let line = buf.trim();
+        if line.is_empty() {
             continue;
         }
-        let rec: Record = serde_json::from_str(&line)?;
-        // The stream completes phases in order; a phase jump means every
-        // earlier phase has ended.
-        if saw_record && rec.phase > phase {
-            for p in phase..rec.phase {
-                sink.phase_end(p);
-            }
-        }
-        phase = phase.max(rec.phase);
-        saw_record = true;
+        let rec = pio_trace::jsonl::parse_record(line)?;
+        phases.on_record(&rec, sink);
         sink.push(&rec);
         count += 1;
     }
-    if saw_record {
-        sink.phase_end(phase);
-    }
-    sink.finish();
+    phases.finish(sink);
     Ok((meta, count))
 }
 
-/// Stream a JSONL trace file into `sink` (see [`stream_jsonl`]).
+/// Stream a binary ptb trace into `sink` (same contract as
+/// [`stream_jsonl`]: phase boundaries synthesized, `finish()` called).
+pub fn stream_ptb<R: Read, S: RecordSink>(
+    reader: R,
+    sink: &mut S,
+) -> std::io::Result<(TraceMeta, u64)> {
+    let mut dec = PtbBlockReader::new(reader)?;
+    let meta = dec.meta().clone();
+    let mut phases = PhaseTracker::new();
+    while let Some(block) = dec.next_block()? {
+        for rec in block {
+            phases.on_record(rec, sink);
+            sink.push(rec);
+        }
+    }
+    phases.finish(sink);
+    Ok((meta, dec.records_read()))
+}
+
+/// Stream a trace file into `sink`, sniffing JSONL vs ptb from the
+/// file's leading bytes (see [`TraceFormat::sniff`]).
 pub fn stream_file<S: RecordSink>(
     path: &std::path::Path,
     sink: &mut S,
 ) -> std::io::Result<(TraceMeta, u64)> {
+    let format = TraceFormat::sniff(path)?;
     let f = std::fs::File::open(path)?;
-    stream_jsonl(std::io::BufReader::new(f), sink)
+    let r = std::io::BufReader::new(f);
+    match format {
+        TraceFormat::Jsonl => stream_jsonl(r, sink),
+        TraceFormat::Ptb => stream_ptb(r, sink),
+    }
+}
+
+/// Feed a ptb trace file to every worker of `pipeline` concurrently.
+///
+/// One reader thread per pipeline worker scans the whole block stream
+/// (frame decoding is cheap; parsing the file once per worker costs far
+/// less than serializing all records through one producer) and pushes
+/// only the records its worker owns, preserving file order per worker —
+/// so the resulting snapshot is bit-identical to a sequential
+/// [`stream_file`] into `pipeline.sink()`. Returns the metadata and the
+/// total record count of the file.
+///
+/// Phase boundaries are not synthesized (the pipeline's sink ignores
+/// them); use [`stream_ptb`] with a composite sink when an online
+/// diagnoser also needs the stream.
+pub fn stream_ptb_parallel(
+    path: &Path,
+    pipeline: &IngestPipeline,
+) -> std::io::Result<(TraceMeta, u64)> {
+    let workers = pipeline.workers();
+    let mut results: Vec<std::io::Result<(TraceMeta, u64)>> = Vec::new();
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let mut sink = pipeline.sink();
+                s.spawn(move |_| -> std::io::Result<(TraceMeta, u64)> {
+                    let f = std::fs::File::open(path)?;
+                    let mut dec = PtbBlockReader::new(std::io::BufReader::new(f))?;
+                    let meta = dec.meta().clone();
+                    while let Some(block) = dec.next_block()? {
+                        for rec in block {
+                            if rec.rank as usize % workers == w {
+                                sink.push(rec);
+                            }
+                        }
+                    }
+                    sink.flush();
+                    Ok((meta, dec.records_read()))
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("ptb reader thread panicked"));
+        }
+    })
+    .expect("reader scope");
+    // Every thread read the same file; return the first result (or the
+    // first error).
+    let mut out = None;
+    for r in results {
+        let v = r?;
+        out.get_or_insert(v);
+    }
+    Ok(out.expect("at least one reader thread"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::IngestConfig;
     use pio_trace::io::write_jsonl;
+    use pio_trace::ptb::write_ptb;
     use pio_trace::{CallKind, Trace};
 
     fn sample(phases: u32, per_phase: u32) -> Trace {
@@ -126,6 +251,94 @@ mod tests {
         assert_eq!(meta, t.meta);
         assert_eq!(n, 30);
         assert_eq!(collected.records, t.records);
+    }
+
+    #[test]
+    fn ptb_streaming_matches_jsonl_streaming() {
+        let t = sample(3, 10);
+        let mut jsonl = Vec::new();
+        write_jsonl(&t, &mut jsonl).unwrap();
+        let mut ptb = Vec::new();
+        write_ptb(&t, &mut ptb).unwrap();
+
+        let mut from_jsonl = EventLog::default();
+        let (m1, n1) = stream_jsonl(std::io::Cursor::new(&jsonl), &mut from_jsonl).unwrap();
+        let mut from_ptb = EventLog::default();
+        let (m2, n2) = stream_ptb(std::io::Cursor::new(&ptb), &mut from_ptb).unwrap();
+        assert_eq!(m1, m2);
+        assert_eq!(n1, n2);
+        assert_eq!(from_jsonl.pushes, from_ptb.pushes);
+        assert_eq!(from_jsonl.phase_ends, from_ptb.phase_ends);
+        assert!(from_ptb.finished);
+
+        let mut collected = Trace::new(t.meta.clone());
+        stream_ptb(std::io::Cursor::new(&ptb), &mut collected).unwrap();
+        assert_eq!(collected.records, t.records);
+    }
+
+    #[test]
+    fn stream_file_sniffs_both_formats() {
+        let dir = std::env::temp_dir().join("pio_ingest_sniff_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let t = sample(2, 6);
+        let jsonl_path = dir.join("t.jsonl");
+        let ptb_path = dir.join("t.ptb");
+        pio_trace::io::save_as(&t, &jsonl_path, TraceFormat::Jsonl).unwrap();
+        pio_trace::io::save_as(&t, &ptb_path, TraceFormat::Ptb).unwrap();
+        for p in [&jsonl_path, &ptb_path] {
+            let mut log = EventLog::default();
+            let (meta, n) = stream_file(p, &mut log).unwrap();
+            assert_eq!(meta, t.meta, "{p:?}");
+            assert_eq!(n, 12, "{p:?}");
+            assert_eq!(log.phase_ends, vec![0, 1], "{p:?}");
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn parallel_ptb_ingest_is_bit_identical_to_sequential() {
+        let dir = std::env::temp_dir().join("pio_ingest_parallel_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("par.ptb");
+        // Uneven durations so f64 accumulation order matters.
+        let mut t = Trace::new(TraceMeta {
+            experiment: "par".into(),
+            platform: "test".into(),
+            ranks: 16,
+            seed: 3,
+        });
+        for i in 0..10_000u64 {
+            t.push(Record {
+                rank: (i % 16) as u32,
+                call: CallKind::ALL[(i % 12) as usize],
+                fd: 3,
+                offset: i << 12,
+                bytes: 4096 + i % 999,
+                start_ns: i * 1000,
+                end_ns: i * 1000 + 1 + (i * i) % 77_777,
+                phase: (i / 2500) as u32,
+            });
+        }
+        pio_trace::io::save_as(&t, &path, TraceFormat::Ptb).unwrap();
+
+        let cfg = IngestConfig::default();
+        let sequential = {
+            let pipeline = IngestPipeline::new(cfg.clone());
+            let mut sink = pipeline.sink();
+            let (_, n) = stream_file(&path, &mut sink).unwrap();
+            assert_eq!(n, 10_000);
+            drop(sink);
+            pipeline.finish()
+        };
+        let parallel = {
+            let pipeline = IngestPipeline::new(cfg);
+            let (meta, n) = stream_ptb_parallel(&path, &pipeline).unwrap();
+            assert_eq!(meta, t.meta);
+            assert_eq!(n, 10_000);
+            pipeline.finish()
+        };
+        assert_eq!(sequential, parallel);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub struct ShardKey {
 }
 
 /// The mergeable statistics one shard accumulates.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShardStats {
     /// Duration histogram (clamped, capture-style).
     pub hist: LogHistogram,
@@ -85,7 +85,7 @@ impl ShardStats {
 }
 
 /// The merged, order-independent view of everything ingested so far.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnsembleSnapshot {
     /// Every populated shard, sorted for deterministic iteration.
     pub shards: Vec<(ShardKey, ShardStats)>,

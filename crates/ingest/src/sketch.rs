@@ -162,7 +162,7 @@ pub struct Hitter {
 /// `1/k` of the total is guaranteed to be present; reported weights
 /// overestimate by at most the evicted minimum, which is harmless for
 /// "one rank owns ≥25% of metadata time" style questions.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HeavyHitters {
     capacity: usize,
     entries: HashMap<u32, (f64, u64)>,

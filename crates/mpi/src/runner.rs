@@ -719,6 +719,31 @@ mod tests {
     }
 
     #[test]
+    fn streaming_capture_to_ptb_round_trips() {
+        // Capture straight to the binary trace format — no in-memory
+        // Trace — then decode and compare with the buffered run.
+        let job = simple_job(8, 4);
+        let buffered = go(&job, cfg(21));
+
+        let mut enc = pio_trace::PtbWriter::new(Vec::new(), &buffered.trace().meta).unwrap();
+        Runner::new(&job, cfg(21))
+            .sink(&mut enc)
+            .execute_one()
+            .unwrap();
+        assert!(enc.error().is_none(), "{:?}", enc.error());
+        assert_eq!(
+            enc.records_written() as usize,
+            buffered.trace().records.len()
+        );
+        let bytes = enc.into_inner().unwrap();
+
+        let mut back = pio_trace::ptb::read_ptb(std::io::Cursor::new(bytes)).unwrap();
+        assert_eq!(back.meta, buffered.trace().meta);
+        back.sort_by_start();
+        assert_eq!(back.records, buffered.trace().records);
+    }
+
+    #[test]
     fn streaming_run_fires_phase_boundaries() {
         #[derive(Default)]
         struct Log {

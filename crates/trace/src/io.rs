@@ -1,9 +1,58 @@
 //! Trace serialization: JSONL (one record per line, as IPM-I/O "emits the
-//! entire trace") and CSV for plotting tools.
+//! entire trace"), the binary [`ptb`](crate::ptb) format, and CSV for
+//! plotting tools. [`load`] sniffs the on-disk format from the file's
+//! leading bytes, so every consumer transparently reads both.
 
-use crate::record::Record;
 use crate::trace::{Trace, TraceMeta};
 use std::io::{BufRead, Write};
+
+/// An on-disk trace encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Text: one JSON object per line (meta first).
+    Jsonl,
+    /// Binary: CRC-checked fixed-width record blocks.
+    Ptb,
+}
+
+impl TraceFormat {
+    /// Parse a user-facing format name (`"jsonl"` / `"ptb"`).
+    pub fn from_name(name: &str) -> Option<TraceFormat> {
+        match name {
+            "jsonl" => Some(TraceFormat::Jsonl),
+            "ptb" => Some(TraceFormat::Ptb),
+            _ => None,
+        }
+    }
+
+    /// The canonical name (also the conventional file extension).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceFormat::Jsonl => "jsonl",
+            TraceFormat::Ptb => "ptb",
+        }
+    }
+
+    /// Classify leading file bytes: the ptb magic, or JSONL otherwise
+    /// (whose first byte is `{`; misclassification surfaces as a parse
+    /// error either way).
+    pub fn sniff_bytes(head: &[u8]) -> TraceFormat {
+        if head.starts_with(&crate::ptb::PTB_MAGIC[..3]) {
+            TraceFormat::Ptb
+        } else {
+            TraceFormat::Jsonl
+        }
+    }
+
+    /// Sniff a file's format from its first bytes.
+    pub fn sniff(path: &std::path::Path) -> std::io::Result<TraceFormat> {
+        use std::io::Read;
+        let mut head = [0u8; 4];
+        let mut f = std::fs::File::open(path)?;
+        let n = f.read(&mut head)?;
+        Ok(TraceFormat::sniff_bytes(&head[..n]))
+    }
+}
 
 /// Write `trace` as a JSONL stream: first line the metadata, then one
 /// record per line.
@@ -18,25 +67,31 @@ pub fn write_jsonl<W: Write>(trace: &Trace, mut w: W) -> std::io::Result<()> {
 }
 
 /// Read a trace previously written by [`write_jsonl`].
-pub fn read_jsonl<R: BufRead>(r: R) -> std::io::Result<Trace> {
-    let mut lines = r.lines();
-    let meta: TraceMeta = match lines.next() {
-        Some(line) => serde_json::from_str(&line?)?,
-        None => {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "empty trace stream",
-            ))
-        }
-    };
+///
+/// Record lines go through the fast scanner in [`crate::jsonl`] (with
+/// `serde_json` as the strict fallback) and the line buffer is reused,
+/// so the hot loop does no per-record allocation beyond the records
+/// themselves.
+pub fn read_jsonl<R: BufRead>(mut r: R) -> std::io::Result<Trace> {
+    let mut buf = String::new();
+    if r.read_line(&mut buf)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "empty trace stream",
+        ));
+    }
+    let meta: TraceMeta = serde_json::from_str(buf.trim_end())?;
     let mut trace = Trace::new(meta);
-    for line in lines {
-        let line = line?;
-        if line.trim().is_empty() {
+    loop {
+        buf.clear();
+        if r.read_line(&mut buf)? == 0 {
+            break;
+        }
+        let line = buf.trim();
+        if line.is_empty() {
             continue;
         }
-        let rec: Record = serde_json::from_str(&line)?;
-        trace.push(rec);
+        trace.push(crate::jsonl::parse_record(line)?);
     }
     Ok(trace)
 }
@@ -67,20 +122,34 @@ pub fn write_csv<W: Write>(trace: &Trace, mut w: W) -> std::io::Result<()> {
 
 /// Save a trace to a file (JSONL).
 pub fn save(trace: &Trace, path: &std::path::Path) -> std::io::Result<()> {
-    let f = std::fs::File::create(path)?;
-    write_jsonl(trace, std::io::BufWriter::new(f))
+    save_as(trace, path, TraceFormat::Jsonl)
 }
 
-/// Load a trace from a file (JSONL).
+/// Save a trace to a file in an explicit format.
+pub fn save_as(trace: &Trace, path: &std::path::Path, format: TraceFormat) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    let w = std::io::BufWriter::new(f);
+    match format {
+        TraceFormat::Jsonl => write_jsonl(trace, w),
+        TraceFormat::Ptb => crate::ptb::write_ptb(trace, w),
+    }
+}
+
+/// Load a trace from a file, sniffing JSONL vs ptb from its bytes.
 pub fn load(path: &std::path::Path) -> std::io::Result<Trace> {
+    let format = TraceFormat::sniff(path)?;
     let f = std::fs::File::open(path)?;
-    read_jsonl(std::io::BufReader::new(f))
+    let r = std::io::BufReader::new(f);
+    match format {
+        TraceFormat::Jsonl => read_jsonl(r),
+        TraceFormat::Ptb => crate::ptb::read_ptb(r),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::record::CallKind;
+    use crate::record::{CallKind, Record};
 
     fn sample() -> Trace {
         let mut t = Trace::new(TraceMeta {
@@ -156,5 +225,33 @@ mod tests {
         let back = load(&path).unwrap();
         assert_eq!(back.records, t.records);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_sniffs_both_formats() {
+        let dir = std::env::temp_dir().join("pio_trace_io_sniff_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let t = sample();
+        // Deliberately mismatched extensions: only the bytes matter.
+        let as_ptb = dir.join("binary.jsonl");
+        let as_jsonl = dir.join("text.ptb");
+        save_as(&t, &as_ptb, TraceFormat::Ptb).unwrap();
+        save_as(&t, &as_jsonl, TraceFormat::Jsonl).unwrap();
+        assert_eq!(TraceFormat::sniff(&as_ptb).unwrap(), TraceFormat::Ptb);
+        assert_eq!(TraceFormat::sniff(&as_jsonl).unwrap(), TraceFormat::Jsonl);
+        for p in [&as_ptb, &as_jsonl] {
+            let back = load(p).unwrap();
+            assert_eq!(back.meta, t.meta);
+            assert_eq!(back.records, t.records);
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn format_names_round_trip() {
+        for f in [TraceFormat::Jsonl, TraceFormat::Ptb] {
+            assert_eq!(TraceFormat::from_name(f.name()), Some(f));
+        }
+        assert_eq!(TraceFormat::from_name("csv"), None);
     }
 }

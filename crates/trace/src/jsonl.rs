@@ -1,0 +1,285 @@
+//! The hot JSONL record parser: a hand-rolled single-pass field scanner
+//! with `serde_json` kept as the strict fallback.
+//!
+//! A trace line is overwhelmingly the canonical shape
+//! `{"rank":0,"call":"Write","fd":3,...}` that [`crate::io::write_jsonl`]
+//! emits. [`parse_record`] recognizes exactly that easy subset — all
+//! eight fields present once, integer values, a plain-string call name,
+//! optional JSON whitespace — directly from the bytes, with no
+//! intermediate value tree and no allocation. *Anything* else (escapes,
+//! floats, duplicate or unknown keys, overflow, trailing garbage) makes
+//! the scanner bail to [`serde_json::from_str`], so accepted lines and
+//! error behavior are identical to the strict parser by construction;
+//! `tests/trace_formats.rs` checks the agreement differentially.
+
+use crate::record::{CallKind, Record};
+use std::io;
+
+/// Parse one JSONL trace line: fast scanner first, `serde_json` for
+/// anything the scanner does not recognize.
+pub fn parse_record(line: &str) -> io::Result<Record> {
+    match parse_record_fast(line) {
+        Some(r) => Ok(r),
+        None => Ok(serde_json::from_str::<Record>(line)?),
+    }
+}
+
+/// The fast path alone: `Some` only for the canonical subset it fully
+/// understands. Exposed so tests can differentially compare it against
+/// `serde_json` — a `None` is never wrong, a `Some` must agree.
+pub fn parse_record_fast(line: &str) -> Option<Record> {
+    let mut s = Scanner {
+        b: line.as_bytes(),
+        i: 0,
+    };
+    s.skip_ws();
+    if !s.eat(b'{') {
+        return None;
+    }
+    // Field presence bitmask, in Record declaration order.
+    const RANK: u8 = 1 << 0;
+    const CALL: u8 = 1 << 1;
+    const FD: u8 = 1 << 2;
+    const OFFSET: u8 = 1 << 3;
+    const BYTES: u8 = 1 << 4;
+    const START: u8 = 1 << 5;
+    const END: u8 = 1 << 6;
+    const PHASE: u8 = 1 << 7;
+    let mut seen = 0u8;
+    let mut rec = Record {
+        rank: 0,
+        call: CallKind::Open,
+        fd: 0,
+        offset: 0,
+        bytes: 0,
+        start_ns: 0,
+        end_ns: 0,
+        phase: 0,
+    };
+    loop {
+        s.skip_ws();
+        if s.eat(b'}') {
+            break;
+        }
+        if seen != 0 && !s.eat(b',') {
+            return None;
+        }
+        s.skip_ws();
+        let key = s.string()?;
+        s.skip_ws();
+        if !s.eat(b':') {
+            return None;
+        }
+        s.skip_ws();
+        let bit = match key {
+            b"rank" => RANK,
+            b"call" => CALL,
+            b"fd" => FD,
+            b"offset" => OFFSET,
+            b"bytes" => BYTES,
+            b"start_ns" => START,
+            b"end_ns" => END,
+            b"phase" => PHASE,
+            // Unknown key: serde ignores it, but its value could be any
+            // JSON — let the strict parser deal with the whole line.
+            _ => return None,
+        };
+        if seen & bit != 0 {
+            // Duplicate key: serde takes the first occurrence; bail so
+            // behavior stays identical.
+            return None;
+        }
+        seen |= bit;
+        match bit {
+            RANK => rec.rank = s.uint_u32()?,
+            FD => rec.fd = s.int_i32()?,
+            OFFSET => rec.offset = s.uint()?,
+            BYTES => rec.bytes = s.uint()?,
+            START => rec.start_ns = s.uint()?,
+            END => rec.end_ns = s.uint()?,
+            PHASE => rec.phase = s.uint_u32()?,
+            _ => rec.call = call_by_name(s.string()?)?,
+        }
+    }
+    s.skip_ws();
+    if s.i != s.b.len() {
+        return None; // Trailing garbage.
+    }
+    if seen != 0xFF {
+        return None; // Missing field; serde's error names it.
+    }
+    Some(rec)
+}
+
+/// Variant-name lookup matching the serde unit-variant encoding.
+fn call_by_name(name: &[u8]) -> Option<CallKind> {
+    Some(match name {
+        b"Open" => CallKind::Open,
+        b"Close" => CallKind::Close,
+        b"Read" => CallKind::Read,
+        b"Write" => CallKind::Write,
+        b"Seek" => CallKind::Seek,
+        b"MetaRead" => CallKind::MetaRead,
+        b"MetaWrite" => CallKind::MetaWrite,
+        b"Flush" => CallKind::Flush,
+        b"Barrier" => CallKind::Barrier,
+        b"Send" => CallKind::Send,
+        b"Recv" => CallKind::Recv,
+        b"Compute" => CallKind::Compute,
+        _ => return None,
+    })
+}
+
+struct Scanner<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&c) = self.b.get(self.i) {
+            if matches!(c, b' ' | b'\t' | b'\n' | b'\r') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A quoted string with no escapes; `None` on `\` or missing quote.
+    fn string(&mut self) -> Option<&'a [u8]> {
+        if !self.eat(b'"') {
+            return None;
+        }
+        let start = self.i;
+        loop {
+            match self.b.get(self.i)? {
+                b'"' => {
+                    let s = &self.b[start..self.i];
+                    self.i += 1;
+                    return Some(s);
+                }
+                b'\\' => return None,
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    /// A plain decimal magnitude: 1–19 digits, no leading zeros, no
+    /// sign, fraction, or exponent (all of those fall back).
+    fn digits(&mut self) -> Option<u64> {
+        let start = self.i;
+        let mut v: u64 = 0;
+        while let Some(&c) = self.b.get(self.i) {
+            if c.is_ascii_digit() {
+                v = v.checked_mul(10)?.checked_add((c - b'0') as u64)?;
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        let len = self.i - start;
+        if len == 0 || (len > 1 && self.b[start] == b'0') {
+            return None;
+        }
+        // A fraction or exponent would make this a float — bail.
+        if matches!(self.b.get(self.i), Some(b'.' | b'e' | b'E')) {
+            return None;
+        }
+        Some(v)
+    }
+
+    /// Non-negative integer (u64 field). A leading `-` falls back: the
+    /// strict parser decides whether `-0` converts or errors.
+    fn uint(&mut self) -> Option<u64> {
+        if self.b.get(self.i) == Some(&b'-') {
+            return None;
+        }
+        self.digits()
+    }
+
+    /// Non-negative integer narrowed to u32 (`rank`, `phase`); a value
+    /// out of range falls back so serde reports the conversion error.
+    fn uint_u32(&mut self) -> Option<u32> {
+        u32::try_from(self.uint()?).ok()
+    }
+
+    /// Signed integer narrowed to i32 (the `fd` field).
+    fn int_i32(&mut self) -> Option<i32> {
+        let neg = self.eat(b'-');
+        let mag = self.digits()? as i128;
+        let v = if neg { -mag } else { mag };
+        i32::try_from(v).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strict(line: &str) -> Option<Record> {
+        serde_json::from_str::<Record>(line).ok()
+    }
+
+    #[test]
+    fn fast_path_accepts_canonical_lines() {
+        let line = r#"{"rank":7,"call":"MetaWrite","fd":-1,"offset":65536,"bytes":4096,"start_ns":12345,"end_ns":99999,"phase":2}"#;
+        let r = parse_record_fast(line).expect("fast path");
+        assert_eq!(r, strict(line).unwrap());
+        assert_eq!(r.rank, 7);
+        assert_eq!(r.call, CallKind::MetaWrite);
+        assert_eq!(r.fd, -1);
+    }
+
+    #[test]
+    fn whitespace_and_field_order_are_tolerated() {
+        let line = "{ \"phase\": 1 , \"call\": \"Read\", \"rank\": 3, \"fd\": 0,\n \"offset\": 0, \"bytes\": 1, \"start_ns\": 2, \"end_ns\": 3 }\r\n";
+        assert_eq!(parse_record_fast(line), strict(line));
+        assert!(parse_record_fast(line).is_some());
+    }
+
+    #[test]
+    fn hard_cases_fall_back_and_still_agree() {
+        // Each of these must not be accepted by the fast path; the
+        // public parse_record must still agree with serde on them.
+        let lines = [
+            r#"{"rank":1e3,"call":"Read","fd":3,"offset":0,"bytes":1,"start_ns":0,"end_ns":1,"phase":0}"#,
+            r#"{"rank":-0,"call":"Read","fd":3,"offset":0,"bytes":1,"start_ns":0,"end_ns":1,"phase":0}"#,
+            r#"{"rank":1,"rank":2,"call":"Read","fd":3,"offset":0,"bytes":1,"start_ns":0,"end_ns":1,"phase":0}"#,
+            r#"{"rank":1,"call":"Read","fd":3,"offset":0,"bytes":1,"start_ns":0,"end_ns":1,"phase":0,"extra":[1,2]}"#,
+            r#"{"rank":1,"call":"Read","fd":3}"#,
+            r#"{"rank":99999999999,"call":"Read","fd":3,"offset":0,"bytes":1,"start_ns":0,"end_ns":1,"phase":0}"#,
+            r#"{"rank":1,"call":"Bogus","fd":3,"offset":0,"bytes":1,"start_ns":0,"end_ns":1,"phase":0}"#,
+            "not json at all",
+            "",
+        ];
+        for line in lines {
+            assert!(parse_record_fast(line).is_none(), "fast accepted {line:?}");
+            assert_eq!(
+                parse_record(line).ok(),
+                strict(line),
+                "disagree on {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_u64_range_round_trips() {
+        let line = format!(
+            r#"{{"rank":0,"call":"Write","fd":3,"offset":{max},"bytes":{max},"start_ns":0,"end_ns":{max},"phase":0}}"#,
+            max = u64::MAX
+        );
+        let r = parse_record_fast(&line).expect("u64::MAX fits the fast path");
+        assert_eq!(r.offset, u64::MAX);
+        assert_eq!(r, strict(&line).unwrap());
+    }
+}

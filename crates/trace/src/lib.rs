@@ -17,20 +17,28 @@
 //!   never store individual events.
 //! * [`sink`] — streaming record sinks: consume events as they happen
 //!   instead of buffering a whole trace (`pio-ingest` builds on this).
-//! * [`io`] — JSONL / CSV serialization of traces.
+//! * [`io`] — JSONL / ptb / CSV serialization of traces.
+//! * [`jsonl`] — the hot hand-rolled JSONL record parser (with
+//!   `serde_json` as the strict fallback).
+//! * [`ptb`] — the compact CRC-checked binary trace format, with a
+//!   streaming block reader and a `RecordSink` encoder.
 //! * [`summary`] — an IPM-style per-call summary report.
 
 pub mod fdtable;
 pub mod io;
+pub mod jsonl;
 pub mod phase;
 pub mod profile;
+pub mod ptb;
 pub mod record;
 pub mod sink;
 pub mod summary;
 pub mod trace;
 
 pub use fdtable::FdTable;
+pub use io::TraceFormat;
 pub use profile::OnlineProfile;
+pub use ptb::{PtbBlockReader, PtbWriter};
 pub use record::{CallKind, Record};
 pub use sink::{NullSink, RecordSink, Tee};
 pub use trace::{Trace, TraceMeta};

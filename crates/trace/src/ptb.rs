@@ -1,0 +1,531 @@
+//! `ptb` — the compact binary trace format (Portable Trace Blocks).
+//!
+//! JSONL is the interchange format; `ptb` is the fast path. Like
+//! Darshan's move from text logs to a compact self-describing binary
+//! format, the motivation is ingest throughput: a JSONL record costs a
+//! parse of ~110 bytes of text, a `ptb` record is a fixed-width
+//! 45-byte little-endian frame that decodes with a handful of loads.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! header    := magic "PTB1" | meta_len u32 | meta JSON (meta_len bytes) | crc32(meta) u32
+//! block     := count u32 (> 0) | count * frame (45 bytes each) | crc32(frames) u32
+//! terminator:= 0 u32 | total_records u64 | crc32(total_records bytes) u32
+//! frame     := rank u32 | fd i32 | offset u64 | bytes u64 | start_ns u64
+//!              | end_ns u64 | phase u32 | call u8
+//! ```
+//!
+//! The fourth magic byte is the format version; readers reject unknown
+//! versions. Every payload is CRC-checked (CRC-32/ISO-HDLC, the zlib
+//! polynomial), and the terminator carries the total record count so a
+//! truncated file — even one truncated exactly at a block boundary — is
+//! detected rather than silently read short. The frame is 45 bytes, not
+//! the 33 of the paper's six-field IPM tuple, because [`Record`] also
+//! carries `offset` and `phase`; round-tripping every field is part of
+//! the format's contract (see `tests/trace_formats.rs`).
+//!
+//! [`PtbBlockReader`] is the streaming decoder: it reuses one byte
+//! buffer and one record buffer across blocks, so reading an
+//! arbitrarily large trace allocates a bounded amount once.
+
+use crate::record::{CallKind, Record};
+use crate::sink::RecordSink;
+use crate::trace::{Trace, TraceMeta};
+use std::io::{self, Read, Write};
+
+/// Magic prefix; the fourth byte (`b'1'`) is the format version.
+pub const PTB_MAGIC: [u8; 4] = *b"PTB1";
+
+/// Encoded size of one record frame.
+pub const FRAME_BYTES: usize = 45;
+
+/// Records per block written by [`write_ptb`] / [`PtbWriter::new`].
+pub const DEFAULT_BLOCK_RECORDS: usize = 1024;
+
+/// Upper bound a reader accepts for one block's record count — a
+/// corrupt count field must not become a multi-gigabyte allocation.
+const MAX_BLOCK_RECORDS: u32 = 1 << 22;
+
+/// CRC-32/ISO-HDLC (the zlib/PNG polynomial), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut c = !0u32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Wire code of a call kind: its index in [`CallKind::ALL`].
+fn call_code(k: CallKind) -> u8 {
+    k as u8
+}
+
+/// Inverse of [`call_code`]; corrupt codes are data errors, not panics.
+fn call_from_code(code: u8) -> io::Result<CallKind> {
+    CallKind::ALL
+        .get(code as usize)
+        .copied()
+        .ok_or_else(|| bad_data(format!("ptb: invalid call code {code}")))
+}
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Append one 45-byte frame to `out`.
+fn encode_record(r: &Record, out: &mut Vec<u8>) {
+    out.extend_from_slice(&r.rank.to_le_bytes());
+    out.extend_from_slice(&r.fd.to_le_bytes());
+    out.extend_from_slice(&r.offset.to_le_bytes());
+    out.extend_from_slice(&r.bytes.to_le_bytes());
+    out.extend_from_slice(&r.start_ns.to_le_bytes());
+    out.extend_from_slice(&r.end_ns.to_le_bytes());
+    out.extend_from_slice(&r.phase.to_le_bytes());
+    out.push(call_code(r.call));
+}
+
+/// Decode one frame (`frame.len()` must be [`FRAME_BYTES`]).
+fn decode_record(frame: &[u8]) -> io::Result<Record> {
+    let u32_at = |i: usize| u32::from_le_bytes(frame[i..i + 4].try_into().unwrap());
+    let u64_at = |i: usize| u64::from_le_bytes(frame[i..i + 8].try_into().unwrap());
+    Ok(Record {
+        rank: u32_at(0),
+        fd: i32::from_le_bytes(frame[4..8].try_into().unwrap()),
+        offset: u64_at(8),
+        bytes: u64_at(16),
+        start_ns: u64_at(24),
+        end_ns: u64_at(32),
+        phase: u32_at(40),
+        call: call_from_code(frame[44])?,
+    })
+}
+
+/// A streaming `ptb` encoder that is also a [`RecordSink`], so a
+/// simulation run can capture straight to the binary format without
+/// ever buffering a [`Trace`].
+///
+/// Records accumulate into a block buffer and are framed out every
+/// `block_records`; [`PtbWriter::finish`] flushes the tail block and the
+/// terminator. Because [`RecordSink`] methods cannot return errors, the
+/// sink path stashes the first I/O error instead ([`PtbWriter::error`]);
+/// the direct [`PtbWriter::push_record`] path returns it.
+pub struct PtbWriter<W: Write> {
+    w: W,
+    block: Vec<u8>,
+    block_records: usize,
+    in_block: u32,
+    total: u64,
+    finished: bool,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> PtbWriter<W> {
+    /// Write the header (magic, CRC-checked `meta` JSON) and return the
+    /// encoder, using [`DEFAULT_BLOCK_RECORDS`] per block.
+    pub fn new(w: W, meta: &TraceMeta) -> io::Result<Self> {
+        Self::with_block_records(w, meta, DEFAULT_BLOCK_RECORDS)
+    }
+
+    /// [`PtbWriter::new`] with an explicit block size (clamped to 1).
+    pub fn with_block_records(
+        mut w: W,
+        meta: &TraceMeta,
+        block_records: usize,
+    ) -> io::Result<Self> {
+        let meta_json = serde_json::to_string(meta)?;
+        let meta_bytes = meta_json.as_bytes();
+        w.write_all(&PTB_MAGIC)?;
+        w.write_all(&(meta_bytes.len() as u32).to_le_bytes())?;
+        w.write_all(meta_bytes)?;
+        w.write_all(&crc32(meta_bytes).to_le_bytes())?;
+        let block_records = block_records.max(1);
+        Ok(PtbWriter {
+            w,
+            block: Vec::with_capacity(block_records * FRAME_BYTES),
+            block_records,
+            in_block: 0,
+            total: 0,
+            finished: false,
+            error: None,
+        })
+    }
+
+    /// Append one record, flushing a full block to the writer.
+    pub fn push_record(&mut self, r: &Record) -> io::Result<()> {
+        encode_record(r, &mut self.block);
+        self.in_block += 1;
+        self.total += 1;
+        if self.in_block as usize >= self.block_records {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> io::Result<()> {
+        if self.in_block == 0 {
+            return Ok(());
+        }
+        self.w.write_all(&self.in_block.to_le_bytes())?;
+        self.w.write_all(&self.block)?;
+        self.w.write_all(&crc32(&self.block).to_le_bytes())?;
+        self.block.clear();
+        self.in_block = 0;
+        Ok(())
+    }
+
+    /// Flush the tail block and write the terminator. Idempotent.
+    pub fn finish_mut(&mut self) -> io::Result<()> {
+        if self.finished {
+            return Ok(());
+        }
+        self.flush_block()?;
+        self.w.write_all(&0u32.to_le_bytes())?;
+        let total = self.total.to_le_bytes();
+        self.w.write_all(&total)?;
+        self.w.write_all(&crc32(&total).to_le_bytes())?;
+        self.w.flush()?;
+        self.finished = true;
+        Ok(())
+    }
+
+    /// Finish and return the inner writer.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.finish_mut()?;
+        Ok(self.w)
+    }
+
+    /// The first I/O error hit on the [`RecordSink`] path, if any.
+    pub fn error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Records pushed so far.
+    pub fn records_written(&self) -> u64 {
+        self.total
+    }
+
+    fn stash(&mut self, res: io::Result<()>) {
+        if let (Err(e), None) = (res, &self.error) {
+            self.error = Some(e);
+        }
+    }
+}
+
+impl<W: Write> RecordSink for PtbWriter<W> {
+    fn push(&mut self, r: &Record) {
+        if self.error.is_none() {
+            let res = self.push_record(r);
+            self.stash(res);
+        } else {
+            // Still count, so a later error report is not misread as a
+            // short trace.
+            self.total += 1;
+        }
+    }
+
+    fn finish(&mut self) {
+        if self.error.is_none() {
+            let res = self.finish_mut();
+            self.stash(res);
+        }
+    }
+}
+
+/// A streaming `ptb` decoder: yields one block of records at a time out
+/// of buffers reused across calls — no per-record allocation.
+pub struct PtbBlockReader<R: Read> {
+    r: R,
+    meta: TraceMeta,
+    bytes: Vec<u8>,
+    records: Vec<Record>,
+    read: u64,
+    done: bool,
+}
+
+impl<R: Read> PtbBlockReader<R> {
+    /// Read and validate the header.
+    pub fn new(mut r: R) -> io::Result<Self> {
+        let mut magic = [0u8; 4];
+        read_exact_ctx(&mut r, &mut magic, "ptb header")?;
+        if magic[..3] != PTB_MAGIC[..3] {
+            return Err(bad_data("ptb: bad magic (not a ptb file)"));
+        }
+        if magic[3] != PTB_MAGIC[3] {
+            return Err(bad_data(format!(
+                "ptb: unsupported format version {:?} (this reader speaks {:?})",
+                magic[3] as char, PTB_MAGIC[3] as char
+            )));
+        }
+        let mut len = [0u8; 4];
+        read_exact_ctx(&mut r, &mut len, "ptb header")?;
+        let meta_len = u32::from_le_bytes(len);
+        if meta_len > 1 << 20 {
+            return Err(bad_data(format!("ptb: implausible meta length {meta_len}")));
+        }
+        let mut meta_bytes = vec![0u8; meta_len as usize];
+        read_exact_ctx(&mut r, &mut meta_bytes, "ptb header")?;
+        let mut crc = [0u8; 4];
+        read_exact_ctx(&mut r, &mut crc, "ptb header")?;
+        if crc32(&meta_bytes) != u32::from_le_bytes(crc) {
+            return Err(bad_data("ptb: header CRC mismatch"));
+        }
+        let meta_json = std::str::from_utf8(&meta_bytes)
+            .map_err(|_| bad_data("ptb: header meta is not UTF-8"))?;
+        let meta: TraceMeta = serde_json::from_str(meta_json)?;
+        Ok(PtbBlockReader {
+            r,
+            meta,
+            bytes: Vec::new(),
+            records: Vec::new(),
+            read: 0,
+            done: false,
+        })
+    }
+
+    /// The trace metadata from the header.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Records decoded so far.
+    pub fn records_read(&self) -> u64 {
+        self.read
+    }
+
+    /// Decode the next block into an internal buffer; `Ok(None)` after
+    /// a valid terminator. Truncation and corruption are I/O errors.
+    pub fn next_block(&mut self) -> io::Result<Option<&[Record]>> {
+        if self.done {
+            return Ok(None);
+        }
+        let mut word = [0u8; 4];
+        read_exact_ctx(&mut self.r, &mut word, "ptb block header")?;
+        let count = u32::from_le_bytes(word);
+        if count == 0 {
+            // Terminator: CRC-checked total record count.
+            let mut total = [0u8; 8];
+            read_exact_ctx(&mut self.r, &mut total, "ptb terminator")?;
+            let mut crc = [0u8; 4];
+            read_exact_ctx(&mut self.r, &mut crc, "ptb terminator")?;
+            if crc32(&total) != u32::from_le_bytes(crc) {
+                return Err(bad_data("ptb: terminator CRC mismatch"));
+            }
+            let expected = u64::from_le_bytes(total);
+            if expected != self.read {
+                return Err(bad_data(format!(
+                    "ptb: terminator expects {expected} records, read {}",
+                    self.read
+                )));
+            }
+            self.done = true;
+            return Ok(None);
+        }
+        if count > MAX_BLOCK_RECORDS {
+            return Err(bad_data(format!("ptb: implausible block count {count}")));
+        }
+        let payload = count as usize * FRAME_BYTES;
+        self.bytes.resize(payload, 0);
+        read_exact_ctx(&mut self.r, &mut self.bytes, "ptb block payload")?;
+        let mut crc = [0u8; 4];
+        read_exact_ctx(&mut self.r, &mut crc, "ptb block")?;
+        if crc32(&self.bytes) != u32::from_le_bytes(crc) {
+            return Err(bad_data("ptb: block CRC mismatch"));
+        }
+        self.records.clear();
+        self.records.reserve(count as usize);
+        for frame in self.bytes.chunks_exact(FRAME_BYTES) {
+            self.records.push(decode_record(frame)?);
+        }
+        self.read += count as u64;
+        Ok(Some(&self.records))
+    }
+}
+
+/// `read_exact` with a truncation message naming what was being read.
+fn read_exact_ctx<R: Read>(r: &mut R, buf: &mut [u8], what: &str) -> io::Result<()> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("ptb: truncated file while reading {what}"),
+            )
+        } else {
+            e
+        }
+    })
+}
+
+/// Write a whole trace as `ptb`.
+pub fn write_ptb<W: Write>(trace: &Trace, w: W) -> io::Result<()> {
+    let mut enc = PtbWriter::new(w, &trace.meta)?;
+    for r in &trace.records {
+        enc.push_record(r)?;
+    }
+    enc.finish_mut()
+}
+
+/// Read a whole trace previously written by [`write_ptb`].
+pub fn read_ptb<R: Read>(r: R) -> io::Result<Trace> {
+    let mut dec = PtbBlockReader::new(r)?;
+    let mut trace = Trace::new(dec.meta().clone());
+    while let Some(block) = dec.next_block()? {
+        trace.records.extend_from_slice(block);
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: u64) -> Trace {
+        let mut t = Trace::new(TraceMeta {
+            experiment: "ptb".into(),
+            platform: "test".into(),
+            ranks: 8,
+            seed: 42,
+        });
+        for i in 0..n {
+            t.push(Record {
+                rank: (i % 8) as u32,
+                call: CallKind::ALL[(i % 12) as usize],
+                fd: (i % 5) as i32 - 1,
+                offset: i << 16,
+                bytes: 4096 + i,
+                start_ns: i * 1_000,
+                end_ns: i * 1_000 + 500 + i,
+                phase: (i / 100) as u32,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard CRC-32/ISO-HDLC check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        for n in [0u64, 1, 255, 1024, 3000] {
+            let t = sample(n);
+            let mut buf = Vec::new();
+            write_ptb(&t, &mut buf).unwrap();
+            let back = read_ptb(std::io::Cursor::new(&buf)).unwrap();
+            assert_eq!(back.meta, t.meta, "n={n}");
+            assert_eq!(back.records, t.records, "n={n}");
+        }
+    }
+
+    #[test]
+    fn call_codes_cover_every_kind() {
+        for (i, k) in CallKind::ALL.iter().enumerate() {
+            assert_eq!(call_code(*k) as usize, i);
+            assert_eq!(call_from_code(i as u8).unwrap(), *k);
+        }
+        assert!(call_from_code(12).is_err());
+    }
+
+    #[test]
+    fn sink_capture_equals_batch_write() {
+        let t = sample(700);
+        let mut batch = Vec::new();
+        write_ptb(&t, &mut batch).unwrap();
+        let mut sink = PtbWriter::new(Vec::new(), &t.meta).unwrap();
+        for r in &t.records {
+            RecordSink::push(&mut sink, r);
+        }
+        RecordSink::finish(&mut sink);
+        assert!(sink.error().is_none());
+        assert_eq!(sink.records_written(), 700);
+        assert_eq!(sink.into_inner().unwrap(), batch);
+    }
+
+    #[test]
+    fn truncation_is_a_clean_error() {
+        let t = sample(300);
+        let mut buf = Vec::new();
+        write_ptb(&t, &mut buf).unwrap();
+        // Chop at several depths: header, mid-block, at a block
+        // boundary (terminator missing), mid-terminator.
+        for cut in [2, 6, 40, buf.len() - 1, buf.len() - 10] {
+            let err = read_ptb(std::io::Cursor::new(&buf[..cut])).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut={cut}: {err}");
+            assert!(err.to_string().contains("truncated"), "cut={cut}: {err}");
+        }
+        // Truncating exactly after the last block (dropping the whole
+        // terminator) must also fail — record count unverifiable.
+        let end_of_blocks = buf.len() - 16;
+        assert!(read_ptb(std::io::Cursor::new(&buf[..end_of_blocks])).is_err());
+    }
+
+    #[test]
+    fn corruption_is_rejected_by_crc() {
+        let t = sample(300);
+        let mut clean = Vec::new();
+        write_ptb(&t, &mut clean).unwrap();
+        // Flip one bit in the meta, a record payload, and the terminator.
+        for pos in [9usize, clean.len() / 2, clean.len() - 6] {
+            let mut buf = clean.clone();
+            buf[pos] ^= 0x40;
+            let err = read_ptb(std::io::Cursor::new(&buf)).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "pos={pos}: {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let t = sample(10);
+        let mut buf = Vec::new();
+        write_ptb(&t, &mut buf).unwrap();
+        buf[3] = b'9';
+        let err = read_ptb(std::io::Cursor::new(&buf)).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        buf[0] = b'X';
+        let err = read_ptb(std::io::Cursor::new(&buf)).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn block_reader_streams_and_counts() {
+        let t = sample(2500);
+        let mut buf = Vec::new();
+        write_ptb(&t, &mut buf).unwrap();
+        let mut dec = PtbBlockReader::new(std::io::Cursor::new(&buf)).unwrap();
+        assert_eq!(dec.meta(), &t.meta);
+        let mut seen = Vec::new();
+        let mut blocks = 0;
+        while let Some(block) = dec.next_block().unwrap() {
+            assert!(block.len() <= DEFAULT_BLOCK_RECORDS);
+            seen.extend_from_slice(block);
+            blocks += 1;
+        }
+        assert_eq!(blocks, 3); // 1024 + 1024 + 452
+        assert_eq!(dec.records_read(), 2500);
+        assert_eq!(seen, t.records);
+        // Exhausted readers stay exhausted.
+        assert!(dec.next_block().unwrap().is_none());
+    }
+}

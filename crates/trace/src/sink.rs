@@ -2,8 +2,9 @@
 //!
 //! A [`RecordSink`] consumes trace records as they are produced (by the
 //! simulated MPI runtime or by a JSONL reader) without requiring the
-//! whole event stream to be buffered. The in-memory [`Trace`] and the
-//! fixed-memory [`OnlineProfile`] are both sinks; `pio-ingest` adds a
+//! whole event stream to be buffered. The in-memory [`Trace`], the
+//! fixed-memory [`OnlineProfile`], and the binary-format encoder
+//! [`crate::ptb::PtbWriter`] are all sinks; `pio-ingest` adds a
 //! concurrent sharded pipeline behind the same trait.
 
 use crate::profile::OnlineProfile;
