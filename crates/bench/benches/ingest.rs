@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use pio_core::diagnosis::{diagnose_with, Thresholds};
 use pio_ingest::pipeline::{IngestConfig, IngestPipeline, OverflowPolicy};
-use pio_ingest::shard::{EnsembleSnapshot, ShardKey, ShardStats};
+use pio_ingest::shard::{EnsembleSnapshot, ShardKey, ShardStats, SmallWriteAgg};
 use pio_ingest::sketch::HeavyHitters;
 use pio_ingest::{DiagnoserConfig, StreamDiagnoser};
 use pio_trace::{CallKind, Record, RecordSink, Trace, TraceMeta};
@@ -170,6 +170,7 @@ fn bench_merge_scaling(c: &mut Criterion) {
             b.iter_batched(
                 || maps.clone(),
                 |maps| {
+                    let shards = maps.len();
                     black_box(EnsembleSnapshot::assemble(
                         maps,
                         HeavyHitters::new(16),
@@ -178,6 +179,8 @@ fn bench_merge_scaling(c: &mut Criterion) {
                         64,
                         4096,
                         0,
+                        vec![HashMap::new(); shards],
+                        SmallWriteAgg::new(16),
                     ))
                 },
                 BatchSize::SmallInput,

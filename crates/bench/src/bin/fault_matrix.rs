@@ -2,29 +2,58 @@
 //! workload that exposes its ensemble signature, two seeds each, with a
 //! baseline-clean, signature-present, and bit-reproducibility check per
 //! cell. Exits non-zero if any cell fails — CI smoke-runs this at
-//! `--scale 8`.
+//! `--scale 8` and uploads the rendered table (`--out`) as an artifact.
 
 use pio_bench::fault_matrix::{empty_plan_is_inert, render, run_matrix};
-use pio_bench::util::scale_from_args;
+use pio_bench::util::{parse_out, scale_from_args};
 
 fn main() {
     let scale = scale_from_args(8);
+    let args: Vec<String> = std::env::args().collect();
+    let out = match parse_out(&args) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: {} [--scale N] [--out PATH]",
+                args.first().map_or("fault_matrix", |a| a)
+            );
+            std::process::exit(2);
+        }
+    };
     let seeds = [101, 202];
 
-    println!("== fault x workload matrix (scale {scale}, seeds {seeds:?}) ==");
+    let header = format!("== fault x workload matrix (scale {scale}, seeds {seeds:?}) ==");
+    println!("{header}");
     let cells = run_matrix(scale, &seeds);
-    print!("{}", render(&cells));
+    let table = render(&cells);
+    print!("{table}");
 
     let inert = empty_plan_is_inert(scale, seeds[0]);
-    println!(
+    let inert_line = format!(
         "no-fault inertness (empty plan == no plan): {}",
         if inert { "exact" } else { "VIOLATED" }
     );
+    println!("{inert_line}");
 
     let failed = cells.iter().filter(|c| !c.pass()).count();
+    let verdict = if failed > 0 || !inert {
+        format!("FAIL: {failed} cell(s) failed")
+    } else {
+        format!("PASS: all {} cells", cells.len())
+    };
+
+    if let Some(path) = out {
+        let body = format!("{header}\n{table}{inert_line}\n{verdict}\n");
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+
     if failed > 0 || !inert {
-        eprintln!("FAIL: {failed} cell(s) failed");
+        eprintln!("{verdict}");
         std::process::exit(1);
     }
-    println!("PASS: all {} cells", cells.len());
+    println!("{verdict}");
 }

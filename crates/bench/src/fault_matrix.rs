@@ -11,12 +11,15 @@
 //!
 //! The matrix is the executable statement of the crate's thesis: fault
 //! classes are distinguishable *from the shape of the ensemble alone*
-//! (right shoulder vs. per-phase drift vs. rank correlation), plus one
-//! resource-level attribution each (which OST, which node, how much
-//! tail mass).
+//! (right shoulder vs. per-phase drift vs. rank correlation). Every
+//! cell asserts the verdict of the *shared* detectors — the same
+//! [`pio_core::diagnose`] attribution the batch report and the
+//! streaming diagnoser print — rather than re-deriving its own
+//! thresholds, so a matrix pass certifies the production detectors.
 
-use pio_core::diagnosis::{detect_progressive_deterioration, detect_right_shoulder, Thresholds};
-use pio_core::Finding;
+use pio_core::attribution::FaultClass;
+use pio_core::diagnosis::{detect_progressive_deterioration, Thresholds};
+use pio_core::{diagnose, Finding};
 use pio_fault::{Fault, FaultPlan};
 use pio_fs::FsConfig;
 use pio_mpi::program::{Job, Op, Program};
@@ -32,11 +35,33 @@ pub struct Scenario {
     pub workload: &'static str,
     /// The signature this cell asserts, for the report table.
     pub expect: &'static str,
+    /// The attribution `diagnose` must (and alone must) produce on the
+    /// faulted run; `None` for cells asserting a non-attributed shape
+    /// (the deterioration ramp).
+    pub expected_class: Option<FaultClass>,
     plan: FaultPlan,
     job: Job,
     fs: FsConfig,
     #[allow(clippy::type_complexity)]
     detect: Box<dyn Fn(&RunReport) -> Result<String, String>>,
+}
+
+impl Scenario {
+    /// The cell's fault plan (for reuse outside the matrix, e.g. the
+    /// attribution corpus test).
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The cell's workload.
+    pub fn job(&self) -> &Job {
+        &self.job
+    }
+
+    /// The cell's platform configuration.
+    pub fn fs(&self) -> &FsConfig {
+        &self.fs
+    }
 }
 
 /// Outcome of one cell at one seed.
@@ -63,26 +88,28 @@ impl CellOutcome {
     }
 }
 
-/// Shoulder detection on one call class, as `Result` with the reason.
-fn shoulder(res: &RunReport, kind: CallKind) -> Result<Finding, String> {
-    detect_right_shoulder(res.trace(), kind, &Thresholds::default())
-        .ok_or_else(|| format!("no right shoulder on {kind:?}"))
+/// Every distinct fault class `diagnose` attributes over a run's trace,
+/// sorted and deduplicated.
+pub fn attributed(res: &RunReport) -> Vec<FaultClass> {
+    let mut classes: Vec<FaultClass> = diagnose(res.trace())
+        .iter()
+        .filter_map(Finding::attribution)
+        .collect();
+    classes.sort();
+    classes.dedup();
+    classes
 }
 
-/// Median duration of `kind` over ranks selected by `pick`.
-fn median_where(res: &RunReport, kind: CallKind, pick: impl Fn(u32) -> bool) -> f64 {
-    let mut d: Vec<f64> = res
-        .trace()
-        .records
-        .iter()
-        .filter(|r| r.call == kind && pick(r.rank))
-        .map(|r| r.secs())
-        .collect();
-    if d.is_empty() {
-        return 0.0;
+/// Assert that `diagnose` attributes exactly `want` — nothing less (the
+/// fault must be named) and nothing more (no cross-contamination from a
+/// second, wrong verdict).
+fn expect_class(res: &RunReport, want: FaultClass) -> Result<(), String> {
+    let classes = attributed(res);
+    if classes == [want] {
+        Ok(())
+    } else {
+        Err(format!("attributed {classes:?}, want exactly [{want:?}]"))
     }
-    d.sort_by(f64::total_cmp);
-    d[d.len() / 2]
 }
 
 /// A read-heavy IOR: per-task 1 MiB calls so every data RPC lands on a
@@ -200,7 +227,8 @@ pub fn scenarios(scale: u32) -> Vec<Scenario> {
     cells.push(Scenario {
         fault: "slow-ost",
         workload: "ior-read",
-        expect: "read shoulder + OST imbalance at the target",
+        expect: "diagnose attributes slow-ost; imbalance names the target",
+        expected_class: Some(FaultClass::SlowOst),
         plan: FaultPlan::new().with(Fault::SlowOst {
             ost: slow_target,
             slowdown: 8.0,
@@ -209,13 +237,10 @@ pub fn scenarios(scale: u32) -> Vec<Scenario> {
         job: read_heavy(tasks, 2),
         fs: fs.clone(),
         detect: Box::new(move |res| {
-            let f = shoulder(res, CallKind::Read)?;
+            expect_class(res, FaultClass::SlowOst)?;
+            // Resource-level cross-check: the utilization ledger must
+            // point at the same target the stripe decomposition blamed.
             let imb = res.util.ost_imbalance();
-            if imb < 1.4 {
-                return Err(format!(
-                    "OST busy imbalance {imb:.2} too even for a slow OST"
-                ));
-            }
             let busiest = res
                 .util
                 .ost_busy_s
@@ -229,7 +254,9 @@ pub fn scenarios(scale: u32) -> Vec<Scenario> {
                     "imbalance points at OST {busiest}, fault was on {slow_target}"
                 ));
             }
-            Ok(format!("{f}; busiest OST = {busiest}, imbalance {imb:.1}x"))
+            Ok(format!(
+                "slow-ost attributed; busiest OST = {busiest}, imbalance {imb:.1}x"
+            ))
         }),
     });
 
@@ -246,6 +273,7 @@ pub fn scenarios(scale: u32) -> Vec<Scenario> {
         fault: "slow-ost-ramp",
         workload: "ior-read x4",
         expect: "progressive per-phase read deterioration",
+        expected_class: None,
         plan: ramp_plan,
         job: read_heavy(tasks, 4),
         fs: fs.clone(),
@@ -261,7 +289,8 @@ pub fn scenarios(scale: u32) -> Vec<Scenario> {
     cells.push(Scenario {
         fault: "flaky-fabric",
         workload: "paced-read",
-        expect: "read shoulder with the OST pool still balanced",
+        expect: "diagnose attributes flaky-fabric; OST pool balanced",
+        expected_class: Some(FaultClass::FlakyFabric),
         plan: FaultPlan::new().with(Fault::FlakyFabric {
             period_s: 0.25,
             duty: 0.1,
@@ -270,14 +299,16 @@ pub fn scenarios(scale: u32) -> Vec<Scenario> {
         job: paced_reads(tasks, 48, 0.1),
         fs: calm.clone(),
         detect: Box::new(|res| {
-            let f = shoulder(res, CallKind::Read)?;
+            expect_class(res, FaultClass::FlakyFabric)?;
             let imb = res.util.ost_imbalance();
             if imb >= 1.4 {
                 return Err(format!(
                     "OST imbalance {imb:.2} — looks like a disk fault, not fabric"
                 ));
             }
-            Ok(format!("{f}; OSTs balanced ({imb:.2}x)"))
+            Ok(format!(
+                "flaky-fabric attributed; OSTs balanced ({imb:.2}x)"
+            ))
         }),
     });
 
@@ -285,7 +316,8 @@ pub fn scenarios(scale: u32) -> Vec<Scenario> {
     cells.push(Scenario {
         fault: "mds-stall",
         workload: "meta-stream",
-        expect: "metadata-read shoulder from blackout windows",
+        expect: "diagnose attributes mds-stall on the metadata class",
+        expected_class: Some(FaultClass::MdsStall),
         plan: FaultPlan::new().with(Fault::MdsStall {
             period_s: 3.1,
             stall_s: 0.7,
@@ -293,8 +325,8 @@ pub fn scenarios(scale: u32) -> Vec<Scenario> {
         job: meta_heavy(tasks, 40),
         fs: fs.clone(),
         detect: Box::new(|res| {
-            let f = shoulder(res, CallKind::MetaRead)?;
-            Ok(f.to_string())
+            expect_class(res, FaultClass::MdsStall)?;
+            Ok("mds-stall attributed (meta shoulder, rank-spread tail)".into())
         }),
     });
 
@@ -303,7 +335,8 @@ pub fn scenarios(scale: u32) -> Vec<Scenario> {
     cells.push(Scenario {
         fault: "straggler-node",
         workload: "paced-read",
-        expect: "read tail concentrated on the straggler's ranks",
+        expect: "diagnose names node-0 ranks as the straggler set",
+        expected_class: Some(FaultClass::StragglerNode),
         plan: FaultPlan::new().with(Fault::StragglerNode {
             node: 0,
             slowdown: 32.0,
@@ -311,17 +344,22 @@ pub fn scenarios(scale: u32) -> Vec<Scenario> {
         job: paced_reads(tasks, 48, 0.1),
         fs: calm.clone(),
         detect: Box::new(move |res| {
-            let slow = median_where(res, CallKind::Read, |r| r < tasks_per_node);
-            let rest = median_where(res, CallKind::Read, |r| r >= tasks_per_node);
-            if rest <= 0.0 || slow < 2.0 * rest {
+            expect_class(res, FaultClass::StragglerNode)?;
+            // The finding must name the faulted node's ranks, not merely
+            // notice *some* concentration.
+            let culprits = diagnose(res.trace())
+                .into_iter()
+                .find_map(|f| match f {
+                    Finding::RankCorrelatedTail { ranks, .. } => Some(ranks),
+                    _ => None,
+                })
+                .ok_or("attributed straggler-node without a rank-correlated finding")?;
+            if culprits.is_empty() || !culprits.iter().all(|&r| r < tasks_per_node) {
                 return Err(format!(
-                    "node-0 read median {slow:.4}s not clearly above the rest ({rest:.4}s)"
+                    "culprit ranks {culprits:?} not confined to node 0 (ranks < {tasks_per_node})"
                 ));
             }
-            Ok(format!(
-                "node-0 ranks read at {slow:.3}s median vs {rest:.3}s elsewhere ({:.1}x)",
-                slow / rest
-            ))
+            Ok(format!("straggler attributed to node-0 ranks {culprits:?}"))
         }),
     });
 
@@ -331,7 +369,8 @@ pub fn scenarios(scale: u32) -> Vec<Scenario> {
     cells.push(Scenario {
         fault: "drop-retry",
         workload: "paced-read",
-        expect: "read tail mass tracking the drop probability",
+        expect: "diagnose attributes drop-retry; tail mass tracks the rate",
+        expected_class: Some(FaultClass::DropRetry),
         plan: FaultPlan::new().with(Fault::DropRetry {
             prob: drop_prob,
             timeout_s: 0.3,
@@ -340,25 +379,34 @@ pub fn scenarios(scale: u32) -> Vec<Scenario> {
         job: paced_reads(tasks, 48, 0.1),
         fs: calm,
         detect: Box::new(move |res| {
-            let f = shoulder(res, CallKind::Read)?;
-            if let Finding::RightShoulder { tail_mass, .. } = &f {
-                let tail_mass = *tail_mass;
-                if tail_mass < drop_prob / 3.0 || tail_mass > 4.0 * drop_prob {
-                    return Err(format!(
-                        "tail mass {tail_mass:.3} does not track drop prob {drop_prob}"
-                    ));
-                }
-                Ok(format!("{f}; tail mass tracks drop prob {drop_prob}"))
-            } else {
-                unreachable!("shoulder() returns RightShoulder")
+            expect_class(res, FaultClass::DropRetry)?;
+            let tail_mass = diagnose(res.trace())
+                .into_iter()
+                .find_map(|f| match f {
+                    Finding::RightShoulder {
+                        kind: CallKind::Read,
+                        tail_mass,
+                        ..
+                    } => Some(tail_mass),
+                    _ => None,
+                })
+                .ok_or("attributed drop-retry without a read shoulder")?;
+            if tail_mass < drop_prob / 3.0 || tail_mass > 4.0 * drop_prob {
+                return Err(format!(
+                    "tail mass {tail_mass:.3} does not track drop prob {drop_prob}"
+                ));
             }
+            Ok(format!(
+                "drop-retry attributed; tail mass {tail_mass:.3} tracks drop prob {drop_prob}"
+            ))
         }),
     });
 
     cells
 }
 
-fn run_once(
+/// One simulation of `job` on `fs`, optionally under a fault plan.
+pub fn run_once(
     job: &Job,
     fs: &FsConfig,
     seed: u64,

@@ -170,6 +170,22 @@ pub fn parse_format(args: &[String]) -> Result<Option<TraceFormat>, String> {
     Ok(format)
 }
 
+/// Parse `--out <path>` from argv; `None` when the flag is absent. The
+/// fault-matrix driver uses it to drop the rendered attribution table
+/// where CI can pick it up as a workflow artifact.
+pub fn parse_out(args: &[String]) -> Result<Option<PathBuf>, String> {
+    let mut out = None;
+    for (i, arg) in args.iter().enumerate() {
+        if arg == "--out" {
+            let raw = args
+                .get(i + 1)
+                .ok_or_else(|| "--out requires a path".to_string())?;
+            out = Some(PathBuf::from(raw));
+        }
+    }
+    Ok(out)
+}
+
 /// Output directory for CSV exports (`results/`, or `$PIO_RESULTS`).
 pub fn results_dir() -> PathBuf {
     std::env::var("PIO_RESULTS")
@@ -309,6 +325,17 @@ mod tests {
         assert!(parse_scale(&args(&["bench", "--scale", "-3"]), 16).is_err());
         assert!(parse_scale(&args(&["bench", "--scale", "0"]), 16).is_err());
         assert!(parse_scale(&args(&["bench", "--scale", "8x"]), 16).is_err());
+    }
+
+    #[test]
+    fn parse_out_takes_a_path() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_out(&args(&["bench"])), Ok(None));
+        assert_eq!(
+            parse_out(&args(&["bench", "--out", "matrix.txt"])),
+            Ok(Some(PathBuf::from("matrix.txt")))
+        );
+        assert!(parse_out(&args(&["bench", "--out"])).is_err());
     }
 
     #[test]

@@ -1,0 +1,906 @@
+//! Fault-class attribution: from "the ensemble has a slow tail" to
+//! *which class of fault* put it there.
+//!
+//! The paper's thesis is that fault classes leave reproducible
+//! fingerprints on the ensemble. This module holds the decomposition
+//! machinery that turns a histogram anomaly into a verdict:
+//!
+//! * **Rank decomposition** — a tail whose mass concentrates on a small
+//!   fraction of ranks (which are slow on *every* operation, not just
+//!   the tail) is a straggler client node, not a storage problem.
+//! * **Storage-target decomposition** — records are folded onto stripe
+//!   residue classes `(offset / stripe) mod m` for small `m`; a tail
+//!   that concentrates on one residue class *while the bulk does not*
+//!   is a degraded storage target (slow OST).
+//! * **Quantized tail levels** — retry-on-timeout faults put the tail
+//!   at discrete levels (base + k·timeout): several narrow, separated
+//!   islands in the duration histogram instead of one smear.
+//! * **Periodic tail bursts** — a duty-cycled fabric fault clusters the
+//!   tail events into regularly spaced bursts in wall-clock time.
+//!
+//! Everything operates on [`TailProfile`], a mergeable order-independent
+//! accumulator shared by the batch detectors (`diagnosis`), the online
+//! `StreamDiagnoser`, and the sharded snapshot path in `pio-ingest` —
+//! one source of truth for what "rank-correlated" means, estimated from
+//! the same statistic everywhere. The tail cut itself
+//! ([`Thresholds::tail_cut`]) is applied at *diagnosis* time, never at
+//! accumulation time, so profiles stay insensitive to record order and
+//! to the provisional medians a streaming consumer sees.
+
+use crate::diagnosis::Thresholds;
+use pio_des::hist::{LogBins, LogHistogram};
+use pio_trace::{CallKind, Trace};
+use std::collections::HashMap;
+
+/// Duration geometry shared by every tail profile: 1 µs to 1000 s.
+pub const TAIL_HIST_LO: f64 = 1e-6;
+/// Upper duration bound, seconds.
+pub const TAIL_HIST_HI: f64 = 1e3;
+/// Per-rank histogram resolution (each bin spans a ~1.54× factor —
+/// coarse, but the tail/bulk split only needs one cut).
+pub const TAIL_HIST_BINS: usize = 48;
+
+/// Stripe-residue moduli the storage-target decomposition folds onto.
+/// Any OST pool whose size shares a factor with one of these shows a
+/// residue-class concentration when a single target degrades.
+pub const MODULI: [usize; 7] = [2, 3, 4, 5, 6, 7, 8];
+
+/// The call classes worth profiling for attribution.
+pub const TAIL_KINDS: [CallKind; 4] = [
+    CallKind::Read,
+    CallKind::Write,
+    CallKind::MetaRead,
+    CallKind::MetaWrite,
+];
+
+/// The fault class a finding is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultClass {
+    /// One degraded storage target: tail concentrates on a stripe
+    /// residue class that the bulk does not.
+    SlowOst,
+    /// Duty-cycled interconnect degradation: tail events arrive in
+    /// periodic bursts, with ranks and targets both balanced.
+    FlakyFabric,
+    /// Metadata-server stalls: the shoulder sits on a metadata call
+    /// class, spread evenly over ranks.
+    MdsStall,
+    /// A straggler client node: the tail is rank-correlated and the
+    /// culprit ranks are slow on every operation.
+    StragglerNode,
+    /// Request loss with timeout retry: the tail is quantized at
+    /// base + k·timeout levels.
+    DropRetry,
+    /// Serialized small-write metadata storm (the paper's GCRM case):
+    /// a sub-3KB write class owned by one rank, executed serially.
+    MetadataStorm,
+}
+
+impl FaultClass {
+    /// Stable lowercase identifier (matrix tables, CI artifacts).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::SlowOst => "slow-ost",
+            FaultClass::FlakyFabric => "flaky-fabric",
+            FaultClass::MdsStall => "mds-stall",
+            FaultClass::StragglerNode => "straggler-node",
+            FaultClass::DropRetry => "drop-retry",
+            FaultClass::MetadataStorm => "metadata-storm",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let text = match self {
+            FaultClass::SlowOst => "degraded storage target (slow OST)",
+            FaultClass::FlakyFabric => "periodic fabric degradation",
+            FaultClass::MdsStall => "metadata-server stall windows",
+            FaultClass::StragglerNode => "straggler client node",
+            FaultClass::DropRetry => "request loss with timeout retry",
+            FaultClass::MetadataStorm => "serialized small-write metadata storm",
+        };
+        write!(f, "{text}")
+    }
+}
+
+/// Per-rank slice of a [`TailProfile`].
+#[derive(Debug, Clone, PartialEq)]
+struct RankCell {
+    counts: Vec<u64>,
+    secs: f64,
+    ops: u64,
+}
+
+/// Mergeable per-rank + per-stripe-residue duration decomposition of one
+/// call class. Order-independent: merging profiles built from disjoint
+/// record streams equals one profile fed the union (counts exactly, f64
+/// accumulators up to rounding), the same law as every other sketch in
+/// the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TailProfile {
+    geom: LogBins,
+    stripe_bytes: u64,
+    per_rank: HashMap<u32, RankCell>,
+    /// `residues[mi][r]` is the duration histogram of records whose
+    /// stripe index ≡ r (mod MODULI[mi]).
+    residues: Vec<Vec<Vec<u64>>>,
+}
+
+/// Verdict data from [`TailProfile::rank_correlated`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankTail {
+    /// Culprit ranks, ascending.
+    pub ranks: Vec<u32>,
+    /// Culprits as a fraction of ranks observed in the class.
+    pub rank_frac: f64,
+    /// Fraction of the tail mass the culprits own.
+    pub tail_share: f64,
+    /// Culprit per-op mean over the rest's per-op mean.
+    pub mean_ratio: f64,
+}
+
+/// Verdict data from [`TailProfile::target_correlated`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TargetTail {
+    /// The modulus the concentration shows at.
+    pub modulus: u32,
+    /// The hot residue class.
+    pub residue: u32,
+    /// Its share of the tail mass.
+    pub tail_share: f64,
+    /// Its share of the bulk (sub-cut) mass — low when the tail is
+    /// target-correlated but the workload itself is spread.
+    pub bulk_share: f64,
+}
+
+impl TailProfile {
+    /// An empty profile; `stripe_bytes` maps offsets onto stripe indices.
+    pub fn new(stripe_bytes: u64) -> Self {
+        TailProfile {
+            geom: LogBins::new(TAIL_HIST_LO, TAIL_HIST_HI, TAIL_HIST_BINS),
+            stripe_bytes: stripe_bytes.max(1),
+            per_rank: HashMap::new(),
+            residues: MODULI
+                .iter()
+                .map(|&m| vec![vec![0u64; TAIL_HIST_BINS]; m])
+                .collect(),
+        }
+    }
+
+    /// Profile every record of `kind` in a trace.
+    pub fn from_trace(trace: &Trace, kind: CallKind, stripe_bytes: u64) -> Self {
+        let mut p = TailProfile::new(stripe_bytes);
+        for r in trace.records.iter().filter(|r| r.call == kind) {
+            p.add(r.rank, r.offset, r.secs());
+        }
+        p
+    }
+
+    /// Accumulate one record.
+    pub fn add(&mut self, rank: u32, offset: u64, secs: f64) {
+        let bin = self.geom.index_clamped(secs);
+        let cell = self.per_rank.entry(rank).or_insert_with(|| RankCell {
+            counts: vec![0; TAIL_HIST_BINS],
+            secs: 0.0,
+            ops: 0,
+        });
+        cell.counts[bin] += 1;
+        cell.secs += secs;
+        cell.ops += 1;
+        let stripe = offset / self.stripe_bytes;
+        for (mi, &m) in MODULI.iter().enumerate() {
+            self.residues[mi][(stripe % m as u64) as usize][bin] += 1;
+        }
+    }
+
+    /// Merge another profile (same stripe geometry); equivalent to having
+    /// accumulated both record streams into one profile.
+    pub fn merge(&mut self, other: &TailProfile) {
+        assert_eq!(
+            self.stripe_bytes, other.stripe_bytes,
+            "merging tail profiles with different stripe geometry"
+        );
+        for (&rank, cell) in &other.per_rank {
+            let mine = self.per_rank.entry(rank).or_insert_with(|| RankCell {
+                counts: vec![0; TAIL_HIST_BINS],
+                secs: 0.0,
+                ops: 0,
+            });
+            for (i, &c) in cell.counts.iter().enumerate() {
+                mine.counts[i] += c;
+            }
+            mine.secs += cell.secs;
+            mine.ops += cell.ops;
+        }
+        for (mi, table) in other.residues.iter().enumerate() {
+            for (r, counts) in table.iter().enumerate() {
+                for (i, &c) in counts.iter().enumerate() {
+                    self.residues[mi][r][i] += c;
+                }
+            }
+        }
+    }
+
+    /// Ranks that produced at least one record of the class.
+    pub fn ranks_observed(&self) -> usize {
+        self.per_rank.len()
+    }
+
+    /// Records accumulated.
+    pub fn ops(&self) -> u64 {
+        self.per_rank.values().map(|c| c.ops).sum()
+    }
+
+    /// Is the profile empty?
+    pub fn is_empty(&self) -> bool {
+        self.per_rank.is_empty()
+    }
+
+    /// The heaviest rank by class seconds and its share of the class
+    /// total, or `None` if empty. Ties break to the lowest rank.
+    pub fn top_rank_share(&self) -> Option<(u32, f64)> {
+        let total: f64 = {
+            let mut rows: Vec<(u32, f64)> =
+                self.per_rank.iter().map(|(&r, c)| (r, c.secs)).collect();
+            rows.sort_by_key(|&(r, _)| r);
+            rows.iter().map(|&(_, s)| s).sum()
+        };
+        if total <= 0.0 {
+            return None;
+        }
+        let (rank, secs) = self
+            .per_rank
+            .iter()
+            .map(|(&r, c)| (r, c.secs))
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))?;
+        Some((rank, secs / total))
+    }
+
+    /// Rank-correlated-tail test: fires when the tail mass (duration mass
+    /// in bins beyond `cut`) concentrates on at most
+    /// `tail_rank_frac` of the observed ranks — *and* those ranks are
+    /// slower per operation overall, which separates a straggler node
+    /// (slow on everything) from harmonic arbitration losers (slow on a
+    /// rotating subset of operations).
+    pub fn rank_correlated(&self, cut: f64, th: &Thresholds) -> Option<RankTail> {
+        let ranks_observed = self.per_rank.len();
+        if ranks_observed < 8 {
+            return None;
+        }
+        // (rank, tail mass, total secs, total ops, tail events)
+        let mut rows: Vec<(u32, f64, f64, u64, u64)> = self
+            .per_rank
+            .iter()
+            .map(|(&rank, cell)| {
+                let (mut mass, mut events) = (0.0, 0u64);
+                for (i, &c) in cell.counts.iter().enumerate() {
+                    if c > 0 && self.geom.center(i) > cut {
+                        mass += c as f64 * self.geom.center(i);
+                        events += c;
+                    }
+                }
+                (rank, mass, cell.secs, cell.ops, events)
+            })
+            .collect();
+        rows.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let total_mass: f64 = rows.iter().map(|r| r.1).sum();
+        let total_events: u64 = rows.iter().map(|r| r.4).sum();
+        if total_mass <= 0.0 || (total_events as usize) < th.tail_min_events {
+            return None;
+        }
+        // Smallest prefix of (tail-heaviest) ranks covering the share…
+        let mut acc = 0.0;
+        let mut k = 0;
+        while k < rows.len() && acc < th.tail_rank_share * total_mass {
+            acc += rows[k].1;
+            k += 1;
+        }
+        // …extended to peers of comparable mass, so a 4-rank node whose
+        // first 3 ranks already cover the share still names all 4.
+        while k < rows.len() && k > 0 && rows[k].1 >= 0.5 * rows[k - 1].1 && rows[k].1 > 0.0 {
+            acc += rows[k].1;
+            k += 1;
+        }
+        let rank_frac = k as f64 / ranks_observed as f64;
+        if rank_frac > th.tail_rank_frac {
+            return None;
+        }
+        let (mut cul_secs, mut cul_ops, mut rest_secs, mut rest_ops) = (0.0, 0u64, 0.0, 0u64);
+        for (i, r) in rows.iter().enumerate() {
+            if i < k {
+                cul_secs += r.2;
+                cul_ops += r.3;
+            } else {
+                rest_secs += r.2;
+                rest_ops += r.3;
+            }
+        }
+        if cul_ops == 0 || rest_ops == 0 {
+            return None;
+        }
+        let mean_ratio = (cul_secs / cul_ops as f64) / (rest_secs / rest_ops as f64).max(1e-300);
+        if mean_ratio < th.tail_mean_ratio {
+            return None;
+        }
+        let mut culprits: Vec<u32> = rows[..k].iter().map(|r| r.0).collect();
+        culprits.sort_unstable();
+        Some(RankTail {
+            ranks: culprits,
+            rank_frac,
+            tail_share: acc / total_mass,
+            mean_ratio,
+        })
+    }
+
+    /// Storage-target test: fold the class onto stripe residue classes
+    /// and fire when, for some small modulus, one residue owns the tail
+    /// while the others do not. The differential is *event-rate* based:
+    /// the hot residue's events must land in the tail at ≥2.5× the rate
+    /// of everyone else's — which separates "one degraded target" (its
+    /// accesses slow, the rest fine) from a workload that simply *uses*
+    /// a skewed offset pattern, where every residue in use is slow at
+    /// the same rate. A modulus the workload never spreads over (all
+    /// events on one residue) carries no differential signal and is
+    /// skipped.
+    pub fn target_correlated(&self, cut: f64, th: &Thresholds) -> Option<TargetTail> {
+        for (mi, &m) in MODULI.iter().enumerate() {
+            let table = &self.residues[mi];
+            let mut tails = vec![0.0f64; m];
+            let mut bulks = vec![0.0f64; m];
+            let mut tail_ev = vec![0u64; m];
+            let mut ev = vec![0u64; m];
+            for (res, counts) in table.iter().enumerate() {
+                for (i, &c) in counts.iter().enumerate() {
+                    if c == 0 {
+                        continue;
+                    }
+                    let center = self.geom.center(i);
+                    let mass = c as f64 * center;
+                    ev[res] += c;
+                    if center > cut {
+                        tails[res] += mass;
+                        tail_ev[res] += c;
+                    } else {
+                        bulks[res] += mass;
+                    }
+                }
+            }
+            let tail_total: f64 = tails.iter().sum();
+            let bulk_total: f64 = bulks.iter().sum();
+            let tail_ev_total: u64 = tail_ev.iter().sum();
+            if tail_total <= 0.0 || (tail_ev_total as usize) < th.tail_min_events {
+                continue;
+            }
+            let mut best = 0usize;
+            for r in 1..m {
+                if tails[r] > tails[best] {
+                    best = r;
+                }
+            }
+            let rest_ev: u64 = ev.iter().sum::<u64>() - ev[best];
+            if ev[best] == 0 || rest_ev == 0 {
+                continue;
+            }
+            let tail_share = tails[best] / tail_total;
+            let bulk_share = if bulk_total > 0.0 {
+                bulks[best] / bulk_total
+            } else {
+                0.0
+            };
+            let hot_rate = tail_ev[best] as f64 / ev[best] as f64;
+            let rest_rate = (tail_ev_total - tail_ev[best]) as f64 / rest_ev as f64;
+            if tail_share >= th.target_tail_share && hot_rate >= 2.5 * rest_rate {
+                return Some(TargetTail {
+                    modulus: m as u32,
+                    residue: best as u32,
+                    tail_share,
+                    bulk_share,
+                });
+            }
+        }
+        None
+    }
+}
+
+/// Coefficient of variation, or `None` when undefined.
+fn cv(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    if mean <= 0.0 {
+        return None;
+    }
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+    Some(var.sqrt() / mean)
+}
+
+/// Quantized-tail test over a fine duration histogram: a retry-on-timeout
+/// fault puts the tail at discrete base + k·timeout levels, which show as
+/// two or more *narrow* occupied islands beyond the cut, separated by
+/// empty territory. One island (a uniform slowdown) or a broad smear
+/// (a continuum) both return `None`.
+pub fn quantized_tail_levels(hist: &LogHistogram, cut: f64, min_events: usize) -> Option<usize> {
+    let counts = hist.counts();
+    let tail_total: u64 = (0..hist.bins())
+        .filter(|&i| hist.bin_center(i) > cut)
+        .map(|i| counts[i])
+        .sum();
+    if (tail_total as usize) < min_events {
+        return None;
+    }
+    // Occupancy floor: stray single events must not mint islands.
+    let sig = (tail_total / 64).max(2);
+    let mut islands: Vec<usize> = Vec::new(); // island widths, in bins
+    let mut run = 0usize;
+    for (i, &count) in counts.iter().enumerate().take(hist.bins()) {
+        let significant = hist.bin_center(i) > cut && count >= sig;
+        if significant {
+            run += 1;
+        } else if run > 0 {
+            islands.push(run);
+            run = 0;
+        }
+    }
+    if run > 0 {
+        islands.push(run);
+    }
+    if islands.len() >= 2 && islands.iter().all(|&w| w <= 3) {
+        Some(islands.len())
+    } else {
+        None
+    }
+}
+
+/// Fraction of burst gaps that must sit within ±25% of the median gap
+/// for the burst train to count as phase-locked (periodic). Exponential
+/// (memoryless) gaps only land ~17% of their mass in that band, so a
+/// Poisson tail cannot reach it.
+const PHASE_LOCK_FRAC: f64 = 0.6;
+
+/// Candidate burst boundaries in units of the mean inter-arrival gap.
+/// Each scale is tried in turn; a gap above the boundary closes one
+/// burst and opens the next. Several scales are scanned because the
+/// right one depends on how many tail events each blackout window
+/// catches — every scale is still gated by the phase-lock test.
+const BURST_GAP_FACTORS: [f64; 3] = [4.0, 3.0, 2.0];
+
+/// Periodic-burst test over tail-event start times: a duty-cycled fault
+/// clusters the tail into regularly spaced bursts. Returns
+/// `(bursts, period CV)` when the train is long and regular enough.
+///
+/// Two stages: the raw gap train itself may be regular (one slow event
+/// per blackout window); otherwise events are segmented into bursts at
+/// gaps well above the mean and the burst spacing must be phase-locked —
+/// at least `PHASE_LOCK_FRAC` (0.6) of the burst gaps within ±25% of their
+/// median. Phase lock is what separates a duty-cycled fault from random
+/// timeouts: exponential gaps never concentrate that tightly, and
+/// windows that catch no tail events only add near-harmonic outliers
+/// that the locked majority outvotes.
+pub fn periodic_bursts(starts: &[f64], th: &Thresholds) -> Option<(usize, f64)> {
+    if starts.len() < th.flaky_min_bursts {
+        return None;
+    }
+    let mut s = starts.to_vec();
+    s.sort_by(f64::total_cmp);
+    let gaps: Vec<f64> = s.windows(2).map(|w| w[1] - w[0]).collect();
+    // The tail events themselves may form the periodic train.
+    if let Some(c) = cv(&gaps) {
+        if c <= th.flaky_period_cv {
+            return Some((s.len(), c));
+        }
+    }
+    let span = s[s.len() - 1] - s[0];
+    if span <= 0.0 {
+        return None;
+    }
+    for factor in BURST_GAP_FACTORS {
+        let boundary = factor * span / gaps.len() as f64;
+        let mut burst_starts = vec![s[0]];
+        for (i, g) in gaps.iter().enumerate() {
+            if *g > boundary {
+                burst_starts.push(s[i + 1]);
+            }
+        }
+        if burst_starts.len() < th.flaky_min_bursts {
+            continue;
+        }
+        let mut burst_gaps: Vec<f64> = burst_starts.windows(2).map(|w| w[1] - w[0]).collect();
+        let Some(c) = cv(&burst_gaps) else { continue };
+        let mut sorted = burst_gaps.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        burst_gaps.retain(|g| *g >= 0.75 * median && *g <= 1.25 * median);
+        let locked = burst_gaps.len() as f64 / sorted.len() as f64;
+        if c <= th.flaky_period_cv || locked >= PHASE_LOCK_FRAC {
+            return Some((burst_starts.len(), c));
+        }
+    }
+    None
+}
+
+/// Minimum number of tail events sharing a start instant to count as a
+/// synchronized front (all ranks released from a barrier together).
+const FRONT_MIN_GROUP: usize = 8;
+
+/// Fraction of tail events belonging to synchronized fronts above which
+/// position-correlated evidence (stripe residues, latency levels) is
+/// considered an artifact of the access pattern.
+const FRONT_SHARE_VETO: f64 = 0.5;
+
+/// Share of the tail carried by synchronized fronts: groups of at least
+/// `FRONT_MIN_GROUP` (8) events whose start times agree to the
+/// millisecond. When a barrier releases, every rank issues its next
+/// transfer at the same instant and the queue drains slowly — those
+/// events are slow because of *where they sit in the access pattern*
+/// (the block-aligned first stripe of each phase), so their residue and
+/// latency-level structure mimics a degraded target. A genuinely slow
+/// resource serves requests one at a time and spreads its tail over
+/// distinct instants.
+pub fn sync_front_share(starts: &[f64]) -> f64 {
+    if starts.is_empty() {
+        return 0.0;
+    }
+    let mut quantized: Vec<i64> = starts.iter().map(|t| (t * 1e3).round() as i64).collect();
+    quantized.sort_unstable();
+    let (mut covered, mut run, mut prev) = (0usize, 0usize, i64::MIN);
+    for q in quantized {
+        if q == prev {
+            run += 1;
+        } else {
+            if run >= FRONT_MIN_GROUP {
+                covered += run;
+            }
+            run = 1;
+            prev = q;
+        }
+    }
+    if run >= FRONT_MIN_GROUP {
+        covered += run;
+    }
+    covered as f64 / starts.len() as f64
+}
+
+/// Attribute a data-class (read/write) tail. Checks run from the most
+/// to the least specific evidence: rank concentration (straggler node),
+/// stripe-residue concentration (slow OST), periodic bursts (flaky
+/// fabric — only when arrival times are available, so snapshot-only
+/// consumers skip it), then quantized levels (drop + retry). `None`
+/// falls back to the paper's middleware-pathology reading.
+///
+/// When arrival times are available a tail dominated by synchronized
+/// fronts ([`sync_front_share`] ≥ 1/2) attributes to nothing: barrier
+/// drains land on block-aligned stripes and quantized service levels,
+/// mimicking both a hot residue and a retry ladder. Snapshot-only
+/// consumers (no arrival times) cannot apply the veto and stay
+/// conservative about residue evidence on their own thresholds.
+pub fn attribute_data_tail(
+    profile: &TailProfile,
+    hist: &LogHistogram,
+    tail_starts: Option<&[f64]>,
+    median: f64,
+    th: &Thresholds,
+) -> Option<FaultClass> {
+    if median <= 0.0 || profile.is_empty() {
+        return None;
+    }
+    let cut = th.tail_cut(median);
+    if profile.rank_correlated(cut, th).is_some() {
+        return Some(FaultClass::StragglerNode);
+    }
+    if let Some(starts) = tail_starts {
+        if sync_front_share(starts) >= FRONT_SHARE_VETO {
+            return None;
+        }
+    }
+    if profile.target_correlated(cut, th).is_some() {
+        return Some(FaultClass::SlowOst);
+    }
+    if let Some(starts) = tail_starts {
+        if periodic_bursts(starts, th).is_some() {
+            return Some(FaultClass::FlakyFabric);
+        }
+    }
+    if quantized_tail_levels(hist, cut, th.tail_min_events).is_some() {
+        return Some(FaultClass::DropRetry);
+    }
+    None
+}
+
+/// Attribute a metadata-class shoulder: concentrated on one rank it is
+/// the GCRM-style serialized metadata storm; spread over the ranks it is
+/// the metadata server itself stalling.
+pub fn attribute_meta_tail(profile: &TailProfile, th: &Thresholds) -> FaultClass {
+    if let Some((_, share)) = profile.top_rank_share() {
+        if share >= th.serialized_share {
+            return FaultClass::MetadataStorm;
+        }
+    }
+    FaultClass::MdsStall
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn th() -> Thresholds {
+        Thresholds::default()
+    }
+
+    fn uniform_profile(ranks: u32, per_rank: usize, secs: f64) -> TailProfile {
+        let mut p = TailProfile::new(1 << 20);
+        for rank in 0..ranks {
+            for i in 0..per_rank {
+                p.add(rank, (rank as u64 * 64 + i as u64) << 20, secs);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn planted_straggler_is_rank_correlated() {
+        let mut p = uniform_profile(16, 32, 0.02);
+        // Ranks 0–3 slow on everything (their 32 ops land at 0.6 s).
+        for rank in 0..4u32 {
+            for i in 0..32 {
+                p.add(rank, (i as u64) << 20, 0.6);
+            }
+        }
+        let rt = p.rank_correlated(0.04, &th()).expect("must fire");
+        assert_eq!(rt.ranks, vec![0, 1, 2, 3]);
+        assert!(rt.tail_share > 0.9);
+        assert!(rt.mean_ratio > 2.0);
+    }
+
+    #[test]
+    fn uniform_tail_is_not_rank_correlated() {
+        let mut p = uniform_profile(16, 32, 0.02);
+        // Every rank contributes the same tail mass.
+        for rank in 0..16u32 {
+            for i in 0..4 {
+                p.add(rank, (i as u64) << 20, 0.5);
+            }
+        }
+        assert!(p.rank_correlated(0.04, &th()).is_none());
+    }
+
+    #[test]
+    fn hot_residue_is_target_correlated_only_differentially() {
+        let mut p = TailProfile::new(1 << 20);
+        // Bulk spread over stripes 0..48 (uniform mod 3), tail only on
+        // stripes ≡ 1 (mod 3).
+        for rank in 0..16u32 {
+            for s in 0..48u64 {
+                let secs = if s % 3 == 1 { 0.8 } else { 0.02 };
+                p.add(rank, s << 20, secs);
+            }
+        }
+        let tt = p.target_correlated(0.04, &th()).expect("must fire");
+        assert_eq!(tt.modulus, 3);
+        assert_eq!(tt.residue, 1);
+        assert!(tt.tail_share > 0.95);
+
+        // A workload whose tail *and* bulk share the residue pattern
+        // (strided access, not a slow target) must stay quiet: the slow
+        // events scatter across ranks' stripe sets, so no modulus shows
+        // a *differential* concentration.
+        let mut q = TailProfile::new(1 << 20);
+        for rank in 0..16u32 {
+            for i in 0..48u64 {
+                let secs = if (i + rank as u64).is_multiple_of(10) {
+                    0.8
+                } else {
+                    0.02
+                };
+                q.add(rank, (i * 3 + 1) << 20, secs); // everything ≡ 1 (mod 3)
+            }
+        }
+        assert!(q.target_correlated(0.04, &th()).is_none());
+    }
+
+    #[test]
+    fn profile_merge_equals_union() {
+        let mut a = TailProfile::new(1 << 20);
+        let mut b = TailProfile::new(1 << 20);
+        let mut whole = TailProfile::new(1 << 20);
+        for i in 0..500u64 {
+            let (rank, off, secs) = ((i % 13) as u32, i << 18, 0.001 * (1 + i % 97) as f64);
+            if i % 2 == 0 {
+                a.add(rank, off, secs);
+            } else {
+                b.add(rank, off, secs);
+            }
+            whole.add(rank, off, secs);
+        }
+        a.merge(&b);
+        assert_eq!(a.ops(), whole.ops());
+        assert_eq!(a.residues, whole.residues);
+        for (rank, cell) in &whole.per_rank {
+            let got = &a.per_rank[rank];
+            assert_eq!(got.counts, cell.counts);
+            assert_eq!(got.ops, cell.ops);
+            assert!((got.secs - cell.secs).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn quantized_levels_need_separated_narrow_islands() {
+        let mut hist = LogHistogram::new(TAIL_HIST_LO, TAIL_HIST_HI, 96);
+        for _ in 0..500 {
+            hist.add_clamped(0.02);
+        }
+        // Two retry levels: 0.35 s and 0.65 s.
+        for _ in 0..30 {
+            hist.add_clamped(0.35);
+        }
+        for _ in 0..8 {
+            hist.add_clamped(0.65);
+        }
+        assert_eq!(quantized_tail_levels(&hist, 0.04, 16), Some(2));
+
+        // One uniform slow cluster: not quantized.
+        let mut one = LogHistogram::new(TAIL_HIST_LO, TAIL_HIST_HI, 96);
+        for _ in 0..500 {
+            one.add_clamped(0.02);
+        }
+        for _ in 0..40 {
+            one.add_clamped(0.16);
+        }
+        assert_eq!(quantized_tail_levels(&one, 0.04, 16), None);
+
+        // A broad continuum: not quantized.
+        let mut smear = LogHistogram::new(TAIL_HIST_LO, TAIL_HIST_HI, 96);
+        for _ in 0..500 {
+            smear.add_clamped(0.02);
+        }
+        for i in 0..200 {
+            smear.add_clamped(0.05 * 1.06f64.powi(i % 40));
+        }
+        assert_eq!(quantized_tail_levels(&smear, 0.04, 16), None);
+    }
+
+    #[test]
+    fn periodic_bursts_fire_on_duty_cycle_not_on_noise() {
+        // 20 blackout windows, 3 tail events each, period 0.25 s.
+        let mut starts = Vec::new();
+        for w in 0..20 {
+            for j in 0..3 {
+                starts.push(w as f64 * 0.25 + j as f64 * 0.004);
+            }
+        }
+        assert!(periodic_bursts(&starts, &th()).is_some());
+
+        // Pseudo-random arrivals (LCG, high bits): no periodicity.
+        let mut x = 0x2545f4914f6cdd1du64;
+        let noisy: Vec<f64> = (0..60)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((x >> 33) % 10_000) as f64 * 1e-3
+            })
+            .collect();
+        assert!(periodic_bursts(&noisy, &th()).is_none());
+    }
+
+    #[test]
+    fn meta_attribution_splits_on_rank_concentration() {
+        let mut storm = TailProfile::new(1 << 20);
+        for i in 0..200u64 {
+            storm.add(0, i << 12, 0.3);
+        }
+        assert_eq!(
+            attribute_meta_tail(&storm, &th()),
+            FaultClass::MetadataStorm
+        );
+
+        let mut stall = TailProfile::new(1 << 20);
+        for rank in 0..16u32 {
+            for i in 0..20u64 {
+                stall.add(rank, i << 12, if i % 7 == 0 { 0.7 } else { 0.01 });
+            }
+        }
+        assert_eq!(attribute_meta_tail(&stall, &th()), FaultClass::MdsStall);
+    }
+
+    #[test]
+    fn fault_class_names_are_stable() {
+        assert_eq!(FaultClass::SlowOst.name(), "slow-ost");
+        assert_eq!(FaultClass::StragglerNode.name(), "straggler-node");
+        assert!(FaultClass::MetadataStorm.to_string().contains("metadata"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::diagnosis::Thresholds;
+    use proptest::prelude::*;
+
+    fn th() -> Thresholds {
+        Thresholds::default()
+    }
+
+    proptest! {
+        /// A tail spread uniformly over the ranks is never pinned on a
+        /// rank subset, whatever the population and latency scale.
+        #[test]
+        fn uniform_tail_never_rank_correlates(
+            ranks in 8u32..48,
+            bulk_per_rank in 4u64..40,
+            tail_per_rank in 1u64..6,
+            slow_num in 16u64..256,
+        ) {
+            let mut p = TailProfile::new(1 << 20);
+            let slow = slow_num as f64 / 64.0; // exactly representable
+            for rank in 0..ranks {
+                for i in 0..bulk_per_rank {
+                    p.add(rank, i * (1 << 20), 1.0 / 64.0);
+                }
+                for i in 0..tail_per_rank {
+                    p.add(rank, i * (1 << 20), slow);
+                }
+            }
+            prop_assert_eq!(p.rank_correlated(0.1, &th()), None);
+        }
+
+        /// A planted straggler subset always fires and is named exactly,
+        /// as long as it is a small fraction of the job.
+        #[test]
+        fn planted_straggler_always_fires_and_is_named(
+            ranks in 16u32..64,
+            culprit_count in 1u32..4,
+            slow_num in 64u64..512,
+        ) {
+            let culprit_count = culprit_count.min(ranks / 8);
+            let mut p = TailProfile::new(1 << 20);
+            let slow = slow_num as f64 / 64.0;
+            for rank in 0..ranks {
+                for i in 0..20u64 {
+                    let secs = if rank < culprit_count { slow } else { 1.0 / 64.0 };
+                    p.add(rank, i * (1 << 20), secs);
+                }
+            }
+            let hit = p.rank_correlated(0.5, &th());
+            prop_assert!(hit.is_some(), "straggler not flagged: {:?}", hit);
+            let want: Vec<u32> = (0..culprit_count).collect();
+            prop_assert_eq!(hit.unwrap().ranks, want);
+        }
+
+        /// Verdicts are invariant under the ingest order of the records:
+        /// the profile is a pure aggregate.
+        #[test]
+        fn verdicts_are_shuffle_invariant(
+            events in proptest::collection::vec(
+                (0u32..16, 0u64..64, 1u64..512),
+                16..200,
+            ),
+            seed in 0u64..1024,
+        ) {
+            // Dyadic latencies make the accumulated sums exact, so the
+            // comparison is bit-for-bit rather than epsilon-close.
+            let build = |order: &[usize]| {
+                let mut p = TailProfile::new(1 << 20);
+                for &i in order {
+                    let (rank, block, num) = events[i];
+                    p.add(rank, block * (1 << 20), num as f64 / 64.0);
+                }
+                p
+            };
+            let forward: Vec<usize> = (0..events.len()).collect();
+            let mut shuffled = forward.clone();
+            let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            for i in (1..shuffled.len()).rev() {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                shuffled.swap(i, ((x >> 33) % (i as u64 + 1)) as usize);
+            }
+            let (a, b) = (build(&forward), build(&shuffled));
+            let cut = 2.0;
+            prop_assert_eq!(a.rank_correlated(cut, &th()), b.rank_correlated(cut, &th()));
+            prop_assert_eq!(a.target_correlated(cut, &th()), b.target_correlated(cut, &th()));
+            prop_assert_eq!(a.top_rank_share(), b.top_rank_share());
+            prop_assert_eq!(a.ops(), b.ops());
+        }
+    }
+}

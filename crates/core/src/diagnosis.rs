@@ -15,9 +15,13 @@
 //!   metadata time ⇒ serialized middleware metadata, fixed by
 //!   aggregation.
 
+use crate::attribution::{
+    attribute_data_tail, attribute_meta_tail, FaultClass, TailProfile, TAIL_HIST_HI, TAIL_HIST_LO,
+};
 use crate::empirical::EmpiricalDist;
 use crate::modes::{find_modes, harmonic_structure, Mode};
 use crate::rates::{durations, per_rank_io_time};
+use pio_des::hist::LogHistogram;
 use pio_trace::{CallKind, Trace};
 
 /// Detector thresholds (defaults chosen to match the paper's examples).
@@ -41,6 +45,50 @@ pub struct Thresholds {
     /// counts as the "many small serialized operations" pathology (a
     /// handful of large aggregated writes is the *fix*, not the bug).
     pub serialized_min_ops: usize,
+    /// Tail cut as a multiple of the class median: events slower than
+    /// `tail_cut_ratio × median` belong to the tail. The single source
+    /// of truth for every shoulder/tail detector, batch and streaming.
+    pub tail_cut_ratio: f64,
+    /// Rank-correlated tail: fraction of the tail mass the culprit rank
+    /// set must own.
+    pub tail_rank_share: f64,
+    /// Rank-correlated tail: ceiling on the culprit set as a fraction of
+    /// observed ranks.
+    pub tail_rank_frac: f64,
+    /// Rank-correlated tail: culprit per-op mean must exceed the rest by
+    /// this factor (separates a straggler node, slow on *everything*,
+    /// from harmonic arbitration losers).
+    pub tail_mean_ratio: f64,
+    /// Minimum tail events before any tail-decomposition claim.
+    pub tail_min_events: usize,
+    /// Storage-target tail: share of tail mass one stripe residue class
+    /// must own.
+    pub target_tail_share: f64,
+    /// Metadata shoulder: writes below this byte count form the small
+    /// size class (the paper's sub-3KB GCRM writes).
+    pub small_write_bytes: u64,
+    /// Metadata shoulder: small-class share of total write time that
+    /// counts as material.
+    pub small_time_share: f64,
+    /// Metadata shoulder: serialization check — small-class busy seconds
+    /// divided by the small-class wall-clock span must not exceed this
+    /// (parallel small writes overlap; serialized ones do not).
+    pub small_overlap: f64,
+    /// Flaky fabric: minimum periodic bursts before the tail counts as
+    /// duty-cycled.
+    pub flaky_min_bursts: usize,
+    /// Flaky fabric: ceiling on the burst-gap coefficient of variation.
+    pub flaky_period_cv: f64,
+    /// Stripe size used to fold offsets onto storage targets.
+    pub stripe_bytes: u64,
+}
+
+impl Thresholds {
+    /// The duration beyond which an event belongs to the tail, given the
+    /// class median.
+    pub fn tail_cut(&self, median: f64) -> f64 {
+        self.tail_cut_ratio * median
+    }
 }
 
 impl Default for Thresholds {
@@ -54,6 +102,18 @@ impl Default for Thresholds {
             deterioration_factor: 1.5,
             serialized_share: 0.25,
             serialized_min_ops: 64,
+            tail_cut_ratio: 2.0,
+            tail_rank_share: 0.70,
+            tail_rank_frac: 0.25,
+            tail_mean_ratio: 2.0,
+            tail_min_events: 16,
+            target_tail_share: 0.60,
+            small_write_bytes: 3072,
+            small_time_share: 0.05,
+            small_overlap: 1.5,
+            flaky_min_bursts: 10,
+            flaky_period_cv: 0.35,
+            stripe_bytes: 1 << 20,
         }
     }
 }
@@ -78,8 +138,12 @@ pub enum Finding {
         median: f64,
         /// 99th percentile duration, seconds.
         p99: f64,
-        /// Fraction of events slower than 2× the median.
+        /// Fraction of events slower than the tail cut.
         tail_mass: f64,
+        /// The fault class the tail decomposition points at, when the
+        /// evidence supports one; `None` keeps the paper's default
+        /// middleware-pathology reading.
+        attribution: Option<FaultClass>,
     },
     /// Per-phase medians growing ⇒ cumulative resource exhaustion.
     ProgressiveDeterioration {
@@ -99,6 +163,47 @@ pub enum Finding {
         /// Whether the concentration is in metadata operations.
         metadata: bool,
     },
+    /// The ensemble tail concentrates on a few ranks that are slow on
+    /// everything ⇒ straggler client node(s).
+    RankCorrelatedTail {
+        /// Which call class exhibits it.
+        kind: CallKind,
+        /// The culprit ranks, ascending.
+        ranks: Vec<u32>,
+        /// Culprits as a fraction of observed ranks.
+        rank_frac: f64,
+        /// Fraction of tail mass the culprits own.
+        tail_share: f64,
+        /// Culprit per-op mean over the rest's per-op mean.
+        mean_ratio: f64,
+    },
+    /// A serialized sub-3KB write class owned by one rank ⇒ the paper's
+    /// GCRM metadata storm.
+    MetadataShoulder {
+        /// Operations in the small size class.
+        small_ops: u64,
+        /// Small-class share of total write time.
+        small_share: f64,
+        /// The rank owning the class.
+        rank: u32,
+        /// Its share of small-class time.
+        rank_share: f64,
+    },
+}
+
+impl Finding {
+    /// The fault class this finding points at, if any. Attribution is
+    /// intrinsic for the dedicated detectors and carried explicitly on
+    /// shoulders.
+    pub fn attribution(&self) -> Option<FaultClass> {
+        match self {
+            Finding::RightShoulder { attribution, .. } => *attribution,
+            Finding::RankCorrelatedTail { .. } => Some(FaultClass::StragglerNode),
+            Finding::MetadataShoulder { .. } => Some(FaultClass::MetadataStorm),
+            Finding::SerializedRank { metadata: true, .. } => Some(FaultClass::MetadataStorm),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for Finding {
@@ -120,14 +225,20 @@ impl std::fmt::Display for Finding {
                 median,
                 p99,
                 tail_mass,
-            } => write!(
-                f,
-                "{}: right shoulder — median {median:.2}s but p99 {p99:.2}s \
-                 ({:.1}% of events beyond 2x median); suspect middleware \
-                 read-ahead/caching pathology",
-                kind.name(),
-                tail_mass * 100.0
-            ),
+                attribution,
+            } => {
+                write!(
+                    f,
+                    "{}: right shoulder — median {median:.2}s but p99 {p99:.2}s \
+                     ({:.1}% of events beyond the tail cut); ",
+                    kind.name(),
+                    tail_mass * 100.0
+                )?;
+                match attribution {
+                    Some(class) => write!(f, "attributed to {class}"),
+                    None => write!(f, "suspect middleware read-ahead/caching pathology"),
+                }
+            }
             Finding::ProgressiveDeterioration {
                 kind,
                 phase_medians,
@@ -151,6 +262,35 @@ impl std::fmt::Display for Finding {
                 share * 100.0,
                 if *metadata { "metadata" } else { "I/O" },
                 if *metadata { "metadata writes" } else { "I/O" }
+            ),
+            Finding::RankCorrelatedTail {
+                kind,
+                ranks,
+                rank_frac,
+                tail_share,
+                mean_ratio,
+            } => write!(
+                f,
+                "{}: rank-correlated tail — ranks {ranks:?} ({:.0}% of ranks) \
+                 own {:.0}% of tail mass and run {mean_ratio:.1}x slower per \
+                 op — straggler client node(s)",
+                kind.name(),
+                rank_frac * 100.0,
+                tail_share * 100.0
+            ),
+            Finding::MetadataShoulder {
+                small_ops,
+                small_share,
+                rank,
+                rank_share,
+            } => write!(
+                f,
+                "small-write shoulder — {small_ops} sub-3KB writes take \
+                 {:.0}% of write time, rank {rank} owns {:.0}% of them, \
+                 serially — metadata storm; aggregate into fewer, larger \
+                 operations",
+                small_share * 100.0,
+                rank_share * 100.0
             ),
         }
     }
@@ -183,15 +323,17 @@ pub fn detect_harmonics(trace: &Trace, kind: CallKind, th: &Thresholds) -> Optio
 }
 
 /// Right-shoulder verdict from summary statistics (`n` samples with the
-/// given median, p99, and mass beyond 2× median). Shared by the batch
+/// given median, p99, and mass beyond the tail cut). Shared by the batch
 /// detector (exact order statistics) and the streaming path (sketch
-/// estimates).
+/// estimates). `attribution` carries the tail decomposition's verdict
+/// when the caller has one.
 pub fn shoulder_verdict(
     kind: CallKind,
     n: usize,
     median: f64,
     p99: f64,
     tail_mass: f64,
+    attribution: Option<FaultClass>,
     th: &Thresholds,
 ) -> Option<Finding> {
     if n < th.min_samples || median <= 0.0 {
@@ -203,13 +345,15 @@ pub fn shoulder_verdict(
             median,
             p99,
             tail_mass,
+            attribution,
         })
     } else {
         None
     }
 }
 
-/// Right-shoulder (pathological slow tail) detector.
+/// Right-shoulder (pathological slow tail) detector. A detected shoulder
+/// is handed to the tail-decomposition machinery for attribution.
 pub fn detect_right_shoulder(trace: &Trace, kind: CallKind, th: &Thresholds) -> Option<Finding> {
     let samples = durations(trace, kind, None);
     if samples.len() < th.min_samples {
@@ -218,8 +362,151 @@ pub fn detect_right_shoulder(trace: &Trace, kind: CallKind, th: &Thresholds) -> 
     let dist = EmpiricalDist::new(&samples);
     let median = dist.median();
     let p99 = dist.quantile(0.99);
-    let tail_mass = dist.fraction_above(2.0 * median);
-    shoulder_verdict(kind, samples.len(), median, p99, tail_mass, th)
+    let tail_mass = dist.fraction_above(th.tail_cut(median));
+    let attribution = shoulder_verdict(kind, samples.len(), median, p99, tail_mass, None, th)
+        .is_some()
+        .then(|| attribute_shoulder(trace, kind, median, th))
+        .flatten();
+    shoulder_verdict(kind, samples.len(), median, p99, tail_mass, attribution, th)
+}
+
+/// Decompose a detected shoulder's tail and name the fault class the
+/// evidence points at.
+fn attribute_shoulder(
+    trace: &Trace,
+    kind: CallKind,
+    median: f64,
+    th: &Thresholds,
+) -> Option<FaultClass> {
+    let profile = TailProfile::from_trace(trace, kind, th.stripe_bytes);
+    if matches!(kind, CallKind::MetaRead | CallKind::MetaWrite) {
+        return Some(attribute_meta_tail(&profile, th));
+    }
+    let cut = th.tail_cut(median);
+    let mut hist = LogHistogram::new(TAIL_HIST_LO, TAIL_HIST_HI, 96);
+    let mut starts = Vec::new();
+    for r in trace.records.iter().filter(|r| r.call == kind) {
+        let secs = r.secs();
+        hist.add_clamped(secs);
+        if secs > cut {
+            starts.push(r.start_ns as f64 / 1e9);
+        }
+    }
+    attribute_data_tail(&profile, &hist, Some(&starts), median, th)
+}
+
+/// Rank-correlated-tail verdict from an already-built [`TailProfile`]
+/// and tail cut. Shared by the batch detector, the online diagnoser,
+/// and the snapshot path.
+pub fn rank_tail_verdict(
+    kind: CallKind,
+    profile: &TailProfile,
+    cut: f64,
+    th: &Thresholds,
+) -> Option<Finding> {
+    let rt = profile.rank_correlated(cut, th)?;
+    Some(Finding::RankCorrelatedTail {
+        kind,
+        ranks: rt.ranks,
+        rank_frac: rt.rank_frac,
+        tail_share: rt.tail_share,
+        mean_ratio: rt.mean_ratio,
+    })
+}
+
+/// Rank-correlated-tail detector: fires when ≥`tail_rank_share` of the
+/// ensemble tail mass concentrates on ≤`tail_rank_frac` of the ranks
+/// *and* those ranks are slower across the board, naming the culprit
+/// rank set.
+pub fn detect_rank_correlated_tail(
+    trace: &Trace,
+    kind: CallKind,
+    th: &Thresholds,
+) -> Option<Finding> {
+    let samples = durations(trace, kind, None);
+    if samples.len() < th.min_samples {
+        return None;
+    }
+    let median = EmpiricalDist::new(&samples).median();
+    if median <= 0.0 {
+        return None;
+    }
+    let profile = TailProfile::from_trace(trace, kind, th.stripe_bytes);
+    rank_tail_verdict(kind, &profile, th.tail_cut(median), th)
+}
+
+/// Metadata-shoulder verdict from size-class aggregates: `small_ops`
+/// operations below the small-write cut taking `small_secs` of
+/// `write_secs` total write-direction time, with `top = (rank, secs)`
+/// the heaviest small-writer and `span_secs` the small class's
+/// wall-clock extent. Shared by the batch detector and the streaming
+/// small-write tracker.
+pub fn metadata_shoulder_verdict(
+    small_ops: u64,
+    small_secs: f64,
+    write_secs: f64,
+    top: Option<(u32, f64)>,
+    span_secs: f64,
+    th: &Thresholds,
+) -> Option<Finding> {
+    if (small_ops as usize) < th.serialized_min_ops || small_secs <= 0.0 || write_secs <= 0.0 {
+        return None;
+    }
+    let small_share = small_secs / write_secs;
+    if small_share < th.small_time_share {
+        return None;
+    }
+    let (rank, top_secs) = top?;
+    let rank_share = top_secs / small_secs;
+    if rank_share < th.serialized_share {
+        return None;
+    }
+    // Serialization check: a parallel small-write class overlaps itself
+    // (busy time ≫ span is impossible for one serialized actor).
+    if span_secs <= 0.0 || small_secs / span_secs > th.small_overlap {
+        return None;
+    }
+    Some(Finding::MetadataShoulder {
+        small_ops,
+        small_share,
+        rank,
+        rank_share,
+    })
+}
+
+/// Size-class-split shoulder detector over sub-`small_write_bytes`
+/// write-direction operations (the paper's GCRM signature: thousands of
+/// serialized sub-3KB task-0 writes).
+pub fn detect_metadata_shoulder(trace: &Trace, th: &Thresholds) -> Option<Finding> {
+    let mut small_ops = 0u64;
+    let mut small_secs = 0.0;
+    let mut write_secs = 0.0;
+    let mut per_rank: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+    let (mut first_ns, mut last_ns) = (u64::MAX, 0u64);
+    for r in &trace.records {
+        if !matches!(r.call, CallKind::Write | CallKind::MetaWrite) {
+            continue;
+        }
+        let secs = r.secs();
+        write_secs += secs;
+        if r.bytes > 0 && r.bytes < th.small_write_bytes {
+            small_ops += 1;
+            small_secs += secs;
+            *per_rank.entry(r.rank).or_insert(0.0) += secs;
+            first_ns = first_ns.min(r.start_ns);
+            last_ns = last_ns.max(r.end_ns);
+        }
+    }
+    let top = per_rank
+        .iter()
+        .map(|(&r, &s)| (r, s))
+        .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)));
+    let span = if last_ns > first_ns {
+        (last_ns - first_ns) as f64 / 1e9
+    } else {
+        0.0
+    };
+    metadata_shoulder_verdict(small_ops, small_secs, write_secs, top, span, th)
 }
 
 /// Deterioration verdict over ordered `(group, median)` pairs: fires when
@@ -395,8 +682,21 @@ pub fn diagnose_with(trace: &Trace, th: &Thresholds) -> Vec<Finding> {
         if let Some(f) = detect_progressive_deterioration(trace, kind, th) {
             findings.push(f);
         }
+        if let Some(f) = detect_rank_correlated_tail(trace, kind, th) {
+            findings.push(f);
+        }
+    }
+    // Metadata call classes get the shoulder treatment too — an MDS
+    // stall shows up here, not on the data classes.
+    for kind in [CallKind::MetaRead, CallKind::MetaWrite] {
+        if let Some(f) = detect_right_shoulder(trace, kind, th) {
+            findings.push(f);
+        }
     }
     if let Some(f) = detect_serialized_rank(trace, th) {
+        findings.push(f);
+    }
+    if let Some(f) = detect_metadata_shoulder(trace, th) {
         findings.push(f);
     }
     findings
@@ -668,5 +968,324 @@ mod tests {
     fn empty_trace_diagnoses_nothing() {
         let t = Trace::new(meta(0));
         assert!(diagnose(&t).is_empty());
+    }
+
+    /// The default thresholds are the single source of truth for every
+    /// consumer (batch, streaming, fault matrix, tests). Pin them so a
+    /// drive-by edit cannot silently re-tune the whole stack.
+    #[test]
+    fn default_thresholds_are_pinned() {
+        let th = Thresholds::default();
+        assert_eq!(th.min_samples, 32);
+        assert_eq!(th.mode_height_frac, 0.10);
+        assert_eq!(th.harmonic_tol, 0.18);
+        assert_eq!(th.shoulder_tail_ratio, 4.0);
+        assert_eq!(th.shoulder_mass, 0.02);
+        assert_eq!(th.deterioration_factor, 1.5);
+        assert_eq!(th.serialized_share, 0.25);
+        assert_eq!(th.serialized_min_ops, 64);
+        assert_eq!(th.tail_cut_ratio, 2.0);
+        assert_eq!(th.tail_rank_share, 0.70);
+        assert_eq!(th.tail_rank_frac, 0.25);
+        assert_eq!(th.tail_mean_ratio, 2.0);
+        assert_eq!(th.tail_min_events, 16);
+        assert_eq!(th.target_tail_share, 0.60);
+        assert_eq!(th.small_write_bytes, 3072);
+        assert_eq!(th.small_time_share, 0.05);
+        assert_eq!(th.small_overlap, 1.5);
+        assert_eq!(th.flaky_min_bursts, 10);
+        assert_eq!(th.flaky_period_cv, 0.35);
+        assert_eq!(th.stripe_bytes, 1 << 20);
+        // The tail cut derives from the ratio — everyone must call this,
+        // not re-derive "2× median" locally.
+        assert_eq!(th.tail_cut(15.0), 30.0);
+    }
+
+    fn straggler_trace(ranks: u32, per_rank: usize, slow: &[u32]) -> Trace {
+        let mut t = Trace::new(meta(ranks));
+        for rank in 0..ranks {
+            let dur = if slow.contains(&rank) { 0.8 } else { 0.02 };
+            for i in 0..per_rank {
+                t.push(rec(
+                    rank,
+                    CallKind::Read,
+                    1 << 20,
+                    i as f64,
+                    dur + (i % 3) as f64 * 0.001,
+                    0,
+                ));
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn rank_correlated_tail_names_the_stragglers() {
+        let t = straggler_trace(16, 32, &[3, 11]);
+        let f = detect_rank_correlated_tail(&t, CallKind::Read, &Thresholds::default())
+            .expect("must fire");
+        match &f {
+            Finding::RankCorrelatedTail {
+                ranks, mean_ratio, ..
+            } => {
+                assert_eq!(ranks, &vec![3, 11]);
+                assert!(*mean_ratio > 10.0);
+            }
+            other => panic!("wrong finding {other:?}"),
+        }
+        assert_eq!(f.attribution(), Some(FaultClass::StragglerNode));
+        assert!(f.to_string().contains("straggler"));
+    }
+
+    #[test]
+    fn uniform_tail_is_not_rank_correlated() {
+        // Every rank has the same occasional slow op.
+        let mut t = Trace::new(meta(16));
+        for rank in 0..16u32 {
+            for i in 0..32 {
+                let dur = if i % 8 == 0 { 0.8 } else { 0.02 };
+                t.push(rec(rank, CallKind::Read, 1 << 20, i as f64, dur, 0));
+            }
+        }
+        assert!(detect_rank_correlated_tail(&t, CallKind::Read, &Thresholds::default()).is_none());
+    }
+
+    #[test]
+    fn metadata_shoulder_fires_on_serialized_small_writes() {
+        let mut t = Trace::new(meta(64));
+        // Rank 0: 300 serialized 2KB writes, back to back.
+        for i in 0..300u64 {
+            t.push(rec(0, CallKind::Write, 2048, i as f64 * 0.1, 0.1, 0));
+        }
+        // Everyone else: large writes.
+        for rank in 0..64u32 {
+            t.push(rec(rank, CallKind::Write, 8 << 20, 0.0, 2.0, 0));
+        }
+        let f = detect_metadata_shoulder(&t, &Thresholds::default()).expect("must fire");
+        match &f {
+            Finding::MetadataShoulder {
+                small_ops,
+                rank,
+                rank_share,
+                ..
+            } => {
+                assert_eq!(*small_ops, 300);
+                assert_eq!(*rank, 0);
+                assert!(*rank_share > 0.99);
+            }
+            other => panic!("wrong finding {other:?}"),
+        }
+        assert_eq!(f.attribution(), Some(FaultClass::MetadataStorm));
+    }
+
+    #[test]
+    fn parallel_small_writes_are_not_a_metadata_shoulder() {
+        // The same volume of small writes, issued concurrently by 64
+        // ranks: busy time far exceeds the span, so the serialization
+        // check must veto (and no rank dominates anyway).
+        let mut t = Trace::new(meta(64));
+        for rank in 0..64u32 {
+            for i in 0..8u64 {
+                t.push(rec(rank, CallKind::Write, 2048, i as f64 * 0.1, 0.1, 0));
+            }
+        }
+        assert!(detect_metadata_shoulder(&t, &Thresholds::default()).is_none());
+    }
+
+    #[test]
+    fn new_detectors_are_shuffle_invariant() {
+        // Aggregation-based detectors must not care about record order:
+        // culprit sets and size-class counts are integer-exact, so they
+        // survive any permutation of the stream.
+        let mut t = Trace::new(meta(16));
+        for rank in 0..16u32 {
+            let dur = if rank == 5 { 0.8 } else { 0.02 };
+            for i in 0..24 {
+                t.push(rec(rank, CallKind::Read, 1 << 20, i as f64, dur, 0));
+            }
+        }
+        for i in 0..100u64 {
+            t.push(rec(0, CallKind::Write, 2048, i as f64 * 0.1, 0.1, 0));
+        }
+        for rank in 0..16u32 {
+            t.push(rec(rank, CallKind::Write, 8 << 20, 0.0, 1.0, 0));
+        }
+        let mut shuffled = t.clone();
+        shuffled.records.reverse();
+        shuffled.records.rotate_left(37);
+        let th = Thresholds::default();
+        for (a, b) in [
+            (
+                detect_rank_correlated_tail(&t, CallKind::Read, &th),
+                detect_rank_correlated_tail(&shuffled, CallKind::Read, &th),
+            ),
+            (
+                detect_metadata_shoulder(&t, &th),
+                detect_metadata_shoulder(&shuffled, &th),
+            ),
+        ] {
+            let a = a.expect("fires on original");
+            let b = b.expect("fires on shuffled");
+            assert_eq!(a.attribution(), b.attribution());
+        }
+    }
+
+    #[test]
+    fn shoulder_attribution_reaches_diagnose() {
+        let t = straggler_trace(16, 32, &[5, 13]);
+        let findings = diagnose(&t);
+        assert!(
+            findings
+                .iter()
+                .any(|f| matches!(f, Finding::RankCorrelatedTail { .. })),
+            "{findings:?}"
+        );
+        // Every attributed finding in this trace must blame the node.
+        for f in &findings {
+            if let Some(class) = f.attribution() {
+                assert_eq!(class, FaultClass::StragglerNode, "{f}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use pio_trace::{Record, TraceMeta};
+    use proptest::prelude::*;
+
+    fn meta(ranks: u32) -> TraceMeta {
+        TraceMeta {
+            experiment: "prop".into(),
+            platform: "test".into(),
+            ranks,
+            seed: 0,
+        }
+    }
+
+    fn rec(rank: u32, offset: u64, t0: f64, dur: f64) -> Record {
+        Record {
+            rank,
+            call: CallKind::Read,
+            fd: 3,
+            offset,
+            bytes: 1 << 20,
+            start_ns: (t0 * 1e9) as u64,
+            end_ns: ((t0 + dur) * 1e9) as u64,
+            phase: 0,
+        }
+    }
+
+    /// Fisher–Yates with a splitmix-style LCG, so shuffles are a pure
+    /// function of the proptest-chosen seed.
+    fn shuffle(records: &mut [Record], seed: u64) {
+        let mut x = seed | 1;
+        for i in (1..records.len()).rev() {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            records.swap(i, ((x >> 33) as usize) % (i + 1));
+        }
+    }
+
+    proptest! {
+        /// A tail spread uniformly over the ranks is *not* a straggler,
+        /// whatever its height: every rank owns the same slow-op share,
+        /// so the concentration test must never fire.
+        #[test]
+        fn uniform_tail_never_fires_rank_correlation(
+            ranks in 8u32..32,
+            per_rank in 16usize..40,
+            period in 3usize..7,
+            slow in 0.3f64..5.0,
+        ) {
+            let mut t = Trace::new(meta(ranks));
+            for rank in 0..ranks {
+                for i in 0..per_rank {
+                    let dur = if i % period == 0 { slow } else { 0.02 }
+                        + ((rank as usize + i) % 5) as f64 * 1e-3;
+                    let stripe = rank as u64 * per_rank as u64 + i as u64;
+                    t.push(rec(rank, stripe << 20, i as f64, dur));
+                }
+            }
+            prop_assert!(
+                detect_rank_correlated_tail(&t, CallKind::Read, &Thresholds::default()).is_none()
+            );
+        }
+
+        /// A planted straggler rank must always fire — and be named.
+        #[test]
+        fn planted_straggler_always_fires_and_is_named(
+            ranks in 8u32..32,
+            per_rank in 16usize..40,
+            culprit_pick in 0u32..1000,
+            slowdown in 8.0f64..64.0,
+        ) {
+            let culprit = culprit_pick % ranks;
+            let mut t = Trace::new(meta(ranks));
+            for rank in 0..ranks {
+                for i in 0..per_rank {
+                    let base = 0.02 + ((rank as usize + i) % 5) as f64 * 1e-3;
+                    let dur = if rank == culprit { base * slowdown } else { base };
+                    let stripe = rank as u64 * per_rank as u64 + i as u64;
+                    t.push(rec(rank, stripe << 20, i as f64, dur));
+                }
+            }
+            let f = detect_rank_correlated_tail(&t, CallKind::Read, &Thresholds::default());
+            match f {
+                Some(Finding::RankCorrelatedTail { ranks: ref culprits, .. }) =>
+                    prop_assert_eq!(culprits, &vec![culprit]),
+                other => prop_assert!(false, "expected RankCorrelatedTail, got {:?}", other),
+            }
+        }
+
+        /// Both new detectors are record-order invariant: any shuffle of
+        /// the stream yields the same verdict and the same culprits.
+        #[test]
+        fn detectors_shuffle_invariant(seed in 0u64..u64::MAX, ranks in 10u32..24) {
+            let mut t = Trace::new(meta(ranks));
+            for rank in 0..ranks {
+                let dur = if rank == 7 { 0.9 } else { 0.02 };
+                for i in 0..24u64 {
+                    t.push(rec(rank, i << 20, i as f64, dur));
+                }
+            }
+            for i in 0..100u64 {
+                let mut r = rec(0, i << 11, i as f64 * 0.1, 0.1);
+                r.call = CallKind::Write;
+                r.bytes = 2048;
+                t.push(r);
+            }
+            let mut s = t.clone();
+            shuffle(&mut s.records, seed);
+            let th = Thresholds::default();
+
+            let a = detect_rank_correlated_tail(&t, CallKind::Read, &th);
+            let b = detect_rank_correlated_tail(&s, CallKind::Read, &th);
+            match (&a, &b) {
+                (
+                    Some(Finding::RankCorrelatedTail { ranks: ra, .. }),
+                    Some(Finding::RankCorrelatedTail { ranks: rb, .. }),
+                ) => {
+                    prop_assert_eq!(ra, rb);
+                    prop_assert_eq!(ra, &vec![7u32]);
+                }
+                other => prop_assert!(false, "both must fire identically: {:?}", other),
+            }
+
+            let ma = detect_metadata_shoulder(&t, &th);
+            let mb = detect_metadata_shoulder(&s, &th);
+            match (&ma, &mb) {
+                (
+                    Some(Finding::MetadataShoulder { small_ops: oa, rank: ka, .. }),
+                    Some(Finding::MetadataShoulder { small_ops: ob, rank: kb, .. }),
+                ) => {
+                    prop_assert_eq!(oa, ob);
+                    prop_assert_eq!(ka, kb);
+                }
+                other => prop_assert!(false, "both must fire identically: {:?}", other),
+            }
+        }
     }
 }

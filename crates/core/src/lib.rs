@@ -28,8 +28,13 @@
 //! * [`diagnosis`] — the bottleneck detectors the paper's three case
 //!   studies demonstrate: harmonic modes, right-shoulder read anomalies,
 //!   progressive per-phase deterioration, and rank-serialized metadata.
+//! * [`attribution`] — fault-class attribution: per-rank and per-stripe
+//!   tail decomposition that turns a histogram anomaly into a verdict
+//!   (straggler node, slow OST, flaky fabric, drop/retry, MDS stall,
+//!   metadata storm).
 //! * [`report`] — a human-readable analysis report per trace.
 
+pub mod attribution;
 pub mod bootstrap;
 pub mod compare;
 pub mod diagnosis;
@@ -45,6 +50,7 @@ pub mod order_stats;
 pub mod rates;
 pub mod report;
 
+pub use attribution::{FaultClass, TailProfile};
 pub use diagnosis::{diagnose, Finding};
 pub use empirical::EmpiricalDist;
 pub use ensemble::Ensemble;

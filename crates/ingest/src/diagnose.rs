@@ -19,14 +19,22 @@
 //! constant in the number of records.
 
 use crate::sketch::{HeavyHitters, QuantileSketch};
+use pio_core::attribution::{attribute_data_tail, attribute_meta_tail, FaultClass, TailProfile};
 use pio_core::diagnosis::{
-    deterioration_verdict, harmonic_verdict, serialized_meta_verdict, shoulder_verdict, Finding,
-    Thresholds,
+    deterioration_verdict, harmonic_verdict, metadata_shoulder_verdict, rank_tail_verdict,
+    serialized_meta_verdict, shoulder_verdict, Finding, Thresholds,
 };
 use pio_core::modes::find_modes_on_grid;
 use pio_des::hist::LogHistogram;
 use pio_trace::{CallKind, Record, RecordSink};
-use std::collections::{HashMap, HashSet};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Ceiling on the retained slowest-event reservoir (per call class):
+/// enough to establish burst periodicity and front structure, bounded
+/// however long the run is. Past the cap only the slowest events are
+/// kept — which are the tail by definition.
+const TAIL_STARTS_CAP: usize = 4096;
 
 /// Online-diagnoser tuning knobs.
 #[derive(Debug, Clone)]
@@ -52,7 +60,12 @@ impl Default for DiagnoserConfig {
         DiagnoserConfig {
             thresholds: Thresholds::default(),
             window: 2048,
-            watch: vec![CallKind::Write, CallKind::Read],
+            watch: vec![
+                CallKind::Write,
+                CallKind::Read,
+                CallKind::MetaRead,
+                CallKind::MetaWrite,
+            ],
             hist_lo: 1e-6,
             hist_hi: 1e3,
             hist_bins: 96,
@@ -62,7 +75,7 @@ impl Default for DiagnoserConfig {
 }
 
 /// A finding plus when the stream first produced it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimedFinding {
     /// The diagnosis.
     pub finding: Finding,
@@ -96,6 +109,68 @@ impl KindWindow {
     }
 }
 
+/// Cumulative per-kind tail state for attribution: unlike the tumbling
+/// windows, these never reset — a verdict needs the whole run's evidence.
+struct KindTail {
+    /// Cumulative duration sketch (supplies the provisional median).
+    cum: QuantileSketch,
+    /// Cumulative fine-grained duration histogram (quantized-level test).
+    hist: LogHistogram,
+    /// Per-rank / per-stripe-residue decomposition.
+    profile: TailProfile,
+    /// Bounded reservoir of the slowest events seen so far, keyed by
+    /// `(secs bit pattern, start_ns)` in a min-heap. The tail cut is
+    /// applied at *attribution* time against the current median, so the
+    /// start-time evidence (periodicity, synchronized fronts) covers the
+    /// whole run — including events that arrived before any provisional
+    /// median existed. Non-negative f64 bit patterns order like the
+    /// floats themselves.
+    slow: BinaryHeap<Reverse<(u64, u64)>>,
+}
+
+impl KindTail {
+    fn new(cfg: &DiagnoserConfig) -> Self {
+        KindTail {
+            cum: QuantileSketch::new(cfg.hist_lo, cfg.hist_hi, cfg.hist_bins),
+            hist: LogHistogram::new(cfg.hist_lo, cfg.hist_hi, cfg.hist_bins),
+            profile: TailProfile::new(cfg.thresholds.stripe_bytes),
+            slow: BinaryHeap::new(),
+        }
+    }
+
+    /// Tail-event start times (seconds) at the given cut.
+    fn tail_starts(&self, cut: f64) -> Vec<f64> {
+        self.slow
+            .iter()
+            .filter(|Reverse((bits, _))| f64::from_bits(*bits) > cut)
+            .map(|Reverse((_, ns))| *ns as f64 / 1e9)
+            .collect()
+    }
+}
+
+/// Cumulative small-write size-class tracker (metadata-storm detection).
+struct SmallWriteState {
+    ops: u64,
+    secs: f64,
+    write_secs: f64,
+    per_rank: HeavyHitters,
+    first_ns: u64,
+    last_ns: u64,
+}
+
+impl SmallWriteState {
+    fn new(hitter_capacity: usize) -> Self {
+        SmallWriteState {
+            ops: 0,
+            secs: 0.0,
+            write_secs: 0.0,
+            per_rank: HeavyHitters::new(hitter_capacity),
+            first_ns: u64::MAX,
+            last_ns: 0,
+        }
+    }
+}
+
 /// Streaming, constant-memory implementation of the paper's detectors.
 pub struct StreamDiagnoser {
     cfg: DiagnoserConfig,
@@ -103,25 +178,30 @@ pub struct StreamDiagnoser {
     phase_sketches: HashMap<(CallKind, u32), QuantileSketch>,
     phase_medians: HashMap<CallKind, Vec<(u32, f64)>>,
     hitters: HeavyHitters,
+    tails: HashMap<CallKind, KindTail>,
+    small: SmallWriteState,
     meta_secs: f64,
     io_secs: f64,
     ranks: u32,
     records: u64,
     current_phase: u32,
     findings: Vec<TimedFinding>,
-    seen: HashSet<(u8, Option<CallKind>)>,
+    seen: HashSet<(u8, Option<CallKind>, Option<FaultClass>)>,
 }
 
 impl StreamDiagnoser {
     /// A diagnoser with the given configuration.
     pub fn new(cfg: DiagnoserConfig) -> Self {
         let hitters = HeavyHitters::new(cfg.hitter_capacity);
+        let small = SmallWriteState::new(cfg.hitter_capacity);
         StreamDiagnoser {
             cfg,
             windows: HashMap::new(),
             phase_sketches: HashMap::new(),
             phase_medians: HashMap::new(),
             hitters,
+            tails: HashMap::new(),
+            small,
             meta_secs: 0.0,
             io_secs: 0.0,
             ranks: 0,
@@ -147,14 +227,21 @@ impl StreamDiagnoser {
         self.records
     }
 
-    /// One dedup key per (finding variant, call class): repeated windows
-    /// re-confirming a known pathology stay one finding.
-    fn dedup_key(f: &Finding) -> (u8, Option<CallKind>) {
+    /// One dedup key per (finding variant, call class, attribution):
+    /// repeated windows re-confirming a known pathology stay one finding,
+    /// but a shoulder whose attribution *refines* as evidence accumulates
+    /// (unattributed → named fault class) is raised again — the refined
+    /// verdict is new information.
+    fn dedup_key(f: &Finding) -> (u8, Option<CallKind>, Option<FaultClass>) {
         match f {
-            Finding::HarmonicModes { kind, .. } => (0, Some(*kind)),
-            Finding::RightShoulder { kind, .. } => (1, Some(*kind)),
-            Finding::ProgressiveDeterioration { kind, .. } => (2, Some(*kind)),
-            Finding::SerializedRank { .. } => (3, None),
+            Finding::HarmonicModes { kind, .. } => (0, Some(*kind), None),
+            Finding::RightShoulder {
+                kind, attribution, ..
+            } => (1, Some(*kind), *attribution),
+            Finding::ProgressiveDeterioration { kind, .. } => (2, Some(*kind), None),
+            Finding::SerializedRank { .. } => (3, None, None),
+            Finding::RankCorrelatedTail { kind, .. } => (4, Some(*kind), None),
+            Finding::MetadataShoulder { .. } => (5, None, None),
         }
     }
 
@@ -185,12 +272,79 @@ impl StreamDiagnoser {
             raised.push(f);
         }
         if let (Some(median), Some(p99)) = (w.sketch.quantile(0.5), w.sketch.quantile(0.99)) {
-            let tail = w.sketch.fraction_above(2.0 * median);
-            if let Some(f) = shoulder_verdict(kind, n, median, p99, tail, &th) {
+            let tail = w.sketch.fraction_above(th.tail_cut(median));
+            let attribution = self.attribute(kind);
+            if let Some(f) = shoulder_verdict(kind, n, median, p99, tail, attribution, &th) {
                 raised.push(f);
             }
         }
         for f in raised {
+            self.raise(f);
+        }
+        self.evaluate_rank_tails();
+    }
+
+    /// Attribute `kind`'s tail from the cumulative (whole-run-so-far)
+    /// state; `None` until the evidence supports a class.
+    fn attribute(&self, kind: CallKind) -> Option<FaultClass> {
+        let kt = self.tails.get(&kind)?;
+        let th = &self.cfg.thresholds;
+        if matches!(kind, CallKind::MetaRead | CallKind::MetaWrite) {
+            return Some(attribute_meta_tail(&kt.profile, th));
+        }
+        let median = kt.cum.quantile(0.5)?;
+        let starts = kt.tail_starts(th.tail_cut(median));
+        attribute_data_tail(&kt.profile, &kt.hist, Some(&starts), median, th)
+    }
+
+    /// Re-test the rank-correlated-tail detector over every data class's
+    /// cumulative profile.
+    fn evaluate_rank_tails(&mut self) {
+        let th = self.cfg.thresholds.clone();
+        let mut raised = Vec::new();
+        let mut kinds: Vec<CallKind> = self.tails.keys().cloned().collect();
+        kinds.sort_by_key(|k| *k as u8);
+        for kind in kinds {
+            if matches!(kind, CallKind::MetaRead | CallKind::MetaWrite) {
+                continue;
+            }
+            let kt = &self.tails[&kind];
+            if (kt.cum.count() as usize) < th.min_samples {
+                continue;
+            }
+            let Some(median) = kt.cum.quantile(0.5) else {
+                continue;
+            };
+            if let Some(f) = rank_tail_verdict(kind, &kt.profile, th.tail_cut(median), &th) {
+                raised.push(f);
+            }
+        }
+        for f in raised {
+            self.raise(f);
+        }
+    }
+
+    /// Re-test the small-write metadata-storm detector over cumulative
+    /// size-class state.
+    fn evaluate_small(&mut self) {
+        let f = {
+            let th = &self.cfg.thresholds;
+            let top = self.small.per_rank.top().first().map(|h| (h.key, h.weight));
+            let span = if self.small.last_ns > self.small.first_ns {
+                (self.small.last_ns - self.small.first_ns) as f64 / 1e9
+            } else {
+                0.0
+            };
+            metadata_shoulder_verdict(
+                self.small.ops,
+                self.small.secs,
+                self.small.write_secs,
+                top,
+                span,
+                th,
+            )
+        };
+        if let Some(f) = f {
             self.raise(f);
         }
     }
@@ -256,10 +410,39 @@ impl RecordSink for StreamDiagnoser {
         if r.call.is_io() {
             self.io_secs += secs;
         }
+        // Size-class split for the metadata-storm detector.
+        if matches!(r.call, CallKind::Write | CallKind::MetaWrite) {
+            self.small.write_secs += secs;
+            if r.bytes > 0 && r.bytes < self.cfg.thresholds.small_write_bytes {
+                self.small.ops += 1;
+                self.small.secs += secs;
+                self.small.per_rank.add(r.rank, secs);
+                self.small.first_ns = self.small.first_ns.min(r.start_ns);
+                self.small.last_ns = self.small.last_ns.max(r.end_ns);
+            }
+        }
         if !self.cfg.watch.contains(&r.call) {
             return;
         }
         let (lo, hi, bins) = (self.cfg.hist_lo, self.cfg.hist_hi, self.cfg.hist_bins);
+        // Cumulative attribution state. No tail cut is applied here —
+        // the slow-event reservoir and the profile both have the cut
+        // applied at diagnosis time, so the evidence stays insensitive
+        // to the provisional medians seen mid-stream.
+        let kt = self
+            .tails
+            .entry(r.call)
+            .or_insert_with(|| KindTail::new(&self.cfg));
+        kt.cum.add(secs);
+        kt.hist.add_clamped(secs);
+        kt.profile.add(r.rank, r.offset, secs);
+        let key = (secs.max(0.0).to_bits(), r.start_ns);
+        if kt.slow.len() < TAIL_STARTS_CAP {
+            kt.slow.push(Reverse(key));
+        } else if kt.slow.peek().is_some_and(|Reverse(min)| key > *min) {
+            kt.slow.pop();
+            kt.slow.push(Reverse(key));
+        }
         self.windows
             .entry(r.call)
             .or_insert_with(|| KindWindow::new(&self.cfg))
@@ -308,6 +491,8 @@ impl RecordSink for StreamDiagnoser {
             }
         }
         self.evaluate_serialized();
+        self.evaluate_rank_tails();
+        self.evaluate_small();
     }
 
     fn finish(&mut self) {
@@ -452,6 +637,103 @@ mod tests {
             "{:?}",
             d.findings()
         );
+    }
+
+    #[test]
+    fn straggler_named_mid_stream() {
+        let mut d = StreamDiagnoser::new(DiagnoserConfig {
+            window: 128,
+            ..DiagnoserConfig::default()
+        });
+        // Rank 3 is slow on every operation — the node, not the storage.
+        for i in 0..512u32 {
+            let rank = i % 16;
+            let dur = if rank == 3 { 0.8 } else { 0.02 };
+            d.push(&rec(rank, CallKind::Read, dur, 0));
+        }
+        let t = d
+            .findings()
+            .iter()
+            .find(|t| matches!(t.finding, Finding::RankCorrelatedTail { .. }))
+            .expect("rank-correlated tail fires mid-stream");
+        assert!(t.after_records < 512, "{}", t.after_records);
+        match &t.finding {
+            Finding::RankCorrelatedTail { ranks, .. } => assert_eq!(ranks, &vec![3]),
+            _ => unreachable!(),
+        }
+        assert_eq!(t.finding.attribution(), Some(FaultClass::StragglerNode));
+        // The shoulder refines as evidence accumulates: the first window
+        // has too few tail events to attribute, a later one names the
+        // fault — the attributed verdict must appear.
+        assert!(
+            d.findings()
+                .iter()
+                .filter(|t| matches!(t.finding, Finding::RightShoulder { .. }))
+                .any(|t| t.finding.attribution() == Some(FaultClass::StragglerNode)),
+            "{:?}",
+            d.findings()
+        );
+    }
+
+    #[test]
+    fn meta_shoulder_attributed_to_mds_stall() {
+        let mut d = StreamDiagnoser::new(DiagnoserConfig {
+            window: 256,
+            ..DiagnoserConfig::default()
+        });
+        // Meta reads stall 90x on a spread of ranks — the server, not a
+        // serialized client.
+        for i in 0..512u32 {
+            let dur = if i % 10 == 0 { 0.9 } else { 0.01 };
+            d.push(&rec(i % 16, CallKind::MetaRead, dur, 0));
+        }
+        let t = d
+            .findings()
+            .iter()
+            .find(|t| {
+                matches!(
+                    t.finding,
+                    Finding::RightShoulder {
+                        kind: CallKind::MetaRead,
+                        ..
+                    }
+                )
+            })
+            .expect("meta shoulder fires");
+        assert_eq!(t.finding.attribution(), Some(FaultClass::MdsStall));
+    }
+
+    #[test]
+    fn metadata_storm_flagged_at_barrier() {
+        let mut d = StreamDiagnoser::with_defaults();
+        // Rank 0 issues 200 serialized 2KB writes; everyone else writes
+        // big blocks.
+        for i in 0..200u32 {
+            let mut r = rec(0, CallKind::Write, 0.1, 0);
+            r.bytes = 2048;
+            r.start_ns = (i as f64 * 0.1 * 1e9) as u64;
+            r.end_ns = r.start_ns + (0.1 * 1e9) as u64;
+            d.push(&r);
+        }
+        for i in 0..256u32 {
+            d.push(&rec(i, CallKind::Write, 0.5, 0));
+        }
+        d.phase_end(0);
+        let t = d
+            .findings()
+            .iter()
+            .find(|t| matches!(t.finding, Finding::MetadataShoulder { .. }))
+            .expect("metadata storm fires at the barrier");
+        match &t.finding {
+            Finding::MetadataShoulder {
+                rank, small_ops, ..
+            } => {
+                assert_eq!(*rank, 0);
+                assert_eq!(*small_ops, 200);
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(t.finding.attribution(), Some(FaultClass::MetadataStorm));
     }
 
     #[test]

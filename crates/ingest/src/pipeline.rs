@@ -24,10 +24,12 @@
 //! never stall the application being traced) — drop accounting stays
 //! exact at block granularity.
 
-use crate::shard::{EnsembleSnapshot, ShardKey, ShardStats};
+use crate::shard::{EnsembleSnapshot, ShardKey, ShardStats, SmallWriteAgg};
 use crate::sketch::HeavyHitters;
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
+use pio_core::attribution::{TailProfile, TAIL_KINDS};
+use pio_core::diagnosis::Thresholds;
 use pio_trace::{CallKind, Record, RecordSink};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -66,10 +68,17 @@ pub struct IngestConfig {
     pub hist_bins: usize,
     /// Heavy-hitter sketch capacity (tracked ranks).
     pub hitter_capacity: usize,
+    /// Writes strictly below this byte count feed the small-write
+    /// (metadata-storm) aggregate.
+    pub small_write_bytes: u64,
+    /// Stripe width for the per-target residue decomposition in the
+    /// tail profiles.
+    pub stripe_bytes: u64,
 }
 
 impl Default for IngestConfig {
     fn default() -> Self {
+        let th = Thresholds::default();
         IngestConfig {
             workers: 4,
             capacity: 64,
@@ -80,6 +89,8 @@ impl Default for IngestConfig {
             hist_hi: 1e3,
             hist_bins: 96,
             hitter_capacity: 16,
+            small_write_bytes: th.small_write_bytes,
+            stripe_bytes: th.stripe_bytes,
         }
     }
 }
@@ -88,6 +99,8 @@ impl Default for IngestConfig {
 struct WorkerState {
     shards: HashMap<ShardKey, ShardStats>,
     hitters: HeavyHitters,
+    profiles: HashMap<CallKind, TailProfile>,
+    small: SmallWriteAgg,
     meta_secs: f64,
     io_secs: f64,
     ranks: u32,
@@ -99,6 +112,8 @@ impl WorkerState {
         WorkerState {
             shards: HashMap::new(),
             hitters: HeavyHitters::new(cfg.hitter_capacity),
+            profiles: HashMap::new(),
+            small: SmallWriteAgg::new(cfg.hitter_capacity),
             meta_secs: 0.0,
             io_secs: 0.0,
             ranks: 0,
@@ -124,6 +139,13 @@ impl WorkerState {
         if r.call.is_io() {
             self.io_secs += secs;
         }
+        if TAIL_KINDS.contains(&r.call) {
+            self.profiles
+                .entry(r.call)
+                .or_insert_with(|| TailProfile::new(cfg.stripe_bytes))
+                .add(r.rank, r.offset, secs);
+        }
+        self.small.accumulate(r, cfg.small_write_bytes);
         self.ranks = self.ranks.max(r.rank + 1);
         self.ingested += 1;
     }
@@ -210,13 +232,17 @@ impl IngestPipeline {
     /// while their own map is cloned.
     pub fn snapshot(&self) -> EnsembleSnapshot {
         let mut maps = Vec::with_capacity(self.states.len());
+        let mut profile_maps = Vec::with_capacity(self.states.len());
         let mut hitters = HeavyHitters::new(self.cfg.hitter_capacity);
+        let mut small = SmallWriteAgg::new(self.cfg.hitter_capacity);
         let (mut meta_secs, mut io_secs) = (0.0, 0.0);
         let (mut ranks, mut ingested) = (0u32, 0u64);
         for state in &self.states {
             let st = state.lock();
             maps.push(st.shards.clone());
+            profile_maps.push(st.profiles.clone());
             hitters.merge(&st.hitters);
+            small.merge(&st.small);
             meta_secs += st.meta_secs;
             io_secs += st.io_secs;
             ranks = ranks.max(st.ranks);
@@ -230,6 +256,8 @@ impl IngestPipeline {
             ranks,
             ingested,
             self.dropped(),
+            profile_maps,
+            small,
         )
     }
 

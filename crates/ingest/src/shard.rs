@@ -11,14 +11,88 @@
 //! estimated (sketches vs exact order statistics).
 
 use crate::sketch::{HeavyHitters, OnlineMoments, QuantileSketch};
+use pio_core::attribution::{attribute_data_tail, attribute_meta_tail, TailProfile, MODULI};
 use pio_core::diagnosis::{
-    deterioration_verdict, harmonic_verdict, serialized_meta_verdict, shoulder_verdict, Finding,
-    Thresholds,
+    deterioration_verdict, harmonic_verdict, metadata_shoulder_verdict, rank_tail_verdict,
+    serialized_meta_verdict, shoulder_verdict, Finding, Thresholds,
 };
 use pio_core::modes::find_modes_on_grid;
 use pio_des::hist::LogHistogram;
 use pio_trace::{CallKind, Record};
 use std::collections::HashMap;
+
+/// Cumulative small-write size-class aggregate — the snapshot-side state
+/// behind the metadata-storm detector. Mergeable and order-independent
+/// like every other snapshot component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmallWriteAgg {
+    /// Write-direction operations below the small-write cut.
+    pub ops: u64,
+    /// Seconds spent in the small class.
+    pub secs: f64,
+    /// Seconds spent in *all* write-direction calls.
+    pub write_secs: f64,
+    /// Small-class seconds by rank (weighted heavy hitters).
+    pub per_rank: HeavyHitters,
+    /// Earliest small-class start, nanoseconds.
+    pub first_ns: u64,
+    /// Latest small-class end, nanoseconds.
+    pub last_ns: u64,
+}
+
+impl SmallWriteAgg {
+    /// An empty aggregate with the given heavy-hitter capacity.
+    pub fn new(hitter_capacity: usize) -> Self {
+        SmallWriteAgg {
+            ops: 0,
+            secs: 0.0,
+            write_secs: 0.0,
+            per_rank: HeavyHitters::new(hitter_capacity),
+            first_ns: u64::MAX,
+            last_ns: 0,
+        }
+    }
+
+    /// Accumulate one record (no-op for non-write-direction calls).
+    pub fn accumulate(&mut self, r: &Record, small_write_bytes: u64) {
+        if !matches!(r.call, CallKind::Write | CallKind::MetaWrite) {
+            return;
+        }
+        let secs = r.secs();
+        self.write_secs += secs;
+        if r.bytes > 0 && r.bytes < small_write_bytes {
+            self.ops += 1;
+            self.secs += secs;
+            self.per_rank.add(r.rank, secs);
+            self.first_ns = self.first_ns.min(r.start_ns);
+            self.last_ns = self.last_ns.max(r.end_ns);
+        }
+    }
+
+    /// Merge another aggregate.
+    pub fn merge(&mut self, other: &SmallWriteAgg) {
+        self.ops += other.ops;
+        self.secs += other.secs;
+        self.write_secs += other.write_secs;
+        self.per_rank.merge(&other.per_rank);
+        self.first_ns = self.first_ns.min(other.first_ns);
+        self.last_ns = self.last_ns.max(other.last_ns);
+    }
+
+    /// Wall-clock span of the small class, seconds.
+    pub fn span_secs(&self) -> f64 {
+        if self.last_ns > self.first_ns {
+            (self.last_ns - self.first_ns) as f64 / 1e9
+        } else {
+            0.0
+        }
+    }
+
+    /// The heaviest small-writer: `(rank, seconds)`.
+    pub fn top(&self) -> Option<(u32, f64)> {
+        self.per_rank.top().first().map(|h| (h.key, h.weight))
+    }
+}
 
 /// Which accumulator a record lands in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -101,11 +175,16 @@ pub struct EnsembleSnapshot {
     pub ingested: u64,
     /// Records dropped by the overflow policy.
     pub dropped: u64,
+    /// Per-call-class tail profiles for attribution, sorted by kind.
+    pub profiles: Vec<(CallKind, TailProfile)>,
+    /// Small-write size-class aggregate (metadata-storm detection).
+    pub small: SmallWriteAgg,
 }
 
 impl EnsembleSnapshot {
     /// Assemble a snapshot from unordered shard maps (deduplicates keys by
     /// merging) plus the global scalars.
+    #[allow(clippy::too_many_arguments)]
     pub fn assemble(
         maps: Vec<HashMap<ShardKey, ShardStats>>,
         meta_hitters: HeavyHitters,
@@ -114,6 +193,8 @@ impl EnsembleSnapshot {
         ranks: u32,
         ingested: u64,
         dropped: u64,
+        profile_maps: Vec<HashMap<CallKind, TailProfile>>,
+        small: SmallWriteAgg,
     ) -> Self {
         let mut merged: HashMap<ShardKey, ShardStats> = HashMap::new();
         for map in maps {
@@ -128,6 +209,19 @@ impl EnsembleSnapshot {
         }
         let mut shards: Vec<(ShardKey, ShardStats)> = merged.into_iter().collect();
         shards.sort_by_key(|(k, _)| (k.kind as u8, k.group, k.phase));
+        let mut merged_profiles: HashMap<CallKind, TailProfile> = HashMap::new();
+        for map in profile_maps {
+            for (k, p) in map {
+                match merged_profiles.entry(k) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().merge(&p),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(p);
+                    }
+                }
+            }
+        }
+        let mut profiles: Vec<(CallKind, TailProfile)> = merged_profiles.into_iter().collect();
+        profiles.sort_by_key(|(k, _)| *k as u8);
         EnsembleSnapshot {
             shards,
             meta_hitters,
@@ -136,7 +230,17 @@ impl EnsembleSnapshot {
             ranks,
             ingested,
             dropped,
+            profiles,
+            small,
         }
+    }
+
+    /// The tail profile of one call class, if any records were profiled.
+    pub fn profile_of(&self, kind: CallKind) -> Option<&TailProfile> {
+        self.profiles
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, p)| p)
     }
 
     /// Merge every shard of one call class, across groups and phases.
@@ -191,6 +295,17 @@ impl EnsembleSnapshot {
             })
             .sum::<usize>()
             + self.meta_hitters.top().len() * std::mem::size_of::<(u32, f64, u64)>()
+            + self
+                .profiles
+                .iter()
+                .map(|(_, p)| {
+                    // Per-rank cells plus the fixed residue tables — both
+                    // bounded by ranks/moduli, never by record count.
+                    let bins = pio_core::attribution::TAIL_HIST_BINS;
+                    p.ranks_observed() * (bins + 2) * std::mem::size_of::<u64>()
+                        + MODULI.iter().sum::<usize>() * bins * std::mem::size_of::<u64>()
+                })
+                .sum::<usize>()
     }
 
     /// A smoothed `(duration, density)` grid for mode detection, from the
@@ -241,13 +356,24 @@ impl EnsembleSnapshot {
                 if let Some(f) = harmonic_verdict(kind, &modes, th) {
                     findings.push(f);
                 }
-                // Right shoulder from sketch quantiles.
+                // Right shoulder from sketch quantiles, attributed from
+                // the tail profile. Arrival times are not retained in the
+                // snapshot, so the periodicity (flaky-fabric) test is
+                // only available on the `StreamDiagnoser` side.
                 if let (Some(median), Some(p99)) =
                     (stats.sketch.quantile(0.5), stats.sketch.quantile(0.99))
                 {
-                    let tail = stats.sketch.fraction_above(2.0 * median);
-                    if let Some(f) = shoulder_verdict(kind, n, median, p99, tail, th) {
+                    let tail = stats.sketch.fraction_above(th.tail_cut(median));
+                    let attribution = self
+                        .profile_of(kind)
+                        .and_then(|p| attribute_data_tail(p, &stats.hist, None, median, th));
+                    if let Some(f) = shoulder_verdict(kind, n, median, p99, tail, attribution, th) {
                         findings.push(f);
+                    }
+                    if let Some(p) = self.profile_of(kind) {
+                        if let Some(f) = rank_tail_verdict(kind, p, th.tail_cut(median), th) {
+                            findings.push(f);
+                        }
                     }
                 }
             }
@@ -255,6 +381,26 @@ impl EnsembleSnapshot {
             let medians = self.phase_medians(kind, th.min_samples.min(8));
             if let Some(f) = deterioration_verdict(kind, &medians, th) {
                 findings.push(f);
+            }
+        }
+        // Metadata call classes: a shoulder here is a stalling metadata
+        // server or a serialized client, split by rank concentration.
+        for kind in [CallKind::MetaRead, CallKind::MetaWrite] {
+            let Some(stats) = self.kind_stats(kind) else {
+                continue;
+            };
+            let n = stats.sketch.count() as usize;
+            if n < th.min_samples {
+                continue;
+            }
+            if let (Some(median), Some(p99)) =
+                (stats.sketch.quantile(0.5), stats.sketch.quantile(0.99))
+            {
+                let tail = stats.sketch.fraction_above(th.tail_cut(median));
+                let attribution = self.profile_of(kind).map(|p| attribute_meta_tail(p, th));
+                if let Some(f) = shoulder_verdict(kind, n, median, p99, tail, attribution, th) {
+                    findings.push(f);
+                }
             }
         }
         // Serialized metadata rank from the heavy-hitter sketch.
@@ -267,6 +413,17 @@ impl EnsembleSnapshot {
         if let Some(f) =
             serialized_meta_verdict(&per_rank, self.meta_secs, self.ranks, self.io_secs, th)
         {
+            findings.push(f);
+        }
+        // Small-write metadata storm from the size-class aggregate.
+        if let Some(f) = metadata_shoulder_verdict(
+            self.small.ops,
+            self.small.secs,
+            self.small.write_secs,
+            self.small.top(),
+            self.small.span_secs(),
+            th,
+        ) {
             findings.push(f);
         }
         findings
@@ -291,8 +448,11 @@ mod tests {
     }
 
     fn snapshot_of(records: &[Record], groups: u32) -> EnsembleSnapshot {
+        let th = Thresholds::default();
         let mut map: HashMap<ShardKey, ShardStats> = HashMap::new();
         let mut hitters = HeavyHitters::new(8);
+        let mut profiles: HashMap<CallKind, TailProfile> = HashMap::new();
+        let mut small = SmallWriteAgg::new(8);
         let (mut meta_secs, mut io_secs) = (0.0, 0.0);
         let mut ranks = 0;
         for r in records {
@@ -311,6 +471,13 @@ mod tests {
             if r.call.is_io() {
                 io_secs += r.secs();
             }
+            if pio_core::attribution::TAIL_KINDS.contains(&r.call) {
+                profiles
+                    .entry(r.call)
+                    .or_insert_with(|| TailProfile::new(th.stripe_bytes))
+                    .add(r.rank, r.offset, r.secs());
+            }
+            small.accumulate(r, th.small_write_bytes);
             ranks = ranks.max(r.rank + 1);
         }
         EnsembleSnapshot::assemble(
@@ -321,6 +488,8 @@ mod tests {
             ranks,
             records.len() as u64,
             0,
+            vec![profiles],
+            small,
         )
     }
 

@@ -1,6 +1,8 @@
 //! Rendering for streaming-ingest snapshots: the monitoring view of a
 //! run in flight, from `O(shards × bins)` state instead of a full trace.
 
+use pio_core::attribution::FaultClass;
+use pio_core::diagnosis::{Finding, Thresholds};
 use pio_ingest::diagnose::TimedFinding;
 use pio_ingest::shard::EnsembleSnapshot;
 use pio_trace::CallKind;
@@ -74,7 +76,34 @@ pub fn snapshot_panel(snap: &EnsembleSnapshot, width: usize) -> String {
             );
         }
     }
+    let findings = snap.diagnose(&Thresholds::default());
+    if !findings.is_empty() {
+        let _ = writeln!(out, "\n## findings");
+        for f in &findings {
+            let _ = writeln!(out, "- {f}");
+        }
+        let classes = attributed_classes(&findings);
+        if !classes.is_empty() {
+            let _ = writeln!(
+                out,
+                "verdict: {}",
+                classes
+                    .iter()
+                    .map(|c| c.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+    }
     out
+}
+
+/// Distinct fault classes attributed across a finding set, sorted.
+fn attributed_classes(findings: &[Finding]) -> Vec<FaultClass> {
+    let mut classes: Vec<FaultClass> = findings.iter().filter_map(Finding::attribution).collect();
+    classes.sort();
+    classes.dedup();
+    classes
 }
 
 /// Render the online diagnoser's findings with when they fired.
@@ -88,6 +117,19 @@ pub fn findings_text(findings: &[TimedFinding]) -> String {
             out,
             "[{:>9} records, phase {:>3}] {}",
             t.after_records, t.phase, t.finding
+        );
+    }
+    let inner: Vec<Finding> = findings.iter().map(|t| t.finding.clone()).collect();
+    let classes = attributed_classes(&inner);
+    if !classes.is_empty() {
+        let _ = writeln!(
+            out,
+            "verdict: {}",
+            classes
+                .iter()
+                .map(|c| c.name())
+                .collect::<Vec<_>>()
+                .join(", ")
         );
     }
     out
@@ -147,5 +189,21 @@ mod tests {
         let text = findings_text(d.findings());
         assert!(text.contains("right shoulder"), "{text}");
         assert!(text.contains("records, phase"), "{text}");
+    }
+
+    #[test]
+    fn attributed_findings_render_a_verdict_line() {
+        // Two ranks slow on every operation: a rank-correlated tail the
+        // stream attributes to a straggler node.
+        let mut d = StreamDiagnoser::with_defaults();
+        for i in 0..640u32 {
+            let rank = i % 16;
+            let dur = if rank < 2 { 1.0 } else { 0.01 };
+            d.push(&rec(rank, CallKind::Read, dur, 0));
+        }
+        d.finish();
+        let text = findings_text(d.findings());
+        assert!(text.contains("verdict:"), "{text}");
+        assert!(text.contains("straggler-node"), "{text}");
     }
 }

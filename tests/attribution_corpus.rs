@@ -1,0 +1,118 @@
+//! Golden-verdict attribution corpus: every named fault plan × two
+//! seeds, attributed to its fault class by the *shared* detectors both
+//! post-mortem (batch `diagnose` over the buffered trace) and mid-run
+//! (the `StreamDiagnoser` fed record-by-record), with the clean
+//! baselines attribution-free on both paths.
+
+use events_to_ensembles::ingest::{DiagnoserConfig, StreamDiagnoser, TimedFinding};
+use events_to_ensembles::stats::attribution::FaultClass;
+use events_to_ensembles::trace::{Record, RecordSink};
+use pio_bench::fault_matrix::{attributed, run_once, scenarios};
+
+const SCALE: u32 = 16;
+const SEEDS: [u64; 2] = [101, 202];
+
+/// Arrival-ordered records of a run (the order a tracer would emit).
+fn arrival_order(records: &[Record]) -> Vec<Record> {
+    let mut sorted = records.to_vec();
+    sorted.sort_by_key(|r| (r.start_ns, r.rank));
+    sorted
+}
+
+/// Stream a record sequence through the online diagnoser with a window
+/// small enough that several windows tumble within these short runs.
+fn stream(records: &[Record]) -> StreamDiagnoser {
+    let mut d = StreamDiagnoser::new(DiagnoserConfig {
+        window: 256,
+        ..DiagnoserConfig::default()
+    });
+    for r in records {
+        d.push(r);
+    }
+    d.finish();
+    d
+}
+
+/// Every attributed finding the stream raised, in firing order.
+fn stream_attributions(d: &StreamDiagnoser) -> Vec<(FaultClass, u64)> {
+    d.findings()
+        .iter()
+        .filter_map(|t: &TimedFinding| t.finding.attribution().map(|c| (c, t.after_records)))
+        .collect()
+}
+
+#[test]
+fn every_named_fault_is_attributed_batch_and_mid_run() {
+    let mut covered = Vec::new();
+    for sc in scenarios(SCALE) {
+        let Some(want) = sc.expected_class else {
+            continue; // the deterioration ramp asserts a non-attributed shape
+        };
+        covered.push(want);
+        for seed in SEEDS {
+            let res = run_once(sc.job(), sc.fs(), seed, "corpus", Some(sc.plan()));
+
+            // Batch: exactly the expected class, nothing else.
+            let classes = attributed(&res);
+            assert_eq!(
+                classes,
+                vec![want],
+                "{} seed {seed}: batch attributed {classes:?}",
+                sc.fault
+            );
+
+            // Streaming: the expected class fires before end-of-stream,
+            // and the stream's final attributed verdict agrees.
+            let records = arrival_order(&res.trace().records);
+            let d = stream(&records);
+            let attrs = stream_attributions(&d);
+            let total = records.len() as u64;
+            assert!(
+                attrs.iter().any(|&(c, after)| c == want && after < total),
+                "{} seed {seed}: no mid-run {want:?} among {attrs:?} ({total} records)",
+                sc.fault
+            );
+            let last = attrs.last().map(|&(c, _)| c);
+            assert_eq!(
+                last,
+                Some(want),
+                "{} seed {seed}: stream's final verdict disagrees: {attrs:?}",
+                sc.fault
+            );
+        }
+    }
+    // The corpus must exercise all five named fault classes.
+    covered.sort();
+    assert_eq!(
+        covered,
+        vec![
+            FaultClass::SlowOst,
+            FaultClass::FlakyFabric,
+            FaultClass::MdsStall,
+            FaultClass::StragglerNode,
+            FaultClass::DropRetry,
+        ]
+    );
+}
+
+#[test]
+fn clean_baselines_are_attribution_free_batch_and_stream() {
+    for sc in scenarios(SCALE) {
+        for seed in SEEDS {
+            let res = run_once(sc.job(), sc.fs(), seed, "corpus-base", None);
+            let classes = attributed(&res);
+            assert!(
+                classes.is_empty(),
+                "{} seed {seed}: baseline attributed {classes:?}",
+                sc.fault
+            );
+            let d = stream(&arrival_order(&res.trace().records));
+            let attrs = stream_attributions(&d);
+            assert!(
+                attrs.is_empty(),
+                "{} seed {seed}: baseline stream attributed {attrs:?}",
+                sc.fault
+            );
+        }
+    }
+}

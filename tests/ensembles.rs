@@ -1,12 +1,18 @@
 //! The paper's core statistical claim, end to end: ensembles are stable
 //! across runs, order statistics explain phase times, and the LLN
-//! prediction machinery tracks measurements.
+//! prediction machinery tracks measurements — and the attribution
+//! verdicts built on top are deterministic across ingest parallelism
+//! and trace encodings.
 
 use events_to_ensembles::fs::FsConfig;
+use events_to_ensembles::ingest::{stream_file, IngestConfig, IngestPipeline};
 use events_to_ensembles::mpi::{RunConfig, Runner};
+use events_to_ensembles::stats::attribution::FaultClass;
+use events_to_ensembles::stats::diagnosis::{Finding, Thresholds};
 use events_to_ensembles::stats::empirical::EmpiricalDist;
 use events_to_ensembles::stats::ensemble::Ensemble;
 use events_to_ensembles::stats::lln;
+use events_to_ensembles::trace::io::TraceFormat;
 use events_to_ensembles::trace::CallKind;
 use events_to_ensembles::workloads::IorConfig;
 
@@ -107,6 +113,59 @@ fn lln_prediction_tracks_measurement_direction() {
     // Prediction from the k=1 ensemble alone agrees in direction.
     let pred = lln::predicted_rate_vs_k(&k1_totals.unwrap(), &[1, 4], 16, measured[0], 96);
     assert!(pred[1].1 >= pred[0].1, "{pred:?}");
+}
+
+/// Attribution verdicts are a function of the trace alone: sharded
+/// ingest at 1, 2, and 8 workers, from either on-disk encoding, reaches
+/// bit-identical findings — and the straggler run is actually named.
+#[test]
+fn attribution_verdicts_identical_across_threads_and_formats() {
+    let sc = pio_bench::fault_matrix::scenarios(16)
+        .into_iter()
+        .find(|s| s.expected_class == Some(FaultClass::StragglerNode))
+        .expect("straggler cell");
+    let trace = pio_bench::fault_matrix::run_once(sc.job(), sc.fs(), 101, "det", Some(sc.plan()))
+        .into_trace();
+
+    let dir = std::env::temp_dir().join("pio_attr_determinism");
+    std::fs::create_dir_all(&dir).unwrap();
+    let paths = [
+        (dir.join("t.jsonl"), TraceFormat::Jsonl),
+        (dir.join("t.ptb"), TraceFormat::Ptb),
+    ];
+    for (path, format) in &paths {
+        events_to_ensembles::trace::io::save_as(&trace, path, *format).unwrap();
+    }
+
+    let mut verdicts: Vec<(String, String)> = Vec::new();
+    for (path, _) in &paths {
+        for workers in [1usize, 2, 8] {
+            let pipeline = IngestPipeline::new(IngestConfig {
+                workers,
+                ..IngestConfig::default()
+            });
+            {
+                let mut sink = pipeline.sink();
+                stream_file(path, &mut sink).unwrap();
+            }
+            let findings = pipeline.finish().diagnose(&Thresholds::default());
+            let classes: Vec<FaultClass> =
+                findings.iter().filter_map(Finding::attribution).collect();
+            assert!(
+                classes.contains(&FaultClass::StragglerNode),
+                "{path:?} x{workers}: {findings:?}"
+            );
+            verdicts.push((format!("{path:?} x{workers}"), format!("{findings:?}")));
+        }
+    }
+    let (_, reference) = &verdicts[0];
+    for (label, v) in &verdicts {
+        assert_eq!(v, reference, "verdicts diverge at {label}");
+    }
+
+    for (path, _) in &paths {
+        std::fs::remove_file(path).ok();
+    }
 }
 
 #[test]
