@@ -156,5 +156,11 @@ fn stream_analyze(path: &str, forced_format: Option<TraceFormat>) {
     );
     println!("{}", pio_viz::snapshot_panel(&snap, 40));
     println!("## Online findings");
+    if n == 0 {
+        // A valid but empty stream (header only): a clean "no data"
+        // verdict, not a healthy-looking report over zero events.
+        println!("no data: the stream contained zero records — nothing to diagnose");
+        return;
+    }
     print!("{}", pio_viz::findings_text(diagnoser.findings()));
 }

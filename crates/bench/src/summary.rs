@@ -149,6 +149,37 @@ fn fault_matrix_cell() -> u64 {
     1
 }
 
+/// Fleet-service ingest throughput: 8 synthetic tenants streamed
+/// concurrently (one feeder thread each) into a 4-worker `pio-fleetd`
+/// service with unlimited budget; ops = records the service admitted
+/// across all tenants, verified against the machine roll-up.
+fn fleetd_ingest(trace: &Trace) -> u64 {
+    use pio_fleetd::{FleetConfig, FleetService};
+    use pio_trace::RecordSink;
+    const JOBS: usize = 8;
+    let mut svc = FleetService::new(FleetConfig {
+        workers: 4,
+        ..FleetConfig::default()
+    });
+    crossbeam::thread::scope(|scope| {
+        for j in 0..JOBS {
+            let mut sink = svc.register(&format!("bench-{j}"));
+            let records = &trace.records;
+            scope.spawn(move |_| {
+                for r in records {
+                    sink.push(r);
+                }
+                sink.finish();
+            });
+        }
+    })
+    .expect("fleetd bench scope");
+    svc.shutdown();
+    let total = svc.rollup().ingested;
+    assert_eq!(total, (JOBS * trace.records.len()) as u64);
+    total
+}
+
 /// A deterministic MADbench-shaped trace for the parse-throughput
 /// metrics (same generator shape as the criterion ingest bench).
 pub fn ingest_trace(n: usize) -> Trace {
@@ -302,6 +333,13 @@ pub fn run_all_with(reps: Option<u32>) -> BenchSummary {
             .expect("ptb stream");
         black_box(meta);
         n
+    }));
+
+    // Fleet-service ingest: end-to-end record throughput of the
+    // multi-tenant diagnosis service (sketches + diagnoser + budgets).
+    let fleet_trace = ingest_trace(50_000);
+    metrics.push(measure("fleetd/ingest_8x50k_pool4", "record", r(2), || {
+        fleetd_ingest(&fleet_trace)
     }));
 
     BenchSummary {

@@ -1,0 +1,835 @@
+//! The always-on fleet service: many concurrent job streams, one
+//! bounded worker pool, per-tenant budgets, and a query surface.
+//!
+//! # Architecture
+//!
+//! A [`FleetService`] owns a fixed pool of worker threads. Registering
+//! a job hands back a [`JobSink`] — a [`RecordSink`] the producer (a
+//! tracer transport, or the simulated fleet driver) pushes records
+//! into. The sink batches records into blocks and sends them over the
+//! owning worker's bounded channel; jobs are sharded onto workers by
+//! `job id % workers`, so one worker owns *all* of a job's stream and
+//! processes it in producer order. Per-job state is therefore
+//! independent of the pool size: verdicts, snapshots, and roll-ups are
+//! bit-identical whether the service runs 1 worker or 8.
+//!
+//! Each tenant carries a [`StreamDiagnoser`] (online findings), a
+//! [`SnapshotBuilder`] (the mergeable ensemble sketch), a
+//! [`TenantMeter`] enforcing the per-tenant resident budget under the
+//! configured [`OverflowPolicy`], a top-k slowest-operation heap, and a
+//! per-OST usage ledger for the cross-job interference view. End of
+//! stream finalizes the diagnosis, evicts the tenant from the live
+//! table, and files an immutable [`JobReport`].
+//!
+//! The machine-wide roll-up merges every per-job ensemble sketch
+//! ([`EnsembleSnapshot::merge`]) in job-id order — the canonical fold
+//! order that makes the roll-up reproducible across pool sizes and
+//! completion interleavings.
+
+use crate::interference::{contention, OstContention, OstLayout, OstUsage};
+use pio_core::attribution::FaultClass;
+use pio_ingest::{
+    Admission, DiagnoserConfig, EnsembleSnapshot, OverflowPolicy, SnapshotBuilder, SnapshotConfig,
+    StreamDiagnoser, TenantMeter, TimedFinding,
+};
+use pio_trace::{CallKind, Record, RecordSink};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{self, Sender, TrySendError};
+use parking_lot::Mutex;
+
+/// Fleet-wide job identifier, assigned at registration.
+pub type JobId = u64;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker-pool size; jobs are sharded by `id % workers`.
+    pub workers: usize,
+    /// Bounded channel capacity (messages) per worker.
+    pub capacity: usize,
+    /// Records per block in a [`JobSink`] before it ships.
+    pub batch: usize,
+    /// What a full worker channel does to a record block:
+    /// [`OverflowPolicy::Block`] applies producer backpressure,
+    /// [`OverflowPolicy::DropAndCount`] sheds the block and counts it.
+    pub policy: OverflowPolicy,
+    /// Per-tenant resident-sketch budget in bytes (0 = unlimited),
+    /// enforced by a [`TenantMeter`] under `policy`.
+    pub budget_bytes: usize,
+    /// Ensemble-sketch shape for every tenant.
+    pub snapshot: SnapshotConfig,
+    /// Online-diagnoser shape for every tenant.
+    pub diagnoser: DiagnoserConfig,
+    /// Slowest operations retained per job.
+    pub top_k: usize,
+    /// Default OST layout for tenants registered without one.
+    pub layout: OstLayout,
+    /// Interference view: minimum calls on a target before judging it.
+    pub min_ost_ops: u64,
+    /// Interference view: per-target mean vs. pool-rest mean multiple
+    /// at which a target counts as slow for a job.
+    pub contention_ratio: f64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            workers: 4,
+            capacity: 64,
+            batch: 256,
+            policy: OverflowPolicy::Block,
+            budget_bytes: 0,
+            snapshot: SnapshotConfig::default(),
+            diagnoser: DiagnoserConfig::default(),
+            top_k: 8,
+            layout: OstLayout::new(1 << 20, 48, 0),
+            min_ost_ops: 32,
+            contention_ratio: 2.0,
+        }
+    }
+}
+
+/// One operation in a job's slowest-k list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowOp {
+    /// Service time in seconds.
+    pub secs: f64,
+    /// Issuing rank.
+    pub rank: u32,
+    /// Call class.
+    pub call: CallKind,
+    /// Virtual start time.
+    pub start_ns: u64,
+    /// Bytes moved.
+    pub bytes: u64,
+}
+
+impl SlowOp {
+    fn key(&self) -> (u64, u64, u32, u8) {
+        // Total order: duration first, then a deterministic tiebreak so
+        // the retained set never depends on arrival interleaving.
+        (
+            self.secs.max(0.0).to_bits(),
+            self.start_ns,
+            self.rank,
+            self.call as u8,
+        )
+    }
+}
+
+/// Heap adapter ordering [`SlowOp`] by its deterministic key.
+struct HeapOp(SlowOp);
+
+impl PartialEq for HeapOp {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.key() == other.0.key()
+    }
+}
+impl Eq for HeapOp {}
+impl PartialOrd for HeapOp {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapOp {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.key().cmp(&other.0.key())
+    }
+}
+
+/// The immutable record of a finished (or frozen) tenant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobReport {
+    /// Fleet job id.
+    pub id: JobId,
+    /// Tenant label.
+    pub name: String,
+    /// Online findings in firing order.
+    pub findings: Vec<TimedFinding>,
+    /// The job's final ensemble sketch (its `dropped` counts every
+    /// record shed by budget or transport).
+    pub snapshot: EnsembleSnapshot,
+    /// Records admitted into the sketches.
+    pub ingested: u64,
+    /// Records shed (budget) plus blocks dropped in transport.
+    pub shed: u64,
+    /// The tenant went over budget under [`OverflowPolicy::Block`] and
+    /// was frozen (diagnosis covers the admitted prefix).
+    pub frozen: bool,
+    /// Slowest operations, slowest first.
+    pub top_slow: Vec<SlowOp>,
+    /// Per-OST usage ledger for the interference view.
+    pub ost: OstUsage,
+    /// The layout the ledger was accumulated under.
+    pub layout: OstLayout,
+}
+
+impl JobReport {
+    /// The job's verdict: the fault class of the *last* attributed
+    /// online finding (the diagnoser refines attribution as evidence
+    /// accumulates, so the latest call wins), `None` for a clean job.
+    pub fn verdict(&self) -> Option<FaultClass> {
+        self.findings
+            .iter()
+            .rev()
+            .find_map(|t| t.finding.attribution())
+    }
+
+    /// Did the job stream zero records?
+    pub fn is_empty(&self) -> bool {
+        self.snapshot.is_empty() && self.shed == 0
+    }
+}
+
+/// Live per-tenant state, owned by exactly one worker.
+struct TenantState {
+    name: String,
+    layout: OstLayout,
+    meter: TenantMeter,
+    diagnoser: StreamDiagnoser,
+    builder: SnapshotBuilder,
+    slow: BinaryHeap<std::cmp::Reverse<HeapOp>>,
+    top_k: usize,
+    ost: OstUsage,
+}
+
+impl TenantState {
+    fn new(name: String, layout: OstLayout, cfg: &FleetConfig) -> Self {
+        TenantState {
+            name,
+            layout,
+            meter: TenantMeter::new(cfg.budget_bytes, cfg.policy),
+            diagnoser: StreamDiagnoser::new(cfg.diagnoser.clone()),
+            builder: SnapshotBuilder::new(cfg.snapshot.clone()),
+            slow: BinaryHeap::new(),
+            top_k: cfg.top_k,
+            ost: OstUsage::new(layout.n_osts),
+        }
+    }
+
+    fn ingest(&mut self, r: &Record) {
+        self.diagnoser.push(r);
+        self.builder.accumulate(r);
+        if matches!(r.call, CallKind::Read | CallKind::Write) {
+            self.ost.add(self.layout.ost_of(r.offset), r.secs());
+        }
+        let op = SlowOp {
+            secs: r.secs(),
+            rank: r.rank,
+            call: r.call,
+            start_ns: r.start_ns,
+            bytes: r.bytes,
+        };
+        if self.slow.len() < self.top_k {
+            self.slow.push(std::cmp::Reverse(HeapOp(op)));
+        } else if let Some(min) = self.slow.peek() {
+            if HeapOp(op.clone()) > min.0 {
+                self.slow.pop();
+                self.slow.push(std::cmp::Reverse(HeapOp(op)));
+            }
+        }
+    }
+
+    fn into_report(mut self, id: JobId, transport_dropped: u64) -> JobReport {
+        self.diagnoser.finish();
+        let shed = self.meter.shed() + transport_dropped;
+        let mut top_slow: Vec<SlowOp> = self
+            .slow
+            .into_sorted_vec()
+            .into_iter()
+            .map(|r| r.0 .0)
+            .collect();
+        // `into_sorted_vec` on `Reverse` yields slowest-last; flip to
+        // slowest-first for the query surface.
+        top_slow.reverse();
+        JobReport {
+            id,
+            name: self.name,
+            findings: self.diagnoser.findings().to_vec(),
+            snapshot: self.builder.into_snapshot(shed),
+            ingested: self.meter.ingested(),
+            shed,
+            frozen: self.meter.frozen(),
+            top_slow,
+            ost: self.ost,
+            layout: self.layout,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Msg {
+    Open {
+        job: JobId,
+        name: String,
+        layout: OstLayout,
+    },
+    Block {
+        job: JobId,
+        records: Vec<Record>,
+    },
+    PhaseEnd {
+        job: JobId,
+        phase: u32,
+    },
+    Eos {
+        job: JobId,
+        transport_dropped: u64,
+    },
+}
+
+type LiveMap = Arc<Mutex<HashMap<JobId, TenantState>>>;
+type DoneMap = Arc<Mutex<BTreeMap<JobId, JobReport>>>;
+
+/// The multi-tenant fleet diagnosis service. See the [module
+/// docs](self) for the architecture.
+pub struct FleetService {
+    cfg: FleetConfig,
+    senders: Vec<Sender<Msg>>,
+    live: Vec<LiveMap>,
+    completed: DoneMap,
+    handles: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl FleetService {
+    /// Start the worker pool.
+    pub fn new(cfg: FleetConfig) -> Self {
+        let workers = cfg.workers.max(1);
+        let completed: DoneMap = Arc::new(Mutex::new(BTreeMap::new()));
+        let mut senders = Vec::with_capacity(workers);
+        let mut live = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = channel::bounded::<Msg>(cfg.capacity.max(1));
+            let map: LiveMap = Arc::new(Mutex::new(HashMap::new()));
+            let worker_cfg = cfg.clone();
+            let worker_map = Arc::clone(&map);
+            let worker_done = Arc::clone(&completed);
+            handles.push(std::thread::spawn(move || {
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        Msg::Open { job, name, layout } => {
+                            let st = TenantState::new(name, layout, &worker_cfg);
+                            worker_map.lock().insert(job, st);
+                        }
+                        Msg::Block { job, records } => {
+                            let mut map = worker_map.lock();
+                            let Some(st) = map.get_mut(&job) else {
+                                continue;
+                            };
+                            match st
+                                .meter
+                                .admit(st.builder.approx_bytes(), records.len() as u64)
+                            {
+                                Admission::Admit => {
+                                    for r in &records {
+                                        st.ingest(r);
+                                    }
+                                }
+                                // Shed keeps the tenant live (later
+                                // blocks are re-judged); Freeze is
+                                // sticky — the meter stays frozen.
+                                Admission::Shed | Admission::Freeze => {}
+                            }
+                        }
+                        Msg::PhaseEnd { job, phase } => {
+                            if let Some(st) = worker_map.lock().get_mut(&job) {
+                                if !st.meter.frozen() {
+                                    st.diagnoser.phase_end(phase);
+                                }
+                            }
+                        }
+                        Msg::Eos {
+                            job,
+                            transport_dropped,
+                        } => {
+                            let st = worker_map.lock().remove(&job);
+                            if let Some(st) = st {
+                                worker_done
+                                    .lock()
+                                    .insert(job, st.into_report(job, transport_dropped));
+                            }
+                        }
+                    }
+                }
+            }));
+            senders.push(tx);
+            live.push(map);
+        }
+        FleetService {
+            cfg,
+            senders,
+            live,
+            completed,
+            handles,
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Register a tenant under the service's default OST layout.
+    pub fn register(&self, name: &str) -> JobSink {
+        self.register_with_layout(name, self.cfg.layout)
+    }
+
+    /// Register a tenant with its own OST layout (platforms differ
+    /// across a fleet). Returns the sink the producer streams into;
+    /// dropping or [`RecordSink::finish`]ing it ends the stream.
+    pub fn register_with_layout(&self, name: &str, layout: OstLayout) -> JobSink {
+        assert!(
+            !self.senders.is_empty(),
+            "register on a shut-down FleetService"
+        );
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let sender = self.senders[self.worker_of(id)].clone();
+        sender
+            .send(Msg::Open {
+                job: id,
+                name: name.to_string(),
+                layout,
+            })
+            .expect("fleet worker alive");
+        JobSink {
+            job: id,
+            sender,
+            batch: self.cfg.batch.max(1),
+            policy: self.cfg.policy,
+            pending: Vec::with_capacity(self.cfg.batch.max(1)),
+            dropped: 0,
+            eos: false,
+        }
+    }
+
+    fn worker_of(&self, id: JobId) -> usize {
+        (id as usize) % self.live.len()
+    }
+
+    /// Worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Tenants currently live (registered, no end-of-stream yet).
+    ///
+    /// Counts what the workers have *processed*; messages still queued
+    /// in worker channels are not yet visible.
+    pub fn live_jobs(&self) -> usize {
+        self.live.iter().map(|m| m.lock().len()).sum()
+    }
+
+    /// Ids of completed jobs, ascending.
+    pub fn completed_jobs(&self) -> Vec<JobId> {
+        self.completed.lock().keys().copied().collect()
+    }
+
+    /// The finished report of a completed job.
+    pub fn report(&self, id: JobId) -> Option<JobReport> {
+        self.completed.lock().get(&id).cloned()
+    }
+
+    /// Every completed report, in job-id order.
+    pub fn reports(&self) -> Vec<JobReport> {
+        self.completed.lock().values().cloned().collect()
+    }
+
+    /// A job's online findings so far (live) or final findings
+    /// (completed). `None` for an unknown id or one still queued.
+    pub fn findings(&self, id: JobId) -> Option<Vec<TimedFinding>> {
+        if let Some(r) = self.completed.lock().get(&id) {
+            return Some(r.findings.clone());
+        }
+        self.live[self.worker_of(id)]
+            .lock()
+            .get(&id)
+            .map(|st| st.diagnoser.findings().to_vec())
+    }
+
+    /// A job's verdict: the last attributed fault class, `None` when
+    /// clean (or unknown).
+    pub fn verdict(&self, id: JobId) -> Option<FaultClass> {
+        self.findings(id)?
+            .iter()
+            .rev()
+            .find_map(|t| t.finding.attribution())
+    }
+
+    /// A job's ensemble sketch: live tenants are snapshotted in place,
+    /// completed jobs return their final sketch.
+    pub fn snapshot(&self, id: JobId) -> Option<EnsembleSnapshot> {
+        if let Some(r) = self.completed.lock().get(&id) {
+            return Some(r.snapshot.clone());
+        }
+        self.live[self.worker_of(id)]
+            .lock()
+            .get(&id)
+            .map(|st| st.builder.snapshot(st.meter.shed()))
+    }
+
+    /// A job's slowest operations so far, slowest first.
+    pub fn top_slow(&self, id: JobId) -> Option<Vec<SlowOp>> {
+        if let Some(r) = self.completed.lock().get(&id) {
+            return Some(r.top_slow.clone());
+        }
+        self.live[self.worker_of(id)].lock().get(&id).map(|st| {
+            let mut v: Vec<SlowOp> = st.slow.iter().map(|r| r.0 .0.clone()).collect();
+            v.sort_by_key(|op| std::cmp::Reverse(op.key()));
+            v
+        })
+    }
+
+    /// The machine-wide roll-up: every job's ensemble sketch (completed
+    /// and live) merged in job-id order. The canonical fold order makes
+    /// the result identical across pool sizes and completion
+    /// interleavings once the same streams have been processed.
+    pub fn rollup(&self) -> EnsembleSnapshot {
+        let mut parts: Vec<(JobId, EnsembleSnapshot)> = self
+            .completed
+            .lock()
+            .iter()
+            .map(|(&id, r)| (id, r.snapshot.clone()))
+            .collect();
+        for map in &self.live {
+            let map = map.lock();
+            for (&id, st) in map.iter() {
+                parts.push((id, st.builder.snapshot(st.meter.shed())));
+            }
+        }
+        parts.sort_by_key(|(id, _)| *id);
+        let mut acc = EnsembleSnapshot::empty(&self.cfg.snapshot);
+        for (_, snap) in parts {
+            acc.merge(&snap);
+        }
+        acc
+    }
+
+    /// The cross-job interference view over completed jobs: OSTs that
+    /// two or more tenants independently flagged slow, with the tenants
+    /// named. See [`crate::interference`].
+    pub fn interference(&self) -> Vec<OstContention> {
+        let done = self.completed.lock();
+        let per_job: Vec<(String, &OstUsage)> =
+            done.values().map(|r| (r.name.clone(), &r.ost)).collect();
+        contention(&per_job, self.cfg.min_ost_ops, self.cfg.contention_ratio)
+    }
+
+    /// Stop accepting registrations, drain every queued message, and
+    /// join the workers. Idempotent; queries remain answerable from the
+    /// completed map afterwards.
+    pub fn shutdown(&mut self) {
+        self.senders.clear(); // disconnects channels; workers drain and exit
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for FleetService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The producer half of one registered job: a [`RecordSink`] that
+/// batches records into blocks and ships them to the owning worker.
+///
+/// Blocks respect the service [`OverflowPolicy`]; control messages
+/// (phase ends, end-of-stream) always block — losing a record block
+/// under pressure degrades statistics, losing end-of-stream would leak
+/// the tenant. Dropping the sink sends end-of-stream if
+/// [`RecordSink::finish`] has not already.
+pub struct JobSink {
+    job: JobId,
+    sender: Sender<Msg>,
+    batch: usize,
+    policy: OverflowPolicy,
+    pending: Vec<Record>,
+    dropped: u64,
+    eos: bool,
+}
+
+impl JobSink {
+    /// The fleet job id this sink feeds.
+    pub fn id(&self) -> JobId {
+        self.job
+    }
+
+    /// Records dropped in transport so far (always 0 under
+    /// [`OverflowPolicy::Block`]).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn flush_block(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let records = std::mem::take(&mut self.pending);
+        let n = records.len() as u64;
+        let msg = Msg::Block {
+            job: self.job,
+            records,
+        };
+        match self.policy {
+            OverflowPolicy::Block => {
+                if self.sender.send(msg).is_err() {
+                    self.dropped += n;
+                }
+            }
+            OverflowPolicy::DropAndCount => {
+                if let Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) =
+                    self.sender.try_send(msg)
+                {
+                    self.dropped += n;
+                }
+            }
+        }
+    }
+}
+
+impl RecordSink for JobSink {
+    fn push(&mut self, r: &Record) {
+        self.pending.push(r.clone());
+        if self.pending.len() >= self.batch {
+            self.flush_block();
+        }
+    }
+
+    fn phase_end(&mut self, phase: u32) {
+        self.flush_block();
+        let _ = self.sender.send(Msg::PhaseEnd {
+            job: self.job,
+            phase,
+        });
+    }
+
+    fn finish(&mut self) {
+        self.flush_block();
+        if !self.eos {
+            self.eos = true;
+            let _ = self.sender.send(Msg::Eos {
+                job: self.job,
+                transport_dropped: self.dropped,
+            });
+        }
+    }
+}
+
+impl Drop for JobSink {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(rank: u32, call: CallKind, offset: u64, start_ns: u64, dur_ns: u64) -> Record {
+        Record {
+            rank,
+            call,
+            fd: 3,
+            offset,
+            bytes: 1 << 20,
+            start_ns,
+            end_ns: start_ns + dur_ns,
+            phase: 0,
+        }
+    }
+
+    fn stream(n: usize, rank_mod: u32) -> Vec<Record> {
+        (0..n)
+            .map(|i| {
+                rec(
+                    i as u32 % rank_mod,
+                    if i % 3 == 0 {
+                        CallKind::Write
+                    } else {
+                        CallKind::Read
+                    },
+                    (i as u64) << 20,
+                    i as u64 * 1_000_000,
+                    2_000_000 + (i as u64 % 7) * 100_000,
+                )
+            })
+            .collect()
+    }
+
+    fn cfg(workers: usize) -> FleetConfig {
+        FleetConfig {
+            workers,
+            layout: OstLayout::new(1 << 20, 4, 0),
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn eos_evicts_and_files_a_report() {
+        let mut svc = FleetService::new(cfg(2));
+        let records = stream(600, 8);
+        let mut sink = svc.register("tenant-a");
+        let id = sink.id();
+        for r in &records {
+            sink.push(r);
+        }
+        sink.finish();
+        drop(sink);
+        svc.shutdown();
+        assert_eq!(svc.live_jobs(), 0);
+        let report = svc.report(id).expect("report filed");
+        assert_eq!(report.name, "tenant-a");
+        assert_eq!(report.ingested, 600);
+        assert_eq!(report.shed, 0);
+        assert!(!report.frozen);
+        assert_eq!(report.snapshot.ingested, 600);
+        assert_eq!(report.top_slow.len(), svc.cfg.top_k);
+        // Slowest-first and genuinely the max.
+        let max = records.iter().map(Record::secs).fold(0.0f64, f64::max);
+        assert_eq!(report.top_slow[0].secs, max);
+        assert!(report.top_slow.windows(2).all(|w| w[0].secs >= w[1].secs));
+    }
+
+    #[test]
+    fn zero_record_job_reports_empty_and_clean() {
+        let mut svc = FleetService::new(cfg(1));
+        let mut sink = svc.register("idle");
+        let id = sink.id();
+        sink.finish();
+        drop(sink);
+        svc.shutdown();
+        let report = svc.report(id).expect("report filed");
+        assert!(report.is_empty());
+        assert!(report.snapshot.is_empty());
+        assert_eq!(report.verdict(), None);
+        assert!(report.findings.is_empty());
+        assert!(report.top_slow.is_empty());
+        // An empty job is the merge identity: it cannot perturb the
+        // machine roll-up.
+        assert!(svc.rollup().is_empty());
+    }
+
+    #[test]
+    fn block_budget_freezes_tenant_but_keeps_prefix() {
+        let mut c = cfg(1);
+        c.budget_bytes = 1; // over budget as soon as anything is resident
+        c.batch = 64;
+        let mut svc = FleetService::new(c);
+        let mut sink = svc.register("greedy");
+        let id = sink.id();
+        for r in stream(640, 8) {
+            sink.push(&r);
+        }
+        sink.finish();
+        drop(sink);
+        svc.shutdown();
+        let report = svc.report(id).expect("report filed");
+        assert!(report.frozen, "Block policy over budget must freeze");
+        // First block admitted (resident was 0 at the check), the rest shed.
+        assert_eq!(report.ingested, 64);
+        assert_eq!(report.shed, 640 - 64);
+        assert_eq!(report.snapshot.dropped, 640 - 64);
+        assert!(report.snapshot.ingested == 64);
+    }
+
+    #[test]
+    fn unlimited_budget_never_sheds() {
+        let mut svc = FleetService::new(cfg(2));
+        let mut sink = svc.register("big");
+        let id = sink.id();
+        for r in stream(5_000, 16) {
+            sink.push(&r);
+        }
+        sink.finish();
+        drop(sink);
+        svc.shutdown();
+        let report = svc.report(id).expect("report filed");
+        assert_eq!(report.ingested, 5_000);
+        assert_eq!(report.shed, 0);
+        assert!(!report.frozen);
+    }
+
+    #[test]
+    fn live_queries_answer_before_eos() {
+        let mut svc = FleetService::new(cfg(1));
+        let records = stream(600, 8);
+        let mut sink = svc.register("live");
+        let id = sink.id();
+        for r in &records {
+            sink.push(r);
+        }
+        // Flush pending without ending the stream, then give the worker
+        // a moment to drain.
+        sink.phase_end(0);
+        for _ in 0..200 {
+            if svc.snapshot(id).map(|s| s.ingested) == Some(600) {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(svc.live_jobs(), 1);
+        let snap = svc.snapshot(id).expect("live snapshot");
+        assert_eq!(snap.ingested, 600);
+        assert!(svc.top_slow(id).is_some());
+        assert_eq!(svc.rollup().ingested, 600);
+        sink.finish();
+        drop(sink);
+        svc.shutdown();
+        assert_eq!(svc.live_jobs(), 0);
+        assert_eq!(svc.rollup().ingested, 600);
+    }
+
+    #[test]
+    fn per_job_state_is_identical_across_pool_sizes() {
+        let jobs: Vec<Vec<Record>> = (0..6).map(|j| stream(400 + j * 50, 8)).collect();
+        let run = |workers: usize| -> Vec<JobReport> {
+            let mut svc = FleetService::new(cfg(workers));
+            let mut sinks: Vec<JobSink> = (0..jobs.len())
+                .map(|j| svc.register(&format!("job-{j}")))
+                .collect();
+            for (sink, records) in sinks.iter_mut().zip(&jobs) {
+                for r in records {
+                    sink.push(r);
+                }
+            }
+            for mut sink in sinks {
+                sink.finish();
+            }
+            svc.shutdown();
+            svc.reports()
+        };
+        let one = run(1);
+        let eight = run(8);
+        assert_eq!(one.len(), 6);
+        assert_eq!(one, eight);
+        // And so is the roll-up.
+        let roll = |reports: &[JobReport]| {
+            let mut acc = EnsembleSnapshot::empty(&SnapshotConfig::default());
+            for r in reports {
+                acc.merge(&r.snapshot);
+            }
+            acc
+        };
+        assert_eq!(roll(&one), roll(&eight));
+    }
+
+    #[test]
+    fn rollup_ingested_is_the_sum_of_tenants() {
+        let mut svc = FleetService::new(cfg(3));
+        let sizes = [300usize, 450, 700];
+        for (j, &n) in sizes.iter().enumerate() {
+            let mut sink = svc.register(&format!("job-{j}"));
+            for r in stream(n, 8) {
+                sink.push(&r);
+            }
+            sink.finish();
+        }
+        svc.shutdown();
+        let total: u64 = sizes.iter().map(|&n| n as u64).sum();
+        assert_eq!(svc.rollup().ingested, total);
+        assert_eq!(svc.completed_jobs().len(), 3);
+    }
+}

@@ -1,0 +1,451 @@
+//! The simulated fleet: dozens of concurrent jobs — mixed workloads, a
+//! configurable fraction under fault plans — streamed through a
+//! [`FleetService`].
+//!
+//! The job mix deliberately mirrors the fault × workload matrix cells
+//! (`pio-bench`'s `fault_matrix`) that the attribution-corpus test
+//! certifies: every faulted tenant here is a workload/plan pair whose
+//! batch and streaming verdicts are golden at the corpus seeds, and
+//! every clean tenant is one of those cells' baselines. A fleet run is
+//! therefore checkable end to end — faulted jobs must be attributed to
+//! their injected class, clean jobs must stay clean — without this
+//! crate re-deriving any thresholds.
+//!
+//! Replay order is the corpus's arrival order: each simulated trace is
+//! sorted by `(start_ns, rank)` before it is streamed, so per-job fleet
+//! verdicts match the single-job streaming diagnoser verdict for the
+//! same records.
+
+use crate::interference::OstLayout;
+use crate::service::{FleetConfig, FleetService, JobId, JobSink};
+use pio_core::attribution::FaultClass;
+use pio_des::SimSpan;
+use pio_fault::{Fault, FaultPlan};
+use pio_fs::FsConfig;
+use pio_ingest::DiagnoserConfig;
+use pio_mpi::program::{FileSpec, Job, Op, Program};
+use pio_mpi::{run_fleet, FleetJob, RunConfig};
+use pio_trace::{Record, RecordSink, Trace, TraceMeta};
+use pio_workloads::IorConfig;
+use std::sync::Mutex;
+
+/// Seeds the attribution corpus certifies; the fleet cycles through
+/// them so every tenant's verdict is backed by a golden cell.
+pub const CORPUS_SEEDS: [u64; 2] = [101, 202];
+
+/// The diagnoser window the attribution corpus replays with; fleet
+/// tenants use the same so per-job verdicts match the corpus.
+pub const CORPUS_WINDOW: usize = 256;
+
+/// Shape of a simulated fleet.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Total concurrent jobs.
+    pub jobs: usize,
+    /// How many of them run under a fault plan (cycling through the
+    /// attributable fault classes; the rest are clean baselines).
+    pub faulted: usize,
+    /// Platform scale divisor (16 = the corpus scale).
+    pub scale: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            jobs: 8,
+            faulted: 2,
+            scale: 16,
+        }
+    }
+}
+
+/// One tenant of the simulated fleet.
+pub struct SimJob {
+    /// Tenant label (`job-NN-<fault or workload>`).
+    pub name: String,
+    /// The workload.
+    pub job: Job,
+    /// Its platform.
+    pub fs: FsConfig,
+    /// The fault plan, if this tenant is faulted.
+    pub plan: Option<FaultPlan>,
+    /// Simulation seed (cycles over [`CORPUS_SEEDS`]).
+    pub seed: u64,
+    /// The class the fleet must attribute (`None` = must stay clean).
+    pub expected: Option<FaultClass>,
+}
+
+impl SimJob {
+    /// The OST layout this tenant's offsets map through.
+    pub fn layout(&self) -> OstLayout {
+        OstLayout::new(self.fs.stripe_bytes, self.fs.n_osts, 0)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workload builders. These mirror the fault-matrix cells exactly (same
+// geometry, same pacing constants) so that fleet verdicts inherit the
+// corpus's golden validation; see crates/bench/src/fault_matrix.rs.
+// ---------------------------------------------------------------------
+
+const MB: u64 = 1 << 20;
+
+fn read_heavy(tasks: u32, repetitions: u32) -> Job {
+    IorConfig {
+        tasks,
+        block_bytes: 8 << 20,
+        segments: 8,
+        repetitions,
+        read_back: true,
+        file_per_process: false,
+    }
+    .job()
+}
+
+fn paced_reads(tasks: u32, reads_per_rank: u32, gap_s: f64) -> Job {
+    let programs = (0..tasks)
+        .map(|t| {
+            let mut ops = vec![
+                Op::Open { file: 0 },
+                Op::Barrier,
+                Op::Compute {
+                    span: SimSpan::from_secs_f64(t as f64 * gap_s * 0.37),
+                },
+            ];
+            for i in 0..reads_per_rank {
+                let jitter = 0.7 + 0.6 * ((t * 31 + i * 17) % 16) as f64 / 16.0;
+                ops.push(Op::Compute {
+                    span: SimSpan::from_secs_f64(gap_s * jitter),
+                });
+                ops.push(Op::ReadAt {
+                    file: 0,
+                    offset: (t as u64 * reads_per_rank as u64 + i as u64) * MB,
+                    bytes: MB,
+                });
+            }
+            ops.push(Op::Close { file: 0 });
+            Program { ops }
+        })
+        .collect();
+    Job {
+        programs,
+        files: vec![FileSpec { shared: true }],
+    }
+}
+
+fn meta_heavy(tasks: u32, ops_per_rank: u32) -> Job {
+    let programs = (0..tasks)
+        .map(|t| {
+            let mut ops = vec![
+                Op::Open { file: 0 },
+                Op::Barrier,
+                Op::Compute {
+                    span: SimSpan::from_secs_f64(t as f64 * 0.007),
+                },
+            ];
+            for i in 0..ops_per_rank {
+                ops.push(Op::Compute {
+                    span: SimSpan::from_secs_f64(0.2),
+                });
+                ops.push(Op::MetaRead {
+                    file: 0,
+                    offset: (t as u64 * ops_per_rank as u64 + i as u64) * 4096,
+                    bytes: 4096,
+                });
+            }
+            ops.push(Op::Close { file: 0 });
+            Program { ops }
+        })
+        .collect();
+    Job {
+        programs,
+        files: vec![FileSpec { shared: true }],
+    }
+}
+
+/// Build the tenant list for a fleet shape. Deterministic in `cfg`:
+/// the first `faulted` tenants cycle through the five attributable
+/// fault cells (slow-ost, flaky-fabric, mds-stall, straggler-node,
+/// drop-retry), the rest cycle through the matching clean baselines;
+/// seeds alternate over [`CORPUS_SEEDS`]. With `faulted >= 6` the
+/// slow-ost cell recurs, giving two tenants colliding on the same
+/// degraded OST — the interference view's must-catch case.
+pub fn fleet_spec(cfg: &SimConfig) -> Vec<SimJob> {
+    let fs = FsConfig::franklin().scaled(cfg.scale.max(1));
+    let mut calm = fs.clone();
+    calm.discipline_weights = [0.0, 0.0, 1.0];
+    let tasks = (256 / cfg.scale.max(1)).max(16);
+    let n_osts = fs.n_osts;
+
+    (0..cfg.jobs)
+        .map(|i| {
+            let seed = CORPUS_SEEDS[i % CORPUS_SEEDS.len()];
+            if i < cfg.faulted {
+                let (label, plan, job, platform, expected) = match i % 5 {
+                    0 => (
+                        "slow-ost",
+                        FaultPlan::new().with(Fault::SlowOst {
+                            ost: 1 % n_osts,
+                            slowdown: 8.0,
+                            ramp_per_s: 0.0,
+                        }),
+                        read_heavy(tasks, 2),
+                        fs.clone(),
+                        FaultClass::SlowOst,
+                    ),
+                    1 => (
+                        "flaky-fabric",
+                        FaultPlan::new().with(Fault::FlakyFabric {
+                            period_s: 0.25,
+                            duty: 0.1,
+                            slowdown: 40.0,
+                        }),
+                        paced_reads(tasks, 48, 0.1),
+                        calm.clone(),
+                        FaultClass::FlakyFabric,
+                    ),
+                    2 => (
+                        "mds-stall",
+                        FaultPlan::new().with(Fault::MdsStall {
+                            period_s: 3.1,
+                            stall_s: 0.7,
+                        }),
+                        meta_heavy(tasks, 40),
+                        fs.clone(),
+                        FaultClass::MdsStall,
+                    ),
+                    3 => (
+                        "straggler-node",
+                        FaultPlan::new().with(Fault::StragglerNode {
+                            node: 0,
+                            slowdown: 32.0,
+                        }),
+                        paced_reads(tasks, 48, 0.1),
+                        calm.clone(),
+                        FaultClass::StragglerNode,
+                    ),
+                    _ => (
+                        "drop-retry",
+                        FaultPlan::new().with(Fault::DropRetry {
+                            prob: 0.08,
+                            timeout_s: 0.3,
+                            max_retries: 4,
+                        }),
+                        paced_reads(tasks, 48, 0.1),
+                        calm.clone(),
+                        FaultClass::DropRetry,
+                    ),
+                };
+                SimJob {
+                    name: format!("job-{i:02}-{label}"),
+                    job,
+                    fs: platform,
+                    plan: Some(plan),
+                    seed,
+                    expected: Some(expected),
+                }
+            } else {
+                let (label, job, platform) = match i % 3 {
+                    0 => ("ior-read", read_heavy(tasks, 2), fs.clone()),
+                    1 => ("paced-read", paced_reads(tasks, 48, 0.1), calm.clone()),
+                    _ => ("meta-stream", meta_heavy(tasks, 40), fs.clone()),
+                };
+                SimJob {
+                    name: format!("job-{i:02}-{label}"),
+                    job,
+                    fs: platform,
+                    plan: None,
+                    seed,
+                    expected: None,
+                }
+            }
+        })
+        .collect()
+}
+
+/// A [`FleetConfig`] tuned for the simulated fleet: `pool` workers,
+/// per-tenant `budget_bytes`, and the corpus diagnoser window so fleet
+/// verdicts match the golden single-job verdicts.
+pub fn fleet_config(pool: usize, budget_bytes: usize) -> FleetConfig {
+    FleetConfig {
+        workers: pool,
+        budget_bytes,
+        diagnoser: DiagnoserConfig {
+            window: CORPUS_WINDOW,
+            ..DiagnoserConfig::default()
+        },
+        ..FleetConfig::default()
+    }
+}
+
+/// Simulate every tenant concurrently over `threads` OS threads and
+/// return each job's trace in corpus arrival order (records sorted by
+/// `(start_ns, rank)`), indexed like `spec`.
+pub fn simulate(spec: &[SimJob], threads: usize) -> Vec<Trace> {
+    let jobs: Vec<(FleetJob, Trace)> = spec
+        .iter()
+        .map(|s| {
+            let mut cfg = RunConfig::new(s.fs.clone(), s.seed, s.name.clone());
+            if let Some(p) = &s.plan {
+                cfg = cfg.with_fault(p.clone());
+            }
+            let sink = Trace::new(TraceMeta {
+                experiment: s.name.clone(),
+                platform: s.fs.name.clone(),
+                ranks: s.job.ranks(),
+                seed: s.seed,
+            });
+            (
+                FleetJob {
+                    name: s.name.clone(),
+                    job: s.job.clone(),
+                    cfg,
+                },
+                sink,
+            )
+        })
+        .collect();
+    run_fleet(jobs, threads)
+        .into_iter()
+        .map(|(run, mut trace)| {
+            run.report.expect("simulated fleet job runs to completion");
+            trace.records.sort_by_key(|r| (r.start_ns, r.rank));
+            trace
+        })
+        .collect()
+}
+
+/// Register every tenant and stream its records into the service over
+/// `threads` concurrent feeder threads (whole jobs are claimed
+/// work-stealing style, so each job's stream stays in order). Returns
+/// the assigned job ids, indexed like `spec`.
+pub fn feed(
+    service: &FleetService,
+    spec: &[SimJob],
+    traces: &[Trace],
+    threads: usize,
+) -> Vec<JobId> {
+    assert_eq!(spec.len(), traces.len(), "one trace per tenant");
+    // Register in spec order so id assignment is deterministic.
+    let sinks: Vec<JobSink> = spec
+        .iter()
+        .map(|s| service.register_with_layout(&s.name, s.layout()))
+        .collect();
+    let ids: Vec<JobId> = sinks.iter().map(JobSink::id).collect();
+    type FeedSlot<'a> = Mutex<Option<(JobSink, &'a [Record])>>;
+    let slots: Vec<FeedSlot> = sinks
+        .into_iter()
+        .zip(traces)
+        .map(|(sink, trace)| Mutex::new(Some((sink, trace.records.as_slice()))))
+        .collect();
+    let workers = threads.clamp(1, slots.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let (mut sink, records) = slots[i]
+                    .lock()
+                    .expect("feeder slot")
+                    .take()
+                    .expect("each tenant fed exactly once");
+                for r in records {
+                    sink.push(r);
+                }
+                sink.finish();
+            });
+        }
+    })
+    .expect("feeder scope");
+    ids
+}
+
+/// One tenant's attribution check after a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetCheck {
+    /// Tenant label.
+    pub name: String,
+    /// The class the tenant must be attributed to (`None` = clean).
+    pub expected: Option<FaultClass>,
+    /// The fleet's verdict.
+    pub verdict: Option<FaultClass>,
+    /// Records the service ingested for this tenant.
+    pub records: u64,
+    /// Records shed (budget or transport).
+    pub shed: u64,
+    /// Verdict matches expectation.
+    pub ok: bool,
+}
+
+/// Compare every tenant's fleet verdict against its expectation.
+pub fn check(service: &FleetService, spec: &[SimJob], ids: &[JobId]) -> Vec<FleetCheck> {
+    spec.iter()
+        .zip(ids)
+        .map(|(s, &id)| {
+            let report = service.report(id);
+            let verdict = report.as_ref().and_then(|r| r.verdict());
+            FleetCheck {
+                name: s.name.clone(),
+                expected: s.expected,
+                verdict,
+                records: report.as_ref().map_or(0, |r| r.ingested),
+                shed: report.as_ref().map_or(0, |r| r.shed),
+                ok: verdict == s.expected,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_is_deterministic_and_labeled() {
+        let cfg = SimConfig {
+            jobs: 12,
+            faulted: 6,
+            scale: 16,
+        };
+        let a = fleet_spec(&cfg);
+        let b = fleet_spec(&cfg);
+        assert_eq!(a.len(), 12);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.expected, y.expected);
+        }
+        // Faulted prefix, clean tail.
+        assert!(a[..6]
+            .iter()
+            .all(|s| s.plan.is_some() && s.expected.is_some()));
+        assert!(a[6..]
+            .iter()
+            .all(|s| s.plan.is_none() && s.expected.is_none()));
+        // faulted >= 6 makes the slow-ost cell recur: the interference
+        // collision pair.
+        assert!(a[0].name.ends_with("slow-ost"));
+        assert!(a[5].name.ends_with("slow-ost"));
+    }
+
+    #[test]
+    fn simulate_orders_records_by_arrival() {
+        let spec = fleet_spec(&SimConfig {
+            jobs: 2,
+            faulted: 0,
+            scale: 16,
+        });
+        let traces = simulate(&spec, 2);
+        assert_eq!(traces.len(), 2);
+        for t in &traces {
+            assert!(!t.records.is_empty());
+            assert!(t
+                .records
+                .windows(2)
+                .all(|w| (w[0].start_ns, w[0].rank) <= (w[1].start_ns, w[1].rank)));
+        }
+    }
+}

@@ -28,15 +28,21 @@
 //!   the file): diagnose an on-disk trace in constant memory via any
 //!   [`RecordSink`](pio_trace::RecordSink), or feed every pipeline
 //!   worker concurrently with [`reader::stream_ptb_parallel`].
+//! * [`tenant`] — multi-stream accounting: a per-job
+//!   [`tenant::TenantMeter`] enforcing a resident-memory budget with
+//!   the pipeline's overflow-policy semantics, for fleet-style services
+//!   that ingest many jobs at once (`pio-fleetd`).
 
 pub mod diagnose;
 pub mod pipeline;
 pub mod reader;
 pub mod shard;
 pub mod sketch;
+pub mod tenant;
 
 pub use diagnose::{DiagnoserConfig, StreamDiagnoser, TimedFinding};
 pub use pipeline::{IngestConfig, IngestPipeline, IngestSink, OverflowPolicy};
 pub use reader::{stream_file, stream_jsonl, stream_ptb, stream_ptb_parallel};
-pub use shard::{EnsembleSnapshot, ShardKey, ShardStats};
+pub use shard::{EnsembleSnapshot, ShardKey, ShardStats, SnapshotBuilder, SnapshotConfig};
 pub use sketch::{HeavyHitters, OnlineMoments, QuantileSketch};
+pub use tenant::{Admission, TenantMeter};

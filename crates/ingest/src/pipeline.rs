@@ -24,14 +24,11 @@
 //! never stall the application being traced) — drop accounting stays
 //! exact at block granularity.
 
-use crate::shard::{EnsembleSnapshot, ShardKey, ShardStats, SmallWriteAgg};
-use crate::sketch::HeavyHitters;
+use crate::shard::{EnsembleSnapshot, SnapshotBuilder, SnapshotConfig};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
-use pio_core::attribution::{TailProfile, TAIL_KINDS};
 use pio_core::diagnosis::Thresholds;
-use pio_trace::{CallKind, Record, RecordSink};
-use std::collections::HashMap;
+use pio_trace::{Record, RecordSink};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -95,59 +92,19 @@ impl Default for IngestConfig {
     }
 }
 
-/// Per-worker accumulator state (shared with the snapshot path).
-struct WorkerState {
-    shards: HashMap<ShardKey, ShardStats>,
-    hitters: HeavyHitters,
-    profiles: HashMap<CallKind, TailProfile>,
-    small: SmallWriteAgg,
-    meta_secs: f64,
-    io_secs: f64,
-    ranks: u32,
-    ingested: u64,
-}
-
-impl WorkerState {
-    fn new(cfg: &IngestConfig) -> Self {
-        WorkerState {
-            shards: HashMap::new(),
-            hitters: HeavyHitters::new(cfg.hitter_capacity),
-            profiles: HashMap::new(),
-            small: SmallWriteAgg::new(cfg.hitter_capacity),
-            meta_secs: 0.0,
-            io_secs: 0.0,
-            ranks: 0,
-            ingested: 0,
+impl IngestConfig {
+    /// The snapshot-accumulator geometry this pipeline's workers share
+    /// (the same geometry a fleet tenant must use to merge with them).
+    pub fn snapshot_config(&self) -> SnapshotConfig {
+        SnapshotConfig {
+            rank_groups: self.rank_groups,
+            hist_lo: self.hist_lo,
+            hist_hi: self.hist_hi,
+            hist_bins: self.hist_bins,
+            hitter_capacity: self.hitter_capacity,
+            small_write_bytes: self.small_write_bytes,
+            stripe_bytes: self.stripe_bytes,
         }
-    }
-
-    fn accumulate(&mut self, r: &Record, cfg: &IngestConfig) {
-        let key = ShardKey {
-            kind: r.call,
-            group: r.rank % cfg.rank_groups.max(1),
-            phase: r.phase,
-        };
-        self.shards
-            .entry(key)
-            .or_insert_with(|| ShardStats::new(cfg.hist_lo, cfg.hist_hi, cfg.hist_bins))
-            .accumulate(r);
-        let secs = r.secs();
-        if matches!(r.call, CallKind::MetaRead | CallKind::MetaWrite) {
-            self.hitters.add(r.rank, secs);
-            self.meta_secs += secs;
-        }
-        if r.call.is_io() {
-            self.io_secs += secs;
-        }
-        if TAIL_KINDS.contains(&r.call) {
-            self.profiles
-                .entry(r.call)
-                .or_insert_with(|| TailProfile::new(cfg.stripe_bytes))
-                .add(r.rank, r.offset, secs);
-        }
-        self.small.accumulate(r, cfg.small_write_bytes);
-        self.ranks = self.ranks.max(r.rank + 1);
-        self.ingested += 1;
     }
 }
 
@@ -159,7 +116,7 @@ impl WorkerState {
 pub struct IngestPipeline {
     cfg: IngestConfig,
     senders: Vec<Sender<Vec<Record>>>,
-    states: Vec<Arc<Mutex<WorkerState>>>,
+    states: Vec<Arc<Mutex<SnapshotBuilder>>>,
     handles: Vec<JoinHandle<()>>,
     dropped: Arc<AtomicU64>,
 }
@@ -174,16 +131,15 @@ impl IngestPipeline {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let (tx, rx): (Sender<Vec<Record>>, Receiver<Vec<Record>>) = channel::bounded(capacity);
-            let state = Arc::new(Mutex::new(WorkerState::new(&cfg)));
+            let state = Arc::new(Mutex::new(SnapshotBuilder::new(cfg.snapshot_config())));
             let worker_state = Arc::clone(&state);
-            let worker_cfg = cfg.clone();
             handles.push(std::thread::spawn(move || {
                 // One lock acquisition per block: the producer already
                 // amortized the channel cost, the lock rides along.
                 while let Ok(block) = rx.recv() {
                     let mut st = worker_state.lock();
                     for r in &block {
-                        st.accumulate(r, &worker_cfg);
+                        st.accumulate(r);
                     }
                 }
             }));
@@ -229,36 +185,17 @@ impl IngestPipeline {
 
     /// Merge every worker's current state into a consistent-per-worker
     /// snapshot. Cheap enough to poll mid-run: workers are blocked only
-    /// while their own map is cloned.
+    /// while their own state is snapshotted. The merge itself is the
+    /// same [`EnsembleSnapshot::merge`] law the fleet roll-up uses,
+    /// folded in worker order.
     pub fn snapshot(&self) -> EnsembleSnapshot {
-        let mut maps = Vec::with_capacity(self.states.len());
-        let mut profile_maps = Vec::with_capacity(self.states.len());
-        let mut hitters = HeavyHitters::new(self.cfg.hitter_capacity);
-        let mut small = SmallWriteAgg::new(self.cfg.hitter_capacity);
-        let (mut meta_secs, mut io_secs) = (0.0, 0.0);
-        let (mut ranks, mut ingested) = (0u32, 0u64);
+        let mut acc = EnsembleSnapshot::empty(&self.cfg.snapshot_config());
         for state in &self.states {
-            let st = state.lock();
-            maps.push(st.shards.clone());
-            profile_maps.push(st.profiles.clone());
-            hitters.merge(&st.hitters);
-            small.merge(&st.small);
-            meta_secs += st.meta_secs;
-            io_secs += st.io_secs;
-            ranks = ranks.max(st.ranks);
-            ingested += st.ingested;
+            let snap = state.lock().snapshot(0);
+            acc.merge(&snap);
         }
-        EnsembleSnapshot::assemble(
-            maps,
-            hitters,
-            meta_secs,
-            io_secs,
-            ranks,
-            ingested,
-            self.dropped(),
-            profile_maps,
-            small,
-        )
+        acc.dropped = self.dropped();
+        acc
     }
 
     /// Close the pipeline: stop accepting records, drain the channels,
@@ -365,6 +302,7 @@ impl Drop for IngestSink {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pio_trace::CallKind;
 
     fn rec(rank: u32, call: CallKind, dur: f64, phase: u32) -> Record {
         Record {
@@ -409,29 +347,24 @@ mod tests {
         let snap = pipeline.finish();
 
         // Sequential reference over the same records.
-        let mut reference = WorkerState::new(&cfg);
+        let mut reference = SnapshotBuilder::new(cfg.snapshot_config());
         for r in &records {
-            reference.accumulate(r, &cfg);
+            reference.accumulate(r);
         }
+        let ref_snap = reference.into_snapshot(0);
 
         assert_eq!(snap.ingested, 4000);
         assert_eq!(snap.dropped, 0);
         let merged = snap.kind_stats(CallKind::Read).unwrap();
-        let mut ref_merged: Option<ShardStats> = None;
-        for s in reference.shards.values() {
-            match &mut ref_merged {
-                Some(a) => a.merge(s),
-                None => ref_merged = Some(s.clone()),
-            }
-        }
-        let ref_merged = ref_merged.unwrap();
+        let ref_merged = ref_snap.kind_stats(CallKind::Read).unwrap();
         assert_eq!(merged.hist, ref_merged.hist);
         assert_eq!(merged.ops, ref_merged.ops);
         assert_eq!(merged.bytes, ref_merged.bytes);
         // Shard set identical, not just the merged view.
-        assert_eq!(snap.shards.len(), reference.shards.len());
-        for (k, s) in &snap.shards {
-            assert_eq!(s.hist, reference.shards[k].hist, "shard {k:?}");
+        assert_eq!(snap.shards.len(), ref_snap.shards.len());
+        for ((k, s), (rk, rs)) in snap.shards.iter().zip(&ref_snap.shards) {
+            assert_eq!(k, rk);
+            assert_eq!(s.hist, rs.hist, "shard {k:?}");
         }
     }
 

@@ -11,7 +11,9 @@
 //! estimated (sketches vs exact order statistics).
 
 use crate::sketch::{HeavyHitters, OnlineMoments, QuantileSketch};
-use pio_core::attribution::{attribute_data_tail, attribute_meta_tail, TailProfile, MODULI};
+use pio_core::attribution::{
+    attribute_data_tail, attribute_meta_tail, TailProfile, MODULI, TAIL_KINDS,
+};
 use pio_core::diagnosis::{
     deterioration_verdict, harmonic_verdict, metadata_shoulder_verdict, rank_tail_verdict,
     serialized_meta_verdict, shoulder_verdict, Finding, Thresholds,
@@ -158,6 +160,177 @@ impl ShardStats {
     }
 }
 
+/// Geometry and capacity knobs shared by every snapshot accumulator —
+/// the pipeline's workers, a fleet tenant, or a test harness. Two
+/// accumulators are mergeable exactly when they share one of these.
+#[derive(Debug, Clone)]
+pub struct SnapshotConfig {
+    /// Rank groups for shard keys (`rank % rank_groups`).
+    pub rank_groups: u32,
+    /// Duration geometry: lower bound, seconds.
+    pub hist_lo: f64,
+    /// Duration geometry: upper bound, seconds.
+    pub hist_hi: f64,
+    /// Duration geometry: bucket count.
+    pub hist_bins: usize,
+    /// Heavy-hitter sketch capacity (tracked ranks).
+    pub hitter_capacity: usize,
+    /// Writes strictly below this byte count feed the small-write
+    /// (metadata-storm) aggregate.
+    pub small_write_bytes: u64,
+    /// Stripe width for the per-target residue decomposition in the
+    /// tail profiles.
+    pub stripe_bytes: u64,
+}
+
+impl Default for SnapshotConfig {
+    fn default() -> Self {
+        let th = Thresholds::default();
+        SnapshotConfig {
+            rank_groups: 8,
+            hist_lo: 1e-6,
+            hist_hi: 1e3,
+            hist_bins: 96,
+            hitter_capacity: 16,
+            small_write_bytes: th.small_write_bytes,
+            stripe_bytes: th.stripe_bytes,
+        }
+    }
+}
+
+/// The sequential snapshot accumulator: one record stream in, an
+/// [`EnsembleSnapshot`] out, in `O(shards × bins)` memory. The pipeline's
+/// workers each own one; a fleet tenant owns one per job. Builders over
+/// the same [`SnapshotConfig`] merge freely through
+/// [`EnsembleSnapshot::merge`].
+#[derive(Debug, Clone)]
+pub struct SnapshotBuilder {
+    cfg: SnapshotConfig,
+    shards: HashMap<ShardKey, ShardStats>,
+    hitters: HeavyHitters,
+    profiles: HashMap<CallKind, TailProfile>,
+    small: SmallWriteAgg,
+    meta_secs: f64,
+    io_secs: f64,
+    ranks: u32,
+    ingested: u64,
+}
+
+impl SnapshotBuilder {
+    /// An empty builder over `cfg`'s geometry.
+    pub fn new(cfg: SnapshotConfig) -> Self {
+        SnapshotBuilder {
+            hitters: HeavyHitters::new(cfg.hitter_capacity),
+            small: SmallWriteAgg::new(cfg.hitter_capacity),
+            shards: HashMap::new(),
+            profiles: HashMap::new(),
+            meta_secs: 0.0,
+            io_secs: 0.0,
+            ranks: 0,
+            ingested: 0,
+            cfg,
+        }
+    }
+
+    /// Accumulate one record into every snapshot component.
+    pub fn accumulate(&mut self, r: &Record) {
+        let key = ShardKey {
+            kind: r.call,
+            group: r.rank % self.cfg.rank_groups.max(1),
+            phase: r.phase,
+        };
+        self.shards
+            .entry(key)
+            .or_insert_with(|| {
+                ShardStats::new(self.cfg.hist_lo, self.cfg.hist_hi, self.cfg.hist_bins)
+            })
+            .accumulate(r);
+        let secs = r.secs();
+        if matches!(r.call, CallKind::MetaRead | CallKind::MetaWrite) {
+            self.hitters.add(r.rank, secs);
+            self.meta_secs += secs;
+        }
+        if r.call.is_io() {
+            self.io_secs += secs;
+        }
+        if TAIL_KINDS.contains(&r.call) {
+            self.profiles
+                .entry(r.call)
+                .or_insert_with(|| TailProfile::new(self.cfg.stripe_bytes))
+                .add(r.rank, r.offset, secs);
+        }
+        self.small.accumulate(r, self.cfg.small_write_bytes);
+        self.ranks = self.ranks.max(r.rank + 1);
+        self.ingested += 1;
+    }
+
+    /// Records accumulated so far.
+    pub fn ingested(&self) -> u64 {
+        self.ingested
+    }
+
+    /// The geometry this builder accumulates under.
+    pub fn config(&self) -> &SnapshotConfig {
+        &self.cfg
+    }
+
+    /// Rough resident size in bytes — the budget-enforcement currency.
+    /// `O(shards)` to compute; bounded by shards × bins, never by the
+    /// record count (see the bounded-memory tests).
+    pub fn approx_bytes(&self) -> usize {
+        self.shards
+            .values()
+            .map(|s| {
+                std::mem::size_of::<(ShardKey, ShardStats)>()
+                    + s.hist.bins() * std::mem::size_of::<u64>()
+                    + s.sketch.geometry().bins()
+                        * (std::mem::size_of::<u64>() + std::mem::size_of::<f64>())
+            })
+            .sum::<usize>()
+            + self.hitters.top().len() * std::mem::size_of::<(u32, f64, u64)>()
+            + self
+                .profiles
+                .values()
+                .map(|p| {
+                    let bins = pio_core::attribution::TAIL_HIST_BINS;
+                    p.ranks_observed() * (bins + 2) * std::mem::size_of::<u64>()
+                        + MODULI.iter().sum::<usize>() * bins * std::mem::size_of::<u64>()
+                })
+                .sum::<usize>()
+    }
+
+    /// Snapshot the current state (cloning the shard maps); `dropped` is
+    /// the caller's shed-record count for this stream.
+    pub fn snapshot(&self, dropped: u64) -> EnsembleSnapshot {
+        EnsembleSnapshot::assemble(
+            vec![self.shards.clone()],
+            self.hitters.clone(),
+            self.meta_secs,
+            self.io_secs,
+            self.ranks,
+            self.ingested,
+            dropped,
+            vec![self.profiles.clone()],
+            self.small.clone(),
+        )
+    }
+
+    /// Consume the builder into its final snapshot without cloning.
+    pub fn into_snapshot(self, dropped: u64) -> EnsembleSnapshot {
+        EnsembleSnapshot::assemble(
+            vec![self.shards],
+            self.hitters,
+            self.meta_secs,
+            self.io_secs,
+            self.ranks,
+            self.ingested,
+            dropped,
+            vec![self.profiles],
+            self.small,
+        )
+    }
+}
+
 /// The merged, order-independent view of everything ingested so far.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EnsembleSnapshot {
@@ -233,6 +406,84 @@ impl EnsembleSnapshot {
             profiles,
             small,
         }
+    }
+
+    /// An empty snapshot over `cfg`'s capacities — the identity of
+    /// [`EnsembleSnapshot::merge`].
+    pub fn empty(cfg: &SnapshotConfig) -> Self {
+        EnsembleSnapshot::assemble(
+            Vec::new(),
+            HeavyHitters::new(cfg.hitter_capacity),
+            0.0,
+            0.0,
+            0,
+            0,
+            0,
+            Vec::new(),
+            SmallWriteAgg::new(cfg.hitter_capacity),
+        )
+    }
+
+    /// No records were ingested (a zero-record stream; dropped records
+    /// may still have been counted).
+    pub fn is_empty(&self) -> bool {
+        self.ingested == 0
+    }
+
+    /// Merge another snapshot into this one — the fleet roll-up law.
+    ///
+    /// Equivalent to having accumulated both record streams into one
+    /// snapshot: exact fields (histograms, counts, bytes) are
+    /// order-independent outright; f64 accumulators merge in call order,
+    /// so a roll-up that folds snapshots in a canonical order (e.g.
+    /// sorted by job id) is bit-deterministic. Both snapshots must share
+    /// one [`SnapshotConfig`] geometry. `ranks` merges as a maximum:
+    /// tenants each number their ranks from zero, so the roll-up's rank
+    /// count is the widest job, not a sum.
+    pub fn merge(&mut self, other: &EnsembleSnapshot) {
+        let key = |k: &ShardKey| (k.kind as u8, k.group, k.phase);
+        let mut merged = Vec::with_capacity(self.shards.len().max(other.shards.len()));
+        let mut a = std::mem::take(&mut self.shards).into_iter().peekable();
+        let mut b = other.shards.iter().peekable();
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some((ka, _)), Some((kb, _))) => match key(ka).cmp(&key(kb)) {
+                    std::cmp::Ordering::Less => merged.push(a.next().expect("peeked")),
+                    std::cmp::Ordering::Greater => {
+                        let (k, s) = b.next().expect("peeked");
+                        merged.push((*k, s.clone()));
+                    }
+                    std::cmp::Ordering::Equal => {
+                        let (k, mut s) = a.next().expect("peeked");
+                        s.merge(&b.next().expect("peeked").1);
+                        merged.push((k, s));
+                    }
+                },
+                (Some(_), None) => merged.push(a.next().expect("peeked")),
+                (None, Some(_)) => {
+                    let (k, s) = b.next().expect("peeked");
+                    merged.push((*k, s.clone()));
+                }
+                (None, None) => break,
+            }
+        }
+        self.shards = merged;
+        let mut profiles = std::mem::take(&mut self.profiles);
+        for (k, p) in &other.profiles {
+            match profiles.iter_mut().find(|(pk, _)| pk == k) {
+                Some((_, mine)) => mine.merge(p),
+                None => profiles.push((*k, p.clone())),
+            }
+        }
+        profiles.sort_by_key(|(k, _)| *k as u8);
+        self.profiles = profiles;
+        self.meta_hitters.merge(&other.meta_hitters);
+        self.small.merge(&other.small);
+        self.meta_secs += other.meta_secs;
+        self.io_secs += other.io_secs;
+        self.ranks = self.ranks.max(other.ranks);
+        self.ingested += other.ingested;
+        self.dropped += other.dropped;
     }
 
     /// The tail profile of one call class, if any records were profiled.
@@ -618,6 +869,194 @@ mod tests {
                 assert!(*metadata);
             }
             other => panic!("expected serialized rank, got {other:?} in {findings:?}"),
+        }
+    }
+
+    fn build(records: &[Record]) -> SnapshotBuilder {
+        let mut b = SnapshotBuilder::new(SnapshotConfig::default());
+        for r in records {
+            b.accumulate(r);
+        }
+        b
+    }
+
+    /// Canonical roll-up: fold per-job snapshots in job-id order — the
+    /// fleet's merge discipline.
+    fn rollup(jobs: &[(u64, EnsembleSnapshot)]) -> EnsembleSnapshot {
+        let mut sorted: Vec<&(u64, EnsembleSnapshot)> = jobs.iter().collect();
+        sorted.sort_by_key(|(id, _)| *id);
+        let mut acc = EnsembleSnapshot::empty(&SnapshotConfig::default());
+        for (_, s) in sorted {
+            acc.merge(s);
+        }
+        acc
+    }
+
+    #[test]
+    fn builder_snapshot_matches_assemble_reference() {
+        let recs: Vec<Record> = (0..600u32)
+            .map(|i| {
+                rec(
+                    i % 16,
+                    CallKind::ALL[(i % 12) as usize],
+                    (i as u64 % 5) << 18,
+                    1e-3 * (1 + i % 311) as f64,
+                    i / 150,
+                )
+            })
+            .collect();
+        let snap = build(&recs).into_snapshot(0);
+        assert_eq!(snap.ingested, 600);
+        assert_eq!(snap.ranks, 16);
+        // The pipeline's workers use the same builder, so sequential
+        // accumulation and the concurrent path share one code path now;
+        // spot-check a merged kind against a fresh reference builder.
+        let reference = build(&recs).snapshot(0);
+        assert_eq!(snap, reference);
+    }
+
+    #[test]
+    fn snapshot_merge_equals_union() {
+        let recs: Vec<Record> = (0..900u32)
+            .map(|i| {
+                rec(
+                    i % 24,
+                    CallKind::ALL[(i % 12) as usize],
+                    1 << 18,
+                    1e-3 * (1 + i % 97) as f64,
+                    i / 300,
+                )
+            })
+            .collect();
+        let whole = build(&recs).into_snapshot(0);
+        let (a, b) = recs.split_at(411);
+        let mut merged = build(a).into_snapshot(0);
+        merged.merge(&build(b).into_snapshot(0));
+        // Exact components are bit-identical; f64 accumulators agree to
+        // rounding (different grouping of the same sums).
+        assert_eq!(merged.ingested, whole.ingested);
+        assert_eq!(merged.ranks, whole.ranks);
+        assert_eq!(merged.shards.len(), whole.shards.len());
+        for ((ka, sa), (kb, sb)) in merged.shards.iter().zip(&whole.shards) {
+            assert_eq!(ka, kb);
+            assert_eq!(sa.hist, sb.hist);
+            assert_eq!(sa.ops, sb.ops);
+            assert_eq!(sa.bytes, sb.bytes);
+            assert!((sa.secs - sb.secs).abs() <= 1e-9 * sb.secs.abs().max(1.0));
+        }
+        assert!((merged.meta_secs - whole.meta_secs).abs() < 1e-9);
+        assert!((merged.io_secs - whole.io_secs).abs() < 1e-9);
+        assert_eq!(merged.small.ops, whole.small.ops);
+    }
+
+    #[test]
+    fn empty_snapshot_is_merge_identity() {
+        let recs: Vec<Record> = (0..300u32)
+            .map(|i| {
+                rec(
+                    i % 8,
+                    CallKind::Read,
+                    1 << 20,
+                    0.01 * (1 + i % 40) as f64,
+                    0,
+                )
+            })
+            .collect();
+        let snap = build(&recs).into_snapshot(3);
+        let mut left = EnsembleSnapshot::empty(&SnapshotConfig::default());
+        left.merge(&snap);
+        assert_eq!(left, snap);
+        let mut right = snap.clone();
+        right.merge(&EnsembleSnapshot::empty(&SnapshotConfig::default()));
+        assert_eq!(right, snap);
+        assert!(EnsembleSnapshot::empty(&SnapshotConfig::default()).is_empty());
+        assert!(!snap.is_empty());
+    }
+
+    mod rollup_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Deterministic per-job record streams: job `j` gets `len`
+        /// records shaped by the generator parameters.
+        fn job_records(j: u64, len: usize) -> Vec<Record> {
+            (0..len as u64)
+                .map(|i| {
+                    let x = i
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(j * 97 + 13);
+                    rec(
+                        (x % 24) as u32,
+                        CallKind::ALL[(x % 12) as usize],
+                        ((x >> 8) % 5) << 18,
+                        1e-4 * (1 + (x >> 16) % 4001) as f64,
+                        ((x >> 32) % 4) as u32,
+                    )
+                })
+                .collect()
+        }
+
+        /// Fisher–Yates with an inline LCG: a deterministic permutation
+        /// of the job list from one u64.
+        fn permute<T>(items: &mut [T], mut seed: u64) {
+            for i in (1..items.len()).rev() {
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                items.swap(i, (seed >> 33) as usize % (i + 1));
+            }
+        }
+
+        proptest! {
+            /// Satellite: fleet roll-up merges of per-job snapshots are
+            /// order-invariant — the canonical (job-id-sorted) fold is
+            /// bit-identical no matter how the snapshots were supplied.
+            #[test]
+            fn rollup_is_supply_order_invariant(
+                n_jobs in 2usize..7,
+                lens in proptest::collection::vec(1usize..120, 6),
+                perm_seed in 0u64..u64::MAX,
+            ) {
+                let mut jobs: Vec<(u64, EnsembleSnapshot)> = (0..n_jobs)
+                    .map(|j| {
+                        let recs = job_records(j as u64, lens[j % lens.len()]);
+                        (j as u64, build(&recs).into_snapshot(0))
+                    })
+                    .collect();
+                let canonical = rollup(&jobs);
+                permute(&mut jobs, perm_seed);
+                prop_assert_eq!(rollup(&jobs), canonical);
+            }
+
+            /// Satellite: the roll-up is shard-count-invariant — splitting
+            /// one job's stream across any number of sub-accumulators and
+            /// merging leaves every exact component identical (and the
+            /// f64 accumulators equal to rounding).
+            #[test]
+            fn rollup_is_shard_count_invariant(
+                len in 50usize..400,
+                splits in 1usize..6,
+            ) {
+                let recs = job_records(7, len);
+                let whole = build(&recs).into_snapshot(0);
+                let chunk = len.div_ceil(splits);
+                let mut merged = EnsembleSnapshot::empty(&SnapshotConfig::default());
+                for part in recs.chunks(chunk) {
+                    merged.merge(&build(part).into_snapshot(0));
+                }
+                prop_assert_eq!(merged.ingested, whole.ingested);
+                prop_assert_eq!(merged.ranks, whole.ranks);
+                prop_assert_eq!(merged.shards.len(), whole.shards.len());
+                for ((ka, sa), (kb, sb)) in merged.shards.iter().zip(&whole.shards) {
+                    prop_assert_eq!(ka, kb);
+                    prop_assert_eq!(&sa.hist, &sb.hist);
+                    prop_assert_eq!(sa.ops, sb.ops);
+                    prop_assert_eq!(sa.bytes, sb.bytes);
+                    prop_assert!((sa.secs - sb.secs).abs() <= 1e-9 * sb.secs.abs().max(1.0));
+                }
+                prop_assert_eq!(merged.small.ops, whole.small.ops);
+                prop_assert!((merged.meta_secs - whole.meta_secs).abs() < 1e-9);
+            }
         }
     }
 

@@ -16,11 +16,11 @@
 //!   one [`RunReport`] per run, buffered or streaming, serial or
 //!   parallel, with optional deterministic fault injection.
 
+pub mod fleet;
 pub mod program;
 pub mod runner;
 pub mod world;
 
+pub use fleet::{run_fleet, FleetJob, FleetRun};
 pub use program::{FileSpec, Job, Op, Program, ProgramBuilder};
-#[allow(deprecated)]
-pub use runner::{run, run_ensemble, run_ensemble_parallel, run_streaming};
-pub use runner::{MpiConfig, RunConfig, RunError, RunReport, RunResult, Runner, StreamRunResult};
+pub use runner::{MpiConfig, RunConfig, RunError, RunReport, Runner};

@@ -13,9 +13,6 @@
 //!     .execute()?;
 //! # Ok::<(), pio_mpi::RunError>(())
 //! ```
-//!
-//! The historical free functions (`run`, `run_streaming`, `run_ensemble`,
-//! `run_ensemble_parallel`) survive as thin deprecated wrappers.
 
 use crate::program::Job;
 use crate::world::MpiWorld;
@@ -408,126 +405,6 @@ fn execute_parallel(
         .collect()
 }
 
-/// The outcome of a run under the deprecated [`run`] entry point.
-#[derive(Debug)]
-pub struct RunResult {
-    /// The captured IPM-I/O trace.
-    pub trace: Trace,
-    /// File-system statistics.
-    pub stats: FsStats,
-    /// Extent-lock statistics.
-    pub lock_stats: LockStats,
-    /// Resource-utilization breakdown at run end.
-    pub util: UtilizationReport,
-    /// Events processed by the engine.
-    pub events: u64,
-    /// Virtual end time of the run.
-    pub end: SimTime,
-}
-
-impl RunResult {
-    /// Wall-clock of the run in seconds.
-    pub fn wall_secs(&self) -> f64 {
-        self.end.as_secs_f64()
-    }
-}
-
-/// The outcome of a run under the deprecated [`run_streaming`] entry
-/// point: everything in [`RunResult`] except the trace, which went to
-/// the caller's sink instead of memory.
-#[derive(Debug)]
-pub struct StreamRunResult {
-    /// Trace metadata (the records themselves went to the sink).
-    pub meta: TraceMeta,
-    /// File-system statistics.
-    pub stats: FsStats,
-    /// Extent-lock statistics.
-    pub lock_stats: LockStats,
-    /// Resource-utilization breakdown at run end.
-    pub util: UtilizationReport,
-    /// Events processed by the engine.
-    pub events: u64,
-    /// Virtual end time of the run.
-    pub end: SimTime,
-}
-
-/// Execute `job` under `cfg`.
-#[deprecated(note = "use Runner::new(job, cfg.clone()).execute_one()")]
-pub fn run(job: &Job, cfg: &RunConfig) -> Result<RunResult, RunError> {
-    let report = Runner::new(job, cfg.clone()).execute_one()?;
-    let RunReport {
-        trace,
-        stats,
-        lock_stats,
-        util,
-        events,
-        end,
-        ..
-    } = report;
-    Ok(RunResult {
-        trace: trace.expect("buffered run has a trace"),
-        stats,
-        lock_stats,
-        util,
-        events,
-        end,
-    })
-}
-
-/// Execute `job` under `cfg`, streaming records into `sink`.
-#[deprecated(note = "use Runner::new(job, cfg.clone()).sink(sink).execute_one()")]
-pub fn run_streaming(
-    job: &Job,
-    cfg: &RunConfig,
-    sink: &mut dyn RecordSink,
-) -> Result<StreamRunResult, RunError> {
-    let report = Runner::new(job, cfg.clone()).sink(sink).execute_one()?;
-    let RunReport {
-        meta,
-        stats,
-        lock_stats,
-        util,
-        events,
-        end,
-        ..
-    } = report;
-    Ok(StreamRunResult {
-        meta,
-        stats,
-        lock_stats,
-        util,
-        events,
-        end,
-    })
-}
-
-/// Run the same experiment with several seeds, one trace per run.
-#[deprecated(note = "use Runner::new(job, base.clone()).seeds(seeds).execute()")]
-pub fn run_ensemble(job: &Job, base: &RunConfig, seeds: &[u64]) -> Result<Vec<Trace>, RunError> {
-    Ok(Runner::new(job, base.clone())
-        .seeds(seeds)
-        .execute()?
-        .into_iter()
-        .map(RunReport::into_trace)
-        .collect())
-}
-
-/// [`run_ensemble`] with one OS thread per run.
-#[deprecated(note = "use Runner::new(job, base.clone()).seeds(seeds).threads(n).execute()")]
-pub fn run_ensemble_parallel(
-    job: &Job,
-    base: &RunConfig,
-    seeds: &[u64],
-) -> Result<Vec<Trace>, RunError> {
-    Ok(Runner::new(job, base.clone())
-        .seeds(seeds)
-        .threads(seeds.len().max(1))
-        .execute()?
-        .into_iter()
-        .map(RunReport::into_trace)
-        .collect())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -829,33 +706,6 @@ mod tests {
             .execute_one()
             .unwrap_err();
         assert!(matches!(err, RunError::Config(_)), "{err}");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_runner() {
-        let job = simple_job(4, 2);
-        let new = go(&job, cfg(13));
-        let old = run(&job, &cfg(13)).unwrap();
-        assert_eq!(old.trace.records, new.trace().records);
-        assert_eq!(old.lock_stats, new.lock_stats);
-        assert_eq!(old.end, new.end);
-        assert_eq!(old.wall_secs(), new.wall_secs());
-
-        let seeds = [3u64, 4];
-        let ens = run_ensemble(&job, &cfg(0), &seeds).unwrap();
-        let par = run_ensemble_parallel(&job, &cfg(0), &seeds).unwrap();
-        let via_runner = Runner::new(&job, cfg(0)).seeds(&seeds).execute().unwrap();
-        for ((a, b), c) in ens.iter().zip(&par).zip(&via_runner) {
-            assert_eq!(a.records, b.records);
-            assert_eq!(a.records, c.trace().records);
-        }
-
-        let mut collected = Trace::new(new.meta.clone());
-        let streamed = run_streaming(&job, &cfg(13), &mut collected).unwrap();
-        collected.sort_by_start();
-        assert_eq!(collected.records, new.trace().records);
-        assert_eq!(streamed.meta, new.meta);
     }
 
     #[test]

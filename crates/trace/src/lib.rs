@@ -40,5 +40,5 @@ pub use io::TraceFormat;
 pub use profile::OnlineProfile;
 pub use ptb::{PtbBlockReader, PtbWriter};
 pub use record::{CallKind, Record};
-pub use sink::{NullSink, RecordSink, Tee};
+pub use sink::{Demux, NullSink, RecordSink, Tee};
 pub use trace::{Trace, TraceMeta};

@@ -71,6 +71,59 @@ impl<A: RecordSink, B: RecordSink> RecordSink for Tee<A, B> {
     }
 }
 
+/// Split one stream across several sinks by a per-record routing key —
+/// the demultiplexer for multi-tenant streams (e.g. one merged capture
+/// stream fanned back out to per-job consumers, or per-rank-range
+/// splitting of a shared stream). `route` maps a record to a sink index
+/// (clamped into range); phase boundaries and end-of-stream are
+/// broadcast to every sink, since they are stream-wide events.
+pub struct Demux<S, F> {
+    sinks: Vec<S>,
+    route: F,
+}
+
+impl<S: RecordSink, F: FnMut(&Record) -> usize> Demux<S, F> {
+    /// A demux over `sinks` (must be non-empty) routed by `route`.
+    pub fn new(sinks: Vec<S>, route: F) -> Self {
+        assert!(!sinks.is_empty(), "demux needs at least one sink");
+        Demux { sinks, route }
+    }
+
+    /// The routed sinks, back (e.g. to collect per-tenant results).
+    pub fn into_sinks(self) -> Vec<S> {
+        self.sinks
+    }
+
+    /// Routed sink count.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Always false: construction requires at least one sink.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl<S: RecordSink, F: FnMut(&Record) -> usize> RecordSink for Demux<S, F> {
+    fn push(&mut self, r: &Record) {
+        let i = (self.route)(r).min(self.sinks.len() - 1);
+        self.sinks[i].push(r);
+    }
+
+    fn phase_end(&mut self, phase: u32) {
+        for s in &mut self.sinks {
+            s.phase_end(phase);
+        }
+    }
+
+    fn finish(&mut self) {
+        for s in &mut self.sinks {
+            s.finish();
+        }
+    }
+}
+
 impl<S: RecordSink + ?Sized> RecordSink for &mut S {
     fn push(&mut self, r: &Record) {
         (**self).push(r);
@@ -144,5 +197,45 @@ mod tests {
         let mut sink = NullSink;
         sink.push(&rec(0));
         sink.finish();
+    }
+
+    #[test]
+    fn demux_routes_records_and_broadcasts_boundaries() {
+        let meta = |name: &str| TraceMeta {
+            experiment: name.into(),
+            platform: "test".into(),
+            ranks: 8,
+            seed: 0,
+        };
+        let sinks = vec![Trace::new(meta("a")), Trace::new(meta("b"))];
+        let mut demux = Demux::new(sinks, |r: &Record| (r.rank / 4) as usize);
+        for i in 0..8 {
+            demux.push(&rec(i));
+        }
+        demux.phase_end(0);
+        demux.finish();
+        let traces = demux.into_sinks();
+        assert_eq!(traces[0].records.len(), 4);
+        assert_eq!(traces[1].records.len(), 4);
+        assert!(traces[0].records.iter().all(|r| r.rank < 4));
+        assert!(traces[1].records.iter().all(|r| r.rank >= 4));
+    }
+
+    #[test]
+    fn demux_clamps_out_of_range_routes() {
+        let mut demux = Demux::new(
+            vec![Trace::new(TraceMeta {
+                experiment: "only".into(),
+                platform: "test".into(),
+                ranks: 4,
+                seed: 0,
+            })],
+            |r: &Record| r.rank as usize * 100,
+        );
+        for i in 0..4 {
+            demux.push(&rec(i));
+        }
+        assert_eq!(demux.len(), 1);
+        assert_eq!(demux.into_sinks()[0].records.len(), 4);
     }
 }

@@ -1,0 +1,146 @@
+//! Rendering for the fleet service: the machine-wide roll-up, the
+//! per-tenant verdict table, and the cross-job interference view.
+
+use crate::snapshot::snapshot_panel;
+use pio_ingest::shard::EnsembleSnapshot;
+use std::fmt::Write as _;
+
+/// One tenant row of the fleet panel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetJobRow {
+    /// Tenant label.
+    pub name: String,
+    /// Records the service ingested for this tenant.
+    pub records: u64,
+    /// Records shed (budget or transport).
+    pub shed: u64,
+    /// Tenant was frozen by its memory budget.
+    pub frozen: bool,
+    /// Attributed fault class name, `None` for a clean tenant.
+    pub verdict: Option<String>,
+    /// The tenant's slowest operation (seconds), 0 when idle.
+    pub slowest_s: f64,
+}
+
+/// One contended-target row of the fleet panel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OstContentionRow {
+    /// The shared object storage target.
+    pub ost: usize,
+    /// `(tenant name, severity)` for every tenant slow on it.
+    pub jobs: Vec<(String, f64)>,
+}
+
+/// Render the fleet roll-up panel: the merged machine-wide ensemble
+/// snapshot, one row per tenant (records, sheds, verdict, slowest op),
+/// and the interference view naming jobs that contend on the same OST.
+/// `width` is the histogram bar width of the embedded snapshot panel.
+pub fn fleet_panel(
+    machine: &EnsembleSnapshot,
+    jobs: &[FleetJobRow],
+    contention: &[OstContentionRow],
+    width: usize,
+) -> String {
+    let mut out = String::new();
+    let faulted = jobs.iter().filter(|j| j.verdict.is_some()).count();
+    let _ = writeln!(
+        out,
+        "# fleet: {} jobs ({} attributed, {} clean)\n",
+        jobs.len(),
+        faulted,
+        jobs.len() - faulted
+    );
+    out.push_str("## machine roll-up\n");
+    out.push_str(&snapshot_panel(machine, width));
+    out.push_str("\n## jobs\n");
+    let _ = writeln!(
+        out,
+        "{:<28} {:>10} {:>8} {:>7} {:>10}  verdict",
+        "job", "records", "shed", "frozen", "slowest(s)"
+    );
+    for j in jobs {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>10} {:>8} {:>7} {:>10.4}  {}",
+            j.name,
+            j.records,
+            j.shed,
+            if j.frozen { "yes" } else { "-" },
+            j.slowest_s,
+            j.verdict.as_deref().unwrap_or("clean"),
+        );
+    }
+    out.push_str("\n## interference\n");
+    if contention.is_empty() {
+        out.push_str("no shared-target contention: no OST is slow for two or more jobs\n");
+    } else {
+        for row in contention {
+            let jobs = row
+                .jobs
+                .iter()
+                .map(|(name, sev)| format!("{name} ({sev:.1}x)"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(out, "OST {:>3} contended by: {}", row.ost, jobs);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pio_ingest::shard::SnapshotConfig;
+
+    fn rows() -> Vec<FleetJobRow> {
+        vec![
+            FleetJobRow {
+                name: "job-00-slow-ost".into(),
+                records: 1000,
+                shed: 0,
+                frozen: false,
+                verdict: Some("slow-ost".into()),
+                slowest_s: 1.25,
+            },
+            FleetJobRow {
+                name: "job-01-paced-read".into(),
+                records: 800,
+                shed: 12,
+                frozen: true,
+                verdict: None,
+                slowest_s: 0.02,
+            },
+        ]
+    }
+
+    #[test]
+    fn panel_names_jobs_verdicts_and_contention() {
+        let machine = EnsembleSnapshot::empty(&SnapshotConfig::default());
+        let contention = vec![OstContentionRow {
+            ost: 1,
+            jobs: vec![
+                ("job-00-slow-ost".into(), 7.9),
+                ("job-05-slow-ost".into(), 8.2),
+            ],
+        }];
+        let text = fleet_panel(&machine, &rows(), &contention, 30);
+        assert!(
+            text.contains("fleet: 2 jobs (1 attributed, 1 clean)"),
+            "{text}"
+        );
+        assert!(text.contains("job-00-slow-ost"));
+        assert!(text.contains("slow-ost"));
+        assert!(text.contains("clean"));
+        assert!(
+            text.contains("OST   1 contended by: job-00-slow-ost (7.9x), job-05-slow-ost (8.2x)")
+        );
+    }
+
+    #[test]
+    fn quiet_fleet_renders_no_contention() {
+        let machine = EnsembleSnapshot::empty(&SnapshotConfig::default());
+        let text = fleet_panel(&machine, &[], &[], 20);
+        assert!(text.contains("fleet: 0 jobs"));
+        assert!(text.contains("no shared-target contention"));
+    }
+}

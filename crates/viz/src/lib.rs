@@ -8,7 +8,9 @@
 
 pub mod ascii;
 pub mod csv;
+pub mod fleet;
 pub mod snapshot;
 
 pub use ascii::{histogram_text, rate_curve_text, trace_diagram};
+pub use fleet::{fleet_panel, FleetJobRow, OstContentionRow};
 pub use snapshot::{findings_text, snapshot_panel};

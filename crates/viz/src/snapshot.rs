@@ -13,6 +13,14 @@ use std::fmt::Write as _;
 /// call class. `width` is the histogram bar width.
 pub fn snapshot_panel(snap: &EnsembleSnapshot, width: usize) -> String {
     assert!(width > 0);
+    if snap.is_empty() {
+        // A zero-record stream is a clean outcome, not an error: say so
+        // instead of rendering an all-zero table the detectors never saw.
+        return format!(
+            "# ensemble snapshot: no data ({} records dropped)\nverdict: no data — nothing to diagnose\n",
+            snap.dropped
+        );
+    }
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -175,6 +183,18 @@ mod tests {
         assert!(text.contains("read"));
         assert!(text.contains("write durations"));
         assert!(text.contains('#'));
+    }
+
+    #[test]
+    fn zero_record_snapshot_renders_a_no_data_verdict() {
+        let snap = pio_ingest::shard::EnsembleSnapshot::empty(
+            &pio_ingest::shard::SnapshotConfig::default(),
+        );
+        let text = snapshot_panel(&snap, 30);
+        assert!(text.contains("no data"), "{text}");
+        assert!(text.contains("nothing to diagnose"), "{text}");
+        // No table header, no spurious findings.
+        assert!(!text.contains("p99"), "{text}");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 pub use pio_core as stats;
 pub use pio_des as des;
 pub use pio_fault as fault;
+pub use pio_fleetd as fleetd;
 pub use pio_fs as fs;
 pub use pio_h5 as h5;
 pub use pio_ingest as ingest;
