@@ -111,9 +111,9 @@ fn shard_maps(shards: usize) -> Vec<HashMap<ShardKey, ShardStats>> {
         .collect()
 }
 
-/// Parse throughput of the three trace readers over the same records:
-/// the serde_json-per-line baseline, the hand-rolled JSONL fast path,
-/// and the binary ptb block reader.
+/// Parse throughput of the trace readers over the same records: the
+/// serde_json-per-line baseline, the hand-rolled JSONL fast path, and
+/// the binary ptb / ptb2 block readers.
 fn bench_parse_formats(c: &mut Criterion) {
     let meta = TraceMeta {
         experiment: "bench".into(),
@@ -129,6 +129,8 @@ fn bench_parse_formats(c: &mut Criterion) {
     pio_trace::io::write_jsonl(&trace, &mut jsonl).unwrap();
     let mut ptb = Vec::new();
     pio_trace::ptb::write_ptb(&trace, &mut ptb).unwrap();
+    let mut ptb2 = Vec::new();
+    pio_trace::ptb2::write_ptb2(&trace, &mut ptb2).unwrap();
 
     let mut group = c.benchmark_group("ingest/parse_50k");
     group.bench_function("jsonl_serde_baseline", |b| {
@@ -155,6 +157,14 @@ fn bench_parse_formats(c: &mut Criterion) {
         b.iter(|| {
             let mut sink = pio_trace::NullSink;
             pio_ingest::stream_ptb(std::io::Cursor::new(black_box(&ptb[..])), &mut sink)
+                .unwrap()
+                .1
+        })
+    });
+    group.bench_function("ptb2", |b| {
+        b.iter(|| {
+            let mut sink = pio_trace::NullSink;
+            pio_ingest::stream_ptb2(std::io::Cursor::new(black_box(&ptb2[..])), &mut sink)
                 .unwrap()
                 .1
         })

@@ -1,10 +1,11 @@
 //! Offline trace analysis — the tool a user points at a saved IPM-I/O
-//! trace (JSONL or binary ptb, as written by `pio_trace::io` or any
-//! conforming producer) to get the paper's full ensemble treatment
-//! without re-running anything. The input format is sniffed from the
-//! file's bytes; `--format jsonl|ptb` forces it.
+//! trace (JSONL, binary ptb, or columnar ptb2, as written by
+//! `pio_trace::io` or any conforming producer) to get the paper's full
+//! ensemble treatment without re-running anything. The input format is
+//! sniffed from the file's bytes via the `TraceCodec` registry;
+//! `--format jsonl|ptb|ptb2` forces it.
 //!
-//! Usage: `analyze <trace> [--stream] [--format jsonl|ptb] [--diagram] [--csv DIR]`
+//! Usage: `analyze <trace> [--stream] [--format jsonl|ptb|ptb2] [--diagram] [--csv DIR]`
 //!
 //! Prints the IPM summary, per-call-class ensemble statistics and modes,
 //! per-phase breakdown, and the bottleneck diagnosis; optionally the
@@ -21,6 +22,7 @@ use pio_core::loghist::LogHistogram;
 use pio_core::rates::write_rate_curve;
 use pio_core::report;
 use pio_ingest::{IngestConfig, IngestPipeline, StreamDiagnoser};
+use pio_trace::codec::codec_for;
 use pio_trace::phase::phase_summaries;
 use pio_trace::{io as trace_io, CallKind, Tee, TraceFormat};
 use pio_viz::ascii;
@@ -30,7 +32,9 @@ use std::path::PathBuf;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: analyze <trace> [--stream] [--format jsonl|ptb] [--diagram] [--csv DIR]");
+        eprintln!(
+            "usage: analyze <trace> [--stream] [--format jsonl|ptb|ptb2] [--diagram] [--csv DIR]"
+        );
         std::process::exit(2);
     };
     // Exits with status 2 on a malformed --format before any I/O.
@@ -47,11 +51,10 @@ fn main() {
         .map(PathBuf::from);
 
     let loaded = match forced_format {
-        Some(TraceFormat::Jsonl) => {
-            std::fs::File::open(path).and_then(|f| trace_io::read_jsonl(std::io::BufReader::new(f)))
-        }
-        Some(TraceFormat::Ptb) => std::fs::File::open(path)
-            .and_then(|f| pio_trace::ptb::read_ptb(std::io::BufReader::new(f))),
+        // A forced format bypasses sniffing (e.g. a trace behind a
+        // pipe-unfriendly name); mismatches fail with a parse error.
+        Some(format) => std::fs::File::open(path)
+            .and_then(|f| codec_for(format).read(&mut std::io::BufReader::new(f))),
         None => trace_io::load(std::path::Path::new(path)),
     };
     let trace = match loaded {
@@ -133,12 +136,10 @@ fn stream_analyze(path: &str, forced_format: Option<TraceFormat>) {
         let mut tee = Tee(&mut diagnoser, pipeline.sink());
         let p = std::path::Path::new(path);
         let streamed = match forced_format {
-            // Forced format bypasses sniffing (e.g. a ptb file behind a
+            // A forced format bypasses sniffing (e.g. a trace behind a
             // pipe-unfriendly name); mismatches fail with a parse error.
-            Some(TraceFormat::Jsonl) => std::fs::File::open(p)
-                .and_then(|f| pio_ingest::stream_jsonl(std::io::BufReader::new(f), &mut tee)),
-            Some(TraceFormat::Ptb) => std::fs::File::open(p)
-                .and_then(|f| pio_ingest::stream_ptb(std::io::BufReader::new(f), &mut tee)),
+            Some(format) => std::fs::File::open(p)
+                .and_then(|f| codec_for(format).stream(&mut std::io::BufReader::new(f), &mut tee)),
             None => pio_ingest::stream_file(p, &mut tee),
         };
         match streamed {

@@ -1,6 +1,7 @@
 //! Generate a sample trace file for `analyze` (also doubles as the
 //! save-path smoke test): a scaled IOR run saved as JSONL or, with
-//! `--format ptb` (or a `.ptb` output extension), the binary format.
+//! `--format ptb|ptb2` (or a `.ptb` / `.ptb2` output extension), one of
+//! the binary formats.
 use pio_bench::util::format_from_args;
 use pio_fs::FsConfig;
 use pio_mpi::{RunConfig, Runner};
@@ -13,13 +14,7 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .unwrap_or_else(|| "results/sample_trace.jsonl".into());
     let format = format_from_args().unwrap_or_else(|| {
-        match std::path::Path::new(&path)
-            .extension()
-            .and_then(|e| e.to_str())
-        {
-            Some("ptb") => TraceFormat::Ptb,
-            _ => TraceFormat::Jsonl,
-        }
+        TraceFormat::from_extension(std::path::Path::new(&path)).unwrap_or(TraceFormat::Jsonl)
     });
     let cfg = IorConfig {
         repetitions: 2,

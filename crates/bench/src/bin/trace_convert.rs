@@ -1,10 +1,11 @@
-//! Convert traces between JSONL and the binary ptb format.
+//! Convert traces between JSONL and the binary ptb / ptb2 formats.
 //!
-//! Usage: `trace_convert <in> <out> [--format jsonl|ptb] [--verify]`
+//! Usage: `trace_convert <in> <out> [--format jsonl|ptb|ptb2] [--verify]`
 //!
 //! The input format is sniffed from the file's bytes; the output format
 //! comes from `--format`, or failing that from the output extension
-//! (`.ptb` → ptb, anything else → JSONL). With `--verify`, the written
+//! (`.ptb` → ptb, `.ptb2` → ptb2, anything else → JSONL). With
+//! `--verify`, the written
 //! file is read back and checked record-for-record against the input —
 //! a full round-trip proof, not just a clean exit.
 
@@ -29,7 +30,7 @@ fn main() {
         }
     }
     let [input, output] = positional[..] else {
-        eprintln!("usage: trace_convert <in> <out> [--format jsonl|ptb] [--verify]");
+        eprintln!("usage: trace_convert <in> <out> [--format jsonl|ptb|ptb2] [--verify]");
         std::process::exit(2);
     };
     let verify = args.iter().any(|a| a == "--verify");
@@ -43,11 +44,8 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let out_format =
-        format_from_args().unwrap_or_else(|| match out_path.extension().and_then(|e| e.to_str()) {
-            Some("ptb") => TraceFormat::Ptb,
-            _ => TraceFormat::Jsonl,
-        });
+    let out_format = format_from_args()
+        .unwrap_or_else(|| TraceFormat::from_extension(out_path).unwrap_or(TraceFormat::Jsonl));
 
     let trace = match trace_io::load(in_path) {
         Ok(t) => t,

@@ -42,6 +42,22 @@ pub struct Metric {
     pub ops_per_sec: f64,
 }
 
+/// One on-disk size measurement (compression-trajectory key).
+#[derive(Debug, Clone, Serialize)]
+pub struct SizeMetric {
+    /// Stable scenario name (the trajectory key).
+    pub name: String,
+    /// Serialized size in bytes.
+    pub bytes: u64,
+    /// Records in the serialized trace.
+    pub records: u64,
+    /// Bytes per record.
+    pub bytes_per_record: f64,
+    /// How many times smaller than ptb v1 this encoding is (1.0 for
+    /// ptb v1 itself; < 1.0 means larger).
+    pub ratio_vs_ptb: f64,
+}
+
 /// The whole summary: every metric plus process-level peak memory.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchSummary {
@@ -49,6 +65,8 @@ pub struct BenchSummary {
     pub schema: String,
     /// Metrics in scenario order.
     pub metrics: Vec<Metric>,
+    /// On-disk encoding sizes for the 1M-record ingest trace.
+    pub sizes: Vec<SizeMetric>,
     /// Peak resident set size of this process, kilobytes (0 if unknown).
     pub peak_rss_kb: u64,
 }
@@ -303,17 +321,32 @@ pub fn run_all_with(reps: Option<u32>) -> BenchSummary {
     ));
 
     // Trace-plane parse throughput: the same 1M-record trace through
-    // the serde baseline, the fast JSONL scanner, and binary ptb. The
-    // trace itself is dropped before timing so only the serialized
-    // bytes stay resident.
-    let (jsonl_bytes, ptb_bytes) = {
+    // the serde baseline, the fast JSONL scanner, and the binary ptb /
+    // ptb2 block decoders. The trace itself is dropped before timing so
+    // only the serialized bytes stay resident.
+    let (jsonl_bytes, ptb_bytes, ptb2_bytes) = {
         let trace = ingest_trace(1_000_000);
         let mut jsonl = Vec::new();
         pio_trace::io::write_jsonl(&trace, &mut jsonl).expect("jsonl encode");
         let mut ptb = Vec::new();
         pio_trace::ptb::write_ptb(&trace, &mut ptb).expect("ptb encode");
-        (jsonl, ptb)
+        let mut ptb2 = Vec::new();
+        pio_trace::ptb2::write_ptb2(&trace, &mut ptb2).expect("ptb2 encode");
+        (jsonl, ptb, ptb2)
     };
+    let n_records = 1_000_000u64;
+    let size = |name: &str, bytes: &[u8]| SizeMetric {
+        name: name.to_string(),
+        bytes: bytes.len() as u64,
+        records: n_records,
+        bytes_per_record: bytes.len() as f64 / n_records as f64,
+        ratio_vs_ptb: ptb_bytes.len() as f64 / bytes.len() as f64,
+    };
+    let sizes = vec![
+        size("size/jsonl_1m", &jsonl_bytes),
+        size("size/ptb_1m", &ptb_bytes),
+        size("size/ptb2_1m", &ptb2_bytes),
+    ];
     metrics.push(measure(
         "ingest/parse_jsonl_serde_1m",
         "record",
@@ -334,6 +367,13 @@ pub fn run_all_with(reps: Option<u32>) -> BenchSummary {
         black_box(meta);
         n
     }));
+    metrics.push(measure("ingest/parse_ptb2_1m", "record", r(2), || {
+        let mut sink = NullSink;
+        let (meta, n) = pio_ingest::stream_ptb2(std::io::Cursor::new(&ptb2_bytes[..]), &mut sink)
+            .expect("ptb2 stream");
+        black_box(meta);
+        n
+    }));
 
     // Fleet-service ingest: end-to-end record throughput of the
     // multi-tenant diagnosis service (sketches + diagnoser + budgets).
@@ -343,8 +383,9 @@ pub fn run_all_with(reps: Option<u32>) -> BenchSummary {
     }));
 
     BenchSummary {
-        schema: "pio-bench/summary/v1".to_string(),
+        schema: "pio-bench/summary/v2".to_string(),
         metrics,
+        sizes,
         peak_rss_kb: peak_rss_kb(),
     }
 }
@@ -378,6 +419,20 @@ pub fn render(s: &BenchSummary) -> String {
             m.name, m.ops, m.ns_per_op, m.ops_per_sec
         );
     }
+    if !s.sizes.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<36} {:>12} {:>14} {:>16}",
+            "encoding", "bytes", "bytes/record", "vs ptb"
+        );
+        for z in &s.sizes {
+            let _ = writeln!(
+                out,
+                "{:<36} {:>12} {:>14.1} {:>15.2}x",
+                z.name, z.bytes, z.bytes_per_record, z.ratio_vs_ptb
+            );
+        }
+    }
     let _ = writeln!(out, "peak RSS: {} kB", s.peak_rss_kb);
     out
 }
@@ -401,13 +456,21 @@ mod tests {
     #[test]
     fn summary_serializes_with_schema() {
         let s = BenchSummary {
-            schema: "pio-bench/summary/v1".into(),
+            schema: "pio-bench/summary/v2".into(),
             metrics: vec![measure("a", "op", 1, || 1)],
+            sizes: vec![SizeMetric {
+                name: "size/x".into(),
+                bytes: 450,
+                records: 10,
+                bytes_per_record: 45.0,
+                ratio_vs_ptb: 1.0,
+            }],
             peak_rss_kb: peak_rss_kb(),
         };
         let json = serde_json::to_string(&s).unwrap();
-        assert!(json.contains("pio-bench/summary/v1"));
+        assert!(json.contains("pio-bench/summary/v2"));
         assert!(json.contains("ns_per_op"));
+        assert!(json.contains("ratio_vs_ptb"));
         assert!(!render(&s).is_empty());
     }
 }

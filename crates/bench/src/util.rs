@@ -132,7 +132,7 @@ pub fn named_fault_plan(name: &str) -> Result<FaultPlan, String> {
     Ok(plan)
 }
 
-/// Parse `--format jsonl|ptb` from argv; `None` when absent so callers
+/// Parse `--format jsonl|ptb|ptb2` from argv; `None` when absent so callers
 /// keep their own default (sniffing on input, JSONL on output).
 ///
 /// Like [`scale_from_args`], a malformed format name is an error (exit
@@ -144,7 +144,7 @@ pub fn format_from_args() -> Option<TraceFormat> {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: {} [--format jsonl|ptb]",
+                "usage: {} [--format jsonl|ptb|ptb2]",
                 args.first().map_or("bench", |a| a)
             );
             std::process::exit(2);
@@ -161,10 +161,9 @@ pub fn parse_format(args: &[String]) -> Result<Option<TraceFormat>, String> {
             let raw = args
                 .get(i + 1)
                 .ok_or_else(|| "--format requires a value".to_string())?;
-            format = Some(
-                TraceFormat::from_name(raw)
-                    .ok_or_else(|| format!("unknown --format {raw:?}: expected jsonl or ptb"))?,
-            );
+            format = Some(TraceFormat::from_name(raw).ok_or_else(|| {
+                format!("unknown --format {raw:?}: expected jsonl, ptb, or ptb2")
+            })?);
         }
     }
     Ok(format)
@@ -375,6 +374,10 @@ mod tests {
         assert_eq!(
             parse_format(&args(&["bench", "--format", "jsonl"])),
             Ok(Some(TraceFormat::Jsonl))
+        );
+        assert_eq!(
+            parse_format(&args(&["bench", "--format", "ptb2"])),
+            Ok(Some(TraceFormat::Ptb2))
         );
         // Last occurrence wins, matching --scale.
         assert_eq!(

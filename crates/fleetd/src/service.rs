@@ -404,6 +404,20 @@ impl FleetService {
         }
     }
 
+    /// Register `name` and stream an on-disk trace file into it — any
+    /// format the `TraceCodec` registry knows (JSONL, ptb, ptb2),
+    /// sniffed from the file's leading bytes. Phase boundaries flow
+    /// through to the tenant's diagnoser; end of file is end of stream.
+    /// Returns the trace metadata and the number of records ingested.
+    pub fn ingest_file(
+        &self,
+        name: &str,
+        path: &std::path::Path,
+    ) -> std::io::Result<(pio_trace::TraceMeta, u64)> {
+        let mut sink = self.register(name);
+        pio_ingest::stream_file(path, &mut sink)
+    }
+
     fn worker_of(&self, id: JobId) -> usize {
         (id as usize) % self.live.len()
     }
@@ -691,6 +705,42 @@ mod tests {
         let max = records.iter().map(Record::secs).fold(0.0f64, f64::max);
         assert_eq!(report.top_slow[0].secs, max);
         assert!(report.top_slow.windows(2).all(|w| w[0].secs >= w[1].secs));
+    }
+
+    #[test]
+    fn ingest_file_streams_any_codec_with_identical_reports() {
+        use pio_trace::io::TraceFormat;
+        let dir = std::env::temp_dir().join("pio_fleetd_ingest_file_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut trace = pio_trace::Trace::new(pio_trace::TraceMeta {
+            experiment: "fleet-file".into(),
+            platform: "test".into(),
+            ranks: 8,
+            seed: 11,
+        });
+        for r in stream(600, 8) {
+            trace.push(r);
+        }
+        let mut svc = FleetService::new(cfg(2));
+        for format in TraceFormat::ALL {
+            let path = dir.join(format!("job.{}", format.name()));
+            pio_trace::io::save_as(&trace, &path, format).unwrap();
+            let (meta, n) = svc.ingest_file(format.name(), &path).unwrap();
+            assert_eq!(meta, trace.meta);
+            assert_eq!(n, 600);
+            std::fs::remove_file(&path).ok();
+        }
+        svc.shutdown();
+        let reports = svc.reports();
+        assert_eq!(reports.len(), TraceFormat::ALL.len());
+        // The encoding must not leak into the diagnosis: every format's
+        // report carries the same snapshot, findings, and slow ops.
+        for r in &reports[1..] {
+            assert_eq!(r.ingested, reports[0].ingested);
+            assert_eq!(r.snapshot, reports[0].snapshot);
+            assert_eq!(r.findings, reports[0].findings);
+            assert_eq!(r.top_slow, reports[0].top_slow);
+        }
     }
 
     #[test]

@@ -23,11 +23,12 @@
 //!   incremental versions of the `pio-core` detectors over tumbling
 //!   windows and barrier boundaries, raising the paper's findings
 //!   mid-run through the same verdict functions as the batch path.
-//! * [`reader`] — incremental trace reading (JSONL via the hand-rolled
-//!   fast parser, binary ptb via the block reader, format sniffed from
-//!   the file): diagnose an on-disk trace in constant memory via any
+//! * [`reader`] — incremental trace reading through the `TraceCodec`
+//!   registry (JSONL via the hand-rolled fast parser, binary ptb / ptb2
+//!   via the block readers, format sniffed from the file): diagnose an
+//!   on-disk trace in constant memory via any
 //!   [`RecordSink`](pio_trace::RecordSink), or feed every pipeline
-//!   worker concurrently with [`reader::stream_ptb_parallel`].
+//!   worker concurrently with [`reader::stream_file_parallel`].
 //! * [`tenant`] — multi-stream accounting: a per-job
 //!   [`tenant::TenantMeter`] enforcing a resident-memory budget with
 //!   the pipeline's overflow-policy semantics, for fleet-style services
@@ -42,7 +43,9 @@ pub mod tenant;
 
 pub use diagnose::{DiagnoserConfig, StreamDiagnoser, TimedFinding};
 pub use pipeline::{IngestConfig, IngestPipeline, IngestSink, OverflowPolicy};
-pub use reader::{stream_file, stream_jsonl, stream_ptb, stream_ptb_parallel};
+pub use reader::{
+    stream_file, stream_file_parallel, stream_jsonl, stream_ptb, stream_ptb2, stream_ptb_parallel,
+};
 pub use shard::{EnsembleSnapshot, ShardKey, ShardStats, SnapshotBuilder, SnapshotConfig};
 pub use sketch::{HeavyHitters, OnlineMoments, QuantileSketch};
 pub use tenant::{Admission, TenantMeter};

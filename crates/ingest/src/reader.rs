@@ -1,70 +1,34 @@
-//! Incremental trace reading: one record (JSONL) or one block (ptb) in
-//! memory at a time.
+//! Incremental trace reading: one record (JSONL) or one block (ptb /
+//! ptb2) in memory at a time.
 //!
-//! [`stream_jsonl`] consumes the same on-disk format as
-//! `pio_trace::io::read_jsonl` (metadata line, then one record per line)
-//! but never materializes a [`Trace`](pio_trace::Trace): each record is
-//! parsed — through the hand-rolled scanner in `pio_trace::jsonl`, with
-//! `serde_json` as the strict fallback — and handed to a [`RecordSink`],
-//! so a multi-gigabyte trace can be diagnosed in constant memory.
-//! [`stream_ptb`] is the binary-format equivalent, decoding CRC-checked
-//! blocks out of reused buffers; [`stream_file`] sniffs the format from
-//! the file's leading bytes so callers need not care.
+//! All streaming goes through the [`TraceCodec`] registry in
+//! `pio_trace::codec`: each codec decodes incrementally into a
+//! [`RecordSink`] without ever materializing a
+//! [`Trace`](pio_trace::Trace), so a multi-gigabyte trace can be
+//! diagnosed in constant memory. [`stream_file`] sniffs the format from
+//! the file's leading bytes so callers need not care;
+//! [`stream_jsonl`] / [`stream_ptb`] / [`stream_ptb2`] pin a format for
+//! in-memory readers.
 //!
 //! Barrier boundaries are synthesized from the records' phase indices:
 //! when the stream advances from phase `p` to `p+1`, every phase up to
 //! `p` is complete and the sink's [`phase_end`](RecordSink::phase_end)
-//! fires for it.
+//! fires for it (see `pio_trace::codec::PhaseTracker`).
 //!
-//! [`stream_ptb_parallel`] feeds every worker of an
-//! [`IngestPipeline`] concurrently from one ptb
-//! file and still produces a bit-identical snapshot: each reader thread
-//! decodes the block stream independently and forwards only the records
-//! its worker owns (`rank % workers`), so every worker observes exactly
-//! the file-order subsequence it would have received from a single
-//! sequential producer — same records, same order, same f64
-//! accumulation order.
+//! [`stream_file_parallel`] feeds every worker of an [`IngestPipeline`]
+//! concurrently from one trace file and still produces a bit-identical
+//! snapshot: each reader thread decodes the stream independently and
+//! forwards only the records its worker owns (`rank % workers`), so
+//! every worker observes exactly the file-order subsequence it would
+//! have received from a single sequential producer — same records, same
+//! order, same f64 accumulation order.
 
 use crate::pipeline::IngestPipeline;
+use pio_trace::codec::{codec_for, sniff_codec, TraceCodec};
 use pio_trace::io::TraceFormat;
-use pio_trace::ptb::PtbBlockReader;
-use pio_trace::{Record, RecordSink, TraceMeta};
-use std::io::{BufRead, Read};
+use pio_trace::{RecordSink, TraceMeta};
+use std::io::{BufRead, BufReader, Read};
 use std::path::Path;
-
-/// Tracks phase progression and synthesizes `phase_end` events.
-struct PhaseTracker {
-    phase: u32,
-    saw_record: bool,
-}
-
-impl PhaseTracker {
-    fn new() -> Self {
-        PhaseTracker {
-            phase: 0,
-            saw_record: false,
-        }
-    }
-
-    fn on_record<S: RecordSink>(&mut self, rec: &Record, sink: &mut S) {
-        // The stream completes phases in order; a phase jump means every
-        // earlier phase has ended.
-        if self.saw_record && rec.phase > self.phase {
-            for p in self.phase..rec.phase {
-                sink.phase_end(p);
-            }
-        }
-        self.phase = self.phase.max(rec.phase);
-        self.saw_record = true;
-    }
-
-    fn finish<S: RecordSink>(&mut self, sink: &mut S) {
-        if self.saw_record {
-            sink.phase_end(self.phase);
-        }
-        sink.finish();
-    }
-}
 
 /// Stream a JSONL trace into `sink`. Returns the trace metadata and the
 /// number of records streamed. Calls `sink.finish()` at end of stream.
@@ -72,109 +36,112 @@ pub fn stream_jsonl<R: BufRead, S: RecordSink>(
     mut reader: R,
     sink: &mut S,
 ) -> std::io::Result<(TraceMeta, u64)> {
-    let mut buf = String::new();
-    if reader.read_line(&mut buf)? == 0 {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::UnexpectedEof,
-            "empty trace stream",
-        ));
-    }
-    let meta: TraceMeta = serde_json::from_str(buf.trim_end())?;
-    let mut count = 0u64;
-    let mut phases = PhaseTracker::new();
-    loop {
-        buf.clear();
-        if reader.read_line(&mut buf)? == 0 {
-            break;
-        }
-        let line = buf.trim();
-        if line.is_empty() {
-            continue;
-        }
-        let rec = pio_trace::jsonl::parse_record(line)?;
-        phases.on_record(&rec, sink);
-        sink.push(&rec);
-        count += 1;
-    }
-    phases.finish(sink);
-    Ok((meta, count))
+    codec_for(TraceFormat::Jsonl).stream(&mut reader, sink)
 }
 
-/// Stream a binary ptb trace into `sink` (same contract as
+/// Stream a binary ptb (v1) trace into `sink` (same contract as
 /// [`stream_jsonl`]: phase boundaries synthesized, `finish()` called).
 pub fn stream_ptb<R: Read, S: RecordSink>(
     reader: R,
     sink: &mut S,
 ) -> std::io::Result<(TraceMeta, u64)> {
-    let mut dec = PtbBlockReader::new(reader)?;
-    let meta = dec.meta().clone();
-    let mut phases = PhaseTracker::new();
-    while let Some(block) = dec.next_block()? {
-        for rec in block {
-            phases.on_record(rec, sink);
-            sink.push(rec);
-        }
-    }
-    phases.finish(sink);
-    Ok((meta, dec.records_read()))
+    codec_for(TraceFormat::Ptb).stream(&mut BufReader::new(reader), sink)
 }
 
-/// Stream a trace file into `sink`, sniffing JSONL vs ptb from the
-/// file's leading bytes (see [`TraceFormat::sniff`]).
+/// Stream a columnar ptb2 trace into `sink` (same contract as
+/// [`stream_jsonl`]).
+pub fn stream_ptb2<R: Read, S: RecordSink>(
+    reader: R,
+    sink: &mut S,
+) -> std::io::Result<(TraceMeta, u64)> {
+    codec_for(TraceFormat::Ptb2).stream(&mut BufReader::new(reader), sink)
+}
+
+/// Stream a trace file into `sink`, sniffing the format from the file's
+/// leading bytes (see [`TraceFormat::sniff`]).
 pub fn stream_file<S: RecordSink>(
     path: &std::path::Path,
     sink: &mut S,
 ) -> std::io::Result<(TraceMeta, u64)> {
-    let format = TraceFormat::sniff(path)?;
+    let codec = sniff_path(path)?;
     let f = std::fs::File::open(path)?;
-    let r = std::io::BufReader::new(f);
-    match format {
-        TraceFormat::Jsonl => stream_jsonl(r, sink),
-        TraceFormat::Ptb => stream_ptb(r, sink),
-    }
+    codec.stream(&mut BufReader::new(f), sink)
 }
 
-/// Feed a ptb trace file to every worker of `pipeline` concurrently.
+/// Sniff a file's codec from its leading bytes.
+fn sniff_path(path: &Path) -> std::io::Result<&'static dyn TraceCodec> {
+    let mut head = [0u8; 8];
+    let mut f = std::fs::File::open(path)?;
+    let mut n = 0;
+    while n < head.len() {
+        let got = f.read(&mut head[n..])?;
+        if got == 0 {
+            break;
+        }
+        n += got;
+    }
+    sniff_codec(&head[..n])
+}
+
+/// A sink adapter that forwards only the records one pipeline worker
+/// owns (`rank % workers == own`).
+struct RankFilter<S> {
+    inner: S,
+    workers: usize,
+    own: usize,
+}
+
+impl<S: RecordSink> RecordSink for RankFilter<S> {
+    fn push(&mut self, r: &pio_trace::Record) {
+        if r.rank as usize % self.workers == self.own {
+            self.inner.push(r);
+        }
+    }
+    // phase_end is dropped: the pipeline's sink ignores phase marks, and
+    // forwarding them from W concurrent readers would duplicate them.
+    fn finish(&mut self) {}
+}
+
+/// Feed a trace file to every worker of `pipeline` concurrently,
+/// whatever its format.
 ///
-/// One reader thread per pipeline worker scans the whole block stream
-/// (frame decoding is cheap; parsing the file once per worker costs far
-/// less than serializing all records through one producer) and pushes
-/// only the records its worker owns, preserving file order per worker —
-/// so the resulting snapshot is bit-identical to a sequential
-/// [`stream_file`] into `pipeline.sink()`. Returns the metadata and the
-/// total record count of the file.
+/// One reader thread per pipeline worker scans the whole stream (decode
+/// is cheap; parsing the file once per worker costs far less than
+/// serializing all records through one producer) and pushes only the
+/// records its worker owns, preserving file order per worker — so the
+/// resulting snapshot is bit-identical to a sequential [`stream_file`]
+/// into `pipeline.sink()`. Returns the metadata and the total record
+/// count of the file.
 ///
 /// Phase boundaries are not synthesized (the pipeline's sink ignores
-/// them); use [`stream_ptb`] with a composite sink when an online
+/// them); use [`stream_file`] with a composite sink when an online
 /// diagnoser also needs the stream.
-pub fn stream_ptb_parallel(
+pub fn stream_file_parallel(
     path: &Path,
     pipeline: &IngestPipeline,
 ) -> std::io::Result<(TraceMeta, u64)> {
+    let codec = sniff_path(path)?;
     let workers = pipeline.workers();
     let mut results: Vec<std::io::Result<(TraceMeta, u64)>> = Vec::new();
     crossbeam::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
-                let mut sink = pipeline.sink();
+                let sink = pipeline.sink();
                 s.spawn(move |_| -> std::io::Result<(TraceMeta, u64)> {
                     let f = std::fs::File::open(path)?;
-                    let mut dec = PtbBlockReader::new(std::io::BufReader::new(f))?;
-                    let meta = dec.meta().clone();
-                    while let Some(block) = dec.next_block()? {
-                        for rec in block {
-                            if rec.rank as usize % workers == w {
-                                sink.push(rec);
-                            }
-                        }
-                    }
-                    sink.flush();
-                    Ok((meta, dec.records_read()))
+                    let mut filter = RankFilter {
+                        inner: sink,
+                        workers,
+                        own: w,
+                    };
+                    let out = codec.stream(&mut BufReader::new(f), &mut filter)?;
+                    filter.inner.flush();
+                    Ok(out)
                 })
             })
             .collect();
         for h in handles {
-            results.push(h.join().expect("ptb reader thread panicked"));
+            results.push(h.join().expect("trace reader thread panicked"));
         }
     })
     .expect("reader scope");
@@ -188,13 +155,23 @@ pub fn stream_ptb_parallel(
     Ok(out.expect("at least one reader thread"))
 }
 
+/// Legacy name for [`stream_file_parallel`], kept for callers that
+/// predate format-generic parallel decode.
+pub fn stream_ptb_parallel(
+    path: &Path,
+    pipeline: &IngestPipeline,
+) -> std::io::Result<(TraceMeta, u64)> {
+    stream_file_parallel(path, pipeline)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::pipeline::IngestConfig;
     use pio_trace::io::write_jsonl;
     use pio_trace::ptb::write_ptb;
-    use pio_trace::{CallKind, Trace};
+    use pio_trace::ptb2::write_ptb2;
+    use pio_trace::{CallKind, Record, Trace};
 
     fn sample(phases: u32, per_phase: u32) -> Trace {
         let mut t = Trace::new(TraceMeta {
@@ -254,52 +231,57 @@ mod tests {
     }
 
     #[test]
-    fn ptb_streaming_matches_jsonl_streaming() {
+    fn binary_streaming_matches_jsonl_streaming() {
         let t = sample(3, 10);
         let mut jsonl = Vec::new();
         write_jsonl(&t, &mut jsonl).unwrap();
         let mut ptb = Vec::new();
         write_ptb(&t, &mut ptb).unwrap();
+        let mut ptb2 = Vec::new();
+        write_ptb2(&t, &mut ptb2).unwrap();
 
         let mut from_jsonl = EventLog::default();
         let (m1, n1) = stream_jsonl(std::io::Cursor::new(&jsonl), &mut from_jsonl).unwrap();
+        let check = |m2: TraceMeta, n2: u64, from_bin: &EventLog| {
+            assert_eq!(m1, m2);
+            assert_eq!(n1, n2);
+            assert_eq!(from_jsonl.pushes, from_bin.pushes);
+            assert_eq!(from_jsonl.phase_ends, from_bin.phase_ends);
+            assert!(from_bin.finished);
+        };
         let mut from_ptb = EventLog::default();
         let (m2, n2) = stream_ptb(std::io::Cursor::new(&ptb), &mut from_ptb).unwrap();
-        assert_eq!(m1, m2);
-        assert_eq!(n1, n2);
-        assert_eq!(from_jsonl.pushes, from_ptb.pushes);
-        assert_eq!(from_jsonl.phase_ends, from_ptb.phase_ends);
-        assert!(from_ptb.finished);
+        check(m2, n2, &from_ptb);
+        let mut from_ptb2 = EventLog::default();
+        let (m2, n2) = stream_ptb2(std::io::Cursor::new(&ptb2), &mut from_ptb2).unwrap();
+        check(m2, n2, &from_ptb2);
 
         let mut collected = Trace::new(t.meta.clone());
-        stream_ptb(std::io::Cursor::new(&ptb), &mut collected).unwrap();
+        stream_ptb2(std::io::Cursor::new(&ptb2), &mut collected).unwrap();
         assert_eq!(collected.records, t.records);
     }
 
     #[test]
-    fn stream_file_sniffs_both_formats() {
+    fn stream_file_sniffs_every_format() {
         let dir = std::env::temp_dir().join("pio_ingest_sniff_test");
         std::fs::create_dir_all(&dir).unwrap();
         let t = sample(2, 6);
-        let jsonl_path = dir.join("t.jsonl");
-        let ptb_path = dir.join("t.ptb");
-        pio_trace::io::save_as(&t, &jsonl_path, TraceFormat::Jsonl).unwrap();
-        pio_trace::io::save_as(&t, &ptb_path, TraceFormat::Ptb).unwrap();
-        for p in [&jsonl_path, &ptb_path] {
+        for format in TraceFormat::ALL {
+            let p = dir.join(format!("t.{}", format.name()));
+            pio_trace::io::save_as(&t, &p, format).unwrap();
             let mut log = EventLog::default();
-            let (meta, n) = stream_file(p, &mut log).unwrap();
+            let (meta, n) = stream_file(&p, &mut log).unwrap();
             assert_eq!(meta, t.meta, "{p:?}");
             assert_eq!(n, 12, "{p:?}");
             assert_eq!(log.phase_ends, vec![0, 1], "{p:?}");
-            std::fs::remove_file(p).ok();
+            std::fs::remove_file(&p).ok();
         }
     }
 
     #[test]
-    fn parallel_ptb_ingest_is_bit_identical_to_sequential() {
+    fn parallel_ingest_is_bit_identical_to_sequential_for_every_format() {
         let dir = std::env::temp_dir().join("pio_ingest_parallel_test");
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("par.ptb");
         // Uneven durations so f64 accumulation order matters.
         let mut t = Trace::new(TraceMeta {
             experiment: "par".into(),
@@ -319,26 +301,28 @@ mod tests {
                 phase: (i / 2500) as u32,
             });
         }
-        pio_trace::io::save_as(&t, &path, TraceFormat::Ptb).unwrap();
-
         let cfg = IngestConfig::default();
         let sequential = {
+            let path = dir.join("par.ptb");
+            pio_trace::io::save_as(&t, &path, TraceFormat::Ptb).unwrap();
             let pipeline = IngestPipeline::new(cfg.clone());
             let mut sink = pipeline.sink();
             let (_, n) = stream_file(&path, &mut sink).unwrap();
             assert_eq!(n, 10_000);
             drop(sink);
+            std::fs::remove_file(&path).ok();
             pipeline.finish()
         };
-        let parallel = {
-            let pipeline = IngestPipeline::new(cfg);
-            let (meta, n) = stream_ptb_parallel(&path, &pipeline).unwrap();
+        for format in TraceFormat::ALL {
+            let path = dir.join(format!("par.{}", format.name()));
+            pio_trace::io::save_as(&t, &path, format).unwrap();
+            let pipeline = IngestPipeline::new(cfg.clone());
+            let (meta, n) = stream_file_parallel(&path, &pipeline).unwrap();
             assert_eq!(meta, t.meta);
             assert_eq!(n, 10_000);
-            pipeline.finish()
-        };
-        assert_eq!(sequential, parallel);
-        std::fs::remove_file(&path).ok();
+            assert_eq!(sequential, pipeline.finish(), "{}", format.name());
+            std::fs::remove_file(&path).ok();
+        }
     }
 
     #[test]

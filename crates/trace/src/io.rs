@@ -1,7 +1,8 @@
 //! Trace serialization: JSONL (one record per line, as IPM-I/O "emits the
-//! entire trace"), the binary [`ptb`](crate::ptb) format, and CSV for
-//! plotting tools. [`load`] sniffs the on-disk format from the file's
-//! leading bytes, so every consumer transparently reads both.
+//! entire trace"), the binary [`ptb`](crate::ptb) / [`ptb2`](crate::ptb2)
+//! formats, and CSV for plotting tools. [`load`] sniffs the on-disk
+//! format from the file's leading bytes via the codec registry
+//! ([`crate::codec`]), so every consumer transparently reads them all.
 
 use crate::trace::{Trace, TraceMeta};
 use std::io::{BufRead, Write};
@@ -11,16 +12,23 @@ use std::io::{BufRead, Write};
 pub enum TraceFormat {
     /// Text: one JSON object per line (meta first).
     Jsonl,
-    /// Binary: CRC-checked fixed-width record blocks.
+    /// Binary v1: CRC-checked fixed-width record blocks (row-major).
     Ptb,
+    /// Binary v2: CRC-checked columnar blocks with per-column
+    /// compression (see [`crate::ptb2`]).
+    Ptb2,
 }
 
 impl TraceFormat {
-    /// Parse a user-facing format name (`"jsonl"` / `"ptb"`).
+    /// Every known format, binary formats first (sniffing order).
+    pub const ALL: [TraceFormat; 3] = [TraceFormat::Ptb2, TraceFormat::Ptb, TraceFormat::Jsonl];
+
+    /// Parse a user-facing format name (`"jsonl"` / `"ptb"` / `"ptb2"`).
     pub fn from_name(name: &str) -> Option<TraceFormat> {
         match name {
             "jsonl" => Some(TraceFormat::Jsonl),
             "ptb" => Some(TraceFormat::Ptb),
+            "ptb2" => Some(TraceFormat::Ptb2),
             _ => None,
         }
     }
@@ -30,27 +38,42 @@ impl TraceFormat {
         match self {
             TraceFormat::Jsonl => "jsonl",
             TraceFormat::Ptb => "ptb",
+            TraceFormat::Ptb2 => "ptb2",
         }
     }
 
-    /// Classify leading file bytes: the ptb magic, or JSONL otherwise
-    /// (whose first byte is `{`; misclassification surfaces as a parse
-    /// error either way).
-    pub fn sniff_bytes(head: &[u8]) -> TraceFormat {
-        if head.starts_with(&crate::ptb::PTB_MAGIC[..3]) {
-            TraceFormat::Ptb
-        } else {
-            TraceFormat::Jsonl
-        }
+    /// Infer a format from a path's extension (`t.ptb2` → `Ptb2`).
+    pub fn from_extension(path: &std::path::Path) -> Option<TraceFormat> {
+        path.extension()
+            .and_then(|e| e.to_str())
+            .and_then(TraceFormat::from_name)
+    }
+
+    /// Classify leading file bytes via the codec registry.
+    ///
+    /// Heads shorter than any magic prefix, `PTB` files with an unknown
+    /// version byte, and content no codec claims are all a clean
+    /// [`std::io::ErrorKind::Unsupported`] error — never a panic or a
+    /// misdetection.
+    pub fn sniff_bytes(head: &[u8]) -> std::io::Result<TraceFormat> {
+        crate::codec::sniff_codec(head).map(|c| c.format())
     }
 
     /// Sniff a file's format from its first bytes.
     pub fn sniff(path: &std::path::Path) -> std::io::Result<TraceFormat> {
         use std::io::Read;
-        let mut head = [0u8; 4];
+        let mut head = [0u8; 8];
         let mut f = std::fs::File::open(path)?;
-        let n = f.read(&mut head)?;
-        Ok(TraceFormat::sniff_bytes(&head[..n]))
+        let mut n = 0;
+        // File reads may return short counts; fill what we can.
+        while n < head.len() {
+            let got = f.read(&mut head[n..])?;
+            if got == 0 {
+                break;
+            }
+            n += got;
+        }
+        TraceFormat::sniff_bytes(&head[..n])
     }
 }
 
@@ -125,25 +148,20 @@ pub fn save(trace: &Trace, path: &std::path::Path) -> std::io::Result<()> {
     save_as(trace, path, TraceFormat::Jsonl)
 }
 
-/// Save a trace to a file in an explicit format.
+/// Save a trace to a file in an explicit format (via the codec
+/// registry — see [`crate::codec`]).
 pub fn save_as(trace: &Trace, path: &std::path::Path, format: TraceFormat) -> std::io::Result<()> {
     let f = std::fs::File::create(path)?;
-    let w = std::io::BufWriter::new(f);
-    match format {
-        TraceFormat::Jsonl => write_jsonl(trace, w),
-        TraceFormat::Ptb => crate::ptb::write_ptb(trace, w),
-    }
+    let mut w = std::io::BufWriter::new(f);
+    crate::codec::codec_for(format).write(trace, &mut w)
 }
 
-/// Load a trace from a file, sniffing JSONL vs ptb from its bytes.
+/// Load a trace from a file, sniffing the format from its bytes.
 pub fn load(path: &std::path::Path) -> std::io::Result<Trace> {
     let format = TraceFormat::sniff(path)?;
     let f = std::fs::File::open(path)?;
-    let r = std::io::BufReader::new(f);
-    match format {
-        TraceFormat::Jsonl => read_jsonl(r),
-        TraceFormat::Ptb => crate::ptb::read_ptb(r),
-    }
+    let mut r = std::io::BufReader::new(f);
+    crate::codec::codec_for(format).read(&mut r)
 }
 
 #[cfg(test)]
@@ -228,30 +246,70 @@ mod tests {
     }
 
     #[test]
-    fn load_sniffs_both_formats() {
+    fn load_sniffs_every_format() {
         let dir = std::env::temp_dir().join("pio_trace_io_sniff_test");
         std::fs::create_dir_all(&dir).unwrap();
         let t = sample();
         // Deliberately mismatched extensions: only the bytes matter.
-        let as_ptb = dir.join("binary.jsonl");
-        let as_jsonl = dir.join("text.ptb");
-        save_as(&t, &as_ptb, TraceFormat::Ptb).unwrap();
-        save_as(&t, &as_jsonl, TraceFormat::Jsonl).unwrap();
-        assert_eq!(TraceFormat::sniff(&as_ptb).unwrap(), TraceFormat::Ptb);
-        assert_eq!(TraceFormat::sniff(&as_jsonl).unwrap(), TraceFormat::Jsonl);
-        for p in [&as_ptb, &as_jsonl] {
-            let back = load(p).unwrap();
+        for (fname, format) in [
+            ("binary.jsonl", TraceFormat::Ptb),
+            ("text.ptb", TraceFormat::Jsonl),
+            ("columnar.ptb", TraceFormat::Ptb2),
+        ] {
+            let p = dir.join(fname);
+            save_as(&t, &p, format).unwrap();
+            assert_eq!(TraceFormat::sniff(&p).unwrap(), format);
+            let back = load(&p).unwrap();
             assert_eq!(back.meta, t.meta);
             assert_eq!(back.records, t.records);
-            std::fs::remove_file(p).ok();
+            std::fs::remove_file(&p).ok();
         }
     }
 
     #[test]
     fn format_names_round_trip() {
-        for f in [TraceFormat::Jsonl, TraceFormat::Ptb] {
+        for f in TraceFormat::ALL {
             assert_eq!(TraceFormat::from_name(f.name()), Some(f));
         }
         assert_eq!(TraceFormat::from_name("csv"), None);
+    }
+
+    #[test]
+    fn from_extension_maps_known_extensions_only() {
+        use std::path::Path;
+        assert_eq!(
+            TraceFormat::from_extension(Path::new("a/b.ptb2")),
+            Some(TraceFormat::Ptb2)
+        );
+        assert_eq!(
+            TraceFormat::from_extension(Path::new("t.ptb")),
+            Some(TraceFormat::Ptb)
+        );
+        assert_eq!(
+            TraceFormat::from_extension(Path::new("t.jsonl")),
+            Some(TraceFormat::Jsonl)
+        );
+        assert_eq!(TraceFormat::from_extension(Path::new("t.csv")), None);
+        assert_eq!(TraceFormat::from_extension(Path::new("noext")), None);
+    }
+
+    #[test]
+    fn sniff_bytes_rejects_short_heads_cleanly() {
+        for head in [&b""[..], &b"P"[..], &b"PTB"[..]] {
+            let err = TraceFormat::sniff_bytes(head).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::Unsupported, "head={head:?}");
+        }
+        assert_eq!(
+            TraceFormat::sniff_bytes(b"PTB1....").unwrap(),
+            TraceFormat::Ptb
+        );
+        assert_eq!(
+            TraceFormat::sniff_bytes(b"PTB2....").unwrap(),
+            TraceFormat::Ptb2
+        );
+        assert_eq!(
+            TraceFormat::sniff_bytes(b"{\"experiment\"").unwrap(),
+            TraceFormat::Jsonl
+        );
     }
 }

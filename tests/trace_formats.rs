@@ -1,24 +1,28 @@
 //! The fast-trace-plane contract, property-tested end to end:
 //!
-//! * JSONL ↔ ptb conversion preserves every `Record` field and the
-//!   `TraceMeta`, for arbitrary records across the full field ranges.
+//! * JSONL ↔ ptb ↔ ptb2 conversion preserves every `Record` field and
+//!   the `TraceMeta`, for arbitrary records across the full field
+//!   ranges.
 //! * The hand-rolled JSONL scanner agrees with `serde_json` on
 //!   arbitrary records — and on malformed lines, where its fallback
 //!   must reproduce the strict parser's accept/reject decision exactly.
-//! * Truncated or bit-flipped ptb bytes are rejected with a clean
-//!   `io::Error`, never a panic or a silently short read.
-//! * Batched channel transport and parallel ptb ingestion produce
-//!   snapshots bit-identical to the sequential per-record path, and the
-//!   online diagnoser reaches identical findings from either encoding
-//!   of a real simulated trace.
+//! * Truncated or bit-flipped ptb / ptb2 bytes are rejected with a
+//!   clean `io::Error`, never a panic or a silently short read.
+//! * Batched channel transport and parallel ingestion (1, 2, and 8
+//!   worker threads) produce snapshots bit-identical to the sequential
+//!   per-record path, and the online diagnoser reaches identical
+//!   findings from every encoding of a real simulated trace.
+//! * ptb2's columnar compression earns its keep: ≥2× smaller than ptb
+//!   v1 on a real trace.
 
 use events_to_ensembles::ingest::{
-    stream_file, stream_jsonl, stream_ptb, stream_ptb_parallel, DiagnoserConfig, IngestConfig,
-    IngestPipeline, StreamDiagnoser,
+    stream_file, stream_file_parallel, stream_jsonl, stream_ptb, stream_ptb2, DiagnoserConfig,
+    IngestConfig, IngestPipeline, StreamDiagnoser,
 };
 use events_to_ensembles::trace::io::{read_jsonl, write_jsonl, TraceFormat};
 use events_to_ensembles::trace::jsonl::{parse_record, parse_record_fast};
 use events_to_ensembles::trace::ptb::{read_ptb, write_ptb};
+use events_to_ensembles::trace::ptb2::{read_ptb2, write_ptb2};
 use events_to_ensembles::trace::{CallKind, Record, RecordSink, Trace, TraceMeta};
 use proptest::prelude::*;
 
@@ -79,6 +83,26 @@ proptest! {
         let from_ptb = read_ptb(std::io::Cursor::new(&ptb)).unwrap();
         prop_assert_eq!(&from_ptb.meta, &t.meta);
         prop_assert_eq!(&from_ptb.records, &t.records);
+
+        let mut ptb2 = Vec::new();
+        write_ptb2(&t, &mut ptb2).unwrap();
+        let from_ptb2 = read_ptb2(std::io::Cursor::new(&ptb2)).unwrap();
+        prop_assert_eq!(&from_ptb2.meta, &t.meta);
+        prop_assert_eq!(&from_ptb2.records, &t.records);
+    }
+
+    #[test]
+    fn ptb_v1_v2_convert_parity(t in arb_trace()) {
+        // v1 -> decode -> v2 -> decode must be the identity: the two
+        // block layouts encode exactly the same record model.
+        let mut v1 = Vec::new();
+        write_ptb(&t, &mut v1).unwrap();
+        let decoded_v1 = read_ptb(std::io::Cursor::new(&v1)).unwrap();
+        let mut v2 = Vec::new();
+        write_ptb2(&decoded_v1, &mut v2).unwrap();
+        let decoded_v2 = read_ptb2(std::io::Cursor::new(&v2)).unwrap();
+        prop_assert_eq!(&decoded_v2.meta, &t.meta);
+        prop_assert_eq!(&decoded_v2.records, &t.records);
     }
 
     #[test]
@@ -148,6 +172,36 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn corrupt_ptb2_is_an_error_never_a_panic(
+        t in arb_trace(),
+        cut in 0usize..20_000,
+        flip in 0usize..20_000,
+        bit in 0u8..8,
+    ) {
+        let mut clean = Vec::new();
+        write_ptb2(&t, &mut clean).unwrap();
+
+        // Truncation at any depth: error, not a short read.
+        let cut = cut % clean.len();
+        if cut < clean.len() {
+            prop_assert!(read_ptb2(std::io::Cursor::new(&clean[..cut])).is_err());
+        }
+
+        // One flipped bit anywhere: a clean error or an immaterial flip
+        // — never silently different records, and never a panic in the
+        // columnar decoders (all decode arithmetic is wrapping).
+        let mut bent = clean.clone();
+        let i = flip % bent.len();
+        bent[i] ^= 1 << bit;
+        match read_ptb2(std::io::Cursor::new(&bent)) {
+            Err(_) => {}
+            Ok(back) => {
+                prop_assert_eq!(back.records, t.records, "bit flip at {} read differently", i);
+            }
+        }
+    }
 }
 
 /// Collect a sink stream into (records, phase_ends) for parity checks.
@@ -191,29 +245,45 @@ fn ior_trace() -> Trace {
 }
 
 #[test]
-fn jsonl_and_ptb_streams_are_event_identical_on_a_real_trace() {
+fn all_format_streams_are_event_identical_on_a_real_trace() {
     let t = ior_trace();
     let mut jsonl = Vec::new();
     write_jsonl(&t, &mut jsonl).unwrap();
     let mut ptb = Vec::new();
     write_ptb(&t, &mut ptb).unwrap();
-    // ptb earns its keep: smaller than the text encoding.
+    let mut ptb2 = Vec::new();
+    write_ptb2(&t, &mut ptb2).unwrap();
+    // The binary formats earn their keep: ptb smaller than the text
+    // encoding, and columnar ptb2 at least 2x smaller again than ptb's
+    // fixed 45-byte frames on a real simulated trace.
     assert!(
         ptb.len() < jsonl.len(),
         "ptb {} >= jsonl {}",
         ptb.len(),
         jsonl.len()
     );
+    assert!(
+        ptb2.len() * 2 <= ptb.len(),
+        "ptb2 {} not >=2x smaller than ptb {}",
+        ptb2.len(),
+        ptb.len()
+    );
 
     let mut a = Collector::default();
     let (meta_a, n_a) = stream_jsonl(std::io::Cursor::new(&jsonl), &mut a).unwrap();
     let mut b = Collector::default();
     let (meta_b, n_b) = stream_ptb(std::io::Cursor::new(&ptb), &mut b).unwrap();
+    let mut c = Collector::default();
+    let (meta_c, n_c) = stream_ptb2(std::io::Cursor::new(&ptb2), &mut c).unwrap();
     assert_eq!(meta_a, meta_b);
+    assert_eq!(meta_a, meta_c);
     assert_eq!(n_a, n_b);
+    assert_eq!(n_a, n_c);
     assert_eq!(a.records, b.records);
+    assert_eq!(a.records, c.records);
     assert_eq!(a.phase_ends, b.phase_ends);
-    assert!(a.finished && b.finished);
+    assert_eq!(a.phase_ends, c.phase_ends);
+    assert!(a.finished && b.finished && c.finished);
 }
 
 #[test]
@@ -221,10 +291,14 @@ fn diagnoser_and_snapshot_parity_across_formats_and_transport() {
     let t = ior_trace();
     let dir = std::env::temp_dir().join("pio_trace_formats_parity");
     std::fs::create_dir_all(&dir).unwrap();
-    let jsonl_path = dir.join("t.jsonl");
-    let ptb_path = dir.join("t.ptb");
-    events_to_ensembles::trace::io::save_as(&t, &jsonl_path, TraceFormat::Jsonl).unwrap();
-    events_to_ensembles::trace::io::save_as(&t, &ptb_path, TraceFormat::Ptb).unwrap();
+    let paths: Vec<_> = TraceFormat::ALL
+        .iter()
+        .map(|&format| {
+            let p = dir.join(format!("t.{}", format.name()));
+            events_to_ensembles::trace::io::save_as(&t, &p, format).unwrap();
+            p
+        })
+        .collect();
 
     // One diagnoser + pipeline run per on-disk format, via the sniffing
     // entry point — verdicts and snapshots must be bit-identical.
@@ -237,18 +311,39 @@ fn diagnoser_and_snapshot_parity_across_formats_and_transport() {
         }
         (pipeline.finish(), format!("{:?}", diagnoser.findings()))
     };
-    let (snap_jsonl, findings_jsonl) = run(&jsonl_path);
-    let (snap_ptb, findings_ptb) = run(&ptb_path);
-    assert_eq!(snap_jsonl, snap_ptb);
-    assert_eq!(findings_jsonl, findings_ptb);
+    let (snap_ref, findings_ref) = run(&paths[0]);
+    for p in &paths[1..] {
+        let (snap, findings) = run(p);
+        assert_eq!(snap, snap_ref, "{p:?}");
+        assert_eq!(findings, findings_ref, "{p:?}");
+    }
 
-    // Parallel block-split ingestion: same snapshot again.
-    let pipeline = IngestPipeline::new(IngestConfig::default());
-    let (meta, n) = stream_ptb_parallel(&ptb_path, &pipeline).unwrap();
-    assert_eq!(meta, t.meta);
-    assert_eq!(n as usize, t.records.len());
-    assert_eq!(pipeline.finish(), snap_ptb);
+    // Parallel block-split ingestion at each pool size: every format's
+    // parallel snapshot must be bit-identical to a sequential ingest
+    // with the same worker count (per-worker f64 accumulation order is
+    // part of the snapshot, so the baseline is per pool size).
+    for workers in [1usize, 2, 8] {
+        let cfg = IngestConfig {
+            workers,
+            ..IngestConfig::default()
+        };
+        let sequential = {
+            let pipeline = IngestPipeline::new(cfg.clone());
+            let mut sink = pipeline.sink();
+            stream_file(&paths[0], &mut sink).unwrap();
+            drop(sink);
+            pipeline.finish()
+        };
+        for path in &paths {
+            let pipeline = IngestPipeline::new(cfg.clone());
+            let (meta, n) = stream_file_parallel(path, &pipeline).unwrap();
+            assert_eq!(meta, t.meta, "{path:?} workers={workers}");
+            assert_eq!(n as usize, t.records.len(), "{path:?} workers={workers}");
+            assert_eq!(pipeline.finish(), sequential, "{path:?} workers={workers}");
+        }
+    }
 
-    std::fs::remove_file(&jsonl_path).ok();
-    std::fs::remove_file(&ptb_path).ok();
+    for p in &paths {
+        std::fs::remove_file(p).ok();
+    }
 }
