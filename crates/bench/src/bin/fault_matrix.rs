@@ -5,17 +5,18 @@
 //! `--scale 8` and uploads the rendered table (`--out`) as an artifact.
 
 use pio_bench::fault_matrix::{empty_plan_is_inert, render, run_matrix};
-use pio_bench::util::{parse_out, scale_from_args};
+use pio_bench::util::{parse_out, scale_from_args, shards_from_args};
 
 fn main() {
     let scale = scale_from_args(8);
+    pio_mpi::set_default_shards(shards_from_args());
     let args: Vec<String> = std::env::args().collect();
     let out = match parse_out(&args) {
         Ok(v) => v,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: {} [--scale N] [--out PATH]",
+                "usage: {} [--scale N] [--shards N] [--out PATH]",
                 args.first().map_or("fault_matrix", |a| a)
             );
             std::process::exit(2);

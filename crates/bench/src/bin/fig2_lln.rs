@@ -9,13 +9,16 @@
 //! Usage: `fig2_lln [--scale N] [--fault <plan>]`.
 
 use pio_bench::fig2;
-use pio_bench::util::{fault_from_args, print_rows, results_dir, scale_from_args, Row};
+use pio_bench::util::{
+    fault_from_args, print_rows, results_dir, scale_from_args, shards_from_args, Row,
+};
 use pio_core::hist::Histogram;
 use pio_viz::ascii;
 use pio_viz::csv as vcsv;
 
 fn main() {
     let scale = scale_from_args(1);
+    pio_mpi::set_default_shards(shards_from_args());
     let fault = fault_from_args();
     match &fault {
         Some(_) => println!("# Figure 2 — Law of Large Numbers (scale 1/{scale}, faulted)"),

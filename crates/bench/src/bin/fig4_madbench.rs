@@ -5,13 +5,16 @@
 //! Usage: `fig4_madbench [--scale N] [--fault <plan>]`.
 
 use pio_bench::fig4;
-use pio_bench::util::{fault_from_args, print_rows, results_dir, scale_from_args, Row};
+use pio_bench::util::{
+    fault_from_args, print_rows, results_dir, scale_from_args, shards_from_args, Row,
+};
 use pio_fs::FsConfig;
 use pio_viz::ascii;
 use pio_viz::csv as vcsv;
 
 fn main() {
     let scale = scale_from_args(1);
+    pio_mpi::set_default_shards(shards_from_args());
     let fault = fault_from_args();
     match &fault {
         Some(_) => {

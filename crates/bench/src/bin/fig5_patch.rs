@@ -6,13 +6,14 @@
 //! Usage: `fig5_patch [--scale N]`.
 
 use pio_bench::fig5;
-use pio_bench::util::{print_rows, results_dir, scale_from_args, Row};
+use pio_bench::util::{print_rows, results_dir, scale_from_args, shards_from_args, Row};
 use pio_core::compare;
 use pio_viz::ascii;
 use pio_viz::csv as vcsv;
 
 fn main() {
     let scale = scale_from_args(1);
+    pio_mpi::set_default_shards(shards_from_args());
     println!("# Figure 5 — the Lustre strided read-ahead bug (scale 1/{scale})");
     let r = fig5::run(scale, 5);
 

@@ -1,0 +1,76 @@
+//! Sharded-engine smoke: run one IOR shared-file scenario through the
+//! parallel engine at two shard counts and diff the reports field by
+//! field. The shard count must be a pure throughput knob — records,
+//! statistics, utilization, event count, and end time all identical —
+//! so any divergence exits non-zero. CI runs this at `--scale 256`
+//! with shards 1 vs 4.
+
+use pio_bench::util::scale_from_args;
+use pio_fs::FsConfig;
+use pio_mpi::{RunConfig, RunReport, Runner};
+use pio_workloads::IorConfig;
+
+fn run(job: &pio_mpi::Job, fs: &FsConfig, shards: u32) -> RunReport {
+    Runner::new(job, RunConfig::new(fs.clone(), 7001, "shard-smoke"))
+        .shards(shards)
+        .execute_one()
+        .unwrap_or_else(|e| {
+            eprintln!("error: shard-smoke run @ {shards} shards: {e}");
+            std::process::exit(1);
+        })
+}
+
+fn main() {
+    let scale = scale_from_args(256);
+    let ior = IorConfig {
+        tasks: scale,
+        block_bytes: 64 << 20,
+        segments: 2,
+        repetitions: 1,
+        read_back: true,
+        file_per_process: false,
+    };
+    let job = ior.job();
+    let fs = FsConfig::franklin();
+
+    let (lo, hi) = (1u32, 4u32);
+    let a = run(&job, &fs, lo);
+    let b = run(&job, &fs, hi);
+
+    let mut diffs = Vec::new();
+    if a.trace().records != b.trace().records {
+        diffs.push("trace records");
+    }
+    if a.events != b.events {
+        diffs.push("event count");
+    }
+    if a.end != b.end {
+        diffs.push("end time");
+    }
+    if a.stats != b.stats {
+        diffs.push("fs stats");
+    }
+    if a.lock_stats != b.lock_stats {
+        diffs.push("lock stats");
+    }
+    if a.util != b.util {
+        diffs.push("utilization");
+    }
+
+    println!(
+        "shard smoke: IOR {} ranks, shards {lo} vs {hi}: {} records, {} events, end {:.3}s",
+        scale,
+        a.trace().records.len(),
+        a.events,
+        a.end.as_secs_f64()
+    );
+    if diffs.is_empty() {
+        println!("PASS: reports bit-identical across shard counts");
+    } else {
+        eprintln!(
+            "FAIL: shard counts {lo} and {hi} diverge in: {}",
+            diffs.join(", ")
+        );
+        std::process::exit(1);
+    }
+}

@@ -158,6 +158,37 @@ fn ior_sim() -> u64 {
     res.events
 }
 
+/// The large IOR scenario for the sharded-engine scaling metrics:
+/// 4096 ranks × 512 MB, one segment, write-only, shared file on the
+/// full (unscaled) Franklin config — big enough that node-shard work
+/// dominates the serial coordinator.
+fn ior_scale4096_config() -> IorConfig {
+    IorConfig {
+        tasks: 4096,
+        block_bytes: 512 << 20,
+        segments: 1,
+        repetitions: 1,
+        read_back: false,
+        file_per_process: false,
+    }
+}
+
+/// The 4096-rank IOR scenario on the sharded engine: events per second
+/// of real time at `shards` worker shards. The report is bit-identical
+/// for any shard count, so `ns_per_op` ratios between shard counts are
+/// pure wall-clock speedup.
+fn ior_sim_sharded(shards: u32) -> u64 {
+    let job = ior_scale4096_config().job();
+    let res = Runner::new(
+        &job,
+        RunConfig::new(FsConfig::franklin(), 1, "bench_summary"),
+    )
+    .shards(shards)
+    .execute_one()
+    .expect("sharded ior run");
+    res.events
+}
+
 /// One fault-matrix cell (slow-OST × read-heavy at 1/8 scale): the cost
 /// of a full baseline + faulted + reproducibility check.
 fn fault_matrix_cell() -> u64 {
@@ -195,6 +226,52 @@ fn fleetd_ingest(trace: &Trace) -> u64 {
     svc.shutdown();
     let total = svc.rollup().ingested;
     assert_eq!(total, (JOBS * trace.records.len()) as u64);
+    total
+}
+
+/// The per-record analytical pipeline of one fleet tenant — stream
+/// diagnoser, ensemble-snapshot sketch, per-OST usage ledger, top-k
+/// slow-op tracking — run serially over the same 8×50k record load as
+/// `fleetd/ingest_8x50k_pool4`, with no threads, channels, record
+/// clones, or map locks. The delta between the two metrics is the
+/// service's transport cost; this one is the analysis floor a fleet
+/// worker must pay per admitted record.
+fn fleetd_pipeline_serial(trace: &Trace) -> u64 {
+    use pio_fleetd::{OstLayout, OstUsage};
+    use pio_ingest::{SnapshotBuilder, StreamDiagnoser};
+    use pio_trace::RecordSink;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    const JOBS: usize = 8;
+    const TOP_K: usize = 8;
+    let layout = OstLayout::new(1 << 20, 48, 0);
+    let mut total = 0u64;
+    for _ in 0..JOBS {
+        let mut diagnoser = StreamDiagnoser::new(pio_ingest::DiagnoserConfig::default());
+        let mut builder = SnapshotBuilder::new(pio_ingest::SnapshotConfig::default());
+        let mut ost = OstUsage::new(48);
+        // Positive-f64 bit patterns order like the floats themselves.
+        let mut slow: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
+        for r in &trace.records {
+            diagnoser.push(r);
+            builder.accumulate(r);
+            if matches!(r.call, CallKind::Read | CallKind::Write) {
+                ost.add(layout.ost_of(r.offset), r.secs());
+            }
+            let key = r.secs().to_bits();
+            if slow.len() < TOP_K {
+                slow.push(Reverse(key));
+            } else if let Some(&Reverse(min)) = slow.peek() {
+                if key > min {
+                    slow.pop();
+                    slow.push(Reverse(key));
+                }
+            }
+            total += 1;
+        }
+        diagnoser.finish();
+        black_box((diagnoser.findings().len(), builder, ost, slow));
+    }
     total
 }
 
@@ -280,6 +357,15 @@ pub fn run_all_with(reps: Option<u32>) -> BenchSummary {
         ),
         // Whole-simulation throughput; ops = engine events.
         measure("sim/ior_scale64", "event", r(3), ior_sim),
+        // Sharded-engine scaling: same scenario, same (bit-identical)
+        // result, 1 vs 8 worker shards — the ns/op ratio is the
+        // parallel speedup.
+        measure("sim/ior_scale4096_shards1", "event", r(1), || {
+            ior_sim_sharded(1)
+        }),
+        measure("sim/ior_scale4096_shards8", "event", r(1), || {
+            ior_sim_sharded(8)
+        }),
         measure(
             "sim/fault_matrix_cell_scale8",
             "cell",
@@ -381,6 +467,12 @@ pub fn run_all_with(reps: Option<u32>) -> BenchSummary {
     metrics.push(measure("fleetd/ingest_8x50k_pool4", "record", r(2), || {
         fleetd_ingest(&fleet_trace)
     }));
+    metrics.push(measure(
+        "fleetd/pipeline_serial_8x50k",
+        "record",
+        r(2),
+        || fleetd_pipeline_serial(&fleet_trace),
+    ));
 
     BenchSummary {
         schema: "pio-bench/summary/v2".to_string(),

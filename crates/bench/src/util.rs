@@ -43,6 +43,53 @@ pub fn parse_scale(args: &[String], default: u32) -> Result<u32, String> {
     Ok(scale)
 }
 
+/// Parse `--shards N` from argv; `None` when the flag is absent (the
+/// classic single-loop engine). `Some(n)` routes every run through the
+/// sharded parallel engine with `n` worker shards — bit-identical output
+/// for any `n`, only wall-clock changes.
+///
+/// Like [`scale_from_args`], a malformed value is an error (exit 2), as
+/// are 0 and absurd counts: silently running un-sharded would fake a
+/// speedup measurement.
+pub fn shards_from_args() -> Option<u32> {
+    let args: Vec<String> = std::env::args().collect();
+    match parse_shards(&args) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: {} [--shards N]",
+                args.first().map_or("bench", |a| a)
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The testable core of [`shards_from_args`]: find `--shards N` in
+/// `args` (last occurrence wins).
+pub fn parse_shards(args: &[String]) -> Result<Option<u32>, String> {
+    let mut shards = None;
+    for (i, arg) in args.iter().enumerate() {
+        if arg == "--shards" {
+            let raw = args
+                .get(i + 1)
+                .ok_or_else(|| "--shards requires a value".to_string())?;
+            let v: u32 = raw.parse().map_err(|_| {
+                format!("invalid --shards value {raw:?}: expected a positive integer")
+            })?;
+            if v == 0 {
+                return Err("--shards must be at least 1".to_string());
+            }
+            if v > 1024 {
+                return Err(format!("--shards {v} is absurd; use at most 1024"));
+            }
+            shards = Some(v);
+        }
+    }
+    Ok(shards)
+}
+
 /// Parse `--fault <plan>` from argv; `None` when the flag is absent, so
 /// every figure driver can re-run its experiment under a named fault
 /// plan without changing its clean-run default.
@@ -306,6 +353,25 @@ mod tests {
         assert_eq!(rate_of(&t, CallKind::Read), 0.0);
         assert!(dist_of(&t, CallKind::Write).is_some());
         assert!(dist_of(&t, CallKind::Read).is_none());
+    }
+
+    #[test]
+    fn parse_shards_accepts_valid_and_rejects_malformed() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_shards(&args(&["bench"])), Ok(None));
+        assert_eq!(
+            parse_shards(&args(&["bench", "--shards", "8"])),
+            Ok(Some(8))
+        );
+        // Last occurrence wins.
+        assert_eq!(
+            parse_shards(&args(&["bench", "--shards", "2", "--shards", "4"])),
+            Ok(Some(4))
+        );
+        assert!(parse_shards(&args(&["bench", "--shards"])).is_err());
+        assert!(parse_shards(&args(&["bench", "--shards", "zero"])).is_err());
+        assert!(parse_shards(&args(&["bench", "--shards", "0"])).is_err());
+        assert!(parse_shards(&args(&["bench", "--shards", "4096"])).is_err());
     }
 
     #[test]

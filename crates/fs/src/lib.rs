@@ -50,6 +50,7 @@ pub mod stripe;
 pub use config::{FsConfig, ReadaheadConfig};
 pub use fault::FaultInjector;
 pub use locks::LockStats;
+pub use ost::Ost;
 pub use sim::{FsEvent, FsNotify, FsSim, FsStats, IoId, IoKind, IoReq};
 pub use stripe::{Extent, StripeLayout};
 

@@ -7,7 +7,7 @@
 use events_to_ensembles::ingest::{DiagnoserConfig, StreamDiagnoser, TimedFinding};
 use events_to_ensembles::stats::attribution::FaultClass;
 use events_to_ensembles::trace::{Record, RecordSink};
-use pio_bench::fault_matrix::{attributed, run_once, scenarios};
+use pio_bench::fault_matrix::{attributed, run_once, run_once_sharded, scenarios};
 
 const SCALE: u32 = 16;
 const SEEDS: [u64; 2] = [101, 202];
@@ -113,6 +113,43 @@ fn clean_baselines_are_attribution_free_batch_and_stream() {
                 "{} seed {seed}: baseline stream attributed {attrs:?}",
                 sc.fault
             );
+        }
+    }
+}
+
+#[test]
+fn verdicts_are_bit_identical_across_shard_counts() {
+    // The parallel engine's contract: the shard count is a throughput
+    // knob, never a semantic one. Every corpus scenario — clean and
+    // faulted, both seeds — must produce byte-for-byte the same trace,
+    // statistics, and diagnose() verdicts at 1, 2, and 8 shards.
+    for sc in scenarios(SCALE) {
+        for seed in SEEDS {
+            for (label, plan) in [
+                ("corpus-shards-clean", None),
+                ("corpus-shards-faulted", Some(sc.plan())),
+            ] {
+                let base = run_once_sharded(sc.job(), sc.fs(), seed, label, plan, 1);
+                let verdict = attributed(&base);
+                for shards in [2, 8] {
+                    let res = run_once_sharded(sc.job(), sc.fs(), seed, label, plan, shards);
+                    let ctx = format!("{} seed {seed} {label} @ {shards} shards", sc.fault);
+                    assert_eq!(
+                        base.trace().records,
+                        res.trace().records,
+                        "{ctx}: trace diverged"
+                    );
+                    assert_eq!(base.events, res.events, "{ctx}: event count diverged");
+                    assert_eq!(base.end, res.end, "{ctx}: end time diverged");
+                    assert_eq!(base.stats, res.stats, "{ctx}: fs stats diverged");
+                    assert_eq!(
+                        base.lock_stats, res.lock_stats,
+                        "{ctx}: lock stats diverged"
+                    );
+                    assert_eq!(base.util, res.util, "{ctx}: utilization diverged");
+                    assert_eq!(verdict, attributed(&res), "{ctx}: verdicts diverged");
+                }
+            }
         }
     }
 }
