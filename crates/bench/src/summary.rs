@@ -21,12 +21,12 @@ use pio_fs::FsConfig;
 use pio_mpi::{RunConfig, Runner};
 use pio_trace::{CallKind, NullSink, Record, Trace, TraceMeta};
 use pio_workloads::IorConfig;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::hint::black_box;
 use std::time::Instant;
 
 /// One measured scenario.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Metric {
     /// Stable scenario name (the trajectory key).
     pub name: String,
@@ -43,7 +43,7 @@ pub struct Metric {
 }
 
 /// One on-disk size measurement (compression-trajectory key).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SizeMetric {
     /// Stable scenario name (the trajectory key).
     pub name: String,
@@ -59,7 +59,7 @@ pub struct SizeMetric {
 }
 
 /// The whole summary: every metric plus process-level peak memory.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchSummary {
     /// Schema tag for downstream tooling.
     pub schema: String,
@@ -215,8 +215,9 @@ fn fleetd_ingest(trace: &Trace) -> u64 {
             let mut sink = svc.register(&format!("bench-{j}"));
             let records = &trace.records;
             scope.spawn(move |_| {
-                for r in records {
-                    sink.push(r);
+                // Decoder-sized blocks, as the streaming codecs deliver them.
+                for chunk in records.chunks(512) {
+                    sink.push_block(chunk);
                 }
                 sink.finish();
             });
@@ -229,13 +230,16 @@ fn fleetd_ingest(trace: &Trace) -> u64 {
     total
 }
 
-/// The per-record analytical pipeline of one fleet tenant — stream
-/// diagnoser, ensemble-snapshot sketch, per-OST usage ledger, top-k
-/// slow-op tracking — run serially over the same 8×50k record load as
+/// The analytical pipeline of one fleet tenant — stream diagnoser,
+/// ensemble-snapshot sketch, per-OST usage ledger, top-k slow-op
+/// tracking — run serially over the same 8×50k record load as
 /// `fleetd/ingest_8x50k_pool4`, with no threads, channels, record
-/// clones, or map locks. The delta between the two metrics is the
-/// service's transport cost; this one is the analysis floor a fleet
-/// worker must pay per admitted record.
+/// clones, or map locks. Records flow in service-sized blocks (the
+/// fleet worker's batch of 256) through the columnar `push_block` /
+/// `accumulate_block` kernels, exactly as `TenantState::ingest_block`
+/// drives them. The delta between the two metrics is the service's
+/// transport cost; this one is the analysis floor a fleet worker must
+/// pay per admitted record.
 fn fleetd_pipeline_serial(trace: &Trace) -> u64 {
     use pio_fleetd::{OstLayout, OstUsage};
     use pio_ingest::{SnapshotBuilder, StreamDiagnoser};
@@ -244,6 +248,7 @@ fn fleetd_pipeline_serial(trace: &Trace) -> u64 {
     use std::collections::BinaryHeap;
     const JOBS: usize = 8;
     const TOP_K: usize = 8;
+    const BATCH: usize = 256;
     let layout = OstLayout::new(1 << 20, 48, 0);
     let mut total = 0u64;
     for _ in 0..JOBS {
@@ -252,22 +257,24 @@ fn fleetd_pipeline_serial(trace: &Trace) -> u64 {
         let mut ost = OstUsage::new(48);
         // Positive-f64 bit patterns order like the floats themselves.
         let mut slow: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
-        for r in &trace.records {
-            diagnoser.push(r);
-            builder.accumulate(r);
-            if matches!(r.call, CallKind::Read | CallKind::Write) {
-                ost.add(layout.ost_of(r.offset), r.secs());
-            }
-            let key = r.secs().to_bits();
-            if slow.len() < TOP_K {
-                slow.push(Reverse(key));
-            } else if let Some(&Reverse(min)) = slow.peek() {
-                if key > min {
-                    slow.pop();
-                    slow.push(Reverse(key));
+        for chunk in trace.records.chunks(BATCH) {
+            diagnoser.push_block(chunk);
+            builder.accumulate_block(chunk);
+            for r in chunk {
+                if matches!(r.call, CallKind::Read | CallKind::Write) {
+                    ost.add(layout.ost_of(r.offset), r.secs());
                 }
+                let key = r.secs().to_bits();
+                if slow.len() < TOP_K {
+                    slow.push(Reverse(key));
+                } else if let Some(&Reverse(min)) = slow.peek() {
+                    if key > min {
+                        slow.pop();
+                        slow.push(Reverse(key));
+                    }
+                }
+                total += 1;
             }
-            total += 1;
         }
         diagnoser.finish();
         black_box((diagnoser.findings().len(), builder, ost, slow));
@@ -341,138 +348,219 @@ pub fn run_all() -> BenchSummary {
 /// `reps` (best-of-reps is reported either way; more reps means more
 /// robustness against scheduler noise at linear cost).
 pub fn run_all_with(reps: Option<u32>) -> BenchSummary {
+    run_filtered(reps, &[])
+}
+
+/// [`run_all_with`] restricted to metrics whose name starts with any of
+/// the `only` prefixes (empty = everything). Whole sections are skipped
+/// when nothing in them matches, so a `--only fleetd` run does not pay
+/// for building and encoding the 1M-record parse trace.
+pub fn run_filtered(reps: Option<u32>, only: &[String]) -> BenchSummary {
     let r = |default: u32| reps.unwrap_or(default).max(1);
-    let mut metrics = vec![
-        measure(
+    let want = |name: &str| only.is_empty() || only.iter().any(|p| name.starts_with(p.as_str()));
+    let mut metrics: Vec<Metric> = Vec::new();
+    let mut sizes: Vec<SizeMetric> = Vec::new();
+
+    if want("des/event_queue_churn_100k") {
+        metrics.push(measure(
             "des/event_queue_churn_100k",
             "event",
             r(5),
             event_queue_churn,
-        ),
-        measure(
+        ));
+    }
+    if want("des/event_queue_followups_200k") {
+        metrics.push(measure(
             "des/event_queue_followups_200k",
             "event",
             r(5),
             event_queue_followups,
-        ),
-        // Whole-simulation throughput; ops = engine events.
-        measure("sim/ior_scale64", "event", r(3), ior_sim),
-        // Sharded-engine scaling: same scenario, same (bit-identical)
-        // result, 1 vs 8 worker shards — the ns/op ratio is the
-        // parallel speedup.
-        measure("sim/ior_scale4096_shards1", "event", r(1), || {
+        ));
+    }
+    // Whole-simulation throughput; ops = engine events.
+    if want("sim/ior_scale64") {
+        metrics.push(measure("sim/ior_scale64", "event", r(3), ior_sim));
+    }
+    // Sharded-engine scaling: same scenario, same (bit-identical)
+    // result, 1 vs 8 worker shards — the ns/op ratio is the
+    // parallel speedup.
+    if want("sim/ior_scale4096_shards1") {
+        metrics.push(measure("sim/ior_scale4096_shards1", "event", r(1), || {
             ior_sim_sharded(1)
-        }),
-        measure("sim/ior_scale4096_shards8", "event", r(1), || {
+        }));
+    }
+    if want("sim/ior_scale4096_shards8") {
+        metrics.push(measure("sim/ior_scale4096_shards8", "event", r(1), || {
             ior_sim_sharded(8)
-        }),
-        measure(
+        }));
+    }
+    if want("sim/fault_matrix_cell_scale8") {
+        metrics.push(measure(
             "sim/fault_matrix_cell_scale8",
             "cell",
             r(1),
             fault_matrix_cell,
-        ),
-    ];
+        ));
+    }
 
     // Statistics kernels.
-    let data = trimodal_samples(100_000);
-    let dist = EmpiricalDist::new(&data);
-    let kde = Kde::new(&dist);
-    metrics.push(measure(
-        "stats/kde_grid_512_n100k",
-        "grid-point",
-        r(3),
-        || black_box(kde.grid(512)).len() as u64,
-    ));
+    if want("stats/kde_grid_512_n100k") {
+        let data = trimodal_samples(100_000);
+        let dist = EmpiricalDist::new(&data);
+        let kde = Kde::new(&dist);
+        metrics.push(measure(
+            "stats/kde_grid_512_n100k",
+            "grid-point",
+            r(3),
+            || black_box(kde.grid(512)).len() as u64,
+        ));
+    }
     // Exact-path reference at a size the binned path normally handles —
     // the denominator of the binned speedup.
-    let exact_ref = EmpiricalDist::new(&trimodal_samples(10_000));
-    let kde_exact = Kde::new(&exact_ref);
-    metrics.push(measure(
-        "stats/kde_grid_exact_512_n10k",
-        "grid-point",
-        r(3),
-        || black_box(kde_exact.grid_exact(512)).len() as u64,
-    ));
+    if want("stats/kde_grid_exact_512_n10k") {
+        let exact_ref = EmpiricalDist::new(&trimodal_samples(10_000));
+        let kde_exact = Kde::new(&exact_ref);
+        metrics.push(measure(
+            "stats/kde_grid_exact_512_n10k",
+            "grid-point",
+            r(3),
+            || black_box(kde_exact.grid_exact(512)).len() as u64,
+        ));
+    }
+    if want("stats/bootstrap_median_200x_n10k") {
+        let small = EmpiricalDist::new(&trimodal_samples(10_000));
+        metrics.push(measure(
+            "stats/bootstrap_median_200x_n10k",
+            "resample",
+            r(3),
+            || {
+                black_box(median_ci(&small, 200, 0.95, 42));
+                200
+            },
+        ));
+    }
 
-    let small = EmpiricalDist::new(&trimodal_samples(10_000));
-    metrics.push(measure(
-        "stats/bootstrap_median_200x_n10k",
-        "resample",
-        r(3),
-        || {
-            black_box(median_ci(&small, 200, 0.95, 42));
-            200
-        },
-    ));
+    // The columnar sketch kernel in isolation: 1M durations through
+    // `QuantileSketch::add_block` with a prebuilt bin table — the
+    // per-sample floor of the batched binning (no log2, no dispatch).
+    if want("ingest/sketch_block_1m") {
+        use pio_des::hist::{BinTable, LogBins};
+        use pio_ingest::QuantileSketch;
+        let durs: Vec<f64> = (0..1_000_000)
+            .map(|i| {
+                if i % 97 == 0 {
+                    5.0 + (i % 13) as f64
+                } else {
+                    0.01 + (i % 31) as f64 * 0.002
+                }
+            })
+            .collect();
+        let table = BinTable::new(LogBins::new(1e-6, 1e3, 96));
+        metrics.push(measure("ingest/sketch_block_1m", "sample", r(3), || {
+            let mut s = QuantileSketch::new(1e-6, 1e3, 96);
+            s.add_block(&durs, &table);
+            black_box(s.count());
+            durs.len() as u64
+        }));
+    }
 
     // Trace-plane parse throughput: the same 1M-record trace through
     // the serde baseline, the fast JSONL scanner, and the binary ptb /
     // ptb2 block decoders. The trace itself is dropped before timing so
     // only the serialized bytes stay resident.
-    let (jsonl_bytes, ptb_bytes, ptb2_bytes) = {
-        let trace = ingest_trace(1_000_000);
-        let mut jsonl = Vec::new();
-        pio_trace::io::write_jsonl(&trace, &mut jsonl).expect("jsonl encode");
-        let mut ptb = Vec::new();
-        pio_trace::ptb::write_ptb(&trace, &mut ptb).expect("ptb encode");
-        let mut ptb2 = Vec::new();
-        pio_trace::ptb2::write_ptb2(&trace, &mut ptb2).expect("ptb2 encode");
-        (jsonl, ptb, ptb2)
-    };
-    let n_records = 1_000_000u64;
-    let size = |name: &str, bytes: &[u8]| SizeMetric {
-        name: name.to_string(),
-        bytes: bytes.len() as u64,
-        records: n_records,
-        bytes_per_record: bytes.len() as f64 / n_records as f64,
-        ratio_vs_ptb: ptb_bytes.len() as f64 / bytes.len() as f64,
-    };
-    let sizes = vec![
-        size("size/jsonl_1m", &jsonl_bytes),
-        size("size/ptb_1m", &ptb_bytes),
-        size("size/ptb2_1m", &ptb2_bytes),
-    ];
-    metrics.push(measure(
+    let parse_metrics = [
         "ingest/parse_jsonl_serde_1m",
-        "record",
-        r(2),
-        || parse_jsonl_serde(&jsonl_bytes),
-    ));
-    metrics.push(measure("ingest/parse_jsonl_1m", "record", r(2), || {
-        let mut sink = NullSink;
-        let (meta, n) = pio_ingest::stream_jsonl(std::io::Cursor::new(&jsonl_bytes[..]), &mut sink)
-            .expect("jsonl stream");
-        black_box(meta);
-        n
-    }));
-    metrics.push(measure("ingest/parse_ptb_1m", "record", r(2), || {
-        let mut sink = NullSink;
-        let (meta, n) = pio_ingest::stream_ptb(std::io::Cursor::new(&ptb_bytes[..]), &mut sink)
-            .expect("ptb stream");
-        black_box(meta);
-        n
-    }));
-    metrics.push(measure("ingest/parse_ptb2_1m", "record", r(2), || {
-        let mut sink = NullSink;
-        let (meta, n) = pio_ingest::stream_ptb2(std::io::Cursor::new(&ptb2_bytes[..]), &mut sink)
-            .expect("ptb2 stream");
-        black_box(meta);
-        n
-    }));
+        "ingest/parse_jsonl_1m",
+        "ingest/parse_ptb_1m",
+        "ingest/parse_ptb2_1m",
+    ];
+    let size_metrics = ["size/jsonl_1m", "size/ptb_1m", "size/ptb2_1m"];
+    if parse_metrics.iter().chain(&size_metrics).any(|n| want(n)) {
+        let (jsonl_bytes, ptb_bytes, ptb2_bytes) = {
+            let trace = ingest_trace(1_000_000);
+            let mut jsonl = Vec::new();
+            pio_trace::io::write_jsonl(&trace, &mut jsonl).expect("jsonl encode");
+            let mut ptb = Vec::new();
+            pio_trace::ptb::write_ptb(&trace, &mut ptb).expect("ptb encode");
+            let mut ptb2 = Vec::new();
+            pio_trace::ptb2::write_ptb2(&trace, &mut ptb2).expect("ptb2 encode");
+            (jsonl, ptb, ptb2)
+        };
+        let n_records = 1_000_000u64;
+        let size = |name: &str, bytes: &[u8]| SizeMetric {
+            name: name.to_string(),
+            bytes: bytes.len() as u64,
+            records: n_records,
+            bytes_per_record: bytes.len() as f64 / n_records as f64,
+            ratio_vs_ptb: ptb_bytes.len() as f64 / bytes.len() as f64,
+        };
+        for (name, bytes) in [
+            ("size/jsonl_1m", &jsonl_bytes),
+            ("size/ptb_1m", &ptb_bytes),
+            ("size/ptb2_1m", &ptb2_bytes),
+        ] {
+            if want(name) {
+                sizes.push(size(name, bytes));
+            }
+        }
+        if want("ingest/parse_jsonl_serde_1m") {
+            metrics.push(measure(
+                "ingest/parse_jsonl_serde_1m",
+                "record",
+                r(2),
+                || parse_jsonl_serde(&jsonl_bytes),
+            ));
+        }
+        if want("ingest/parse_jsonl_1m") {
+            metrics.push(measure("ingest/parse_jsonl_1m", "record", r(2), || {
+                let mut sink = NullSink;
+                let (meta, n) =
+                    pio_ingest::stream_jsonl(std::io::Cursor::new(&jsonl_bytes[..]), &mut sink)
+                        .expect("jsonl stream");
+                black_box(meta);
+                n
+            }));
+        }
+        if want("ingest/parse_ptb_1m") {
+            metrics.push(measure("ingest/parse_ptb_1m", "record", r(2), || {
+                let mut sink = NullSink;
+                let (meta, n) =
+                    pio_ingest::stream_ptb(std::io::Cursor::new(&ptb_bytes[..]), &mut sink)
+                        .expect("ptb stream");
+                black_box(meta);
+                n
+            }));
+        }
+        if want("ingest/parse_ptb2_1m") {
+            metrics.push(measure("ingest/parse_ptb2_1m", "record", r(2), || {
+                let mut sink = NullSink;
+                let (meta, n) =
+                    pio_ingest::stream_ptb2(std::io::Cursor::new(&ptb2_bytes[..]), &mut sink)
+                        .expect("ptb2 stream");
+                black_box(meta);
+                n
+            }));
+        }
+    }
 
     // Fleet-service ingest: end-to-end record throughput of the
     // multi-tenant diagnosis service (sketches + diagnoser + budgets).
-    let fleet_trace = ingest_trace(50_000);
-    metrics.push(measure("fleetd/ingest_8x50k_pool4", "record", r(2), || {
-        fleetd_ingest(&fleet_trace)
-    }));
-    metrics.push(measure(
-        "fleetd/pipeline_serial_8x50k",
-        "record",
-        r(2),
-        || fleetd_pipeline_serial(&fleet_trace),
-    ));
+    if want("fleetd/ingest_8x50k_pool4") || want("fleetd/pipeline_serial_8x50k") {
+        let fleet_trace = ingest_trace(50_000);
+        if want("fleetd/ingest_8x50k_pool4") {
+            metrics.push(measure("fleetd/ingest_8x50k_pool4", "record", r(2), || {
+                fleetd_ingest(&fleet_trace)
+            }));
+        }
+        if want("fleetd/pipeline_serial_8x50k") {
+            metrics.push(measure(
+                "fleetd/pipeline_serial_8x50k",
+                "record",
+                r(2),
+                || fleetd_pipeline_serial(&fleet_trace),
+            ));
+        }
+    }
 
     BenchSummary {
         schema: "pio-bench/summary/v2".to_string(),
@@ -480,6 +568,45 @@ pub fn run_all_with(reps: Option<u32>) -> BenchSummary {
         sizes,
         peak_rss_kb: peak_rss_kb(),
     }
+}
+
+/// Compare `fresh` against `baseline` on the `gates` metric names:
+/// returns one human-readable failure line per gate whose `ns_per_op`
+/// regressed by more than `tolerance_pct` percent (or was not measured
+/// at all). Gates absent from the baseline pass — a metric's first
+/// commit has nothing to regress against.
+pub fn gate_regressions(
+    baseline: &BenchSummary,
+    fresh: &BenchSummary,
+    gates: &[String],
+    tolerance_pct: f64,
+) -> Vec<String> {
+    let find = |s: &BenchSummary, name: &str| {
+        s.metrics
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.ns_per_op)
+    };
+    let mut failures = Vec::new();
+    for gate in gates {
+        let Some(base) = find(baseline, gate) else {
+            continue;
+        };
+        let Some(new) = find(fresh, gate) else {
+            failures.push(format!("{gate}: gated but not measured in this run"));
+            continue;
+        };
+        if base <= 0.0 {
+            continue;
+        }
+        let pct = (new - base) / base * 100.0;
+        if pct > tolerance_pct {
+            failures.push(format!(
+                "{gate}: {new:.1} ns/op vs baseline {base:.1} (+{pct:.1}%, tolerance {tolerance_pct:.0}%)"
+            ));
+        }
+    }
+    failures
 }
 
 /// Peak RSS (VmHWM) from `/proc/self/status`; 0 when unavailable.
@@ -543,6 +670,49 @@ mod tests {
         assert!(m.wall_ns >= 1);
         assert!((m.ns_per_op - m.wall_ns as f64 / 1000.0).abs() < 1e-9);
         assert!(m.ops_per_sec > 0.0);
+    }
+
+    #[test]
+    fn filter_restricts_to_matching_prefixes() {
+        let s = run_filtered(Some(1), &["des/".to_string()]);
+        assert_eq!(s.metrics.len(), 2);
+        assert!(s.metrics.iter().all(|m| m.name.starts_with("des/")));
+        assert!(s.sizes.is_empty());
+        // A full metric name is also a valid prefix.
+        let s = run_filtered(Some(1), &["des/event_queue_churn_100k".to_string()]);
+        assert_eq!(s.metrics.len(), 1);
+        assert_eq!(s.metrics[0].name, "des/event_queue_churn_100k");
+    }
+
+    #[test]
+    fn gate_flags_regressions_misses_and_new_metrics() {
+        let m = |name: &str, ns: f64| Metric {
+            name: name.into(),
+            unit: "op".into(),
+            ops: 1,
+            wall_ns: ns as u64,
+            ns_per_op: ns,
+            ops_per_sec: 1e9 / ns,
+        };
+        let summary = |ms: Vec<Metric>| BenchSummary {
+            schema: "pio-bench/summary/v2".into(),
+            metrics: ms,
+            sizes: vec![],
+            peak_rss_kb: 0,
+        };
+        let base = summary(vec![m("a", 100.0), m("b", 100.0)]);
+        let gates: Vec<String> = vec!["a".into(), "b".into(), "c".into()];
+
+        // Within tolerance, and "c" absent from the baseline: all pass.
+        let ok = summary(vec![m("a", 120.0), m("b", 90.0), m("c", 1.0)]);
+        assert!(gate_regressions(&base, &ok, &gates, 25.0).is_empty());
+
+        // "a" regresses past tolerance; "b" gated but not measured.
+        let bad = summary(vec![m("a", 130.0)]);
+        let failures = gate_regressions(&base, &bad, &gates, 25.0);
+        assert_eq!(failures.len(), 2);
+        assert!(failures[0].contains("a:") && failures[0].contains("+30.0%"));
+        assert!(failures[1].contains("not measured"));
     }
 
     #[test]

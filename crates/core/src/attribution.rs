@@ -28,9 +28,10 @@
 //! to the provisional medians a streaming consumer sees.
 
 use crate::diagnosis::Thresholds;
-use pio_des::hist::{LogBins, LogHistogram};
+use pio_des::hist::{BinTable, LogBins, LogHistogram};
+use pio_des::FxHashMap;
 use pio_trace::{CallKind, Trace};
-use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// Duration geometry shared by every tail profile: 1 µs to 1000 s.
 pub const TAIL_HIST_LO: f64 = 1e-6;
@@ -104,6 +105,15 @@ impl std::fmt::Display for FaultClass {
     }
 }
 
+/// The process-wide [`BinTable`] for the shared tail-profile geometry
+/// (`TAIL_HIST_LO..TAIL_HIST_HI` × `TAIL_HIST_BINS`) — every profile
+/// uses the same constants, so batch ingest paths classify against one
+/// table instead of calling `ln` per record.
+pub fn tail_bin_table() -> &'static BinTable {
+    static TABLE: OnceLock<BinTable> = OnceLock::new();
+    TABLE.get_or_init(|| BinTable::new(LogBins::new(TAIL_HIST_LO, TAIL_HIST_HI, TAIL_HIST_BINS)))
+}
+
 /// Per-rank slice of a [`TailProfile`].
 #[derive(Debug, Clone, PartialEq)]
 struct RankCell {
@@ -111,6 +121,21 @@ struct RankCell {
     secs: f64,
     ops: u64,
 }
+
+impl RankCell {
+    fn empty() -> Self {
+        RankCell {
+            counts: vec![0; TAIL_HIST_BINS],
+            secs: 0.0,
+            ops: 0,
+        }
+    }
+}
+
+/// Ranks below this index live in the direct-indexed table; higher ones
+/// spill to a hash map. HPC rank ids are dense from zero, so in practice
+/// the per-record cell access is one bounds-checked array read.
+const DENSE_RANKS: usize = 4096;
 
 /// Mergeable per-rank + per-stripe-residue duration decomposition of one
 /// call class. Order-independent: merging profiles built from disjoint
@@ -121,11 +146,39 @@ struct RankCell {
 pub struct TailProfile {
     geom: LogBins,
     stripe_bytes: u64,
-    per_rank: HashMap<u32, RankCell>,
-    /// `residues[mi][r]` is the duration histogram of records whose
-    /// stripe index ≡ r (mod MODULI[mi]).
-    residues: Vec<Vec<Vec<u64>>>,
+    /// `log2(stripe_bytes)` when it is a power of two, so the hot path
+    /// shifts instead of dividing.
+    stripe_shift: Option<u32>,
+    /// Cells for ranks `< DENSE_RANKS`, direct-indexed by rank and grown
+    /// on demand; the hot path touches one bounds-checked slot instead
+    /// of hashing.
+    dense: Vec<Option<RankCell>>,
+    /// Spill table for out-of-range rank ids.
+    sparse: FxHashMap<u32, RankCell>,
+    /// Flat residue histograms: the duration histogram of records whose
+    /// stripe index ≡ r (mod `MODULI[mi]`) occupies
+    /// `RES_OFF[mi] + r * TAIL_HIST_BINS ..+ TAIL_HIST_BINS`. One
+    /// contiguous allocation (35 rows × 48 bins) instead of dozens of
+    /// scattered vectors keeps the eight per-record increments of
+    /// `add_binned` inside a 13 kB working set.
+    residues: Vec<u64>,
 }
+
+/// Row offsets of each modulus's residue block in the flat storage.
+const RES_OFF: [usize; MODULI.len()] = {
+    let mut off = [0usize; MODULI.len()];
+    let mut acc = 0;
+    let mut i = 0;
+    while i < MODULI.len() {
+        off[i] = acc;
+        acc += MODULI[i] * TAIL_HIST_BINS;
+        i += 1;
+    }
+    off
+};
+
+/// Total flat residue slots across all moduli.
+const RES_TOTAL: usize = RES_OFF[MODULI.len() - 1] + MODULI[MODULI.len() - 1] * TAIL_HIST_BINS;
 
 /// Verdict data from [`TailProfile::rank_correlated`].
 #[derive(Debug, Clone, PartialEq)]
@@ -157,15 +210,47 @@ pub struct TargetTail {
 impl TailProfile {
     /// An empty profile; `stripe_bytes` maps offsets onto stripe indices.
     pub fn new(stripe_bytes: u64) -> Self {
+        let stripe_bytes = stripe_bytes.max(1);
         TailProfile {
             geom: LogBins::new(TAIL_HIST_LO, TAIL_HIST_HI, TAIL_HIST_BINS),
-            stripe_bytes: stripe_bytes.max(1),
-            per_rank: HashMap::new(),
-            residues: MODULI
-                .iter()
-                .map(|&m| vec![vec![0u64; TAIL_HIST_BINS]; m])
-                .collect(),
+            stripe_bytes,
+            stripe_shift: stripe_bytes
+                .is_power_of_two()
+                .then(|| stripe_bytes.trailing_zeros()),
+            dense: Vec::new(),
+            sparse: FxHashMap::default(),
+            residues: vec![0u64; RES_TOTAL],
         }
+    }
+
+    /// The duration histogram of records on residue `r` mod `MODULI[mi]`.
+    #[inline]
+    fn residue_row(&self, mi: usize, r: usize) -> &[u64] {
+        let at = RES_OFF[mi] + r * TAIL_HIST_BINS;
+        &self.residues[at..at + TAIL_HIST_BINS]
+    }
+
+    /// The (created-on-demand) cell for `rank`.
+    #[inline]
+    fn cell_mut(&mut self, rank: u32) -> &mut RankCell {
+        let i = rank as usize;
+        if i < DENSE_RANKS {
+            if i >= self.dense.len() {
+                self.dense.resize_with(i + 1, || None);
+            }
+            self.dense[i].get_or_insert_with(RankCell::empty)
+        } else {
+            self.sparse.entry(rank).or_insert_with(RankCell::empty)
+        }
+    }
+
+    /// All populated cells, dense ranks first (ascending), then spills.
+    fn rank_cells(&self) -> impl Iterator<Item = (u32, &RankCell)> {
+        self.dense
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.as_ref().map(|c| (i as u32, c)))
+            .chain(self.sparse.iter().map(|(&r, c)| (r, c)))
     }
 
     /// Profile every record of `kind` in a trace.
@@ -180,18 +265,36 @@ impl TailProfile {
     /// Accumulate one record.
     pub fn add(&mut self, rank: u32, offset: u64, secs: f64) {
         let bin = self.geom.index_clamped(secs);
-        let cell = self.per_rank.entry(rank).or_insert_with(|| RankCell {
-            counts: vec![0; TAIL_HIST_BINS],
-            secs: 0.0,
-            ops: 0,
-        });
+        self.add_binned(rank, offset, secs, bin);
+    }
+
+    /// [`Self::add`] with the duration bin pre-classified. `bin` must
+    /// equal `self.geometry().index_clamped(secs)` — batch ingest paths
+    /// compute it once via [`tail_bin_table`] and fan it out; passing
+    /// any other value corrupts the histograms (an out-of-range bin
+    /// panics).
+    #[inline]
+    pub fn add_binned(&mut self, rank: u32, offset: u64, secs: f64, bin: usize) {
+        debug_assert_eq!(bin, self.geom.index_clamped(secs));
+        let cell = self.cell_mut(rank);
         cell.counts[bin] += 1;
         cell.secs += secs;
         cell.ops += 1;
-        let stripe = offset / self.stripe_bytes;
+        let stripe = match self.stripe_shift {
+            Some(sh) => offset >> sh,
+            None => offset / self.stripe_bytes,
+        };
+        // 840 = lcm(2..=8): reducing once preserves every residue while
+        // turning the eight divisions into constant-divisor multiplies.
+        let s = (stripe % 840) as usize;
         for (mi, &m) in MODULI.iter().enumerate() {
-            self.residues[mi][(stripe % m as u64) as usize][bin] += 1;
+            self.residues[RES_OFF[mi] + (s % m) * TAIL_HIST_BINS + bin] += 1;
         }
+    }
+
+    /// The profile's bin geometry.
+    pub fn geometry(&self) -> LogBins {
+        self.geom
     }
 
     /// Merge another profile (same stripe geometry); equivalent to having
@@ -201,48 +304,39 @@ impl TailProfile {
             self.stripe_bytes, other.stripe_bytes,
             "merging tail profiles with different stripe geometry"
         );
-        for (&rank, cell) in &other.per_rank {
-            let mine = self.per_rank.entry(rank).or_insert_with(|| RankCell {
-                counts: vec![0; TAIL_HIST_BINS],
-                secs: 0.0,
-                ops: 0,
-            });
+        for (rank, cell) in other.rank_cells() {
+            let mine = self.cell_mut(rank);
             for (i, &c) in cell.counts.iter().enumerate() {
                 mine.counts[i] += c;
             }
             mine.secs += cell.secs;
             mine.ops += cell.ops;
         }
-        for (mi, table) in other.residues.iter().enumerate() {
-            for (r, counts) in table.iter().enumerate() {
-                for (i, &c) in counts.iter().enumerate() {
-                    self.residues[mi][r][i] += c;
-                }
-            }
+        for (slot, &c) in self.residues.iter_mut().zip(&other.residues) {
+            *slot += c;
         }
     }
 
     /// Ranks that produced at least one record of the class.
     pub fn ranks_observed(&self) -> usize {
-        self.per_rank.len()
+        self.rank_cells().count()
     }
 
     /// Records accumulated.
     pub fn ops(&self) -> u64 {
-        self.per_rank.values().map(|c| c.ops).sum()
+        self.rank_cells().map(|(_, c)| c.ops).sum()
     }
 
     /// Is the profile empty?
     pub fn is_empty(&self) -> bool {
-        self.per_rank.is_empty()
+        self.rank_cells().next().is_none()
     }
 
     /// The heaviest rank by class seconds and its share of the class
     /// total, or `None` if empty. Ties break to the lowest rank.
     pub fn top_rank_share(&self) -> Option<(u32, f64)> {
         let total: f64 = {
-            let mut rows: Vec<(u32, f64)> =
-                self.per_rank.iter().map(|(&r, c)| (r, c.secs)).collect();
+            let mut rows: Vec<(u32, f64)> = self.rank_cells().map(|(r, c)| (r, c.secs)).collect();
             rows.sort_by_key(|&(r, _)| r);
             rows.iter().map(|&(_, s)| s).sum()
         };
@@ -250,9 +344,8 @@ impl TailProfile {
             return None;
         }
         let (rank, secs) = self
-            .per_rank
-            .iter()
-            .map(|(&r, c)| (r, c.secs))
+            .rank_cells()
+            .map(|(r, c)| (r, c.secs))
             .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))?;
         Some((rank, secs / total))
     }
@@ -264,15 +357,14 @@ impl TailProfile {
     /// (slow on everything) from harmonic arbitration losers (slow on a
     /// rotating subset of operations).
     pub fn rank_correlated(&self, cut: f64, th: &Thresholds) -> Option<RankTail> {
-        let ranks_observed = self.per_rank.len();
+        let ranks_observed = self.ranks_observed();
         if ranks_observed < 8 {
             return None;
         }
         // (rank, tail mass, total secs, total ops, tail events)
         let mut rows: Vec<(u32, f64, f64, u64, u64)> = self
-            .per_rank
-            .iter()
-            .map(|(&rank, cell)| {
+            .rank_cells()
+            .map(|(rank, cell)| {
                 let (mut mass, mut events) = (0.0, 0u64);
                 for (i, &c) in cell.counts.iter().enumerate() {
                     if c > 0 && self.geom.center(i) > cut {
@@ -345,12 +437,12 @@ impl TailProfile {
     /// skipped.
     pub fn target_correlated(&self, cut: f64, th: &Thresholds) -> Option<TargetTail> {
         for (mi, &m) in MODULI.iter().enumerate() {
-            let table = &self.residues[mi];
             let mut tails = vec![0.0f64; m];
             let mut bulks = vec![0.0f64; m];
             let mut tail_ev = vec![0u64; m];
             let mut ev = vec![0u64; m];
-            for (res, counts) in table.iter().enumerate() {
+            for res in 0..m {
+                let counts = self.residue_row(mi, res);
                 for (i, &c) in counts.iter().enumerate() {
                     if c == 0 {
                         continue;
@@ -716,8 +808,10 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.ops(), whole.ops());
         assert_eq!(a.residues, whole.residues);
-        for (rank, cell) in &whole.per_rank {
-            let got = &a.per_rank[rank];
+        let merged: Vec<_> = a.rank_cells().collect();
+        for (i, (rank, cell)) in whole.rank_cells().enumerate() {
+            let (got_rank, got) = merged[i];
+            assert_eq!(got_rank, rank);
             assert_eq!(got.counts, cell.counts);
             assert_eq!(got.ops, cell.ops);
             assert!((got.secs - cell.secs).abs() < 1e-9);

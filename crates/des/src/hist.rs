@@ -113,6 +113,155 @@ impl LogBins {
     }
 }
 
+/// Precomputed branch-light binning kernel for one [`LogBins`] geometry.
+///
+/// Classifies values bit-identically to [`LogBins::slot`] without a
+/// `ln` call per value: the 11-bit biased exponent of the `f64` indexes
+/// a per-octave rank base, and a short sorted run of exact bin
+/// boundaries inside that octave resolves the final bin with `<=`
+/// comparisons only (log-spaced duration geometries put ~3-4 boundaries
+/// per octave, so the scan is a handful of flops).
+///
+/// Boundaries are found by bisecting the positive `f64` bit space
+/// against the reference `slot`, then each boundary is verified against
+/// its one-ULP predecessor. If any check fails (a geometry so tight
+/// that bins are narrower than a ULP, or a non-monotone libm `ln`), the
+/// table marks itself inexact and every lookup falls through to the
+/// reference implementation — so the kernel is bit-identical to
+/// [`LogBins::slot`] *by construction*, never by assumption.
+#[derive(Debug, Clone)]
+pub struct BinTable {
+    geom: LogBins,
+    /// CSR offsets into `edges`, indexed by biased exponent (2049
+    /// entries). `starts[e]` doubles as the rank base for octave `e`:
+    /// it counts the boundaries strictly below the octave's first
+    /// value, so `rank(v) = starts[e] + |{edges in octave e} <= v|`
+    /// and `rank == 0` means Under, `rank == r` means `In(r - 1)`.
+    starts: Vec<u32>,
+    /// Every bin's exact lower boundary (the smallest positive `f64`
+    /// classified into that bin by the reference `slot`), ascending.
+    edges: Vec<f64>,
+    /// Construction-time verification passed; lookups may use the table.
+    exact: bool,
+}
+
+impl BinTable {
+    /// Build the kernel for `geom`. Always succeeds; if exact boundary
+    /// recovery fails the table transparently degrades to the reference
+    /// path (see the type docs).
+    pub fn new(geom: LogBins) -> Self {
+        // ord(v): Under = 0, In(i) = i + 1, Over = bins + 1 — monotone
+        // in v for the reference slot (division by a positive constant,
+        // ln, and scaling are all monotone).
+        let ord = |v: f64| -> usize {
+            match geom.slot(v) {
+                BinSlot::Under => 0,
+                BinSlot::In(i) => i + 1,
+                BinSlot::Over => geom.bins + 1,
+            }
+        };
+        let lo_bits = geom.lo.to_bits();
+        let hi_bits = geom.hi.to_bits();
+        let mut edges = Vec::with_capacity(geom.bins);
+        let mut exact = true;
+        for i in 0..geom.bins {
+            // Smallest positive finite v with ord(v) >= i + 1, by
+            // bisection over the (order-preserving) positive bit space.
+            let (mut lo_b, mut hi_b) = (lo_bits, hi_bits);
+            if ord(f64::from_bits(lo_b)) > i {
+                hi_b = lo_b;
+            }
+            while lo_b < hi_b {
+                let mid = lo_b + (hi_b - lo_b) / 2;
+                if ord(f64::from_bits(mid)) > i {
+                    hi_b = mid;
+                } else {
+                    lo_b = mid + 1;
+                }
+            }
+            let b = f64::from_bits(hi_b);
+            // The boundary must land exactly on its bin and its one-ULP
+            // predecessor exactly on the previous slot.
+            let prev = f64::from_bits(hi_b.wrapping_sub(1));
+            if ord(b) != i + 1 || ord(prev) != i {
+                exact = false;
+                break;
+            }
+            edges.push(b);
+        }
+        let starts = if exact {
+            let mut starts = Vec::with_capacity(2049);
+            for e in 0..2048u64 {
+                let octave_start = f64::from_bits(e << 52);
+                starts.push(edges.partition_point(|b| *b < octave_start) as u32);
+            }
+            starts.push(edges.len() as u32);
+            starts
+        } else {
+            edges.clear();
+            Vec::new()
+        };
+        BinTable {
+            geom,
+            starts,
+            edges,
+            exact,
+        }
+    }
+
+    /// The geometry this table classifies for.
+    pub fn geometry(&self) -> LogBins {
+        self.geom
+    }
+
+    /// Did construction verify exact boundaries (i.e. lookups avoid
+    /// `ln`)? The classification result is reference-identical either
+    /// way.
+    pub fn is_exact(&self) -> bool {
+        self.exact
+    }
+
+    /// Classify a value — bit-identical to [`LogBins::slot`].
+    #[inline]
+    pub fn slot(&self, v: f64) -> BinSlot {
+        if !self.exact {
+            return self.geom.slot(v);
+        }
+        // lo > 0, so `v < lo` covers negatives, zeros, and (0, lo).
+        // NaN fails every comparison and lands in In(0), exactly like
+        // the reference's `(NaN * bins) as usize` saturation.
+        if v < self.geom.lo {
+            return BinSlot::Under;
+        }
+        if v >= self.geom.hi {
+            return BinSlot::Over;
+        }
+        if v.is_nan() {
+            return BinSlot::In(0);
+        }
+        let e = ((v.to_bits() >> 52) & 0x7ff) as usize;
+        let mut rank = self.starts[e] as usize;
+        let lo = self.starts[e] as usize;
+        let hi = self.starts[e + 1] as usize;
+        for &b in &self.edges[lo..hi] {
+            rank += (b <= v) as usize;
+        }
+        debug_assert_eq!(BinSlot::In(rank - 1), self.geom.slot(v));
+        BinSlot::In(rank - 1)
+    }
+
+    /// Bin index with out-of-range values clamped to the edge bins —
+    /// bit-identical to [`LogBins::index_clamped`].
+    #[inline]
+    pub fn index_clamped(&self, v: f64) -> usize {
+        match self.slot(v) {
+            BinSlot::Under => 0,
+            BinSlot::In(i) => i,
+            BinSlot::Over => self.geom.bins - 1,
+        }
+    }
+}
+
 /// A histogram with logarithmically spaced bins over `[lo, hi)`.
 ///
 /// Out-of-range samples land in dedicated under/overflow counters by
@@ -185,6 +334,27 @@ impl LogHistogram {
     /// Record one sample, clamping out-of-range values to the edge bins.
     pub fn add_clamped(&mut self, v: f64) {
         let i = self.geometry().index_clamped(v);
+        self.counts[i] += 1;
+    }
+
+    /// Record one pre-classified sample. Equivalent to [`Self::add`]
+    /// when `slot` came from this histogram's geometry (a [`BinTable`]
+    /// built for [`Self::geometry`]); the batch ingest path classifies
+    /// once and fans the slot out to several collectors.
+    #[inline]
+    pub fn add_slot(&mut self, slot: BinSlot) {
+        match slot {
+            BinSlot::Under => self.underflow += 1,
+            BinSlot::In(i) => self.counts[i] += 1,
+            BinSlot::Over => self.overflow += 1,
+        }
+    }
+
+    /// Record one sample already clamped to bin `i`. Equivalent to
+    /// [`Self::add_clamped`] when `i` came from this histogram's
+    /// geometry ([`BinTable::index_clamped`]).
+    #[inline]
+    pub fn add_clamped_at(&mut self, i: usize) {
         self.counts[i] += 1;
     }
 
@@ -336,6 +506,130 @@ mod tests {
         let mut a = LogHistogram::new(0.1, 10.0, 8);
         let b = LogHistogram::new(0.1, 10.0, 16);
         a.merge(&b);
+    }
+
+    /// Deterministic 64-bit mixer for test-value generation.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn table_geometries() -> Vec<LogBins> {
+        vec![
+            // The duration geometry every ingest sketch uses.
+            LogBins::new(1e-6, 1e3, 96),
+            LogBins::new(0.1, 10.0, 20),
+            LogBins::new(1e-3, 1e3, 64),
+            LogBins::new(0.05, 50.0, 24),
+            // One bin, power-of-two aligned bounds, subnormal lows.
+            LogBins::new(1.0, 2.0, 1),
+            LogBins::new(0.25, 1024.0, 7),
+            LogBins::new(1e-310, 1e-300, 12),
+        ]
+    }
+
+    #[test]
+    fn bin_table_matches_reference_on_specials_and_edges() {
+        for g in table_geometries() {
+            let t = BinTable::new(g);
+            assert!(t.is_exact(), "expected exact table for {g:?}");
+            let mut probes = vec![
+                0.0,
+                -0.0,
+                -1.0,
+                f64::NAN,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::MIN_POSITIVE,
+                5e-324,
+                g.lo(),
+                g.hi(),
+                f64::MAX,
+            ];
+            // Every bin boundary ± 64 ULPs, plus exact edges/centers.
+            for i in 0..g.bins() {
+                let e = g.edges(i);
+                for anchor in [e.left, e.right, g.center(i)] {
+                    let bits = anchor.to_bits();
+                    for d in 0..64u64 {
+                        probes.push(f64::from_bits(bits.wrapping_add(d)));
+                        probes.push(f64::from_bits(bits.wrapping_sub(d)));
+                    }
+                }
+            }
+            for v in probes {
+                assert_eq!(t.slot(v), g.slot(v), "slot({v:e}) on {g:?}");
+                assert_eq!(
+                    t.index_clamped(v),
+                    g.index_clamped(v),
+                    "index_clamped({v:e}) on {g:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bin_table_matches_reference_on_dense_random_sweep() {
+        let mut state = 0x5eed_1234u64;
+        for g in table_geometries() {
+            let t = BinTable::new(g);
+            let (lo_bits, hi_bits) = (g.lo().to_bits(), g.hi().to_bits());
+            for _ in 0..200_000 {
+                // Log-uniform over the geometry's own range (uniform in
+                // bit space), widened a little past both ends.
+                let span = hi_bits - lo_bits;
+                let bits = lo_bits
+                    .wrapping_sub(span / 8)
+                    .wrapping_add(splitmix(&mut state) % (span + span / 4).max(1));
+                let v = f64::from_bits(bits);
+                assert_eq!(t.slot(v), g.slot(v), "slot({v:e}) on {g:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bin_table_degrades_to_reference_when_bins_are_subulp() {
+        // 1000 bins across a 2-ULP interval: boundaries can't be
+        // recovered exactly, so the table must fall back — and still
+        // agree with the reference everywhere.
+        let lo = 1.0f64;
+        let hi = f64::from_bits(lo.to_bits() + 2);
+        let g = LogBins::new(lo, hi, 1000);
+        let t = BinTable::new(g);
+        assert!(!t.is_exact());
+        for v in [0.0, lo, f64::from_bits(lo.to_bits() + 1), hi, 2.0] {
+            assert_eq!(t.slot(v), g.slot(v));
+        }
+    }
+
+    #[test]
+    fn add_slot_matches_add() {
+        let g = LogBins::new(1e-6, 1e3, 96);
+        let t = BinTable::new(g);
+        let mut a = LogHistogram::new(1e-6, 1e3, 96);
+        let mut b = a.clone();
+        let mut c = a.clone();
+        let mut d = a.clone();
+        let mut state = 7u64;
+        for i in 0..10_000 {
+            let v = match i % 7 {
+                0 => -1.0,
+                1 => 0.0,
+                2 => 5e4,
+                _ => f64::from_bits(
+                    g.lo().to_bits() + splitmix(&mut state) % (g.hi().to_bits() - g.lo().to_bits()),
+                ),
+            };
+            a.add(v);
+            b.add_slot(t.slot(v));
+            c.add_clamped(v);
+            d.add_clamped_at(t.index_clamped(v));
+        }
+        assert_eq!(a, b);
+        assert_eq!(c, d);
     }
 
     #[test]

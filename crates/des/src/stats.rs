@@ -143,6 +143,17 @@ impl OnlineMoments {
         self.m2 += term1;
     }
 
+    /// Record a slice of observations — the exact same sequential
+    /// update as calling [`Self::record`] per element (bit-identical;
+    /// the batch ingest path uses this to keep the accumulator loop
+    /// tight and inlineable without changing a single rounding step).
+    #[inline]
+    pub fn record_block(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.record(x);
+        }
+    }
+
     /// Observation count.
     pub fn count(&self) -> u64 {
         self.n

@@ -19,16 +19,22 @@
 //! constant in the number of records.
 
 use crate::sketch::{HeavyHitters, QuantileSketch};
-use pio_core::attribution::{attribute_data_tail, attribute_meta_tail, FaultClass, TailProfile};
+use pio_core::attribution::{
+    attribute_data_tail, attribute_meta_tail, tail_bin_table, FaultClass, TailProfile,
+};
 use pio_core::diagnosis::{
     deterioration_verdict, harmonic_verdict, metadata_shoulder_verdict, rank_tail_verdict,
     serialized_meta_verdict, shoulder_verdict, Finding, Thresholds,
 };
 use pio_core::modes::find_modes_on_grid;
-use pio_des::hist::LogHistogram;
+use pio_des::hist::{BinTable, LogBins, LogHistogram};
 use pio_trace::{CallKind, Record, RecordSink};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BinaryHeap, HashSet};
+
+/// Number of call classes; per-kind state is direct-indexed by
+/// `call as usize` instead of hashed.
+const KINDS: usize = CallKind::ALL.len();
 
 /// Ceiling on the retained slowest-event reservoir (per call class):
 /// enough to establish burst periodicity and front structure, bounded
@@ -104,6 +110,14 @@ impl KindWindow {
         self.sketch.add(secs);
     }
 
+    /// Pre-classified add: `bin` came from a [`BinTable`] over this
+    /// window's geometry. Bit-identical to [`Self::add`].
+    #[inline]
+    fn add_at(&mut self, secs: f64, bin: usize) {
+        self.hist.add_clamped_at(bin);
+        self.sketch.add_at(secs, bin);
+    }
+
     fn count(&self) -> u64 {
         self.sketch.count()
     }
@@ -172,13 +186,30 @@ impl SmallWriteState {
 }
 
 /// Streaming, constant-memory implementation of the paper's detectors.
+///
+/// Per-kind state (windows, cumulative tails, per-phase sketches) is
+/// stored in `CallKind`-indexed arrays rather than hash maps, and the
+/// block ingestion path ([`RecordSink::push_block`]) classifies each
+/// duration once against a precomputed [`BinTable`] shared by every
+/// same-geometry accumulator. Both changes are representation-only: the
+/// record-at-a-time [`RecordSink::push`] path keeps the original
+/// log-domain arithmetic and stays the reference implementation.
 pub struct StreamDiagnoser {
     cfg: DiagnoserConfig,
-    windows: HashMap<CallKind, KindWindow>,
-    phase_sketches: HashMap<(CallKind, u32), QuantileSketch>,
-    phase_medians: HashMap<CallKind, Vec<(u32, f64)>>,
+    /// Bit-exact bin classifier for the configured duration geometry.
+    table: BinTable,
+    /// The configured geometry is the tail geometry at exactly double
+    /// resolution (same range, 2× bins), so a tail bin is the configured
+    /// bin halved: `floor(f·2n)/2 = floor(f·n)` exactly, range checks and
+    /// edge clamps included. Saves the second table lookup per record.
+    tail_nested: bool,
+    /// `watch_mask[call as usize]` ⟺ `cfg.watch.contains(call)`.
+    watch_mask: [bool; KINDS],
+    windows: Vec<Option<KindWindow>>,
+    phase_sketches: Vec<Vec<(u32, QuantileSketch)>>,
+    phase_medians: Vec<Vec<(u32, f64)>>,
     hitters: HeavyHitters,
-    tails: HashMap<CallKind, KindTail>,
+    tails: Vec<Option<KindTail>>,
     small: SmallWriteState,
     meta_secs: f64,
     io_secs: f64,
@@ -187,6 +218,8 @@ pub struct StreamDiagnoser {
     current_phase: u32,
     findings: Vec<TimedFinding>,
     seen: HashSet<(u8, Option<CallKind>, Option<FaultClass>)>,
+    /// Scratch buffer for grouped heavy-hitter runs (reused per block).
+    run_buf: Vec<f64>,
 }
 
 impl StreamDiagnoser {
@@ -194,13 +227,24 @@ impl StreamDiagnoser {
     pub fn new(cfg: DiagnoserConfig) -> Self {
         let hitters = HeavyHitters::new(cfg.hitter_capacity);
         let small = SmallWriteState::new(cfg.hitter_capacity);
+        let table = BinTable::new(LogBins::new(cfg.hist_lo, cfg.hist_hi, cfg.hist_bins));
+        let mut watch_mask = [false; KINDS];
+        for k in &cfg.watch {
+            watch_mask[*k as usize] = true;
+        }
+        let tg = tail_bin_table().geometry();
+        let tail_nested =
+            cfg.hist_lo == tg.lo() && cfg.hist_hi == tg.hi() && cfg.hist_bins == 2 * tg.bins();
         StreamDiagnoser {
             cfg,
-            windows: HashMap::new(),
-            phase_sketches: HashMap::new(),
-            phase_medians: HashMap::new(),
+            table,
+            tail_nested,
+            watch_mask,
+            windows: (0..KINDS).map(|_| None).collect(),
+            phase_sketches: (0..KINDS).map(|_| Vec::new()).collect(),
+            phase_medians: (0..KINDS).map(|_| Vec::new()).collect(),
             hitters,
-            tails: HashMap::new(),
+            tails: (0..KINDS).map(|_| None).collect(),
             small,
             meta_secs: 0.0,
             io_secs: 0.0,
@@ -209,6 +253,7 @@ impl StreamDiagnoser {
             current_phase: 0,
             findings: Vec::new(),
             seen: HashSet::new(),
+            run_buf: Vec::new(),
         }
     }
 
@@ -257,7 +302,7 @@ impl StreamDiagnoser {
 
     /// Evaluate the distributional detectors over one kind's window.
     fn evaluate_window(&mut self, kind: CallKind) {
-        let Some(w) = self.windows.get(&kind) else {
+        let Some(w) = self.windows[kind as usize].as_ref() else {
             return;
         };
         let n = w.count() as usize;
@@ -287,7 +332,7 @@ impl StreamDiagnoser {
     /// Attribute `kind`'s tail from the cumulative (whole-run-so-far)
     /// state; `None` until the evidence supports a class.
     fn attribute(&self, kind: CallKind) -> Option<FaultClass> {
-        let kt = self.tails.get(&kind)?;
+        let kt = self.tails[kind as usize].as_ref()?;
         let th = &self.cfg.thresholds;
         if matches!(kind, CallKind::MetaRead | CallKind::MetaWrite) {
             return Some(attribute_meta_tail(&kt.profile, th));
@@ -302,13 +347,15 @@ impl StreamDiagnoser {
     fn evaluate_rank_tails(&mut self) {
         let th = self.cfg.thresholds.clone();
         let mut raised = Vec::new();
-        let mut kinds: Vec<CallKind> = self.tails.keys().cloned().collect();
-        kinds.sort_by_key(|k| *k as u8);
-        for kind in kinds {
+        // Array order is discriminant order — the same order the map
+        // version produced after its sort.
+        for kind in CallKind::ALL {
             if matches!(kind, CallKind::MetaRead | CallKind::MetaWrite) {
                 continue;
             }
-            let kt = &self.tails[&kind];
+            let Some(kt) = self.tails[kind as usize].as_ref() else {
+                continue;
+            };
             if (kt.cum.count() as usize) < th.min_samples {
                 continue;
             }
@@ -369,6 +416,28 @@ impl StreamDiagnoser {
     }
 }
 
+/// Find or create the sketch for `phase` in one kind's per-phase list.
+/// Streams deliver phases mostly in order, so the last entry matches
+/// almost always; the fallback scan keeps arbitrary phase interleavings
+/// correct. Open phases per kind are few (they close at each barrier),
+/// so the scan is short even when it runs.
+fn phase_sketch(
+    v: &mut Vec<(u32, QuantileSketch)>,
+    phase: u32,
+    lo: f64,
+    hi: f64,
+    bins: usize,
+) -> &mut QuantileSketch {
+    if v.last().is_some_and(|e| e.0 == phase) {
+        return &mut v.last_mut().expect("non-empty").1;
+    }
+    if let Some(i) = v.iter().position(|e| e.0 == phase) {
+        return &mut v[i].1;
+    }
+    v.push((phase, QuantileSketch::new(lo, hi, bins)));
+    &mut v.last_mut().expect("just pushed").1
+}
+
 /// A smoothed `(duration, density)` grid from a windowed histogram.
 fn density_grid(hist: &LogHistogram) -> Vec<(f64, f64)> {
     let total = hist.in_range() as f64;
@@ -403,6 +472,7 @@ impl RecordSink for StreamDiagnoser {
         self.ranks = self.ranks.max(r.rank + 1);
         self.current_phase = self.current_phase.max(r.phase);
         let secs = r.secs();
+        let k = r.call as usize;
         if matches!(r.call, CallKind::MetaRead | CallKind::MetaWrite) {
             self.hitters.add(r.rank, secs);
             self.meta_secs += secs;
@@ -421,7 +491,7 @@ impl RecordSink for StreamDiagnoser {
                 self.small.last_ns = self.small.last_ns.max(r.end_ns);
             }
         }
-        if !self.cfg.watch.contains(&r.call) {
+        if !self.watch_mask[k] {
             return;
         }
         let (lo, hi, bins) = (self.cfg.hist_lo, self.cfg.hist_hi, self.cfg.hist_bins);
@@ -429,10 +499,8 @@ impl RecordSink for StreamDiagnoser {
         // the slow-event reservoir and the profile both have the cut
         // applied at diagnosis time, so the evidence stays insensitive
         // to the provisional medians seen mid-stream.
-        let kt = self
-            .tails
-            .entry(r.call)
-            .or_insert_with(|| KindTail::new(&self.cfg));
+        let cfg = &self.cfg;
+        let kt = self.tails[k].get_or_insert_with(|| KindTail::new(cfg));
         kt.cum.add(secs);
         kt.hist.add_clamped(secs);
         kt.profile.add(r.rank, r.offset, secs);
@@ -443,17 +511,122 @@ impl RecordSink for StreamDiagnoser {
             kt.slow.pop();
             kt.slow.push(Reverse(key));
         }
-        self.windows
-            .entry(r.call)
-            .or_insert_with(|| KindWindow::new(&self.cfg))
+        self.windows[k]
+            .get_or_insert_with(|| KindWindow::new(cfg))
             .add(secs);
-        self.phase_sketches
-            .entry((r.call, r.phase))
-            .or_insert_with(|| QuantileSketch::new(lo, hi, bins))
-            .add(secs);
-        if self.windows[&r.call].count() as usize >= self.cfg.window {
+        phase_sketch(&mut self.phase_sketches[k], r.phase, lo, hi, bins).add(secs);
+        if self.windows[k]
+            .as_ref()
+            .is_some_and(|w| w.count() as usize >= self.cfg.window)
+        {
             self.evaluate_window(r.call);
-            self.windows.remove(&r.call);
+            self.windows[k] = None;
+        }
+    }
+
+    /// The block hot path: bit-identical to per-record [`Self::push`]
+    /// for any partitioning of the stream, but with one [`BinTable`]
+    /// classification per watched record feeding every cfg-geometry
+    /// accumulator (window histogram + sketch, cumulative histogram +
+    /// sketch, phase sketch) and one [`tail_bin_table`] classification
+    /// feeding the attribution profile — no `ln` per record — plus
+    /// heavy-hitter updates grouped by key run before hashing.
+    fn push_block(&mut self, block: &[Record]) {
+        // Pass 1 — meta heavy hitters, grouped by rank run over the
+        // metadata subsequence. The sketch sees the same per-key weight
+        // sequence as per-record pushes, and nothing reads it mid-block
+        // (it is only evaluated at phase boundaries), so hoisting it out
+        // of the main pass is unobservable.
+        let mut run = std::mem::take(&mut self.run_buf);
+        let mut i = 0;
+        while i < block.len() {
+            let r = &block[i];
+            i += 1;
+            if !matches!(r.call, CallKind::MetaRead | CallKind::MetaWrite) {
+                continue;
+            }
+            run.clear();
+            run.push(r.secs());
+            let key = r.rank;
+            while i < block.len() {
+                let n = &block[i];
+                if matches!(n.call, CallKind::MetaRead | CallKind::MetaWrite) {
+                    if n.rank != key {
+                        break;
+                    }
+                    run.push(n.secs());
+                }
+                i += 1;
+            }
+            self.hitters.add_run(key, &run);
+        }
+        self.run_buf = run;
+
+        // Pass 2 — everything else, in record order. `records` and
+        // `current_phase` advance per record so a window that fills
+        // mid-block raises its finding with the exact same
+        // `after_records` / `phase` stamp as the per-record path.
+        let ttable = tail_bin_table();
+        for r in block {
+            self.records += 1;
+            self.ranks = self.ranks.max(r.rank + 1);
+            self.current_phase = self.current_phase.max(r.phase);
+            let secs = r.secs();
+            let k = r.call as usize;
+            if matches!(r.call, CallKind::MetaRead | CallKind::MetaWrite) {
+                self.meta_secs += secs;
+            }
+            if r.call.is_io() {
+                self.io_secs += secs;
+            }
+            if matches!(r.call, CallKind::Write | CallKind::MetaWrite) {
+                self.small.write_secs += secs;
+                if r.bytes > 0 && r.bytes < self.cfg.thresholds.small_write_bytes {
+                    self.small.ops += 1;
+                    self.small.secs += secs;
+                    self.small.per_rank.add(r.rank, secs);
+                    self.small.first_ns = self.small.first_ns.min(r.start_ns);
+                    self.small.last_ns = self.small.last_ns.max(r.end_ns);
+                }
+            }
+            if !self.watch_mask[k] {
+                continue;
+            }
+            let (lo, hi, bins) = (self.cfg.hist_lo, self.cfg.hist_hi, self.cfg.hist_bins);
+            let bin = self.table.index_clamped(secs);
+            // `add_binned` debug-asserts this equals the tail-geometry
+            // classification, so the halving shortcut is checked against
+            // the reference on every debug-build test run.
+            let tail_bin = if self.tail_nested {
+                bin >> 1
+            } else {
+                ttable.index_clamped(secs)
+            };
+            let cfg = &self.cfg;
+            let kt = self.tails[k].get_or_insert_with(|| KindTail::new(cfg));
+            kt.cum.add_at(secs, bin);
+            kt.hist.add_clamped_at(bin);
+            kt.profile.add_binned(r.rank, r.offset, secs, tail_bin);
+            // Reservoir fast path: once warm, a single peek-compare
+            // rejects sub-threshold events without touching the heap.
+            let key = (secs.max(0.0).to_bits(), r.start_ns);
+            if kt.slow.len() < TAIL_STARTS_CAP {
+                kt.slow.push(Reverse(key));
+            } else if kt.slow.peek().is_some_and(|Reverse(min)| key > *min) {
+                kt.slow.pop();
+                kt.slow.push(Reverse(key));
+            }
+            self.windows[k]
+                .get_or_insert_with(|| KindWindow::new(cfg))
+                .add_at(secs, bin);
+            phase_sketch(&mut self.phase_sketches[k], r.phase, lo, hi, bins).add_at(secs, bin);
+            if self.windows[k]
+                .as_ref()
+                .is_some_and(|w| w.count() as usize >= self.cfg.window)
+            {
+                self.evaluate_window(r.call);
+                self.windows[k] = None;
+            }
         }
     }
 
@@ -464,25 +637,25 @@ impl RecordSink for StreamDiagnoser {
         for kind in kinds {
             // Close every sketch for phases up to the barrier (phases
             // complete in order; anything still open at `phase` is done).
+            // Closure order is irrelevant: phase keys are distinct, and
+            // the ladder is sorted before the verdict.
             let mut closed: Vec<(u32, f64)> = Vec::new();
-            let done: Vec<(CallKind, u32)> = self
-                .phase_sketches
-                .keys()
-                .filter(|&&(k, p)| k == kind && p <= phase)
-                .cloned()
-                .collect();
-            for key in done {
-                let s = self.phase_sketches.remove(&key).expect("present");
-                if s.count() as usize >= min_n {
-                    if let Some(m) = s.quantile(0.5) {
-                        closed.push((key.1, m));
+            self.phase_sketches[kind as usize].retain(|(p, s)| {
+                if *p <= phase {
+                    if s.count() as usize >= min_n {
+                        if let Some(m) = s.quantile(0.5) {
+                            closed.push((*p, m));
+                        }
                     }
+                    false
+                } else {
+                    true
                 }
-            }
+            });
             if closed.is_empty() {
                 continue;
             }
-            let medians = self.phase_medians.entry(kind).or_default();
+            let medians = &mut self.phase_medians[kind as usize];
             medians.extend(closed);
             medians.sort_by_key(|&(p, _)| p);
             let medians = medians.clone();
@@ -734,6 +907,76 @@ mod tests {
             _ => unreachable!(),
         }
         assert_eq!(t.finding.attribution(), Some(FaultClass::MetadataStorm));
+    }
+
+    /// The block path must raise byte-identical findings at identical
+    /// stamps for every partitioning of the same stream — pathological
+    /// streams included, so windows fill and verdicts fire mid-block.
+    #[test]
+    fn push_block_matches_push_for_any_partition() {
+        let mk = || {
+            StreamDiagnoser::new(DiagnoserConfig {
+                window: 128,
+                ..DiagnoserConfig::default()
+            })
+        };
+        // A stream that trips several detectors: a shoulder + straggler
+        // rank on reads, serialized metadata on rank 0, small writes,
+        // phase-to-phase deterioration, and out-of-order phase stamps.
+        let mut stream: Vec<Record> = Vec::new();
+        for p in 0..4u32 {
+            for i in 0..400u32 {
+                let rank = i % 16;
+                let dur = if rank == 3 {
+                    0.9
+                } else {
+                    0.02 * (p + 1) as f64
+                };
+                stream.push(rec(rank, CallKind::Read, dur, p));
+                if i % 3 == 0 {
+                    stream.push(rec(0, CallKind::MetaWrite, 0.25, p));
+                    stream.push(rec(0, CallKind::MetaWrite, 0.20, p));
+                }
+                if i % 5 == 0 {
+                    let mut w = rec(rank, CallKind::Write, 0.1, p);
+                    w.bytes = 2048;
+                    w.start_ns = (i as u64) * 1_000_000;
+                    w.end_ns = w.start_ns + 100_000_000;
+                    stream.push(w);
+                }
+                if i % 7 == 0 {
+                    // A phase stamp from the past (late arrival).
+                    stream.push(rec(rank, CallKind::Read, 0.03, p.saturating_sub(1)));
+                }
+            }
+        }
+        let mut reference = mk();
+        for r in &stream {
+            reference.push(r);
+        }
+        reference.phase_end(1);
+        for r in &stream {
+            reference.push(r);
+        }
+        reference.finish();
+        assert!(!reference.findings().is_empty());
+        for block in [1usize, 2, 7, 64, 333, stream.len()] {
+            let mut d = mk();
+            for c in stream.chunks(block) {
+                d.push_block(c);
+            }
+            d.phase_end(1);
+            for c in stream.chunks(block) {
+                d.push_block(c);
+            }
+            d.finish();
+            assert_eq!(
+                d.findings(),
+                reference.findings(),
+                "block size {block} diverged"
+            );
+            assert_eq!(d.records(), reference.records());
+        }
     }
 
     #[test]

@@ -135,12 +135,12 @@ impl IngestPipeline {
             let worker_state = Arc::clone(&state);
             handles.push(std::thread::spawn(move || {
                 // One lock acquisition per block: the producer already
-                // amortized the channel cost, the lock rides along.
+                // amortized the channel cost, the lock rides along. The
+                // block accumulate path classifies durations against the
+                // builder's bin table — bit-identical to per-record
+                // accumulation (see the batch-parity tests).
                 while let Ok(block) = rx.recv() {
-                    let mut st = worker_state.lock();
-                    for r in &block {
-                        st.accumulate(r);
-                    }
+                    worker_state.lock().accumulate_block(&block);
                 }
             }));
             senders.push(tx);
@@ -284,6 +284,36 @@ impl RecordSink for IngestSink {
         self.pending[w].push(r.clone());
         if self.pending[w].len() >= self.batch {
             self.flush_worker(w);
+        }
+    }
+
+    /// Route a decoded block into the pending buffers by maximal
+    /// same-worker runs. Fill-to-batch chunking sends exactly the blocks
+    /// the per-record path would have sent — same boundaries, same
+    /// order — so transport stays bit-identical while the copy is a
+    /// slice extend instead of a per-record clone.
+    fn push_block(&mut self, block: &[Record]) {
+        let workers = self.senders.len();
+        let mut start = 0;
+        while start < block.len() {
+            let w = block[start].rank as usize % workers;
+            let mut end = start + 1;
+            while end < block.len() && block[end].rank as usize % workers == w {
+                end += 1;
+            }
+            let mut run = &block[start..end];
+            while !run.is_empty() {
+                // Invariant: pending is always below the batch size here
+                // (push/flush keep it that way), so room >= 1.
+                let room = self.batch - self.pending[w].len();
+                let take = room.min(run.len());
+                self.pending[w].extend_from_slice(&run[..take]);
+                run = &run[take..];
+                if self.pending[w].len() >= self.batch {
+                    self.flush_worker(w);
+                }
+            }
+            start = end;
         }
     }
 

@@ -97,6 +97,26 @@ impl<S: RecordSink> RecordSink for RankFilter<S> {
             self.inner.push(r);
         }
     }
+
+    /// Forward maximal owned runs of a decoded block in one call; the
+    /// inner sink sees the same record subsequence as per-record
+    /// filtering, without a virtual push per record.
+    fn push_block(&mut self, block: &[pio_trace::Record]) {
+        let mut start = 0;
+        while start < block.len() {
+            if block[start].rank as usize % self.workers != self.own {
+                start += 1;
+                continue;
+            }
+            let mut end = start + 1;
+            while end < block.len() && block[end].rank as usize % self.workers == self.own {
+                end += 1;
+            }
+            self.inner.push_block(&block[start..end]);
+            start = end;
+        }
+    }
+
     // phase_end is dropped: the pipeline's sink ignores phase marks, and
     // forwarding them from W concurrent readers would duplicate them.
     fn finish(&mut self) {}

@@ -12,16 +12,24 @@
 
 use crate::sketch::{HeavyHitters, OnlineMoments, QuantileSketch};
 use pio_core::attribution::{
-    attribute_data_tail, attribute_meta_tail, TailProfile, MODULI, TAIL_KINDS,
+    attribute_data_tail, attribute_meta_tail, tail_bin_table, TailProfile, MODULI, TAIL_KINDS,
 };
 use pio_core::diagnosis::{
     deterioration_verdict, harmonic_verdict, metadata_shoulder_verdict, rank_tail_verdict,
     serialized_meta_verdict, shoulder_verdict, Finding, Thresholds,
 };
 use pio_core::modes::find_modes_on_grid;
-use pio_des::hist::LogHistogram;
+use pio_des::hist::{BinTable, LogBins, LogHistogram};
+use pio_des::FxHashMap;
 use pio_trace::{CallKind, Record};
 use std::collections::HashMap;
+
+/// Number of call classes (shard slots are direct-indexed by
+/// `call as usize`).
+const KINDS: usize = CallKind::ALL.len();
+
+/// "No shard yet" marker in the per-`(kind, group)` direct index.
+const NO_SHARD: u32 = u32::MAX;
 
 /// Cumulative small-write size-class aggregate — the snapshot-side state
 /// behind the metadata-storm detector. Mergeable and order-independent
@@ -148,6 +156,20 @@ impl ShardStats {
         self.secs += secs;
     }
 
+    /// Accumulate one record whose duration bin is already classified
+    /// (`bin` from a [`BinTable`] over this shard's geometry): one table
+    /// lookup serves the histogram and the sketch. Bit-identical to
+    /// [`Self::accumulate`].
+    #[inline]
+    pub fn accumulate_binned(&mut self, r: &Record, secs: f64, bin: usize) {
+        self.hist.add_clamped_at(bin);
+        self.sketch.add_at(secs, bin);
+        self.moments.record(secs);
+        self.ops += 1;
+        self.bytes += r.bytes;
+        self.secs += secs;
+    }
+
     /// Merge another shard (same geometry); equivalent to having
     /// accumulated both record streams into one shard.
     pub fn merge(&mut self, other: &ShardStats) {
@@ -206,45 +228,93 @@ impl Default for SnapshotConfig {
 #[derive(Debug, Clone)]
 pub struct SnapshotBuilder {
     cfg: SnapshotConfig,
-    shards: HashMap<ShardKey, ShardStats>,
+    /// Bit-exact bin classifier for the configured duration geometry.
+    table: BinTable,
+    /// The configured geometry is the tail geometry at exactly double
+    /// resolution (same range, 2× bins): a tail bin is the configured
+    /// bin halved — `floor(f·2n)/2 = floor(f·n)` exactly, range checks
+    /// and edge clamps included — saving the second lookup per record.
+    tail_nested: bool,
+    /// Dense shard storage; order is insertion order (the snapshot
+    /// assembly sorts, so storage order is unobservable).
+    shards: Vec<(ShardKey, ShardStats)>,
+    /// Direct index: slot `(kind as usize) * rank_groups + group` holds
+    /// the position of that slot's most-recently-touched phase's shard
+    /// (`NO_SHARD` when untouched). Streams revisit the same `(kind,
+    /// group)` within a phase run, so the common case is one array read.
+    index: Vec<u32>,
+    /// Complete key → position fallback for phase changes (fast
+    /// non-SipHash hashing; never on the per-record fast path).
+    lookup: FxHashMap<ShardKey, u32>,
     hitters: HeavyHitters,
-    profiles: HashMap<CallKind, TailProfile>,
+    profiles: Vec<Option<TailProfile>>,
     small: SmallWriteAgg,
     meta_secs: f64,
     io_secs: f64,
     ranks: u32,
     ingested: u64,
+    /// Scratch buffer for grouped heavy-hitter runs (reused per block).
+    run_buf: Vec<f64>,
 }
 
 impl SnapshotBuilder {
     /// An empty builder over `cfg`'s geometry.
     pub fn new(cfg: SnapshotConfig) -> Self {
+        let groups = cfg.rank_groups.max(1) as usize;
         SnapshotBuilder {
             hitters: HeavyHitters::new(cfg.hitter_capacity),
             small: SmallWriteAgg::new(cfg.hitter_capacity),
-            shards: HashMap::new(),
-            profiles: HashMap::new(),
+            table: BinTable::new(LogBins::new(cfg.hist_lo, cfg.hist_hi, cfg.hist_bins)),
+            tail_nested: {
+                let tg = tail_bin_table().geometry();
+                cfg.hist_lo == tg.lo() && cfg.hist_hi == tg.hi() && cfg.hist_bins == 2 * tg.bins()
+            },
+            shards: Vec::new(),
+            index: vec![NO_SHARD; KINDS * groups],
+            lookup: FxHashMap::default(),
+            profiles: (0..KINDS).map(|_| None).collect(),
             meta_secs: 0.0,
             io_secs: 0.0,
             ranks: 0,
             ingested: 0,
             cfg,
+            run_buf: Vec::new(),
         }
+    }
+
+    /// Position of the shard for `(kind, group, phase)`, creating it on
+    /// first touch. One array read when the slot's cached phase matches;
+    /// a hash lookup only on phase change.
+    #[inline]
+    fn shard_pos(&mut self, kind: CallKind, group: u32, phase: u32) -> usize {
+        let groups = self.cfg.rank_groups.max(1) as usize;
+        let slot = kind as usize * groups + group as usize;
+        let cached = self.index[slot];
+        if cached != NO_SHARD && self.shards[cached as usize].0.phase == phase {
+            return cached as usize;
+        }
+        let key = ShardKey { kind, group, phase };
+        let pos = match self.lookup.get(&key) {
+            Some(&p) => p,
+            None => {
+                let p = self.shards.len() as u32;
+                self.shards.push((
+                    key,
+                    ShardStats::new(self.cfg.hist_lo, self.cfg.hist_hi, self.cfg.hist_bins),
+                ));
+                self.lookup.insert(key, p);
+                p
+            }
+        };
+        self.index[slot] = pos;
+        pos as usize
     }
 
     /// Accumulate one record into every snapshot component.
     pub fn accumulate(&mut self, r: &Record) {
-        let key = ShardKey {
-            kind: r.call,
-            group: r.rank % self.cfg.rank_groups.max(1),
-            phase: r.phase,
-        };
-        self.shards
-            .entry(key)
-            .or_insert_with(|| {
-                ShardStats::new(self.cfg.hist_lo, self.cfg.hist_hi, self.cfg.hist_bins)
-            })
-            .accumulate(r);
+        let group = r.rank % self.cfg.rank_groups.max(1);
+        let pos = self.shard_pos(r.call, group, r.phase);
+        self.shards[pos].1.accumulate(r);
         let secs = r.secs();
         if matches!(r.call, CallKind::MetaRead | CallKind::MetaWrite) {
             self.hitters.add(r.rank, secs);
@@ -254,14 +324,84 @@ impl SnapshotBuilder {
             self.io_secs += secs;
         }
         if TAIL_KINDS.contains(&r.call) {
-            self.profiles
-                .entry(r.call)
-                .or_insert_with(|| TailProfile::new(self.cfg.stripe_bytes))
+            let stripe = self.cfg.stripe_bytes;
+            self.profiles[r.call as usize]
+                .get_or_insert_with(|| TailProfile::new(stripe))
                 .add(r.rank, r.offset, secs);
         }
         self.small.accumulate(r, self.cfg.small_write_bytes);
         self.ranks = self.ranks.max(r.rank + 1);
         self.ingested += 1;
+    }
+
+    /// The block hot path: bit-identical to per-record
+    /// [`Self::accumulate`] for any partitioning of the stream. One
+    /// [`BinTable`] classification per record serves the shard histogram
+    /// and quantile sketch, one [`tail_bin_table`] classification serves
+    /// the attribution profile (no `ln` per record), and heavy-hitter
+    /// updates are grouped by key run before hashing. The hitter sketch
+    /// is only *read* between block calls, so hoisting it into its own
+    /// pass is unobservable.
+    pub fn accumulate_block(&mut self, block: &[Record]) {
+        // Pass 1 — meta heavy hitters, grouped by rank run over the
+        // metadata subsequence (same per-key weight sequence as
+        // per-record adds).
+        let mut run = std::mem::take(&mut self.run_buf);
+        let mut i = 0;
+        while i < block.len() {
+            let r = &block[i];
+            i += 1;
+            if !matches!(r.call, CallKind::MetaRead | CallKind::MetaWrite) {
+                continue;
+            }
+            run.clear();
+            run.push(r.secs());
+            let key = r.rank;
+            while i < block.len() {
+                let n = &block[i];
+                if matches!(n.call, CallKind::MetaRead | CallKind::MetaWrite) {
+                    if n.rank != key {
+                        break;
+                    }
+                    run.push(n.secs());
+                }
+                i += 1;
+            }
+            self.hitters.add_run(key, &run);
+        }
+        self.run_buf = run;
+
+        // Pass 2 — everything else, in record order.
+        let ttable = tail_bin_table();
+        for r in block {
+            let secs = r.secs();
+            let group = r.rank % self.cfg.rank_groups.max(1);
+            let pos = self.shard_pos(r.call, group, r.phase);
+            let bin = self.table.index_clamped(secs);
+            self.shards[pos].1.accumulate_binned(r, secs, bin);
+            if matches!(r.call, CallKind::MetaRead | CallKind::MetaWrite) {
+                self.meta_secs += secs;
+            }
+            if r.call.is_io() {
+                self.io_secs += secs;
+            }
+            if TAIL_KINDS.contains(&r.call) {
+                let stripe = self.cfg.stripe_bytes;
+                // `add_binned` debug-asserts the halving shortcut equals
+                // the tail-geometry classification.
+                let tail_bin = if self.tail_nested {
+                    bin >> 1
+                } else {
+                    ttable.index_clamped(secs)
+                };
+                self.profiles[r.call as usize]
+                    .get_or_insert_with(|| TailProfile::new(stripe))
+                    .add_binned(r.rank, r.offset, secs, tail_bin);
+            }
+            self.small.accumulate(r, self.cfg.small_write_bytes);
+            self.ranks = self.ranks.max(r.rank + 1);
+            self.ingested += 1;
+        }
     }
 
     /// Records accumulated so far.
@@ -279,8 +419,8 @@ impl SnapshotBuilder {
     /// record count (see the bounded-memory tests).
     pub fn approx_bytes(&self) -> usize {
         self.shards
-            .values()
-            .map(|s| {
+            .iter()
+            .map(|(_, s)| {
                 std::mem::size_of::<(ShardKey, ShardStats)>()
                     + s.hist.bins() * std::mem::size_of::<u64>()
                     + s.sketch.geometry().bins()
@@ -290,7 +430,8 @@ impl SnapshotBuilder {
             + self.hitters.top().len() * std::mem::size_of::<(u32, f64, u64)>()
             + self
                 .profiles
-                .values()
+                .iter()
+                .flatten()
                 .map(|p| {
                     let bins = pio_core::attribution::TAIL_HIST_BINS;
                     p.ranks_observed() * (bins + 2) * std::mem::size_of::<u64>()
@@ -299,18 +440,33 @@ impl SnapshotBuilder {
                 .sum::<usize>()
     }
 
-    /// Snapshot the current state (cloning the shard maps); `dropped` is
+    /// The dense shard store as the keyed map [`EnsembleSnapshot`]
+    /// assembly expects.
+    fn shard_map(shards: Vec<(ShardKey, ShardStats)>) -> HashMap<ShardKey, ShardStats> {
+        shards.into_iter().collect()
+    }
+
+    /// The kind-indexed profile array as a keyed map.
+    fn profile_map(profiles: Vec<Option<TailProfile>>) -> HashMap<CallKind, TailProfile> {
+        profiles
+            .into_iter()
+            .enumerate()
+            .filter_map(|(k, p)| p.map(|p| (CallKind::ALL[k], p)))
+            .collect()
+    }
+
+    /// Snapshot the current state (cloning the shard store); `dropped` is
     /// the caller's shed-record count for this stream.
     pub fn snapshot(&self, dropped: u64) -> EnsembleSnapshot {
         EnsembleSnapshot::assemble(
-            vec![self.shards.clone()],
+            vec![Self::shard_map(self.shards.clone())],
             self.hitters.clone(),
             self.meta_secs,
             self.io_secs,
             self.ranks,
             self.ingested,
             dropped,
-            vec![self.profiles.clone()],
+            vec![Self::profile_map(self.profiles.clone())],
             self.small.clone(),
         )
     }
@@ -318,14 +474,14 @@ impl SnapshotBuilder {
     /// Consume the builder into its final snapshot without cloning.
     pub fn into_snapshot(self, dropped: u64) -> EnsembleSnapshot {
         EnsembleSnapshot::assemble(
-            vec![self.shards],
+            vec![Self::shard_map(self.shards)],
             self.hitters,
             self.meta_secs,
             self.io_secs,
             self.ranks,
             self.ingested,
             dropped,
-            vec![self.profiles],
+            vec![Self::profile_map(self.profiles)],
             self.small,
         )
     }
@@ -913,6 +1069,48 @@ mod tests {
         // spot-check a merged kind against a fresh reference builder.
         let reference = build(&recs).snapshot(0);
         assert_eq!(snap, reference);
+    }
+
+    /// The block path must produce a byte-identical snapshot for every
+    /// partitioning of the same stream — including interleaved phases
+    /// (late arrivals) and metadata runs.
+    #[test]
+    fn accumulate_block_matches_per_record_accumulate() {
+        let recs: Vec<Record> = (0..1200u32)
+            .map(|i| {
+                let x = (i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(17);
+                let mut r = rec(
+                    (x % 24) as u32,
+                    CallKind::ALL[(x % 12) as usize],
+                    ((x >> 8) % 5) << 11,
+                    1e-4 * (1 + (x >> 16) % 40_010) as f64,
+                    ((x >> 32) % 4) as u32,
+                );
+                r.offset = (x >> 3) % (1 << 30);
+                r.start_ns = (x >> 5) % 1_000_000_000;
+                r.end_ns = r.start_ns + ((x >> 16) % 40_010) * 100_000;
+                r
+            })
+            .collect();
+        let reference = build(&recs).into_snapshot(0);
+        for block in [1usize, 3, 17, 256, recs.len()] {
+            let mut b = SnapshotBuilder::new(SnapshotConfig::default());
+            for c in recs.chunks(block) {
+                b.accumulate_block(c);
+            }
+            assert_eq!(b.ingested(), reference.ingested);
+            assert_eq!(b.into_snapshot(0), reference, "block size {block} diverged");
+        }
+        // Mixed per-record and block accumulation also agrees.
+        let mut mixed = SnapshotBuilder::new(SnapshotConfig::default());
+        let (head, tail) = recs.split_at(311);
+        for r in head {
+            mixed.accumulate(r);
+        }
+        mixed.accumulate_block(tail);
+        assert_eq!(mixed.into_snapshot(0), reference);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! * [`OnlineMoments`] (re-exported) — mergeable mean/variance/skew/
 //!   kurtosis accumulator from `pio-des`.
 
-use pio_des::hist::LogBins;
+use pio_des::hist::{BinTable, LogBins};
 pub use pio_des::stats::OnlineMoments;
 use std::collections::HashMap;
 
@@ -62,10 +62,31 @@ impl QuantileSketch {
     /// Record one sample.
     pub fn add(&mut self, v: f64) {
         let i = self.geom.index_clamped(v);
+        self.add_at(v, i);
+    }
+
+    /// Record one pre-classified sample. `i` must equal
+    /// `self.geometry().index_clamped(v)` — batch paths classify once
+    /// against a shared [`BinTable`] and fan the index out to every
+    /// collector with this geometry. Bit-identical to [`Self::add`].
+    #[inline]
+    pub fn add_at(&mut self, v: f64, i: usize) {
+        debug_assert_eq!(i, self.geom.index_clamped(v));
         self.counts[i] += 1;
         self.sums[i] += v;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+    }
+
+    /// Record a slice of samples, classifying against `table` (which
+    /// must carry this sketch's geometry). Bit-identical to calling
+    /// [`Self::add`] per element, without a `ln` per value.
+    #[inline]
+    pub fn add_block(&mut self, vs: &[f64], table: &BinTable) {
+        debug_assert_eq!(table.geometry(), self.geom);
+        for &v in vs {
+            self.add_at(v, table.index_clamped(v));
+        }
     }
 
     /// Number of samples recorded.
@@ -212,6 +233,49 @@ impl HeavyHitters {
         self.entries.insert(key, (w0 + weight, n0 + ops));
     }
 
+    /// Record a run of single-op weights that all belong to `key` — one
+    /// hash lookup for the whole run instead of one per record. The
+    /// per-record float adds are preserved in order, so the result is
+    /// bit-identical to calling [`Self::add`] once per weight (each
+    /// accumulator sees exactly the same add sequence; only the lookup
+    /// is hoisted).
+    pub fn add_run(&mut self, key: u32, weights: &[f64]) {
+        let Some((&first, rest)) = weights.split_first() else {
+            return;
+        };
+        for &w in weights {
+            self.total_weight += w;
+        }
+        self.total_ops += weights.len() as u64;
+        let e = match self.entries.get_mut(&key) {
+            Some(e) => e,
+            None => {
+                if self.entries.len() < self.capacity {
+                    self.entries.insert(key, (first, 1));
+                } else {
+                    let &evict = self
+                        .entries
+                        .iter()
+                        .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+                        .map(|(k, _)| k)
+                        .expect("capacity > 0");
+                    let (w0, n0) = self.entries.remove(&evict).expect("present");
+                    self.entries.insert(key, (w0 + first, n0 + 1));
+                }
+                let e = self.entries.get_mut(&key).expect("just inserted");
+                for &w in rest {
+                    e.0 += w;
+                    e.1 += 1;
+                }
+                return;
+            }
+        };
+        for &w in weights {
+            e.0 += w;
+            e.1 += 1;
+        }
+    }
+
     /// Total weight seen (exact).
     pub fn total_weight(&self) -> f64 {
         self.total_weight
@@ -353,6 +417,31 @@ mod tests {
         assert_eq!(top[0].key, 7);
         assert!(top[0].weight / hh.total_weight() > 0.6);
         assert_eq!(hh.total_ops(), 100);
+    }
+
+    #[test]
+    fn add_run_is_bit_identical_to_per_record_adds() {
+        // Small capacity so eviction fires constantly, including on the
+        // first record of a run.
+        let mut grouped = HeavyHitters::new(3);
+        let mut per_record = HeavyHitters::new(3);
+        let runs: Vec<(u32, Vec<f64>)> = (0..200)
+            .map(|i| {
+                let key = (i * 7) % 11;
+                let len = (i % 5) + 1;
+                let ws = (0..len).map(|j| 0.013 * (i + j + 1) as f64).collect();
+                (key, ws)
+            })
+            .collect();
+        for (key, ws) in &runs {
+            grouped.add_run(*key, ws);
+            for &w in ws {
+                per_record.add(*key, w);
+            }
+        }
+        assert_eq!(grouped, per_record);
+        grouped.add_run(42, &[]);
+        assert_eq!(grouped, per_record);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! * [`runner`] — the [`Runner`] builder: job + platform + seeds →
 //!   one [`RunReport`] per run, buffered or streaming, serial or
 //!   parallel, with optional deterministic fault injection.
-//! * [`shard`] — the sharded parallel engine behind
+//! * `shard` — the sharded parallel engine behind
 //!   [`Runner::shards`]: per-node conservative mini-DES shards plus a
 //!   serial server/coordinator plane, bit-identical at any shard count.
 

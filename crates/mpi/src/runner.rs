@@ -190,7 +190,7 @@ impl<'j, 's> Runner<'j, 's> {
     }
 
     /// Run each seed on the sharded parallel engine with `n` worker
-    /// shards (see [`crate::shard`]). The result is bit-identical for
+    /// shards (see the `shard` module). The result is bit-identical for
     /// any `n`, including 1 — shards only change wall-clock time.
     /// Values of 0 or over 1024 are rejected at [`Runner::execute`].
     pub fn shards(mut self, n: u32) -> Self {

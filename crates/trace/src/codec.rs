@@ -56,6 +56,36 @@ impl PhaseTracker {
         self.saw_record = true;
     }
 
+    /// Observe a decoded block and push it: runs of records that share
+    /// the current phase flow to the sink via
+    /// [`RecordSink::push_block`], with `phase_end` fired at exactly
+    /// the positions the per-record loop would fire it. The sink sees
+    /// the same event sequence as `on_record` + `push` per record; only
+    /// the granularity of delivery changes.
+    pub fn on_block(&mut self, block: &[Record], sink: &mut dyn RecordSink) {
+        let mut start = 0;
+        for (i, rec) in block.iter().enumerate() {
+            if self.saw_record {
+                if rec.phase > self.phase {
+                    if start < i {
+                        sink.push_block(&block[start..i]);
+                        start = i;
+                    }
+                    for p in self.phase..rec.phase {
+                        sink.phase_end(p);
+                    }
+                    self.phase = rec.phase;
+                }
+            } else {
+                self.phase = self.phase.max(rec.phase);
+                self.saw_record = true;
+            }
+        }
+        if start < block.len() {
+            sink.push_block(&block[start..]);
+        }
+    }
+
     /// End of stream: close the final phase (if any) and call
     /// `sink.finish()`.
     pub fn finish(&mut self, sink: &mut dyn RecordSink) {
@@ -143,19 +173,28 @@ impl TraceCodec for JsonlCodec {
         let meta: TraceMeta = serde_json::from_str(buf.trim_end())?;
         let mut count = 0u64;
         let mut phases = PhaseTracker::new();
+        // Parse into a reused block so downstream sinks get the same
+        // batched delivery as the binary codecs.
+        const JSONL_BLOCK: usize = 512;
+        let mut block: Vec<Record> = Vec::with_capacity(JSONL_BLOCK);
         loop {
             buf.clear();
-            if r.read_line(&mut buf)? == 0 {
+            let eof = r.read_line(&mut buf)? == 0;
+            if !eof {
+                let line = buf.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                block.push(crate::jsonl::parse_record(line)?);
+                count += 1;
+            }
+            if block.len() >= JSONL_BLOCK || (eof && !block.is_empty()) {
+                phases.on_block(&block, sink);
+                block.clear();
+            }
+            if eof {
                 break;
             }
-            let line = buf.trim();
-            if line.is_empty() {
-                continue;
-            }
-            let rec = crate::jsonl::parse_record(line)?;
-            phases.on_record(&rec, sink);
-            sink.push(&rec);
-            count += 1;
         }
         phases.finish(sink);
         Ok((meta, count))
@@ -191,10 +230,7 @@ impl TraceCodec for PtbCodec {
         let meta = dec.meta().clone();
         let mut phases = PhaseTracker::new();
         while let Some(block) = dec.next_block()? {
-            for rec in block {
-                phases.on_record(rec, sink);
-                sink.push(rec);
-            }
+            phases.on_block(block, sink);
         }
         phases.finish(sink);
         Ok((meta, dec.records_read()))
@@ -230,10 +266,7 @@ impl TraceCodec for Ptb2Codec {
         let meta = dec.meta().clone();
         let mut phases = PhaseTracker::new();
         while let Some(block) = dec.next_block()? {
-            for rec in block {
-                phases.on_record(rec, sink);
-                sink.push(rec);
-            }
+            phases.on_block(block, sink);
         }
         phases.finish(sink);
         Ok((meta, dec.records_read()))
@@ -375,6 +408,57 @@ mod tests {
             logs.push(log);
         }
         assert!(logs.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn on_block_fires_the_same_event_sequence_as_on_record() {
+        #[derive(Default, PartialEq, Debug)]
+        struct Log {
+            events: Vec<(Option<Record>, Option<u32>)>,
+        }
+        impl RecordSink for Log {
+            fn push(&mut self, r: &Record) {
+                self.events.push((Some(r.clone()), None));
+            }
+            fn phase_end(&mut self, phase: u32) {
+                self.events.push((None, Some(phase)));
+            }
+        }
+        let mk = |phase: u32, i: u64| Record {
+            rank: (i % 4) as u32,
+            call: CallKind::Read,
+            fd: 3,
+            offset: i * 4096,
+            bytes: 4096,
+            start_ns: i,
+            end_ns: i + 10,
+            phase,
+        };
+        // First record starts at phase 2, a phase skip (3 → 6), a
+        // stale lower-phase record mid-stream, and a split across
+        // blocks of awkward sizes.
+        let phases_seq = [2u32, 2, 3, 3, 1, 6, 6, 0, 6, 7, 7, 7, 9];
+        let records: Vec<Record> = phases_seq
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| mk(p, i as u64))
+            .collect();
+        let mut per_record = Log::default();
+        let mut tracker = PhaseTracker::new();
+        for r in &records {
+            tracker.on_record(r, &mut per_record);
+            per_record.push(r);
+        }
+        tracker.finish(&mut per_record);
+        for block_size in [1, 2, 3, 5, 13, 64] {
+            let mut blocked = Log::default();
+            let mut tracker = PhaseTracker::new();
+            for chunk in records.chunks(block_size) {
+                tracker.on_block(chunk, &mut blocked);
+            }
+            tracker.finish(&mut blocked);
+            assert_eq!(blocked, per_record, "block_size={block_size}");
+        }
     }
 
     #[test]

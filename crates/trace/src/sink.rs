@@ -20,6 +20,20 @@ pub trait RecordSink {
     /// Consume one record.
     fn push(&mut self, r: &Record);
 
+    /// Consume a block of records — semantically identical to calling
+    /// [`Self::push`] once per record, in order (the default does
+    /// exactly that). Decoders that already hold a decoded block hand
+    /// it over in one call so batch-aware sinks (the ingest pipeline,
+    /// the fleet transport, the analysis sketches) can amortize
+    /// dispatch, routing, and bin classification across the block.
+    /// Implementations must produce bit-identical state to the
+    /// per-record loop for any block partitioning of the same stream.
+    fn push_block(&mut self, block: &[Record]) {
+        for r in block {
+            self.push(r);
+        }
+    }
+
     /// A barrier-phase boundary: every rank has finished `phase`. Online
     /// analyses use this to close per-phase windows; buffering sinks may
     /// ignore it.
@@ -32,6 +46,10 @@ pub trait RecordSink {
 impl RecordSink for Trace {
     fn push(&mut self, r: &Record) {
         Trace::push(self, r.clone());
+    }
+
+    fn push_block(&mut self, block: &[Record]) {
+        self.records.extend_from_slice(block);
     }
 }
 
@@ -47,6 +65,8 @@ pub struct NullSink;
 
 impl RecordSink for NullSink {
     fn push(&mut self, _r: &Record) {}
+
+    fn push_block(&mut self, _block: &[Record]) {}
 }
 
 /// Duplicate a stream into two sinks (e.g. keep the full trace while
@@ -58,6 +78,11 @@ impl<A: RecordSink, B: RecordSink> RecordSink for Tee<A, B> {
     fn push(&mut self, r: &Record) {
         self.0.push(r);
         self.1.push(r);
+    }
+
+    fn push_block(&mut self, block: &[Record]) {
+        self.0.push_block(block);
+        self.1.push_block(block);
     }
 
     fn phase_end(&mut self, phase: u32) {
@@ -111,6 +136,23 @@ impl<S: RecordSink, F: FnMut(&Record) -> usize> RecordSink for Demux<S, F> {
         self.sinks[i].push(r);
     }
 
+    fn push_block(&mut self, block: &[Record]) {
+        // Forward maximal same-route runs as sub-blocks; per-sink
+        // record order is unchanged, so this is identical to routing
+        // record by record.
+        let mut start = 0;
+        while start < block.len() {
+            let route = (self.route)(&block[start]).min(self.sinks.len() - 1);
+            let mut end = start + 1;
+            while end < block.len() && (self.route)(&block[end]).min(self.sinks.len() - 1) == route
+            {
+                end += 1;
+            }
+            self.sinks[route].push_block(&block[start..end]);
+            start = end;
+        }
+    }
+
     fn phase_end(&mut self, phase: u32) {
         for s in &mut self.sinks {
             s.phase_end(phase);
@@ -129,6 +171,10 @@ impl<S: RecordSink + ?Sized> RecordSink for &mut S {
         (**self).push(r);
     }
 
+    fn push_block(&mut self, block: &[Record]) {
+        (**self).push_block(block);
+    }
+
     fn phase_end(&mut self, phase: u32) {
         (**self).phase_end(phase);
     }
@@ -141,6 +187,10 @@ impl<S: RecordSink + ?Sized> RecordSink for &mut S {
 impl<S: RecordSink + ?Sized> RecordSink for Box<S> {
     fn push(&mut self, r: &Record) {
         (**self).push(r);
+    }
+
+    fn push_block(&mut self, block: &[Record]) {
+        (**self).push_block(block);
     }
 
     fn phase_end(&mut self, phase: u32) {
@@ -219,6 +269,33 @@ mod tests {
         assert_eq!(traces[1].records.len(), 4);
         assert!(traces[0].records.iter().all(|r| r.rank < 4));
         assert!(traces[1].records.iter().all(|r| r.rank >= 4));
+    }
+
+    #[test]
+    fn push_block_matches_per_record_push_through_demux_and_tee() {
+        let meta = |name: &str| TraceMeta {
+            experiment: name.into(),
+            platform: "test".into(),
+            ranks: 8,
+            seed: 0,
+        };
+        let block: Vec<Record> = (0..16).map(|i| rec(i % 8)).collect();
+        let route = |r: &Record| (r.rank / 4) as usize;
+        let mut blocked = Demux::new(vec![Trace::new(meta("a")), Trace::new(meta("b"))], route);
+        let mut recorded = Demux::new(vec![Trace::new(meta("a")), Trace::new(meta("b"))], route);
+        blocked.push_block(&block);
+        for r in &block {
+            recorded.push(r);
+        }
+        let (b, r) = (blocked.into_sinks(), recorded.into_sinks());
+        assert_eq!(b[0].records, r[0].records);
+        assert_eq!(b[1].records, r[1].records);
+
+        let mut ta = Trace::new(meta("tee"));
+        let mut tb = Trace::new(meta("tee"));
+        Tee(&mut ta, &mut tb).push_block(&block);
+        assert_eq!(ta.records, block);
+        assert_eq!(tb.records, block);
     }
 
     #[test]
