@@ -2,21 +2,25 @@
 //! workload that exposes its ensemble signature, two seeds each, with a
 //! baseline-clean, signature-present, and bit-reproducibility check per
 //! cell. Exits non-zero if any cell fails — CI smoke-runs this at
-//! `--scale 8` and uploads the rendered table (`--out`) as an artifact.
+//! `--scale 16` on both engines (classic, and `--shards 4` for the
+//! sharded one) and uploads the rendered table (`--out`) plus the
+//! compound cells' per-window fingerprint evidence (`--windows`) as
+//! artifacts.
 
-use pio_bench::fault_matrix::{empty_plan_is_inert, render, run_matrix};
-use pio_bench::util::{parse_out, scale_from_args, shards_from_args};
+use pio_bench::fault_matrix::{empty_plan_is_inert, per_window_report, render, run_matrix};
+use pio_bench::util::{parse_out, parse_path_flag, scale_from_args, shards_from_args};
 
 fn main() {
     let scale = scale_from_args(8);
     pio_mpi::set_default_shards(shards_from_args());
     let args: Vec<String> = std::env::args().collect();
-    let out = match parse_out(&args) {
+    let parsed = parse_out(&args).and_then(|o| Ok((o, parse_path_flag(&args, "--windows")?)));
+    let (out, windows_out) = match parsed {
         Ok(v) => v,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: {} [--scale N] [--shards N] [--out PATH]",
+                "usage: {} [--scale N] [--shards N] [--out PATH] [--windows PATH]",
                 args.first().map_or("fault_matrix", |a| a)
             );
             std::process::exit(2);
@@ -46,6 +50,19 @@ fn main() {
 
     if let Some(path) = out {
         let body = format!("{header}\n{table}{inert_line}\n{verdict}\n");
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+
+    // Per-window evidence for the compound cells: which fingerprint
+    // fired in which time window, next to the verdict it produced.
+    if let Some(path) = windows_out {
+        let body = format!(
+            "== per-window attribution evidence (scale {scale}, seeds {seeds:?}) ==\n\n{}",
+            per_window_report(scale, &seeds)
+        );
         if let Err(e) = std::fs::write(&path, body) {
             eprintln!("error: cannot write {}: {e}", path.display());
             std::process::exit(1);

@@ -5,13 +5,13 @@
 //! (panel c), and the scratch-vs-scratch2 reproducibility comparison;
 //! exports the series as CSV under `results/`.
 //!
-//! Usage: `fig1_ior [--scale N] [--fault <plan>]` (scale 1 = the
+//! Usage: `fig1_ior [--scale N] [--fault <plan>] [--fault-schedule <spec>]` (scale 1 = the
 //! paper's size; `--fault` re-runs the experiment under a named fault
 //! plan, e.g. `slow-ost`).
 
 use pio_bench::fig1;
 use pio_bench::util::{
-    fault_from_args, print_rows, results_dir, scale_from_args, shards_from_args, Row,
+    fault_or_schedule_from_args, print_rows, results_dir, scale_from_args, shards_from_args, Row,
 };
 use pio_core::hist::Histogram;
 use pio_viz::ascii;
@@ -20,7 +20,7 @@ use pio_viz::csv as vcsv;
 fn main() {
     let scale = scale_from_args(1);
     pio_mpi::set_default_shards(shards_from_args());
-    let fault = fault_from_args();
+    let fault = fault_or_schedule_from_args();
     match &fault {
         Some(_) => println!("# Figure 1 — IOR ensembles (scale 1/{scale}, faulted)"),
         None => println!("# Figure 1 — IOR ensembles (scale 1/{scale})"),

@@ -6,11 +6,11 @@
 //! paper's 11,610 → 13,486 MB/s, and the convolution-based prediction
 //! from the k=1 distribution.
 //!
-//! Usage: `fig2_lln [--scale N] [--fault <plan>]`.
+//! Usage: `fig2_lln [--scale N] [--fault <plan>] [--fault-schedule <spec>]`.
 
 use pio_bench::fig2;
 use pio_bench::util::{
-    fault_from_args, print_rows, results_dir, scale_from_args, shards_from_args, Row,
+    fault_or_schedule_from_args, print_rows, results_dir, scale_from_args, shards_from_args, Row,
 };
 use pio_core::hist::Histogram;
 use pio_viz::ascii;
@@ -19,7 +19,7 @@ use pio_viz::csv as vcsv;
 fn main() {
     let scale = scale_from_args(1);
     pio_mpi::set_default_shards(shards_from_args());
-    let fault = fault_from_args();
+    let fault = fault_or_schedule_from_args();
     match &fault {
         Some(_) => println!("# Figure 2 — Law of Large Numbers (scale 1/{scale}, faulted)"),
         None => println!("# Figure 2 — Law of Large Numbers (scale 1/{scale})"),

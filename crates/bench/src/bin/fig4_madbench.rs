@@ -2,11 +2,11 @@
 //! read-ahead) and Jaguar — traces, aggregate read/write rates, and
 //! log-log duration histograms with Franklin's "broad right shoulder".
 //!
-//! Usage: `fig4_madbench [--scale N] [--fault <plan>]`.
+//! Usage: `fig4_madbench [--scale N] [--fault <plan>] [--fault-schedule <spec>]`.
 
 use pio_bench::fig4;
 use pio_bench::util::{
-    fault_from_args, print_rows, results_dir, scale_from_args, shards_from_args, Row,
+    fault_or_schedule_from_args, print_rows, results_dir, scale_from_args, shards_from_args, Row,
 };
 use pio_fs::FsConfig;
 use pio_viz::ascii;
@@ -15,7 +15,7 @@ use pio_viz::csv as vcsv;
 fn main() {
     let scale = scale_from_args(1);
     pio_mpi::set_default_shards(shards_from_args());
-    let fault = fault_from_args();
+    let fault = fault_or_schedule_from_args();
     match &fault {
         Some(_) => {
             println!("# Figure 4 — MADbench on Franklin vs Jaguar (scale 1/{scale}, faulted)")

@@ -4,11 +4,11 @@
 //! the size-normalized (sec/MB) histograms split into data and metadata
 //! classes.
 //!
-//! Usage: `fig6_gcrm [--scale N] [--fault <plan>]`.
+//! Usage: `fig6_gcrm [--scale N] [--fault <plan>] [--fault-schedule <spec>]`.
 
 use pio_bench::fig6;
 use pio_bench::util::{
-    fault_from_args, print_rows, results_dir, scale_from_args, shards_from_args, Row,
+    fault_or_schedule_from_args, print_rows, results_dir, scale_from_args, shards_from_args, Row,
 };
 use pio_core::loghist::LogHistogram;
 use pio_viz::ascii;
@@ -17,7 +17,7 @@ use pio_viz::csv as vcsv;
 fn main() {
     let scale = scale_from_args(1);
     pio_mpi::set_default_shards(shards_from_args());
-    let fault = fault_from_args();
+    let fault = fault_or_schedule_from_args();
     match &fault {
         Some(_) => println!("# Figure 6 — GCRM optimization ladder (scale 1/{scale}, faulted)"),
         None => println!("# Figure 6 — GCRM optimization ladder (scale 1/{scale})"),

@@ -17,15 +17,40 @@
 //! streaming diagnoser print — rather than re-deriving its own
 //! thresholds, so a matrix pass certifies the production detectors.
 
-use pio_core::attribution::FaultClass;
-use pio_core::diagnosis::{detect_progressive_deterioration, Thresholds};
+use pio_core::attribution::{quantized_tail_levels, FaultClass, WindowedProfile};
+use pio_core::diagnosis::{detect_progressive_deterioration, run_verdict, Thresholds, Verdict};
+use pio_core::EmpiricalDist;
 use pio_core::{diagnose, Finding};
-use pio_fault::{Fault, FaultPlan};
+use pio_fault::{Fault, FaultPlan, FaultSchedule};
 use pio_fs::FsConfig;
 use pio_mpi::program::{Job, Op, Program};
 use pio_mpi::{RunConfig, RunReport, Runner};
 use pio_trace::CallKind;
 use pio_workloads::IorConfig;
+
+/// What a cell's faulted run must be attributed to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expect {
+    /// The cell asserts a non-attributed shape (the deterioration ramp).
+    Shape,
+    /// Exactly this single class, nothing else.
+    Single(FaultClass),
+    /// A compound plan: the verdict must implicate *both* classes —
+    /// either a confident compound verdict or an honest `Ambiguous`
+    /// listing them — and no class outside the pair.
+    Pair(FaultClass, FaultClass),
+}
+
+impl Expect {
+    /// The classes this expectation injects (empty for `Shape`).
+    pub fn classes(&self) -> Vec<FaultClass> {
+        match self {
+            Expect::Shape => Vec::new(),
+            Expect::Single(c) => vec![*c],
+            Expect::Pair(a, b) => vec![*a, *b],
+        }
+    }
+}
 
 /// One fault × workload cell.
 pub struct Scenario {
@@ -35,10 +60,8 @@ pub struct Scenario {
     pub workload: &'static str,
     /// The signature this cell asserts, for the report table.
     pub expect: &'static str,
-    /// The attribution `diagnose` must (and alone must) produce on the
-    /// faulted run; `None` for cells asserting a non-attributed shape
-    /// (the deterioration ramp).
-    pub expected_class: Option<FaultClass>,
+    /// The attribution `diagnose` must produce on the faulted run.
+    pub expected: Expect,
     plan: FaultPlan,
     job: Job,
     fs: FsConfig,
@@ -88,28 +111,48 @@ impl CellOutcome {
     }
 }
 
-/// Every distinct fault class `diagnose` attributes over a run's trace,
-/// sorted and deduplicated.
-pub fn attributed(res: &RunReport) -> Vec<FaultClass> {
-    let mut classes: Vec<FaultClass> = diagnose(res.trace())
-        .iter()
-        .filter_map(Finding::attribution)
-        .collect();
-    classes.sort();
-    classes.dedup();
-    classes
+/// The whole-run verdict `diagnose` produces over a run's trace.
+pub fn verdict_of(res: &RunReport) -> Verdict {
+    run_verdict(&diagnose(res.trace()))
 }
 
 /// Assert that `diagnose` attributes exactly `want` — nothing less (the
 /// fault must be named) and nothing more (no cross-contamination from a
 /// second, wrong verdict).
 fn expect_class(res: &RunReport, want: FaultClass) -> Result<(), String> {
-    let classes = attributed(res);
-    if classes == [want] {
+    let v = verdict_of(res);
+    if v == Verdict::Single(want) {
         Ok(())
     } else {
-        Err(format!("attributed {classes:?}, want exactly [{want:?}]"))
+        Err(format!(
+            "verdict {}, want exactly {}",
+            v.label(),
+            want.name()
+        ))
     }
+}
+
+/// Assert that a compound plan's verdict names *both* injected classes
+/// — confidently, or as an honest `Ambiguous` candidate list — and
+/// nothing outside the pair.
+fn expect_pair(res: &RunReport, a: FaultClass, b: FaultClass) -> Result<String, String> {
+    let v = verdict_of(res);
+    if !v.implicates(a) || !v.implicates(b) {
+        return Err(format!(
+            "verdict {} does not name both {} and {}",
+            v.label(),
+            a.name(),
+            b.name()
+        ));
+    }
+    if let Some(extra) = v.classes().iter().find(|c| **c != a && **c != b) {
+        return Err(format!(
+            "verdict {} implicates {} beyond the injected pair",
+            v.label(),
+            extra.name()
+        ));
+    }
+    Ok(v.label())
 }
 
 /// A read-heavy IOR: per-task 1 MiB calls so every data RPC lands on a
@@ -205,6 +248,49 @@ fn meta_heavy(tasks: u32, ops_per_rank: u32) -> Job {
     }
 }
 
+/// Paced reads with an interleaved metadata stream: each read is
+/// followed by a small `MetaRead`, so one job exercises *both* the data
+/// path (OSTs) and the metadata path (MDS). A compound plan touching
+/// one fault per path then yields two shoulders on separate call
+/// classes — the cleanest compound-verdict evidence there is.
+fn paced_mixed(tasks: u32, reads_per_rank: u32, gap_s: f64) -> Job {
+    use pio_des::SimSpan;
+    const MB: u64 = 1 << 20;
+    let programs = (0..tasks)
+        .map(|t| {
+            let mut ops = vec![
+                Op::Open { file: 0 },
+                Op::Barrier,
+                Op::Compute {
+                    span: SimSpan::from_secs_f64(t as f64 * gap_s * 0.37),
+                },
+            ];
+            for i in 0..reads_per_rank {
+                let jitter = 0.7 + 0.6 * ((t * 31 + i * 17) % 16) as f64 / 16.0;
+                ops.push(Op::Compute {
+                    span: SimSpan::from_secs_f64(gap_s * jitter),
+                });
+                ops.push(Op::ReadAt {
+                    file: 0,
+                    offset: (t as u64 * reads_per_rank as u64 + i as u64) * MB,
+                    bytes: MB,
+                });
+                ops.push(Op::MetaRead {
+                    file: 0,
+                    offset: (t as u64 * reads_per_rank as u64 + i as u64) * 4096,
+                    bytes: 4096,
+                });
+            }
+            ops.push(Op::Close { file: 0 });
+            Program { ops }
+        })
+        .collect();
+    Job {
+        programs,
+        files: vec![pio_mpi::program::FileSpec { shared: true }],
+    }
+}
+
 /// Build the matrix for one scale. `scale` divides the platform and the
 /// task counts exactly like the figure drivers (scale 1 = paper size).
 pub fn scenarios(scale: u32) -> Vec<Scenario> {
@@ -215,6 +301,10 @@ pub fn scenarios(scale: u32) -> Vec<Scenario> {
     // tail on the healthy ensemble and mask the injected fault.
     let mut calm = fs.clone();
     calm.discipline_weights = [0.0, 0.0, 1.0];
+    // Cell 8 pins its platform as well as its job (see the cell
+    // comment): its detection geometry is calibrated to scale 16.
+    let mut calm_at_scale_16 = FsConfig::franklin().scaled(16);
+    calm_at_scale_16.discipline_weights = [0.0, 0.0, 1.0];
     let tasks = (256 / scale).max(16);
     let n_osts = fs.n_osts;
     let tasks_per_node = fs.tasks_per_node;
@@ -232,7 +322,7 @@ pub fn scenarios(scale: u32) -> Vec<Scenario> {
         fault: "slow-ost",
         workload: "ior-read",
         expect: "diagnose attributes slow-ost; imbalance names the target",
-        expected_class: Some(FaultClass::SlowOst),
+        expected: Expect::Single(FaultClass::SlowOst),
         plan: FaultPlan::new().with(Fault::SlowOst {
             ost: slow_target,
             slowdown: 8.0,
@@ -277,7 +367,7 @@ pub fn scenarios(scale: u32) -> Vec<Scenario> {
         fault: "slow-ost-ramp",
         workload: "ior-read x4",
         expect: "progressive per-phase read deterioration",
-        expected_class: None,
+        expected: Expect::Shape,
         plan: ramp_plan,
         job: read_heavy(tasks, 4),
         fs: fs.clone(),
@@ -294,7 +384,7 @@ pub fn scenarios(scale: u32) -> Vec<Scenario> {
         fault: "flaky-fabric",
         workload: "paced-read",
         expect: "diagnose attributes flaky-fabric; OST pool balanced",
-        expected_class: Some(FaultClass::FlakyFabric),
+        expected: Expect::Single(FaultClass::FlakyFabric),
         plan: FaultPlan::new().with(Fault::FlakyFabric {
             period_s: 0.25,
             duty: 0.1,
@@ -321,7 +411,7 @@ pub fn scenarios(scale: u32) -> Vec<Scenario> {
         fault: "mds-stall",
         workload: "meta-stream",
         expect: "diagnose attributes mds-stall on the metadata class",
-        expected_class: Some(FaultClass::MdsStall),
+        expected: Expect::Single(FaultClass::MdsStall),
         plan: FaultPlan::new().with(Fault::MdsStall {
             period_s: 3.1,
             stall_s: 0.7,
@@ -340,7 +430,7 @@ pub fn scenarios(scale: u32) -> Vec<Scenario> {
         fault: "straggler-node",
         workload: "paced-read",
         expect: "diagnose names node-0 ranks as the straggler set",
-        expected_class: Some(FaultClass::StragglerNode),
+        expected: Expect::Single(FaultClass::StragglerNode),
         plan: FaultPlan::new().with(Fault::StragglerNode {
             node: 0,
             slowdown: 32.0,
@@ -374,14 +464,14 @@ pub fn scenarios(scale: u32) -> Vec<Scenario> {
         fault: "drop-retry",
         workload: "paced-read",
         expect: "diagnose attributes drop-retry; tail mass tracks the rate",
-        expected_class: Some(FaultClass::DropRetry),
+        expected: Expect::Single(FaultClass::DropRetry),
         plan: FaultPlan::new().with(Fault::DropRetry {
             prob: drop_prob,
             timeout_s: 0.3,
             max_retries: 4,
         }),
         job: paced_reads(tasks, 48, 0.1),
-        fs: calm,
+        fs: calm.clone(),
         detect: Box::new(move |res| {
             expect_class(res, FaultClass::DropRetry)?;
             let tail_mass = diagnose(res.trace())
@@ -404,6 +494,101 @@ pub fn scenarios(scale: u32) -> Vec<Scenario> {
                 "drop-retry attributed; tail mass {tail_mass:.3} tracks drop prob {drop_prob}"
             ))
         }),
+    });
+
+    // 7. Compound, separated by *call class*: one slow OST puts the
+    //    shoulder on reads while recurring MDS blackouts put a second
+    //    shoulder on the metadata stream of the same job. Two findings,
+    //    two attributions, one compound verdict.
+    cells.push(Scenario {
+        fault: "slow-ost+mds-stall",
+        workload: "paced-mixed",
+        expect: "compound verdict names both the disk and the MDS",
+        expected: Expect::Pair(FaultClass::SlowOst, FaultClass::MdsStall),
+        plan: FaultPlan::new()
+            .with(Fault::SlowOst {
+                ost: slow_target,
+                slowdown: 8.0,
+                ramp_per_s: 0.0,
+            })
+            .with(Fault::MdsStall {
+                period_s: 1.9,
+                stall_s: 0.4,
+            }),
+        job: paced_mixed(tasks, 48, 0.1),
+        fs: calm.clone(),
+        detect: Box::new(move |res| expect_pair(res, FaultClass::SlowOst, FaultClass::MdsStall)),
+    });
+
+    // 8. Compound, separated in *rank space*: node 0 straggles on
+    //    everything (the dominant, rank-correlated tail) while a mild
+    //    duty-cycled fabric fault slows everyone else's bursts. The
+    //    rank-residual pass must find the periodic train hiding in the
+    //    non-culprit ranks' tail.
+    cells.push(Scenario {
+        fault: "straggler+flaky",
+        workload: "paced-read",
+        expect: "rank residual finds the fabric under the straggler",
+        expected: Expect::Pair(FaultClass::FlakyFabric, FaultClass::StragglerNode),
+        plan: FaultPlan::new()
+            .with(Fault::StragglerNode {
+                node: 0,
+                slowdown: 64.0,
+            })
+            .with(Fault::FlakyFabric {
+                period_s: 0.25,
+                duty: 0.2,
+                slowdown: 10.0,
+            }),
+        // Pinned at 16 ranks AND the scale-16 platform regardless of
+        // matrix scale: the rank residual needs node 0's culprit set to
+        // stay a material fraction of the job (at 32+ ranks the
+        // straggler's share dilutes below the rank-test threshold on
+        // some seeds), and the fabric residual needs the duty-cycled
+        // bursts to clear the tail cut (on the faster fabric of smaller
+        // scale factors the 10x bursts stay under it).
+        job: paced_reads(16, 48, 0.1),
+        fs: calm_at_scale_16.clone(),
+        detect: Box::new(move |res| {
+            expect_pair(res, FaultClass::FlakyFabric, FaultClass::StragglerNode)
+        }),
+    });
+
+    // 9. Compound, separated in *time*: the slow OST is only live in the
+    //    first two seconds, the fabric fault only after — per-window
+    //    evidence localizes each fault to the windows it owned, where a
+    //    whole-run view would see neither test clear its threshold. The
+    //    fabric ramps in so its severity sweeps a range of levels (a
+    //    retry ladder it is not).
+    cells.push(Scenario {
+        fault: "slow-ost@early+flaky@late",
+        workload: "paced-read",
+        expect: "windowed evidence localizes each fault to its episode",
+        expected: Expect::Pair(FaultClass::SlowOst, FaultClass::FlakyFabric),
+        plan: FaultPlan::new()
+            .with_scheduled(
+                Fault::SlowOst {
+                    ost: slow_target,
+                    slowdown: 20.0,
+                    ramp_per_s: 0.0,
+                },
+                FaultSchedule::window(0.0, 2.0),
+            )
+            .with_scheduled(
+                Fault::FlakyFabric {
+                    period_s: 0.2,
+                    duty: 0.1,
+                    slowdown: 18.0,
+                },
+                FaultSchedule::window(2.0, 64.0).with_ramp(1.2),
+            ),
+        // Pinned like cell 8: the per-window tests are calibrated to the
+        // 16-rank job on the scale-16 platform; on the faster fabric of
+        // smaller scale factors the late fabric episode hugs the tail
+        // cut and drops below the residual threshold on some seeds.
+        job: paced_reads(16, 48, 0.1),
+        fs: calm_at_scale_16,
+        detect: Box::new(move |res| expect_pair(res, FaultClass::SlowOst, FaultClass::FlakyFabric)),
     });
 
     cells
@@ -493,6 +678,113 @@ pub fn empty_plan_is_inert(scale: u32, seed: u64) -> bool {
     none.trace().records == empty.trace().records
         && none.events == empty.events
         && none.end == empty.end
+}
+
+/// Per-window attribution evidence for every compound (pair) cell: one
+/// table per cell × seed showing, for each populated evidence window,
+/// the tail-event count and which positional fingerprints fire there
+/// (rank-correlated straggler, stripe-target slow OST, quantized
+/// drop/retry levels), plus the whole-run verdict line. This is exactly
+/// the per-window evidence `attribute_data_tail_windowed` consumes, so
+/// when a compound verdict regresses the artifact shows *which windows*
+/// stopped carrying which fingerprint without rerunning the matrix.
+pub fn per_window_report(scale: u32, seeds: &[u64]) -> String {
+    use std::fmt::Write;
+    let th = Thresholds::default();
+    let mut out = String::new();
+    for s in scenarios(scale) {
+        let Expect::Pair(a, b) = s.expected else {
+            continue;
+        };
+        for &seed in seeds {
+            let label = format!("fault-{}", s.fault);
+            let res = run_once(&s.job, &s.fs, seed, &label, Some(&s.plan));
+            writeln!(out, "== {} / {} (seed {seed}) ==", s.fault, s.workload).unwrap();
+            writeln!(
+                out,
+                "injected: {} + {}   verdict: {}",
+                a.name(),
+                b.name(),
+                verdict_of(&res).label()
+            )
+            .unwrap();
+            for kind in [CallKind::Read, CallKind::Write] {
+                let recs: Vec<_> = res
+                    .trace()
+                    .records
+                    .iter()
+                    .filter(|r| r.call == kind)
+                    .collect();
+                if recs.len() < th.min_samples {
+                    continue;
+                }
+                let samples: Vec<f64> = recs.iter().map(|r| r.secs()).collect();
+                let median = EmpiricalDist::new(&samples).median();
+                let cut = th.tail_cut(median);
+                let mut windows = WindowedProfile::new(
+                    th.attr_window_s,
+                    th.attr_max_windows,
+                    th.stripe_bytes,
+                    96,
+                );
+                for r in &recs {
+                    windows.add(r.rank, r.offset, r.start_ns, r.secs());
+                }
+                writeln!(
+                    out,
+                    "{kind:?}: median {median:.4}s, tail cut {cut:.4}s, window {:.1}s",
+                    windows.width_s()
+                )
+                .unwrap();
+                writeln!(
+                    out,
+                    "  {:<8} {:<12} {:>6}  {:<22} {:<18} quantized",
+                    "window", "span (s)", "tail", "straggler", "slow-ost"
+                )
+                .unwrap();
+                for (i, slot) in windows.populated() {
+                    let counts = slot.hist.counts();
+                    let tail_ev: u64 = (0..slot.hist.bins())
+                        .filter(|&j| slot.hist.bin_center(j) > cut)
+                        .map(|j| counts[j])
+                        .sum();
+                    let straggler = slot
+                        .profile
+                        .rank_correlated(cut, &th)
+                        .map_or("-".to_string(), |rt| {
+                            format!("ranks {:?} @{:.0}%", rt.ranks, rt.tail_share * 100.0)
+                        });
+                    let slow_ost =
+                        slot.profile
+                            .target_correlated(cut, &th)
+                            .map_or("-".to_string(), |tt| {
+                                format!(
+                                    "ost {}%{} @{:.0}%",
+                                    tt.residue,
+                                    tt.modulus,
+                                    tt.tail_share * 100.0
+                                )
+                            });
+                    let quantized = quantized_tail_levels(&slot.hist, cut, th.tail_min_events)
+                        .map_or("-".to_string(), |lv| format!("{lv} levels"));
+                    let w = windows.width_s();
+                    writeln!(
+                        out,
+                        "  {:<8} {:<12} {:>6}  {:<22} {:<18} {}",
+                        i,
+                        format!("{:.1}-{:.1}", i as f64 * w, (i + 1) as f64 * w),
+                        tail_ev,
+                        straggler,
+                        slow_ost,
+                        quantized
+                    )
+                    .unwrap();
+                }
+            }
+            writeln!(out).unwrap();
+        }
+    }
+    out
 }
 
 /// Render the matrix as a fixed-width table.

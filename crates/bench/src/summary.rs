@@ -198,6 +198,91 @@ fn fault_matrix_cell() -> u64 {
     1
 }
 
+/// A plan of eight scheduled faults whose windows all closed before the
+/// simulation starts doing I/O: every injector hook runs its time gate
+/// on every event and must take the zero-envelope early-out each time.
+fn expired_schedule_plan() -> pio_fault::FaultPlan {
+    use pio_fault::{Fault, FaultPlan, FaultSchedule};
+    let mut plan = FaultPlan::new();
+    for i in 0..8usize {
+        plan = plan.with_scheduled(
+            Fault::SlowOst {
+                ost: i,
+                slowdown: 100.0,
+                ramp_per_s: 0.0,
+            },
+            FaultSchedule::window(0.0, 0.0),
+        );
+    }
+    plan
+}
+
+/// The schedule-overhead scenario's simulation: paper-scale Figure 1
+/// IOR (~1M engine events), with or without a fault plan installed.
+fn ior_sim_schedule_gate(fault: Option<pio_fault::FaultPlan>) -> pio_mpi::RunReport {
+    let cfg = IorConfig {
+        repetitions: 2,
+        ..IorConfig::paper_fig1()
+    };
+    let job = cfg.job();
+    let mut rc = RunConfig::new(FsConfig::franklin(), 1, "bench_summary");
+    if let Some(plan) = fault {
+        rc = rc.with_fault(plan);
+    }
+    Runner::new(&job, rc).execute_one().expect("ior run")
+}
+
+/// The schedule-gate overhead check behind `fault/schedule_overhead_1m`:
+/// the expired-schedule run must be bit-identical to the clean one (the
+/// inertness guarantee), and its best-of-reps wall time at most
+/// `tolerance_pct` percent above the clean run's. Returns the scheduled
+/// run's metric (renamed to the gate's key) or panics with the
+/// violation — a silent slow-down of the simulator hot loop is exactly
+/// what this metric exists to catch.
+fn schedule_overhead_metric(reps: u32, tolerance_pct: f64) -> Metric {
+    let scheduled = ior_sim_schedule_gate(Some(expired_schedule_plan()));
+    let clean = ior_sim_schedule_gate(None);
+    assert_eq!(
+        scheduled.trace().records,
+        clean.trace().records,
+        "expired schedules must be bit-inert"
+    );
+    assert_eq!(scheduled.events, clean.events);
+    drop((scheduled, clean));
+
+    // Interleave clean and scheduled repetitions so both sides see the
+    // same thermal/frequency conditions; a serial block-of-reps layout
+    // lets machine drift masquerade as schedule overhead.
+    let mut best_clean = u64::MAX;
+    let mut best_sched = u64::MAX;
+    let mut ops = 0u64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        ops = ior_sim_schedule_gate(None).events;
+        best_clean = best_clean.min((t0.elapsed().as_nanos() as u64).max(1));
+        let t0 = Instant::now();
+        let sched_ops = ior_sim_schedule_gate(Some(expired_schedule_plan())).events;
+        best_sched = best_sched.min((t0.elapsed().as_nanos() as u64).max(1));
+        assert_eq!(sched_ops, ops);
+    }
+    let clean_ns = best_clean as f64 / ops.max(1) as f64;
+    let sched_ns = best_sched as f64 / ops.max(1) as f64;
+    let overhead_pct = (sched_ns - clean_ns) / clean_ns * 100.0;
+    assert!(
+        overhead_pct <= tolerance_pct,
+        "schedule gate overhead {overhead_pct:.1}% exceeds {tolerance_pct:.0}% \
+         ({sched_ns:.1} ns/event scheduled vs {clean_ns:.1} clean)",
+    );
+    Metric {
+        name: "fault/schedule_overhead_1m".to_string(),
+        unit: format!("event (+{overhead_pct:.1}% vs clean)"),
+        ops,
+        wall_ns: best_sched,
+        ns_per_op: sched_ns,
+        ops_per_sec: ops as f64 / (best_sched as f64 / 1e9),
+    }
+}
+
 /// Fleet-service ingest throughput: 8 synthetic tenants streamed
 /// concurrently (one feeder thread each) into a 4-worker `pio-fleetd`
 /// service with unlimited budget; ops = records the service admitted
@@ -401,6 +486,12 @@ pub fn run_filtered(reps: Option<u32>, only: &[String]) -> BenchSummary {
             r(1),
             fault_matrix_cell,
         ));
+    }
+    // Schedule-gate overhead: the same sim as sim/ior_scale64 but with
+    // eight expired scheduled faults installed. Bit-inertness and the
+    // <5% wall-clock ceiling are asserted inside, not just reported.
+    if want("fault/schedule_overhead_1m") {
+        metrics.push(schedule_overhead_metric(r(3), 5.0));
     }
 
     // Statistics kernels.

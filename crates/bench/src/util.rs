@@ -1,7 +1,7 @@
 //! Shared helpers for the experiment drivers.
 
 use pio_core::empirical::EmpiricalDist;
-use pio_fault::{Fault, FaultPlan};
+use pio_fault::{Fault, FaultPlan, FaultSchedule};
 use pio_trace::{CallKind, Trace, TraceFormat};
 use std::path::PathBuf;
 
@@ -179,6 +179,144 @@ pub fn named_fault_plan(name: &str) -> Result<FaultPlan, String> {
     Ok(plan)
 }
 
+/// Ceiling on concurrently active faults in a `--fault-schedule` spec.
+/// The injectors compose any number of envelopes, but a spec stacking
+/// more than this many overlapping faults is a typo (or an experiment
+/// nobody can interpret), so the parser refuses it.
+pub const MAX_SCHEDULED_FAULTS: usize = 8;
+
+/// Parse `--fault-schedule <spec>` from argv; `None` when the flag is
+/// absent. The spec is a comma-separated list of scheduled fault
+/// entries, each `name[@START..END][~RAMP]`:
+///
+/// * `name` — one of [`FAULT_PLAN_NAMES`], with the same representative
+///   parameters `--fault` uses;
+/// * `@START..END` — the live window in simulated seconds (absent =
+///   whole run);
+/// * `~RAMP` — linear ramp-in length at the head of the window.
+///
+/// `slow-ost@0..2,flaky-fabric@2..64~1.2` is the corpus's
+/// time-disjoint compound plan. Like [`scale_from_args`], a malformed
+/// spec is an error (exit 2), never a silent clean run.
+pub fn fault_schedule_from_args() -> Option<FaultPlan> {
+    let args: Vec<String> = std::env::args().collect();
+    match parse_fault_schedule(&args) {
+        Ok(plan) => plan,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: {} [--fault-schedule name[@START..END][~RAMP],...]  (names: {})",
+                args.first().map_or("bench", |a| a),
+                FAULT_PLAN_NAMES.join("|"),
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The testable core of [`fault_schedule_from_args`]: find
+/// `--fault-schedule <spec>` in `args` (last occurrence wins).
+pub fn parse_fault_schedule(args: &[String]) -> Result<Option<FaultPlan>, String> {
+    let mut plan = None;
+    for (i, arg) in args.iter().enumerate() {
+        if arg == "--fault-schedule" {
+            let raw = args
+                .get(i + 1)
+                .ok_or_else(|| "--fault-schedule requires a spec".to_string())?;
+            plan = Some(fault_plan_from_spec(raw)?);
+        }
+    }
+    Ok(plan)
+}
+
+/// Build a [`FaultPlan`] from a schedule spec string (the
+/// `--fault-schedule` grammar). Every entry is validated: unknown fault
+/// names, windows that end at or before their start, negative starts or
+/// ramps, and plans stacking more than [`MAX_SCHEDULED_FAULTS`]
+/// concurrently active faults are all hard errors.
+pub fn fault_plan_from_spec(spec: &str) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan::new();
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            return Err(format!("empty entry in --fault-schedule spec {spec:?}"));
+        }
+        let (fault, schedule) = parse_schedule_entry(entry)?;
+        plan = plan.with_scheduled(fault, schedule);
+    }
+    let live = plan.max_concurrent();
+    if live > MAX_SCHEDULED_FAULTS {
+        return Err(format!(
+            "--fault-schedule stacks {live} concurrently active faults; \
+             at most {MAX_SCHEDULED_FAULTS} are supported"
+        ));
+    }
+    Ok(plan)
+}
+
+/// One `name[@START..END][~RAMP]` entry of the schedule grammar.
+fn parse_schedule_entry(entry: &str) -> Result<(Fault, FaultSchedule), String> {
+    let (head, ramp_s) = match entry.split_once('~') {
+        Some((head, raw)) => {
+            let ramp: f64 = raw.parse().map_err(|_| {
+                format!("invalid ramp {raw:?} in entry {entry:?}: expected seconds")
+            })?;
+            (head, ramp)
+        }
+        None => (entry, 0.0),
+    };
+    let (name, window) = match head.split_once('@') {
+        Some((name, raw)) => {
+            let (s, e) = raw.split_once("..").ok_or_else(|| {
+                format!("invalid window {raw:?} in entry {entry:?}: expected START..END")
+            })?;
+            let start: f64 = s.parse().map_err(|_| {
+                format!("invalid window start {s:?} in entry {entry:?}: expected seconds")
+            })?;
+            let end: f64 = e.parse().map_err(|_| {
+                format!("invalid window end {e:?} in entry {entry:?}: expected seconds")
+            })?;
+            (name, Some((start, end)))
+        }
+        None => (head, None),
+    };
+    let fault = named_fault_plan(name)?.entries()[0].fault.clone();
+    let schedule = match window {
+        Some((start, _)) if !start.is_finite() || start < 0.0 => {
+            return Err(format!(
+                "window start must be finite and >= 0 in entry {entry:?}"
+            ));
+        }
+        // A window that ends at or before its start is invariably a
+        // typo: FaultSchedule would accept the (inert) empty window,
+        // but nobody schedules a fault to not happen.
+        Some((start, end)) if end.is_nan() || end <= start => {
+            return Err(format!("window end must be > start in entry {entry:?}"));
+        }
+        Some((start, end)) => FaultSchedule::window(start, end),
+        None => FaultSchedule::ALWAYS,
+    };
+    if !ramp_s.is_finite() || ramp_s < 0.0 {
+        return Err(format!("ramp must be finite and >= 0 in entry {entry:?}"));
+    }
+    let schedule = schedule.with_ramp(ramp_s);
+    schedule
+        .validate()
+        .map_err(|e| format!("entry {entry:?}: {e}"))?;
+    Ok((fault, schedule))
+}
+
+/// The combined `--fault` / `--fault-schedule` plan from argv: either
+/// flag alone yields its plan, both together merge into one compound
+/// plan (the named plan whole-run, the scheduled entries on their
+/// windows). `None` when neither flag is present — the clean run.
+pub fn fault_or_schedule_from_args() -> Option<FaultPlan> {
+    match (fault_from_args(), fault_schedule_from_args()) {
+        (Some(named), Some(scheduled)) => Some(named.merged(&scheduled)),
+        (named, scheduled) => named.or(scheduled),
+    }
+}
+
 /// Parse `--format jsonl|ptb|ptb2` from argv; `None` when absent so callers
 /// keep their own default (sniffing on input, JSONL on output).
 ///
@@ -220,12 +358,17 @@ pub fn parse_format(args: &[String]) -> Result<Option<TraceFormat>, String> {
 /// fault-matrix driver uses it to drop the rendered attribution table
 /// where CI can pick it up as a workflow artifact.
 pub fn parse_out(args: &[String]) -> Result<Option<PathBuf>, String> {
+    parse_path_flag(args, "--out")
+}
+
+/// Last occurrence of an arbitrary `--flag PATH` pair, if present.
+pub fn parse_path_flag(args: &[String], flag: &str) -> Result<Option<PathBuf>, String> {
     let mut out = None;
     for (i, arg) in args.iter().enumerate() {
-        if arg == "--out" {
+        if arg == flag {
             let raw = args
                 .get(i + 1)
-                .ok_or_else(|| "--out requires a path".to_string())?;
+                .ok_or_else(|| format!("{flag} requires a path"))?;
             out = Some(PathBuf::from(raw));
         }
     }
@@ -427,6 +570,124 @@ mod tests {
         // Malformed input is an error, not a silent clean run.
         assert!(parse_fault(&args(&["bench", "--fault"])).is_err());
         assert!(parse_fault(&args(&["bench", "--fault", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn parse_fault_schedule_builds_scheduled_plans() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_fault_schedule(&args(&["bench"])), Ok(None));
+
+        // Bare name = the whole-run schedule, same fault as --fault.
+        let plan = parse_fault_schedule(&args(&["bench", "--fault-schedule", "slow-ost"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(plan.entries().len(), 1);
+        assert!(plan.entries()[0].schedule.is_always());
+        assert_eq!(
+            plan.entries()[0].fault,
+            named_fault_plan("slow-ost").unwrap().entries()[0].fault
+        );
+
+        // Windows, ramps, and composition.
+        let plan = fault_plan_from_spec("slow-ost@0..2,flaky-fabric@2..64~1.2").unwrap();
+        assert_eq!(plan.entries().len(), 2);
+        assert_eq!(plan.entries()[0].schedule, FaultSchedule::window(0.0, 2.0));
+        assert_eq!(
+            plan.entries()[1].schedule,
+            FaultSchedule::window(2.0, 64.0).with_ramp(1.2)
+        );
+        assert_eq!(plan.max_concurrent(), 1, "time-disjoint windows");
+
+        // Ramp without a window rides the whole-run schedule.
+        let plan = fault_plan_from_spec("mds-stall~0.5").unwrap();
+        assert_eq!(
+            plan.entries()[0].schedule,
+            FaultSchedule::ALWAYS.with_ramp(0.5)
+        );
+
+        // Last flag occurrence wins, matching --scale.
+        let plan = parse_fault_schedule(&args(&[
+            "bench",
+            "--fault-schedule",
+            "slow-ost",
+            "--fault-schedule",
+            "straggler",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert_eq!(
+            plan.entries()[0].fault,
+            named_fault_plan("straggler").unwrap().entries()[0].fault
+        );
+    }
+
+    #[test]
+    fn schedule_spec_rejects_missing_value() {
+        let args: Vec<String> = ["bench", "--fault-schedule"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = parse_fault_schedule(&args).unwrap_err();
+        assert!(err.contains("requires a spec"), "{err}");
+    }
+
+    #[test]
+    fn schedule_spec_rejects_unknown_fault_name() {
+        let err = fault_plan_from_spec("bogus@0..2").unwrap_err();
+        assert!(err.contains("unknown --fault plan"), "{err}");
+    }
+
+    #[test]
+    fn schedule_spec_rejects_window_ending_at_or_before_start() {
+        for spec in ["slow-ost@2..2", "slow-ost@5..2"] {
+            let err = fault_plan_from_spec(spec).unwrap_err();
+            assert!(err.contains("window end must be > start"), "{spec}: {err}");
+        }
+    }
+
+    #[test]
+    fn schedule_spec_rejects_negative_start() {
+        let err = fault_plan_from_spec("slow-ost@-1..2").unwrap_err();
+        assert!(
+            err.contains("window start must be finite and >= 0"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn schedule_spec_rejects_negative_ramp() {
+        let err = fault_plan_from_spec("flaky-fabric@0..4~-0.5").unwrap_err();
+        assert!(err.contains("ramp must be finite and >= 0"), "{err}");
+    }
+
+    #[test]
+    fn schedule_spec_rejects_malformed_windows_and_numbers() {
+        let err = fault_plan_from_spec("slow-ost@012").unwrap_err();
+        assert!(err.contains("expected START..END"), "{err}");
+        let err = fault_plan_from_spec("slow-ost@a..2").unwrap_err();
+        assert!(err.contains("invalid window start"), "{err}");
+        let err = fault_plan_from_spec("slow-ost@0..b").unwrap_err();
+        assert!(err.contains("invalid window end"), "{err}");
+        let err = fault_plan_from_spec("slow-ost~fast").unwrap_err();
+        assert!(err.contains("invalid ramp"), "{err}");
+        let err = fault_plan_from_spec("slow-ost,,straggler").unwrap_err();
+        assert!(err.contains("empty entry"), "{err}");
+    }
+
+    #[test]
+    fn schedule_spec_rejects_more_than_eight_concurrent_faults() {
+        // Nine whole-run entries all overlap; eight are fine.
+        let nine = ["slow-ost"; 9].join(",");
+        let err = fault_plan_from_spec(&nine).unwrap_err();
+        assert!(err.contains("at most 8 are supported"), "{err}");
+        let eight = ["slow-ost"; 8].join(",");
+        assert!(fault_plan_from_spec(&eight).is_ok());
+        // Nine entries that never overlap in time are fine too: the
+        // ceiling is on *concurrency*, not plan length.
+        let staggered: Vec<String> = (0..9)
+            .map(|i| format!("slow-ost@{}..{}", i, i + 1))
+            .collect();
+        assert!(fault_plan_from_spec(&staggered.join(",")).is_ok());
     }
 
     #[test]

@@ -712,6 +712,528 @@ pub fn attribute_meta_tail(profile: &TailProfile, th: &Thresholds) -> FaultClass
     FaultClass::MdsStall
 }
 
+// ---------------------------------------------------------------------------
+// Time-windowed evidence: compound and ambiguous verdicts
+// ---------------------------------------------------------------------------
+
+/// A (possibly multi-class) attribution verdict for one finding.
+///
+/// Production faults overlap: a rebuild degrades one OST while a noisy
+/// neighbor flaps the fabric. A single `FaultClass` cannot express
+/// that, and silently naming one culprit when two are present is worse
+/// than saying so. `classes` is always sorted ascending and deduplicated:
+///
+/// * `ambiguous == false` — every class is independently evidenced
+///   (one class: the classic verdict; several: a compound fault whose
+///   components were isolated in time, rank space, or call class).
+/// * `ambiguous == true` — the evidence could not isolate a single
+///   culprit: `classes` are the *candidates* whose tests fire, listed
+///   honestly instead of picking a winner.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Attribution {
+    /// Implicated fault classes, ascending and deduplicated, ≥ 1 entry.
+    pub classes: Vec<FaultClass>,
+    /// True when `classes` are unseparated candidates rather than a
+    /// joint verdict.
+    pub ambiguous: bool,
+}
+
+impl Attribution {
+    /// A confident single-class verdict.
+    pub fn single(class: FaultClass) -> Self {
+        Attribution {
+            classes: vec![class],
+            ambiguous: false,
+        }
+    }
+
+    /// A confident verdict over `classes` (sorted and deduplicated
+    /// here). Panics if empty — "no attribution" is `None`, not an
+    /// empty list.
+    pub fn confident(mut classes: Vec<FaultClass>) -> Self {
+        classes.sort_unstable();
+        classes.dedup();
+        assert!(!classes.is_empty(), "attribution needs at least one class");
+        Attribution {
+            classes,
+            ambiguous: false,
+        }
+    }
+
+    /// An ambiguous verdict listing unseparated candidates.
+    pub fn candidates(mut classes: Vec<FaultClass>) -> Self {
+        classes.sort_unstable();
+        classes.dedup();
+        assert!(!classes.is_empty(), "attribution needs at least one class");
+        Attribution {
+            classes,
+            ambiguous: true,
+        }
+    }
+
+    /// Whether this is a confident single-class verdict for `class` —
+    /// the exact shape the pre-compound-era consumers asserted on.
+    pub fn is(&self, class: FaultClass) -> bool {
+        !self.ambiguous && self.classes == [class]
+    }
+
+    /// Whether `class` appears (confidently or as a candidate).
+    pub fn implicates(&self, class: FaultClass) -> bool {
+        self.classes.contains(&class)
+    }
+
+    /// Stable identifier: `"slow-ost"`, `"mds-stall+slow-ost"`,
+    /// `"ambiguous(flaky-fabric|straggler-node)"` (matrix tables, CI
+    /// artifacts).
+    pub fn label(&self) -> String {
+        let names: Vec<&str> = self.classes.iter().map(|c| c.name()).collect();
+        if self.ambiguous {
+            format!("ambiguous({})", names.join("|"))
+        } else {
+            names.join("+")
+        }
+    }
+}
+
+impl std::fmt::Display for Attribution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.ambiguous {
+            write!(f, "ambiguous between ")?;
+        }
+        for (i, c) in self.classes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One tail event with everything the windowed/residual passes need:
+/// when it started (integer ns — window assignment must not depend on
+/// float rounding), who issued it, and how slow it was.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TailEvent {
+    /// Call entry time, nanoseconds of virtual time.
+    pub start_ns: u64,
+    /// Issuing rank.
+    pub rank: u32,
+    /// Call duration, seconds.
+    pub secs: f64,
+}
+
+impl TailEvent {
+    /// Start instant in seconds (the same conversion every detector
+    /// uses, so burst tests see identical floats on every path).
+    pub fn start_s(&self) -> f64 {
+        pio_des::SimTime(self.start_ns).as_secs_f64()
+    }
+}
+
+/// Per-window slice of the evidence: the same profile + fine histogram
+/// pair the global detectors run on, restricted to records whose start
+/// time falls in the window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSlot {
+    /// Rank/residue decomposition of the window's records.
+    pub profile: TailProfile,
+    /// Fine duration histogram of the window's records.
+    pub hist: LogHistogram,
+}
+
+/// Fixed-width time windows of [`TailProfile`] + fine-histogram
+/// evidence, indexed by integer division of the record's `start_ns` —
+/// exact, so window membership is identical across record order,
+/// thread count, shard count, and trace format.
+///
+/// Slots allocate lazily (only windows that receive records exist) and
+/// the index clamps at `max_windows − 1`: a run longer than the covered
+/// span pools its late records into the last window, degrading
+/// localization gracefully instead of growing without bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowedProfile {
+    width_ns: u64,
+    max_windows: usize,
+    stripe_bytes: u64,
+    fine_bins: usize,
+    slots: Vec<Option<Box<WindowSlot>>>,
+}
+
+impl WindowedProfile {
+    /// Windows of `width_s` simulated seconds, at most `max_windows` of
+    /// them; `stripe_bytes`/`fine_bins` fix the slot evidence geometry
+    /// (callers pass the same values they use for the global evidence).
+    pub fn new(width_s: f64, max_windows: usize, stripe_bytes: u64, fine_bins: usize) -> Self {
+        let width_ns = ((width_s * 1e9).round() as u64).max(1);
+        WindowedProfile {
+            width_ns,
+            max_windows: max_windows.max(1),
+            stripe_bytes,
+            fine_bins,
+            slots: Vec::new(),
+        }
+    }
+
+    /// Window index for a record starting at `start_ns` (clamped into
+    /// the last window).
+    #[inline]
+    pub fn index(&self, start_ns: u64) -> usize {
+        ((start_ns / self.width_ns) as usize).min(self.max_windows - 1)
+    }
+
+    /// Window width in seconds.
+    pub fn width_s(&self) -> f64 {
+        self.width_ns as f64 / 1e9
+    }
+
+    #[inline]
+    fn slot_mut(&mut self, i: usize) -> &mut WindowSlot {
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        self.slots[i].get_or_insert_with(|| {
+            Box::new(WindowSlot {
+                profile: TailProfile::new(self.stripe_bytes),
+                hist: LogHistogram::new(TAIL_HIST_LO, TAIL_HIST_HI, self.fine_bins),
+            })
+        })
+    }
+
+    /// Accumulate one record.
+    pub fn add(&mut self, rank: u32, offset: u64, start_ns: u64, secs: f64) {
+        let i = self.index(start_ns);
+        let slot = self.slot_mut(i);
+        slot.profile.add(rank, offset, secs);
+        slot.hist.add_clamped(secs);
+    }
+
+    /// [`Self::add`] with both duration bins pre-classified (`bin` for
+    /// the coarse profile geometry, `fine` for the fine histogram) —
+    /// the block ingest path computes them once per record and fans
+    /// them out.
+    #[inline]
+    pub fn add_binned(
+        &mut self,
+        rank: u32,
+        offset: u64,
+        start_ns: u64,
+        secs: f64,
+        bin: usize,
+        fine: usize,
+    ) {
+        let i = self.index(start_ns);
+        let slot = self.slot_mut(i);
+        slot.profile.add_binned(rank, offset, secs, bin);
+        slot.hist.add_clamped_at(fine);
+    }
+
+    /// Populated windows, ascending by index.
+    pub fn populated(&self) -> impl Iterator<Item = (usize, &WindowSlot)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_deref().map(|s| (i, s)))
+    }
+
+    /// Is any window populated?
+    pub fn is_empty(&self) -> bool {
+        self.populated().next().is_none()
+    }
+}
+
+/// Tail event count and duration mass beyond `cut` in a fine histogram.
+fn hist_tail(hist: &LogHistogram, cut: f64) -> (u64, f64) {
+    let counts = hist.counts();
+    let mut events = 0u64;
+    let mut mass = 0.0;
+    for (i, &c) in counts.iter().enumerate() {
+        if c > 0 && hist.bin_center(i) > cut {
+            events += c;
+            mass += c as f64 * hist.bin_center(i);
+        }
+    }
+    (events, mass)
+}
+
+/// Everything the windowed attribution sees for one data call class.
+/// `windows` and `events` are optional so snapshot-only consumers (no
+/// arrival times, no windowed state) degrade to the global chain.
+pub struct DataTailEvidence<'a> {
+    /// Whole-run rank/residue decomposition.
+    pub profile: &'a TailProfile,
+    /// Whole-run fine duration histogram.
+    pub hist: &'a LogHistogram,
+    /// Per-window evidence, when the consumer keeps it.
+    pub windows: Option<&'a WindowedProfile>,
+    /// Tail events (`secs > cut`), rank-tagged, when arrival times are
+    /// available. Order does not matter.
+    pub events: Option<&'a [TailEvent]>,
+}
+
+/// Which positional test carries a class's fingerprint inside a single
+/// window. Fabric bursts are too sparse per window to test positively
+/// (a burst train needs a long span), so a `FlakyFabric` primary
+/// explains a window *negatively*: only if no *positional* fingerprint
+/// claims it — a window decisively owned by a rank set or a stripe
+/// target is evidence the fabric primary cannot account for, and it
+/// goes to the pooled residual re-chain (which still applies the
+/// substantiality and compound-share gates, so a single spurious window
+/// cannot flip a single-fault verdict). Per-window *quantized* levels
+/// deliberately do not count against a fabric primary: a duty-cycled
+/// slowdown produces genuinely level-like durations inside each burst,
+/// so that fingerprint is expected under fabric, not residue. The
+/// metadata classes never reach this path and count as explained.
+fn window_supports(class: FaultClass, slot: &WindowSlot, cut: f64, th: &Thresholds) -> bool {
+    match class {
+        FaultClass::StragglerNode => slot.profile.rank_correlated(cut, th).is_some(),
+        FaultClass::SlowOst => slot.profile.target_correlated(cut, th).is_some(),
+        FaultClass::DropRetry => {
+            quantized_tail_levels(&slot.hist, cut, th.tail_min_events).is_some()
+        }
+        FaultClass::FlakyFabric => {
+            slot.profile.rank_correlated(cut, th).is_none()
+                && slot.profile.target_correlated(cut, th).is_none()
+        }
+        _ => true,
+    }
+}
+
+/// Classes (excluding `known`) whose *global* test fires on the
+/// whole-run evidence — the candidate list an unexplained residue is
+/// ambiguous between.
+fn cofiring_classes(
+    ev: &DataTailEvidence<'_>,
+    starts: Option<&[f64]>,
+    cut: f64,
+    th: &Thresholds,
+    known: &[FaultClass],
+) -> Vec<FaultClass> {
+    let mut out = Vec::new();
+    let mut consider = |class: FaultClass, fires: bool| {
+        if fires && !known.contains(&class) {
+            out.push(class);
+        }
+    };
+    consider(
+        FaultClass::StragglerNode,
+        ev.profile.rank_correlated(cut, th).is_some(),
+    );
+    consider(
+        FaultClass::SlowOst,
+        ev.profile.target_correlated(cut, th).is_some(),
+    );
+    consider(
+        FaultClass::FlakyFabric,
+        starts.is_some_and(|s| periodic_bursts(s, th).is_some()),
+    );
+    consider(
+        FaultClass::DropRetry,
+        quantized_tail_levels(ev.hist, cut, th.tail_min_events).is_some(),
+    );
+    out
+}
+
+/// Attribute a data-class tail with time-windowed evidence: the global
+/// priority chain ([`attribute_data_tail`]) names a primary class, then
+/// two residual passes look for a *second* fault the primary's evidence
+/// does not explain:
+///
+/// * **Time residual** — active windows (≥ `tail_min_events` tail
+///   events) where the primary's own positional test does not fire are
+///   pooled and re-attributed with the full chain. A fault that was
+///   only live in part of the run (a scheduled episode) is confirmed on
+///   exactly the windows it owned.
+/// * **Rank residual** — when the primary is a straggler node, the tail
+///   events of the *non-culprit* ranks are re-tested (burst periodicity,
+///   quantized levels), since a concurrent whole-run fault hides under
+///   the culprits' mass in every window.
+///
+/// A residue that is substantial (≥ `compound_share` of the tail) but
+/// that no test explains yields an **ambiguous** verdict listing the
+/// classes whose global tests fire; a residue that is explained yields
+/// a confident compound verdict. With no primary, per-window
+/// classification takes over: each active window votes with its
+/// positional tests, window groups are confirmed class-by-class, and
+/// unclassified windows are pooled for the burst test. Thresholds keep
+/// every pass conservative, so a clean single-fault run keeps its
+/// single-class verdict.
+pub fn attribute_data_tail_windowed(
+    ev: &DataTailEvidence<'_>,
+    median: f64,
+    th: &Thresholds,
+) -> Option<Attribution> {
+    if median <= 0.0 || ev.profile.is_empty() {
+        return None;
+    }
+    let cut = th.tail_cut(median);
+    let starts: Option<Vec<f64>> = ev.events.map(|es| es.iter().map(|e| e.start_s()).collect());
+    let primary = attribute_data_tail(ev.profile, ev.hist, starts.as_deref(), median, th);
+
+    let mut confident: Vec<FaultClass> = primary.into_iter().collect();
+    let mut unresolved: Vec<FaultClass> = Vec::new();
+
+    // --- time residual ---
+    if let Some(windows) = ev.windows {
+        let (_, total_mass) = hist_tail(ev.hist, cut);
+        struct Active<'s> {
+            idx: usize,
+            slot: &'s WindowSlot,
+            events: u64,
+            mass: f64,
+        }
+        let active: Vec<Active<'_>> = windows
+            .populated()
+            .filter_map(|(idx, slot)| {
+                let (events, mass) = hist_tail(&slot.hist, cut);
+                ((events as usize) >= th.tail_min_events).then_some(Active {
+                    idx,
+                    slot,
+                    events,
+                    mass,
+                })
+            })
+            .collect();
+
+        // Pool a window subset and run the full chain over it.
+        let pooled_verdict = |group: &[&Active<'_>]| -> Option<FaultClass> {
+            let mut profile = group[0].slot.profile.clone();
+            let mut hist = group[0].slot.hist.clone();
+            for a in &group[1..] {
+                profile.merge(&a.slot.profile);
+                hist.merge(&a.slot.hist);
+            }
+            let idxs: Vec<usize> = group.iter().map(|a| a.idx).collect();
+            let pooled_starts: Option<Vec<f64>> = ev.events.map(|es| {
+                es.iter()
+                    .filter(|e| idxs.contains(&windows.index(e.start_ns)))
+                    .map(|e| e.start_s())
+                    .collect()
+            });
+            attribute_data_tail(&profile, &hist, pooled_starts.as_deref(), median, th)
+        };
+        let substantial = |events: u64, mass: f64| {
+            (events as usize) >= th.tail_min_events && mass >= th.compound_share * total_mass
+        };
+
+        match primary {
+            Some(p) => {
+                let residue: Vec<&Active<'_>> = active
+                    .iter()
+                    .filter(|a| !window_supports(p, a.slot, cut, th))
+                    .collect();
+                let ev_n: u64 = residue.iter().map(|a| a.events).sum();
+                let mass: f64 = residue.iter().map(|a| a.mass).sum();
+                if !residue.is_empty() && substantial(ev_n, mass) {
+                    match pooled_verdict(&residue) {
+                        Some(c) if c != p => confident.push(c),
+                        Some(_) => {}
+                        None => unresolved.extend(cofiring_classes(
+                            ev,
+                            starts.as_deref(),
+                            cut,
+                            th,
+                            &confident,
+                        )),
+                    }
+                }
+            }
+            None => {
+                // No global verdict: per-window classification votes,
+                // then each class group is confirmed on its own pool.
+                let mut groups: Vec<(FaultClass, Vec<&Active<'_>>)> = Vec::new();
+                let mut leftover: Vec<&Active<'_>> = Vec::new();
+                for a in &active {
+                    let class = if a.slot.profile.rank_correlated(cut, th).is_some() {
+                        Some(FaultClass::StragglerNode)
+                    } else if a.slot.profile.target_correlated(cut, th).is_some() {
+                        Some(FaultClass::SlowOst)
+                    } else if quantized_tail_levels(&a.slot.hist, cut, th.tail_min_events).is_some()
+                    {
+                        Some(FaultClass::DropRetry)
+                    } else {
+                        None
+                    };
+                    match class {
+                        Some(c) => match groups.iter_mut().find(|(g, _)| *g == c) {
+                            Some((_, v)) => v.push(a),
+                            None => groups.push((c, vec![a])),
+                        },
+                        None => leftover.push(a),
+                    }
+                }
+                for (_, group) in &groups {
+                    let ev_n: u64 = group.iter().map(|a| a.events).sum();
+                    let mass: f64 = group.iter().map(|a| a.mass).sum();
+                    if substantial(ev_n, mass) {
+                        if let Some(c) = pooled_verdict(group) {
+                            confident.push(c);
+                        }
+                    }
+                }
+                let ev_n: u64 = leftover.iter().map(|a| a.events).sum();
+                let mass: f64 = leftover.iter().map(|a| a.mass).sum();
+                if !leftover.is_empty() && substantial(ev_n, mass) {
+                    match pooled_verdict(&leftover) {
+                        Some(c) => confident.push(c),
+                        None if !confident.is_empty() => unresolved.extend(cofiring_classes(
+                            ev,
+                            starts.as_deref(),
+                            cut,
+                            th,
+                            &confident,
+                        )),
+                        None => {}
+                    }
+                }
+            }
+        }
+    }
+
+    // --- rank residual ---
+    if primary == Some(FaultClass::StragglerNode) {
+        if let (Some(rt), Some(events)) = (ev.profile.rank_correlated(cut, th), ev.events) {
+            let residual: Vec<&TailEvent> = events
+                .iter()
+                .filter(|e| e.secs > cut && !rt.ranks.contains(&e.rank))
+                .collect();
+            let tail_total = events.iter().filter(|e| e.secs > cut).count();
+            if residual.len() >= th.tail_min_events
+                && (residual.len() as f64) >= th.compound_share * tail_total as f64
+            {
+                let rs: Vec<f64> = residual.iter().map(|e| e.start_s()).collect();
+                let mut rh = LogHistogram::new(TAIL_HIST_LO, TAIL_HIST_HI, 2 * TAIL_HIST_BINS);
+                for e in &residual {
+                    rh.add_clamped(e.secs);
+                }
+                if sync_front_share(&rs) < FRONT_SHARE_VETO && periodic_bursts(&rs, th).is_some() {
+                    confident.push(FaultClass::FlakyFabric);
+                } else if quantized_tail_levels(&rh, cut, th.tail_min_events).is_some() {
+                    confident.push(FaultClass::DropRetry);
+                } else {
+                    unresolved.extend(cofiring_classes(ev, starts.as_deref(), cut, th, &confident));
+                }
+            }
+        }
+    }
+
+    confident.sort_unstable();
+    confident.dedup();
+    unresolved.retain(|c| !confident.contains(c));
+    unresolved.sort_unstable();
+    unresolved.dedup();
+    if !unresolved.is_empty() {
+        let mut all = confident;
+        all.extend(unresolved);
+        return Some(Attribution::candidates(all));
+    }
+    if confident.is_empty() {
+        None
+    } else {
+        Some(Attribution::confident(confident))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -904,6 +1426,158 @@ mod tests {
         assert_eq!(FaultClass::StragglerNode.name(), "straggler-node");
         assert!(FaultClass::MetadataStorm.to_string().contains("metadata"));
     }
+
+    #[test]
+    fn attribution_labels_are_stable() {
+        assert_eq!(Attribution::single(FaultClass::SlowOst).label(), "slow-ost");
+        let compound = Attribution::confident(vec![FaultClass::SlowOst, FaultClass::MdsStall]);
+        assert_eq!(compound.label(), "slow-ost+mds-stall");
+        assert!(compound.implicates(FaultClass::MdsStall));
+        assert!(!compound.is(FaultClass::SlowOst));
+        let amb = Attribution::candidates(vec![
+            FaultClass::StragglerNode,
+            FaultClass::FlakyFabric,
+            FaultClass::FlakyFabric,
+        ]);
+        assert_eq!(amb.label(), "ambiguous(flaky-fabric|straggler-node)");
+        assert!(amb.implicates(FaultClass::FlakyFabric));
+        assert!(!amb.is(FaultClass::FlakyFabric));
+    }
+
+    #[test]
+    fn window_index_uses_integer_ns_division() {
+        let w = WindowedProfile::new(2.0, 16, 1 << 20, 96);
+        assert_eq!(w.index(0), 0);
+        assert_eq!(w.index(1_999_999_999), 0);
+        assert_eq!(w.index(2_000_000_000), 1); // boundary lands right
+        assert_eq!(w.index(2_000_000_001), 1);
+        // Clamped into the last window.
+        assert_eq!(w.index(u64::MAX), 15);
+        assert_eq!(w.width_s(), 2.0);
+    }
+
+    #[test]
+    fn windowed_profile_separates_episodes() {
+        let mut w = WindowedProfile::new(1.0, 8, 1 << 20, 96);
+        // Window 0: fast ops; window 3: slow ops.
+        for i in 0..32u64 {
+            w.add(i as u32 % 8, i << 20, i * 10_000_000, 0.01);
+            w.add(i as u32 % 8, i << 20, 3_000_000_000 + i * 10_000_000, 0.5);
+        }
+        let populated: Vec<usize> = w.populated().map(|(i, _)| i).collect();
+        assert_eq!(populated, vec![0, 3]);
+        let (ev0, _) = hist_tail(&w.populated().next().unwrap().1.hist, 0.1);
+        let (ev3, _) = hist_tail(&w.populated().nth(1).unwrap().1.hist, 0.1);
+        assert_eq!(ev0, 0);
+        assert_eq!(ev3, 32);
+    }
+
+    /// Build the canonical two-episode compound: an early window where
+    /// the tail concentrates on one stripe residue (slow OST) and a
+    /// late window where it arrives in periodic bursts (flaky fabric).
+    fn two_episode_evidence() -> (TailProfile, LogHistogram, WindowedProfile, Vec<TailEvent>) {
+        let mut profile = TailProfile::new(1 << 20);
+        let mut hist = LogHistogram::new(TAIL_HIST_LO, TAIL_HIST_HI, 96);
+        let mut windows = WindowedProfile::new(2.0, 16, 1 << 20, 96);
+        let mut events = Vec::new();
+        let mut feed = |rank: u32, offset: u64, start_ns: u64, secs: f64| {
+            profile.add(rank, offset, secs);
+            hist.add_clamped(secs);
+            windows.add(rank, offset, start_ns, secs);
+            if secs > 0.04 {
+                events.push(TailEvent {
+                    start_ns,
+                    rank,
+                    secs,
+                });
+            }
+        };
+        // Bulk everywhere: 16 ranks, spread stripes, 20 ms.
+        for rank in 0..16u32 {
+            for i in 0..60u64 {
+                feed(rank, (i * 16 + rank as u64) << 20, i * 100_000_000, 0.02);
+            }
+        }
+        // Episode A, 0–2 s: tail on stripes ≡ 1 (mod 4), scattered starts.
+        for rank in 0..16u32 {
+            for i in 0..3u64 {
+                let start = 100_000_000 + rank as u64 * 110_000_000 + i * 37_000_000;
+                feed(rank, (i * 4 + 1) << 20, start, 0.9);
+            }
+        }
+        // Episode B, 8–14 s: periodic bursts every 0.25 s, spread stripes.
+        for b in 0..24u64 {
+            for j in 0..3u64 {
+                let start = 8_000_000_000 + b * 250_000_000 + j * 3_000_000;
+                feed((b * 3 + j) as u32 % 16, (b * 16 + j * 5) << 20, start, 0.7);
+            }
+        }
+        (profile, hist, windows, events)
+    }
+
+    #[test]
+    fn time_separated_pair_yields_compound_verdict() {
+        let (profile, hist, windows, events) = two_episode_evidence();
+        let a = attribute_data_tail_windowed(
+            &DataTailEvidence {
+                profile: &profile,
+                hist: &hist,
+                windows: Some(&windows),
+                events: Some(&events),
+            },
+            0.02,
+            &th(),
+        )
+        .expect("compound evidence must attribute");
+        assert!(
+            !a.ambiguous
+                && a.implicates(FaultClass::SlowOst)
+                && a.implicates(FaultClass::FlakyFabric),
+            "want confident slow-ost + flaky-fabric, got {a:?}"
+        );
+    }
+
+    #[test]
+    fn single_fault_evidence_keeps_single_verdict() {
+        // Same generator, episode A only: windowing must not invent a
+        // second class.
+        let mut profile = TailProfile::new(1 << 20);
+        let mut hist = LogHistogram::new(TAIL_HIST_LO, TAIL_HIST_HI, 96);
+        let mut windows = WindowedProfile::new(2.0, 16, 1 << 20, 96);
+        let mut events = Vec::new();
+        for rank in 0..16u32 {
+            for i in 0..60u64 {
+                let (offset, start, secs) = ((i * 16 + rank as u64) << 20, i * 100_000_000, 0.02);
+                profile.add(rank, offset, secs);
+                hist.add_clamped(secs);
+                windows.add(rank, offset, start, secs);
+            }
+            for i in 0..6u64 {
+                let start = 100_000_000 + rank as u64 * 110_000_000 + i * 37_000_000;
+                let offset = (i * 4 + 1) << 20;
+                profile.add(rank, offset, 0.9);
+                hist.add_clamped(0.9);
+                windows.add(rank, offset, start, 0.9);
+                events.push(TailEvent {
+                    start_ns: start,
+                    rank,
+                    secs: 0.9,
+                });
+            }
+        }
+        let a = attribute_data_tail_windowed(
+            &DataTailEvidence {
+                profile: &profile,
+                hist: &hist,
+                windows: Some(&windows),
+                events: Some(&events),
+            },
+            0.02,
+            &th(),
+        )
+        .expect("planted slow target must attribute");
+        assert!(a.is(FaultClass::SlowOst), "want single slow-ost, got {a:?}");
+    }
 }
 
 #[cfg(test)]
@@ -995,6 +1669,56 @@ mod proptests {
             prop_assert_eq!(a.target_correlated(cut, &th()), b.target_correlated(cut, &th()));
             prop_assert_eq!(a.top_rank_share(), b.top_rank_share());
             prop_assert_eq!(a.ops(), b.ops());
+        }
+
+        /// Window membership is a pure function of `start_ns`: whatever
+        /// order events arrive in — including events exactly on window
+        /// boundaries — the per-window evidence is bit-identical.
+        #[test]
+        fn windowed_profile_is_insertion_order_invariant(
+            events in proptest::collection::vec(
+                // (rank, block, dyadic latency numerator, window qs)
+                (0u32..16, 0u64..64, 1u64..512, 0u64..40),
+                8..120,
+            ),
+            boundary_events in proptest::collection::vec(
+                (0u32..16, 0u64..64, 1u64..512, 0u64..8, 0i64..3),
+                0..16,
+            ),
+            seed in 0u64..1024,
+        ) {
+            const WIDTH_NS: u64 = 2_000_000_000;
+            // Regular events land mid-window; boundary events land
+            // exactly at k·width − 1, k·width, and k·width + 1 ns.
+            let mut all: Vec<(u32, u64, f64, u64)> = events
+                .iter()
+                .map(|&(rank, block, num, q)| {
+                    (rank, block << 20, num as f64 / 64.0, q * 250_000_000 + 7)
+                })
+                .collect();
+            for &(rank, block, num, k, off) in &boundary_events {
+                let base = (k + 1) * WIDTH_NS;
+                let start = (base as i64 + (off - 1)) as u64;
+                all.push((rank, block << 20, num as f64 / 64.0, start));
+            }
+            let build = |order: &[usize]| {
+                let mut w = WindowedProfile::new(2.0, 16, 1 << 20, 96);
+                for &i in order {
+                    let (rank, offset, secs, start_ns) = all[i];
+                    w.add(rank, offset, start_ns, secs);
+                }
+                w
+            };
+            let forward: Vec<usize> = (0..all.len()).collect();
+            let mut shuffled = forward.clone();
+            let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            for i in (1..shuffled.len()).rev() {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                shuffled.swap(i, ((x >> 33) % (i as u64 + 1)) as usize);
+            }
+            // Dyadic latencies make the f64 accumulators exact, so the
+            // windows compare bit-for-bit, boundary events included.
+            prop_assert_eq!(build(&forward), build(&shuffled));
         }
     }
 }

@@ -16,7 +16,8 @@
 //!   aggregation.
 
 use crate::attribution::{
-    attribute_data_tail, attribute_meta_tail, FaultClass, TailProfile, TAIL_HIST_HI, TAIL_HIST_LO,
+    attribute_data_tail_windowed, attribute_meta_tail, Attribution, DataTailEvidence, FaultClass,
+    TailEvent, TailProfile, WindowedProfile, TAIL_HIST_HI, TAIL_HIST_LO,
 };
 use crate::empirical::EmpiricalDist;
 use crate::modes::{find_modes, harmonic_structure, Mode};
@@ -81,6 +82,18 @@ pub struct Thresholds {
     pub flaky_period_cv: f64,
     /// Stripe size used to fold offsets onto storage targets.
     pub stripe_bytes: u64,
+    /// Windowed attribution: width of one evidence window, simulated
+    /// seconds. A fault that clears mid-run is localized to the windows
+    /// it was live in.
+    pub attr_window_s: f64,
+    /// Windowed attribution: window count ceiling. Records past the
+    /// covered span pool into the last window (bounded memory, graceful
+    /// localization loss on long runs).
+    pub attr_max_windows: usize,
+    /// Compound attribution: a residue must own at least this fraction
+    /// of the tail mass before a second class (or an ambiguity) is
+    /// claimed — keeps single-fault runs single-class.
+    pub compound_share: f64,
 }
 
 impl Thresholds {
@@ -114,6 +127,9 @@ impl Default for Thresholds {
             flaky_min_bursts: 10,
             flaky_period_cv: 0.35,
             stripe_bytes: 1 << 20,
+            attr_window_s: 2.0,
+            attr_max_windows: 16,
+            compound_share: 0.25,
         }
     }
 }
@@ -140,10 +156,11 @@ pub enum Finding {
         p99: f64,
         /// Fraction of events slower than the tail cut.
         tail_mass: f64,
-        /// The fault class the tail decomposition points at, when the
-        /// evidence supports one; `None` keeps the paper's default
-        /// middleware-pathology reading.
-        attribution: Option<FaultClass>,
+        /// What the tail decomposition points at, when the evidence
+        /// supports anything: a single class, a compound verdict naming
+        /// several, or an ambiguous candidate list. `None` keeps the
+        /// paper's default middleware-pathology reading.
+        attribution: Option<Attribution>,
     },
     /// Per-phase medians growing ⇒ cumulative resource exhaustion.
     ProgressiveDeterioration {
@@ -192,17 +209,113 @@ pub enum Finding {
 }
 
 impl Finding {
-    /// The fault class this finding points at, if any. Attribution is
-    /// intrinsic for the dedicated detectors and carried explicitly on
-    /// shoulders.
-    pub fn attribution(&self) -> Option<FaultClass> {
+    /// The attribution this finding carries, if any. Intrinsic (and
+    /// always single-class) for the dedicated detectors; carried
+    /// explicitly — possibly compound or ambiguous — on shoulders.
+    pub fn attribution(&self) -> Option<Attribution> {
         match self {
-            Finding::RightShoulder { attribution, .. } => *attribution,
-            Finding::RankCorrelatedTail { .. } => Some(FaultClass::StragglerNode),
-            Finding::MetadataShoulder { .. } => Some(FaultClass::MetadataStorm),
-            Finding::SerializedRank { metadata: true, .. } => Some(FaultClass::MetadataStorm),
+            Finding::RightShoulder { attribution, .. } => attribution.clone(),
+            Finding::RankCorrelatedTail { .. } => {
+                Some(Attribution::single(FaultClass::StragglerNode))
+            }
+            Finding::MetadataShoulder { .. } => {
+                Some(Attribution::single(FaultClass::MetadataStorm))
+            }
+            Finding::SerializedRank { metadata: true, .. } => {
+                Some(Attribution::single(FaultClass::MetadataStorm))
+            }
             _ => None,
         }
+    }
+}
+
+/// A whole-run verdict assembled from every finding's attribution —
+/// what the fault matrix asserts on and what fleetd reports per job.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// No finding carried an attribution.
+    Clean,
+    /// Exactly one fault class implicated, confidently.
+    Single(FaultClass),
+    /// Several classes implicated, each independently evidenced
+    /// (ascending, deduplicated).
+    Compound(Vec<FaultClass>),
+    /// The evidence could not separate these candidates (ascending,
+    /// deduplicated; the confidently-implicated classes, if any, are
+    /// included so the list is the complete suspect set).
+    Ambiguous(Vec<FaultClass>),
+}
+
+impl Verdict {
+    /// Every implicated (or candidate) class, ascending.
+    pub fn classes(&self) -> &[FaultClass] {
+        match self {
+            Verdict::Clean => &[],
+            Verdict::Single(c) => std::slice::from_ref(c),
+            Verdict::Compound(cs) | Verdict::Ambiguous(cs) => cs,
+        }
+    }
+
+    /// Whether `class` appears, confidently or as a candidate.
+    pub fn implicates(&self, class: FaultClass) -> bool {
+        self.classes().contains(&class)
+    }
+
+    /// Whether the verdict names candidates it could not separate.
+    pub fn is_ambiguous(&self) -> bool {
+        matches!(self, Verdict::Ambiguous(_))
+    }
+
+    /// Stable identifier: `"clean"`, `"slow-ost"`,
+    /// `"mds-stall+slow-ost"`, `"ambiguous(flaky-fabric|straggler-node)"`
+    /// (matrix tables, CI artifacts, fleetd reports).
+    pub fn label(&self) -> String {
+        match self {
+            Verdict::Clean => "clean".into(),
+            Verdict::Single(c) => c.name().into(),
+            Verdict::Compound(cs) => cs.iter().map(|c| c.name()).collect::<Vec<_>>().join("+"),
+            Verdict::Ambiguous(cs) => format!(
+                "ambiguous({})",
+                cs.iter().map(|c| c.name()).collect::<Vec<_>>().join("|")
+            ),
+        }
+    }
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Assemble the whole-run [`Verdict`] from a finding set: the union of
+/// every finding's attribution. Any ambiguous attribution makes the run
+/// verdict ambiguous (listing all candidates plus the confident
+/// classes); otherwise the confident classes stand alone.
+pub fn run_verdict(findings: &[Finding]) -> Verdict {
+    let mut confident: Vec<FaultClass> = Vec::new();
+    let mut candidates: Vec<FaultClass> = Vec::new();
+    for f in findings {
+        if let Some(a) = f.attribution() {
+            if a.ambiguous {
+                candidates.extend(a.classes);
+            } else {
+                confident.extend(a.classes);
+            }
+        }
+    }
+    if !candidates.is_empty() {
+        candidates.extend(confident);
+        candidates.sort_unstable();
+        candidates.dedup();
+        return Verdict::Ambiguous(candidates);
+    }
+    confident.sort_unstable();
+    confident.dedup();
+    match confident.len() {
+        0 => Verdict::Clean,
+        1 => Verdict::Single(confident[0]),
+        _ => Verdict::Compound(confident),
     }
 }
 
@@ -235,7 +348,7 @@ impl std::fmt::Display for Finding {
                     tail_mass * 100.0
                 )?;
                 match attribution {
-                    Some(class) => write!(f, "attributed to {class}"),
+                    Some(attr) => write!(f, "attributed to {attr}"),
                     None => write!(f, "suspect middleware read-ahead/caching pathology"),
                 }
             }
@@ -333,7 +446,7 @@ pub fn shoulder_verdict(
     median: f64,
     p99: f64,
     tail_mass: f64,
-    attribution: Option<FaultClass>,
+    attribution: Option<Attribution>,
     th: &Thresholds,
 ) -> Option<Finding> {
     if n < th.min_samples || median <= 0.0 {
@@ -370,29 +483,44 @@ pub fn detect_right_shoulder(trace: &Trace, kind: CallKind, th: &Thresholds) -> 
     shoulder_verdict(kind, samples.len(), median, p99, tail_mass, attribution, th)
 }
 
-/// Decompose a detected shoulder's tail and name the fault class the
-/// evidence points at.
+/// Decompose a detected shoulder's tail and name the fault class(es)
+/// the evidence points at, using the full windowed evidence model:
+/// whole-run profile + fine histogram, per-window slices, and
+/// rank-tagged tail events.
 fn attribute_shoulder(
     trace: &Trace,
     kind: CallKind,
     median: f64,
     th: &Thresholds,
-) -> Option<FaultClass> {
+) -> Option<Attribution> {
     let profile = TailProfile::from_trace(trace, kind, th.stripe_bytes);
     if matches!(kind, CallKind::MetaRead | CallKind::MetaWrite) {
-        return Some(attribute_meta_tail(&profile, th));
+        return Some(Attribution::single(attribute_meta_tail(&profile, th)));
     }
     let cut = th.tail_cut(median);
     let mut hist = LogHistogram::new(TAIL_HIST_LO, TAIL_HIST_HI, 96);
-    let mut starts = Vec::new();
+    let mut windows =
+        WindowedProfile::new(th.attr_window_s, th.attr_max_windows, th.stripe_bytes, 96);
+    let mut events = Vec::new();
     for r in trace.records.iter().filter(|r| r.call == kind) {
         let secs = r.secs();
         hist.add_clamped(secs);
+        windows.add(r.rank, r.offset, r.start_ns, secs);
         if secs > cut {
-            starts.push(r.start_ns as f64 / 1e9);
+            events.push(TailEvent {
+                start_ns: r.start_ns,
+                rank: r.rank,
+                secs,
+            });
         }
     }
-    attribute_data_tail(&profile, &hist, Some(&starts), median, th)
+    let ev = DataTailEvidence {
+        profile: &profile,
+        hist: &hist,
+        windows: Some(&windows),
+        events: Some(&events),
+    };
+    attribute_data_tail_windowed(&ev, median, th)
 }
 
 /// Rank-correlated-tail verdict from an already-built [`TailProfile`]
@@ -996,6 +1124,9 @@ mod tests {
         assert_eq!(th.flaky_min_bursts, 10);
         assert_eq!(th.flaky_period_cv, 0.35);
         assert_eq!(th.stripe_bytes, 1 << 20);
+        assert_eq!(th.attr_window_s, 2.0);
+        assert_eq!(th.attr_max_windows, 16);
+        assert_eq!(th.compound_share, 0.25);
         // The tail cut derives from the ratio — everyone must call this,
         // not re-derive "2× median" locally.
         assert_eq!(th.tail_cut(15.0), 30.0);
@@ -1033,7 +1164,10 @@ mod tests {
             }
             other => panic!("wrong finding {other:?}"),
         }
-        assert_eq!(f.attribution(), Some(FaultClass::StragglerNode));
+        assert_eq!(
+            f.attribution(),
+            Some(Attribution::single(FaultClass::StragglerNode))
+        );
         assert!(f.to_string().contains("straggler"));
     }
 
@@ -1075,7 +1209,10 @@ mod tests {
             }
             other => panic!("wrong finding {other:?}"),
         }
-        assert_eq!(f.attribution(), Some(FaultClass::MetadataStorm));
+        assert_eq!(
+            f.attribution(),
+            Some(Attribution::single(FaultClass::MetadataStorm))
+        );
     }
 
     #[test]
@@ -1142,10 +1279,65 @@ mod tests {
         );
         // Every attributed finding in this trace must blame the node.
         for f in &findings {
-            if let Some(class) = f.attribution() {
-                assert_eq!(class, FaultClass::StragglerNode, "{f}");
+            if let Some(attr) = f.attribution() {
+                assert!(attr.is(FaultClass::StragglerNode), "{f}");
             }
         }
+        assert_eq!(
+            run_verdict(&findings),
+            Verdict::Single(FaultClass::StragglerNode)
+        );
+    }
+
+    #[test]
+    fn run_verdict_assembles_from_findings() {
+        assert_eq!(run_verdict(&[]), Verdict::Clean);
+        let shoulder = |attr: Option<Attribution>| Finding::RightShoulder {
+            kind: CallKind::Read,
+            median: 1.0,
+            p99: 10.0,
+            tail_mass: 0.1,
+            attribution: attr,
+        };
+        // Unattributed findings leave the run clean.
+        assert_eq!(run_verdict(&[shoulder(None)]), Verdict::Clean);
+        // Two single-class findings of different classes compound.
+        let fs = [
+            shoulder(Some(Attribution::single(FaultClass::SlowOst))),
+            shoulder(Some(Attribution::single(FaultClass::MdsStall))),
+        ];
+        let v = run_verdict(&fs);
+        assert_eq!(
+            v,
+            Verdict::Compound(vec![FaultClass::SlowOst, FaultClass::MdsStall])
+        );
+        assert_eq!(v.label(), "slow-ost+mds-stall");
+        assert!(v.implicates(FaultClass::MdsStall) && !v.is_ambiguous());
+        // An ambiguous attribution makes the run ambiguous, folding in
+        // the confident classes as candidates.
+        let fs = [
+            shoulder(Some(Attribution::single(FaultClass::SlowOst))),
+            shoulder(Some(Attribution::candidates(vec![
+                FaultClass::FlakyFabric,
+                FaultClass::StragglerNode,
+            ]))),
+        ];
+        let v = run_verdict(&fs);
+        assert_eq!(
+            v,
+            Verdict::Ambiguous(vec![
+                FaultClass::SlowOst,
+                FaultClass::FlakyFabric,
+                FaultClass::StragglerNode,
+            ])
+        );
+        assert_eq!(v.label(), "ambiguous(slow-ost|flaky-fabric|straggler-node)");
+        // Duplicate classes collapse to a single verdict.
+        let fs = [
+            shoulder(Some(Attribution::single(FaultClass::SlowOst))),
+            shoulder(Some(Attribution::single(FaultClass::SlowOst))),
+        ];
+        assert_eq!(run_verdict(&fs), Verdict::Single(FaultClass::SlowOst));
     }
 }
 

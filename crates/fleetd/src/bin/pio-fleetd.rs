@@ -77,7 +77,10 @@ fn main() {
                 records: r.ingested,
                 shed: r.shed,
                 frozen: r.frozen,
-                verdict: r.verdict().map(|c| c.name().to_string()),
+                verdict: {
+                    let v = r.verdict();
+                    (v != pio_core::diagnosis::Verdict::Clean).then(|| v.label())
+                },
                 slowest_s: r.top_slow.first().map_or(0.0, |op| op.secs),
             }
         })

@@ -27,7 +27,7 @@
 //! completion interleavings.
 
 use crate::interference::{contention, OstContention, OstLayout, OstUsage};
-use pio_core::attribution::FaultClass;
+use pio_core::diagnosis::{run_verdict, Verdict};
 use pio_ingest::{
     Admission, DiagnoserConfig, EnsembleSnapshot, OverflowPolicy, SnapshotBuilder, SnapshotConfig,
     StreamDiagnoser, TenantMeter, TimedFinding,
@@ -169,14 +169,13 @@ pub struct JobReport {
 }
 
 impl JobReport {
-    /// The job's verdict: the fault class of the *last* attributed
-    /// online finding (the diagnoser refines attribution as evidence
-    /// accumulates, so the latest call wins), `None` for a clean job.
-    pub fn verdict(&self) -> Option<FaultClass> {
-        self.findings
-            .iter()
-            .rev()
-            .find_map(|t| t.finding.attribution())
+    /// The job's verdict: the union of every attributed online finding
+    /// — [`Verdict::Clean`] for a clean job, a single class, a compound
+    /// verdict naming each independently evidenced class, or an
+    /// ambiguous candidate list the evidence could not separate.
+    pub fn verdict(&self) -> Verdict {
+        let inner: Vec<_> = self.findings.iter().map(|t| t.finding.clone()).collect();
+        run_verdict(&inner)
     }
 
     /// Did the job stream zero records?
@@ -492,13 +491,15 @@ impl FleetService {
             .map(|st| st.diagnoser.findings().to_vec())
     }
 
-    /// A job's verdict: the last attributed fault class, `None` when
-    /// clean (or unknown).
-    pub fn verdict(&self, id: JobId) -> Option<FaultClass> {
-        self.findings(id)?
+    /// A job's verdict so far: the union of every attributed online
+    /// finding, `None` for an unknown job.
+    pub fn verdict(&self, id: JobId) -> Option<Verdict> {
+        let inner: Vec<_> = self
+            .findings(id)?
             .iter()
-            .rev()
-            .find_map(|t| t.finding.attribution())
+            .map(|t| t.finding.clone())
+            .collect();
+        Some(run_verdict(&inner))
     }
 
     /// A job's ensemble sketch: live tenants are snapshotted in place,
@@ -851,7 +852,7 @@ mod tests {
         let report = svc.report(id).expect("report filed");
         assert!(report.is_empty());
         assert!(report.snapshot.is_empty());
-        assert_eq!(report.verdict(), None);
+        assert_eq!(report.verdict(), Verdict::Clean);
         assert!(report.findings.is_empty());
         assert!(report.top_slow.is_empty());
         // An empty job is the merge identity: it cannot perturb the

@@ -19,6 +19,7 @@
 use crate::interference::OstLayout;
 use crate::service::{FleetConfig, FleetService, JobId, JobSink};
 use pio_core::attribution::FaultClass;
+use pio_core::diagnosis::Verdict;
 use pio_des::SimSpan;
 use pio_fault::{Fault, FaultPlan};
 use pio_fs::FsConfig;
@@ -190,7 +191,7 @@ pub fn fleet_spec(cfg: &SimConfig) -> Vec<SimJob> {
                             ramp_per_s: 0.0,
                         }),
                         read_heavy(tasks, 2),
-                        fs.clone(),
+                        calm.clone(),
                         FaultClass::SlowOst,
                     ),
                     1 => (
@@ -371,7 +372,7 @@ pub struct FleetCheck {
     /// The class the tenant must be attributed to (`None` = clean).
     pub expected: Option<FaultClass>,
     /// The fleet's verdict.
-    pub verdict: Option<FaultClass>,
+    pub verdict: Verdict,
     /// Records the service ingested for this tenant.
     pub records: u64,
     /// Records shed (budget or transport).
@@ -386,14 +387,18 @@ pub fn check(service: &FleetService, spec: &[SimJob], ids: &[JobId]) -> Vec<Flee
         .zip(ids)
         .map(|(s, &id)| {
             let report = service.report(id);
-            let verdict = report.as_ref().and_then(|r| r.verdict());
+            let verdict = report.as_ref().map_or(Verdict::Clean, |r| r.verdict());
+            let ok = match s.expected {
+                None => verdict == Verdict::Clean,
+                Some(c) => verdict == Verdict::Single(c),
+            };
             FleetCheck {
                 name: s.name.clone(),
                 expected: s.expected,
-                verdict,
                 records: report.as_ref().map_or(0, |r| r.ingested),
                 shed: report.as_ref().map_or(0, |r| r.shed),
-                ok: verdict == s.expected,
+                verdict,
+                ok,
             }
         })
         .collect()

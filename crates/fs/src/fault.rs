@@ -74,6 +74,19 @@ pub trait FaultInjector: Send {
         let _ = at;
         SimSpan::ZERO
     }
+
+    /// Latest simulated instant at which any hook may still return a
+    /// non-zero span. At or after this time every hook is guaranteed to
+    /// return [`SimSpan::ZERO`], so the simulator may cache this value
+    /// at install time and skip hook dispatch entirely — an expired
+    /// time-windowed plan then costs one integer compare per touch
+    /// point instead of several virtual calls. The default,
+    /// [`SimTime::MAX`], means "never expires"; injectors whose faults
+    /// all carry bounded schedules should override it (conservatively —
+    /// rounding the horizon *up* is safe, down is not).
+    fn expiry(&self) -> SimTime {
+        SimTime::MAX
+    }
 }
 
 #[cfg(test)]
@@ -94,6 +107,7 @@ mod tests {
         assert_eq!(f.mds_extra(t, nom), SimSpan::ZERO);
         assert_eq!(f.rpc_drop_delay(t), SimSpan::ZERO);
         assert_eq!(f.msg_drop_delay(t), SimSpan::ZERO);
+        assert_eq!(f.expiry(), SimTime::MAX);
     }
 
     #[test]

@@ -214,6 +214,11 @@ pub struct FsSim {
     /// Optional fault-injection hooks (see [`crate::fault`]). `None` is
     /// the common case and costs nothing: no hook calls, no RNG draws.
     fault: Option<Box<dyn FaultInjector>>,
+    /// Cached [`FaultInjector::expiry`] horizon in nanoseconds: at or
+    /// after this instant hook dispatch is skipped entirely (the
+    /// injector guarantees every hook returns zero), so an expired
+    /// time-windowed plan costs one integer compare per touch point.
+    fault_expiry: u64,
     /// Recycled RPC-plan buffers: retired I/Os return their `rpcs` Vec
     /// here and `grant` reuses them, so steady state allocates no plans.
     rpc_pool: Vec<Vec<Rpc>>,
@@ -342,6 +347,7 @@ impl FsSim {
             node_flush_waiters: vec![Vec::new(); n_nodes as usize],
             degraded_streams: FxHashSet::default(),
             fault: None,
+            fault_expiry: u64::MAX,
             rpc_pool: Vec::new(),
             extent_scratch: Vec::new(),
             cfg,
@@ -352,6 +358,7 @@ impl FsSim {
     /// its own RNG stream (it may not draw from the simulator's), so a
     /// faulted run perturbs only what the plan says it perturbs.
     pub fn set_fault(&mut self, fault: Box<dyn FaultInjector>) {
+        self.fault_expiry = fault.expiry().nanos();
         self.fault = Some(fault);
     }
 
@@ -450,8 +457,10 @@ impl FsSim {
                     .rng
                     .lognormal(self.cfg.mds_latency_median, self.cfg.meta_sigma);
                 let mut demand = SimSpan::from_secs_f64(lat);
-                if let Some(f) = self.fault.as_deref_mut() {
-                    demand += f.mds_extra(now, demand);
+                if now.nanos() < self.fault_expiry {
+                    if let Some(f) = self.fault.as_deref_mut() {
+                        demand += f.mds_extra(now, demand);
+                    }
                 }
                 let done = self.mds.submit(now, demand);
                 self.ios.insert(io, self.meta_state(io, &req, now));
@@ -464,8 +473,10 @@ impl FsSim {
                     .rng
                     .lognormal(self.cfg.meta_sync_median, self.cfg.meta_sigma);
                 let mut demand = SimSpan::from_secs_f64(lat);
-                if let Some(f) = self.fault.as_deref_mut() {
-                    demand += f.mds_extra(now, demand);
+                if now.nanos() < self.fault_expiry {
+                    if let Some(f) = self.fault.as_deref_mut() {
+                        demand += f.mds_extra(now, demand);
+                    }
                 }
                 let t1 = self.mds.submit(now, demand);
                 // The metadata bytes land on the OST of their offset.
@@ -840,10 +851,12 @@ impl FsSim {
             rng,
             cfg,
             fault,
+            fault_expiry,
             stats,
             node_wr_outstanding,
             ..
         } = self;
+        let fault_expiry = *fault_expiry;
         loop {
             let Some(st) = ios.get_mut(&io) else { return };
             if st.inflight >= st.window || (st.next_rpc as usize) >= st.rpcs.len() {
@@ -870,13 +883,13 @@ impl FsSim {
             // per-stage demand plus a client-side drop/retry delay before
             // the RPC is (re)transmitted.
             let (drop_delay, nic_x, fab_x, ost_x) = match fault.as_deref_mut() {
-                Some(f) => (
+                Some(f) if now.nanos() < fault_expiry => (
                     f.rpc_drop_delay(now),
                     f.nic_extra(now, node_id, SimSpan::for_bytes(bytes, cfg.nic_bw)),
                     f.fabric_extra(now, SimSpan::for_bytes(bytes, cfg.fabric_bw)),
                     f.ost_extra(now, ost, SimSpan::for_bytes(bytes, cfg.ost_bw), !is_write),
                 ),
-                None => (SimSpan::ZERO, SimSpan::ZERO, SimSpan::ZERO, SimSpan::ZERO),
+                _ => (SimSpan::ZERO, SimSpan::ZERO, SimSpan::ZERO, SimSpan::ZERO),
             };
             // Lock revocation serializes through the DLM before the data
             // moves.

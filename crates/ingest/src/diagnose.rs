@@ -20,7 +20,8 @@
 
 use crate::sketch::{HeavyHitters, QuantileSketch};
 use pio_core::attribution::{
-    attribute_data_tail, attribute_meta_tail, tail_bin_table, FaultClass, TailProfile,
+    attribute_data_tail_windowed, attribute_meta_tail, tail_bin_table, Attribution,
+    DataTailEvidence, TailEvent, TailProfile, WindowedProfile,
 };
 use pio_core::diagnosis::{
     deterioration_verdict, harmonic_verdict, metadata_shoulder_verdict, rank_tail_verdict,
@@ -132,14 +133,17 @@ struct KindTail {
     hist: LogHistogram,
     /// Per-rank / per-stripe-residue decomposition.
     profile: TailProfile,
+    /// Per-window slices of the same evidence — a fault that clears
+    /// mid-run is localized to the windows it was live in.
+    windows: WindowedProfile,
     /// Bounded reservoir of the slowest events seen so far, keyed by
-    /// `(secs bit pattern, start_ns)` in a min-heap. The tail cut is
-    /// applied at *attribution* time against the current median, so the
-    /// start-time evidence (periodicity, synchronized fronts) covers the
-    /// whole run — including events that arrived before any provisional
-    /// median existed. Non-negative f64 bit patterns order like the
-    /// floats themselves.
-    slow: BinaryHeap<Reverse<(u64, u64)>>,
+    /// `(secs bit pattern, start_ns, rank)` in a min-heap. The tail cut
+    /// is applied at *attribution* time against the current median, so
+    /// the start-time evidence (periodicity, synchronized fronts) covers
+    /// the whole run — including events that arrived before any
+    /// provisional median existed. Non-negative f64 bit patterns order
+    /// like the floats themselves.
+    slow: BinaryHeap<Reverse<(u64, u64, u32)>>,
 }
 
 impl KindTail {
@@ -148,16 +152,26 @@ impl KindTail {
             cum: QuantileSketch::new(cfg.hist_lo, cfg.hist_hi, cfg.hist_bins),
             hist: LogHistogram::new(cfg.hist_lo, cfg.hist_hi, cfg.hist_bins),
             profile: TailProfile::new(cfg.thresholds.stripe_bytes),
+            windows: WindowedProfile::new(
+                cfg.thresholds.attr_window_s,
+                cfg.thresholds.attr_max_windows,
+                cfg.thresholds.stripe_bytes,
+                cfg.hist_bins,
+            ),
             slow: BinaryHeap::new(),
         }
     }
 
-    /// Tail-event start times (seconds) at the given cut.
-    fn tail_starts(&self, cut: f64) -> Vec<f64> {
+    /// Rank-tagged tail events beyond the given cut, from the reservoir.
+    fn tail_events(&self, cut: f64) -> Vec<TailEvent> {
         self.slow
             .iter()
-            .filter(|Reverse((bits, _))| f64::from_bits(*bits) > cut)
-            .map(|Reverse((_, ns))| *ns as f64 / 1e9)
+            .filter(|Reverse((bits, _, _))| f64::from_bits(*bits) > cut)
+            .map(|Reverse((bits, ns, rank))| TailEvent {
+                start_ns: *ns,
+                rank: *rank,
+                secs: f64::from_bits(*bits),
+            })
             .collect()
     }
 }
@@ -203,6 +217,11 @@ pub struct StreamDiagnoser {
     /// bin halved: `floor(f·2n)/2 = floor(f·n)` exactly, range checks and
     /// edge clamps included. Saves the second table lookup per record.
     tail_nested: bool,
+    /// The configured geometry's range equals the window slots' fine
+    /// range (slot bins are `cfg.hist_bins` by construction), so the
+    /// block path reuses the per-record cfg-geometry bin for the slot
+    /// fine histogram instead of reclassifying.
+    slot_fine_direct: bool,
     /// `watch_mask[call as usize]` ⟺ `cfg.watch.contains(call)`.
     watch_mask: [bool; KINDS],
     windows: Vec<Option<KindWindow>>,
@@ -217,7 +236,7 @@ pub struct StreamDiagnoser {
     records: u64,
     current_phase: u32,
     findings: Vec<TimedFinding>,
-    seen: HashSet<(u8, Option<CallKind>, Option<FaultClass>)>,
+    seen: HashSet<(u8, Option<CallKind>, Option<Attribution>)>,
     /// Scratch buffer for grouped heavy-hitter runs (reused per block).
     run_buf: Vec<f64>,
 }
@@ -235,10 +254,12 @@ impl StreamDiagnoser {
         let tg = tail_bin_table().geometry();
         let tail_nested =
             cfg.hist_lo == tg.lo() && cfg.hist_hi == tg.hi() && cfg.hist_bins == 2 * tg.bins();
+        let slot_fine_direct = cfg.hist_lo == tg.lo() && cfg.hist_hi == tg.hi();
         StreamDiagnoser {
             cfg,
             table,
             tail_nested,
+            slot_fine_direct,
             watch_mask,
             windows: (0..KINDS).map(|_| None).collect(),
             phase_sketches: (0..KINDS).map(|_| Vec::new()).collect(),
@@ -275,14 +296,14 @@ impl StreamDiagnoser {
     /// One dedup key per (finding variant, call class, attribution):
     /// repeated windows re-confirming a known pathology stay one finding,
     /// but a shoulder whose attribution *refines* as evidence accumulates
-    /// (unattributed → named fault class) is raised again — the refined
-    /// verdict is new information.
-    fn dedup_key(f: &Finding) -> (u8, Option<CallKind>, Option<FaultClass>) {
+    /// (unattributed → named class → compound verdict) is raised again —
+    /// the refined verdict is new information.
+    fn dedup_key(f: &Finding) -> (u8, Option<CallKind>, Option<Attribution>) {
         match f {
             Finding::HarmonicModes { kind, .. } => (0, Some(*kind), None),
             Finding::RightShoulder {
                 kind, attribution, ..
-            } => (1, Some(*kind), *attribution),
+            } => (1, Some(*kind), attribution.clone()),
             Finding::ProgressiveDeterioration { kind, .. } => (2, Some(*kind), None),
             Finding::SerializedRank { .. } => (3, None, None),
             Finding::RankCorrelatedTail { kind, .. } => (4, Some(*kind), None),
@@ -330,16 +351,23 @@ impl StreamDiagnoser {
     }
 
     /// Attribute `kind`'s tail from the cumulative (whole-run-so-far)
-    /// state; `None` until the evidence supports a class.
-    fn attribute(&self, kind: CallKind) -> Option<FaultClass> {
+    /// state — whole-run profile, per-window slices, and the rank-tagged
+    /// slow-event reservoir; `None` until the evidence supports anything.
+    fn attribute(&self, kind: CallKind) -> Option<Attribution> {
         let kt = self.tails[kind as usize].as_ref()?;
         let th = &self.cfg.thresholds;
         if matches!(kind, CallKind::MetaRead | CallKind::MetaWrite) {
-            return Some(attribute_meta_tail(&kt.profile, th));
+            return Some(Attribution::single(attribute_meta_tail(&kt.profile, th)));
         }
         let median = kt.cum.quantile(0.5)?;
-        let starts = kt.tail_starts(th.tail_cut(median));
-        attribute_data_tail(&kt.profile, &kt.hist, Some(&starts), median, th)
+        let events = kt.tail_events(th.tail_cut(median));
+        let ev = DataTailEvidence {
+            profile: &kt.profile,
+            hist: &kt.hist,
+            windows: Some(&kt.windows),
+            events: Some(&events),
+        };
+        attribute_data_tail_windowed(&ev, median, th)
     }
 
     /// Re-test the rank-correlated-tail detector over every data class's
@@ -504,7 +532,8 @@ impl RecordSink for StreamDiagnoser {
         kt.cum.add(secs);
         kt.hist.add_clamped(secs);
         kt.profile.add(r.rank, r.offset, secs);
-        let key = (secs.max(0.0).to_bits(), r.start_ns);
+        kt.windows.add(r.rank, r.offset, r.start_ns, secs);
+        let key = (secs.max(0.0).to_bits(), r.start_ns, r.rank);
         if kt.slow.len() < TAIL_STARTS_CAP {
             kt.slow.push(Reverse(key));
         } else if kt.slow.peek().is_some_and(|Reverse(min)| key > *min) {
@@ -607,9 +636,15 @@ impl RecordSink for StreamDiagnoser {
             kt.cum.add_at(secs, bin);
             kt.hist.add_clamped_at(bin);
             kt.profile.add_binned(r.rank, r.offset, secs, tail_bin);
+            if self.slot_fine_direct {
+                kt.windows
+                    .add_binned(r.rank, r.offset, r.start_ns, secs, tail_bin, bin);
+            } else {
+                kt.windows.add(r.rank, r.offset, r.start_ns, secs);
+            }
             // Reservoir fast path: once warm, a single peek-compare
             // rejects sub-threshold events without touching the heap.
-            let key = (secs.max(0.0).to_bits(), r.start_ns);
+            let key = (secs.max(0.0).to_bits(), r.start_ns, r.rank);
             if kt.slow.len() < TAIL_STARTS_CAP {
                 kt.slow.push(Reverse(key));
             } else if kt.slow.peek().is_some_and(|Reverse(min)| key > *min) {
@@ -681,6 +716,7 @@ impl RecordSink for StreamDiagnoser {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pio_core::attribution::FaultClass;
 
     fn rec(rank: u32, call: CallKind, dur: f64, phase: u32) -> Record {
         Record {
@@ -834,7 +870,10 @@ mod tests {
             Finding::RankCorrelatedTail { ranks, .. } => assert_eq!(ranks, &vec![3]),
             _ => unreachable!(),
         }
-        assert_eq!(t.finding.attribution(), Some(FaultClass::StragglerNode));
+        assert_eq!(
+            t.finding.attribution(),
+            Some(Attribution::single(FaultClass::StragglerNode))
+        );
         // The shoulder refines as evidence accumulates: the first window
         // has too few tail events to attribute, a later one names the
         // fault — the attributed verdict must appear.
@@ -842,7 +881,10 @@ mod tests {
             d.findings()
                 .iter()
                 .filter(|t| matches!(t.finding, Finding::RightShoulder { .. }))
-                .any(|t| t.finding.attribution() == Some(FaultClass::StragglerNode)),
+                .any(|t| t
+                    .finding
+                    .attribution()
+                    .is_some_and(|a| a.is(FaultClass::StragglerNode))),
             "{:?}",
             d.findings()
         );
@@ -873,7 +915,10 @@ mod tests {
                 )
             })
             .expect("meta shoulder fires");
-        assert_eq!(t.finding.attribution(), Some(FaultClass::MdsStall));
+        assert_eq!(
+            t.finding.attribution(),
+            Some(Attribution::single(FaultClass::MdsStall))
+        );
     }
 
     #[test]
@@ -906,7 +951,10 @@ mod tests {
             }
             _ => unreachable!(),
         }
-        assert_eq!(t.finding.attribution(), Some(FaultClass::MetadataStorm));
+        assert_eq!(
+            t.finding.attribution(),
+            Some(Attribution::single(FaultClass::MetadataStorm))
+        );
     }
 
     /// The block path must raise byte-identical findings at identical

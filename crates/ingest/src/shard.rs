@@ -12,7 +12,8 @@
 
 use crate::sketch::{HeavyHitters, OnlineMoments, QuantileSketch};
 use pio_core::attribution::{
-    attribute_data_tail, attribute_meta_tail, tail_bin_table, TailProfile, MODULI, TAIL_KINDS,
+    attribute_data_tail_windowed, attribute_meta_tail, tail_bin_table, Attribution,
+    DataTailEvidence, TailProfile, MODULI, TAIL_KINDS,
 };
 use pio_core::diagnosis::{
     deterioration_verdict, harmonic_verdict, metadata_shoulder_verdict, rank_tail_verdict,
@@ -771,9 +772,15 @@ impl EnsembleSnapshot {
                     (stats.sketch.quantile(0.5), stats.sketch.quantile(0.99))
                 {
                     let tail = stats.sketch.fraction_above(th.tail_cut(median));
-                    let attribution = self
-                        .profile_of(kind)
-                        .and_then(|p| attribute_data_tail(p, &stats.hist, None, median, th));
+                    let attribution = self.profile_of(kind).and_then(|p| {
+                        let ev = DataTailEvidence {
+                            profile: p,
+                            hist: &stats.hist,
+                            windows: None,
+                            events: None,
+                        };
+                        attribute_data_tail_windowed(&ev, median, th)
+                    });
                     if let Some(f) = shoulder_verdict(kind, n, median, p99, tail, attribution, th) {
                         findings.push(f);
                     }
@@ -804,7 +811,9 @@ impl EnsembleSnapshot {
                 (stats.sketch.quantile(0.5), stats.sketch.quantile(0.99))
             {
                 let tail = stats.sketch.fraction_above(th.tail_cut(median));
-                let attribution = self.profile_of(kind).map(|p| attribute_meta_tail(p, th));
+                let attribution = self
+                    .profile_of(kind)
+                    .map(|p| Attribution::single(attribute_meta_tail(p, th)));
                 if let Some(f) = shoulder_verdict(kind, n, median, p99, tail, attribution, th) {
                     findings.push(f);
                 }

@@ -102,6 +102,9 @@ pub struct MpiWorld<'s> {
     /// RNG draws — so fault-free runs are bit-identical to a build
     /// without the fault layer.
     fault: Option<Box<dyn FaultInjector>>,
+    /// Cached [`FaultInjector::expiry`] horizon (nanoseconds); hook
+    /// dispatch is skipped at or after it.
+    fault_expiry: u64,
 }
 
 impl<'s> MpiWorld<'s> {
@@ -136,6 +139,7 @@ impl<'s> MpiWorld<'s> {
             finished: 0,
             fsout: FsOut::new(),
             fault: None,
+            fault_expiry: u64::MAX,
         }
     }
 
@@ -144,6 +148,7 @@ impl<'s> MpiWorld<'s> {
     /// retransmit wait, so faults surface as right-tail send/recv
     /// latency rather than deadlocks.
     pub fn set_fault(&mut self, fault: Box<dyn FaultInjector>) {
+        self.fault_expiry = fault.expiry().nanos();
         self.fault = Some(fault);
     }
 
@@ -497,10 +502,12 @@ impl<'s> MpiWorld<'s> {
                 Op::Send { to, bytes } => {
                     let mut cost = SimSpan::from_secs_f64(self.mpi.latency)
                         + SimSpan::for_bytes(bytes, self.mpi.bw);
-                    if let Some(f) = self.fault.as_deref_mut() {
-                        // Transient message loss: each drop costs one
-                        // bounded retransmit timeout before delivery.
-                        cost += f.msg_drop_delay(now);
+                    if now.nanos() < self.fault_expiry {
+                        if let Some(f) = self.fault.as_deref_mut() {
+                            // Transient message loss: each drop costs one
+                            // bounded retransmit timeout before delivery.
+                            cost += f.msg_drop_delay(now);
+                        }
                     }
                     let done = now + cost;
                     self.record(rank, CallKind::Send, -1, 0, bytes, now, done);

@@ -1,8 +1,7 @@
 //! Rendering for streaming-ingest snapshots: the monitoring view of a
 //! run in flight, from `O(shards × bins)` state instead of a full trace.
 
-use pio_core::attribution::FaultClass;
-use pio_core::diagnosis::{Finding, Thresholds};
+use pio_core::diagnosis::{run_verdict, Finding, Thresholds, Verdict};
 use pio_ingest::diagnose::TimedFinding;
 use pio_ingest::shard::EnsembleSnapshot;
 use pio_trace::CallKind;
@@ -90,28 +89,12 @@ pub fn snapshot_panel(snap: &EnsembleSnapshot, width: usize) -> String {
         for f in &findings {
             let _ = writeln!(out, "- {f}");
         }
-        let classes = attributed_classes(&findings);
-        if !classes.is_empty() {
-            let _ = writeln!(
-                out,
-                "verdict: {}",
-                classes
-                    .iter()
-                    .map(|c| c.name())
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            );
+        let verdict = run_verdict(&findings);
+        if verdict != Verdict::Clean {
+            let _ = writeln!(out, "verdict: {}", verdict.label());
         }
     }
     out
-}
-
-/// Distinct fault classes attributed across a finding set, sorted.
-fn attributed_classes(findings: &[Finding]) -> Vec<FaultClass> {
-    let mut classes: Vec<FaultClass> = findings.iter().filter_map(Finding::attribution).collect();
-    classes.sort();
-    classes.dedup();
-    classes
 }
 
 /// Render the online diagnoser's findings with when they fired.
@@ -128,17 +111,9 @@ pub fn findings_text(findings: &[TimedFinding]) -> String {
         );
     }
     let inner: Vec<Finding> = findings.iter().map(|t| t.finding.clone()).collect();
-    let classes = attributed_classes(&inner);
-    if !classes.is_empty() {
-        let _ = writeln!(
-            out,
-            "verdict: {}",
-            classes
-                .iter()
-                .map(|c| c.name())
-                .collect::<Vec<_>>()
-                .join(", ")
-        );
+    let verdict = run_verdict(&inner);
+    if verdict != Verdict::Clean {
+        let _ = writeln!(out, "verdict: {}", verdict.label());
     }
     out
 }

@@ -1,13 +1,25 @@
-//! Golden-verdict attribution corpus: every named fault plan × two
-//! seeds, attributed to its fault class by the *shared* detectors both
-//! post-mortem (batch `diagnose` over the buffered trace) and mid-run
-//! (the `StreamDiagnoser` fed record-by-record), with the clean
-//! baselines attribution-free on both paths.
+//! Golden-verdict attribution corpus: every named fault plan — single,
+//! compound, and time-scheduled — × two seeds, attributed by the
+//! *shared* detectors both post-mortem (batch `diagnose` over the
+//! buffered trace) and mid-run (the `StreamDiagnoser` fed
+//! record-by-record), with the clean baselines attribution-free on both
+//! paths. The engine knobs — shard count, ingest worker count, trace
+//! format — must all be semantically invisible: same verdict, byte for
+//! byte.
 
-use events_to_ensembles::ingest::{DiagnoserConfig, StreamDiagnoser, TimedFinding};
+use events_to_ensembles::fault::{FaultPlan, FaultSchedule};
+use events_to_ensembles::ingest::pipeline::{IngestConfig, IngestPipeline};
+use events_to_ensembles::ingest::{
+    stream_file_parallel, stream_jsonl, stream_ptb, stream_ptb2, DiagnoserConfig, StreamDiagnoser,
+    TimedFinding,
+};
 use events_to_ensembles::stats::attribution::FaultClass;
-use events_to_ensembles::trace::{Record, RecordSink};
-use pio_bench::fault_matrix::{attributed, run_once, run_once_sharded, scenarios};
+use events_to_ensembles::stats::diagnosis::{run_verdict, Thresholds, Verdict};
+use events_to_ensembles::trace::io::write_jsonl;
+use events_to_ensembles::trace::ptb::write_ptb;
+use events_to_ensembles::trace::ptb2::write_ptb2;
+use events_to_ensembles::trace::{Record, RecordSink, Trace};
+use pio_bench::fault_matrix::{run_once, run_once_sharded, scenarios, verdict_of, Expect};
 
 const SCALE: u32 = 16;
 const SEEDS: [u64; 2] = [101, 202];
@@ -33,11 +45,22 @@ fn stream(records: &[Record]) -> StreamDiagnoser {
     d
 }
 
+/// The stream's whole-run verdict: the same `run_verdict` roll-up the
+/// batch path and fleetd use, over every finding the stream raised.
+fn stream_verdict(d: &StreamDiagnoser) -> Verdict {
+    let findings: Vec<_> = d.findings().iter().map(|t| t.finding.clone()).collect();
+    run_verdict(&findings)
+}
+
 /// Every attributed finding the stream raised, in firing order.
-fn stream_attributions(d: &StreamDiagnoser) -> Vec<(FaultClass, u64)> {
+fn stream_attributions(d: &StreamDiagnoser) -> Vec<(Vec<FaultClass>, u64)> {
     d.findings()
         .iter()
-        .filter_map(|t: &TimedFinding| t.finding.attribution().map(|c| (c, t.after_records)))
+        .filter_map(|t: &TimedFinding| {
+            t.finding
+                .attribution()
+                .map(|a| (a.classes, t.after_records))
+        })
         .collect()
 }
 
@@ -45,37 +68,39 @@ fn stream_attributions(d: &StreamDiagnoser) -> Vec<(FaultClass, u64)> {
 fn every_named_fault_is_attributed_batch_and_mid_run() {
     let mut covered = Vec::new();
     for sc in scenarios(SCALE) {
-        let Some(want) = sc.expected_class else {
-            continue; // the deterioration ramp asserts a non-attributed shape
+        let Expect::Single(want) = sc.expected else {
+            continue; // ramp shape and pair cells assert elsewhere
         };
         covered.push(want);
         for seed in SEEDS {
             let res = run_once(sc.job(), sc.fs(), seed, "corpus", Some(sc.plan()));
 
             // Batch: exactly the expected class, nothing else.
-            let classes = attributed(&res);
+            let v = verdict_of(&res);
             assert_eq!(
-                classes,
-                vec![want],
-                "{} seed {seed}: batch attributed {classes:?}",
-                sc.fault
+                v,
+                Verdict::Single(want),
+                "{} seed {seed}: batch verdict {}",
+                sc.fault,
+                v.label()
             );
 
             // Streaming: the expected class fires before end-of-stream,
-            // and the stream's final attributed verdict agrees.
+            // and the stream's final verdict agrees.
             let records = arrival_order(&res.trace().records);
             let d = stream(&records);
             let attrs = stream_attributions(&d);
             let total = records.len() as u64;
             assert!(
-                attrs.iter().any(|&(c, after)| c == want && after < total),
+                attrs
+                    .iter()
+                    .any(|(cs, after)| cs.contains(&want) && *after < total),
                 "{} seed {seed}: no mid-run {want:?} among {attrs:?} ({total} records)",
                 sc.fault
             );
-            let last = attrs.last().map(|&(c, _)| c);
             assert_eq!(
-                last,
-                Some(want),
+                stream_verdict(&d),
+                Verdict::Single(want),
                 "{} seed {seed}: stream's final verdict disagrees: {attrs:?}",
                 sc.fault
             );
@@ -96,15 +121,79 @@ fn every_named_fault_is_attributed_batch_and_mid_run() {
 }
 
 #[test]
+fn compound_and_scheduled_plans_name_both_classes_batch_and_mid_run() {
+    let mut pairs = 0;
+    for sc in scenarios(SCALE) {
+        let Expect::Pair(a, b) = sc.expected else {
+            continue;
+        };
+        pairs += 1;
+        for seed in SEEDS {
+            let res = run_once(sc.job(), sc.fs(), seed, "corpus-pair", Some(sc.plan()));
+
+            // Batch: both injected classes named — confidently or as an
+            // honest ambiguity — and nothing outside the pair.
+            let v = verdict_of(&res);
+            assert!(
+                v.implicates(a) && v.implicates(b),
+                "{} seed {seed}: batch verdict {} misses one of {}/{}",
+                sc.fault,
+                v.label(),
+                a.name(),
+                b.name()
+            );
+            assert!(
+                v.classes().iter().all(|c| *c == a || *c == b),
+                "{} seed {seed}: batch verdict {} strays outside the pair",
+                sc.fault,
+                v.label()
+            );
+
+            // Streaming: some attribution fires mid-run, and the final
+            // stream verdict also implicates both classes.
+            let records = arrival_order(&res.trace().records);
+            let d = stream(&records);
+            let attrs = stream_attributions(&d);
+            let total = records.len() as u64;
+            assert!(
+                attrs.iter().any(|(_, after)| *after < total),
+                "{} seed {seed}: nothing fired mid-run ({total} records)",
+                sc.fault
+            );
+            let sv = stream_verdict(&d);
+            assert!(
+                sv.implicates(a) && sv.implicates(b),
+                "{} seed {seed}: stream verdict {} misses one of {}/{} ({attrs:?})",
+                sc.fault,
+                sv.label(),
+                a.name(),
+                b.name()
+            );
+            assert!(
+                sv.classes().iter().all(|c| *c == a || *c == b),
+                "{} seed {seed}: stream verdict {} strays outside the pair",
+                sc.fault,
+                sv.label()
+            );
+        }
+    }
+    // The corpus must exercise all three compound separations:
+    // call-class, rank-space, and time.
+    assert!(pairs >= 3, "only {pairs} pair cells in the matrix");
+}
+
+#[test]
 fn clean_baselines_are_attribution_free_batch_and_stream() {
     for sc in scenarios(SCALE) {
         for seed in SEEDS {
             let res = run_once(sc.job(), sc.fs(), seed, "corpus-base", None);
-            let classes = attributed(&res);
-            assert!(
-                classes.is_empty(),
-                "{} seed {seed}: baseline attributed {classes:?}",
-                sc.fault
+            let v = verdict_of(&res);
+            assert_eq!(
+                v,
+                Verdict::Clean,
+                "{} seed {seed}: baseline verdict {}",
+                sc.fault,
+                v.label()
             );
             let d = stream(&arrival_order(&res.trace().records));
             let attrs = stream_attributions(&d);
@@ -118,11 +207,42 @@ fn clean_baselines_are_attribution_free_batch_and_stream() {
 }
 
 #[test]
+fn whole_run_schedules_are_byte_equal_to_unscheduled() {
+    // A schedule covering the whole run must be invisible: same RNG
+    // draws, same IEEE arithmetic, bit-identical traces. Checked at the
+    // run level for every single-fault cell of the matrix.
+    for sc in scenarios(SCALE) {
+        if sc.plan().entries().len() != 1 || !sc.plan().entries()[0].schedule.is_always() {
+            continue;
+        }
+        let fault = sc.plan().entries()[0].fault.clone();
+        for (name, schedule) in [
+            ("always", FaultSchedule::ALWAYS),
+            ("whole-run-window", FaultSchedule::window(0.0, 1e9)),
+        ] {
+            let scheduled = FaultPlan::new().with_scheduled(fault.clone(), schedule);
+            let seed = SEEDS[0];
+            let a = run_once(sc.job(), sc.fs(), seed, "sched-eq", Some(sc.plan()));
+            let b = run_once(sc.job(), sc.fs(), seed, "sched-eq", Some(&scheduled));
+            assert_eq!(
+                a.trace().records,
+                b.trace().records,
+                "{} ({name}): trace diverged under a whole-run schedule",
+                sc.fault
+            );
+            assert_eq!(a.events, b.events, "{} ({name}): event count", sc.fault);
+            assert_eq!(a.end, b.end, "{} ({name}): end time", sc.fault);
+        }
+    }
+}
+
+#[test]
 fn verdicts_are_bit_identical_across_shard_counts() {
     // The parallel engine's contract: the shard count is a throughput
     // knob, never a semantic one. Every corpus scenario — clean and
-    // faulted, both seeds — must produce byte-for-byte the same trace,
-    // statistics, and diagnose() verdicts at 1, 2, and 8 shards.
+    // faulted (including compound and time-scheduled plans), both seeds
+    // — must produce byte-for-byte the same trace, statistics, and
+    // diagnose() verdicts at 1, 2, and 8 shards.
     for sc in scenarios(SCALE) {
         for seed in SEEDS {
             for (label, plan) in [
@@ -130,7 +250,7 @@ fn verdicts_are_bit_identical_across_shard_counts() {
                 ("corpus-shards-faulted", Some(sc.plan())),
             ] {
                 let base = run_once_sharded(sc.job(), sc.fs(), seed, label, plan, 1);
-                let verdict = attributed(&base);
+                let verdict = verdict_of(&base);
                 for shards in [2, 8] {
                     let res = run_once_sharded(sc.job(), sc.fs(), seed, label, plan, shards);
                     let ctx = format!("{} seed {seed} {label} @ {shards} shards", sc.fault);
@@ -147,9 +267,101 @@ fn verdicts_are_bit_identical_across_shard_counts() {
                         "{ctx}: lock stats diverged"
                     );
                     assert_eq!(base.util, res.util, "{ctx}: utilization diverged");
-                    assert_eq!(verdict, attributed(&res), "{ctx}: verdicts diverged");
+                    assert_eq!(verdict, verdict_of(&res), "{ctx}: verdicts diverged");
                 }
             }
         }
+    }
+}
+
+#[test]
+fn stream_verdicts_are_identical_across_formats_and_ingest_threads() {
+    // The compound corpus through every transport: the same faulted
+    // trace serialized as jsonl, ptb, and ptb2 must drive the streaming
+    // diagnoser to identical findings (same firing order, same record
+    // counts), and the snapshot plane must diagnose identically at 1, 2,
+    // and 8 ingest workers.
+    let tmp = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(tmp).unwrap();
+    for sc in scenarios(SCALE) {
+        if !matches!(sc.expected, Expect::Pair(..)) {
+            continue;
+        }
+        let seed = SEEDS[0];
+        let res = run_once(sc.job(), sc.fs(), seed, "corpus-fmt", Some(sc.plan()));
+        let mut t = Trace::new(res.trace().meta.clone());
+        t.records = arrival_order(&res.trace().records);
+
+        // Reference: direct push, record by record.
+        let reference = stream(&t.records).findings().to_vec();
+        assert!(
+            !reference.is_empty(),
+            "{}: compound run produced no stream findings",
+            sc.fault
+        );
+
+        let mut jsonl = Vec::new();
+        write_jsonl(&t, &mut jsonl).unwrap();
+        let mut ptb = Vec::new();
+        write_ptb(&t, &mut ptb).unwrap();
+        let mut ptb2 = Vec::new();
+        write_ptb2(&t, &mut ptb2).unwrap();
+        for (fmt, bytes) in [("jsonl", &jsonl), ("ptb", &ptb), ("ptb2", &ptb2)] {
+            let mut d = StreamDiagnoser::new(DiagnoserConfig {
+                window: 256,
+                ..DiagnoserConfig::default()
+            });
+            let cursor = std::io::Cursor::new(bytes.as_slice());
+            let n = match fmt {
+                "jsonl" => {
+                    stream_jsonl(std::io::BufReader::new(cursor), &mut d)
+                        .unwrap()
+                        .1
+                }
+                "ptb" => stream_ptb(cursor, &mut d).unwrap().1,
+                _ => stream_ptb2(cursor, &mut d).unwrap().1,
+            };
+            assert_eq!(
+                n,
+                t.records.len() as u64,
+                "{} via {fmt}: lost records",
+                sc.fault
+            );
+            assert_eq!(
+                d.findings(),
+                &reference[..],
+                "{} via {fmt}: findings diverged from direct push",
+                sc.fault
+            );
+        }
+
+        // Snapshot plane: worker count is a throughput knob.
+        let path = tmp.join(format!(
+            "corpus-{}-{seed}.ptb2",
+            sc.fault.replace(['@', '+'], "-")
+        ));
+        std::fs::write(&path, &ptb2).unwrap();
+        let th = Thresholds::default();
+        let mut snapshots = Vec::new();
+        for workers in [1usize, 2, 8] {
+            let pipeline = IngestPipeline::new(IngestConfig {
+                workers,
+                ..IngestConfig::default()
+            });
+            let (_, n) = stream_file_parallel(&path, &pipeline).unwrap();
+            assert_eq!(n, t.records.len() as u64);
+            snapshots.push((workers, pipeline.finish()));
+        }
+        let (_, first) = &snapshots[0];
+        let reference_findings = first.diagnose(&th);
+        for (workers, snap) in &snapshots[1..] {
+            assert_eq!(
+                snap.diagnose(&th),
+                reference_findings,
+                "{} @ {workers} ingest workers: snapshot findings diverged",
+                sc.fault
+            );
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

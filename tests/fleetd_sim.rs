@@ -21,7 +21,8 @@ use events_to_ensembles::fleetd::{
 };
 use events_to_ensembles::ingest::EnsembleSnapshot;
 use events_to_ensembles::stats::attribution::FaultClass;
-use events_to_ensembles::stats::{diagnose, Finding};
+use events_to_ensembles::stats::diagnose;
+use events_to_ensembles::stats::diagnosis::{run_verdict, Verdict};
 use events_to_ensembles::trace::Trace;
 
 const JOBS: usize = 24;
@@ -57,15 +58,10 @@ fn run_pool(
     (reports, svc.rollup(), svc.interference())
 }
 
-/// Distinct classes batch `diagnose` attributes over a trace.
-fn batch_attributed(trace: &Trace) -> Vec<FaultClass> {
-    let mut classes: Vec<FaultClass> = diagnose(trace)
-        .iter()
-        .filter_map(Finding::attribution)
-        .collect();
-    classes.sort();
-    classes.dedup();
-    classes
+/// The whole-run verdict batch `diagnose` reaches over a trace — the
+/// same roll-up `JobReport::verdict` uses, recomputed independently.
+fn batch_verdict(trace: &Trace) -> Verdict {
+    run_verdict(&diagnose(trace))
 }
 
 #[test]
@@ -103,22 +99,22 @@ fn fleet_of_24_attributes_faulted_jobs_and_matches_batch_verdicts() {
         assert!(!r.frozen, "{}: must not freeze under the budget", s.name);
         total += r.ingested;
 
-        // Fleet verdict == injected class (None for clean tenants)...
+        // Fleet verdict == injected class (Clean for clean tenants)...
+        let want = match s.expected {
+            Some(c) => Verdict::Single(c),
+            None => Verdict::Clean,
+        };
         assert_eq!(
             r.verdict(),
-            s.expected,
-            "{}: fleet verdict {:?}, expected {:?}; findings: {:?}",
+            want,
+            "{}: fleet verdict {}, expected {}; findings: {:?}",
             s.name,
-            r.verdict(),
-            s.expected,
+            r.verdict().label(),
+            want.label(),
             r.findings
         );
         // ...and parity with the batch detectors over the same records.
-        let batch = batch_attributed(t);
-        match s.expected {
-            Some(want) => assert_eq!(batch, vec![want], "{}: batch verdict differs", s.name),
-            None => assert!(batch.is_empty(), "{}: batch attributed {batch:?}", s.name),
-        }
+        assert_eq!(batch_verdict(t), want, "{}: batch verdict differs", s.name);
     }
     assert_eq!(rollup.ingested, total, "roll-up sums every tenant");
     assert_eq!(rollup.dropped, 0);
@@ -187,7 +183,7 @@ fn hostile_budget_freezes_one_tenant_without_perturbing_the_rest() {
         assert_eq!(t.snapshot.dropped, t.shed);
         assert_eq!(
             t.verdict(),
-            None,
+            Verdict::Clean,
             "{}: prefix diagnosis stays clean",
             t.name
         );
